@@ -1,0 +1,76 @@
+//! Microbenchmarks for the linear-algebra substrate: the kernels OMP spends
+//! its time in (column dot-product scans, matrix-vector products,
+//! incremental QR updates).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use cso_core::MeasurementSpec;
+use cso_linalg::{vector, IncrementalQr, Vector};
+
+fn bench_dot(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dot");
+    for n in [256usize, 4096, 65_536] {
+        let a: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64).cos()).collect();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| vector::dot(black_box(&a), black_box(&b)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_matvec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("measurement_matvec");
+    for (m, n) in [(100usize, 10_000usize), (500, 10_000), (1000, 10_000)] {
+        let spec = MeasurementSpec::new(m, n, 7).unwrap();
+        let phi = spec.materialize();
+        let x = Vector::from_vec((0..n).map(|i| (i % 13) as f64).collect());
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{m}x{n}")),
+            &m,
+            |bench, _| bench.iter(|| phi.matvec(black_box(&x)).unwrap()),
+        );
+    }
+    g.finish();
+}
+
+fn bench_column_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("column_generation");
+    for m in [100usize, 1000] {
+        let spec = MeasurementSpec::new(m, 10_000, 7).unwrap();
+        let mut buf = vec![0.0; m];
+        g.bench_with_input(BenchmarkId::from_parameter(m), &m, |bench, _| {
+            bench.iter(|| {
+                spec.fill_column(black_box(4999), &mut buf);
+                black_box(&buf);
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_qr_push(c: &mut Criterion) {
+    let mut g = c.benchmark_group("qr_push_column");
+    for k in [16usize, 64, 256] {
+        let m = 512;
+        let spec = MeasurementSpec::new(m, k + 1, 3).unwrap();
+        let cols = spec.materialize();
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |bench, _| {
+            bench.iter(|| {
+                // Cost of pushing the (k+1)-th column onto a k-column QR.
+                let mut qr = IncrementalQr::new(m);
+                for j in 0..=k {
+                    qr.push_column(cols.col(j)).unwrap();
+                }
+                black_box(qr.ncols())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_dot, bench_matvec, bench_column_generation, bench_qr_push
+}
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Distributed-protocol benchmarks: full end-to-end runs of CS, ALL and
+//! K+δ on the same cluster, plus node-side sketching cost.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use cso_core::{BompConfig, MeasurementSpec};
+use cso_distributed::{AllProtocol, Cluster, CsProtocol, KDeltaProtocol, OutlierProtocol};
+use cso_workloads::{ClickLogConfig, ClickLogData};
+
+fn cluster() -> Cluster {
+    let data = ClickLogData::generate(
+        &ClickLogConfig::core_search().scaled_down(8), // 1300 keys
+        33,
+    )
+    .unwrap();
+    Cluster::new(data.slices).unwrap()
+}
+
+fn bench_protocols(c: &mut Criterion) {
+    let cl = cluster();
+    let k = 10;
+    let mut g = c.benchmark_group("protocol_end_to_end");
+    g.sample_size(10);
+    g.bench_function("cs_m130", |b| {
+        let p = CsProtocol::new(130, 7).with_recovery(BompConfig::with_max_iterations(50));
+        b.iter(|| p.run(black_box(&cl), k).unwrap())
+    });
+    g.bench_function("cs_m260", |b| {
+        let p = CsProtocol::new(260, 7).with_recovery(BompConfig::with_max_iterations(87));
+        b.iter(|| p.run(black_box(&cl), k).unwrap())
+    });
+    g.bench_function("all_vectorized", |b| {
+        let p = AllProtocol::vectorized();
+        b.iter(|| p.run(black_box(&cl), k).unwrap())
+    });
+    g.bench_function("kdelta_170", |b| {
+        let p = KDeltaProtocol::new(160, 7);
+        b.iter(|| p.run(black_box(&cl), k).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_sketching(c: &mut Criterion) {
+    // Node-side compression cost: the mapper's `y_l = Φ0·x_l`.
+    let cl = cluster();
+    let n = cl.n();
+    let mut g = c.benchmark_group("node_sketching");
+    for m in [100usize, 400] {
+        let spec = MeasurementSpec::new(m, n, 3).unwrap();
+        let slice = cl.slice(0).to_vec();
+        // Streaming (regenerates columns on the fly, O(M) memory):
+        g.bench_with_input(BenchmarkId::new("streaming", m), &m, |b, _| {
+            b.iter(|| spec.measure_dense(black_box(&slice)).unwrap())
+        });
+        // Materialized (matrix kept in memory):
+        let phi = spec.materialize();
+        let x = cso_linalg::Vector::from_vec(slice.clone());
+        g.bench_with_input(BenchmarkId::new("materialized", m), &m, |b, _| {
+            b.iter(|| phi.matvec(black_box(&x)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_incremental_update(c: &mut Criterion) {
+    use cso_distributed::SketchAggregator;
+    let spec = MeasurementSpec::new(400, 10_000, 5).unwrap();
+    let mut agg = SketchAggregator::new(spec);
+    agg.join(0, cso_linalg::Vector::zeros(400)).unwrap();
+    let delta: Vec<(usize, f64)> = (0..32).map(|i| (i * 311, i as f64 + 1.0)).collect();
+    c.bench_function("incremental_update_32_keys", |b| {
+        b.iter(|| agg.update(0, black_box(&delta)).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_protocols, bench_sketching, bench_incremental_update
+}
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Recovery-algorithm benchmarks: BOMP vs plain OMP vs OMP-with-known-mode
+//! vs basis pursuit, across sketch sizes — the compute side of the paper's
+//! IO-vs-recovery trade-off.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use cso_core::{
+    basis_pursuit, bomp_with_matrix, omp, omp_with_known_mode, BompConfig, BpConfig,
+    MeasurementSpec, OmpConfig,
+};
+use cso_linalg::ColMatrix;
+use cso_workloads::{MajorityConfig, MajorityData};
+
+const N: usize = 2000;
+const S: usize = 20;
+
+fn instance(m: usize) -> (ColMatrix, cso_linalg::Vector, f64) {
+    let data = MajorityData::generate(
+        &MajorityConfig { n: N, s: S, ..MajorityConfig::default() },
+        9,
+    )
+    .unwrap();
+    let spec = MeasurementSpec::new(m, N, 4).unwrap();
+    let phi = spec.materialize();
+    let y = spec.measure_dense(&data.values).unwrap();
+    (phi, y, data.mode)
+}
+
+fn bench_bomp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bomp_recovery");
+    g.sample_size(10);
+    for m in [200usize, 400, 800] {
+        let (phi, y, _) = instance(m);
+        let cfg = BompConfig::with_max_iterations(S + 1);
+        g.bench_with_input(BenchmarkId::from_parameter(m), &m, |bench, _| {
+            bench.iter(|| bomp_with_matrix(black_box(&phi), black_box(&y), &cfg).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_omp_known_mode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("omp_known_mode_recovery");
+    g.sample_size(10);
+    for m in [200usize, 400, 800] {
+        let (phi, y, mode) = instance(m);
+        let cfg = BompConfig::with_max_iterations(S + 1);
+        g.bench_with_input(BenchmarkId::from_parameter(m), &m, |bench, _| {
+            bench.iter(|| {
+                omp_with_known_mode(black_box(&phi), black_box(&y), mode, &cfg).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_plain_omp_sparse(c: &mut Criterion) {
+    // Sparse-at-zero instance (mode = 0 is what plain OMP can handle).
+    let mut g = c.benchmark_group("omp_sparse_at_zero");
+    g.sample_size(10);
+    for m in [200usize, 400] {
+        let spec = MeasurementSpec::new(m, N, 6).unwrap();
+        let phi = spec.materialize();
+        let mut x = vec![0.0; N];
+        for i in 0..S {
+            x[i * 83] = 1000.0 + i as f64;
+        }
+        let y = spec.measure_dense(&x).unwrap();
+        let cfg = OmpConfig::with_max_iterations(S);
+        g.bench_with_input(BenchmarkId::from_parameter(m), &m, |bench, _| {
+            bench.iter(|| omp(black_box(&phi), black_box(&y), &cfg).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_basis_pursuit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("basis_pursuit");
+    g.sample_size(10);
+    for m in [200usize, 400] {
+        let spec = MeasurementSpec::new(m, N, 6).unwrap();
+        let phi = spec.materialize();
+        let mut x = vec![0.0; N];
+        for i in 0..S {
+            x[i * 83] = 1000.0 + i as f64;
+        }
+        let y = spec.measure_dense(&x).unwrap();
+        let cfg = BpConfig { max_iterations: 200, ..BpConfig::default() };
+        g.bench_with_input(BenchmarkId::from_parameter(m), &m, |bench, _| {
+            bench.iter(|| basis_pursuit(black_box(&phi), black_box(&y), &cfg).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_bomp, bench_omp_known_mode, bench_plain_omp_sparse, bench_basis_pursuit
+}
+criterion_main!(benches);

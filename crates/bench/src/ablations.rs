@@ -1,0 +1,372 @@
+//! Ablations of the design choices DESIGN.md calls out.
+//!
+//! - `ablation_r` — the paper's `R = f(k) ∈ [2k, 5k]` heuristic: accuracy
+//!   vs iteration budget;
+//! - `ablation_stall` — the Section 5 residual-stall guard on noisy data;
+//! - `ablation_qr` — incremental QR vs re-factoring from scratch inside
+//!   OMP (the reason the paper bothers with QR updates at all);
+//! - `ablation_bp` — OMP-based recovery vs Basis Pursuit (the Section 2.2
+//!   claim that OMP is the right tool for the outlier problem);
+//! - `ablation_skew` — protocol robustness to how slices are distributed
+//!   (the Figure 1 motivation, quantified).
+
+use crate::common::{Opts, Table};
+use cso_core::{
+    basis_pursuit, cosamp, omp, outlier_errors, BompConfig, BpConfig, CosampConfig, KeyValue,
+    MeasurementSpec, OmpConfig, SparseVector,
+};
+use cso_distributed::{Cluster, CsProtocol, KDeltaProtocol, OutlierProtocol};
+use cso_linalg::{IncrementalQr, Vector};
+use cso_workloads::{
+    split, ClickLogConfig, ClickLogData, MajorityConfig, MajorityData, SliceStrategy,
+};
+use std::time::Instant;
+
+/// Accuracy vs the iteration budget multiplier `R = c·k`.
+pub fn ablation_r(opts: &Opts) {
+    let data =
+        ClickLogData::generate(&ClickLogConfig::core_search().scaled_down(8), 31).expect("gen");
+    let cluster = Cluster::new(data.slices.clone()).expect("cluster");
+    let k = 10;
+    let truth: Vec<KeyValue> = data.true_k_outliers(k);
+    let m = 400;
+    let mut table = Table::new(
+        "ablation_r",
+        &["R_over_k", "R", "ek_avg", "ev_avg", "iterations_avg"],
+    );
+    for &c in &[1usize, 2, 3, 5, 8, 12] {
+        let r = c * k;
+        let mut eks = 0.0;
+        let mut evs = 0.0;
+        let mut iters = 0usize;
+        for trial in 0..opts.trials {
+            let proto = CsProtocol::new(m, trial as u64)
+                .with_recovery(BompConfig::with_max_iterations(r));
+            let run = proto.run(&cluster, k).expect("run");
+            let (ek, ev) = outlier_errors(&truth, &run.estimate).expect("metrics");
+            eks += ek;
+            evs += ev;
+            // Protocol does not expose iterations; re-run recovery directly
+            // for the count.
+            let spec = MeasurementSpec::new(m, data.n(), trial as u64).expect("spec");
+            let y = spec.measure_dense(&data.global).expect("measure");
+            let res =
+                cso_core::bomp(&spec, &y, &BompConfig::with_max_iterations(r)).expect("bomp");
+            iters += res.iterations;
+        }
+        let t = opts.trials as f64;
+        table.row(&[
+            &c,
+            &r,
+            &format!("{:.3}", eks / t),
+            &format!("{:.3}", evs / t),
+            &format!("{:.1}", iters as f64 / t),
+        ]);
+    }
+    table.finish(opts);
+}
+
+/// The residual-stall guard on data where exact recovery is impossible
+/// (jittered concentration instead of an exact mode).
+pub fn ablation_stall(opts: &Opts) {
+    let mut config = ClickLogConfig::core_search().scaled_down(8);
+    config.mode_jitter = 2.0; // near-sparse, not exactly sparse
+    let data = ClickLogData::generate(&config, 67).expect("gen");
+    let k = 10;
+    let truth: Vec<KeyValue> = data.true_k_outliers(k);
+    let m = 500;
+    let mut table = Table::new(
+        "ablation_stall",
+        &["min_rel_decrease", "iterations_avg", "ek_avg", "ev_avg"],
+    );
+    // Sweep the guard's sensitivity: "off" runs to the budget; aggressive
+    // thresholds stop as soon as a step barely improves the fit — the
+    // paper's point is that almost all of the iterations past the true
+    // support buy nothing.
+    for (label, guard, min_dec) in [
+        ("off", false, 0.0f64),
+        ("1e-9", true, 1e-9),
+        ("1e-4", true, 1e-4),
+        ("1e-2", true, 1e-2),
+    ] {
+        let mut iters = 0usize;
+        let mut eks = 0.0;
+        let mut evs = 0.0;
+        for trial in 0..opts.trials {
+            let spec = MeasurementSpec::new(m, data.n(), 900 + trial as u64).expect("spec");
+            let y = spec.measure_dense(&data.global).expect("measure");
+            let rec = BompConfig {
+                omp: OmpConfig {
+                    max_iterations: m - 1,
+                    residual_tolerance: 0.0,
+                    stall_guard: guard,
+                    min_relative_decrease: min_dec,
+                    track_coefficients: false,
+                },
+                track_mode: false,
+            };
+            let res = cso_core::bomp(&spec, &y, &rec).expect("bomp");
+            iters += res.iterations;
+            let estimate: Vec<KeyValue> = res
+                .top_k(k)
+                .iter()
+                .map(|o| KeyValue { index: o.index, value: o.value })
+                .collect();
+            let (ek, ev) = outlier_errors(&truth, &estimate).expect("metrics");
+            eks += ek;
+            evs += ev;
+        }
+        let t = opts.trials as f64;
+        table.row(&[
+            &label,
+            &format!("{:.1}", iters as f64 / t),
+            &format!("{:.3}", eks / t),
+            &format!("{:.3}", evs / t),
+        ]);
+    }
+    table.finish(opts);
+}
+
+/// OMP with a naive per-iteration refactorization, for the QR ablation.
+fn omp_naive_refactor(
+    phi: &cso_linalg::ColMatrix,
+    y: &Vector,
+    max_iterations: usize,
+) -> Vec<usize> {
+    let mut support: Vec<usize> = Vec::new();
+    let mut residual = y.clone();
+    for _ in 0..max_iterations {
+        let mut best = (0usize, -1.0f64);
+        for j in 0..phi.cols() {
+            if support.contains(&j) {
+                continue;
+            }
+            let c = cso_linalg::vector::dot(phi.col(j), residual.as_slice()).abs();
+            if c > best.1 {
+                best = (j, c);
+            }
+        }
+        support.push(best.0);
+        // Rebuild the whole factorization from scratch — O(M·|S|²) per
+        // iteration instead of O(M·|S|).
+        let mut qr = IncrementalQr::new(phi.rows());
+        for &j in &support {
+            qr.push_column(phi.col(j)).expect("independent columns");
+        }
+        residual = qr.residual(y.as_slice()).expect("residual");
+        if residual.norm2() < 1e-9 * y.norm2() {
+            break;
+        }
+    }
+    support
+}
+
+/// Incremental-QR OMP vs naive refactorization: same answers, different
+/// asymptotics.
+pub fn ablation_qr(opts: &Opts) {
+    let mut table = Table::new(
+        "ablation_qr",
+        &["R", "incremental_ms", "refactor_ms", "speedup", "same_support"],
+    );
+    let n = 2000;
+    for &s in &[20usize, 60, 120, 200] {
+        let m = (8 * s).min(n);
+        let data = MajorityData::generate(
+            &MajorityConfig { n, s, mode: 0.0, ..MajorityConfig::default() },
+            5,
+        );
+        // mode = 0 requires min_deviation > 0 — regenerate with defaults on
+        // failure (mode 0 is fine for MajorityConfig).
+        let data = data.expect("valid config");
+        let spec = MeasurementSpec::new(m, n, 77).expect("spec");
+        let phi0 = spec.materialize();
+        let y = spec.measure_dense(&data.values).expect("measure");
+
+        let cfg = OmpConfig {
+            max_iterations: s,
+            residual_tolerance: 1e-9,
+            ..OmpConfig::default()
+        };
+        let t0 = Instant::now();
+        let fast = omp(&phi0, &y, &cfg).expect("omp");
+        let fast_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        let t1 = Instant::now();
+        let slow_support = omp_naive_refactor(&phi0, &y, s);
+        let slow_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+        let same = fast.support == slow_support;
+        table.row(&[
+            &s,
+            &format!("{fast_ms:.1}"),
+            &format!("{slow_ms:.1}"),
+            &format!("{:.1}x", slow_ms / fast_ms.max(1e-9)),
+            &same,
+        ]);
+    }
+    table.finish(opts);
+}
+
+/// OMP vs Basis Pursuit vs CoSaMP on identical sparse instances — the
+/// Section 2.2 claim ("OMP is simple … and faster than BP") quantified,
+/// with CoSaMP as a third reference point.
+pub fn ablation_bp(opts: &Opts) {
+    let mut table = Table::new(
+        "ablation_bp",
+        &[
+            "s", "M", "omp_ms", "omp_err", "bp_ms", "bp_err", "bp_iters", "cosamp_ms",
+            "cosamp_err",
+        ],
+    );
+    let n = 400;
+    for &s in &[5usize, 10, 20] {
+        let m = 16 * s;
+        let spec = MeasurementSpec::new(m, n, 1000 + s as u64).expect("spec");
+        let phi0 = spec.materialize();
+        let truth = SparseVector::new(
+            n,
+            (0..s).map(|i| (i * 17 % n, 100.0 + i as f64)).collect(),
+        )
+        .expect("sparse truth");
+        let y = phi0.matvec(&truth.to_dense()).expect("measure");
+        let truth_norm = truth.to_dense().norm2();
+
+        let t0 = Instant::now();
+        let o = omp(&phi0, &y, &OmpConfig::default()).expect("omp");
+        let omp_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let omp_err = o
+            .to_sparse(n)
+            .expect("sparse")
+            .l2_distance(&truth)
+            .expect("same dim")
+            / truth_norm;
+
+        let t1 = Instant::now();
+        let b = basis_pursuit(&phi0, &y, &BpConfig::default()).expect("bp");
+        let bp_ms = t1.elapsed().as_secs_f64() * 1e3;
+        let bp_err = b.x.sub(&truth.to_dense()).expect("dims").norm2() / truth_norm;
+
+        let t2 = Instant::now();
+        let c = cosamp(&phi0, &y, &CosampConfig::for_sparsity(s)).expect("cosamp");
+        let cosamp_ms = t2.elapsed().as_secs_f64() * 1e3;
+        let cosamp_err = c.x.l2_distance(&truth).expect("same dim") / truth_norm;
+
+        table.row(&[
+            &s,
+            &m,
+            &format!("{omp_ms:.1}"),
+            &format!("{omp_err:.2e}"),
+            &format!("{bp_ms:.1}"),
+            &format!("{bp_err:.2e}"),
+            &b.iterations,
+            &format!("{cosamp_ms:.1}"),
+            &format!("{cosamp_err:.2e}"),
+        ]);
+    }
+    table.finish(opts);
+}
+
+/// Sketch quantization (the paper's footnote 2): EV impact of transmitting
+/// 32-bit or 16-bit encodings instead of doubles, at the same `M`.
+pub fn ablation_quantize(opts: &Opts) {
+    use cso_distributed::quantize::{transmit, SketchEncoding};
+    let data =
+        ClickLogData::generate(&ClickLogConfig::core_search().scaled_down(8), 71).expect("gen");
+    let k = 10;
+    let truth: Vec<KeyValue> = data.true_k_outliers(k);
+    let m = 400;
+    let mut table = Table::new(
+        "ablation_quantize",
+        &["encoding", "bits_per_value", "payload_vs_f64", "ek_avg", "ev_avg"],
+    );
+    for encoding in [SketchEncoding::F64, SketchEncoding::F32, SketchEncoding::Fixed16] {
+        let mut eks = 0.0;
+        let mut evs = 0.0;
+        for trial in 0..opts.trials {
+            let spec = MeasurementSpec::new(m, data.n(), 500 + trial as u64).expect("spec");
+            let phi0 = spec.materialize();
+            // Every node quantizes its sketch independently; the aggregator
+            // sums what it received.
+            let mut y = cso_linalg::Vector::zeros(m);
+            for slice in &data.slices {
+                let exact = phi0
+                    .matvec(&cso_linalg::Vector::from_vec(slice.clone()))
+                    .expect("sketch");
+                let (received, _) = transmit(&exact, encoding).expect("transmit");
+                y.add_assign(&received).expect("same length");
+            }
+            let res = cso_core::bomp_with_matrix(
+                &phi0,
+                &y,
+                &BompConfig::with_max_iterations(120),
+            )
+            .expect("bomp");
+            let estimate: Vec<KeyValue> = res
+                .top_k(k)
+                .iter()
+                .map(|o| KeyValue { index: o.index, value: o.value })
+                .collect();
+            let (ek, ev) = outlier_errors(&truth, &estimate).expect("metrics");
+            eks += ek;
+            evs += ev;
+        }
+        let t = opts.trials as f64;
+        let ratio = encoding.payload_bits(m) as f64 / SketchEncoding::F64.payload_bits(m) as f64;
+        table.row(&[
+            &format!("{encoding:?}"),
+            &encoding.bits_per_value(),
+            &format!("{ratio:.2}"),
+            &format!("{:.3}", eks / t),
+            &format!("{:.3}", evs / t),
+        ]);
+    }
+    table.finish(opts);
+}
+
+/// Protocol error under the three slice-distribution regimes.
+pub fn ablation_skew(opts: &Opts) {
+    let data = MajorityData::generate(
+        &MajorityConfig { n: 2000, s: 20, ..MajorityConfig::default() },
+        8,
+    )
+    .expect("gen");
+    let k = 10;
+    let truth = data.true_k_outliers(k);
+    let m = 300;
+    let mut table = Table::new(
+        "ablation_skew",
+        &["strategy", "cs_ek_avg", "kdelta_ek_avg"],
+    );
+    for (name, strategy) in [
+        ("uniform", SliceStrategy::Uniform),
+        ("random_proportions", SliceStrategy::RandomProportions),
+        (
+            "camouflaged",
+            SliceStrategy::Camouflaged { offset: 4000.0, fraction: 0.3 },
+        ),
+    ] {
+        let mut cs_ek = 0.0;
+        let mut kd_ek = 0.0;
+        for trial in 0..opts.trials {
+            let slices = split(&data.values, 8, strategy, 100 + trial as u64).expect("split");
+            let cluster = Cluster::new(slices).expect("cluster");
+            let cs = CsProtocol::new(m, trial as u64)
+                .with_recovery(BompConfig::with_max_iterations(60))
+                .run(&cluster, k)
+                .expect("cs");
+            cs_ek += cso_core::error_on_key(&truth, &cs.estimate).expect("metric");
+            let budget = m * 64 / 96;
+            let kd = KDeltaProtocol::new(budget.saturating_sub(k), trial as u64)
+                .run(&cluster, k)
+                .expect("kdelta");
+            kd_ek += cso_core::error_on_key(&truth, &kd.estimate).expect("metric");
+        }
+        let t = opts.trials as f64;
+        table.row(&[
+            &name,
+            &format!("{:.3}", cs_ek / t),
+            &format!("{:.3}", kd_ek / t),
+        ]);
+    }
+    table.finish(opts);
+}

@@ -1,0 +1,58 @@
+//! CLI entry point: regenerate the paper's tables and figures.
+//!
+//! Usage:
+//! ```text
+//! figures all                 # every experiment at default trial counts
+//! figures fig4a fig9          # a subset
+//! figures fig5 --paper        # paper-scale trial counts (slow)
+//! figures fig7 --fast         # smoke-test scale
+//! figures --list              # print experiment names
+//! ```
+
+use cso_bench::{run_experiment, Opts, EXPERIMENTS};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts = Opts::default();
+    let mut names: Vec<String> = Vec::new();
+    for a in &args {
+        match a.as_str() {
+            "--paper" => opts = Opts::paper(),
+            "--fast" => opts = Opts::fast(),
+            "--no-csv" => opts.write_csv = false,
+            "--list" => {
+                for e in EXPERIMENTS {
+                    println!("{e}");
+                }
+                return;
+            }
+            "all" => names.extend(EXPERIMENTS.iter().map(|s| s.to_string())),
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag `{other}` (try --list, --fast, --paper, --no-csv)");
+                std::process::exit(2);
+            }
+            other => names.push(other.to_string()),
+        }
+    }
+    if names.is_empty() {
+        eprintln!("usage: figures [--fast|--paper] [--no-csv] <experiment>... | all | --list");
+        std::process::exit(2);
+    }
+    // fig5/fig6 and fig7/fig8 share a sweep; drop duplicates.
+    names.dedup_by(|a, b| {
+        matches!(
+            (a.as_str(), b.as_str()),
+            ("fig6", "fig5") | ("fig8", "fig7")
+        )
+    });
+    for name in &names {
+        let t = Instant::now();
+        eprintln!("== {name} (trials = {}) ==", opts.trials);
+        if !run_experiment(name, &opts) {
+            eprintln!("unknown experiment `{name}`; try --list");
+            std::process::exit(2);
+        }
+        eprintln!("== {name} done in {:.1}s ==\n", t.elapsed().as_secs_f64());
+    }
+}

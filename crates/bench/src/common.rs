@@ -1,0 +1,129 @@
+//! Shared harness utilities: run options, table printing, CSV output.
+
+use std::fmt::Display;
+use std::fs;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Global options for a harness run.
+#[derive(Debug, Clone, Copy)]
+pub struct Opts {
+    /// Repeated-trial count for randomized experiments (the paper uses
+    /// 100–1000; the default trades a long tail of precision for wall
+    /// time — pass `--paper` to match the paper's counts).
+    pub trials: usize,
+    /// Where CSV files are written (`results/` by default).
+    pub write_csv: bool,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Opts { trials: 20, write_csv: true }
+    }
+}
+
+impl Opts {
+    /// Paper-scale trial counts.
+    pub fn paper() -> Self {
+        Opts { trials: 100, write_csv: true }
+    }
+
+    /// Quick smoke-test scale.
+    pub fn fast() -> Self {
+        Opts { trials: 4, write_csv: true }
+    }
+}
+
+/// A simple table that prints aligned to stdout and optionally mirrors
+/// itself into `results/<name>.csv`.
+pub struct Table {
+    name: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given CSV basename and column names.
+    pub fn new(name: &str, header: &[&str]) -> Self {
+        Table {
+            name: name.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringifies each cell).
+    pub fn row(&mut self, cells: &[&dyn Display]) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells.iter().map(|c| format!("{c}")).collect());
+    }
+
+    /// Prints the aligned table and optionally writes the CSV.
+    pub fn finish(self, opts: &Opts) {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        println!("# {}", self.name);
+        println!("{}", line(&self.header));
+        for row in &self.rows {
+            println!("{}", line(row));
+        }
+        println!();
+
+        if opts.write_csv {
+            let dir = PathBuf::from("results");
+            if fs::create_dir_all(&dir).is_ok() {
+                let path = dir.join(format!("{}.csv", self.name));
+                if let Ok(mut f) = fs::File::create(&path) {
+                    let _ = writeln!(f, "{}", self.header.join(","));
+                    for row in &self.rows {
+                        let _ = writeln!(f, "{}", row.join(","));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_rejects_arity_mismatch() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.row(&[&1, &2]);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            t.row(&[&1]);
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.1234), "12.3%");
+        assert_eq!(pct(0.0), "0.0%");
+    }
+
+    #[test]
+    fn opts_presets() {
+        assert!(Opts::paper().trials > Opts::default().trials);
+        assert!(Opts::fast().trials < Opts::default().trials);
+    }
+}

@@ -1,0 +1,64 @@
+//! Section 4's conjecture-verification experiments.
+//!
+//! The paper: "We conducted extensive numerical experiments to verify the
+//! validity of Conjecture 1 … When M and s are larger than 10 … we observe
+//! ‖Φ*ᵀr‖₂ ≥ 0.5‖r‖₂ always holds by a large margin" and "setting a = 1.1,
+//! we never observed any counter-examples [to Conjecture 2]".
+
+use crate::common::{Opts, Table};
+use cso_core::conjectures::{conjecture2_bound, verify_conjecture1, verify_conjecture2};
+
+/// Conjecture 1 (Near-Isometric Transformation) sweep over (M, s, ζ).
+pub fn conj1(opts: &Opts) {
+    let trials = opts.trials * 10;
+    let mut table = Table::new(
+        "conj1_near_isometric",
+        &["M", "s", "zeta", "trials", "success_pct", "min_margin"],
+    );
+    for &(m, s) in &[(16usize, 2usize), (32, 8), (64, 16), (128, 32), (256, 64)] {
+        for zeta_kind in ["max", "typical"] {
+            // Maximal dependence ζ = 1/√s (the paper's worst case) and the
+            // typical BOMP value ζ = 1/√N with N = 10K.
+            let zeta = match zeta_kind {
+                "max" => 1.0 / (s as f64).sqrt(),
+                _ => 0.01,
+            };
+            let stats = verify_conjecture1(m, s, zeta, trials, 11).expect("valid params");
+            table.row(&[
+                &m,
+                &s,
+                &format!("{zeta:.4}"),
+                &stats.trials,
+                &format!("{:.2}", 100.0 * stats.success_rate()),
+                &format!("{:.3}", stats.min_margin),
+            ]);
+        }
+    }
+    table.finish(opts);
+}
+
+/// Conjecture 2 (Near-Independent Inner Product) sweep over (M, ε).
+pub fn conj2(opts: &Opts) {
+    let trials = opts.trials * 100;
+    let mut table = Table::new(
+        "conj2_near_independent",
+        &["M", "epsilon", "trials", "success_pct", "bound_pct", "holds"],
+    );
+    let zeta = 0.01; // 1/√N at N = 10K
+    for &m in &[50usize, 100, 200, 400] {
+        for &eps in &[0.2f64, 0.3, 0.5] {
+            let stats = verify_conjecture2(m, zeta, eps, trials, 23).expect("valid params");
+            let bound = conjecture2_bound(m, eps, 1.1);
+            let holds = stats.success_rate() >= bound;
+            table.row(&[
+                &m,
+                &eps,
+                &stats.trials,
+                &format!("{:.2}", 100.0 * stats.success_rate()),
+                &format!("{:.2}", 100.0 * bound),
+                &holds,
+            ]);
+        }
+    }
+    table.finish(opts);
+}

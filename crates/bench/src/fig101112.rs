@@ -1,0 +1,129 @@
+//! Figures 10–12: the Hadoop efficiency experiments on the cluster model.
+//!
+//! - Figure 10: end-to-end time vs `M` for (a) 600 MB α=1.5 synthetic,
+//!   (b) 600 GB α=1.5 synthetic, (c) 12 GB production data;
+//! - Figure 11: the mapper/reducer breakdown for the same three settings;
+//! - Figure 12: end-to-end/map/reduce time vs key-space size `N`
+//!   (100K → 5M) at fixed 10 GB input, BOMP with M ∈ {50, 100} vs the
+//!   traditional top-k job.
+//!
+//! Times come from the analytic cluster model (the documented substitute
+//! for the paper's 10-node Hadoop cluster); the executed-job counterpart
+//! lives in `cargo bench -p cso-bench --bench mapreduce` and
+//! `examples/mapreduce_speedup.rs`.
+
+use crate::common::{Opts, Table};
+use cso_mapreduce::{cs_bomp, traditional_topk, ClusterProfile, WorkloadShape};
+
+const MB: u64 = 1 << 20;
+const GB: u64 = 1 << 30;
+
+/// The three Figure 10/11 settings: label, input bytes, N, recovery R.
+/// The production queries need R ≈ s (Figure 9), hence 600 for (c).
+fn settings() -> Vec<(&'static str, u64, usize, usize)> {
+    vec![
+        ("a_alpha1.5_600MB", 600 * MB, 100_000, 25),
+        ("b_alpha1.5_600GB", 600 * GB, 100_000, 25),
+        ("c_product_12GB", 12 * GB, 10_000, 600),
+    ]
+}
+
+/// Figure 10: end-to-end time vs `M`, with the traditional job as the flat
+/// reference line.
+pub fn fig10(opts: &Opts) {
+    let profile = ClusterProfile::paper_2015();
+    let mut table = Table::new(
+        "fig10_end_to_end",
+        &["setting", "M", "bomp_s", "traditional_s"],
+    );
+    let mut crossovers = Table::new("fig10_crossover", &["setting", "crossover_M"]);
+    for (label, input, n, r) in settings() {
+        let shape = WorkloadShape { input_bytes: input, record_bytes: 100, n };
+        let trad = traditional_topk(&profile, &shape).end_to_end_s();
+        let mut crossover: Option<usize> = None;
+        for m in (200..=2000).step_by(200) {
+            let cs = cs_bomp(&profile, &shape, m, r).end_to_end_s();
+            if crossover.is_none() && cs > trad {
+                crossover = Some(m);
+            }
+            table.row(&[&label, &m, &format!("{cs:.1}"), &format!("{trad:.1}")]);
+        }
+        // Search beyond the plot range if needed.
+        if crossover.is_none() {
+            for m in (2000..200_000).step_by(500) {
+                if cs_bomp(&profile, &shape, m, r).end_to_end_s() > trad {
+                    crossover = Some(m);
+                    break;
+                }
+            }
+        }
+        let c = crossover.map_or_else(|| "-".to_string(), |m| m.to_string());
+        crossovers.row(&[&label, &c]);
+    }
+    table.finish(opts);
+    crossovers.finish(opts);
+}
+
+/// Figure 11: mapper/reducer breakdown.
+pub fn fig11(opts: &Opts) {
+    let profile = ClusterProfile::paper_2015();
+    let mut table = Table::new(
+        "fig11_breakdown",
+        &[
+            "setting",
+            "M",
+            "bomp_map_s",
+            "trad_map_s",
+            "bomp_reduce_s",
+            "trad_reduce_s",
+        ],
+    );
+    for (label, input, n, r) in settings() {
+        let shape = WorkloadShape { input_bytes: input, record_bytes: 100, n };
+        let trad = traditional_topk(&profile, &shape);
+        for m in (400..=2000).step_by(400) {
+            let cs = cs_bomp(&profile, &shape, m, r);
+            table.row(&[
+                &label,
+                &m,
+                &format!("{:.1}", cs.mapper_s()),
+                &format!("{:.1}", trad.mapper_s()),
+                &format!("{:.1}", cs.reducer_s()),
+                &format!("{:.1}", trad.reducer_s()),
+            ]);
+        }
+    }
+    table.finish(opts);
+}
+
+/// Figure 12: scalability in the key-space size `N` at fixed 10 GB input.
+pub fn fig12(opts: &Opts) {
+    let profile = ClusterProfile::paper_2015();
+    let mut table = Table::new(
+        "fig12_scalability",
+        &["N", "job", "map_s", "reduce_s", "end_to_end_s"],
+    );
+    let r = 25; // k = 5 in the paper's run
+    for n in [100_000usize, 200_000, 500_000, 1_000_000, 5_000_000] {
+        let shape = WorkloadShape { input_bytes: 10 * GB, record_bytes: 100, n };
+        let trad = traditional_topk(&profile, &shape);
+        table.row(&[
+            &n,
+            &"traditional",
+            &format!("{:.1}", trad.mapper_s()),
+            &format!("{:.1}", trad.reducer_s()),
+            &format!("{:.1}", trad.end_to_end_s()),
+        ]);
+        for m in [50usize, 100] {
+            let cs = cs_bomp(&profile, &shape, m, r);
+            table.row(&[
+                &n,
+                &format!("bomp_M{m}"),
+                &format!("{:.1}", cs.mapper_s()),
+                &format!("{:.1}", cs.reducer_s()),
+                &format!("{:.1}", cs.end_to_end_s()),
+            ]);
+        }
+    }
+    table.finish(opts);
+}

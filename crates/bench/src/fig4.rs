@@ -1,0 +1,112 @@
+//! Figure 4: BOMP on majority-dominated data.
+//!
+//! (a) probability of exact recovery vs sketch size `M`, for
+//!     `s ∈ {50, 100, 200}` at `N = 1000`, `b = 5000`, compared against
+//!     standard OMP that is told the mode in advance;
+//! (b) the mode estimate per recovery iteration, showing stabilization
+//!     once the support is found (at iteration ≈ s + 1).
+
+use crate::common::{Opts, Table};
+use cso_core::{
+    bomp_with_matrix, omp_with_known_mode, BompConfig, BompResult, MeasurementSpec, OmpConfig,
+};
+use cso_workloads::{MajorityConfig, MajorityData};
+
+const N: usize = 1000;
+const MODE: f64 = 5000.0;
+
+fn config(s: usize) -> MajorityConfig {
+    MajorityConfig { n: N, s, mode: MODE, ..MajorityConfig::default() }
+}
+
+/// Whether a BOMP result exactly recovers the planted instance: all `s`
+/// outlier keys found, values and mode right to relative 1e-6.
+fn exact(result: &BompResult, data: &MajorityData) -> bool {
+    if (result.mode - data.mode).abs() > 1e-6 * data.mode.abs() {
+        return false;
+    }
+    let mut found: Vec<usize> = result.outliers.iter().map(|o| o.index).collect();
+    found.sort_unstable();
+    if found != data.outlier_indices {
+        return false;
+    }
+    result.outliers.iter().all(|o| {
+        let truth = data.values[o.index];
+        (o.value - truth).abs() <= 1e-6 * truth.abs().max(1.0)
+    })
+}
+
+/// Figure 4(a).
+pub fn fig4a(opts: &Opts) {
+    let mut table = Table::new(
+        "fig4a",
+        &["s", "M", "bomp_exact_pct", "omp_known_mode_exact_pct"],
+    );
+    for &s in &[50usize, 100, 200] {
+        let cfg = config(s);
+        for m in (100..=1000).step_by(100) {
+            let mut bomp_hits = 0usize;
+            let mut omp_hits = 0usize;
+            for trial in 0..opts.trials {
+                let seed = (s * 1_000_003 + m * 101 + trial) as u64;
+                let data = MajorityData::generate(&cfg, seed).expect("valid config");
+                let spec = MeasurementSpec::new(m, N, seed ^ 0xBEEF).expect("valid spec");
+                let phi0 = spec.materialize();
+                let y = spec.measure_dense(&data.values).expect("measure");
+                // "The number of recovery iterations is min{M, s} + 1."
+                let rec = BompConfig {
+                    omp: OmpConfig::with_max_iterations(m.min(s) + 1),
+                    ..BompConfig::default()
+                };
+                let b = bomp_with_matrix(&phi0, &y, &rec).expect("bomp");
+                if exact(&b, &data) {
+                    bomp_hits += 1;
+                }
+                let o = omp_with_known_mode(&phi0, &y, data.mode, &rec).expect("omp");
+                if exact(&o, &data) {
+                    omp_hits += 1;
+                }
+            }
+            let t = opts.trials as f64;
+            table.row(&[
+                &s,
+                &m,
+                &format!("{:.1}", 100.0 * bomp_hits as f64 / t),
+                &format!("{:.1}", 100.0 * omp_hits as f64 / t),
+            ]);
+        }
+    }
+    table.finish(opts);
+}
+
+/// Figure 4(b): mode estimate per iteration at an `M` that yields exact
+/// recovery (from Figure 4(a)'s saturation points).
+pub fn fig4b(opts: &Opts) {
+    let mut table = Table::new("fig4b", &["s", "M", "iteration", "mode_estimate"]);
+    let mut stabil = Table::new("fig4b_stabilization", &["s", "M", "stable_from_iteration"]);
+    for &(s, m) in &[(50usize, 500usize), (100, 700), (200, 1000)] {
+        let data = MajorityData::generate(&config(s), 424_242).expect("valid config");
+        let spec = MeasurementSpec::new(m, N, 37).expect("valid spec");
+        let y = spec.measure_dense(&data.values).expect("measure");
+        let rec = BompConfig {
+            omp: OmpConfig::with_max_iterations(m.min(s) + 1),
+            track_mode: true,
+        };
+        let result = cso_core::bomp(&spec, &y, &rec).expect("bomp");
+        for (i, b) in result.mode_trace.iter().enumerate() {
+            table.row(&[&s, &m, &(i + 1), &format!("{b:.2}")]);
+        }
+        // First iteration after which the mode never leaves a 0.1% band
+        // around its final value.
+        let last = *result.mode_trace.last().unwrap_or(&0.0);
+        let stable_from = result
+            .mode_trace
+            .iter()
+            .rposition(|b| (b - last).abs() > 1e-3 * last.abs().max(1.0))
+            .map(|p| p + 2)
+            .unwrap_or(1);
+        stabil.row(&[&s, &m, &stable_from]);
+    }
+    table.finish(opts);
+    stabil.finish(opts);
+}

@@ -1,0 +1,87 @@
+//! Figures 5 and 6: recovery quality on power-law data.
+//!
+//! EK (Figure 5) and EV (Figure 6) vs sketch size `M`, for
+//! `α ∈ {0.9, 0.95}` and `k ∈ {5, 10, 20}` at `N = 10K`, reporting MAX /
+//! MIN / AVG over repeated trials with fresh random measurement matrices.
+
+use crate::common::{Opts, Table};
+use cso_core::{bomp_with_matrix, outlier_errors, BompConfig, KeyValue, OmpConfig};
+use cso_core::MeasurementSpec;
+use cso_linalg::stats::Summary;
+use cso_workloads::{PowerLawConfig, PowerLawData};
+
+const N: usize = 10_000;
+
+/// Runs the shared sweep and emits both error metrics.
+pub fn fig5_and_6(opts: &Opts) {
+    let mut ek_table = Table::new(
+        "fig5_error_on_key",
+        &["alpha", "k", "M", "ek_max", "ek_min", "ek_avg"],
+    );
+    let mut ev_table = Table::new(
+        "fig6_error_on_value",
+        &["alpha", "k", "M", "ev_max", "ev_min", "ev_avg"],
+    );
+
+    for &alpha in &[0.9f64, 0.95] {
+        // One data set per α (the paper fixes the data and varies Φ0).
+        let data = PowerLawData::generate(
+            &PowerLawConfig { n: N, alpha, x_min: 1.0 },
+            (alpha * 1000.0) as u64,
+        )
+        .expect("generate");
+        let ks = [5usize, 10, 20];
+        let truths: Vec<Vec<KeyValue>> = ks.iter().map(|&k| data.true_k_outliers(k)).collect();
+        for m in (100..=1000).step_by(100) {
+            // errors[k-slot] collects per-trial (ek, ev).
+            let mut errors: Vec<(Vec<f64>, Vec<f64>)> =
+                vec![(Vec::new(), Vec::new()); ks.len()];
+            for trial in 0..opts.trials {
+                // One matrix per trial, shared by all k (the expensive part
+                // is materializing Φ0, not the greedy recovery).
+                let seed = (m * 7919 + trial) as u64;
+                let spec = MeasurementSpec::new(m, N, seed).expect("spec");
+                let phi0 = spec.materialize();
+                let y = spec.measure_dense(&data.values).expect("measure");
+                for (slot, &k) in ks.iter().enumerate() {
+                    let rec = BompConfig {
+                        omp: OmpConfig::with_max_iterations((3 * k + 1).min(m)),
+                        ..BompConfig::default()
+                    };
+                    let r = bomp_with_matrix(&phi0, &y, &rec).expect("bomp");
+                    let estimate: Vec<KeyValue> = r
+                        .top_k(k)
+                        .iter()
+                        .map(|o| KeyValue { index: o.index, value: o.value })
+                        .collect();
+                    let (ek, ev) =
+                        outlier_errors(&truths[slot], &estimate).expect("metrics");
+                    errors[slot].0.push(ek);
+                    errors[slot].1.push(ev);
+                }
+            }
+            for (slot, &k) in ks.iter().enumerate() {
+                let ek = Summary::of(&errors[slot].0).expect("non-empty");
+                let ev = Summary::of(&errors[slot].1).expect("non-empty");
+                ek_table.row(&[
+                    &alpha,
+                    &k,
+                    &m,
+                    &format!("{:.3}", ek.max),
+                    &format!("{:.3}", ek.min),
+                    &format!("{:.3}", ek.mean),
+                ]);
+                ev_table.row(&[
+                    &alpha,
+                    &k,
+                    &m,
+                    &format!("{:.3}", ev.max),
+                    &format!("{:.3}", ev.min),
+                    &format!("{:.3}", ev.mean),
+                ]);
+            }
+        }
+    }
+    ek_table.finish(opts);
+    ev_table.finish(opts);
+}

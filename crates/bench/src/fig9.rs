@@ -1,0 +1,76 @@
+//! Figure 9: mode-vs-iteration traces on the three production workloads.
+//!
+//! The paper logs the recovered bias `b` at each BOMP iteration on the
+//! core-search (M = 500), ads (M = 800) and answer (M = 800) click-score
+//! queries, observing stabilization after ≈ 300 / 650 / 610 iterations —
+//! which is also how it reads off the sparsity of production data. The
+//! click-log presets plant exactly those sparsities.
+
+use crate::common::{Opts, Table};
+use cso_core::{BompConfig, MeasurementSpec, OmpConfig};
+use cso_distributed::Cluster;
+use cso_linalg::Vector;
+use cso_workloads::{ClickLogConfig, ClickLogData};
+
+/// The three preset queries with the paper's sketch sizes, scaled by
+/// `scale` (1 = full size).
+fn presets(scale: usize) -> Vec<(ClickLogConfig, usize)> {
+    vec![
+        (ClickLogConfig::core_search().scaled_down(scale), 500 / scale),
+        (ClickLogConfig::ads().scaled_down(scale), 800 / scale),
+        (ClickLogConfig::answer().scaled_down(scale), 800 / scale),
+    ]
+}
+
+/// Runs the three traces at the paper's full workload scale (single
+/// recovery per preset — cheap enough not to need a fast mode).
+pub fn fig9(opts: &Opts) {
+    let scale = 1;
+    let mut table = Table::new("fig9", &["workload", "M", "iteration", "mode_estimate"]);
+    let mut summary = Table::new(
+        "fig9_stabilization",
+        &["workload", "N", "planted_s", "M", "stable_from", "recovered_mode"],
+    );
+    for (config, m) in presets(scale) {
+        let data = ClickLogData::generate(&config, 99_991).expect("generate");
+        let cluster = Cluster::new(data.slices.clone()).expect("cluster");
+        let spec = MeasurementSpec::new(m, data.n(), 1701).expect("spec");
+
+        // Distributed sketching, then one traced recovery.
+        let mut y = Vector::zeros(m);
+        for l in 0..cluster.l() {
+            y.add_assign(&spec.measure_dense(cluster.slice(l)).expect("sketch"))
+                .expect("same length");
+        }
+        let budget = (config.outliers * 2).min(m);
+        let rec = BompConfig {
+            omp: OmpConfig::with_max_iterations(budget),
+            track_mode: true,
+        };
+        let result = cso_core::bomp(&spec, &y, &rec).expect("recover");
+
+        // Emit a decimated trace (every 10th iteration) plus the last one.
+        for (i, b) in result.mode_trace.iter().enumerate() {
+            if i % 10 == 0 || i + 1 == result.mode_trace.len() {
+                table.row(&[&config.kind.name(), &m, &(i + 1), &format!("{b:.2}")]);
+            }
+        }
+        let last = *result.mode_trace.last().unwrap_or(&0.0);
+        let stable_from = result
+            .mode_trace
+            .iter()
+            .rposition(|b| (b - last).abs() > 1e-3 * last.abs().max(1.0))
+            .map(|p| p + 2)
+            .unwrap_or(1);
+        summary.row(&[
+            &config.kind.name(),
+            &data.n(),
+            &config.outliers,
+            &m,
+            &stable_from,
+            &format!("{:.1}", result.mode),
+        ]);
+    }
+    table.finish(opts);
+    summary.finish(opts);
+}

@@ -1,0 +1,191 @@
+//! Extended aggregation queries over recovered data.
+//!
+//! The paper (Sections 1 and 8) positions the sketch as a general substrate:
+//! "our techniques may also be extended to solve similar aggregation
+//! queries (mean, top-k, percentile, ...)". A [`BompResult`] is a compact
+//! model of the whole aggregated vector — `N − nnz` entries at the mode
+//! plus the recovered deviations — so those statistics can be answered
+//! directly from it, without any further communication.
+
+use crate::bomp::BompResult;
+use cso_linalg::LinalgError;
+
+/// The mean of the recovered vector `x̂ = b·1 + z`:
+/// `mean = b + (Σ zᵢ)/N`.
+pub fn recovered_mean(result: &BompResult) -> f64 {
+    let n = result.deviations.dim() as f64;
+    let dev_sum: f64 = result.deviations.entries().iter().map(|&(_, z)| z).sum();
+    result.mode + dev_sum / n
+}
+
+/// The q-quantile (`q ∈ [0, 1]`) of the recovered vector, computed without
+/// densifying: the unrecovered mass sits exactly at the mode, so only the
+/// recovered deviations and the mode block need ordering.
+pub fn recovered_quantile(result: &BompResult, q: f64) -> Result<f64, LinalgError> {
+    if !(0.0..=1.0).contains(&q) {
+        return Err(LinalgError::InvalidParameter {
+            name: "q",
+            message: "quantile must lie in [0, 1]",
+        });
+    }
+    let n = result.deviations.dim();
+    if n == 0 {
+        return Err(LinalgError::Empty { op: "recovered_quantile" });
+    }
+    // Values below / above the mode among recovered outliers.
+    let mut below: Vec<f64> = result
+        .deviations
+        .entries()
+        .iter()
+        .filter(|&&(_, z)| z < 0.0)
+        .map(|&(_, z)| result.mode + z)
+        .collect();
+    below.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let mut above: Vec<f64> = result
+        .deviations
+        .entries()
+        .iter()
+        .filter(|&&(_, z)| z > 0.0)
+        .map(|&(_, z)| result.mode + z)
+        .collect();
+    above.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+
+    let mode_count = n - below.len() - above.len();
+    // Order statistic index (nearest-rank, 1-based clamped to [1, n]).
+    let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+    if rank <= below.len() {
+        Ok(below[rank - 1])
+    } else if rank <= below.len() + mode_count {
+        Ok(result.mode)
+    } else {
+        Ok(above[rank - 1 - below.len() - mode_count])
+    }
+}
+
+/// Median of the recovered vector.
+pub fn recovered_median(result: &BompResult) -> Result<f64, LinalgError> {
+    recovered_quantile(result, 0.5)
+}
+
+/// A histogram of the recovered vector: `(bin lower edge, count)` pairs
+/// over `bins` equal-width bins spanning the recovered range. Errors on
+/// zero bins.
+pub fn recovered_histogram(
+    result: &BompResult,
+    bins: usize,
+) -> Result<Vec<(f64, usize)>, LinalgError> {
+    if bins == 0 {
+        return Err(LinalgError::InvalidParameter { name: "bins", message: "need >= 1 bin" });
+    }
+    let n = result.deviations.dim();
+    let mut lo = result.mode;
+    let mut hi = result.mode;
+    for &(_, z) in result.deviations.entries() {
+        lo = lo.min(result.mode + z);
+        hi = hi.max(result.mode + z);
+    }
+    if lo == hi {
+        // Everything at the mode: one occupied bin.
+        let mut out = vec![(lo, 0usize); bins];
+        out[0] = (lo, n);
+        return Ok(out);
+    }
+    let width = (hi - lo) / bins as f64;
+    let index_of = |v: f64| (((v - lo) / width) as usize).min(bins - 1);
+    let mut counts = vec![0usize; bins];
+    counts[index_of(result.mode)] = n - result.deviations.nnz();
+    for &(_, z) in result.deviations.entries() {
+        counts[index_of(result.mode + z)] += 1;
+    }
+    Ok(counts
+        .into_iter()
+        .enumerate()
+        .map(|(i, c)| (lo + i as f64 * width, c))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bomp::{bomp, BompConfig};
+    use crate::measurement::MeasurementSpec;
+
+    /// Exact recovery instance: N = 200, b = 100, outliers planted.
+    fn recovered() -> (BompResult, Vec<f64>) {
+        let n = 200;
+        let spec = MeasurementSpec::new(80, n, 11).unwrap();
+        let mut x = vec![100.0; n];
+        x[5] = 1000.0;
+        x[50] = -500.0;
+        x[150] = 400.0;
+        let y = spec.measure_dense(&x).unwrap();
+        let r = bomp(&spec, &y, &BompConfig::default()).unwrap();
+        (r, x)
+    }
+
+    fn exact_quantile(x: &[f64], q: f64) -> f64 {
+        let mut s = x.to_vec();
+        s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let rank = ((q * s.len() as f64).ceil() as usize).clamp(1, s.len());
+        s[rank - 1]
+    }
+
+    #[test]
+    fn mean_matches_exact_aggregate() {
+        let (r, x) = recovered();
+        let exact: f64 = x.iter().sum::<f64>() / x.len() as f64;
+        assert!((recovered_mean(&r) - exact).abs() < 1e-6);
+    }
+
+    #[test]
+    fn quantiles_match_exact_order_statistics() {
+        let (r, x) = recovered();
+        for q in [0.0, 0.01, 0.25, 0.5, 0.75, 0.99, 1.0] {
+            let got = recovered_quantile(&r, q).unwrap();
+            let want = exact_quantile(&x, q);
+            assert!((got - want).abs() < 1e-6, "q = {q}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn median_is_the_mode_on_majority_data() {
+        let (r, _) = recovered();
+        assert!((recovered_median(&r).unwrap() - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn quantile_rejects_out_of_range() {
+        let (r, _) = recovered();
+        assert!(recovered_quantile(&r, -0.1).is_err());
+        assert!(recovered_quantile(&r, 1.1).is_err());
+    }
+
+    #[test]
+    fn histogram_counts_sum_to_n() {
+        let (r, x) = recovered();
+        let h = recovered_histogram(&r, 16).unwrap();
+        let total: usize = h.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, x.len());
+        // The mode bin dominates.
+        let max_count = h.iter().map(|&(_, c)| c).max().unwrap();
+        assert!(max_count >= x.len() - 5);
+    }
+
+    #[test]
+    fn histogram_handles_all_at_mode() {
+        let n = 50;
+        let spec = MeasurementSpec::new(30, n, 3).unwrap();
+        let x = vec![7.0; n];
+        let y = spec.measure_dense(&x).unwrap();
+        let r = bomp(&spec, &y, &BompConfig::default()).unwrap();
+        let h = recovered_histogram(&r, 4).unwrap();
+        assert_eq!(h[0].1, n);
+        assert!(h[1..].iter().all(|&(_, c)| c == 0));
+    }
+
+    #[test]
+    fn histogram_rejects_zero_bins() {
+        let (r, _) = recovered();
+        assert!(recovered_histogram(&r, 0).is_err());
+    }
+}

@@ -1,0 +1,460 @@
+//! Biased Orthogonal Matching Pursuit (BOMP) — the paper's Algorithm 1.
+//!
+//! Standard compressive-sensing recovery assumes the signal is sparse *at
+//! zero*. Production aggregates instead concentrate around an unknown mode
+//! `b` (Figure 1: most keys near 1800, a few far away). BOMP reduces that
+//! case to the sparse one by the decomposition `x = b·1 + z`:
+//!
+//! ```text
+//! y = Φ0·x = Φ0·(b·1 + z) = [ (1/√N)·Σφᵢ , Φ0 ] · [ √N·b , z ]ᵀ = Φ̃ · z̃
+//! ```
+//!
+//! The extended vector `z̃` *is* sparse (one bias coordinate plus the
+//! outlier deviations), so OMP applies. The recovered mode is
+//! `b = z̃₀ / √N` and each recovered signal entry is `x̂ᵢ = z̃ᵢ + b`.
+
+use crate::measurement::MeasurementSpec;
+use crate::omp::{omp, OmpConfig, OmpResult, StopReason};
+use crate::sparse::SparseVector;
+use cso_linalg::{ColMatrix, LinalgError, Vector};
+
+/// Recovered outlier: a key index and its recovered aggregate value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveredOutlier {
+    /// Position in the global key dictionary.
+    pub index: usize,
+    /// Recovered value `x̂ᵢ = zᵢ + b`.
+    pub value: f64,
+    /// Deviation from the recovered mode, `x̂ᵢ − b`.
+    pub deviation: f64,
+}
+
+/// Output of a BOMP run.
+#[derive(Debug, Clone)]
+pub struct BompResult {
+    /// Recovered mode `b = z₀/√N` (0 when the bias column was never
+    /// selected — the sparse-at-zero case).
+    pub mode: f64,
+    /// Whether the bias column entered the support at all.
+    pub bias_selected: bool,
+    /// All recovered outliers (up to `R − 1`), sorted by decreasing
+    /// `|deviation|`, ties broken by index.
+    pub outliers: Vec<RecoveredOutlier>,
+    /// Recovered deviation vector `z` (sparse, dimension `N`).
+    pub deviations: SparseVector,
+    /// Number of OMP iterations executed.
+    pub iterations: usize,
+    /// Why the inner OMP stopped.
+    pub stop: StopReason,
+    /// Mode estimate after each iteration (`z₀/√N`, or 0 before the bias
+    /// column is selected). Empty unless mode tracking was enabled. This is
+    /// the series plotted in the paper's Figures 4(b) and 9.
+    pub mode_trace: Vec<f64>,
+    /// Residual norm after each iteration.
+    pub residual_trace: Vec<f64>,
+}
+
+impl BompResult {
+    /// The `k` outliers furthest from the mode, as the paper's final
+    /// selection step. Fewer are returned when recovery found fewer.
+    pub fn top_k(&self, k: usize) -> &[RecoveredOutlier] {
+        &self.outliers[..k.min(self.outliers.len())]
+    }
+
+    /// Reassembles the recovered dense vector `x̂ = b·1 + z`.
+    pub fn recovered_dense(&self) -> Vector {
+        let mut x = vec![self.mode; self.deviations.dim()];
+        for &(i, z) in self.deviations.entries() {
+            x[i] += z;
+        }
+        Vector::from_vec(x)
+    }
+}
+
+/// Configuration for [`bomp`] / [`bomp_with_matrix`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Default)]
+pub struct BompConfig {
+    /// Inner OMP configuration. `max_iterations` is the paper's `R = f(k)`.
+    pub omp: OmpConfig,
+    /// Record the mode estimate after every iteration (Figures 4(b)/9).
+    pub track_mode: bool,
+}
+
+
+impl BompConfig {
+    /// The paper's iteration heuristic `R = f(k) ∈ [2k, 5k]` (Section 5).
+    /// We default to the midpoint `3k + 1` (the `+ 1` pays for the bias
+    /// column, which occupies one support slot).
+    pub fn for_k_outliers(k: usize) -> Self {
+        BompConfig {
+            omp: OmpConfig::with_max_iterations(3 * k + 1),
+            ..BompConfig::default()
+        }
+    }
+
+    /// Iteration budget `r` with defaults elsewhere.
+    pub fn with_max_iterations(r: usize) -> Self {
+        BompConfig { omp: OmpConfig::with_max_iterations(r), ..BompConfig::default() }
+    }
+}
+
+/// Runs BOMP from a measurement spec, materializing the dictionary.
+///
+/// This is the aggregator-side entry point matching the paper's CS-Reducer:
+/// regenerate `Φ0` from the shared seed, extend it with the bias column,
+/// recover.
+pub fn bomp(spec: &MeasurementSpec, y: &Vector, config: &BompConfig) -> Result<BompResult, LinalgError> {
+    let phi0 = spec.materialize();
+    bomp_with_matrix(&phi0, y, config)
+}
+
+/// Runs BOMP against an already-materialized `Φ0` (`M × N`).
+pub fn bomp_with_matrix(
+    phi0: &ColMatrix,
+    y: &Vector,
+    config: &BompConfig,
+) -> Result<BompResult, LinalgError> {
+    let n = phi0.cols();
+    let m = phi0.rows();
+    if n == 0 || m == 0 {
+        return Err(LinalgError::Empty { op: "bomp" });
+    }
+    if y.len() != m {
+        return Err(LinalgError::DimensionMismatch {
+            op: "bomp",
+            expected: (m, 1),
+            actual: (y.len(), 1),
+        });
+    }
+
+    // Φ̃ = [φ0, Φ0] with φ0 = (1/√N)·Σ φᵢ  (paper equation (3)).
+    let mut extended = ColMatrix::zeros(m, n + 1);
+    let inv_sqrt_n = 1.0 / (n as f64).sqrt();
+    {
+        let sum = phi0.column_sum();
+        let c0 = extended.col_mut(0);
+        for (o, s) in c0.iter_mut().zip(sum.iter()) {
+            *o = s * inv_sqrt_n;
+        }
+    }
+    for j in 0..n {
+        extended.col_mut(j + 1).copy_from_slice(phi0.col(j));
+    }
+
+    let mut omp_cfg = config.omp;
+    if config.track_mode {
+        omp_cfg.track_coefficients = true;
+    }
+    let inner: OmpResult = omp(&extended, y, &omp_cfg)?;
+    assemble(n, inner, config.track_mode)
+}
+
+/// Recovery with a *known* mode — the baseline BOMP is compared against in
+/// Figure 4(a).
+///
+/// When the bias `b` is known in advance, `x = b·1 + z` gives
+/// `y − b·Φ0·1 = Φ0·z` with `z` sparse at zero, so plain OMP applies
+/// directly (no extended column). The paper notes this baseline must spend
+/// an extra `2s + 1` transmitted values to learn `b`, which BOMP avoids.
+pub fn omp_with_known_mode(
+    phi0: &ColMatrix,
+    y: &Vector,
+    mode: f64,
+    config: &BompConfig,
+) -> Result<BompResult, LinalgError> {
+    let n = phi0.cols();
+    let m = phi0.rows();
+    if n == 0 || m == 0 {
+        return Err(LinalgError::Empty { op: "omp_with_known_mode" });
+    }
+    if y.len() != m {
+        return Err(LinalgError::DimensionMismatch {
+            op: "omp_with_known_mode",
+            expected: (m, 1),
+            actual: (y.len(), 1),
+        });
+    }
+    // y' = y − b·Φ0·1.
+    let ones = Vector::filled(n, mode);
+    let bias_part = phi0.matvec(&ones)?;
+    let y_prime = y.sub(&bias_part)?;
+
+    let mut omp_cfg = config.omp;
+    omp_cfg.track_coefficients = false;
+    let inner = omp(phi0, &y_prime, &omp_cfg)?;
+
+    let deviations = inner.to_sparse(n)?;
+    let mut outliers: Vec<RecoveredOutlier> = deviations
+        .entries()
+        .iter()
+        .map(|&(i, z)| RecoveredOutlier { index: i, value: z + mode, deviation: z })
+        .collect();
+    outliers.sort_by(|a, b| {
+        b.deviation
+            .abs()
+            .partial_cmp(&a.deviation.abs())
+            .expect("finite deviations")
+            .then(a.index.cmp(&b.index))
+    });
+    let residual_trace = inner.trace.iter().map(|t| t.residual_norm).collect();
+    Ok(BompResult {
+        mode,
+        bias_selected: false,
+        outliers,
+        deviations,
+        iterations: inner.trace.len(),
+        stop: inner.stop,
+        mode_trace: Vec::new(),
+        residual_trace,
+    })
+}
+
+/// Converts the extended-dictionary OMP result back into signal space
+/// (paper equation (4)).
+fn assemble(n: usize, inner: OmpResult, track_mode: bool) -> Result<BompResult, LinalgError> {
+    let inv_sqrt_n = 1.0 / (n as f64).sqrt();
+
+    let mut mode = 0.0;
+    let mut bias_selected = false;
+    let mut deviation_entries: Vec<(usize, f64)> = Vec::with_capacity(inner.support.len());
+    for (&col, &coef) in inner.support.iter().zip(inner.coefficients.iter()) {
+        if col == 0 {
+            bias_selected = true;
+            mode = coef * inv_sqrt_n; // b = z₀/√N
+        } else {
+            deviation_entries.push((col - 1, coef));
+        }
+    }
+    let deviations = SparseVector::new(n, deviation_entries)?;
+
+    let mut outliers: Vec<RecoveredOutlier> = deviations
+        .entries()
+        .iter()
+        .map(|&(i, z)| RecoveredOutlier { index: i, value: z + mode, deviation: z })
+        .collect();
+    outliers.sort_by(|a, b| {
+        b.deviation
+            .abs()
+            .partial_cmp(&a.deviation.abs())
+            .expect("finite deviations")
+            .then(a.index.cmp(&b.index))
+    });
+
+    let mode_trace = if track_mode {
+        inner
+            .trace
+            .iter()
+            .map(|rec| {
+                let coeffs = rec.coefficients.as_ref().expect("tracked");
+                // Position of the bias column within the support-so-far.
+                inner.support[..coeffs.len()]
+                    .iter()
+                    .position(|&c| c == 0)
+                    .map(|p| coeffs[p] * inv_sqrt_n)
+                    .unwrap_or(0.0)
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let residual_trace = inner.trace.iter().map(|t| t.residual_norm).collect();
+
+    Ok(BompResult {
+        mode,
+        bias_selected,
+        outliers,
+        deviations,
+        iterations: inner.trace.len(),
+        stop: inner.stop,
+        mode_trace,
+        residual_trace,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Majority-dominated instance: all keys at `b` except the given ones.
+    fn biased_instance(
+        m: usize,
+        n: usize,
+        b: f64,
+        outliers: &[(usize, f64)],
+        seed: u64,
+    ) -> (MeasurementSpec, Vector, Vec<f64>) {
+        let spec = MeasurementSpec::new(m, n, seed).unwrap();
+        let mut x = vec![b; n];
+        for &(i, v) in outliers {
+            x[i] = v;
+        }
+        let y = spec.measure_dense(&x).unwrap();
+        (spec, y, x)
+    }
+
+    #[test]
+    fn recovers_mode_and_outliers_exactly() {
+        let (spec, y, _x) = biased_instance(
+            60,
+            200,
+            5000.0,
+            &[(10, 9000.0), (50, 100.0), (120, 7000.0)],
+            2024,
+        );
+        let r = bomp(&spec, &y, &BompConfig::default()).unwrap();
+        assert!(r.bias_selected);
+        assert!((r.mode - 5000.0).abs() < 1e-6, "mode = {}", r.mode);
+        let top = r.top_k(3);
+        let mut idx: Vec<usize> = top.iter().map(|o| o.index).collect();
+        idx.sort_unstable();
+        assert_eq!(idx, vec![10, 50, 120]);
+        for o in top {
+            let expect = match o.index {
+                10 => 9000.0,
+                50 => 100.0,
+                120 => 7000.0,
+                _ => unreachable!(),
+            };
+            assert!((o.value - expect).abs() < 1e-5, "value {} for key {}", o.value, o.index);
+        }
+    }
+
+    #[test]
+    fn outliers_sorted_by_absolute_deviation() {
+        let (spec, y, _) = biased_instance(
+            60,
+            150,
+            1000.0,
+            &[(5, 1100.0), (9, 5000.0), (80, -2000.0)],
+            7,
+        );
+        let r = bomp(&spec, &y, &BompConfig::default()).unwrap();
+        // |dev|: key 9 → 4000, key 80 → 3000, key 5 → 100.
+        let order: Vec<usize> = r.outliers.iter().map(|o| o.index).collect();
+        assert_eq!(order, vec![9, 80, 5]);
+        // top_k truncates.
+        assert_eq!(r.top_k(2).len(), 2);
+        assert_eq!(r.top_k(10).len(), 3);
+    }
+
+    #[test]
+    fn zero_mode_data_behaves_like_plain_omp() {
+        // Sparse-at-zero data: BOMP should still recover, with mode ≈ 0.
+        let (spec, y, _) = biased_instance(50, 120, 0.0, &[(3, 42.0), (100, -17.0)], 99);
+        let r = bomp(&spec, &y, &BompConfig::default()).unwrap();
+        assert!(r.mode.abs() < 1e-6, "mode = {}", r.mode);
+        let mut idx: Vec<usize> = r.outliers.iter().map(|o| o.index).collect();
+        idx.sort_unstable();
+        // The bias column may or may not enter; the true outliers must.
+        assert!(idx.contains(&3) && idx.contains(&100));
+    }
+
+    #[test]
+    fn recovered_dense_matches_ground_truth() {
+        let (spec, y, x) = biased_instance(80, 100, 1800.0, &[(4, 0.0), (90, 3600.0)], 5);
+        let r = bomp(&spec, &y, &BompConfig::default()).unwrap();
+        let rec = r.recovered_dense();
+        for (i, (&xi, &ri)) in x.iter().zip(rec.iter()).enumerate() {
+            assert!((xi - ri).abs() < 1e-5, "key {i}: {xi} vs {ri}");
+        }
+    }
+
+    #[test]
+    fn mode_trace_stabilizes_after_support_found() {
+        let (spec, y, _) = biased_instance(
+            80,
+            200,
+            5000.0,
+            &[(1, 0.0), (2, 10000.0), (3, -3000.0), (4, 20000.0)],
+            31,
+        );
+        let cfg = BompConfig { track_mode: true, ..BompConfig::default() };
+        let r = bomp(&spec, &y, &cfg).unwrap();
+        assert_eq!(r.mode_trace.len(), r.iterations);
+        let last = *r.mode_trace.last().unwrap();
+        assert!((last - 5000.0).abs() < 1e-5);
+        assert!((last - r.mode).abs() < 1e-9, "trace end must equal final mode");
+    }
+
+    #[test]
+    fn iteration_budget_limits_outliers() {
+        let outliers: Vec<(usize, f64)> = (0..20).map(|i| (i * 7, 9000.0 + i as f64)).collect();
+        let (spec, y, _) = biased_instance(100, 300, 100.0, &outliers, 13);
+        let r = bomp(&spec, &y, &BompConfig::with_max_iterations(5)).unwrap();
+        assert!(r.iterations <= 5);
+        assert!(r.outliers.len() <= 5, "at most R−1 outliers plus bias");
+    }
+
+    #[test]
+    fn for_k_outliers_budget_in_paper_range() {
+        for k in [5usize, 10, 20] {
+            let cfg = BompConfig::for_k_outliers(k);
+            let r = cfg.omp.max_iterations;
+            assert!(r >= 2 * k && r <= 5 * k, "R = {r} for k = {k}");
+        }
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let spec = MeasurementSpec::new(10, 20, 1).unwrap();
+        let y = Vector::zeros(11);
+        assert!(bomp(&spec, &y, &BompConfig::default()).is_err());
+    }
+
+    #[test]
+    fn known_mode_omp_matches_bomp_on_exact_instances() {
+        let (spec, y, _) = biased_instance(
+            60,
+            200,
+            5000.0,
+            &[(10, 9000.0), (50, 100.0), (120, 7000.0)],
+            2024,
+        );
+        let phi0 = spec.materialize();
+        let r = omp_with_known_mode(&phi0, &y, 5000.0, &BompConfig::default()).unwrap();
+        assert_eq!(r.mode, 5000.0);
+        assert!(!r.bias_selected);
+        let mut idx: Vec<usize> = r.outliers.iter().map(|o| o.index).collect();
+        idx.sort_unstable();
+        assert_eq!(idx, vec![10, 50, 120]);
+        for o in &r.outliers {
+            let expect = match o.index {
+                10 => 9000.0,
+                50 => 100.0,
+                120 => 7000.0,
+                _ => unreachable!(),
+            };
+            assert!((o.value - expect).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn known_mode_omp_with_wrong_mode_degrades() {
+        // Feeding a wrong bias makes the implied z dense, so exact recovery
+        // at this M must fail — quantifying the value of knowing b.
+        let (spec, y, _) = biased_instance(40, 200, 5000.0, &[(10, 9000.0)], 9);
+        let phi0 = spec.materialize();
+        let r = omp_with_known_mode(&phi0, &y, 0.0, &BompConfig::default()).unwrap();
+        assert!(r.residual_trace.last().copied().unwrap_or(f64::INFINITY) > 1.0
+            || r.outliers.len() > 5);
+    }
+
+    #[test]
+    fn known_mode_omp_checks_dimensions() {
+        let spec = MeasurementSpec::new(10, 20, 1).unwrap();
+        let phi0 = spec.materialize();
+        assert!(omp_with_known_mode(&phi0, &Vector::zeros(9), 0.0, &BompConfig::default())
+            .is_err());
+    }
+
+    #[test]
+    fn negative_values_handled() {
+        // Outlier values may be negative (the paper stresses x ∈ R^N).
+        let (spec, y, _) = biased_instance(60, 120, -500.0, &[(7, -9000.0), (8, 400.0)], 55);
+        let r = bomp(&spec, &y, &BompConfig::default()).unwrap();
+        assert!((r.mode + 500.0).abs() < 1e-6);
+        let top: Vec<usize> = r.top_k(2).iter().map(|o| o.index).collect();
+        assert!(top.contains(&7) && top.contains(&8));
+    }
+}

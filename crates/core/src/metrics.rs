@@ -1,0 +1,155 @@
+//! Recovery-quality metrics from Section 6.1 of the paper.
+//!
+//! Given the true k-outliers `O_T` and an estimate `O_E` (both sets of
+//! key/value pairs with `|O_T| = |O_E| = k`):
+//!
+//! - **Error on Key** `EK = 1 − |O_T.Key ∩ O_E.Key| / K` — one minus the
+//!   precision of the estimated key set.
+//! - **Error on Value** `EV = ‖O_T.Value − O_E.Value‖₂ / ‖O_T.Value‖₂`
+//!   where both value lists are ordered by value — the relative L2 error on
+//!   the ordered value multiset.
+
+use crate::outlier::KeyValue;
+use cso_linalg::LinalgError;
+use std::collections::HashSet;
+
+/// Error on Key, `EK ∈ [0, 1]`.
+///
+/// Normalizes by `truth.len()` (the paper's `K`). Errors on an empty truth
+/// set. The estimate may be shorter than the truth (a protocol that
+/// recovered fewer than `k` outliers is simply penalized).
+pub fn error_on_key(truth: &[KeyValue], estimate: &[KeyValue]) -> Result<f64, LinalgError> {
+    if truth.is_empty() {
+        return Err(LinalgError::Empty { op: "error_on_key" });
+    }
+    let t: HashSet<usize> = truth.iter().map(|o| o.index).collect();
+    let hits = estimate.iter().filter(|o| t.contains(&o.index)).count();
+    Ok(1.0 - hits as f64 / truth.len() as f64)
+}
+
+/// Error on Value, `EV ≥ 0` (values beyond 1 are possible for wildly wrong
+/// estimates — the paper's Figure 8 K+δ curves exceed 200%).
+///
+/// Both lists are sorted by value before comparison, as in the paper. A
+/// short estimate is padded with zeros (missing outliers contribute their
+/// full value as error). Errors when the truth has zero norm or is empty.
+pub fn error_on_value(truth: &[KeyValue], estimate: &[KeyValue]) -> Result<f64, LinalgError> {
+    if truth.is_empty() {
+        return Err(LinalgError::Empty { op: "error_on_value" });
+    }
+    let mut tv: Vec<f64> = truth.iter().map(|o| o.value).collect();
+    let mut ev: Vec<f64> = estimate.iter().map(|o| o.value).collect();
+    ev.resize(tv.len(), 0.0);
+    ev.truncate(tv.len());
+    tv.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    ev.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let denom: f64 = tv.iter().map(|v| v * v).sum::<f64>().sqrt();
+    if denom == 0.0 {
+        return Err(LinalgError::InvalidParameter {
+            name: "truth",
+            message: "true outlier values have zero norm",
+        });
+    }
+    let num: f64 = tv
+        .iter()
+        .zip(&ev)
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum::<f64>()
+        .sqrt();
+    Ok(num / denom)
+}
+
+/// Convenience: both metrics at once.
+pub fn outlier_errors(
+    truth: &[KeyValue],
+    estimate: &[KeyValue],
+) -> Result<(f64, f64), LinalgError> {
+    Ok((error_on_key(truth, estimate)?, error_on_value(truth, estimate)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kv(pairs: &[(usize, f64)]) -> Vec<KeyValue> {
+        pairs.iter().map(|&(index, value)| KeyValue { index, value }).collect()
+    }
+
+    #[test]
+    fn perfect_estimate_has_zero_errors() {
+        let t = kv(&[(1, 10.0), (2, -5.0), (3, 100.0)]);
+        let (ek, ev) = outlier_errors(&t, &t).unwrap();
+        assert_eq!(ek, 0.0);
+        assert_eq!(ev, 0.0);
+    }
+
+    #[test]
+    fn ek_counts_missing_keys() {
+        let t = kv(&[(1, 10.0), (2, 20.0), (3, 30.0), (4, 40.0)]);
+        let e = kv(&[(1, 10.0), (2, 20.0), (9, 30.0), (8, 40.0)]);
+        assert!((error_on_key(&t, &e).unwrap() - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn ek_ignores_value_differences() {
+        let t = kv(&[(1, 10.0), (2, 20.0)]);
+        let e = kv(&[(1, 999.0), (2, -999.0)]);
+        assert_eq!(error_on_key(&t, &e).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn ek_is_one_for_disjoint_sets() {
+        let t = kv(&[(1, 1.0)]);
+        let e = kv(&[(2, 1.0)]);
+        assert_eq!(error_on_key(&t, &e).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn ev_compares_sorted_values_not_keys() {
+        // Same multiset of values under different keys → EV = 0 (the metric
+        // orders by value, per the paper).
+        let t = kv(&[(1, 10.0), (2, 20.0)]);
+        let e = kv(&[(7, 20.0), (9, 10.0)]);
+        assert_eq!(error_on_value(&t, &e).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn ev_relative_error_hand_computed() {
+        let t = kv(&[(1, 3.0), (2, 4.0)]);
+        let e = kv(&[(1, 3.0), (2, 0.0)]);
+        // sorted truth [3,4], sorted estimate [0,3]:
+        // diff = [3, 1] → √10 / 5
+        let ev = error_on_value(&t, &e).unwrap();
+        assert!((ev - (10.0f64).sqrt() / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ev_pads_short_estimates_with_zeros() {
+        let t = kv(&[(1, 3.0), (2, 4.0)]);
+        let e = kv(&[(1, 3.0)]);
+        // estimate treated as [3, 0] → sorted [0, 3] vs [3, 4]:
+        let ev = error_on_value(&t, &e).unwrap();
+        assert!((ev - (9.0f64 + 1.0).sqrt() / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ev_truncates_long_estimates() {
+        let t = kv(&[(1, 5.0)]);
+        let e = kv(&[(1, 5.0), (2, 99.0)]);
+        // Only the first |truth| values after sorting participate.
+        let ev = error_on_value(&t, &e).unwrap();
+        assert!(ev.is_finite());
+    }
+
+    #[test]
+    fn empty_truth_is_an_error() {
+        assert!(error_on_key(&[], &[]).is_err());
+        assert!(error_on_value(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn zero_norm_truth_is_an_error() {
+        let t = kv(&[(1, 0.0)]);
+        assert!(error_on_value(&t, &t).is_err());
+    }
+}

@@ -1,0 +1,392 @@
+//! Orthogonal Matching Pursuit.
+//!
+//! The greedy recovery algorithm of Pati et al. / Tropp & Gilbert that the
+//! paper uses as its subroutine (Algorithm 2). Each iteration:
+//!
+//! 1. scans the dictionary for the column with the largest `|⟨φ, r⟩|`,
+//! 2. appends that column to the active set,
+//! 3. re-projects `y` onto the active span (via incremental QR — the
+//!    "QR factorization with Gram–Schmidt process" of Section 5),
+//! 4. updates the residual `r = y − proj(y, Φ*)`.
+//!
+//! Termination mirrors the paper's production concerns:
+//! - an iteration budget `R` (Section 5 tunes `R = f(k) ∈ [2k, 5k]`),
+//! - a residual tolerance (exact recovery reached),
+//! - the **residual-stall guard**: "terminate the recovery process once the
+//!   residual stops decreasing", the paper's fix for floating-point error
+//!   accumulation in Gram–Schmidt QR.
+
+use crate::sparse::SparseVector;
+use cso_linalg::{ColMatrix, IncrementalQr, LinalgError, Vector};
+
+/// Why an OMP run stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The iteration budget `R` was exhausted.
+    MaxIterations,
+    /// The residual norm fell below the tolerance — recovery is exact to
+    /// working precision.
+    ResidualTolerance,
+    /// The residual stopped decreasing (floating-point stall guard from
+    /// Section 5 of the paper).
+    ResidualStall,
+    /// The best remaining column was numerically inside the active span, so
+    /// no further progress is possible.
+    RankExhausted,
+    /// Every dictionary column has already been selected.
+    DictionaryExhausted,
+}
+
+/// Tuning knobs for [`omp`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OmpConfig {
+    /// Iteration budget `R` (the paper's `f(k)`).
+    pub max_iterations: usize,
+    /// Stop when `‖r‖₂ ≤ residual_tolerance · ‖y‖₂`.
+    pub residual_tolerance: f64,
+    /// Enable the residual-stall termination guard.
+    pub stall_guard: bool,
+    /// Minimum relative residual decrease per iteration before the stall
+    /// guard fires (only meaningful when `stall_guard` is set).
+    pub min_relative_decrease: f64,
+    /// Record the full least-squares coefficient vector after every
+    /// iteration (needed for the paper's mode-vs-iteration traces,
+    /// Figures 4(b) and 9; costs one `O(k²)` solve per iteration).
+    pub track_coefficients: bool,
+}
+
+impl Default for OmpConfig {
+    fn default() -> Self {
+        OmpConfig {
+            max_iterations: usize::MAX,
+            residual_tolerance: 1e-9,
+            stall_guard: true,
+            min_relative_decrease: 1e-12,
+            track_coefficients: false,
+        }
+    }
+}
+
+impl OmpConfig {
+    /// Config with an explicit iteration budget and defaults elsewhere.
+    pub fn with_max_iterations(r: usize) -> Self {
+        OmpConfig { max_iterations: r, ..OmpConfig::default() }
+    }
+}
+
+/// Per-iteration record of an OMP run.
+#[derive(Debug, Clone)]
+pub struct IterationRecord {
+    /// Dictionary column selected this iteration.
+    pub selected: usize,
+    /// Residual norm *after* re-projection.
+    pub residual_norm: f64,
+    /// Least-squares coefficients over the support selected so far, in
+    /// selection order. Populated only when
+    /// [`OmpConfig::track_coefficients`] is set.
+    pub coefficients: Option<Vec<f64>>,
+}
+
+/// Output of an OMP run.
+#[derive(Debug, Clone)]
+pub struct OmpResult {
+    /// Selected column indices, in selection order.
+    pub support: Vec<usize>,
+    /// Final least-squares coefficients, aligned with `support`.
+    pub coefficients: Vec<f64>,
+    /// Final residual norm.
+    pub residual_norm: f64,
+    /// Why the run stopped.
+    pub stop: StopReason,
+    /// Per-iteration trace.
+    pub trace: Vec<IterationRecord>,
+}
+
+impl OmpResult {
+    /// Assembles the recovered signal as a sparse `dim`-dimensional vector.
+    pub fn to_sparse(&self, dim: usize) -> Result<SparseVector, LinalgError> {
+        SparseVector::new(
+            dim,
+            self.support.iter().copied().zip(self.coefficients.iter().copied()).collect(),
+        )
+    }
+
+    /// Number of iterations executed.
+    pub fn iterations(&self) -> usize {
+        self.trace.len()
+    }
+}
+
+/// Runs OMP against a materialized dictionary.
+///
+/// `dictionary` is `M × D` (for BOMP, `D = N + 1` with the bias column
+/// first); `y` has length `M`. Errors on a dimension mismatch or an empty
+/// measurement.
+pub fn omp(dictionary: &ColMatrix, y: &Vector, config: &OmpConfig) -> Result<OmpResult, LinalgError> {
+    if y.len() != dictionary.rows() {
+        return Err(LinalgError::DimensionMismatch {
+            op: "omp",
+            expected: (dictionary.rows(), 1),
+            actual: (y.len(), 1),
+        });
+    }
+    if dictionary.rows() == 0 || dictionary.cols() == 0 {
+        return Err(LinalgError::Empty { op: "omp" });
+    }
+
+    let y_norm = y.norm2();
+    let abs_tol = config.residual_tolerance * y_norm;
+    let d = dictionary.cols();
+
+    let mut qr = IncrementalQr::new(dictionary.rows());
+    let mut selected = vec![false; d];
+    let mut support: Vec<usize> = Vec::new();
+    let mut trace: Vec<IterationRecord> = Vec::new();
+    let mut residual = y.clone();
+    let mut prev_norm = y_norm;
+
+    let stop = loop {
+        if support.len() >= config.max_iterations {
+            break StopReason::MaxIterations;
+        }
+        if residual.norm2() <= abs_tol {
+            break StopReason::ResidualTolerance;
+        }
+        if support.len() == d {
+            break StopReason::DictionaryExhausted;
+        }
+        // Column selection: argmax |⟨φ_j, r⟩| over unselected columns.
+        // Ties break to the lowest index for determinism.
+        let best = select_column(dictionary, &residual, &selected);
+        let (j, _) = best.expect("unselected column exists");
+        match qr.push_column(dictionary.col(j)) {
+            Ok(()) => {}
+            Err(LinalgError::RankDeficient { .. }) => break StopReason::RankExhausted,
+            Err(e) => return Err(e),
+        }
+        selected[j] = true;
+        support.push(j);
+        residual = qr.residual(y.as_slice())?;
+        let norm = residual.norm2();
+        let coefficients = if config.track_coefficients {
+            Some(qr.solve_least_squares(y.as_slice())?.into_vec())
+        } else {
+            None
+        };
+        trace.push(IterationRecord { selected: j, residual_norm: norm, coefficients });
+        if config.stall_guard && norm >= prev_norm * (1.0 - config.min_relative_decrease) {
+            break StopReason::ResidualStall;
+        }
+        prev_norm = norm;
+    };
+
+    let coefficients = if support.is_empty() {
+        Vec::new()
+    } else {
+        qr.solve_least_squares(y.as_slice())?.into_vec()
+    };
+    let residual_norm = residual.norm2();
+    Ok(OmpResult { support, coefficients, residual_norm, stop, trace })
+}
+
+/// Finds the unselected column with the largest `|⟨φ_j, r⟩|`, ties to the
+/// lowest index. The scan dominates OMP's runtime (`O(M·D)` per iteration),
+/// so large dictionaries are scanned across threads; chunk-local winners
+/// are reduced with the same ordering, keeping the result deterministic.
+fn select_column(
+    dictionary: &ColMatrix,
+    residual: &Vector,
+    selected: &[bool],
+) -> Option<(usize, f64)> {
+    const PAR_MIN_WORK: usize = 1 << 21;
+    let d = dictionary.cols();
+    let work = d * dictionary.rows();
+    let threads = std::thread::available_parallelism().map_or(1, |t| t.get());
+
+    let scan = |range: std::ops::Range<usize>| -> Option<(usize, f64)> {
+        let mut best: Option<(usize, f64)> = None;
+        for j in range {
+            if selected[j] {
+                continue;
+            }
+            let c = cso_linalg::vector::dot(dictionary.col(j), residual.as_slice()).abs();
+            match best {
+                Some((_, b)) if b >= c => {}
+                _ => best = Some((j, c)),
+            }
+        }
+        best
+    };
+
+    if threads == 1 || work < PAR_MIN_WORK {
+        return scan(0..d);
+    }
+    let chunk = d.div_ceil(threads);
+    let mut partials: Vec<Option<(usize, f64)>> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..d)
+            .step_by(chunk)
+            .map(|start| {
+                let range = start..(start + chunk).min(d);
+                scope.spawn(move || scan(range))
+            })
+            .collect();
+        for h in handles {
+            partials.push(h.join().expect("scan thread panicked"));
+        }
+    });
+    // Chunks are in ascending index order, so `>` (strictly better) keeps
+    // the lowest index on ties — identical to the serial scan.
+    partials.into_iter().flatten().fold(None, |acc, (j, c)| match acc {
+        Some((_, b)) if b >= c => acc,
+        _ => Some((j, c)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measurement::MeasurementSpec;
+
+    /// Builds a random Gaussian dictionary and a sparse ground truth.
+    fn sparse_instance(
+        m: usize,
+        n: usize,
+        support: &[(usize, f64)],
+        seed: u64,
+    ) -> (ColMatrix, Vector, SparseVector) {
+        let spec = MeasurementSpec::new(m, n, seed).unwrap();
+        let phi = spec.materialize();
+        let truth = SparseVector::new(n, support.to_vec()).unwrap();
+        let y = phi.matvec(&truth.to_dense()).unwrap();
+        (phi, y, truth)
+    }
+
+    #[test]
+    fn recovers_exactly_sparse_signal() {
+        let (phi, y, truth) =
+            sparse_instance(40, 100, &[(3, 5.0), (42, -2.0), (77, 9.0)], 7);
+        let r = omp(&phi, &y, &OmpConfig::default()).unwrap();
+        assert_eq!(r.stop, StopReason::ResidualTolerance);
+        let rec = r.to_sparse(100).unwrap();
+        assert!(rec.l2_distance(&truth).unwrap() < 1e-8, "d = {}", rec.l2_distance(&truth).unwrap());
+        let mut sup = r.support.clone();
+        sup.sort_unstable();
+        assert_eq!(sup, vec![3, 42, 77]);
+    }
+
+    #[test]
+    fn selects_largest_component_first() {
+        let (phi, y, _) = sparse_instance(50, 80, &[(10, 1.0), (20, 100.0)], 3);
+        let r = omp(&phi, &y, &OmpConfig::default()).unwrap();
+        assert_eq!(r.support[0], 20, "dominant component should be picked first");
+    }
+
+    #[test]
+    fn respects_iteration_budget() {
+        let (phi, y, _) =
+            sparse_instance(40, 100, &[(1, 3.0), (2, 3.0), (3, 3.0), (4, 3.0)], 11);
+        let r = omp(&phi, &y, &OmpConfig::with_max_iterations(2)).unwrap();
+        assert_eq!(r.stop, StopReason::MaxIterations);
+        assert_eq!(r.iterations(), 2);
+        assert_eq!(r.support.len(), 2);
+    }
+
+    #[test]
+    fn zero_measurement_stops_immediately() {
+        let spec = MeasurementSpec::new(10, 20, 5).unwrap();
+        let phi = spec.materialize();
+        let r = omp(&phi, &Vector::zeros(10), &OmpConfig::default()).unwrap();
+        assert_eq!(r.stop, StopReason::ResidualTolerance);
+        assert!(r.support.is_empty());
+        assert!(r.coefficients.is_empty());
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let phi = ColMatrix::zeros(4, 6);
+        assert!(omp(&phi, &Vector::zeros(5), &OmpConfig::default()).is_err());
+    }
+
+    #[test]
+    fn residual_norms_are_monotone_while_running() {
+        let (phi, y, _) = sparse_instance(30, 60, &[(5, 4.0), (6, -3.0), (30, 2.0)], 17);
+        let r = omp(&phi, &y, &OmpConfig::default()).unwrap();
+        for w in r.trace.windows(2) {
+            assert!(
+                w[1].residual_norm <= w[0].residual_norm + 1e-12,
+                "residual must not increase before the stall guard fires"
+            );
+        }
+    }
+
+    #[test]
+    fn trace_records_coefficients_when_asked() {
+        let (phi, y, _) = sparse_instance(30, 60, &[(5, 4.0), (30, 2.0)], 19);
+        let cfg = OmpConfig { track_coefficients: true, ..OmpConfig::default() };
+        let r = omp(&phi, &y, &cfg).unwrap();
+        for (k, rec) in r.trace.iter().enumerate() {
+            let c = rec.coefficients.as_ref().expect("coefficients tracked");
+            assert_eq!(c.len(), k + 1);
+        }
+        // Untracked by default.
+        let r2 = omp(&phi, &y, &OmpConfig::default()).unwrap();
+        assert!(r2.trace.iter().all(|t| t.coefficients.is_none()));
+    }
+
+    #[test]
+    fn stall_guard_fires_on_unreachable_tolerance() {
+        // Noisy measurement that no sparse combination fits exactly: once the
+        // support no longer improves the fit, the guard must stop the run
+        // instead of exhausting the dictionary.
+        let spec = MeasurementSpec::new(12, 30, 23).unwrap();
+        let phi = spec.materialize();
+        let mut y = phi.matvec(&SparseVector::new(30, vec![(4, 5.0)]).unwrap().to_dense()).unwrap();
+        // Perturb with a fixed non-representable component.
+        for i in 0..y.len() {
+            y[i] += ((i * 7919 % 13) as f64 - 6.0) * 1e-3;
+        }
+        let cfg = OmpConfig { residual_tolerance: 0.0, ..OmpConfig::default() };
+        let r = omp(&phi, &y, &cfg).unwrap();
+        // With M=12 rows the residual hits ~0 after 12 independent columns;
+        // the stall guard (or rank exhaustion) must stop before scanning all 30.
+        assert!(r.support.len() <= 13, "stopped after {} columns", r.support.len());
+        assert!(
+            matches!(r.stop, StopReason::ResidualStall | StopReason::RankExhausted | StopReason::ResidualTolerance),
+            "stop = {:?}",
+            r.stop
+        );
+    }
+
+    #[test]
+    fn dictionary_exhausted_when_budget_allows() {
+        // Two axis columns in R³ and a target with mass on the third axis:
+        // the dictionary runs out before the residual can reach zero.
+        let phi = ColMatrix::from_columns(&[
+            Vector::from_vec(vec![1.0, 0.0, 0.0]),
+            Vector::from_vec(vec![0.0, 1.0, 0.0]),
+        ])
+        .unwrap();
+        let y = Vector::from_vec(vec![1.0, 2.0, 3.0]);
+        let cfg = OmpConfig {
+            residual_tolerance: 0.0,
+            stall_guard: false,
+            ..OmpConfig::default()
+        };
+        let r = omp(&phi, &y, &cfg).unwrap();
+        assert_eq!(r.stop, StopReason::DictionaryExhausted);
+        assert_eq!(r.support.len(), 2);
+        assert!((r.residual_norm - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identity_dictionary_reads_off_entries() {
+        let phi = ColMatrix::identity(4);
+        let y = Vector::from_vec(vec![0.0, 7.0, 0.0, -2.0]);
+        let r = omp(&phi, &y, &OmpConfig::default()).unwrap();
+        let rec = r.to_sparse(4).unwrap();
+        assert_eq!(rec.get(1), 7.0);
+        assert_eq!(rec.get(3), -2.0);
+        assert_eq!(rec.nnz(), 2);
+    }
+}

@@ -1,0 +1,228 @@
+//! Exact (ground-truth) outlier semantics.
+//!
+//! The paper is careful to distinguish three different "top" notions on the
+//! same data (Figure 1(b)): the top-k *values*, the top-k *absolute* values,
+//! and the k-*outliers* — the keys furthest from the mode `b`. These exact
+//! definitions are what the distributed protocols are measured against.
+
+use cso_linalg::stats;
+use cso_linalg::LinalgError;
+
+/// A key index paired with its aggregated value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KeyValue {
+    /// Position in the global key dictionary.
+    pub index: usize,
+    /// Aggregated value.
+    pub value: f64,
+}
+
+/// Exact mode of a majority-dominated vector: the single value held by more
+/// than half the entries, when one exists (paper Definition 2 requires
+/// `|{i : xᵢ = b}| > N/2`; note the paper's `O` is written with the
+/// complement convention — we use the plain majority reading).
+pub fn exact_majority_mode(x: &[f64]) -> Option<f64> {
+    if x.is_empty() {
+        return None;
+    }
+    // Boyer–Moore majority vote, then verification.
+    let mut candidate = x[0];
+    let mut count = 0usize;
+    for &v in x {
+        if count == 0 {
+            candidate = v;
+            count = 1;
+        } else if v == candidate {
+            count += 1;
+        } else {
+            count -= 1;
+        }
+    }
+    let occurrences = x.iter().filter(|&&v| v == candidate).count();
+    (occurrences * 2 > x.len()).then_some(candidate)
+}
+
+/// Estimated mode for "sparse-like" data that concentrates *around* (not
+/// exactly at) a value: histogram mode with a bin width of `range/256`.
+pub fn estimated_mode(x: &[f64]) -> Result<f64, LinalgError> {
+    if x.is_empty() {
+        return Err(LinalgError::Empty { op: "estimated_mode" });
+    }
+    let min = x.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = x.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let range = max - min;
+    if range == 0.0 {
+        return Ok(min);
+    }
+    stats::histogram_mode(x, range / 256.0)
+}
+
+/// The `k` keys whose values are furthest from `mode`, sorted by decreasing
+/// `|value − mode|` with index tie-breaking — the paper's k-outlier set
+/// `O_k` (Section 2.1).
+pub fn k_outliers(x: &[f64], mode: f64, k: usize) -> Vec<KeyValue> {
+    let mut kv: Vec<KeyValue> = x
+        .iter()
+        .enumerate()
+        .map(|(index, &value)| KeyValue { index, value })
+        .collect();
+    sort_by_deviation(&mut kv, mode);
+    kv.truncate(k);
+    kv
+}
+
+/// As [`k_outliers`], but only counts keys whose value actually differs from
+/// the mode — on strictly majority-dominated data this returns `min(k, |O|)`
+/// elements, exactly matching the paper's definition.
+pub fn k_outliers_strict(x: &[f64], mode: f64, k: usize) -> Vec<KeyValue> {
+    let mut kv: Vec<KeyValue> = x
+        .iter()
+        .enumerate()
+        .filter(|&(_, &v)| v != mode)
+        .map(|(index, &value)| KeyValue { index, value })
+        .collect();
+    sort_by_deviation(&mut kv, mode);
+    kv.truncate(k);
+    kv
+}
+
+/// The `k` largest values (the classic distributed top-k).
+pub fn top_k(x: &[f64], k: usize) -> Vec<KeyValue> {
+    let mut kv: Vec<KeyValue> = x
+        .iter()
+        .enumerate()
+        .map(|(index, &value)| KeyValue { index, value })
+        .collect();
+    kv.sort_by(|a, b| {
+        b.value.partial_cmp(&a.value).expect("finite").then(a.index.cmp(&b.index))
+    });
+    kv.truncate(k);
+    kv
+}
+
+/// The `k` largest absolute values.
+pub fn absolute_top_k(x: &[f64], k: usize) -> Vec<KeyValue> {
+    let mut kv: Vec<KeyValue> = x
+        .iter()
+        .enumerate()
+        .map(|(index, &value)| KeyValue { index, value })
+        .collect();
+    kv.sort_by(|a, b| {
+        b.value
+            .abs()
+            .partial_cmp(&a.value.abs())
+            .expect("finite")
+            .then(a.index.cmp(&b.index))
+    });
+    kv.truncate(k);
+    kv
+}
+
+fn sort_by_deviation(kv: &mut [KeyValue], mode: f64) {
+    kv.sort_by(|a, b| {
+        (b.value - mode)
+            .abs()
+            .partial_cmp(&(a.value - mode).abs())
+            .expect("finite")
+            .then(a.index.cmp(&b.index))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn majority_mode_found_when_dominant() {
+        let mut x = vec![7.0; 10];
+        x.extend([1.0, 2.0, 3.0]);
+        assert_eq!(exact_majority_mode(&x), Some(7.0));
+    }
+
+    #[test]
+    fn majority_mode_absent_when_no_majority() {
+        assert_eq!(exact_majority_mode(&[1.0, 2.0, 3.0, 1.0]), None);
+        assert_eq!(exact_majority_mode(&[]), None);
+        // Exactly half is not a majority.
+        assert_eq!(exact_majority_mode(&[5.0, 5.0, 1.0, 2.0]), None);
+    }
+
+    #[test]
+    fn estimated_mode_finds_concentration_point() {
+        let mut x: Vec<f64> = (0..100).map(|i| 1800.0 + (i % 5) as f64 * 0.1).collect();
+        x.extend([0.0, 9000.0, -500.0]);
+        let m = estimated_mode(&x).unwrap();
+        assert!((m - 1800.0).abs() < 50.0, "mode = {m}");
+    }
+
+    #[test]
+    fn estimated_mode_constant_vector() {
+        assert_eq!(estimated_mode(&[3.0, 3.0, 3.0]).unwrap(), 3.0);
+        assert!(estimated_mode(&[]).is_err());
+    }
+
+    #[test]
+    fn figure_1b_semantics_differ() {
+        // A vector where top-k, absolute top-k and outlier-k are all
+        // different sets — the paper's Figure 1(b) point.
+        // mode = 1800; values: one huge positive, one large negative,
+        // one near-zero, rest at mode.
+        let mut x = vec![1800.0; 12];
+        x[0] = 2500.0; // top value (but modest deviation)
+        x[1] = -900.0; // most negative: large deviation, large abs
+        x[2] = 10.0; //   near zero: large deviation, small value
+        let k = 3;
+        let top: Vec<usize> = top_k(&x, k).iter().map(|o| o.index).collect();
+        let abs_top: Vec<usize> = absolute_top_k(&x, k).iter().map(|o| o.index).collect();
+        let out: Vec<usize> = k_outliers(&x, 1800.0, k).iter().map(|o| o.index).collect();
+        // Top-k by value: 2500, then the 1800s — never picks -900 or 10.
+        assert_eq!(top[0], 0);
+        assert!(!top.contains(&1) && !top.contains(&2));
+        // Absolute top-k: 2500 and the 1800s beat |−900| and |10|.
+        assert!(abs_top.contains(&0));
+        assert!(!abs_top.contains(&2));
+        // Outliers by |v − 1800|: −900 (2700), 10 (1790), 2500 (700).
+        assert_eq!(out, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn k_outliers_orders_by_deviation_then_index() {
+        let x = [0.0, 10.0, -10.0, 5.0];
+        let out = k_outliers(&x, 0.0, 4);
+        assert_eq!(out[0].index, 1, "equal deviations tie-break by index");
+        assert_eq!(out[1].index, 2);
+        assert_eq!(out[2].index, 3);
+        assert_eq!(out[3].index, 0);
+    }
+
+    #[test]
+    fn k_outliers_strict_excludes_mode_values() {
+        let x = [5.0, 5.0, 9.0, 5.0, 1.0];
+        let out = k_outliers_strict(&x, 5.0, 10);
+        assert_eq!(out.len(), 2);
+        let idx: Vec<usize> = out.iter().map(|o| o.index).collect();
+        assert_eq!(idx, vec![2, 4]);
+    }
+
+    #[test]
+    fn top_k_truncates_and_orders() {
+        let x = [3.0, 1.0, 4.0, 1.0, 5.0];
+        let t = top_k(&x, 2);
+        assert_eq!(t[0].index, 4);
+        assert_eq!(t[1].index, 2);
+    }
+
+    #[test]
+    fn absolute_top_k_uses_magnitude() {
+        let x = [3.0, -10.0, 4.0];
+        let t = absolute_top_k(&x, 1);
+        assert_eq!(t[0].index, 1);
+    }
+
+    #[test]
+    fn k_larger_than_n_returns_all() {
+        let x = [1.0, 2.0];
+        assert_eq!(top_k(&x, 10).len(), 2);
+        assert_eq!(k_outliers(&x, 0.0, 10).len(), 2);
+    }
+}

@@ -1,0 +1,199 @@
+//! Sparse vector representation for recovered signals.
+
+use cso_linalg::{LinalgError, Vector};
+
+/// A sparse `N`-dimensional vector stored as sorted `(index, value)` pairs.
+///
+/// Recovery returns at most `R` non-zeros, so results are exchanged in this
+/// form rather than as dense length-`N` buffers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseVector {
+    dim: usize,
+    /// Entries sorted by index, no duplicates, no explicit zeros.
+    entries: Vec<(usize, f64)>,
+}
+
+impl SparseVector {
+    /// Creates a sparse vector from unsorted entries. Duplicate indices
+    /// accumulate; zeros are dropped. Errors on an index `>= dim`.
+    pub fn new(dim: usize, mut entries: Vec<(usize, f64)>) -> Result<Self, LinalgError> {
+        for &(i, _) in &entries {
+            if i >= dim {
+                return Err(LinalgError::DimensionMismatch {
+                    op: "sparse_vector",
+                    expected: (dim, 1),
+                    actual: (i, 1),
+                });
+            }
+        }
+        entries.sort_by_key(|&(i, _)| i);
+        let mut merged: Vec<(usize, f64)> = Vec::with_capacity(entries.len());
+        for (i, v) in entries {
+            match merged.last_mut() {
+                Some((li, lv)) if *li == i => *lv += v,
+                _ => merged.push((i, v)),
+            }
+        }
+        merged.retain(|&(_, v)| v != 0.0);
+        Ok(SparseVector { dim, entries: merged })
+    }
+
+    /// The all-zero sparse vector of dimension `dim`.
+    pub fn zeros(dim: usize) -> Self {
+        SparseVector { dim, entries: Vec::new() }
+    }
+
+    /// Builds from a dense slice, keeping entries with `|v| > tol`.
+    pub fn from_dense(x: &[f64], tol: f64) -> Self {
+        let entries = x
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.abs() > tol)
+            .map(|(i, &v)| (i, v))
+            .collect();
+        SparseVector { dim: x.len(), entries }
+    }
+
+    /// Ambient dimension `N`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Sorted `(index, value)` pairs.
+    pub fn entries(&self) -> &[(usize, f64)] {
+        &self.entries
+    }
+
+    /// Value at `index` (zero when absent). Panics past the dimension.
+    pub fn get(&self, index: usize) -> f64 {
+        assert!(index < self.dim, "index {index} out of bounds ({})", self.dim);
+        match self.entries.binary_search_by_key(&index, |&(i, _)| i) {
+            Ok(pos) => self.entries[pos].1,
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Expands to a dense [`Vector`].
+    pub fn to_dense(&self) -> Vector {
+        let mut d = vec![0.0; self.dim];
+        for &(i, v) in &self.entries {
+            d[i] = v;
+        }
+        Vector::from_vec(d)
+    }
+
+    /// `‖self − other‖₂` without densifying. Errors on dimension mismatch.
+    pub fn l2_distance(&self, other: &SparseVector) -> Result<f64, LinalgError> {
+        if self.dim != other.dim {
+            return Err(LinalgError::DimensionMismatch {
+                op: "l2_distance",
+                expected: (self.dim, 1),
+                actual: (other.dim, 1),
+            });
+        }
+        let mut sum = 0.0;
+        let (mut a, mut b) = (0usize, 0usize);
+        while a < self.entries.len() || b < other.entries.len() {
+            let d = match (self.entries.get(a), other.entries.get(b)) {
+                (Some(&(ia, va)), Some(&(ib, vb))) => {
+                    use std::cmp::Ordering::*;
+                    match ia.cmp(&ib) {
+                        Less => {
+                            a += 1;
+                            va
+                        }
+                        Greater => {
+                            b += 1;
+                            -vb
+                        }
+                        Equal => {
+                            a += 1;
+                            b += 1;
+                            va - vb
+                        }
+                    }
+                }
+                (Some(&(_, va)), None) => {
+                    a += 1;
+                    va
+                }
+                (None, Some(&(_, vb))) => {
+                    b += 1;
+                    -vb
+                }
+                (None, None) => unreachable!(),
+            };
+            sum += d * d;
+        }
+        Ok(sum.sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_sorts_merges_and_drops_zeros() {
+        let s = SparseVector::new(10, vec![(5, 1.0), (2, 3.0), (5, -1.0), (7, 0.0)]).unwrap();
+        assert_eq!(s.entries(), &[(2, 3.0)]);
+        assert_eq!(s.nnz(), 1);
+    }
+
+    #[test]
+    fn new_rejects_out_of_range() {
+        assert!(SparseVector::new(3, vec![(3, 1.0)]).is_err());
+    }
+
+    #[test]
+    fn get_and_to_dense() {
+        let s = SparseVector::new(4, vec![(1, 2.0), (3, -1.0)]).unwrap();
+        assert_eq!(s.get(0), 0.0);
+        assert_eq!(s.get(1), 2.0);
+        assert_eq!(s.to_dense().as_slice(), &[0.0, 2.0, 0.0, -1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_past_dim_panics() {
+        SparseVector::zeros(2).get(2);
+    }
+
+    #[test]
+    fn from_dense_respects_tolerance() {
+        let s = SparseVector::from_dense(&[0.0, 1e-12, 0.5], 1e-9);
+        assert_eq!(s.entries(), &[(2, 0.5)]);
+        assert_eq!(s.dim(), 3);
+    }
+
+    #[test]
+    fn l2_distance_matches_dense_computation() {
+        let a = SparseVector::new(6, vec![(0, 1.0), (3, 2.0)]).unwrap();
+        let b = SparseVector::new(6, vec![(3, 2.0), (5, -4.0)]).unwrap();
+        let dense = a.to_dense().sub(&b.to_dense()).unwrap().norm2();
+        assert!((a.l2_distance(&b).unwrap() - dense).abs() < 1e-14);
+        // Symmetry and self-distance.
+        assert_eq!(a.l2_distance(&b).unwrap(), b.l2_distance(&a).unwrap());
+        assert_eq!(a.l2_distance(&a).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn l2_distance_checks_dims() {
+        let a = SparseVector::zeros(3);
+        let b = SparseVector::zeros(4);
+        assert!(a.l2_distance(&b).is_err());
+    }
+
+    #[test]
+    fn zeros_has_no_entries() {
+        let z = SparseVector::zeros(5);
+        assert_eq!(z.nnz(), 0);
+        assert_eq!(z.dim(), 5);
+        assert_eq!(z.to_dense().as_slice(), &[0.0; 5]);
+    }
+}

@@ -1,0 +1,249 @@
+//! Streaming (matrix-free) BOMP recovery.
+//!
+//! [`bomp`](crate::bomp::bomp) materializes the full `M × N` measurement
+//! matrix — 4 GB at the paper's Figure 12 extreme (`N = 5M`, `M = 100`).
+//! Because every column of `Φ0` regenerates deterministically from the
+//! shared seed, the dictionary never actually needs to exist in memory:
+//! each OMP iteration can stream columns through a fixed-size buffer,
+//! keeping only the *selected* columns materialized.
+//!
+//! Memory drops from `O(M·N)` to `O(M·(R + chunk))`; arithmetic per
+//! iteration is the same `O(M·N)` correlation scan plus column
+//! regeneration. Selection order is identical to the in-memory
+//! implementation (same dot products, same tie-breaking), so results are
+//! bit-compatible — pinned by tests.
+
+use crate::bomp::{BompConfig, BompResult, RecoveredOutlier};
+use crate::measurement::MeasurementSpec;
+use crate::omp::StopReason;
+use crate::sparse::SparseVector;
+use cso_linalg::{IncrementalQr, LinalgError, Vector};
+
+/// Column chunk size for the streaming scan (columns regenerated per
+/// refill; memory = `chunk · M` doubles).
+const CHUNK_COLUMNS: usize = 512;
+
+/// Runs BOMP without materializing `Φ0`.
+///
+/// Functionally equivalent to [`bomp`](crate::bomp::bomp) with the same
+/// spec and config, but with `O(M·(R + 512))` memory. The `track_mode`
+/// option is honored; coefficient tracking happens on the small selected
+/// set only.
+pub fn streaming_bomp(
+    spec: &MeasurementSpec,
+    y: &Vector,
+    config: &BompConfig,
+) -> Result<BompResult, LinalgError> {
+    let m = spec.m;
+    let n = spec.n;
+    if y.len() != m {
+        return Err(LinalgError::DimensionMismatch {
+            op: "streaming_bomp",
+            expected: (m, 1),
+            actual: (y.len(), 1),
+        });
+    }
+
+    // The extended dictionary column 0 (bias) is the only one we must
+    // precompute — one full streaming pass.
+    let bias = spec.bias_column();
+
+    let y_norm = y.norm2();
+    let abs_tol = config.omp.residual_tolerance * y_norm;
+    let d = n + 1; // extended dictionary size
+
+    let mut qr = IncrementalQr::new(m);
+    let mut selected: Vec<usize> = Vec::new(); // extended indices, selection order
+    let mut selected_cols: Vec<Vec<f64>> = Vec::new();
+    let mut residual = y.clone();
+    let mut prev_norm = y_norm;
+    let mut mode_trace: Vec<f64> = Vec::new();
+    let mut residual_trace: Vec<f64> = Vec::new();
+
+    let mut chunk = vec![0.0f64; CHUNK_COLUMNS * m];
+
+    let stop = loop {
+        if selected.len() >= config.omp.max_iterations {
+            break StopReason::MaxIterations;
+        }
+        if residual.norm2() <= abs_tol {
+            break StopReason::ResidualTolerance;
+        }
+        if selected.len() == d {
+            break StopReason::DictionaryExhausted;
+        }
+
+        // Streaming argmax |⟨φ_j, r⟩| over unselected extended columns.
+        let mut best: Option<(usize, f64)> = None;
+        let consider = |j: usize, col: &[f64], best: &mut Option<(usize, f64)>| {
+            if selected.contains(&j) {
+                return;
+            }
+            let c = cso_linalg::vector::dot(col, residual.as_slice()).abs();
+            match *best {
+                Some((_, b)) if b >= c => {}
+                _ => *best = Some((j, c)),
+            }
+        };
+        consider(0, &bias, &mut best);
+        let mut start = 0usize;
+        while start < n {
+            let count = CHUNK_COLUMNS.min(n - start);
+            for offset in 0..count {
+                spec.fill_column(start + offset, &mut chunk[offset * m..(offset + 1) * m]);
+            }
+            for offset in 0..count {
+                consider(
+                    start + offset + 1,
+                    &chunk[offset * m..(offset + 1) * m],
+                    &mut best,
+                );
+            }
+            start += count;
+        }
+        let (j, _) = best.expect("unselected column exists");
+
+        // Materialize just the winning column.
+        let col = if j == 0 { bias.clone() } else { spec.column(j - 1) };
+        match qr.push_column(&col) {
+            Ok(()) => {}
+            Err(LinalgError::RankDeficient { .. }) => break StopReason::RankExhausted,
+            Err(e) => return Err(e),
+        }
+        selected.push(j);
+        selected_cols.push(col);
+        residual = qr.residual(y.as_slice())?;
+        let norm = residual.norm2();
+        residual_trace.push(norm);
+        if config.track_mode {
+            let coeffs = qr.solve_least_squares(y.as_slice())?;
+            let b = selected
+                .iter()
+                .position(|&c| c == 0)
+                .map(|p| coeffs[p] / (n as f64).sqrt())
+                .unwrap_or(0.0);
+            mode_trace.push(b);
+        }
+        if config.omp.stall_guard
+            && norm >= prev_norm * (1.0 - config.omp.min_relative_decrease)
+        {
+            break StopReason::ResidualStall;
+        }
+        prev_norm = norm;
+    };
+
+    // Final least squares and assembly (paper equation (4)).
+    let coefficients = if selected.is_empty() {
+        Vec::new()
+    } else {
+        qr.solve_least_squares(y.as_slice())?.into_vec()
+    };
+    let inv_sqrt_n = 1.0 / (n as f64).sqrt();
+    let mut mode = 0.0;
+    let mut bias_selected = false;
+    let mut deviation_entries = Vec::with_capacity(selected.len());
+    for (&col, &coef) in selected.iter().zip(coefficients.iter()) {
+        if col == 0 {
+            bias_selected = true;
+            mode = coef * inv_sqrt_n;
+        } else {
+            deviation_entries.push((col - 1, coef));
+        }
+    }
+    let deviations = SparseVector::new(n, deviation_entries)?;
+    let mut outliers: Vec<RecoveredOutlier> = deviations
+        .entries()
+        .iter()
+        .map(|&(i, z)| RecoveredOutlier { index: i, value: z + mode, deviation: z })
+        .collect();
+    outliers.sort_by(|a, b| {
+        b.deviation
+            .abs()
+            .partial_cmp(&a.deviation.abs())
+            .expect("finite deviations")
+            .then(a.index.cmp(&b.index))
+    });
+    let iterations = residual_trace.len();
+    Ok(BompResult {
+        mode,
+        bias_selected,
+        outliers,
+        deviations,
+        iterations,
+        stop,
+        mode_trace,
+        residual_trace,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bomp::bomp;
+
+    fn instance(m: usize, n: usize, seed: u64) -> (MeasurementSpec, Vector, Vec<f64>) {
+        let spec = MeasurementSpec::new(m, n, seed).unwrap();
+        let mut x = vec![1800.0; n];
+        x[n / 7] = 25_000.0;
+        x[n / 3] = -9_000.0;
+        x[n - 2] = 11_000.0;
+        let y = spec.measure_dense(&x).unwrap();
+        (spec, y, x)
+    }
+
+    #[test]
+    fn matches_in_memory_bomp_exactly() {
+        let (spec, y, _) = instance(60, 700, 5);
+        let cfg = BompConfig::default();
+        let mem = bomp(&spec, &y, &cfg).unwrap();
+        let stream = streaming_bomp(&spec, &y, &cfg).unwrap();
+        assert_eq!(mem.stop, stream.stop);
+        assert_eq!(mem.iterations, stream.iterations);
+        assert!((mem.mode - stream.mode).abs() < 1e-12);
+        let a: Vec<usize> = mem.outliers.iter().map(|o| o.index).collect();
+        let b: Vec<usize> = stream.outliers.iter().map(|o| o.index).collect();
+        assert_eq!(a, b);
+        for (x, y) in mem.outliers.iter().zip(&stream.outliers) {
+            assert!((x.value - y.value).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn spans_multiple_chunks() {
+        // n > CHUNK_COLUMNS exercises the refill loop boundaries.
+        let (spec, y, x) = instance(48, CHUNK_COLUMNS * 2 + 37, 9);
+        let r = streaming_bomp(&spec, &y, &BompConfig::default()).unwrap();
+        assert!((r.mode - 1800.0).abs() < 1e-6);
+        let found: Vec<usize> = r.top_k(3).iter().map(|o| o.index).collect();
+        for idx in found {
+            assert!((x[idx] - 1800.0).abs() > 1000.0, "key {idx} is a planted outlier");
+        }
+    }
+
+    #[test]
+    fn mode_trace_matches_in_memory() {
+        let (spec, y, _) = instance(60, 600, 11);
+        let cfg = BompConfig { track_mode: true, ..BompConfig::default() };
+        let mem = bomp(&spec, &y, &cfg).unwrap();
+        let stream = streaming_bomp(&spec, &y, &cfg).unwrap();
+        assert_eq!(mem.mode_trace.len(), stream.mode_trace.len());
+        for (a, b) in mem.mode_trace.iter().zip(&stream.mode_trace) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let spec = MeasurementSpec::new(10, 50, 1).unwrap();
+        assert!(streaming_bomp(&spec, &Vector::zeros(9), &BompConfig::default()).is_err());
+    }
+
+    #[test]
+    fn zero_measurement_is_trivial() {
+        let spec = MeasurementSpec::new(10, 50, 1).unwrap();
+        let r = streaming_bomp(&spec, &Vector::zeros(10), &BompConfig::default()).unwrap();
+        assert_eq!(r.stop, StopReason::ResidualTolerance);
+        assert_eq!(r.iterations, 0);
+        assert_eq!(r.outliers.len(), 0);
+    }
+}

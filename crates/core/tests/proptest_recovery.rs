@@ -1,0 +1,178 @@
+//! Property-based tests of the recovery algorithms' invariants.
+
+use cso_core::{
+    basis_pursuit, bomp_with_matrix, cosamp, omp, BompConfig, BpConfig, CosampConfig,
+    MeasurementSpec, OmpConfig, SparseVector,
+};
+use cso_linalg::Vector;
+use proptest::prelude::*;
+
+/// Strategy: a sparse support of 1–4 well-separated entries in [0, 60).
+fn support() -> impl Strategy<Value = Vec<(usize, f64)>> {
+    prop::collection::btree_map(0usize..60, 5e3f64..5e4, 1..5)
+        .prop_map(|m| m.into_iter().collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// OMP exactly recovers sparse-at-zero signals at generous M, and its
+    /// residual trace is non-increasing.
+    #[test]
+    fn omp_exact_recovery_and_monotone_residuals(
+        entries in support(),
+        seed in 0u64..300,
+    ) {
+        let n = 60;
+        let m = 40;
+        let spec = MeasurementSpec::new(m, n, seed).unwrap();
+        let phi = spec.materialize();
+        let truth = SparseVector::new(n, entries).unwrap();
+        let y = phi.matvec(&truth.to_dense()).unwrap();
+        let r = omp(&phi, &y, &OmpConfig::default()).unwrap();
+        let rec = r.to_sparse(n).unwrap();
+        let rel = rec.l2_distance(&truth).unwrap() / truth.to_dense().norm2();
+        prop_assert!(rel < 1e-8, "rel = {rel}");
+        for w in r.trace.windows(2) {
+            prop_assert!(w[1].residual_norm <= w[0].residual_norm + 1e-9);
+        }
+    }
+
+    /// BOMP recovers the same signal shifted by an arbitrary mode: the
+    /// recovered outlier set is invariant to the bias.
+    #[test]
+    fn bomp_shift_invariance(
+        entries in support(),
+        mode in -1e4f64..1e4,
+        seed in 0u64..300,
+    ) {
+        let n = 60;
+        let m = 48;
+        let spec = MeasurementSpec::new(m, n, seed).unwrap();
+        let phi = spec.materialize();
+        let mut x = vec![mode; n];
+        for &(i, v) in SparseVector::new(n, entries).unwrap().entries() {
+            x[i] = mode + v; // deviation v from the mode
+        }
+        let y = spec.measure_dense(&x).unwrap();
+        let r = bomp_with_matrix(&phi, &y, &BompConfig::default()).unwrap();
+        prop_assert!((r.mode - mode).abs() < 1e-3 * (1.0 + mode.abs()), "mode {}", r.mode);
+        for o in &r.outliers {
+            let want = x[o.index];
+            prop_assert!((o.value - want).abs() < 1e-3 * (1.0 + want.abs()));
+        }
+    }
+
+    /// The three recovery algorithms agree on the support of easy
+    /// instances.
+    #[test]
+    fn recovery_algorithms_agree(
+        entries in support(),
+        seed in 0u64..200,
+    ) {
+        let n = 60;
+        let m = 44;
+        let s = entries.len();
+        let spec = MeasurementSpec::new(m, n, seed).unwrap();
+        let phi = spec.materialize();
+        let truth = SparseVector::new(n, entries).unwrap();
+        let y = phi.matvec(&truth.to_dense()).unwrap();
+
+        let mut want: Vec<usize> = truth.entries().iter().map(|&(i, _)| i).collect();
+        want.sort_unstable();
+
+        let mut omp_sup = omp(&phi, &y, &OmpConfig::default()).unwrap().support;
+        omp_sup.sort_unstable();
+        prop_assert_eq!(&omp_sup, &want);
+
+        let co = cosamp(&phi, &y, &CosampConfig::for_sparsity(s)).unwrap();
+        let mut co_sup: Vec<usize> = co.x.entries().iter().map(|&(i, _)| i).collect();
+        co_sup.sort_unstable();
+        prop_assert_eq!(&co_sup, &want);
+
+        let bp = basis_pursuit(&phi, &y, &BpConfig::default()).unwrap();
+        let bp_rec = SparseVector::from_dense(bp.x.as_slice(), 1e-3 * bp.x.norm_inf());
+        let mut bp_sup: Vec<usize> = bp_rec.entries().iter().map(|&(i, _)| i).collect();
+        bp_sup.sort_unstable();
+        prop_assert_eq!(&bp_sup, &want);
+    }
+
+    /// Measurement of a sparse slice never depends on entry order or on
+    /// zero padding.
+    #[test]
+    fn measurement_order_invariance(
+        entries in support(),
+        seed in 0u64..500,
+    ) {
+        let n = 60;
+        let spec = MeasurementSpec::new(16, n, seed).unwrap();
+        let forward: Vec<(usize, f64)> = entries.clone();
+        let mut backward = entries.clone();
+        backward.reverse();
+        let mut padded = entries;
+        padded.push((0, 0.0));
+        let a = spec.measure_sparse(&forward).unwrap();
+        let b = spec.measure_sparse(&backward).unwrap();
+        let c = spec.measure_sparse(&padded).unwrap();
+        // Relative tolerance: summation order may differ by a few ulps.
+        let scale = a.norm2().max(1.0);
+        prop_assert!(a.sub(&b).unwrap().norm2() / scale < 1e-12);
+        prop_assert!(a.sub(&c).unwrap().norm2() / scale < 1e-12);
+    }
+
+    /// Extended aggregates on exact recoveries match direct computation.
+    #[test]
+    fn aggregates_match_ground_truth(
+        entries in support(),
+        mode in -1e3f64..1e3,
+        seed in 0u64..200,
+    ) {
+        use cso_core::aggregates::{recovered_mean, recovered_quantile};
+        let n = 60;
+        let spec = MeasurementSpec::new(48, n, seed).unwrap();
+        let mut x = vec![mode; n];
+        for &(i, v) in SparseVector::new(n, entries).unwrap().entries() {
+            x[i] = mode + v;
+        }
+        let y = spec.measure_dense(&x).unwrap();
+        let r = cso_core::bomp(&spec, &y, &BompConfig::default()).unwrap();
+
+        let exact_mean: f64 = x.iter().sum::<f64>() / n as f64;
+        prop_assert!((recovered_mean(&r) - exact_mean).abs() < 1e-3 * (1.0 + exact_mean.abs()));
+
+        let mut sorted = x.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for q in [0.1, 0.5, 0.9] {
+            let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+            let want = sorted[rank - 1];
+            let got = recovered_quantile(&r, q).unwrap();
+            prop_assert!((got - want).abs() < 1e-3 * (1.0 + want.abs()), "q={q}");
+        }
+    }
+
+    /// `Vector` sketches of slices compose: y(αx) = α·y(x).
+    #[test]
+    fn measurement_homogeneity(
+        entries in support(),
+        alpha in -100.0f64..100.0,
+        seed in 0u64..500,
+    ) {
+        let n = 60;
+        let spec = MeasurementSpec::new(12, n, seed).unwrap();
+        let x = SparseVector::new(n, entries).unwrap().to_dense();
+        let y = spec.measure_dense(x.as_slice()).unwrap();
+        let mut xs = x.clone();
+        xs.scale(alpha);
+        let ys = spec.measure_dense(xs.as_slice()).unwrap();
+        let mut expect = y.clone();
+        expect.scale(alpha);
+        let scale = expect.norm2().max(1.0);
+        prop_assert!(ys.sub(&expect).unwrap().norm2() / scale < 1e-9);
+    }
+}
+
+// Non-proptest regression: Vector needs to be in scope for homogeneity.
+#[test]
+fn vector_reexport_compiles() {
+    let _ = Vector::zeros(1);
+}

@@ -1,0 +1,154 @@
+//! The ALL baseline: transmit everything, compute exactly.
+//!
+//! "In practice, all data is usually transmitted to the aggregator node. We
+//! consider this basic approach as one of our baselines." Two encodings
+//! (Section 6.1.2): the vectorized form costs `L·N·S_v`; shipping
+//! keyid-value pairs costs `Σ nᵢ·S_t` and wins only when slices are very
+//! sparse.
+
+use crate::cluster::Cluster;
+use crate::cost::{all_kv_cost, all_vectorized_cost, CommunicationCost};
+use crate::protocol::{OutlierProtocol, ProtocolRun};
+use cso_core::outlier;
+use cso_linalg::LinalgError;
+
+/// Wire encoding used by the ALL baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllEncoding {
+    /// Dense vectors of length `N` from every node.
+    Vectorized,
+    /// Only non-zero entries, as keyid-value pairs.
+    KvPairs,
+}
+
+/// The transmit-everything baseline protocol.
+#[derive(Debug, Clone, Copy)]
+pub struct AllProtocol {
+    /// Chosen wire encoding.
+    pub encoding: AllEncoding,
+}
+
+impl AllProtocol {
+    /// Vectorized-encoding baseline (the paper's normalization reference).
+    pub fn vectorized() -> Self {
+        AllProtocol { encoding: AllEncoding::Vectorized }
+    }
+
+    /// Keyid-value-pair baseline.
+    pub fn kv_pairs() -> Self {
+        AllProtocol { encoding: AllEncoding::KvPairs }
+    }
+
+    /// Picks the cheaper of the two encodings for this cluster, as a real
+    /// deployment would.
+    pub fn cheapest_for(cluster: &Cluster) -> Self {
+        let v = all_vectorized_cost(cluster.l(), cluster.n());
+        let kv = all_kv_cost(&cluster.nonzeros_per_node());
+        if kv.bits < v.bits {
+            Self::kv_pairs()
+        } else {
+            Self::vectorized()
+        }
+    }
+}
+
+impl OutlierProtocol for AllProtocol {
+    fn name(&self) -> &'static str {
+        match self.encoding {
+            AllEncoding::Vectorized => "all-vectorized",
+            AllEncoding::KvPairs => "all-kv",
+        }
+    }
+
+    fn run(&self, cluster: &Cluster, k: usize) -> Result<ProtocolRun, LinalgError> {
+        let cost: CommunicationCost = match self.encoding {
+            AllEncoding::Vectorized => all_vectorized_cost(cluster.l(), cluster.n()),
+            AllEncoding::KvPairs => all_kv_cost(&cluster.nonzeros_per_node()),
+        };
+        let aggregate = cluster.aggregate();
+        // The aggregator sees exact data: mode by exact majority when one
+        // exists, histogram estimate otherwise.
+        let mode = outlier::exact_majority_mode(&aggregate)
+            .map_or_else(|| outlier::estimated_mode(&aggregate), Ok)?;
+        let estimate = outlier::k_outliers(&aggregate, mode, k);
+        Ok(ProtocolRun { protocol: self.name(), estimate, mode, cost })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cso_workloads::{split, MajorityConfig, MajorityData, SliceStrategy};
+
+    fn cluster() -> (Cluster, MajorityData) {
+        let data = MajorityData::generate(
+            &MajorityConfig { n: 200, s: 6, ..MajorityConfig::default() },
+            3,
+        )
+        .unwrap();
+        let slices =
+            split(&data.values, 4, SliceStrategy::RandomProportions, 4).unwrap();
+        (Cluster::new(slices).unwrap(), data)
+    }
+
+    #[test]
+    fn all_is_exact() {
+        let (c, data) = cluster();
+        let run = AllProtocol::vectorized().run(&c, 6).unwrap();
+        assert_eq!(run.mode, 5000.0);
+        let truth = data.true_k_outliers(6);
+        let (ek, ev) = cso_core::outlier_errors(&truth, &run.estimate).unwrap();
+        assert_eq!(ek, 0.0);
+        assert!(ev < 1e-9);
+    }
+
+    #[test]
+    fn vectorized_cost_is_l_n_values() {
+        let (c, _) = cluster();
+        let run = AllProtocol::vectorized().run(&c, 5).unwrap();
+        assert_eq!(run.cost.tuples, (4 * 200) as u64);
+        assert_eq!(run.cost.bits, (4 * 200 * 64) as u64);
+        assert_eq!(run.cost.rounds, 1);
+    }
+
+    #[test]
+    fn kv_cost_counts_nonzeros() {
+        let (c, _) = cluster();
+        let run = AllProtocol::kv_pairs().run(&c, 5).unwrap();
+        let nz: u64 = c.nonzeros_per_node().iter().map(|&x| x as u64).sum();
+        assert_eq!(run.cost.tuples, nz);
+        assert_eq!(run.cost.bits, nz * 96);
+    }
+
+    #[test]
+    fn cheapest_picks_vectorized_for_dense() {
+        let (c, _) = cluster();
+        // RandomProportions keeps all entries non-zero → kv is 1.5× dearer.
+        let p = AllProtocol::cheapest_for(&c);
+        assert_eq!(p.name(), "all-vectorized");
+    }
+
+    #[test]
+    fn cheapest_picks_kv_for_sparse() {
+        let mut slices = vec![vec![0.0; 100]; 3];
+        slices[0][5] = 1.0;
+        slices[1][6] = 2.0;
+        slices[2][7] = 3.0;
+        let c = Cluster::new(slices).unwrap();
+        assert_eq!(AllProtocol::cheapest_for(&c).name(), "all-kv");
+    }
+
+    #[test]
+    fn histogram_mode_used_without_exact_majority() {
+        // Jittered values: no exact majority, estimated mode must kick in.
+        let values: Vec<f64> = (0..100)
+            .map(|i| if i < 90 { 1800.0 + (i % 7) as f64 * 0.01 } else { 9000.0 })
+            .collect();
+        let c = Cluster::new(vec![values]).unwrap();
+        let run = AllProtocol::vectorized().run(&c, 10).unwrap();
+        assert!((run.mode - 1800.0).abs() < 40.0, "mode = {}", run.mode);
+        // All 10 of the far outliers must rank first.
+        let top: Vec<usize> = run.estimate.iter().map(|o| o.index).collect();
+        assert!(top.iter().all(|&i| i >= 90), "{top:?}");
+    }
+}

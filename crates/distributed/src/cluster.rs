@@ -1,0 +1,176 @@
+//! A simulated shared-nothing cluster: `L` nodes each holding an additive
+//! slice of the global data vector.
+
+use cso_linalg::LinalgError;
+
+/// The distributed data a protocol runs against: `L` slices of a common
+/// `N`-dimensional vector with `x = Σ_l x_l`.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    slices: Vec<Vec<f64>>,
+    n: usize,
+}
+
+impl Cluster {
+    /// Builds a cluster from per-node dense slices. All slices must share
+    /// one length, contain only finite values (a NaN would silently poison
+    /// every downstream aggregate), and at least one node is required.
+    pub fn new(slices: Vec<Vec<f64>>) -> Result<Self, LinalgError> {
+        let n = match slices.first() {
+            Some(s) if !s.is_empty() => s.len(),
+            _ => return Err(LinalgError::Empty { op: "cluster" }),
+        };
+        for (l, s) in slices.iter().enumerate() {
+            if s.len() != n {
+                return Err(LinalgError::DimensionMismatch {
+                    op: "cluster",
+                    expected: (n, 1),
+                    actual: (s.len(), l),
+                });
+            }
+            if s.iter().any(|v| !v.is_finite()) {
+                return Err(LinalgError::InvalidParameter {
+                    name: "slices",
+                    message: "slice values must be finite",
+                });
+            }
+        }
+        Ok(Cluster { slices, n })
+    }
+
+    /// Number of nodes `L`.
+    pub fn l(&self) -> usize {
+        self.slices.len()
+    }
+
+    /// Key-space size `N`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Borrows node `l`'s slice.
+    pub fn slice(&self, l: usize) -> &[f64] {
+        &self.slices[l]
+    }
+
+    /// All slices.
+    pub fn slices(&self) -> &[Vec<f64>] {
+        &self.slices
+    }
+
+    /// The ground-truth aggregate `x = Σ_l x_l` (what an omniscient
+    /// aggregator would compute — protocols are scored against this).
+    pub fn aggregate(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.n];
+        for s in &self.slices {
+            for (o, v) in out.iter_mut().zip(s) {
+                *o += *v;
+            }
+        }
+        out
+    }
+
+    /// Non-zero counts per node — the `nᵢ` of the keyid-value ALL cost.
+    pub fn nonzeros_per_node(&self) -> Vec<usize> {
+        self.slices
+            .iter()
+            .map(|s| s.iter().filter(|&&v| v != 0.0).count())
+            .collect()
+    }
+
+    /// Adds a node (the paper's "a new data center joins the network").
+    pub fn add_node(&mut self, slice: Vec<f64>) -> Result<usize, LinalgError> {
+        if slice.len() != self.n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "add_node",
+                expected: (self.n, 1),
+                actual: (slice.len(), 1),
+            });
+        }
+        if slice.iter().any(|v| !v.is_finite()) {
+            return Err(LinalgError::InvalidParameter {
+                name: "slice",
+                message: "slice values must be finite",
+            });
+        }
+        self.slices.push(slice);
+        Ok(self.slices.len() - 1)
+    }
+
+    /// Removes a node, returning its slice. Errors when it would leave the
+    /// cluster empty or the index is out of range.
+    pub fn remove_node(&mut self, l: usize) -> Result<Vec<f64>, LinalgError> {
+        if l >= self.slices.len() {
+            return Err(LinalgError::InvalidParameter {
+                name: "l",
+                message: "node index out of range",
+            });
+        }
+        if self.slices.len() == 1 {
+            return Err(LinalgError::InvalidParameter {
+                name: "l",
+                message: "cannot remove the last node",
+            });
+        }
+        Ok(self.slices.remove(l))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster() -> Cluster {
+        Cluster::new(vec![vec![1.0, 2.0, 3.0], vec![4.0, 0.0, -3.0]]).unwrap()
+    }
+
+    #[test]
+    fn dimensions_and_aggregate() {
+        let c = cluster();
+        assert_eq!(c.l(), 2);
+        assert_eq!(c.n(), 3);
+        assert_eq!(c.aggregate(), vec![5.0, 2.0, 0.0]);
+        assert_eq!(c.slice(1), &[4.0, 0.0, -3.0]);
+    }
+
+    #[test]
+    fn rejects_empty_and_ragged() {
+        assert!(Cluster::new(vec![]).is_err());
+        assert!(Cluster::new(vec![vec![]]).is_err());
+        assert!(Cluster::new(vec![vec![1.0], vec![1.0, 2.0]]).is_err());
+    }
+
+    #[test]
+    fn rejects_non_finite_values() {
+        assert!(Cluster::new(vec![vec![1.0, f64::NAN]]).is_err());
+        assert!(Cluster::new(vec![vec![f64::INFINITY, 0.0]]).is_err());
+        let mut c = cluster();
+        assert!(c.add_node(vec![1.0, f64::NAN, 0.0]).is_err());
+        assert_eq!(c.l(), 2, "rejected node must not be added");
+    }
+
+    #[test]
+    fn nonzeros_counted_per_node() {
+        let c = cluster();
+        assert_eq!(c.nonzeros_per_node(), vec![3, 2]);
+    }
+
+    #[test]
+    fn add_and_remove_nodes() {
+        let mut c = cluster();
+        let id = c.add_node(vec![1.0, 1.0, 1.0]).unwrap();
+        assert_eq!(id, 2);
+        assert_eq!(c.aggregate(), vec![6.0, 3.0, 1.0]);
+        let removed = c.remove_node(0).unwrap();
+        assert_eq!(removed, vec![1.0, 2.0, 3.0]);
+        assert_eq!(c.aggregate(), vec![5.0, 1.0, -2.0]);
+        assert!(c.add_node(vec![1.0]).is_err());
+        assert!(c.remove_node(9).is_err());
+    }
+
+    #[test]
+    fn cannot_remove_last_node() {
+        let mut c = Cluster::new(vec![vec![1.0]]).unwrap();
+        assert!(c.remove_node(0).is_err());
+    }
+}

@@ -1,0 +1,210 @@
+//! Communication-cost accounting (Section 6.1.2).
+//!
+//! The paper measures every protocol by `N_t · S_t`: the number of
+//! transmitted tuples times the bytes per tuple, with two tuple encodings:
+//!
+//! - a bare **value** in a vectorized transmission: 64 bits (`S_v`);
+//! - a **keyid-value pair**: 96 bits (`S_t` — a 32-bit key id plus a
+//!   64-bit value).
+//!
+//! The meter is explicit rather than inferred so the normalized-cost axes
+//! of Figures 7 and 8 are computed exactly as in the paper.
+
+/// Bits used to encode one bare value (the paper's `S_v` / `S_M`).
+pub const VALUE_BITS: u64 = 64;
+/// Bits used to encode one keyid-value pair (the paper's `S_t`).
+pub const KV_PAIR_BITS: u64 = 96;
+
+/// Accumulated communication of one protocol execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CommunicationCost {
+    /// Total bits shipped node → aggregator or aggregator → node.
+    pub bits: u64,
+    /// Total tuples (values or pairs) shipped.
+    pub tuples: u64,
+    /// Number of communication rounds (the CS protocol is single-round;
+    /// K+δ needs three).
+    pub rounds: u32,
+}
+
+impl CommunicationCost {
+    /// Total bytes (rounded up).
+    pub fn bytes(&self) -> u64 {
+        self.bits.div_ceil(8)
+    }
+
+    /// This cost as a fraction of `baseline` (the Figures 7/8 x-axis:
+    /// "communication cost normalized by transmitting ALL"). Returns
+    /// infinity against a zero baseline.
+    pub fn normalized_to(&self, baseline: &CommunicationCost) -> f64 {
+        if baseline.bits == 0 {
+            f64::INFINITY
+        } else {
+            self.bits as f64 / baseline.bits as f64
+        }
+    }
+}
+
+/// Mutable meter protocols record into while running.
+#[derive(Debug, Clone, Default)]
+pub struct CostMeter {
+    bits: u64,
+    tuples: u64,
+    rounds: u32,
+    per_node_bits: Vec<u64>,
+}
+
+impl CostMeter {
+    /// Fresh meter for `nodes` participants.
+    pub fn new(nodes: usize) -> Self {
+        CostMeter { bits: 0, tuples: 0, rounds: 0, per_node_bits: vec![0; nodes] }
+    }
+
+    /// Records `count` bare values sent by `node`.
+    pub fn record_values(&mut self, node: usize, count: u64) {
+        self.record_bits(node, count, VALUE_BITS);
+    }
+
+    /// Records `count` keyid-value pairs sent by `node`.
+    pub fn record_kv_pairs(&mut self, node: usize, count: u64) {
+        self.record_bits(node, count, KV_PAIR_BITS);
+    }
+
+    /// Records a broadcast of `count` bare values from the aggregator to
+    /// every node (counted once per receiving node).
+    pub fn record_broadcast_values(&mut self, count: u64) {
+        let nodes = self.per_node_bits.len() as u64;
+        self.bits += count * VALUE_BITS * nodes;
+        self.tuples += count * nodes;
+    }
+
+    /// Marks the start of a new communication round.
+    pub fn begin_round(&mut self) {
+        self.rounds += 1;
+    }
+
+    fn record_bits(&mut self, node: usize, count: u64, bits_per: u64) {
+        assert!(node < self.per_node_bits.len(), "node {node} out of range");
+        let b = count * bits_per;
+        self.bits += b;
+        self.tuples += count;
+        self.per_node_bits[node] += b;
+    }
+
+    /// Bits sent by one node so far.
+    pub fn node_bits(&self, node: usize) -> u64 {
+        self.per_node_bits[node]
+    }
+
+    /// Freezes the meter into a summary.
+    pub fn finish(&self) -> CommunicationCost {
+        CommunicationCost { bits: self.bits, tuples: self.tuples, rounds: self.rounds }
+    }
+}
+
+/// Closed-form cost of the trivial vectorized ALL baseline: `L·N` values
+/// in one round (the paper's `L·N·S_v`).
+pub fn all_vectorized_cost(l: usize, n: usize) -> CommunicationCost {
+    CommunicationCost {
+        bits: (l * n) as u64 * VALUE_BITS,
+        tuples: (l * n) as u64,
+        rounds: 1,
+    }
+}
+
+/// Closed-form cost of shipping every non-zero key as a keyid-value pair:
+/// `Σ nᵢ · S_t` (the paper notes this is usually *worse* than vectorized
+/// on production data — "more than 3 times larger").
+pub fn all_kv_cost(nonzeros_per_node: &[usize]) -> CommunicationCost {
+    let total: u64 = nonzeros_per_node.iter().map(|&n| n as u64).sum();
+    CommunicationCost { bits: total * KV_PAIR_BITS, tuples: total, rounds: 1 }
+}
+
+/// Closed-form cost of the CS protocol: `L·M` values in one round.
+pub fn cs_cost(l: usize, m: usize) -> CommunicationCost {
+    CommunicationCost {
+        bits: (l * m) as u64 * VALUE_BITS,
+        tuples: (l * m) as u64,
+        rounds: 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meter_accumulates_values_and_pairs() {
+        let mut m = CostMeter::new(2);
+        m.begin_round();
+        m.record_values(0, 10);
+        m.record_kv_pairs(1, 5);
+        let c = m.finish();
+        assert_eq!(c.bits, 10 * 64 + 5 * 96);
+        assert_eq!(c.tuples, 15);
+        assert_eq!(c.rounds, 1);
+        assert_eq!(m.node_bits(0), 640);
+        assert_eq!(m.node_bits(1), 480);
+    }
+
+    #[test]
+    fn broadcast_counts_every_receiver() {
+        let mut m = CostMeter::new(4);
+        m.record_broadcast_values(1);
+        let c = m.finish();
+        assert_eq!(c.bits, 4 * 64);
+        assert_eq!(c.tuples, 4);
+    }
+
+    #[test]
+    fn bytes_round_up() {
+        let c = CommunicationCost { bits: 65, tuples: 1, rounds: 1 };
+        assert_eq!(c.bytes(), 9);
+    }
+
+    #[test]
+    fn normalization_matches_paper_axes() {
+        let l = 8;
+        let n = 10_000;
+        let m = 100;
+        let all = all_vectorized_cost(l, n);
+        let cs = cs_cost(l, m);
+        // M/N = 1% — the Figures 7/8 x-axis value.
+        assert!((cs.normalized_to(&all) - 0.01).abs() < 1e-12);
+        let zero = CommunicationCost::default();
+        assert!(cs.normalized_to(&zero).is_infinite());
+    }
+
+    #[test]
+    fn kv_cost_exceeds_vectorized_on_dense_slices() {
+        // "the communication cost of the vectorized approach is much
+        // smaller than shipping keyid-value pairs" when slices are dense.
+        let l = 3;
+        let n = 1000;
+        let dense = vec![n; l];
+        assert!(all_kv_cost(&dense).bits > all_vectorized_cost(l, n).bits);
+    }
+
+    #[test]
+    fn kv_cost_wins_on_very_sparse_slices() {
+        let l = 3;
+        let n = 1000;
+        let sparse = vec![10; l];
+        assert!(all_kv_cost(&sparse).bits < all_vectorized_cost(l, n).bits);
+    }
+
+    #[test]
+    fn rounds_tracked_separately() {
+        let mut m = CostMeter::new(1);
+        m.begin_round();
+        m.begin_round();
+        m.begin_round();
+        assert_eq!(m.finish().rounds, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn recording_unknown_node_panics() {
+        CostMeter::new(1).record_values(1, 1);
+    }
+}

@@ -1,0 +1,145 @@
+//! Global key dictionary (the paper's *vectorization* step, Section 3.1).
+//!
+//! "Given a key space of size N, we can build a global key dictionary: the
+//! values on each node are arranged by their key in a globally fixed order
+//! forming a vector." Every party must agree on the key → index mapping so
+//! that position `i` of every slice refers to the same group-by key.
+
+use cso_linalg::LinalgError;
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A frozen, ordered key space shared by all nodes and the aggregator.
+#[derive(Debug, Clone)]
+pub struct KeyDictionary<K: Eq + Hash + Clone> {
+    keys: Vec<K>,
+    index: HashMap<K, usize>,
+}
+
+impl<K: Eq + Hash + Clone> KeyDictionary<K> {
+    /// Builds a dictionary from an ordered list of distinct keys.
+    ///
+    /// Errors on an empty list or duplicates (every key must have exactly
+    /// one position).
+    pub fn new(keys: Vec<K>) -> Result<Self, LinalgError> {
+        if keys.is_empty() {
+            return Err(LinalgError::Empty { op: "key_dictionary" });
+        }
+        let mut index = HashMap::with_capacity(keys.len());
+        for (i, k) in keys.iter().enumerate() {
+            if index.insert(k.clone(), i).is_some() {
+                return Err(LinalgError::InvalidParameter {
+                    name: "keys",
+                    message: "duplicate key in dictionary",
+                });
+            }
+        }
+        Ok(KeyDictionary { keys, index })
+    }
+
+    /// Number of keys `N`.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Never true — construction rejects empty dictionaries — but provided
+    /// for API completeness.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Index of `key`, if present.
+    pub fn index_of(&self, key: &K) -> Option<usize> {
+        self.index.get(key).copied()
+    }
+
+    /// Key at `index`, if in range.
+    pub fn key_at(&self, index: usize) -> Option<&K> {
+        self.keys.get(index)
+    }
+
+    /// Iterates keys in dictionary order.
+    pub fn iter(&self) -> std::slice::Iter<'_, K> {
+        self.keys.iter()
+    }
+
+    /// Vectorizes a multiset of `(key, value)` records into a dense slice:
+    /// values of the same key accumulate (local partial aggregation),
+    /// missing keys stay 0, unknown keys are an error — the global
+    /// dictionary is authoritative.
+    pub fn vectorize(&self, records: &[(K, f64)]) -> Result<Vec<f64>, LinalgError> {
+        let mut out = vec![0.0; self.len()];
+        for (k, v) in records {
+            match self.index_of(k) {
+                Some(i) => out[i] += v,
+                None => {
+                    return Err(LinalgError::InvalidParameter {
+                        name: "records",
+                        message: "record key not in the global dictionary",
+                    })
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dict() -> KeyDictionary<String> {
+        KeyDictionary::new(vec!["a".into(), "b".into(), "c".into()]).unwrap()
+    }
+
+    #[test]
+    fn lookup_round_trips() {
+        let d = dict();
+        assert_eq!(d.len(), 3);
+        assert!(!d.is_empty());
+        assert_eq!(d.index_of(&"b".to_string()), Some(1));
+        assert_eq!(d.key_at(1), Some(&"b".to_string()));
+        assert_eq!(d.index_of(&"z".to_string()), None);
+        assert_eq!(d.key_at(3), None);
+    }
+
+    #[test]
+    fn rejects_empty_and_duplicates() {
+        assert!(KeyDictionary::<String>::new(vec![]).is_err());
+        assert!(KeyDictionary::new(vec!["a".to_string(), "a".to_string()]).is_err());
+    }
+
+    #[test]
+    fn vectorize_aggregates_by_key() {
+        let d = dict();
+        let x = d
+            .vectorize(&[
+                ("a".to_string(), 2.0),
+                ("c".to_string(), 5.0),
+                ("a".to_string(), 3.0),
+            ])
+            .unwrap();
+        assert_eq!(x, vec![5.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn vectorize_rejects_unknown_keys() {
+        let d = dict();
+        assert!(d.vectorize(&[("nope".to_string(), 1.0)]).is_err());
+    }
+
+    #[test]
+    fn works_with_composite_keys() {
+        let d = KeyDictionary::new(vec![(0u8, 1u8), (0, 2), (1, 1)]).unwrap();
+        assert_eq!(d.index_of(&(0, 2)), Some(1));
+        let x = d.vectorize(&[((1, 1), 7.0)]).unwrap();
+        assert_eq!(x, vec![0.0, 0.0, 7.0]);
+    }
+
+    #[test]
+    fn iter_preserves_order() {
+        let d = dict();
+        let collected: Vec<&String> = d.iter().collect();
+        assert_eq!(collected, vec!["a", "b", "c"]);
+    }
+}

@@ -1,0 +1,233 @@
+//! The K+δ baseline — the three-round sampling protocol of Section 6.1.2,
+//! built on the framework of Cao & Wang's TPUT.
+//!
+//! 1. **Sample**: every node sends the values of `g` globally-agreed sample
+//!    keys; the aggregator averages the aggregated sample values into a
+//!    mode estimate `b̂`.
+//! 2. **Broadcast**: `b̂` is sent back to every node.
+//! 3. **Local outliers**: each node sends its `k + δ − g` locally most
+//!    deviant keys (w.r.t. `b̂`) as keyid-value pairs; the aggregator sums
+//!    what it received per key and outputs the top-k deviations.
+//!
+//! The protocol is *sound only when slices are near-uniform*: a key whose
+//! deviation is spread thinly across nodes (or camouflaged) never gets
+//! reported, and partially-reported keys aggregate to wrong values — the
+//! large EV the paper measures in Figure 8.
+
+use crate::cluster::Cluster;
+use crate::cost::CostMeter;
+use crate::protocol::{OutlierProtocol, ProtocolRun};
+use cso_core::KeyValue;
+use cso_linalg::random::stream_rng;
+use cso_linalg::LinalgError;
+use rand::seq::SliceRandom;
+use std::collections::HashMap;
+
+/// The K+δ three-round baseline.
+#[derive(Debug, Clone, Copy)]
+pub struct KDeltaProtocol {
+    /// Extra per-node tuple budget beyond `k` (the δ).
+    pub delta: usize,
+    /// Fraction of the per-node tuple budget spent on mode sampling in
+    /// round 1 (the paper fixes this at 50%: "we always choose g to be 50%
+    /// of the communication cost").
+    pub sample_fraction: f64,
+    /// Seed for the shared sample-key choice.
+    pub seed: u64,
+}
+
+impl KDeltaProtocol {
+    /// Baseline with the paper's 50% sampling split.
+    pub fn new(delta: usize, seed: u64) -> Self {
+        KDeltaProtocol { delta, sample_fraction: 0.5, seed }
+    }
+
+    /// Number of sample keys `g` for a given `k`.
+    fn g_for(&self, k: usize, n: usize) -> usize {
+        let budget = k + self.delta;
+        (((budget as f64) * self.sample_fraction).round() as usize)
+            .clamp(1, n)
+    }
+}
+
+impl OutlierProtocol for KDeltaProtocol {
+    fn name(&self) -> &'static str {
+        "k+delta"
+    }
+
+    fn run(&self, cluster: &Cluster, k: usize) -> Result<ProtocolRun, LinalgError> {
+        if !(0.0..=1.0).contains(&self.sample_fraction) {
+            return Err(LinalgError::InvalidParameter {
+                name: "sample_fraction",
+                message: "must lie in [0, 1]",
+            });
+        }
+        let n = cluster.n();
+        let l = cluster.l();
+        let budget = k + self.delta;
+        let g = self.g_for(k, n);
+        let local_quota = budget.saturating_sub(g).max(1);
+
+        let mut meter = CostMeter::new(l);
+
+        // Round 1: common sample keys, chosen from the shared seed.
+        meter.begin_round();
+        let mut all_keys: Vec<usize> = (0..n).collect();
+        let mut rng = stream_rng(self.seed, 0);
+        all_keys.shuffle(&mut rng);
+        let sample_keys = &all_keys[..g];
+
+        let mut received: HashMap<usize, f64> = HashMap::new();
+        for node in 0..l {
+            let slice = cluster.slice(node);
+            for &key in sample_keys {
+                *received.entry(key).or_insert(0.0) += slice[key];
+            }
+            meter.record_kv_pairs(node, g as u64);
+        }
+        let mode = sample_keys.iter().map(|&key| received[&key]).sum::<f64>() / g as f64;
+
+        // Round 2: broadcast the mode estimate.
+        meter.begin_round();
+        meter.record_broadcast_values(1);
+
+        // Round 3: each node reports its locally most deviant keys. The
+        // node only sees its own share, so it extrapolates `L·x_l[i]` as
+        // its best global estimate and ranks by |L·x_l[i] − b| — exact when
+        // mass is spread uniformly, badly wrong under skew or camouflage
+        // (the paper's motivating failure mode).
+        meter.begin_round();
+        let scale = l as f64;
+        for node in 0..l {
+            let slice = cluster.slice(node);
+            let mut locals: Vec<(usize, f64)> =
+                slice.iter().enumerate().map(|(i, &v)| (i, v)).collect();
+            locals.sort_by(|a, b| {
+                (scale * b.1 - mode)
+                    .abs()
+                    .partial_cmp(&(scale * a.1 - mode).abs())
+                    .expect("finite")
+                    .then(a.0.cmp(&b.0))
+            });
+            for &(key, value) in locals.iter().take(local_quota) {
+                *received.entry(key).or_insert(0.0) += value;
+                meter.record_kv_pairs(node, 1);
+            }
+        }
+
+        // Final selection over everything the aggregator heard about.
+        let mut estimate: Vec<KeyValue> = received
+            .into_iter()
+            .map(|(index, value)| KeyValue { index, value })
+            .collect();
+        estimate.sort_by(|a, b| {
+            (b.value - mode)
+                .abs()
+                .partial_cmp(&(a.value - mode).abs())
+                .expect("finite")
+                .then(a.index.cmp(&b.index))
+        });
+        estimate.truncate(k);
+
+        Ok(ProtocolRun { protocol: self.name(), estimate, mode, cost: meter.finish() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cso_workloads::{split, MajorityConfig, MajorityData, SliceStrategy};
+
+    fn data() -> MajorityData {
+        MajorityData::generate(
+            &MajorityConfig { n: 500, s: 10, ..MajorityConfig::default() },
+            21,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn works_well_on_uniform_slices() {
+        // When every node holds x/L, local deviations mirror global ones.
+        let d = data();
+        let slices = split(&d.values, 4, SliceStrategy::Uniform, 1).unwrap();
+        let c = Cluster::new(slices).unwrap();
+        let run = KDeltaProtocol::new(90, 5).run(&c, 10).unwrap();
+        let truth = d.true_k_outliers(10);
+        let ek = cso_core::error_on_key(&truth, &run.estimate).unwrap();
+        assert!(ek <= 0.2, "uniform slices should be easy, ek = {ek}");
+    }
+
+    #[test]
+    fn degrades_under_camouflage() {
+        // The paper's motivating failure: local outliers ≠ global outliers.
+        let d = data();
+        let slices = split(
+            &d.values,
+            8,
+            SliceStrategy::Camouflaged { offset: 4000.0, fraction: 0.4 },
+            2,
+        )
+        .unwrap();
+        let c = Cluster::new(slices).unwrap();
+        let run = KDeltaProtocol::new(90, 5).run(&c, 10).unwrap();
+        let truth = d.true_k_outliers(10);
+        let ek = cso_core::error_on_key(&truth, &run.estimate).unwrap();
+        assert!(ek > 0.2, "camouflage should hurt K+δ, ek = {ek}");
+    }
+
+    #[test]
+    fn three_rounds_and_budgeted_cost() {
+        let d = data();
+        let slices = split(&d.values, 4, SliceStrategy::Uniform, 1).unwrap();
+        let c = Cluster::new(slices).unwrap();
+        let k = 10;
+        let delta = 30;
+        let proto = KDeltaProtocol::new(delta, 5);
+        let run = proto.run(&c, k).unwrap();
+        assert_eq!(run.cost.rounds, 3);
+        let g = proto.g_for(k, c.n());
+        let expected_pairs = (c.l() * g + c.l() * (k + delta - g)) as u64;
+        // pairs at 96 bits + the broadcast (L values at 64 bits).
+        assert_eq!(run.cost.bits, expected_pairs * 96 + c.l() as u64 * 64);
+    }
+
+    #[test]
+    fn mode_estimate_close_on_majority_data() {
+        let d = data();
+        let slices = split(&d.values, 4, SliceStrategy::Uniform, 1).unwrap();
+        let c = Cluster::new(slices).unwrap();
+        let run = KDeltaProtocol::new(100, 9).run(&c, 10).unwrap();
+        // Sampled average over mostly-mode keys lands near b (not exactly —
+        // sampled outliers bias it).
+        assert!((run.mode - 5000.0).abs() < 1500.0, "mode = {}", run.mode);
+    }
+
+    #[test]
+    fn g_clamps_to_key_space() {
+        let p = KDeltaProtocol::new(1_000_000, 1);
+        assert_eq!(p.g_for(10, 50), 50);
+        let tiny = KDeltaProtocol { delta: 0, sample_fraction: 0.0, seed: 1 };
+        assert_eq!(tiny.g_for(10, 50), 1, "at least one sample key");
+    }
+
+    #[test]
+    fn invalid_fraction_rejected() {
+        let d = data();
+        let slices = split(&d.values, 2, SliceStrategy::Uniform, 1).unwrap();
+        let c = Cluster::new(slices).unwrap();
+        let bad = KDeltaProtocol { delta: 5, sample_fraction: 1.5, seed: 1 };
+        assert!(bad.run(&c, 5).is_err());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let d = data();
+        let slices = split(&d.values, 3, SliceStrategy::RandomProportions, 8).unwrap();
+        let c = Cluster::new(slices).unwrap();
+        let a = KDeltaProtocol::new(40, 6).run(&c, 5).unwrap();
+        let b = KDeltaProtocol::new(40, 6).run(&c, 5).unwrap();
+        assert_eq!(a.estimate, b.estimate);
+        assert_eq!(a.mode, b.mode);
+    }
+}

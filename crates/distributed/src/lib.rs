@@ -1,0 +1,48 @@
+//! # cso-distributed
+//!
+//! The distributed-aggregation substrate for the SIGMOD'15 compressive-
+//! sensing outlier system: a simulated shared-nothing cluster, the global
+//! key dictionary, exact communication-cost accounting, and the
+//! single-round/multi-round protocols the paper evaluates:
+//!
+//! - [`CsProtocol`] — the paper's contribution: sketch, sum, BOMP-recover;
+//! - [`AllProtocol`] — transmit everything (vectorized or keyid-value);
+//! - [`KDeltaProtocol`] — the three-round K+δ sampling baseline;
+//! - [`SketchAggregator`] — incremental maintenance under streaming data
+//!   and data-center join/leave.
+//!
+//! All protocols implement [`OutlierProtocol`] and report a
+//! [`CommunicationCost`] with exactly the paper's tuple encodings (64-bit
+//! values, 96-bit keyid-value pairs).
+
+#![warn(missing_docs)]
+
+pub mod all;
+pub mod cluster;
+pub mod cost;
+pub mod cs;
+pub mod dictionary;
+pub mod incremental;
+pub mod kdelta;
+pub mod protocol;
+pub mod quantize;
+pub mod ta;
+pub mod topology;
+pub mod tput;
+pub mod wire;
+
+pub use all::{AllEncoding, AllProtocol};
+pub use cluster::Cluster;
+pub use cost::{
+    all_kv_cost, all_vectorized_cost, cs_cost, CommunicationCost, CostMeter, KV_PAIR_BITS,
+    VALUE_BITS,
+};
+pub use cs::CsProtocol;
+pub use dictionary::KeyDictionary;
+pub use incremental::SketchAggregator;
+pub use kdelta::KDeltaProtocol;
+pub use protocol::{OutlierProtocol, ProtocolRun};
+pub use quantize::{decode as decode_sketch, encode as encode_sketch, SketchEncoding};
+pub use ta::TaProtocol;
+pub use topology::{AggregationTree, TreeNode};
+pub use tput::TputProtocol;

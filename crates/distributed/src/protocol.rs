@@ -1,0 +1,61 @@
+//! The common protocol interface every aggregation strategy implements.
+
+use crate::cluster::Cluster;
+use crate::cost::CommunicationCost;
+use cso_core::KeyValue;
+use cso_linalg::LinalgError;
+
+/// Result of one protocol execution on a cluster.
+#[derive(Debug, Clone)]
+pub struct ProtocolRun {
+    /// Protocol name (for harness output).
+    pub protocol: &'static str,
+    /// The estimated k-outliers, ordered by decreasing |value − mode|.
+    pub estimate: Vec<KeyValue>,
+    /// The protocol's estimate of the mode `b`.
+    pub mode: f64,
+    /// Exact communication spent.
+    pub cost: CommunicationCost,
+}
+
+/// A single-shot distributed k-outlier protocol.
+pub trait OutlierProtocol {
+    /// Short stable name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Executes the protocol: nodes derive messages from their local slices,
+    /// the aggregator combines them and outputs `k` estimated outliers plus
+    /// a mode estimate, with every transmitted tuple accounted for.
+    fn run(&self, cluster: &Cluster, k: usize) -> Result<ProtocolRun, LinalgError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fixed;
+    impl OutlierProtocol for Fixed {
+        fn name(&self) -> &'static str {
+            "fixed"
+        }
+        fn run(&self, cluster: &Cluster, k: usize) -> Result<ProtocolRun, LinalgError> {
+            Ok(ProtocolRun {
+                protocol: self.name(),
+                estimate: (0..k.min(cluster.n()))
+                    .map(|index| KeyValue { index, value: 0.0 })
+                    .collect(),
+                mode: 0.0,
+                cost: CommunicationCost::default(),
+            })
+        }
+    }
+
+    #[test]
+    fn trait_objects_work() {
+        let p: Box<dyn OutlierProtocol> = Box::new(Fixed);
+        let c = Cluster::new(vec![vec![1.0, 2.0]]).unwrap();
+        let run = p.run(&c, 5).unwrap();
+        assert_eq!(run.protocol, "fixed");
+        assert_eq!(run.estimate.len(), 2);
+    }
+}

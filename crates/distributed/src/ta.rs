@@ -1,0 +1,202 @@
+//! Fagin's Threshold Algorithm (TA) for distributed top-k.
+//!
+//! The related-work baseline of Section 7.1: "a seminal work by Fagin et
+//! al. proposed the famous Threshold Algorithm". TA repeatedly performs
+//! *sorted access* — every node reveals its next-largest local value — and
+//! stops once `k` keys have aggregated values above the threshold
+//! `τ = Σ_l (value at the current rank on node l)`, which upper-bounds any
+//! unseen key's total.
+//!
+//! Two properties the paper leans on are directly observable here:
+//!
+//! 1. TA is **exact** for top-k over non-negative data, but "suffers from
+//!    limited scalability with respect to the number of nodes as it
+//!    fundamentally runs in multiple rounds" — the round count is the
+//!    number of sorted-access depths explored.
+//! 2. With **negative values** the partial sum is no longer a lower bound
+//!    and the threshold no longer an upper bound, so TA is unsound for the
+//!    k-outlier problem over `R^N` ([`TaProtocol::run_topk`] refuses such
+//!    inputs rather than silently returning wrong answers).
+
+use crate::cluster::Cluster;
+use crate::cost::CostMeter;
+use cso_core::KeyValue;
+use cso_linalg::LinalgError;
+
+/// Result of a TA execution.
+#[derive(Debug, Clone)]
+pub struct TaRun {
+    /// The exact top-k keys by aggregated value, descending.
+    pub topk: Vec<KeyValue>,
+    /// Communication cost (each sorted/random access ships one keyid-value
+    /// pair; one round per access depth).
+    pub cost: crate::cost::CommunicationCost,
+    /// Sorted-access depth reached before the threshold stop fired.
+    pub depth: usize,
+}
+
+/// Fagin's Threshold Algorithm over per-node sorted lists.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TaProtocol;
+
+impl TaProtocol {
+    /// Runs TA for the exact top-k. Errors when any slice contains a
+    /// negative value (TA's threshold argument requires monotone
+    /// aggregation over non-negative contributions) or `k == 0`.
+    pub fn run_topk(&self, cluster: &Cluster, k: usize) -> Result<TaRun, LinalgError> {
+        if k == 0 {
+            return Err(LinalgError::InvalidParameter { name: "k", message: "k must be >= 1" });
+        }
+        for l in 0..cluster.l() {
+            if cluster.slice(l).iter().any(|&v| v < 0.0) {
+                return Err(LinalgError::InvalidParameter {
+                    name: "slice",
+                    message: "TA requires non-negative values (see Section 7.1)",
+                });
+            }
+        }
+        let n = cluster.n();
+        let l = cluster.l();
+        let mut meter = CostMeter::new(l);
+
+        // Each node pre-sorts its local list (local work, not communication).
+        let sorted: Vec<Vec<(usize, f64)>> = (0..l)
+            .map(|node| {
+                let mut v: Vec<(usize, f64)> =
+                    cluster.slice(node).iter().copied().enumerate().collect();
+                v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+                v
+            })
+            .collect();
+
+        // Seen keys with their exact totals (random access resolves a key's
+        // value on every node the moment it is first seen).
+        let mut total: Vec<Option<f64>> = vec![None; n];
+        let mut seen_order: Vec<usize> = Vec::new();
+
+        let mut depth = 0usize;
+        loop {
+            if depth >= n {
+                break; // every key seen — exact by exhaustion
+            }
+            meter.begin_round();
+            // Sorted access: each node reveals its entry at `depth`.
+            let mut threshold = 0.0;
+            for (node, list) in sorted.iter().enumerate() {
+                let (key, value) = list[depth];
+                threshold += value;
+                meter.record_kv_pairs(node, 1);
+                if total[key].is_none() {
+                    // Random access: fetch this key's value from every
+                    // other node (one pair each).
+                    let mut t = 0.0;
+                    for other in 0..l {
+                        t += cluster.slice(other)[key];
+                        if other != node {
+                            meter.record_kv_pairs(other, 1);
+                        }
+                    }
+                    total[key] = Some(t);
+                    seen_order.push(key);
+                }
+            }
+            depth += 1;
+            // Stop once k seen keys have totals ≥ threshold.
+            let mut seen: Vec<(usize, f64)> = seen_order
+                .iter()
+                .map(|&key| (key, total[key].expect("seen")))
+                .collect();
+            seen.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+            if seen.len() >= k && seen[k - 1].1 >= threshold {
+                let topk = seen
+                    .into_iter()
+                    .take(k)
+                    .map(|(index, value)| KeyValue { index, value })
+                    .collect();
+                return Ok(TaRun { topk, cost: meter.finish(), depth });
+            }
+        }
+        // Exhaustive fallback (tiny inputs): everything seen.
+        let mut seen: Vec<(usize, f64)> = seen_order
+            .iter()
+            .map(|&key| (key, total[key].expect("seen")))
+            .collect();
+        seen.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+        seen.truncate(k);
+        Ok(TaRun {
+            topk: seen.into_iter().map(|(index, value)| KeyValue { index, value }).collect(),
+            cost: meter.finish(),
+            depth,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cso_workloads::{split, SliceStrategy};
+
+    fn nonneg_cluster() -> (Cluster, Vec<f64>) {
+        // Skewed non-negative data with clear top keys.
+        let mut x: Vec<f64> = (0..200).map(|i| ((i * 7919) % 97) as f64).collect();
+        x[13] = 5000.0;
+        x[77] = 4000.0;
+        x[150] = 3000.0;
+        let slices = split(&x, 4, SliceStrategy::RandomProportions, 3).unwrap();
+        (Cluster::new(slices).unwrap(), x)
+    }
+
+    #[test]
+    fn ta_is_exact_on_nonnegative_data() {
+        let (cluster, x) = nonneg_cluster();
+        let run = TaProtocol.run_topk(&cluster, 3).unwrap();
+        let keys: Vec<usize> = run.topk.iter().map(|o| o.index).collect();
+        assert_eq!(keys, vec![13, 77, 150]);
+        for o in &run.topk {
+            assert!((o.value - x[o.index]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ta_stops_early_on_skewed_data() {
+        let (cluster, _) = nonneg_cluster();
+        let run = TaProtocol.run_topk(&cluster, 3).unwrap();
+        assert!(run.depth < cluster.n(), "threshold stop must fire early");
+        // Multi-round by construction — the paper's scalability complaint.
+        assert!(run.cost.rounds as usize == run.depth);
+    }
+
+    #[test]
+    fn ta_rejects_negative_values() {
+        let slices = vec![vec![1.0, -2.0, 3.0]];
+        let cluster = Cluster::new(slices).unwrap();
+        let err = TaProtocol.run_topk(&cluster, 1).unwrap_err();
+        assert!(matches!(err, LinalgError::InvalidParameter { .. }));
+    }
+
+    #[test]
+    fn ta_rejects_zero_k() {
+        let (cluster, _) = nonneg_cluster();
+        assert!(TaProtocol.run_topk(&cluster, 0).is_err());
+    }
+
+    #[test]
+    fn ta_exhaustive_on_uniform_data() {
+        // All values equal: the threshold never separates, TA degenerates
+        // to scanning everything but stays exact.
+        let slices = vec![vec![1.0; 10], vec![1.0; 10]];
+        let cluster = Cluster::new(slices).unwrap();
+        let run = TaProtocol.run_topk(&cluster, 2).unwrap();
+        assert_eq!(run.topk.len(), 2);
+        assert!((run.topk[0].value - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ta_cost_grows_with_depth() {
+        let (cluster, _) = nonneg_cluster();
+        let shallow = TaProtocol.run_topk(&cluster, 1).unwrap();
+        let deep = TaProtocol.run_topk(&cluster, 10).unwrap();
+        assert!(deep.depth >= shallow.depth);
+        assert!(deep.cost.bits >= shallow.cost.bits);
+    }
+}

@@ -1,0 +1,283 @@
+//! Hierarchical (tree) sketch aggregation.
+//!
+//! The paper's protocol is star-shaped: every data center ships its sketch
+//! straight to one aggregator. Geo-distributed deployments usually
+//! aggregate through regional hubs instead (rack → data center → region →
+//! global). Because measurement is linear (`Σ` over any grouping of the
+//! slices is the same `Φ0·x`), sketches can be *summed at every interior
+//! node* of an arbitrary aggregation tree without changing the recovered
+//! result — and each link carries exactly `M` values regardless of how
+//! many leaves sit below it, which is where the tree beats the star on
+//! wide-area links.
+//!
+//! [`AggregationTree`] models such a topology, computes the combined
+//! sketch, and accounts cost per link so star-vs-tree trade-offs can be
+//! quantified.
+
+use crate::cost::{CommunicationCost, VALUE_BITS};
+use cso_core::MeasurementSpec;
+use cso_linalg::{LinalgError, Vector};
+
+/// A node in the aggregation topology.
+#[derive(Debug, Clone)]
+pub enum TreeNode {
+    /// A data center holding a slice (identified by its cluster index).
+    Leaf {
+        /// Index into the cluster's slice list.
+        node: usize,
+    },
+    /// An interior aggregator that sums its children's sketches before
+    /// forwarding one `M`-length sketch upward.
+    Hub {
+        /// Child subtrees.
+        children: Vec<TreeNode>,
+    },
+}
+
+impl TreeNode {
+    /// A leaf for cluster node `i`.
+    pub fn leaf(node: usize) -> Self {
+        TreeNode::Leaf { node }
+    }
+
+    /// A hub over the given subtrees.
+    pub fn hub(children: Vec<TreeNode>) -> Self {
+        TreeNode::Hub { children }
+    }
+
+    /// Leaf indices in this subtree, in traversal order.
+    fn leaves(&self, out: &mut Vec<usize>) {
+        match self {
+            TreeNode::Leaf { node } => out.push(*node),
+            TreeNode::Hub { children } => {
+                for c in children {
+                    c.leaves(out);
+                }
+            }
+        }
+    }
+
+    /// Number of links in this subtree when its root forwards upward
+    /// (every node except the overall root has one uplink).
+    fn links(&self) -> u64 {
+        match self {
+            TreeNode::Leaf { .. } => 0,
+            TreeNode::Hub { children } => {
+                children.len() as u64 + children.iter().map(|c| c.links()).sum::<u64>()
+            }
+        }
+    }
+}
+
+/// An aggregation topology rooted at the global aggregator.
+#[derive(Debug, Clone)]
+pub struct AggregationTree {
+    root: TreeNode,
+}
+
+impl AggregationTree {
+    /// Builds a tree. The root must be a hub (the global aggregator), every
+    /// cluster node must appear exactly once as a leaf, and `expected_nodes`
+    /// is the cluster's `L`.
+    pub fn new(root: TreeNode, expected_nodes: usize) -> Result<Self, LinalgError> {
+        if matches!(root, TreeNode::Leaf { .. }) {
+            return Err(LinalgError::InvalidParameter {
+                name: "root",
+                message: "the root must be an aggregator hub",
+            });
+        }
+        let mut leaves = Vec::new();
+        root.leaves(&mut leaves);
+        let mut sorted = leaves.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        if sorted.len() != leaves.len() {
+            return Err(LinalgError::InvalidParameter {
+                name: "root",
+                message: "a cluster node appears more than once",
+            });
+        }
+        if sorted.len() != expected_nodes
+            || sorted.first() != Some(&0)
+            || sorted.last() != Some(&(expected_nodes - 1))
+        {
+            return Err(LinalgError::InvalidParameter {
+                name: "root",
+                message: "leaves must cover cluster nodes 0..L exactly",
+            });
+        }
+        Ok(AggregationTree { root })
+    }
+
+    /// The flat star topology (every node a direct child of the root).
+    pub fn star(l: usize) -> Result<Self, LinalgError> {
+        Self::new(TreeNode::hub((0..l).map(TreeNode::leaf).collect()), l)
+    }
+
+    /// A two-level topology: nodes grouped into hubs of `group` leaves.
+    pub fn two_level(l: usize, group: usize) -> Result<Self, LinalgError> {
+        if group == 0 {
+            return Err(LinalgError::InvalidParameter {
+                name: "group",
+                message: "group size must be positive",
+            });
+        }
+        let hubs: Vec<TreeNode> = (0..l)
+            .collect::<Vec<_>>()
+            .chunks(group)
+            .map(|chunk| TreeNode::hub(chunk.iter().map(|&i| TreeNode::leaf(i)).collect()))
+            .collect();
+        Self::new(TreeNode::hub(hubs), l)
+    }
+
+    /// Number of links (every non-root node forwards one sketch).
+    pub fn links(&self) -> u64 {
+        self.root.links()
+    }
+
+    /// Aggregates the per-node sketches up the tree, returning the global
+    /// measurement and the exact communication cost: `links · M` values,
+    /// one round per tree depth.
+    pub fn aggregate(
+        &self,
+        spec: &MeasurementSpec,
+        sketches: &[Vector],
+    ) -> Result<(Vector, CommunicationCost), LinalgError> {
+        for s in sketches {
+            if s.len() != spec.m {
+                return Err(LinalgError::DimensionMismatch {
+                    op: "tree_aggregate",
+                    expected: (spec.m, 1),
+                    actual: (s.len(), 1),
+                });
+            }
+        }
+        let y = self.sum(&self.root, spec, sketches)?;
+        let cost = CommunicationCost {
+            bits: self.links() * spec.m as u64 * VALUE_BITS,
+            tuples: self.links() * spec.m as u64,
+            rounds: self.depth(&self.root) as u32,
+        };
+        Ok((y, cost))
+    }
+
+    fn sum(
+        &self,
+        node: &TreeNode,
+        spec: &MeasurementSpec,
+        sketches: &[Vector],
+    ) -> Result<Vector, LinalgError> {
+        match node {
+            TreeNode::Leaf { node } => sketches
+                .get(*node)
+                .cloned()
+                .ok_or(LinalgError::InvalidParameter {
+                    name: "sketches",
+                    message: "missing sketch for a leaf node",
+                }),
+            TreeNode::Hub { children } => {
+                let mut acc = Vector::zeros(spec.m);
+                for c in children {
+                    acc.add_assign(&self.sum(c, spec, sketches)?)?;
+                }
+                Ok(acc)
+            }
+        }
+    }
+
+    fn depth(&self, node: &TreeNode) -> usize {
+        match node {
+            TreeNode::Leaf { .. } => 0,
+            TreeNode::Hub { children } => {
+                1 + children.iter().map(|c| self.depth(c)).max().unwrap_or(0)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cso_core::{bomp_with_matrix, BompConfig};
+
+    fn sketches(spec: &MeasurementSpec, slices: &[Vec<f64>]) -> Vec<Vector> {
+        slices.iter().map(|s| spec.measure_dense(s).unwrap()).collect()
+    }
+
+    fn slices() -> Vec<Vec<f64>> {
+        let mut x = vec![700.0; 300];
+        x[42] = 9000.0;
+        x[200] = -4000.0;
+        cso_workloads::split(&x, 6, cso_workloads::SliceStrategy::RandomProportions, 3)
+            .unwrap()
+    }
+
+    #[test]
+    fn tree_and_star_produce_identical_measurements() {
+        let spec = MeasurementSpec::new(80, 300, 11).unwrap();
+        let sl = slices();
+        let ys = sketches(&spec, &sl);
+        let star = AggregationTree::star(6).unwrap();
+        let tree = AggregationTree::two_level(6, 2).unwrap();
+        let (y_star, _) = star.aggregate(&spec, &ys).unwrap();
+        let (y_tree, _) = tree.aggregate(&spec, &ys).unwrap();
+        // Exact linearity: only summation order differs.
+        let scale = y_star.norm2().max(1.0);
+        assert!(y_star.sub(&y_tree).unwrap().norm2() / scale < 1e-12);
+        // And recovery agrees with the ground truth either way.
+        let phi0 = spec.materialize();
+        let r = bomp_with_matrix(&phi0, &y_tree, &BompConfig::default()).unwrap();
+        assert!((r.mode - 700.0).abs() < 1e-6);
+        assert_eq!(r.top_k(1)[0].index, 42);
+    }
+
+    #[test]
+    fn link_and_round_accounting() {
+        let star = AggregationTree::star(6).unwrap();
+        assert_eq!(star.links(), 6);
+        let tree = AggregationTree::two_level(6, 2).unwrap();
+        // 6 leaf uplinks + 3 hub uplinks.
+        assert_eq!(tree.links(), 9);
+        let spec = MeasurementSpec::new(10, 300, 1).unwrap();
+        let ys = sketches(&spec, &slices());
+        let (_, star_cost) = star.aggregate(&spec, &ys).unwrap();
+        let (_, tree_cost) = tree.aggregate(&spec, &ys).unwrap();
+        assert_eq!(star_cost.bits, 6 * 10 * 64);
+        assert_eq!(tree_cost.bits, 9 * 10 * 64);
+        assert_eq!(star_cost.rounds, 1);
+        assert_eq!(tree_cost.rounds, 2);
+    }
+
+    #[test]
+    fn validates_topology() {
+        // Root must be a hub.
+        assert!(AggregationTree::new(TreeNode::leaf(0), 1).is_err());
+        // Duplicate leaf.
+        assert!(AggregationTree::new(
+            TreeNode::hub(vec![TreeNode::leaf(0), TreeNode::leaf(0)]),
+            2
+        )
+        .is_err());
+        // Missing leaf.
+        assert!(AggregationTree::new(TreeNode::hub(vec![TreeNode::leaf(0)]), 2).is_err());
+        // Out-of-range leaf.
+        assert!(AggregationTree::new(
+            TreeNode::hub(vec![TreeNode::leaf(0), TreeNode::leaf(5)]),
+            2
+        )
+        .is_err());
+        assert!(AggregationTree::two_level(4, 0).is_err());
+    }
+
+    #[test]
+    fn aggregate_validates_sketches() {
+        let spec = MeasurementSpec::new(10, 50, 1).unwrap();
+        let star = AggregationTree::star(2).unwrap();
+        // Wrong sketch length.
+        assert!(star
+            .aggregate(&spec, &[Vector::zeros(10), Vector::zeros(9)])
+            .is_err());
+        // Missing sketch.
+        assert!(star.aggregate(&spec, &[Vector::zeros(10)]).is_err());
+    }
+}

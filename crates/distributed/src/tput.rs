@@ -1,0 +1,220 @@
+//! TPUT — Cao & Wang's three-round top-k protocol.
+//!
+//! The Section 7.1 baseline the paper's K+δ is modelled on: "Inspired by
+//! Fagin's work, Pei Cao and Zhe Wang proposed the TPUT algorithm, which
+//! consists of three rounds: i) estimate the lower bound of the kth value,
+//! ii) prune keys using the lower bound and iii) exact top-k refinement."
+//!
+//! 1. **Estimate**: every node ships its local top-k; the aggregator sums
+//!    what it received and sets `τ1 = (k-th partial sum) / L`.
+//! 2. **Prune**: nodes ship every key whose local value exceeds `τ1`; keys
+//!    whose optimistic upper bound (received sum + τ1 per silent node)
+//!    stays below the k-th lower bound are pruned.
+//! 3. **Refine**: exact values of surviving candidates are fetched from
+//!    all nodes; the exact top-k among candidates is returned.
+//!
+//! Like TA, TPUT is exact **only for non-negative data** — the pruning
+//! bound assumes every unseen contribution is ≥ 0, which is precisely why
+//! the paper says these protocols "cannot be easily adapted to the
+//! k-outlier problem" over `R^N`.
+
+use crate::cluster::Cluster;
+use crate::cost::CostMeter;
+use cso_core::KeyValue;
+use cso_linalg::LinalgError;
+use std::collections::{HashMap, HashSet};
+
+/// Result of a TPUT execution.
+#[derive(Debug, Clone)]
+pub struct TputRun {
+    /// The exact top-k keys by aggregated value, descending.
+    pub topk: Vec<KeyValue>,
+    /// Communication cost over the three rounds.
+    pub cost: crate::cost::CommunicationCost,
+    /// Candidates that survived phase-2 pruning.
+    pub candidates: usize,
+}
+
+/// The TPUT three-round protocol.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TputProtocol;
+
+impl TputProtocol {
+    /// Runs TPUT for the exact top-k over non-negative data. Errors on
+    /// negative values or `k == 0`.
+    pub fn run_topk(&self, cluster: &Cluster, k: usize) -> Result<TputRun, LinalgError> {
+        if k == 0 {
+            return Err(LinalgError::InvalidParameter { name: "k", message: "k must be >= 1" });
+        }
+        let l = cluster.l();
+        for node in 0..l {
+            if cluster.slice(node).iter().any(|&v| v < 0.0) {
+                return Err(LinalgError::InvalidParameter {
+                    name: "slice",
+                    message: "TPUT requires non-negative values (see Section 7.1)",
+                });
+            }
+        }
+        let mut meter = CostMeter::new(l);
+
+        // Per-node descending lists.
+        let sorted: Vec<Vec<(usize, f64)>> = (0..l)
+            .map(|node| {
+                let mut v: Vec<(usize, f64)> =
+                    cluster.slice(node).iter().copied().enumerate().collect();
+                v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+                v
+            })
+            .collect();
+
+        // Round 1: local top-k from every node. Contributions accumulate
+        // into `received`, with `seen_by` tracking which node reported
+        // which key so round 2 never double-counts.
+        meter.begin_round();
+        let mut received: HashMap<usize, f64> = HashMap::new();
+        let mut seen_by: HashMap<usize, HashSet<usize>> = HashMap::new();
+        for (node, list) in sorted.iter().enumerate() {
+            for &(key, value) in list.iter().take(k) {
+                *received.entry(key).or_insert(0.0) += value;
+                seen_by.entry(key).or_default().insert(node);
+                meter.record_kv_pairs(node, 1);
+            }
+        }
+        let mut partial_sorted: Vec<f64> = received.values().copied().collect();
+        partial_sorted.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
+        let phase1_kth = partial_sorted.get(k - 1).copied().unwrap_or(0.0);
+        let tau1 = phase1_kth / l as f64;
+
+        // Round 2: every node ships its not-yet-reported keys with local
+        // value ≥ τ1 (the aggregator broadcasts τ1 first).
+        meter.begin_round();
+        meter.record_broadcast_values(1);
+        for (node, list) in sorted.iter().enumerate() {
+            for &(key, value) in list.iter() {
+                if value < tau1 {
+                    break; // sorted: all further values are < τ1
+                }
+                if seen_by.entry(key).or_default().insert(node) {
+                    *received.entry(key).or_insert(0.0) += value;
+                    meter.record_kv_pairs(node, 1);
+                }
+            }
+        }
+        // New lower bound on the k-th total from round-2 sums.
+        let mut sums: Vec<f64> = received.values().copied().collect();
+        sums.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
+        let lower_kth = sums.get(k - 1).copied().unwrap_or(0.0);
+
+        // Prune: upper bound = received sum + τ1 for every silent node.
+        let candidates: Vec<usize> = received
+            .iter()
+            .filter(|(key, &sum)| {
+                let reported = seen_by.get(*key).map_or(0, |s| s.len());
+                let upper = sum + tau1 * (l - reported) as f64;
+                upper >= lower_kth
+            })
+            .map(|(&key, _)| key)
+            .collect();
+
+        // Round 3: exact refinement of survivors.
+        meter.begin_round();
+        let mut exact: Vec<KeyValue> = candidates
+            .iter()
+            .map(|&key| {
+                let mut value = 0.0;
+                for node in 0..l {
+                    value += cluster.slice(node)[key];
+                    meter.record_kv_pairs(node, 1);
+                }
+                KeyValue { index: key, value }
+            })
+            .collect();
+        exact.sort_by(|a, b| {
+            b.value.partial_cmp(&a.value).expect("finite").then(a.index.cmp(&b.index))
+        });
+        exact.truncate(k);
+
+        Ok(TputRun { topk: exact, cost: meter.finish(), candidates: candidates.len() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ta::TaProtocol;
+    use cso_workloads::{split, SliceStrategy};
+
+    fn nonneg_cluster(seed: u64) -> (Cluster, Vec<f64>) {
+        // Distinct values (the tiny index-scaled term breaks ties).
+        let mut x: Vec<f64> =
+            (0..300).map(|i| ((i * 6151) % 83) as f64 + i as f64 * 1e-6).collect();
+        x[13] = 9000.0;
+        x[77] = 7000.0;
+        x[150] = 5000.0;
+        x[299] = 4000.0;
+        let slices = split(&x, 5, SliceStrategy::RandomProportions, seed).unwrap();
+        (Cluster::new(slices).unwrap(), x)
+    }
+
+    #[test]
+    fn tput_is_exact_on_nonnegative_data() {
+        let (cluster, x) = nonneg_cluster(1);
+        let run = TputProtocol.run_topk(&cluster, 4).unwrap();
+        let keys: Vec<usize> = run.topk.iter().map(|o| o.index).collect();
+        assert_eq!(keys, vec![13, 77, 150, 299]);
+        for o in &run.topk {
+            assert!((o.value - x[o.index]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn tput_agrees_with_ta() {
+        for seed in [2u64, 3, 4] {
+            let (cluster, _) = nonneg_cluster(seed);
+            let tput = TputProtocol.run_topk(&cluster, 5).unwrap();
+            let ta = TaProtocol.run_topk(&cluster, 5).unwrap();
+            let a: Vec<usize> = tput.topk.iter().map(|o| o.index).collect();
+            let b: Vec<usize> = ta.topk.iter().map(|o| o.index).collect();
+            assert_eq!(a, b, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn tput_runs_exactly_three_rounds() {
+        let (cluster, _) = nonneg_cluster(5);
+        let run = TputProtocol.run_topk(&cluster, 3).unwrap();
+        assert_eq!(run.cost.rounds, 3);
+    }
+
+    #[test]
+    fn tput_prunes_most_keys() {
+        let (cluster, _) = nonneg_cluster(6);
+        let run = TputProtocol.run_topk(&cluster, 3).unwrap();
+        assert!(
+            run.candidates < cluster.n() / 2,
+            "pruning should eliminate most of the {} keys, kept {}",
+            cluster.n(),
+            run.candidates
+        );
+    }
+
+    #[test]
+    fn tput_rejects_negative_values_and_zero_k() {
+        let cluster = Cluster::new(vec![vec![1.0, -1.0]]).unwrap();
+        assert!(TputProtocol.run_topk(&cluster, 1).is_err());
+        let (ok, _) = nonneg_cluster(7);
+        assert!(TputProtocol.run_topk(&ok, 0).is_err());
+    }
+
+    #[test]
+    fn tput_cheaper_than_ta_on_deep_instances() {
+        // TPUT's fixed three rounds vs TA's per-depth rounds: on data where
+        // TA must dig deep, TPUT ships fewer tuples.
+        let x: Vec<f64> = (0..400).map(|i| 100.0 + (i % 7) as f64).collect();
+        let slices = split(&x, 6, SliceStrategy::RandomProportions, 9).unwrap();
+        let cluster = Cluster::new(slices).unwrap();
+        let ta = TaProtocol.run_topk(&cluster, 5).unwrap();
+        let tput = TputProtocol.run_topk(&cluster, 5).unwrap();
+        assert!(tput.cost.rounds < ta.cost.rounds);
+    }
+}

@@ -1,0 +1,347 @@
+//! Wire format for protocol messages.
+//!
+//! The cost meter (Section 6.1.2's accounting) prices tuples abstractly;
+//! this module makes the transport concrete: a small, versioned, little-
+//! endian binary format for the three message kinds the protocols exchange.
+//! Tests cross-check the encoded byte counts against the abstract
+//! accounting, so the normalized-cost figures rest on real byte layouts.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! [0]    u8   message tag (1 = sketch, 2 = kv batch, 3 = mode broadcast)
+//! [1]    u8   format version (currently 1)
+//! ...         tag-specific body
+//! ```
+
+use crate::quantize::{EncodedSketch, SketchEncoding};
+use std::fmt;
+
+/// Current format version.
+pub const WIRE_VERSION: u8 = 1;
+
+const TAG_SKETCH: u8 = 1;
+const TAG_KV_BATCH: u8 = 2;
+const TAG_MODE: u8 = 3;
+
+/// A message a node or the aggregator puts on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// A node's local measurement `y_l` (possibly quantized).
+    Sketch {
+        /// Sending node id.
+        node: u32,
+        /// Seed the node derived `Φ0` from (lets the aggregator verify
+        /// configuration agreement).
+        seed: u64,
+        /// The measurement payload.
+        payload: EncodedSketch,
+    },
+    /// A batch of keyid-value pairs (baselines, K+δ rounds 1/3).
+    KvBatch {
+        /// Sending node id.
+        node: u32,
+        /// `(key id, value)` pairs.
+        pairs: Vec<(u32, f64)>,
+    },
+    /// The aggregator's mode broadcast (K+δ round 2).
+    ModeBroadcast {
+        /// Estimated mode.
+        mode: f64,
+    },
+}
+
+/// Decode failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the message did.
+    Truncated,
+    /// Unknown message tag.
+    BadTag(u8),
+    /// Unsupported format version.
+    BadVersion(u8),
+    /// Unknown sketch-encoding discriminant.
+    BadEncoding(u8),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "message truncated"),
+            WireError::BadTag(t) => write!(f, "unknown message tag {t}"),
+            WireError::BadVersion(v) => write!(f, "unsupported wire version {v}"),
+            WireError::BadEncoding(e) => write!(f, "unknown sketch encoding {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn new() -> Self {
+        Writer { buf: Vec::new() }
+    }
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f32(&mut self, v: f32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn i16(&mut self, v: i16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.pos + n > self.buf.len() {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+    fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+    fn f32(&mut self) -> Result<f32, WireError> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+    fn i16(&mut self) -> Result<i16, WireError> {
+        Ok(i16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+    }
+    fn finished(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+fn encoding_tag(e: SketchEncoding) -> u8 {
+    match e {
+        SketchEncoding::F64 => 0,
+        SketchEncoding::F32 => 1,
+        SketchEncoding::Fixed16 => 2,
+    }
+}
+
+/// Serializes a message.
+pub fn encode(msg: &Message) -> Vec<u8> {
+    let mut w = Writer::new();
+    match msg {
+        Message::Sketch { node, seed, payload } => {
+            w.u8(TAG_SKETCH);
+            w.u8(WIRE_VERSION);
+            w.u32(*node);
+            w.u64(*seed);
+            w.u8(encoding_tag(payload.encoding()));
+            w.u32(payload.len() as u32);
+            match payload {
+                EncodedSketch::F64(v) => v.iter().for_each(|&x| w.f64(x)),
+                EncodedSketch::F32(v) => v.iter().for_each(|&x| w.f32(x)),
+                EncodedSketch::Fixed16 { values, scale } => {
+                    w.f64(*scale);
+                    values.iter().for_each(|&x| w.i16(x));
+                }
+            }
+        }
+        Message::KvBatch { node, pairs } => {
+            w.u8(TAG_KV_BATCH);
+            w.u8(WIRE_VERSION);
+            w.u32(*node);
+            w.u32(pairs.len() as u32);
+            for &(k, v) in pairs {
+                w.u32(k);
+                w.f64(v);
+            }
+        }
+        Message::ModeBroadcast { mode } => {
+            w.u8(TAG_MODE);
+            w.u8(WIRE_VERSION);
+            w.f64(*mode);
+        }
+    }
+    w.buf
+}
+
+/// Deserializes a message, requiring the buffer to contain exactly one.
+pub fn decode(buf: &[u8]) -> Result<Message, WireError> {
+    let mut r = Reader::new(buf);
+    let tag = r.u8()?;
+    let version = r.u8()?;
+    if version != WIRE_VERSION {
+        return Err(WireError::BadVersion(version));
+    }
+    let msg = match tag {
+        TAG_SKETCH => {
+            let node = r.u32()?;
+            let seed = r.u64()?;
+            let enc = r.u8()?;
+            let len = r.u32()? as usize;
+            let payload = match enc {
+                0 => {
+                    let mut v = Vec::with_capacity(len);
+                    for _ in 0..len {
+                        v.push(r.f64()?);
+                    }
+                    EncodedSketch::F64(v)
+                }
+                1 => {
+                    let mut v = Vec::with_capacity(len);
+                    for _ in 0..len {
+                        v.push(r.f32()?);
+                    }
+                    EncodedSketch::F32(v)
+                }
+                2 => {
+                    let scale = r.f64()?;
+                    let mut values = Vec::with_capacity(len);
+                    for _ in 0..len {
+                        values.push(r.i16()?);
+                    }
+                    EncodedSketch::Fixed16 { values, scale }
+                }
+                other => return Err(WireError::BadEncoding(other)),
+            };
+            Message::Sketch { node, seed, payload }
+        }
+        TAG_KV_BATCH => {
+            let node = r.u32()?;
+            let len = r.u32()? as usize;
+            let mut pairs = Vec::with_capacity(len);
+            for _ in 0..len {
+                let k = r.u32()?;
+                let v = r.f64()?;
+                pairs.push((k, v));
+            }
+            Message::KvBatch { node, pairs }
+        }
+        TAG_MODE => Message::ModeBroadcast { mode: r.f64()? },
+        other => return Err(WireError::BadTag(other)),
+    };
+    if !r.finished() {
+        return Err(WireError::Truncated); // trailing garbage = framing bug
+    }
+    Ok(msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{KV_PAIR_BITS, VALUE_BITS};
+    use crate::quantize;
+    use cso_linalg::Vector;
+
+    fn sketch_msg(encoding: SketchEncoding) -> Message {
+        let y = Vector::from_vec(vec![1.0, -2.5, 3e7, 0.0]);
+        Message::Sketch { node: 3, seed: 99, payload: quantize::encode(&y, encoding) }
+    }
+
+    #[test]
+    fn sketch_round_trip_all_encodings() {
+        for enc in [SketchEncoding::F64, SketchEncoding::F32, SketchEncoding::Fixed16] {
+            let msg = sketch_msg(enc);
+            let back = decode(&encode(&msg)).unwrap();
+            assert_eq!(back, msg, "{enc:?}");
+        }
+    }
+
+    #[test]
+    fn kv_batch_round_trip() {
+        let msg = Message::KvBatch {
+            node: 7,
+            pairs: vec![(0, 1.5), (4_000_000, -2.25), (42, f64::MAX)],
+        };
+        assert_eq!(decode(&encode(&msg)).unwrap(), msg);
+    }
+
+    #[test]
+    fn mode_broadcast_round_trip() {
+        let msg = Message::ModeBroadcast { mode: -1800.75 };
+        assert_eq!(decode(&encode(&msg)).unwrap(), msg);
+    }
+
+    #[test]
+    fn sketch_payload_matches_cost_accounting() {
+        // The abstract meter charges 64 bits per sketch value; the real
+        // f64 payload is exactly that plus a fixed 18-byte header.
+        let m = 4;
+        let bytes = encode(&sketch_msg(SketchEncoding::F64)).len() as u64;
+        let header = 1 + 1 + 4 + 8 + 1 + 4; // tag, ver, node, seed, enc, len
+        assert_eq!(bytes, header + m * VALUE_BITS / 8);
+    }
+
+    #[test]
+    fn kv_payload_matches_cost_accounting() {
+        // 96 bits per pair (32-bit key id + 64-bit value), plus header.
+        let pairs = 3u64;
+        let msg = Message::KvBatch { node: 1, pairs: vec![(1, 1.0), (2, 2.0), (3, 3.0)] };
+        let bytes = encode(&msg).len() as u64;
+        let header = 1 + 1 + 4 + 4;
+        assert_eq!(bytes, header + pairs * KV_PAIR_BITS / 8);
+    }
+
+    #[test]
+    fn truncated_buffers_rejected() {
+        let full = encode(&sketch_msg(SketchEncoding::F64));
+        for cut in [0usize, 1, 5, full.len() - 1] {
+            assert_eq!(decode(&full[..cut]), Err(WireError::Truncated), "cut = {cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut buf = encode(&Message::ModeBroadcast { mode: 1.0 });
+        buf.push(0);
+        assert_eq!(decode(&buf), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn bad_tag_version_encoding_rejected() {
+        let mut buf = encode(&Message::ModeBroadcast { mode: 1.0 });
+        buf[0] = 99;
+        assert_eq!(decode(&buf), Err(WireError::BadTag(99)));
+
+        let mut buf = encode(&Message::ModeBroadcast { mode: 1.0 });
+        buf[1] = 9;
+        assert_eq!(decode(&buf), Err(WireError::BadVersion(9)));
+
+        let mut buf = encode(&sketch_msg(SketchEncoding::F64));
+        buf[14] = 7; // encoding byte (after tag, ver, node, seed)
+        assert_eq!(decode(&buf), Err(WireError::BadEncoding(7)));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(WireError::Truncated.to_string().contains("truncated"));
+        assert!(WireError::BadTag(5).to_string().contains('5'));
+    }
+}

@@ -1,0 +1,150 @@
+//! Property-based tests of the distributed substrate: wire round-trips,
+//! quantization error bounds, cost arithmetic, and baseline agreement.
+
+use cso_distributed::quantize::{self, SketchEncoding};
+use cso_distributed::wire::{self, Message};
+use cso_distributed::{
+    all_vectorized_cost, cs_cost, Cluster, CostMeter, TaProtocol, TputProtocol,
+};
+use cso_linalg::Vector;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Every message survives an encode/decode round trip bit-exactly.
+    #[test]
+    fn wire_round_trip_kv(
+        node in 0u32..1000,
+        pairs in prop::collection::vec((0u32..1_000_000, -1e12f64..1e12), 0..50),
+    ) {
+        let msg = Message::KvBatch { node, pairs };
+        prop_assert_eq!(wire::decode(&wire::encode(&msg)).unwrap(), msg);
+    }
+
+    #[test]
+    fn wire_round_trip_sketch(
+        node in 0u32..100,
+        seed in 0u64..u64::MAX,
+        values in prop::collection::vec(-1e9f64..1e9, 1..64),
+        enc in 0u8..3,
+    ) {
+        let encoding = match enc {
+            0 => SketchEncoding::F64,
+            1 => SketchEncoding::F32,
+            _ => SketchEncoding::Fixed16,
+        };
+        let payload = quantize::encode(&Vector::from_vec(values), encoding);
+        let msg = Message::Sketch { node, seed, payload };
+        prop_assert_eq!(wire::decode(&wire::encode(&msg)).unwrap(), msg);
+    }
+
+    /// Any strict prefix of an encoded message fails to decode (no partial
+    /// reads are ever misinterpreted as complete messages).
+    #[test]
+    fn wire_prefixes_never_decode(
+        values in prop::collection::vec(-1e6f64..1e6, 1..16),
+        cut_fraction in 0.0f64..1.0,
+    ) {
+        let msg = Message::Sketch {
+            node: 1,
+            seed: 2,
+            payload: quantize::encode(&Vector::from_vec(values), SketchEncoding::F64),
+        };
+        let buf = wire::encode(&msg);
+        let cut = ((buf.len() - 1) as f64 * cut_fraction) as usize;
+        prop_assert!(wire::decode(&buf[..cut]).is_err());
+    }
+
+    /// Quantization error respects the documented per-encoding bound.
+    #[test]
+    fn quantization_error_bounded(
+        values in prop::collection::vec(-1e7f64..1e7, 1..64),
+        enc in 0u8..3,
+    ) {
+        let encoding = match enc {
+            0 => SketchEncoding::F64,
+            1 => SketchEncoding::F32,
+            _ => SketchEncoding::Fixed16,
+        };
+        let y = Vector::from_vec(values);
+        let (back, bits) = quantize::transmit(&y, encoding).unwrap();
+        prop_assert_eq!(bits, encoding.payload_bits(y.len()));
+        let bound = quantize::relative_error_bound(encoding) * y.norm_inf();
+        let err = back.sub(&y).unwrap().norm_inf();
+        // F32 bound is relative per-value; allow 2 ulps of slack.
+        prop_assert!(err <= bound * 2.0 + 1e-30, "err {err} > bound {bound}");
+    }
+
+    /// Cost meter totals equal the sum of the parts, and CS-vs-ALL
+    /// normalization equals M/N for any shapes.
+    #[test]
+    fn cost_arithmetic(
+        l in 1usize..20,
+        n in 1usize..10_000,
+        m in 1usize..2_000,
+        values in 0u64..1000,
+        pairs in 0u64..1000,
+    ) {
+        let mut meter = CostMeter::new(l);
+        meter.record_values(0, values);
+        meter.record_kv_pairs(l - 1, pairs);
+        let c = meter.finish();
+        prop_assert_eq!(c.bits, values * 64 + pairs * 96);
+        prop_assert_eq!(c.tuples, values + pairs);
+
+        let all = all_vectorized_cost(l, n);
+        let cs = cs_cost(l, m);
+        let expect = m as f64 / n as f64;
+        prop_assert!((cs.normalized_to(&all) - expect).abs() < 1e-12);
+    }
+
+    /// TA and TPUT agree with the exact aggregate top-k on random
+    /// non-negative clusters (distinct values).
+    #[test]
+    fn ta_tput_exactness(
+        base in prop::collection::vec(0.0f64..1000.0, 8..40),
+        l in 1usize..4,
+        k in 1usize..4,
+    ) {
+        // Make values distinct to keep ordering unambiguous.
+        let x: Vec<f64> = base
+            .iter()
+            .enumerate()
+            .map(|(i, v)| v + i as f64 * 1e-6)
+            .collect();
+        let slices = cso_workloads::split(
+            &x,
+            l,
+            cso_workloads::SliceStrategy::RandomProportions,
+            7,
+        )
+        .unwrap();
+        // Floating-point remainder fixing can produce −ε values; TA/TPUT
+        // require exact non-negativity.
+        prop_assume!(slices.iter().all(|s| s.iter().all(|&v| v >= 0.0)));
+        let cluster = Cluster::new(slices).unwrap();
+        let k = k.min(x.len());
+
+        let mut expect: Vec<usize> = (0..x.len()).collect();
+        expect.sort_by(|&a, &b| x[b].partial_cmp(&x[a]).unwrap().then(a.cmp(&b)));
+        expect.truncate(k);
+
+        let ta: Vec<usize> = TaProtocol
+            .run_topk(&cluster, k)
+            .unwrap()
+            .topk
+            .iter()
+            .map(|o| o.index)
+            .collect();
+        let tput: Vec<usize> = TputProtocol
+            .run_topk(&cluster, k)
+            .unwrap()
+            .topk
+            .iter()
+            .map(|o| o.index)
+            .collect();
+        prop_assert_eq!(&ta, &expect);
+        prop_assert_eq!(&tput, &expect);
+    }
+}

@@ -1,0 +1,193 @@
+//! Cholesky factorization of symmetric positive-definite matrices.
+//!
+//! Used by the basis-pursuit ADMM solver, which repeatedly solves
+//! `(ΦΦᵀ + ρI)·x = b` with a fixed matrix: factor once, solve many times.
+
+use crate::error::{LinalgError, Result};
+use crate::matrix::ColMatrix;
+use crate::vector::Vector;
+
+/// Lower-triangular Cholesky factor `L` with `A = L·Lᵀ`.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    n: usize,
+    /// Column-major packed lower triangle: column j holds entries (j..n, j),
+    /// i.e. `l[col_offset(j) + (i - j)]` is `L[i][j]`.
+    l: Vec<f64>,
+}
+
+impl Cholesky {
+    /// Factors a symmetric positive-definite matrix.
+    ///
+    /// Only the lower triangle of `a` is read. Returns
+    /// [`LinalgError::Singular`] when a pivot is not strictly positive
+    /// (matrix not positive definite, or singular to working precision) and
+    /// [`LinalgError::DimensionMismatch`] for non-square input.
+    pub fn factor(a: &ColMatrix) -> Result<Self> {
+        let n = a.rows();
+        if a.cols() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "cholesky",
+                expected: (n, n),
+                actual: (a.rows(), a.cols()),
+            });
+        }
+        let mut l = vec![0.0; n * (n + 1) / 2];
+        let off = |j: usize| j * n - j * (j + 1) / 2 + j; // start of column j
+        for j in 0..n {
+            // d = A[j][j] - Σ_{k<j} L[j][k]²
+            let mut d = a.get(j, j);
+            for k in 0..j {
+                let ljk = l[off(k) + (j - k)];
+                d -= ljk * ljk;
+            }
+            if d <= 0.0 || !d.is_finite() {
+                return Err(LinalgError::Singular { op: "cholesky", index: j });
+            }
+            let djj = d.sqrt();
+            l[off(j)] = djj;
+            for i in j + 1..n {
+                let mut s = a.get(i, j);
+                for k in 0..j {
+                    s -= l[off(k) + (i - k)] * l[off(k) + (j - k)];
+                }
+                l[off(j) + (i - j)] = s / djj;
+            }
+        }
+        Ok(Cholesky { n, l })
+    }
+
+    /// Order of the factored matrix.
+    pub fn order(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn at(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(j <= i && i < self.n);
+        self.l[j * self.n - j * (j + 1) / 2 + i]
+    }
+
+    /// Solves `A·x = b` via forward then backward substitution.
+    #[allow(clippy::needless_range_loop)] // triangular solves read w[k] while writing w[i]
+    pub fn solve(&self, b: &Vector) -> Result<Vector> {
+        if b.len() != self.n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "cholesky_solve",
+                expected: (self.n, 1),
+                actual: (b.len(), 1),
+            });
+        }
+        // L·w = b
+        let mut w = b.as_slice().to_vec();
+        for i in 0..self.n {
+            let mut s = w[i];
+            for k in 0..i {
+                s -= self.at(i, k) * w[k];
+            }
+            w[i] = s / self.at(i, i);
+        }
+        // Lᵀ·x = w
+        for i in (0..self.n).rev() {
+            let mut s = w[i];
+            for k in i + 1..self.n {
+                s -= self.at(k, i) * w[k];
+            }
+            w[i] = s / self.at(i, i);
+        }
+        Ok(Vector::from_vec(w))
+    }
+
+    /// Reconstructs the lower-triangular factor as a dense matrix
+    /// (diagnostic / test helper).
+    pub fn l_dense(&self) -> ColMatrix {
+        let mut m = ColMatrix::zeros(self.n, self.n);
+        for j in 0..self.n {
+            for i in j..self.n {
+                m.set(i, j, self.at(i, j));
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> ColMatrix {
+        // A = Bᵀ·B + I for B = [[1,2,0],[0,1,1],[1,0,1]] is SPD.
+        let b = ColMatrix::from_col_major(
+            3,
+            3,
+            vec![1.0, 0.0, 1.0, 2.0, 1.0, 0.0, 0.0, 1.0, 1.0],
+        )
+        .unwrap();
+        let mut g = b.gram();
+        for i in 0..3 {
+            g.set(i, i, g.get(i, i) + 1.0);
+        }
+        g
+    }
+
+    #[test]
+    fn factor_reconstructs_matrix() {
+        let a = spd3();
+        let ch = Cholesky::factor(&a).unwrap();
+        let l = ch.l_dense();
+        let back = l.matmul(&l.transpose()).unwrap();
+        assert!(back.approx_eq(&a, 1e-12));
+    }
+
+    #[test]
+    fn solve_matches_direct_check() {
+        let a = spd3();
+        let ch = Cholesky::factor(&a).unwrap();
+        let x_true = Vector::from_vec(vec![1.0, -2.0, 0.5]);
+        let b = a.matvec(&x_true).unwrap();
+        let x = ch.solve(&b).unwrap();
+        assert!(x.approx_eq(&x_true, 1e-12));
+    }
+
+    #[test]
+    fn identity_factor_is_identity() {
+        let ch = Cholesky::factor(&ColMatrix::identity(4)).unwrap();
+        assert!(ch.l_dense().approx_eq(&ColMatrix::identity(4), 1e-15));
+        let b = Vector::from_vec(vec![1.0, 2.0, 3.0, 4.0]);
+        assert!(ch.solve(&b).unwrap().approx_eq(&b, 1e-15));
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        assert!(Cholesky::factor(&ColMatrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn indefinite_matrix_rejected() {
+        let mut a = ColMatrix::identity(2);
+        a.set(1, 1, -1.0);
+        assert!(matches!(
+            Cholesky::factor(&a),
+            Err(LinalgError::Singular { op: "cholesky", .. })
+        ));
+    }
+
+    #[test]
+    fn singular_matrix_rejected() {
+        // Rank-1 matrix [1 1; 1 1].
+        let a = ColMatrix::from_col_major(2, 2, vec![1.0, 1.0, 1.0, 1.0]).unwrap();
+        assert!(Cholesky::factor(&a).is_err());
+    }
+
+    #[test]
+    fn solve_checks_rhs_length() {
+        let ch = Cholesky::factor(&ColMatrix::identity(3)).unwrap();
+        assert!(ch.solve(&Vector::zeros(2)).is_err());
+    }
+
+    #[test]
+    fn order_reported() {
+        let ch = Cholesky::factor(&ColMatrix::identity(5)).unwrap();
+        assert_eq!(ch.order(), 5);
+    }
+}

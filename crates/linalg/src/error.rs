@@ -1,0 +1,124 @@
+//! Error types for linear-algebra operations.
+
+use std::fmt;
+
+/// Errors produced by `cso-linalg` operations.
+///
+/// All fallible operations in this crate return [`Result<T>`](crate::Result)
+/// with this error type; dimension checks are always performed eagerly so a
+/// mismatch never silently produces garbage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Two operands had incompatible shapes.
+    DimensionMismatch {
+        /// Human-readable name of the operation that failed.
+        op: &'static str,
+        /// Shape expected by the operation (rows, cols) or (len, 1).
+        expected: (usize, usize),
+        /// Shape actually supplied.
+        actual: (usize, usize),
+    },
+    /// A matrix required to be non-singular was (numerically) singular.
+    Singular {
+        /// Name of the decomposition or solve that detected singularity.
+        op: &'static str,
+        /// Index of the pivot / diagonal entry that collapsed.
+        index: usize,
+    },
+    /// A new column was (numerically) linearly dependent on the columns
+    /// already held by an incremental factorization.
+    RankDeficient {
+        /// Number of independent columns accepted so far.
+        rank: usize,
+    },
+    /// An operation received an empty vector or matrix where data is required.
+    Empty {
+        /// Name of the operation that failed.
+        op: &'static str,
+    },
+    /// A scalar parameter was out of its valid domain (e.g. a non-positive
+    /// regularization weight).
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Description of the constraint that was violated.
+        message: &'static str,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch { op, expected, actual } => write!(
+                f,
+                "dimension mismatch in `{op}`: expected {}x{}, got {}x{}",
+                expected.0, expected.1, actual.0, actual.1
+            ),
+            LinalgError::Singular { op, index } => {
+                write!(f, "singular matrix in `{op}` at pivot {index}")
+            }
+            LinalgError::RankDeficient { rank } => {
+                write!(f, "column is linearly dependent on the {rank} columns already factored")
+            }
+            LinalgError::Empty { op } => write!(f, "`{op}` requires non-empty input"),
+            LinalgError::InvalidParameter { name, message } => {
+                write!(f, "invalid parameter `{name}`: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, LinalgError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_dimension_mismatch() {
+        let e = LinalgError::DimensionMismatch {
+            op: "matvec",
+            expected: (3, 4),
+            actual: (3, 5),
+        };
+        let s = e.to_string();
+        assert!(s.contains("matvec"), "{s}");
+        assert!(s.contains("3x4"), "{s}");
+        assert!(s.contains("3x5"), "{s}");
+    }
+
+    #[test]
+    fn display_singular() {
+        let e = LinalgError::Singular { op: "cholesky", index: 2 };
+        assert_eq!(e.to_string(), "singular matrix in `cholesky` at pivot 2");
+    }
+
+    #[test]
+    fn display_rank_deficient() {
+        let e = LinalgError::RankDeficient { rank: 7 };
+        assert!(e.to_string().contains("7 columns"));
+    }
+
+    #[test]
+    fn display_empty() {
+        let e = LinalgError::Empty { op: "mean" };
+        assert!(e.to_string().contains("mean"));
+    }
+
+    #[test]
+    fn display_invalid_parameter() {
+        let e = LinalgError::InvalidParameter { name: "rho", message: "must be positive" };
+        let s = e.to_string();
+        assert!(s.contains("rho") && s.contains("positive"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> =
+            Box::new(LinalgError::Empty { op: "x" });
+        assert!(e.to_string().contains('x'));
+    }
+}

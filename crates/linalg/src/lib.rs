@@ -1,0 +1,35 @@
+//! # cso-linalg
+//!
+//! Dense linear-algebra substrate for the compressive-sensing outlier
+//! detection system (SIGMOD'15 reproduction). The paper's Hadoop
+//! implementation called Intel MKL through JNI for its QR factorization;
+//! this crate supplies the same numerics in pure Rust:
+//!
+//! - [`Vector`] / [`ColMatrix`] — dense storage with column-major layout so
+//!   OMP's column scans are contiguous;
+//! - [`IncrementalQr`] — thin QR grown one column per OMP iteration via
+//!   modified Gram–Schmidt with re-orthogonalization;
+//! - [`Cholesky`] — SPD factorization for the basis-pursuit ADMM extension;
+//! - [`random`] — seeded Gaussian sampling (polar Box–Muller) so all nodes
+//!   regenerate identical measurement matrices from a shared `u64` seed;
+//! - [`stats`] — the summary statistics the evaluation harness reports.
+//!
+//! All fallible operations return [`Result`] with a descriptive
+//! [`LinalgError`]; dimension checks never panic in release code paths.
+
+#![warn(missing_docs)]
+
+pub mod cholesky;
+pub mod error;
+pub mod matrix;
+pub mod qr;
+pub mod random;
+pub mod stats;
+pub mod vector;
+
+pub use cholesky::Cholesky;
+pub use error::{LinalgError, Result};
+pub use matrix::ColMatrix;
+pub use qr::IncrementalQr;
+pub use random::{derive_seed, stream_rng, GaussianSampler};
+pub use vector::Vector;

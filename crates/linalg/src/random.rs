@@ -1,0 +1,179 @@
+//! Seeded random sampling.
+//!
+//! The distributed protocol requires every node to regenerate *exactly* the
+//! same measurement matrix from a shared `u64` seed (the paper's Algorithms
+//! 3 and 4 pass the seed to both the CS-Mapper and the CS-Reducer). All
+//! sampling here is therefore deterministic given the seed, across platforms
+//! and across calls.
+//!
+//! Gaussian variates are produced with the polar Box–Muller method on top of
+//! `rand::rngs::StdRng`; the `rand_distr` crate is deliberately not used
+//! (see DESIGN.md's dependency policy).
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A standard-normal sampler using the polar Box–Muller transform.
+///
+/// Generates pairs of independent `N(0,1)` variates; the spare value is
+/// cached so consecutive calls cost one transform per two samples.
+#[derive(Debug, Clone)]
+pub struct GaussianSampler<R: RngCore> {
+    rng: R,
+    spare: Option<f64>,
+}
+
+impl GaussianSampler<StdRng> {
+    /// Creates a deterministic sampler from a seed.
+    pub fn from_seed(seed: u64) -> Self {
+        GaussianSampler { rng: StdRng::seed_from_u64(seed), spare: None }
+    }
+}
+
+impl<R: RngCore> GaussianSampler<R> {
+    /// Wraps an existing RNG.
+    pub fn new(rng: R) -> Self {
+        GaussianSampler { rng, spare: None }
+    }
+
+    /// Draws one `N(0, 1)` sample.
+    pub fn sample(&mut self) -> f64 {
+        if let Some(v) = self.spare.take() {
+            return v;
+        }
+        loop {
+            // u, v uniform on (-1, 1); accept when inside the unit disk.
+            let u: f64 = self.rng.gen::<f64>() * 2.0 - 1.0;
+            let v: f64 = self.rng.gen::<f64>() * 2.0 - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                let factor = (-2.0 * s.ln() / s).sqrt();
+                self.spare = Some(v * factor);
+                return u * factor;
+            }
+        }
+    }
+
+    /// Draws one `N(mean, std²)` sample.
+    pub fn sample_scaled(&mut self, mean: f64, std: f64) -> f64 {
+        mean + std * self.sample()
+    }
+
+    /// Fills a buffer with i.i.d. `N(0, std²)` samples.
+    pub fn fill(&mut self, out: &mut [f64], std: f64) {
+        for x in out {
+            *x = std * self.sample();
+        }
+    }
+}
+
+/// Derives a child seed from a master seed and a stream index using the
+/// SplitMix64 finalizer. Used to give every column of the measurement matrix
+/// (and every node of a simulated cluster) its own independent stream while
+/// keeping the whole system reproducible from one `u64`.
+pub fn derive_seed(master: u64, stream: u64) -> u64 {
+    let mut z = master
+        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream.wrapping_add(1)));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic `StdRng` for a `(master, stream)` pair.
+pub fn stream_rng(master: u64, stream: u64) -> StdRng {
+    StdRng::seed_from_u64(derive_seed(master, stream))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = GaussianSampler::from_seed(42);
+        let mut b = GaussianSampler::from_seed(42);
+        for _ in 0..100 {
+            assert_eq!(a.sample(), b.sample());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = GaussianSampler::from_seed(1);
+        let mut b = GaussianSampler::from_seed(2);
+        let same = (0..50).filter(|_| a.sample() == b.sample()).count();
+        assert!(same < 5, "independent streams should rarely coincide");
+    }
+
+    #[test]
+    fn moments_match_standard_normal() {
+        let mut g = GaussianSampler::from_seed(7);
+        let n = 200_000;
+        let mut sum = 0.0;
+        let mut sumsq = 0.0;
+        let mut sumcube = 0.0;
+        for _ in 0..n {
+            let x = g.sample();
+            sum += x;
+            sumsq += x * x;
+            sumcube += x * x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sumsq / n as f64 - mean * mean;
+        let skew = sumcube / n as f64;
+        assert!(mean.abs() < 0.01, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var = {var}");
+        assert!(skew.abs() < 0.05, "skew = {skew}");
+    }
+
+    #[test]
+    fn tail_mass_is_plausible() {
+        // P(|X| > 1.96) ≈ 0.05 for a standard normal.
+        let mut g = GaussianSampler::from_seed(11);
+        let n = 100_000;
+        let tail = (0..n).filter(|_| g.sample().abs() > 1.96).count();
+        let frac = tail as f64 / n as f64;
+        assert!((frac - 0.05).abs() < 0.005, "tail fraction = {frac}");
+    }
+
+    #[test]
+    fn sample_scaled_shifts_and_scales() {
+        let mut g = GaussianSampler::from_seed(3);
+        let n = 100_000;
+        let mut sum = 0.0;
+        let mut sumsq = 0.0;
+        for _ in 0..n {
+            let x = g.sample_scaled(10.0, 2.0);
+            sum += x;
+            sumsq += (x - 10.0) * (x - 10.0);
+        }
+        assert!((sum / n as f64 - 10.0).abs() < 0.05);
+        assert!((sumsq / n as f64 - 4.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn fill_uses_std() {
+        let mut g = GaussianSampler::from_seed(5);
+        let mut buf = vec![0.0; 10_000];
+        g.fill(&mut buf, 0.5);
+        let var: f64 = buf.iter().map(|x| x * x).sum::<f64>() / buf.len() as f64;
+        assert!((var - 0.25).abs() < 0.02, "var = {var}");
+    }
+
+    #[test]
+    fn derive_seed_is_deterministic_and_spreads() {
+        assert_eq!(derive_seed(1, 1), derive_seed(1, 1));
+        assert_ne!(derive_seed(1, 1), derive_seed(1, 2));
+        assert_ne!(derive_seed(1, 1), derive_seed(2, 1));
+        // Avalanche sanity: consecutive streams should differ in many bits.
+        let d = derive_seed(99, 0) ^ derive_seed(99, 1);
+        assert!(d.count_ones() > 10);
+    }
+
+    #[test]
+    fn stream_rng_reproducible() {
+        let mut a = stream_rng(8, 3);
+        let mut b = stream_rng(8, 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

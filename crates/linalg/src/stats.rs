@@ -1,0 +1,175 @@
+//! Small statistics helpers shared by workloads, protocols and tests.
+
+use crate::error::{LinalgError, Result};
+
+/// Arithmetic mean. Errors on empty input.
+pub fn mean(data: &[f64]) -> Result<f64> {
+    if data.is_empty() {
+        return Err(LinalgError::Empty { op: "mean" });
+    }
+    Ok(data.iter().sum::<f64>() / data.len() as f64)
+}
+
+/// Unbiased sample variance (n−1 denominator). Errors on fewer than two
+/// samples.
+pub fn variance(data: &[f64]) -> Result<f64> {
+    if data.len() < 2 {
+        return Err(LinalgError::Empty { op: "variance" });
+    }
+    let m = mean(data)?;
+    Ok(data.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (data.len() - 1) as f64)
+}
+
+/// Median (average of the two middle order statistics for even length).
+/// Errors on empty input.
+pub fn median(data: &[f64]) -> Result<f64> {
+    quantile(data, 0.5)
+}
+
+/// Linear-interpolated quantile, `q ∈ [0, 1]`. Errors on empty input or a
+/// `q` outside the unit interval.
+pub fn quantile(data: &[f64], q: f64) -> Result<f64> {
+    if data.is_empty() {
+        return Err(LinalgError::Empty { op: "quantile" });
+    }
+    if !(0.0..=1.0).contains(&q) {
+        return Err(LinalgError::InvalidParameter {
+            name: "q",
+            message: "quantile must lie in [0, 1]",
+        });
+    }
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Ok(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// The most frequent value after snapping to a grid of width `bin`; the
+/// paper's data concentrates around an *unknown* mode, and this histogram
+/// estimate is how the baselines approximate it. Errors on empty input or a
+/// non-positive bin width. Ties resolve to the smallest bin value.
+pub fn histogram_mode(data: &[f64], bin: f64) -> Result<f64> {
+    if data.is_empty() {
+        return Err(LinalgError::Empty { op: "histogram_mode" });
+    }
+    if bin <= 0.0 || !bin.is_finite() {
+        return Err(LinalgError::InvalidParameter {
+            name: "bin",
+            message: "bin width must be positive and finite",
+        });
+    }
+    use std::collections::HashMap;
+    let mut counts: HashMap<i64, usize> = HashMap::new();
+    for &x in data {
+        *counts.entry((x / bin).round() as i64).or_insert(0) += 1;
+    }
+    let (&best_bin, _) = counts
+        .iter()
+        .max_by(|(ka, va), (kb, vb)| va.cmp(vb).then(kb.cmp(ka)))
+        .expect("non-empty");
+    Ok(best_bin as f64 * bin)
+}
+
+/// Summary of a sample series: min / max / mean, as reported for the paper's
+/// repeated-trial error curves (Figures 5–8 plot MAX, MIN and AVG).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+}
+
+impl Summary {
+    /// Summarizes a non-empty slice.
+    pub fn of(data: &[f64]) -> Result<Summary> {
+        if data.is_empty() {
+            return Err(LinalgError::Empty { op: "summary" });
+        }
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        for &x in data {
+            min = min.min(x);
+            max = max.max(x);
+            sum += x;
+        }
+        Ok(Summary { min, max, mean: sum / data.len() as f64 })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance() {
+        let d = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(mean(&d).unwrap(), 2.5);
+        // Sample variance of 1..4 is 5/3.
+        assert!((variance(&d).unwrap() - 5.0 / 3.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn mean_empty_errors() {
+        assert!(mean(&[]).is_err());
+        assert!(variance(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]).unwrap(), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]).unwrap(), 2.5);
+    }
+
+    #[test]
+    fn quantile_endpoints_and_interp() {
+        let d = [10.0, 20.0, 30.0];
+        assert_eq!(quantile(&d, 0.0).unwrap(), 10.0);
+        assert_eq!(quantile(&d, 1.0).unwrap(), 30.0);
+        assert_eq!(quantile(&d, 0.25).unwrap(), 15.0);
+    }
+
+    #[test]
+    fn quantile_rejects_out_of_range() {
+        assert!(quantile(&[1.0], -0.1).is_err());
+        assert!(quantile(&[1.0], 1.1).is_err());
+        assert!(quantile(&[], 0.5).is_err());
+    }
+
+    #[test]
+    fn histogram_mode_finds_concentration() {
+        let mut d = vec![5000.0; 90];
+        d.extend([1.0, 2.0, 9999.0, 5001.0, 4999.0]);
+        let m = histogram_mode(&d, 10.0).unwrap();
+        assert!((m - 5000.0).abs() < 10.0, "mode = {m}");
+    }
+
+    #[test]
+    fn histogram_mode_validates_input() {
+        assert!(histogram_mode(&[], 1.0).is_err());
+        assert!(histogram_mode(&[1.0], 0.0).is_err());
+        assert!(histogram_mode(&[1.0], -1.0).is_err());
+    }
+
+    #[test]
+    fn histogram_mode_tie_breaks_low() {
+        // 1.0 and 2.0 each appear twice with bin 1 → ties resolve downward.
+        let m = histogram_mode(&[1.0, 1.0, 2.0, 2.0], 1.0).unwrap();
+        assert_eq!(m, 1.0);
+    }
+
+    #[test]
+    fn summary_of_series() {
+        let s = Summary::of(&[2.0, -1.0, 4.0]).unwrap();
+        assert_eq!(s.min, -1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.mean - 5.0 / 3.0).abs() < 1e-15);
+        assert!(Summary::of(&[]).is_err());
+    }
+}

@@ -1,0 +1,381 @@
+//! Dense `f64` vectors.
+//!
+//! [`Vector`] is a thin, explicit wrapper around `Vec<f64>` providing the
+//! handful of BLAS-1 style operations the compressive-sensing pipeline
+//! needs: dot products, norms, `axpy`, and element-wise arithmetic. The
+//! wrapper exists so that dimension mismatches are caught at the call site
+//! (returning [`LinalgError::DimensionMismatch`]) instead of panicking deep
+//! inside an iterator chain.
+
+use crate::error::{LinalgError, Result};
+use std::ops::{Index, IndexMut};
+
+/// A dense column vector of `f64` values.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Vector {
+    data: Vec<f64>,
+}
+
+impl Vector {
+    /// Creates a vector taking ownership of `data`.
+    pub fn from_vec(data: Vec<f64>) -> Self {
+        Vector { data }
+    }
+
+    /// Creates a zero vector of length `n`.
+    pub fn zeros(n: usize) -> Self {
+        Vector { data: vec![0.0; n] }
+    }
+
+    /// Creates a vector of length `n` with every entry equal to `value`.
+    pub fn filled(n: usize, value: f64) -> Self {
+        Vector { data: vec![value; n] }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the vector has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrows the underlying slice.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutably borrows the underlying slice.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the vector, returning the underlying storage.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Iterates over entries.
+    pub fn iter(&self) -> std::slice::Iter<'_, f64> {
+        self.data.iter()
+    }
+
+    /// Dot product `⟨self, other⟩`.
+    pub fn dot(&self, other: &Vector) -> Result<f64> {
+        check_same_len("dot", self.len(), other.len())?;
+        Ok(dot(&self.data, &other.data))
+    }
+
+    /// Euclidean norm `‖self‖₂`.
+    pub fn norm2(&self) -> f64 {
+        norm2(&self.data)
+    }
+
+    /// Squared Euclidean norm (avoids the square root).
+    pub fn norm2_squared(&self) -> f64 {
+        dot(&self.data, &self.data)
+    }
+
+    /// `ℓ₁` norm (sum of absolute values).
+    pub fn norm1(&self) -> f64 {
+        self.data.iter().map(|v| v.abs()).sum()
+    }
+
+    /// `ℓ∞` norm (largest absolute value); 0 for the empty vector.
+    pub fn norm_inf(&self) -> f64 {
+        self.data.iter().fold(0.0, |m, v| m.max(v.abs()))
+    }
+
+    /// In-place `self ← self + alpha * other` (BLAS `axpy`).
+    pub fn axpy(&mut self, alpha: f64, other: &Vector) -> Result<()> {
+        check_same_len("axpy", self.len(), other.len())?;
+        axpy(alpha, &other.data, &mut self.data);
+        Ok(())
+    }
+
+    /// In-place scaling `self ← alpha * self`.
+    pub fn scale(&mut self, alpha: f64) {
+        for v in &mut self.data {
+            *v *= alpha;
+        }
+    }
+
+    /// Returns `self + other` as a new vector.
+    pub fn add(&self, other: &Vector) -> Result<Vector> {
+        check_same_len("add", self.len(), other.len())?;
+        Ok(Vector::from_vec(
+            self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect(),
+        ))
+    }
+
+    /// Returns `self - other` as a new vector.
+    pub fn sub(&self, other: &Vector) -> Result<Vector> {
+        check_same_len("sub", self.len(), other.len())?;
+        Ok(Vector::from_vec(
+            self.data.iter().zip(&other.data).map(|(a, b)| a - b).collect(),
+        ))
+    }
+
+    /// In-place element-wise addition `self ← self + other`.
+    pub fn add_assign(&mut self, other: &Vector) -> Result<()> {
+        check_same_len("add_assign", self.len(), other.len())?;
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += *b;
+        }
+        Ok(())
+    }
+
+    /// Index of the entry with the largest absolute value, or `None` when
+    /// empty. Ties resolve to the smallest index, making selection
+    /// deterministic — OMP relies on this.
+    pub fn argmax_abs(&self) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, v) in self.data.iter().enumerate() {
+            let a = v.abs();
+            match best {
+                Some((_, b)) if b >= a => {}
+                _ => best = Some((i, a)),
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+
+    /// Number of entries whose absolute value exceeds `tol`.
+    pub fn nnz(&self, tol: f64) -> usize {
+        self.data.iter().filter(|v| v.abs() > tol).count()
+    }
+
+    /// True when every pair of entries differs by at most `tol`.
+    pub fn approx_eq(&self, other: &Vector, tol: f64) -> bool {
+        self.len() == other.len()
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(a, b)| (a - b).abs() <= tol)
+    }
+}
+
+impl Index<usize> for Vector {
+    type Output = f64;
+    fn index(&self, i: usize) -> &f64 {
+        &self.data[i]
+    }
+}
+
+impl IndexMut<usize> for Vector {
+    fn index_mut(&mut self, i: usize) -> &mut f64 {
+        &mut self.data[i]
+    }
+}
+
+impl From<Vec<f64>> for Vector {
+    fn from(v: Vec<f64>) -> Self {
+        Vector::from_vec(v)
+    }
+}
+
+impl<'a> IntoIterator for &'a Vector {
+    type Item = &'a f64;
+    type IntoIter = std::slice::Iter<'a, f64>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.data.iter()
+    }
+}
+
+impl FromIterator<f64> for Vector {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        Vector::from_vec(iter.into_iter().collect())
+    }
+}
+
+fn check_same_len(op: &'static str, a: usize, b: usize) -> Result<()> {
+    if a == b {
+        Ok(())
+    } else {
+        Err(LinalgError::DimensionMismatch {
+            op,
+            expected: (a, 1),
+            actual: (b, 1),
+        })
+    }
+}
+
+// ---- slice-level kernels (shared with Matrix/QR code) ----
+
+/// Dot product of two equal-length slices. The caller checks lengths.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    // Four-way unrolled accumulation: reduces dependency chains and lets the
+    // compiler vectorize. Accuracy is also slightly better than naive
+    // left-to-right summation.
+    let mut acc = [0.0f64; 4];
+    let chunks = a.len() / 4;
+    for i in 0..chunks {
+        let j = i * 4;
+        acc[0] += a[j] * b[j];
+        acc[1] += a[j + 1] * b[j + 1];
+        acc[2] += a[j + 2] * b[j + 2];
+        acc[3] += a[j + 3] * b[j + 3];
+    }
+    let mut rest = 0.0;
+    for j in chunks * 4..a.len() {
+        rest += a[j] * b[j];
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + rest
+}
+
+/// Euclidean norm of a slice.
+#[inline]
+pub fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// `y ← y + alpha * x` over equal-length slices. The caller checks lengths.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * *xi;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_len() {
+        let v = Vector::zeros(5);
+        assert_eq!(v.len(), 5);
+        assert!(!v.is_empty());
+        assert!(v.iter().all(|&x| x == 0.0));
+        assert!(Vector::zeros(0).is_empty());
+    }
+
+    #[test]
+    fn filled_sets_every_entry() {
+        let v = Vector::filled(4, 2.5);
+        assert!(v.iter().all(|&x| x == 2.5));
+    }
+
+    #[test]
+    fn dot_matches_hand_computation() {
+        let a = Vector::from_vec(vec![1.0, 2.0, 3.0]);
+        let b = Vector::from_vec(vec![4.0, -5.0, 6.0]);
+        assert_eq!(a.dot(&b).unwrap(), 4.0 - 10.0 + 18.0);
+    }
+
+    #[test]
+    fn dot_rejects_mismatched_lengths() {
+        let a = Vector::zeros(3);
+        let b = Vector::zeros(4);
+        assert!(matches!(
+            a.dot(&b),
+            Err(LinalgError::DimensionMismatch { op: "dot", .. })
+        ));
+    }
+
+    #[test]
+    fn dot_unrolled_matches_naive_on_odd_lengths() {
+        for n in 0..13 {
+            let a: Vec<f64> = (0..n).map(|i| (i as f64) * 0.7 - 2.0).collect();
+            let b: Vec<f64> = (0..n).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+            let naive: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+            assert!((dot(&a, &b) - naive).abs() < 1e-12, "n={n}");
+        }
+    }
+
+    #[test]
+    fn norms() {
+        let v = Vector::from_vec(vec![3.0, -4.0]);
+        assert_eq!(v.norm2(), 5.0);
+        assert_eq!(v.norm2_squared(), 25.0);
+        assert_eq!(v.norm1(), 7.0);
+        assert_eq!(v.norm_inf(), 4.0);
+    }
+
+    #[test]
+    fn norm_inf_of_empty_is_zero() {
+        assert_eq!(Vector::zeros(0).norm_inf(), 0.0);
+    }
+
+    #[test]
+    fn axpy_updates_in_place() {
+        let mut y = Vector::from_vec(vec![1.0, 1.0]);
+        let x = Vector::from_vec(vec![2.0, 3.0]);
+        y.axpy(0.5, &x).unwrap();
+        assert_eq!(y.as_slice(), &[2.0, 2.5]);
+    }
+
+    #[test]
+    fn axpy_rejects_mismatch() {
+        let mut y = Vector::zeros(2);
+        assert!(y.axpy(1.0, &Vector::zeros(3)).is_err());
+    }
+
+    #[test]
+    fn scale_and_indexing() {
+        let mut v = Vector::from_vec(vec![1.0, -2.0]);
+        v.scale(-2.0);
+        assert_eq!(v[0], -2.0);
+        assert_eq!(v[1], 4.0);
+        v[0] = 7.0;
+        assert_eq!(v[0], 7.0);
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = Vector::from_vec(vec![1.0, 2.0, 3.0]);
+        let b = Vector::from_vec(vec![0.5, -1.0, 2.0]);
+        let sum = a.add(&b).unwrap();
+        let back = sum.sub(&b).unwrap();
+        assert!(back.approx_eq(&a, 1e-15));
+    }
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut a = Vector::zeros(3);
+        a.add_assign(&Vector::from_vec(vec![1.0, 2.0, 3.0])).unwrap();
+        a.add_assign(&Vector::from_vec(vec![1.0, 1.0, 1.0])).unwrap();
+        assert_eq!(a.as_slice(), &[2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn argmax_abs_finds_largest_magnitude() {
+        let v = Vector::from_vec(vec![1.0, -5.0, 4.0]);
+        assert_eq!(v.argmax_abs(), Some(1));
+    }
+
+    #[test]
+    fn argmax_abs_breaks_ties_to_lowest_index() {
+        let v = Vector::from_vec(vec![2.0, -2.0, 2.0]);
+        assert_eq!(v.argmax_abs(), Some(0));
+        assert_eq!(Vector::zeros(0).argmax_abs(), None);
+    }
+
+    #[test]
+    fn nnz_counts_above_tolerance() {
+        let v = Vector::from_vec(vec![0.0, 1e-12, 0.5, -0.5]);
+        assert_eq!(v.nnz(1e-9), 2);
+        assert_eq!(v.nnz(0.6), 0);
+    }
+
+    #[test]
+    fn approx_eq_respects_tolerance_and_length() {
+        let a = Vector::from_vec(vec![1.0, 2.0]);
+        let b = Vector::from_vec(vec![1.0 + 1e-10, 2.0]);
+        assert!(a.approx_eq(&b, 1e-9));
+        assert!(!a.approx_eq(&b, 1e-12));
+        assert!(!a.approx_eq(&Vector::zeros(3), 1.0));
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let v: Vector = (0..3).map(|i| i as f64).collect();
+        assert_eq!(v.as_slice(), &[0.0, 1.0, 2.0]);
+    }
+}

@@ -1,0 +1,163 @@
+//! Property-based tests of the linear-algebra substrate's invariants.
+
+use cso_linalg::{stats, vector, Cholesky, ColMatrix, GaussianSampler, IncrementalQr, Vector};
+use proptest::prelude::*;
+
+fn finite_vec(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e6f64..1e6, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// ⟨a, b⟩ is symmetric and bilinear in the first argument.
+    #[test]
+    fn dot_symmetry_and_linearity(
+        a in finite_vec(1..40),
+        s in -100.0f64..100.0,
+    ) {
+        let b: Vec<f64> = a.iter().rev().cloned().collect();
+        let ab = vector::dot(&a, &b);
+        let ba = vector::dot(&b, &a);
+        prop_assert!((ab - ba).abs() <= 1e-9 * ab.abs().max(1.0));
+        let scaled: Vec<f64> = a.iter().map(|x| x * s).collect();
+        let sab = vector::dot(&scaled, &b);
+        prop_assert!((sab - s * ab).abs() <= 1e-6 * sab.abs().max(1.0));
+    }
+
+    /// Cauchy–Schwarz: ⟨a, b⟩² ≤ ‖a‖²·‖b‖².
+    #[test]
+    fn cauchy_schwarz(a in finite_vec(1..40)) {
+        let b: Vec<f64> = a.iter().map(|x| x.cos() * 10.0).collect();
+        let lhs = vector::dot(&a, &b).powi(2);
+        let rhs = vector::dot(&a, &a) * vector::dot(&b, &b);
+        prop_assert!(lhs <= rhs * (1.0 + 1e-12) + 1e-9);
+    }
+
+    /// axpy agrees with the Vector-level add of a scaled copy.
+    #[test]
+    fn axpy_matches_add(
+        base in finite_vec(1..30),
+        alpha in -50.0f64..50.0,
+    ) {
+        let x: Vec<f64> = base.iter().map(|v| v * 0.5 + 1.0).collect();
+        let mut y1 = base.clone();
+        vector::axpy(alpha, &x, &mut y1);
+        let mut scaled = Vector::from_vec(x);
+        scaled.scale(alpha);
+        let y2 = Vector::from_vec(base).add(&scaled).unwrap();
+        prop_assert!(Vector::from_vec(y1).approx_eq(&y2, 1e-9));
+    }
+
+    /// The adjoint identity ⟨A·x, y⟩ = ⟨x, Aᵀ·y⟩ for random matrices.
+    #[test]
+    fn matvec_adjoint_identity(
+        rows in 1usize..12,
+        cols in 1usize..12,
+        seed in 0u64..500,
+    ) {
+        let mut g = GaussianSampler::from_seed(seed);
+        let mut data = vec![0.0; rows * cols];
+        g.fill(&mut data, 1.0);
+        let a = ColMatrix::from_col_major(rows, cols, data).unwrap();
+        let mut xv = vec![0.0; cols];
+        g.fill(&mut xv, 1.0);
+        let mut yv = vec![0.0; rows];
+        g.fill(&mut yv, 1.0);
+        let x = Vector::from_vec(xv);
+        let y = Vector::from_vec(yv);
+        let lhs = a.matvec(&x).unwrap().dot(&y).unwrap();
+        let rhs = x.dot(&a.matvec_transpose(&y).unwrap()).unwrap();
+        prop_assert!((lhs - rhs).abs() <= 1e-9 * lhs.abs().max(1.0));
+    }
+
+    /// Cholesky solve inverts SPD systems built as AᵀA + I.
+    #[test]
+    fn cholesky_solves_random_spd(
+        n in 1usize..10,
+        seed in 0u64..500,
+    ) {
+        let mut g = GaussianSampler::from_seed(seed);
+        let mut data = vec![0.0; n * n];
+        g.fill(&mut data, 1.0);
+        let a = ColMatrix::from_col_major(n, n, data).unwrap();
+        let mut spd = a.gram();
+        for i in 0..n {
+            spd.set(i, i, spd.get(i, i) + 1.0);
+        }
+        let ch = Cholesky::factor(&spd).unwrap();
+        let mut xv = vec![0.0; n];
+        g.fill(&mut xv, 1.0);
+        let x_true = Vector::from_vec(xv);
+        let b = spd.matvec(&x_true).unwrap();
+        let x = ch.solve(&b).unwrap();
+        prop_assert!(x.approx_eq(&x_true, 1e-6), "x = {x:?} vs {x_true:?}");
+    }
+
+    /// QR least squares is at least as good as any candidate combination.
+    #[test]
+    fn least_squares_is_optimal(
+        seed in 0u64..300,
+        perturb in -5.0f64..5.0,
+    ) {
+        let m = 10;
+        let mut g = GaussianSampler::from_seed(seed);
+        let mut qr = IncrementalQr::new(m);
+        let mut cols = Vec::new();
+        for _ in 0..3 {
+            let mut c = vec![0.0; m];
+            g.fill(&mut c, 1.0);
+            if qr.push_column(&c).is_ok() {
+                cols.push(c);
+            }
+        }
+        prop_assume!(!cols.is_empty());
+        let mut yv = vec![0.0; m];
+        g.fill(&mut yv, 1.0);
+        let z = qr.solve_least_squares(&yv).unwrap();
+        let optimal = qr.residual(&yv).unwrap().norm2();
+        // Perturb the solution: the residual must not improve.
+        let mut z2 = z.clone();
+        z2[0] += perturb;
+        let mut fitted = vec![0.0; m];
+        for (c, &w) in cols.iter().zip(z2.iter()) {
+            vector::axpy(w, c, &mut fitted);
+        }
+        let perturbed = Vector::from_vec(yv)
+            .sub(&Vector::from_vec(fitted))
+            .unwrap()
+            .norm2();
+        prop_assert!(perturbed + 1e-9 >= optimal);
+    }
+
+    /// Quantiles are monotone in q and bracketed by min/max.
+    #[test]
+    fn quantiles_monotone_and_bounded(data in finite_vec(1..50)) {
+        let lo = stats::quantile(&data, 0.0).unwrap();
+        let q25 = stats::quantile(&data, 0.25).unwrap();
+        let q50 = stats::quantile(&data, 0.5).unwrap();
+        let q75 = stats::quantile(&data, 0.75).unwrap();
+        let hi = stats::quantile(&data, 1.0).unwrap();
+        prop_assert!(lo <= q25 && q25 <= q50 && q50 <= q75 && q75 <= hi);
+        let min = data.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = data.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(lo == min && hi == max);
+    }
+
+    /// Summary bounds the mean between min and max.
+    #[test]
+    fn summary_bounds_mean(data in finite_vec(1..50)) {
+        let s = stats::Summary::of(&data).unwrap();
+        prop_assert!(s.min <= s.mean + 1e-12 && s.mean <= s.max + 1e-12);
+    }
+
+    /// Gaussian sampling is deterministic per seed and seed-sensitive.
+    #[test]
+    fn gaussian_determinism(seed in 0u64..1000) {
+        let mut a = GaussianSampler::from_seed(seed);
+        let mut b = GaussianSampler::from_seed(seed);
+        for _ in 0..8 {
+            prop_assert_eq!(a.sample(), b.sample());
+        }
+    }
+}

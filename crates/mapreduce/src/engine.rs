@@ -1,0 +1,220 @@
+//! A small deterministic MapReduce runtime.
+//!
+//! This is the executable counterpart to the analytic time model: real
+//! mappers and reducers run over real records in one process, with
+//! counters tracking exactly the quantities the model prices (map-output
+//! records, shuffle bytes). The CS job and the traditional top-k job
+//! (`crate::jobs`) are both expressed against this engine, mirroring the
+//! paper's Algorithms 3 (CS-Mapper) and 4 (CS-Reducer).
+
+use std::collections::BTreeMap;
+
+/// Counters collected while a job runs — the simulator's "Hadoop UI".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct JobCounters {
+    /// Raw records consumed by all mappers.
+    pub map_input_records: u64,
+    /// Key-value pairs emitted by all mappers.
+    pub map_output_records: u64,
+    /// Bytes crossing the simulated network in the shuffle.
+    pub shuffle_bytes: u64,
+    /// Number of map tasks (splits).
+    pub map_tasks: u64,
+    /// Distinct reduce keys.
+    pub reduce_groups: u64,
+}
+
+/// Collects a mapper's emissions.
+#[derive(Debug)]
+pub struct Emitter<K, V> {
+    pairs: Vec<(K, V)>,
+}
+
+impl<K, V> Emitter<K, V> {
+    fn new() -> Self {
+        Emitter { pairs: Vec::new() }
+    }
+
+    /// Emits one intermediate key-value pair.
+    pub fn emit(&mut self, key: K, value: V) {
+        self.pairs.push((key, value));
+    }
+}
+
+/// Runs a complete map-shuffle-reduce pass.
+///
+/// - `splits` — one `Vec` of records per map task;
+/// - `mapper` — called once per record with an [`Emitter`];
+/// - `pair_bytes` — serialized size of one intermediate pair (for the
+///   shuffle counter);
+/// - `reducer` — called once per distinct key with all its values (sorted
+///   key order, so output is deterministic).
+///
+/// Returns the reducer outputs concatenated in key order plus counters.
+pub fn map_reduce<I, K, V, O>(
+    splits: &[Vec<I>],
+    mapper: impl FnMut(&I, &mut Emitter<K, V>),
+    pair_bytes: u64,
+    reducer: impl FnMut(&K, Vec<V>) -> Vec<O>,
+) -> (Vec<O>, JobCounters)
+where
+    K: Ord,
+{
+    map_reduce_with_combiner(splits, mapper, no_combiner, pair_bytes, reducer)
+}
+
+/// The identity combiner used by [`map_reduce`].
+fn no_combiner<K, V>(_key: &K, values: Vec<V>) -> Vec<V> {
+    values
+}
+
+/// As [`map_reduce`], with a map-side **combiner** applied to each task's
+/// output before the shuffle — Hadoop's standard optimization for
+/// aggregations. The combiner receives one task's values for a key and
+/// returns the (usually single-element) values actually shipped; shuffle
+/// counters reflect the combined output.
+pub fn map_reduce_with_combiner<I, K, V, O>(
+    splits: &[Vec<I>],
+    mut mapper: impl FnMut(&I, &mut Emitter<K, V>),
+    mut combiner: impl FnMut(&K, Vec<V>) -> Vec<V>,
+    pair_bytes: u64,
+    mut reducer: impl FnMut(&K, Vec<V>) -> Vec<O>,
+) -> (Vec<O>, JobCounters)
+where
+    K: Ord,
+{
+    let mut counters = JobCounters { map_tasks: splits.len() as u64, ..Default::default() };
+    let mut groups: BTreeMap<K, Vec<V>> = BTreeMap::new();
+
+    for split in splits {
+        let mut em = Emitter::new();
+        for record in split {
+            counters.map_input_records += 1;
+            mapper(record, &mut em);
+        }
+        counters.map_output_records += em.pairs.len() as u64;
+        // Map-side combine: group this task's pairs, shrink each group.
+        let mut local: BTreeMap<K, Vec<V>> = BTreeMap::new();
+        for (k, v) in em.pairs {
+            local.entry(k).or_default().push(v);
+        }
+        for (k, vs) in local {
+            let combined = combiner(&k, vs);
+            counters.shuffle_bytes += combined.len() as u64 * pair_bytes;
+            groups.entry(k).or_default().extend(combined);
+        }
+    }
+
+    counters.reduce_groups = groups.len() as u64;
+    let mut out = Vec::new();
+    for (k, vs) in groups {
+        out.extend(reducer(&k, vs));
+    }
+    (out, counters)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_count_smoke_test() {
+        let splits = vec![
+            vec!["a", "b", "a"],
+            vec!["b", "c"],
+        ];
+        let (out, counters) = map_reduce(
+            &splits,
+            |w, em| em.emit(w.to_string(), 1u64),
+            16,
+            |k, vs| vec![(k.clone(), vs.iter().sum::<u64>())],
+        );
+        assert_eq!(
+            out,
+            vec![
+                ("a".to_string(), 2),
+                ("b".to_string(), 2),
+                ("c".to_string(), 1)
+            ]
+        );
+        assert_eq!(counters.map_input_records, 5);
+        assert_eq!(counters.map_output_records, 5);
+        assert_eq!(counters.shuffle_bytes, 80);
+        assert_eq!(counters.map_tasks, 2);
+        assert_eq!(counters.reduce_groups, 3);
+    }
+
+    #[test]
+    fn reducer_sees_sorted_keys() {
+        let splits = vec![vec![3u32, 1, 2]];
+        let (out, _) = map_reduce(
+            &splits,
+            |x, em| em.emit(*x, ()),
+            4,
+            |k, _| vec![*k],
+        );
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let splits: Vec<Vec<u8>> = vec![vec![], vec![]];
+        let (out, counters) = map_reduce(
+            &splits,
+            |_, em: &mut Emitter<u8, u8>| em.emit(0, 0),
+            1,
+            |_, _| vec![0u8],
+        );
+        assert!(out.is_empty());
+        assert_eq!(counters.map_input_records, 0);
+        assert_eq!(counters.reduce_groups, 0);
+        assert_eq!(counters.map_tasks, 2);
+    }
+
+    #[test]
+    fn combiner_shrinks_shuffle_but_not_result() {
+        let splits = vec![vec![("a", 1u64); 100], vec![("a", 1u64); 50]];
+        let run = |combine: bool| {
+            map_reduce_with_combiner(
+                &splits,
+                |&(w, c), em| em.emit(w, c),
+                move |_k, vs: Vec<u64>| {
+                    if combine {
+                        vec![vs.iter().sum()]
+                    } else {
+                        vs
+                    }
+                },
+                16,
+                |k, vs| vec![(*k, vs.iter().sum::<u64>())],
+            )
+        };
+        let (with, c_with) = run(true);
+        let (without, c_without) = run(false);
+        assert_eq!(with, without);
+        assert_eq!(with, vec![("a", 150u64)]);
+        // 2 combined pairs vs 150 raw pairs on the wire.
+        assert_eq!(c_with.shuffle_bytes, 2 * 16);
+        assert_eq!(c_without.shuffle_bytes, 150 * 16);
+        // Raw map output is the same either way.
+        assert_eq!(c_with.map_output_records, 150);
+        assert_eq!(c_without.map_output_records, 150);
+    }
+
+    #[test]
+    fn mapper_may_emit_multiple_pairs_per_record() {
+        let splits = vec![vec![2u32]];
+        let (out, counters) = map_reduce(
+            &splits,
+            |x, em| {
+                for i in 0..*x {
+                    em.emit(i, 1u32);
+                }
+            },
+            8,
+            |k, vs| vec![(*k, vs.len())],
+        );
+        assert_eq!(out, vec![(0, 1), (1, 1)]);
+        assert_eq!(counters.map_output_records, 2);
+    }
+}

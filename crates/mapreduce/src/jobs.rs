@@ -1,0 +1,217 @@
+//! The two executable jobs of Section 6.2, expressed on the mini engine:
+//! the CS job (paper Algorithms 3 and 4) and the traditional top-k job.
+//!
+//! Records reach the mappers already key-resolved: a record is
+//! `(key index, score)` with indices from the global key dictionary (the
+//! paper's mappers do this lookup against the broadcast `KeyList`).
+
+use crate::engine::{map_reduce, JobCounters};
+use cso_core::{bomp_with_matrix, BompConfig, KeyValue, MeasurementSpec};
+use cso_linalg::{LinalgError, Vector};
+
+/// One raw input record: a resolved key index and a signed score.
+pub type Record = (usize, f64);
+
+/// Result of the executed CS job.
+#[derive(Debug, Clone)]
+pub struct CsJobOutput {
+    /// Recovered top-k outliers.
+    pub outliers: Vec<KeyValue>,
+    /// Recovered mode.
+    pub mode: f64,
+    /// Engine counters (map output is `M` values per task).
+    pub counters: JobCounters,
+}
+
+/// Result of the executed traditional top-k job.
+#[derive(Debug, Clone)]
+pub struct TopKJobOutput {
+    /// The exact top-k keys by value.
+    pub topk: Vec<KeyValue>,
+    /// Engine counters (map output is one pair per distinct key per task).
+    pub counters: JobCounters,
+}
+
+/// Runs the CS job (Algorithm 3 mapper + Algorithm 4 reducer).
+///
+/// Each map task partially aggregates its split against the key list,
+/// compresses the partial vector with the seed-shared `Φ0`, and emits
+/// `(measurement row, partial measurement)` pairs. The reduce side sums
+/// each row and the driver runs BOMP on the assembled global measurement.
+pub fn run_cs_job(
+    splits: &[Vec<Record>],
+    n: usize,
+    m: usize,
+    seed: u64,
+    k: usize,
+    recovery: &BompConfig,
+) -> Result<CsJobOutput, LinalgError> {
+    let spec = MeasurementSpec::new(m, n, seed)?;
+
+    // Map phase (per split): partial aggregation + local compression
+    // (Algorithm 3). A real mapper regenerates Φ0 from the shared seed;
+    // `measure_sparse` does exactly that, column by column. The unit of
+    // compression is the whole split, so the map pass runs here and the
+    // engine's shuffle/reduce handles the per-row summation below.
+    let mut sketches: Vec<Vec<Record>> = Vec::with_capacity(splits.len());
+    let mut input_records = 0u64;
+    for split in splits {
+        input_records += split.len() as u64;
+        // Partial aggregation by key (the mapper's hash aggregation).
+        let mut partial: std::collections::HashMap<usize, f64> =
+            std::collections::HashMap::new();
+        for &(key, score) in split {
+            if key >= n {
+                return Err(LinalgError::DimensionMismatch {
+                    op: "cs_mapper",
+                    expected: (n, 1),
+                    actual: (key, 1),
+                });
+            }
+            *partial.entry(key).or_insert(0.0) += score;
+        }
+        let entries: Vec<(usize, f64)> = partial.into_iter().collect();
+        let yl = spec.measure_sparse(&entries)?;
+        sketches.push(yl.iter().copied().enumerate().collect());
+    }
+
+    // Shuffle + reduce: sum each measurement row across tasks.
+    let (rows, mut counters) = map_reduce(
+        &sketches,
+        |pair: &(usize, f64), em| em.emit(pair.0, pair.1),
+        8,
+        |row, values| vec![(*row, values.iter().sum::<f64>())],
+    );
+    counters.map_input_records = input_records;
+    let mut y = Vector::zeros(m);
+    for (row, v) in rows {
+        y[row] = v;
+    }
+
+    // Reduce phase: recover with BOMP on the regenerated Φ0.
+    let phi0 = spec.materialize();
+    let result = bomp_with_matrix(&phi0, &y, recovery)?;
+    let outliers = result
+        .top_k(k)
+        .iter()
+        .map(|o| KeyValue { index: o.index, value: o.value })
+        .collect();
+    Ok(CsJobOutput { outliers, mode: result.mode, counters })
+}
+
+/// Runs the traditional top-k job: mappers emit one pair per record, the
+/// map-side combiner folds each task's pairs to one per distinct key,
+/// the reducer sums per key, and the driver selects the k largest values.
+pub fn run_topk_job(
+    splits: &[Vec<Record>],
+    n: usize,
+    k: usize,
+) -> Result<TopKJobOutput, LinalgError> {
+    for split in splits {
+        if let Some(&(key, _)) = split.iter().find(|&&(key, _)| key >= n) {
+            return Err(LinalgError::DimensionMismatch {
+                op: "topk_mapper",
+                expected: (n, 1),
+                actual: (key, 1),
+            });
+        }
+    }
+    let (sums, counters) = crate::engine::map_reduce_with_combiner(
+        splits,
+        |&(key, score): &Record, em| em.emit(key, score),
+        |_key, values| vec![values.iter().sum::<f64>()],
+        12,
+        |key, values| vec![KeyValue { index: *key, value: values.iter().sum() }],
+    );
+
+    let mut topk = sums;
+    topk.sort_by(|a, b| {
+        b.value.partial_cmp(&a.value).expect("finite").then(a.index.cmp(&b.index))
+    });
+    topk.truncate(k);
+    Ok(TopKJobOutput { topk, counters })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Splits with a known aggregate: mode 0, outliers at keys 7 and 31.
+    fn fixture(n: usize) -> (Vec<Vec<Record>>, Vec<f64>) {
+        let mut global = vec![0.0; n];
+        global[7] = 500.0;
+        global[31] = -300.0;
+        global[2] = 40.0;
+        // Three splits, values spread unevenly, some repeated keys.
+        let splits = vec![
+            vec![(7, 100.0), (2, 40.0), (31, -500.0)],
+            vec![(7, 150.0), (31, 100.0)],
+            vec![(7, 250.0), (31, 100.0)],
+        ];
+        (splits, global)
+    }
+
+    #[test]
+    fn topk_job_computes_exact_sums() {
+        let (splits, global) = fixture(64);
+        let out = run_topk_job(&splits, 64, 3).unwrap();
+        assert_eq!(out.topk[0].index, 7);
+        assert!((out.topk[0].value - global[7]).abs() < 1e-12);
+        assert_eq!(out.topk[1].index, 2);
+        // Counters: 3 tasks, map output = distinct keys per split.
+        assert_eq!(out.counters.map_tasks, 3);
+        assert_eq!(out.counters.map_output_records, 3 + 2 + 2);
+        assert_eq!(out.counters.shuffle_bytes, (3 + 2 + 2) * 12);
+        assert_eq!(out.counters.reduce_groups, 3);
+        assert_eq!(out.counters.map_input_records, 7);
+    }
+
+    #[test]
+    fn cs_job_recovers_same_outliers() {
+        let (splits, _) = fixture(64);
+        let out = run_cs_job(&splits, 64, 40, 9, 3, &BompConfig::default()).unwrap();
+        let idx: Vec<usize> = out.outliers.iter().map(|o| o.index).collect();
+        assert_eq!(idx[0], 7, "largest deviation first");
+        assert!(idx.contains(&31));
+        assert!(out.mode.abs() < 1e-6, "mode of this data is 0");
+        // Counters: M values per task.
+        assert_eq!(out.counters.map_output_records, 3 * 40);
+        assert_eq!(out.counters.shuffle_bytes, 3 * 40 * 8);
+        assert_eq!(out.counters.reduce_groups, 40);
+    }
+
+    #[test]
+    fn cs_job_matches_direct_measurement() {
+        // The job's assembled measurement must equal measuring the global
+        // aggregate directly (linearity through the MapReduce pipeline).
+        let (splits, global) = fixture(64);
+        let out = run_cs_job(&splits, 64, 48, 5, 2, &BompConfig::default()).unwrap();
+        let spec = MeasurementSpec::new(48, 64, 5).unwrap();
+        let y = spec.measure_dense(&global).unwrap();
+        let direct = cso_core::bomp(&spec, &y, &BompConfig::default()).unwrap();
+        assert_eq!(out.outliers[0].index, direct.top_k(1)[0].index);
+        assert!((out.mode - direct.mode).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jobs_reject_out_of_range_keys() {
+        let splits = vec![vec![(99usize, 1.0)]];
+        assert!(run_topk_job(&splits, 10, 1).is_err());
+        assert!(run_cs_job(&splits, 10, 5, 1, 1, &BompConfig::default()).is_err());
+    }
+
+    #[test]
+    fn cs_shuffle_is_smaller_when_m_below_keys() {
+        // The whole point: M values/task vs one pair per distinct key/task.
+        let n = 512;
+        let mut splits = Vec::new();
+        for t in 0..4 {
+            let split: Vec<Record> =
+                (0..n).map(|i| (i, (t + i) as f64)).collect();
+            splits.push(split);
+        }
+        let cs = run_cs_job(&splits, n, 32, 3, 5, &BompConfig::default()).unwrap();
+        let tk = run_topk_job(&splits, n, 5).unwrap();
+        assert!(cs.counters.shuffle_bytes < tk.counters.shuffle_bytes / 10);
+    }
+}

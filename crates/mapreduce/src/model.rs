@@ -1,0 +1,321 @@
+//! Analytic time model for the two Hadoop jobs of Section 6.2.
+//!
+//! The paper compares its CS job (Algorithms 3/4) against a traditional
+//! top-k job on three axes: sketch size `M` (Figure 10), mapper/reducer
+//! breakdown (Figure 11), and key-space size `N` (Figure 12). The simulator
+//! prices each phase from a [`ClusterProfile`] and a [`WorkloadShape`]:
+//!
+//! ```text
+//! map task   = read(split) + parse(records) + job-specific emit work
+//! map wall   = waves × map task            (tasks queue over the slots)
+//! reducer    = shuffle(bytes over network) + per-record merge + job-specific compute
+//! end-to-end = overhead + map wall + reducer
+//! ```
+//!
+//! The traditional job emits one key-value pair per distinct key per task
+//! and funnels them all through the single reducer; the CS job emits `M`
+//! values per task and pays instead for the measurement (mapper) and the
+//! BOMP recovery (reducer, `O(R·M·N)` flops) — which is exactly the
+//! trade-off whose crossover the paper's figures trace.
+
+use crate::profile::ClusterProfile;
+
+/// Static description of a workload (what the paper varies across
+/// Figures 10–12: input size and key-space size).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadShape {
+    /// Total raw input bytes across all splits.
+    pub input_bytes: u64,
+    /// Serialized size of one raw log record.
+    pub record_bytes: u64,
+    /// Global key-space size `N`.
+    pub n: usize,
+}
+
+impl WorkloadShape {
+    /// Total record count implied by the sizes.
+    pub fn records(&self) -> u64 {
+        self.input_bytes.checked_div(self.record_bytes).unwrap_or(0)
+    }
+
+    /// Records per map task under `profile`.
+    pub fn records_per_task(&self, profile: &ClusterProfile) -> u64 {
+        self.records() / profile.map_tasks(self.input_bytes)
+    }
+
+    /// Distinct keys a map task's partial aggregation can produce: bounded
+    /// by both the key space and the records the task actually saw.
+    pub fn keys_per_task(&self, profile: &ClusterProfile) -> u64 {
+        (self.n as u64).min(self.records_per_task(profile).max(1))
+    }
+}
+
+/// Per-record cost of emitting one map-output pair (serialize + sort +
+/// spill) — part of the model, kept out of `ClusterProfile` because it is
+/// specific to the MapReduce pipeline rather than the hardware.
+pub const MAP_EMIT_S_PER_PAIR: f64 = 5.0e-6;
+/// Per-record cost of pulling, merging and reducing one pair on the single
+/// reducer.
+pub const REDUCE_S_PER_PAIR: f64 = 3.0e-6;
+/// Cost of drawing one seeded Gaussian for the measurement matrix.
+pub const GAUSSIAN_S_PER_SAMPLE: f64 = 1.0e-9;
+
+/// Modeled timing of one job.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobEstimate {
+    /// Which job ("traditional-topk" or "cs-bomp").
+    pub job: &'static str,
+    /// Wall-clock of the map phase (all waves).
+    pub map_s: f64,
+    /// Network transfer time of the shuffle.
+    pub shuffle_s: f64,
+    /// Reducer compute (merge + job-specific work).
+    pub reduce_cpu_s: f64,
+    /// Fixed job overhead.
+    pub overhead_s: f64,
+}
+
+impl JobEstimate {
+    /// The mapper bar of Figure 11.
+    pub fn mapper_s(&self) -> f64 {
+        self.map_s
+    }
+
+    /// The reducer bar of Figure 11 (the reducer's clock includes waiting
+    /// on the shuffle).
+    pub fn reducer_s(&self) -> f64 {
+        self.shuffle_s + self.reduce_cpu_s
+    }
+
+    /// The end-to-end bar of Figures 10 and 12.
+    pub fn end_to_end_s(&self) -> f64 {
+        self.overhead_s + self.map_s + self.shuffle_s + self.reduce_cpu_s
+    }
+}
+
+/// Shared cost of reading and parsing one map task's input.
+fn map_input_s(profile: &ClusterProfile, shape: &WorkloadShape) -> f64 {
+    let tasks = profile.map_tasks(shape.input_bytes);
+    let bytes_per_task = shape.input_bytes as f64 / tasks as f64;
+    let read = bytes_per_task / profile.disk_bytes_per_s;
+    let parse = shape.records_per_task(profile) as f64 * profile.map_cpu_s_per_record;
+    read + parse
+}
+
+fn log2_of(x: f64) -> f64 {
+    if x <= 2.0 {
+        1.0
+    } else {
+        x.log2()
+    }
+}
+
+/// Models the traditional top-k job: mappers partially aggregate and emit
+/// every distinct key; the reducer merges `tasks × keys_per_task` pairs,
+/// sorts, and selects the top k.
+pub fn traditional_topk(profile: &ClusterProfile, shape: &WorkloadShape) -> JobEstimate {
+    let tasks = profile.map_tasks(shape.input_bytes) as f64;
+    let waves = profile.map_waves(shape.input_bytes) as f64;
+    let kpt = shape.keys_per_task(profile) as f64;
+
+    let emit = kpt * MAP_EMIT_S_PER_PAIR
+        + kpt * log2_of(kpt) * profile.sort_s_per_item_log2;
+    let map_task = map_input_s(profile, shape) + emit;
+    let map_s = waves * map_task;
+
+    let total_pairs = tasks * kpt;
+    let shuffle_bytes = total_pairs * profile.kv_pair_bytes as f64;
+    let shuffle_s = shuffle_bytes / profile.network_bytes_per_s;
+
+    let distinct = (shape.n as f64).min(shape.records() as f64).max(1.0);
+    let reduce_cpu_s = total_pairs * REDUCE_S_PER_PAIR
+        + distinct * log2_of(distinct) * profile.sort_s_per_item_log2;
+
+    JobEstimate {
+        job: "traditional-topk",
+        map_s,
+        shuffle_s,
+        reduce_cpu_s,
+        overhead_s: profile.job_overhead_s,
+    }
+}
+
+/// Models the CS job: mappers additionally generate their needed columns of
+/// `Φ0` and measure the partial aggregate (`2·M·nnz` flops), emitting `M`
+/// values; the reducer sums the sketches and runs BOMP recovery —
+/// `R` iterations of a `2·M·(N+1)` correlation scan plus the incremental-QR
+/// update, after regenerating `Φ0`.
+pub fn cs_bomp(
+    profile: &ClusterProfile,
+    shape: &WorkloadShape,
+    m: usize,
+    r: usize,
+) -> JobEstimate {
+    let tasks = profile.map_tasks(shape.input_bytes) as f64;
+    let waves = profile.map_waves(shape.input_bytes) as f64;
+    let kpt = shape.keys_per_task(profile) as f64;
+    let mf = m as f64;
+    let nf = shape.n as f64;
+    let rf = (r.min(m)) as f64;
+
+    // Mapper: generate the nnz needed columns (M samples each) + measure.
+    let gen = kpt * mf * GAUSSIAN_S_PER_SAMPLE;
+    let measure = 2.0 * mf * kpt * profile.flop_s;
+    let emit = mf * MAP_EMIT_S_PER_PAIR * (profile.value_bytes as f64 / profile.kv_pair_bytes as f64);
+    let map_task = map_input_s(profile, shape) + gen + measure + emit;
+    let map_s = waves * map_task;
+
+    let shuffle_bytes = tasks * mf * profile.value_bytes as f64;
+    let shuffle_s = shuffle_bytes / profile.network_bytes_per_s;
+
+    // Reducer: merge sketches, regenerate Φ0, recover.
+    let merge = tasks * mf * REDUCE_S_PER_PAIR + tasks * mf * profile.flop_s;
+    let regen = nf * mf * GAUSSIAN_S_PER_SAMPLE;
+    let correlation = rf * 2.0 * mf * (nf + 1.0) * profile.flop_s;
+    let qr = rf * rf * 8.0 * mf * profile.flop_s;
+    let reduce_cpu_s = merge + regen + correlation + qr;
+
+    JobEstimate {
+        job: "cs-bomp",
+        map_s,
+        shuffle_s,
+        reduce_cpu_s,
+        overhead_s: profile.job_overhead_s,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MB: u64 = 1 << 20;
+    const GB: u64 = 1 << 30;
+
+    fn shape_small() -> WorkloadShape {
+        // Figure 10(a): 600 MB of α=1.5 data, N = 100K.
+        WorkloadShape { input_bytes: 600 * MB, record_bytes: 100, n: 100_000 }
+    }
+
+    fn shape_big() -> WorkloadShape {
+        // Figure 10(b): 600 GB.
+        WorkloadShape { input_bytes: 600 * GB, record_bytes: 100, n: 100_000 }
+    }
+
+    #[test]
+    fn records_and_keys_per_task() {
+        let p = ClusterProfile::paper_2015();
+        let s = shape_small();
+        assert_eq!(s.records(), 600 * MB / 100);
+        assert_eq!(p.map_tasks(s.input_bytes), 5);
+        assert!(s.keys_per_task(&p) <= 100_000);
+        // Tiny input: keys limited by record count.
+        let tiny = WorkloadShape { input_bytes: 1000, record_bytes: 100, n: 100_000 };
+        assert_eq!(tiny.keys_per_task(&p), 10);
+    }
+
+    #[test]
+    fn zero_record_bytes_is_zero_records() {
+        let s = WorkloadShape { input_bytes: 100, record_bytes: 0, n: 10 };
+        assert_eq!(s.records(), 0);
+    }
+
+    #[test]
+    fn cs_beats_traditional_at_moderate_m_small_input() {
+        // The Figure 10(a) regime: BOMP wins below the crossover.
+        let p = ClusterProfile::paper_2015();
+        let s = shape_small();
+        let trad = traditional_topk(&p, &s);
+        let cs = cs_bomp(&p, &s, 400, 25);
+        assert!(
+            cs.end_to_end_s() < trad.end_to_end_s(),
+            "cs {} vs trad {}",
+            cs.end_to_end_s(),
+            trad.end_to_end_s()
+        );
+    }
+
+    #[test]
+    fn crossover_exists_as_m_grows() {
+        // Figure 10(a): "end to end time of our solution is smaller …
+        // when M < 1100" — recovery eventually dominates.
+        let p = ClusterProfile::paper_2015();
+        let s = shape_small();
+        let trad = traditional_topk(&p, &s).end_to_end_s();
+        let at = |m: usize| cs_bomp(&p, &s, m, 25).end_to_end_s();
+        assert!(at(200) < trad);
+        // Recovery cost is linear in M, so some large M must lose.
+        let mut crossed = false;
+        for m in (200..40_000).step_by(200) {
+            if at(m) > trad {
+                crossed = true;
+                break;
+            }
+        }
+        assert!(crossed, "no crossover found up to M = 40000");
+    }
+
+    #[test]
+    fn savings_grow_with_input_size() {
+        // "As the input file size becomes bigger, the saving of end to end
+        // time is more significant."
+        let p = ClusterProfile::paper_2015();
+        let m = 400;
+        let small = shape_small();
+        let big = shape_big();
+        let save_small = traditional_topk(&p, &small).end_to_end_s()
+            - cs_bomp(&p, &small, m, 25).end_to_end_s();
+        let save_big = traditional_topk(&p, &big).end_to_end_s()
+            - cs_bomp(&p, &big, m, 25).end_to_end_s();
+        assert!(save_big > save_small, "{save_big} vs {save_small}");
+    }
+
+    #[test]
+    fn reducer_savings_dominate_on_big_input() {
+        // Figure 11(e): "the savings on reducer … is more significant".
+        let p = ClusterProfile::paper_2015();
+        let s = shape_big();
+        let trad = traditional_topk(&p, &s);
+        let cs = cs_bomp(&p, &s, 400, 25);
+        let reducer_saving = trad.reducer_s() - cs.reducer_s();
+        assert!(reducer_saving > 0.0);
+        let mapper_saving = trad.mapper_s() - cs.mapper_s();
+        assert!(reducer_saving > mapper_saving, "{reducer_saving} vs {mapper_saving}");
+    }
+
+    #[test]
+    fn traditional_grows_with_n_faster_than_cs() {
+        // Figure 12: fixed 10 GB input, N from 100K to 5M.
+        let p = ClusterProfile::paper_2015();
+        let shape = |n: usize| WorkloadShape { input_bytes: 10 * GB, record_bytes: 100, n };
+        let trad_small = traditional_topk(&p, &shape(100_000)).end_to_end_s();
+        let trad_large = traditional_topk(&p, &shape(5_000_000)).end_to_end_s();
+        let cs_small = cs_bomp(&p, &shape(100_000), 100, 25).end_to_end_s();
+        let cs_large = cs_bomp(&p, &shape(5_000_000), 100, 25).end_to_end_s();
+        assert!(trad_large > trad_small * 2.0, "traditional must grow strongly with N");
+        assert!(cs_large < trad_large, "BOMP must win at N = 5M");
+        assert!(cs_small < trad_small, "BOMP must win at N = 100K");
+        let trad_growth = trad_large / trad_small;
+        let cs_growth = cs_large / cs_small;
+        assert!(cs_growth < trad_growth, "{cs_growth} vs {trad_growth}");
+    }
+
+    #[test]
+    fn iteration_budget_capped_by_m() {
+        let p = ClusterProfile::paper_2015();
+        let s = shape_small();
+        // r > m must price like r = m (OMP cannot run more iterations than
+        // measurement rows).
+        let a = cs_bomp(&p, &s, 50, 10_000);
+        let b = cs_bomp(&p, &s, 50, 50);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn breakdown_sums_to_end_to_end() {
+        let p = ClusterProfile::paper_2015();
+        let s = shape_small();
+        let e = cs_bomp(&p, &s, 300, 25);
+        let sum = e.overhead_s + e.mapper_s() + e.reducer_s();
+        assert!((sum - e.end_to_end_s()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,112 @@
+//! Cluster cost profiles — the constants of the MapReduce time model.
+//!
+//! The paper's efficiency experiments (Section 6.2) ran on Hadoop 2.4.0
+//! over 10 nodes (Xeon E5-2450 @ 2.1 GHz, 100 GB RAM, CentOS 6.3, 1 Gbps
+//! Ethernet). We cannot re-run that cluster, so the simulator prices each
+//! phase of a job with explicit constants collected here. `paper_2015()`
+//! approximates that hardware; the *shape* of the resulting curves (where
+//! the BOMP-vs-traditional crossover falls as M, input size and N grow) is
+//! what the reproduction is judged on, not absolute seconds.
+
+/// Cost constants of a simulated cluster.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterProfile {
+    /// Parallel map slots across the cluster.
+    pub map_slots: usize,
+    /// Number of reducers (the aggregation queries use a single reducer).
+    pub reducers: usize,
+    /// HDFS split size: one map task per split.
+    pub split_bytes: u64,
+    /// Sequential disk read throughput per map task, bytes/s.
+    pub disk_bytes_per_s: f64,
+    /// Cluster network throughput for the shuffle, bytes/s (1 Gbps ≈
+    /// 1.25e8 B/s; a single reducer pulls at roughly line rate).
+    pub network_bytes_per_s: f64,
+    /// CPU cost to parse + partially aggregate one raw record, seconds.
+    pub map_cpu_s_per_record: f64,
+    /// CPU cost per item·log₂(items) of merge-sorting map output on the
+    /// reducer, seconds.
+    pub sort_s_per_item_log2: f64,
+    /// Cost of one floating-point multiply-add in the measurement/recovery
+    /// linear algebra, seconds (covers memory traffic, not just ALU).
+    pub flop_s: f64,
+    /// Fixed per-job overhead (scheduling, container start-up), seconds.
+    pub job_overhead_s: f64,
+    /// Serialized size of one key-value pair in map output / shuffle.
+    pub kv_pair_bytes: u64,
+    /// Serialized size of one bare measurement value.
+    pub value_bytes: u64,
+}
+
+impl ClusterProfile {
+    /// Approximation of the paper's 10-node Hadoop 2.4.0 cluster.
+    pub fn paper_2015() -> Self {
+        ClusterProfile {
+            map_slots: 40,                    // 10 nodes × 4 slots
+            reducers: 1,
+            split_bytes: 128 << 20,           // 128 MB HDFS blocks
+            disk_bytes_per_s: 120.0e6,        // ~120 MB/s sequential
+            network_bytes_per_s: 1.0e8,       // ~1 Gbps effective to one reducer
+            map_cpu_s_per_record: 1.2e-6,     // parse + hash + aggregate
+            sort_s_per_item_log2: 8.0e-9,
+            flop_s: 2.7e-10,                  // ~3.7 Gflop/s effective (MKL via JNI)
+            job_overhead_s: 8.0,
+            kv_pair_bytes: 12,                // 4-byte key id + 8-byte value
+            value_bytes: 8,
+        }
+    }
+
+    /// Number of map tasks for a given input size (one per split, at least
+    /// one).
+    pub fn map_tasks(&self, input_bytes: u64) -> u64 {
+        input_bytes.div_ceil(self.split_bytes).max(1)
+    }
+
+    /// Number of sequential map waves: tasks beyond the slot count queue up
+    /// behind earlier waves.
+    pub fn map_waves(&self, input_bytes: u64) -> u64 {
+        self.map_tasks(input_bytes).div_ceil(self.map_slots as u64)
+    }
+}
+
+impl Default for ClusterProfile {
+    fn default() -> Self {
+        Self::paper_2015()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_profile_is_sane() {
+        let p = ClusterProfile::paper_2015();
+        assert!(p.map_slots > 0 && p.reducers > 0);
+        assert!(p.disk_bytes_per_s > 0.0 && p.network_bytes_per_s > 0.0);
+        assert!(p.kv_pair_bytes > p.value_bytes);
+    }
+
+    #[test]
+    fn map_tasks_follow_split_size() {
+        let p = ClusterProfile::paper_2015();
+        assert_eq!(p.map_tasks(0), 1);
+        assert_eq!(p.map_tasks(1), 1);
+        assert_eq!(p.map_tasks(128 << 20), 1);
+        assert_eq!(p.map_tasks((128 << 20) + 1), 2);
+        assert_eq!(p.map_tasks(600 << 20), 5);
+    }
+
+    #[test]
+    fn waves_round_up_over_slots() {
+        let p = ClusterProfile::paper_2015();
+        // 600 GB → 4800 tasks → 120 waves on 40 slots.
+        assert_eq!(p.map_waves(600 << 30), 4800u64.div_ceil(40));
+        assert_eq!(p.map_waves(1), 1);
+    }
+
+    #[test]
+    fn default_is_paper_profile() {
+        assert_eq!(ClusterProfile::default(), ClusterProfile::paper_2015());
+    }
+}

@@ -1,0 +1,82 @@
+//! Property-based tests of the cluster time model: the qualitative
+//! monotonicities the Figures 10–12 arguments rest on must hold for *all*
+//! parameters, not just the plotted ones.
+
+use cso_mapreduce::{cs_bomp, traditional_topk, ClusterProfile, WorkloadShape};
+use proptest::prelude::*;
+
+fn shapes() -> impl Strategy<Value = WorkloadShape> {
+    (20u64..5_000, 50u64..2_000, 1_000usize..2_000_000).prop_map(
+        |(mb, record_bytes, n)| WorkloadShape {
+            input_bytes: mb << 20,
+            record_bytes,
+            n,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// All phase timings are finite and non-negative, always.
+    #[test]
+    fn timings_are_sane(shape in shapes(), m in 1usize..5_000, r in 1usize..2_000) {
+        let p = ClusterProfile::paper_2015();
+        for est in [traditional_topk(&p, &shape), cs_bomp(&p, &shape, m, r)] {
+            prop_assert!(est.map_s.is_finite() && est.map_s >= 0.0);
+            prop_assert!(est.shuffle_s.is_finite() && est.shuffle_s >= 0.0);
+            prop_assert!(est.reduce_cpu_s.is_finite() && est.reduce_cpu_s >= 0.0);
+            prop_assert!(est.end_to_end_s() >= est.overhead_s);
+            let parts = est.overhead_s + est.mapper_s() + est.reducer_s();
+            prop_assert!((parts - est.end_to_end_s()).abs() < 1e-9);
+        }
+    }
+
+    /// CS job time is non-decreasing in the sketch size M (the Figure 10
+    /// x-axis direction).
+    #[test]
+    fn cs_monotone_in_m(shape in shapes(), m in 1usize..2_000, r in 1usize..500) {
+        let p = ClusterProfile::paper_2015();
+        let a = cs_bomp(&p, &shape, m, r).end_to_end_s();
+        let b = cs_bomp(&p, &shape, m * 2, r).end_to_end_s();
+        prop_assert!(b >= a - 1e-9, "M {m}→{}: {a} → {b}", m * 2);
+    }
+
+    /// Both jobs are non-decreasing in input size (more waves, more pairs).
+    #[test]
+    fn jobs_monotone_in_input(shape in shapes(), m in 8usize..1_000) {
+        let p = ClusterProfile::paper_2015();
+        let bigger = WorkloadShape { input_bytes: shape.input_bytes * 4, ..shape };
+        prop_assert!(
+            traditional_topk(&p, &bigger).end_to_end_s()
+                >= traditional_topk(&p, &shape).end_to_end_s() - 1e-9
+        );
+        prop_assert!(
+            cs_bomp(&p, &bigger, m, 25).end_to_end_s()
+                >= cs_bomp(&p, &shape, m, 25).end_to_end_s() - 1e-9
+        );
+    }
+
+    /// The traditional job is non-decreasing in N; at N doubled its reducer
+    /// never gets cheaper (the Figure 12 mechanism).
+    #[test]
+    fn traditional_monotone_in_n(shape in shapes()) {
+        let p = ClusterProfile::paper_2015();
+        let bigger = WorkloadShape { n: shape.n * 2, ..shape };
+        let a = traditional_topk(&p, &shape);
+        let b = traditional_topk(&p, &bigger);
+        prop_assert!(b.reducer_s() >= a.reducer_s() - 1e-9);
+        prop_assert!(b.end_to_end_s() >= a.end_to_end_s() - 1e-9);
+    }
+
+    /// CS shuffle volume is independent of N (only M·tasks matters) —
+    /// the communication claim at the heart of the paper.
+    #[test]
+    fn cs_shuffle_independent_of_n(shape in shapes(), m in 8usize..1_000) {
+        let p = ClusterProfile::paper_2015();
+        let other = WorkloadShape { n: shape.n * 8, ..shape };
+        let a = cs_bomp(&p, &shape, m, 25).shuffle_s;
+        let b = cs_bomp(&p, &other, m, 25).shuffle_s;
+        prop_assert!((a - b).abs() < 1e-12);
+    }
+}

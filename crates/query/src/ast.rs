@@ -1,0 +1,227 @@
+//! Abstract syntax for the paper's production query template:
+//!
+//! ```sql
+//! SELECT Outlier K SUM(Score), G1...Gm
+//! FROM Log_Streams PARAMS(StartDate, EndDate)
+//! WHERE Predicates
+//! GROUP BY G1...Gm;
+//! ```
+
+use cso_workloads::ClickKey;
+use std::fmt;
+
+/// A group-by / predicate attribute of the click log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Field {
+    /// `QueryDate` — day offset within the log window.
+    Day,
+    /// `Market`.
+    Market,
+    /// `Vertical`.
+    Vertical,
+    /// `RequestURL` id.
+    Url,
+}
+
+impl Field {
+    /// Extracts this field's value from a composite key.
+    pub fn of(&self, key: &ClickKey) -> u16 {
+        match self {
+            Field::Day => key.day as u16,
+            Field::Market => key.market as u16,
+            Field::Vertical => key.vertical as u16,
+            Field::Url => key.url,
+        }
+    }
+
+    /// Lowercase attribute name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Field::Day => "day",
+            Field::Market => "market",
+            Field::Vertical => "vertical",
+            Field::Url => "url",
+        }
+    }
+}
+
+impl fmt::Display for Field {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Comparison operators supported in predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Evaluates `lhs op rhs`.
+    pub fn eval(&self, lhs: u16, rhs: u16) -> bool {
+        match self {
+            CmpOp::Eq => lhs == rhs,
+            CmpOp::Ne => lhs != rhs,
+            CmpOp::Lt => lhs < rhs,
+            CmpOp::Le => lhs <= rhs,
+            CmpOp::Gt => lhs > rhs,
+            CmpOp::Ge => lhs >= rhs,
+        }
+    }
+}
+
+/// One conjunct of the WHERE clause: `field op literal`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Predicate {
+    /// Attribute tested.
+    pub field: Field,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Literal to compare against.
+    pub value: u16,
+}
+
+impl Predicate {
+    /// Whether `key` satisfies this predicate.
+    pub fn matches(&self, key: &ClickKey) -> bool {
+        self.op.eval(self.field.of(key), self.value)
+    }
+}
+
+/// The aggregate requested by the SELECT clause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Aggregate {
+    /// `OUTLIER k SUM(score)` — the paper's operator: the k groups whose
+    /// aggregated scores are furthest from the mode.
+    OutlierK(usize),
+    /// `TOP k SUM(score)` — the classic top-k by aggregated value.
+    TopK(usize),
+    /// `ABSTOP k SUM(score)` — top-k by |aggregated value|.
+    AbsTopK(usize),
+}
+
+impl Aggregate {
+    /// The `k` of the aggregate.
+    pub fn k(&self) -> usize {
+        match self {
+            Aggregate::OutlierK(k) | Aggregate::TopK(k) | Aggregate::AbsTopK(k) => *k,
+        }
+    }
+}
+
+/// A parsed query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Query {
+    /// Requested aggregate.
+    pub aggregate: Aggregate,
+    /// Source stream name (informational — the executor binds it to a
+    /// generated workload).
+    pub source: String,
+    /// Optional `PARAMS(start_day, end_day)` range filter (inclusive),
+    /// mirroring the template's `PARAMS(StartDate, EndDate)`.
+    pub date_range: Option<(u16, u16)>,
+    /// WHERE conjuncts.
+    pub predicates: Vec<Predicate>,
+    /// GROUP BY attributes, in declaration order.
+    pub group_by: Vec<Field>,
+}
+
+impl Query {
+    /// Whether `key` passes the date range and all predicates.
+    pub fn accepts(&self, key: &ClickKey) -> bool {
+        if let Some((lo, hi)) = self.date_range {
+            let d = key.day as u16;
+            if d < lo || d > hi {
+                return false;
+            }
+        }
+        self.predicates.iter().all(|p| p.matches(key))
+    }
+
+    /// Projects a key onto the GROUP BY attributes.
+    pub fn group_of(&self, key: &ClickKey) -> Vec<u16> {
+        self.group_by.iter().map(|f| f.of(key)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(day: u8, market: u8, vertical: u8, url: u16) -> ClickKey {
+        ClickKey { day, market, vertical, url }
+    }
+
+    #[test]
+    fn field_extraction() {
+        let k = key(3, 17, 40, 102);
+        assert_eq!(Field::Day.of(&k), 3);
+        assert_eq!(Field::Market.of(&k), 17);
+        assert_eq!(Field::Vertical.of(&k), 40);
+        assert_eq!(Field::Url.of(&k), 102);
+        assert_eq!(Field::Market.to_string(), "market");
+    }
+
+    #[test]
+    fn cmp_ops() {
+        assert!(CmpOp::Eq.eval(3, 3));
+        assert!(CmpOp::Ne.eval(3, 4));
+        assert!(CmpOp::Lt.eval(3, 4));
+        assert!(CmpOp::Le.eval(4, 4));
+        assert!(CmpOp::Gt.eval(5, 4));
+        assert!(CmpOp::Ge.eval(4, 4));
+        assert!(!CmpOp::Lt.eval(4, 4));
+    }
+
+    #[test]
+    fn predicate_matching() {
+        let p = Predicate { field: Field::Market, op: CmpOp::Eq, value: 17 };
+        assert!(p.matches(&key(0, 17, 0, 0)));
+        assert!(!p.matches(&key(0, 18, 0, 0)));
+    }
+
+    #[test]
+    fn query_accepts_combines_range_and_predicates() {
+        let q = Query {
+            aggregate: Aggregate::OutlierK(5),
+            source: "clicks".into(),
+            date_range: Some((1, 3)),
+            predicates: vec![Predicate { field: Field::Vertical, op: CmpOp::Lt, value: 10 }],
+            group_by: vec![Field::Market],
+        };
+        assert!(q.accepts(&key(2, 0, 5, 0)));
+        assert!(!q.accepts(&key(0, 0, 5, 0)), "outside date range");
+        assert!(!q.accepts(&key(2, 0, 20, 0)), "fails predicate");
+    }
+
+    #[test]
+    fn group_projection_order() {
+        let q = Query {
+            aggregate: Aggregate::TopK(1),
+            source: "clicks".into(),
+            date_range: None,
+            predicates: vec![],
+            group_by: vec![Field::Vertical, Field::Market],
+        };
+        assert_eq!(q.group_of(&key(1, 2, 3, 4)), vec![3, 2]);
+    }
+
+    #[test]
+    fn aggregate_k() {
+        assert_eq!(Aggregate::OutlierK(7).k(), 7);
+        assert_eq!(Aggregate::TopK(3).k(), 3);
+        assert_eq!(Aggregate::AbsTopK(9).k(), 9);
+    }
+}

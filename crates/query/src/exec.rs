@@ -1,0 +1,586 @@
+//! Query execution over a distributed click-log workload.
+//!
+//! The executor mirrors the production pipeline of Section 6.1.2: the
+//! predicates filter the key space, the GROUP BY projects composite keys
+//! onto group keys (building the global key dictionary for this query),
+//! each data center's slice is re-vectorized over the groups, and a
+//! distributed protocol answers the aggregate — the CS sketch by default,
+//! the exact ALL baseline or K+δ on request.
+
+use crate::ast::{Aggregate, Query};
+use crate::parser::ParseError;
+use cso_core::BompConfig;
+use cso_distributed::{
+    all_vectorized_cost, Cluster, CommunicationCost, CsProtocol, KDeltaProtocol,
+    OutlierProtocol,
+};
+use cso_linalg::LinalgError;
+use cso_workloads::ClickLogData;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Which protocol the executor should use.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ProtocolChoice {
+    /// Heuristic: exact ALL for tiny group counts, CS sketches otherwise.
+    Auto,
+    /// The CS protocol, optionally with an explicit sketch size.
+    Cs {
+        /// Sketch length; `None` uses the planner heuristic.
+        m: Option<usize>,
+    },
+    /// Transmit everything, compute exactly.
+    All,
+    /// The K+δ sampling baseline.
+    KDelta {
+        /// Extra tuple budget per node.
+        delta: usize,
+    },
+}
+
+/// Execution options.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryOptions {
+    /// Protocol selection.
+    pub protocol: ProtocolChoice,
+    /// Seed for the measurement matrix / sampling.
+    pub seed: u64,
+}
+
+impl Default for QueryOptions {
+    fn default() -> Self {
+        QueryOptions { protocol: ProtocolChoice::Auto, seed: 0xC50_u64 }
+    }
+}
+
+/// One output row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultRow {
+    /// Group-key values in GROUP BY order.
+    pub group: Vec<u16>,
+    /// Human-readable label, e.g. `market=17/vertical=3`.
+    pub label: String,
+    /// Aggregated (or recovered) value.
+    pub value: f64,
+    /// Deviation from the mode estimate.
+    pub deviation: f64,
+}
+
+/// Result of executing a query.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// Output rows, ranked per the aggregate.
+    pub rows: Vec<ResultRow>,
+    /// Mode estimate of the aggregated groups.
+    pub mode: f64,
+    /// Communication spent by the protocol.
+    pub cost: CommunicationCost,
+    /// Which protocol actually ran.
+    pub protocol: &'static str,
+    /// Number of groups after filtering (the query's `N`).
+    pub groups: usize,
+}
+
+/// Errors from parsing or executing a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryError {
+    /// The query text did not parse.
+    Parse(ParseError),
+    /// A numerical/protocol failure during execution.
+    Exec(LinalgError),
+    /// The predicates eliminated every key.
+    EmptyResult,
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Parse(e) => write!(f, "{e}"),
+            QueryError::Exec(e) => write!(f, "execution failed: {e}"),
+            QueryError::EmptyResult => write!(f, "no key satisfies the predicates"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<ParseError> for QueryError {
+    fn from(e: ParseError) -> Self {
+        QueryError::Parse(e)
+    }
+}
+
+impl From<LinalgError> for QueryError {
+    fn from(e: LinalgError) -> Self {
+        QueryError::Exec(e)
+    }
+}
+
+/// The planner's default sketch size for `n` groups and `k` requested
+/// outliers: `M = max(64, 6·k·ln N)` capped at `n` (a sketch longer than
+/// the vector defeats its purpose). The log dependence is Theorem 1's
+/// `M = O(s^a · log(N/δ))` with the constants tuned on the Figure 4/7
+/// workloads.
+pub fn default_sketch_size(n: usize, k: usize) -> usize {
+    let m = (6.0 * k as f64 * (n.max(2) as f64).ln()).ceil() as usize;
+    m.max(64).min(n)
+}
+
+/// Parses and executes a query string against a generated workload.
+pub fn run(sql: &str, data: &ClickLogData, options: &QueryOptions) -> Result<QueryResult, QueryError> {
+    let query = crate::parser::parse(sql)?;
+    execute(&query, data, options)
+}
+
+/// A query plan: what [`execute`] would do, without doing it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Explanation {
+    /// Protocol that would run.
+    pub protocol: &'static str,
+    /// Sketch size `M` (CS only).
+    pub sketch_size: Option<usize>,
+    /// Recovery iteration budget `R` (CS only).
+    pub iteration_budget: Option<usize>,
+    /// Number of groups after filtering (the query's `N`).
+    pub groups: usize,
+    /// Estimated communication cost.
+    pub estimated_cost: CommunicationCost,
+}
+
+impl fmt::Display for Explanation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "plan: protocol={} groups={} est_bytes={}",
+            self.protocol,
+            self.groups,
+            self.estimated_cost.bytes()
+        )?;
+        if let (Some(m), Some(r)) = (self.sketch_size, self.iteration_budget) {
+            write!(f, " M={m} R={r}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Plans a query without executing it: resolves the protocol choice,
+/// sketch size and estimated communication cost (the `EXPLAIN` of this
+/// mini engine).
+pub fn explain(
+    sql: &str,
+    data: &ClickLogData,
+    options: &QueryOptions,
+) -> Result<Explanation, QueryError> {
+    let query = crate::parser::parse(sql)?;
+    // Count groups after filtering (same pass as execute, values skipped).
+    let mut groups: std::collections::BTreeSet<Vec<u16>> = std::collections::BTreeSet::new();
+    for key in data.keys.iter().filter(|k| query.accepts(k)) {
+        groups.insert(query.group_of(key));
+    }
+    let n_groups = groups.len();
+    if n_groups == 0 {
+        return Err(QueryError::EmptyResult);
+    }
+    let k = query.aggregate.k();
+    let l = data.l();
+    let choice = match options.protocol {
+        ProtocolChoice::Auto => {
+            if n_groups < 64 {
+                ProtocolChoice::All
+            } else {
+                ProtocolChoice::Cs { m: None }
+            }
+        }
+        other => other,
+    };
+    Ok(match choice {
+        ProtocolChoice::All => Explanation {
+            protocol: "all-vectorized",
+            sketch_size: None,
+            iteration_budget: None,
+            groups: n_groups,
+            estimated_cost: all_vectorized_cost(l, n_groups),
+        },
+        ProtocolChoice::Cs { m } => {
+            let m = m.unwrap_or_else(|| default_sketch_size(n_groups, k));
+            Explanation {
+                protocol: "cs-bomp",
+                sketch_size: Some(m),
+                iteration_budget: Some((3 * k + 1).max(m / 3)),
+                groups: n_groups,
+                estimated_cost: cso_distributed::cs_cost(l, m),
+            }
+        }
+        ProtocolChoice::KDelta { delta } => Explanation {
+            protocol: "k+delta",
+            sketch_size: None,
+            iteration_budget: None,
+            groups: n_groups,
+            estimated_cost: CommunicationCost {
+                bits: (l * (k + delta)) as u64 * cso_distributed::KV_PAIR_BITS
+                    + l as u64 * cso_distributed::VALUE_BITS,
+                tuples: (l * (k + delta)) as u64 + l as u64,
+                rounds: 3,
+            },
+        },
+        ProtocolChoice::Auto => unreachable!("resolved above"),
+    })
+}
+
+/// Executes a parsed query against a generated workload.
+pub fn execute(
+    query: &Query,
+    data: &ClickLogData,
+    options: &QueryOptions,
+) -> Result<QueryResult, QueryError> {
+    // 1. Filter + project: original key index → group id.
+    let mut group_ids: BTreeMap<Vec<u16>, usize> = BTreeMap::new();
+    let mut key_to_group: Vec<Option<usize>> = vec![None; data.n()];
+    for (i, key) in data.keys.iter().enumerate() {
+        if !query.accepts(key) {
+            continue;
+        }
+        let g = query.group_of(key);
+        let next = group_ids.len();
+        let id = *group_ids.entry(g).or_insert(next);
+        key_to_group[i] = Some(id);
+    }
+    let n_groups = group_ids.len();
+    if n_groups == 0 {
+        return Err(QueryError::EmptyResult);
+    }
+    let groups: Vec<Vec<u16>> = {
+        let mut v = vec![Vec::new(); n_groups];
+        for (g, id) in &group_ids {
+            v[*id] = g.clone();
+        }
+        v
+    };
+
+    // 2. Re-vectorize every data center's slice over the groups.
+    let mut slices = vec![vec![0.0; n_groups]; data.l()];
+    for (dc, slice) in data.slices.iter().enumerate() {
+        for (i, &v) in slice.iter().enumerate() {
+            if let Some(g) = key_to_group[i] {
+                slices[dc][g] += v;
+            }
+        }
+    }
+    let cluster = Cluster::new(slices)?;
+    let k = query.aggregate.k();
+
+    // 3. Pick and run the protocol.
+    let choice = match options.protocol {
+        ProtocolChoice::Auto => {
+            if n_groups < 64 {
+                ProtocolChoice::All
+            } else {
+                ProtocolChoice::Cs { m: None }
+            }
+        }
+        other => other,
+    };
+    let (mode, cost, protocol, candidates): (f64, CommunicationCost, &'static str, Vec<(usize, f64)>) =
+        match choice {
+            ProtocolChoice::All => {
+                let aggregate = cluster.aggregate();
+                let mode = cso_core::outlier::exact_majority_mode(&aggregate)
+                    .map_or_else(|| cso_core::outlier::estimated_mode(&aggregate), Ok)?;
+                let cands = aggregate.iter().copied().enumerate().collect();
+                (mode, all_vectorized_cost(cluster.l(), n_groups), "all-vectorized", cands)
+            }
+            ProtocolChoice::Cs { m } => {
+                let m = m.unwrap_or_else(|| default_sketch_size(n_groups, k));
+                // Iteration budget: the paper's f(k) floor, raised to M/3 so
+                // recovery can absorb data whose true sparsity s exceeds 3k
+                // (the production queries of Figure 9 needed R ≈ s ≫ k).
+                let budget = (3 * k + 1).max(m / 3);
+                let proto = CsProtocol::new(m, options.seed)
+                    .with_recovery(BompConfig::with_max_iterations(budget));
+                // Request every recovered outlier so top-k re-ranking has
+                // the full candidate set.
+                let run = proto.run(&cluster, m)?;
+                let cands = run.estimate.iter().map(|o| (o.index, o.value)).collect();
+                (run.mode, run.cost, run.protocol, cands)
+            }
+            ProtocolChoice::KDelta { delta } => {
+                let proto = KDeltaProtocol::new(delta, options.seed);
+                let run = proto.run(&cluster, k)?;
+                let cands = run.estimate.iter().map(|o| (o.index, o.value)).collect();
+                (run.mode, run.cost, run.protocol, cands)
+            }
+            ProtocolChoice::Auto => unreachable!("resolved above"),
+        };
+
+    // 4. Rank candidates per the aggregate.
+    let mut ranked = candidates;
+    match query.aggregate {
+        Aggregate::OutlierK(_) => ranked.sort_by(|a, b| {
+            (b.1 - mode)
+                .abs()
+                .partial_cmp(&(a.1 - mode).abs())
+                .expect("finite")
+                .then(a.0.cmp(&b.0))
+        }),
+        Aggregate::TopK(_) => {
+            ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)))
+        }
+        Aggregate::AbsTopK(_) => ranked.sort_by(|a, b| {
+            b.1.abs().partial_cmp(&a.1.abs()).expect("finite").then(a.0.cmp(&b.0))
+        }),
+    }
+    ranked.truncate(k);
+
+    let rows = ranked
+        .into_iter()
+        .map(|(id, value)| ResultRow {
+            group: groups[id].clone(),
+            label: label_of(query, &groups[id]),
+            value,
+            deviation: value - mode,
+        })
+        .collect();
+
+    Ok(QueryResult { rows, mode, cost, protocol, groups: n_groups })
+}
+
+fn label_of(query: &Query, group: &[u16]) -> String {
+    query
+        .group_by
+        .iter()
+        .zip(group)
+        .map(|(f, v)| format!("{f}={v}"))
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cso_workloads::ClickLogConfig;
+
+    fn workload() -> ClickLogData {
+        ClickLogData::generate(&ClickLogConfig::core_search().scaled_down(20), 42).unwrap()
+    }
+
+    #[test]
+    fn outlier_query_via_all_is_exact() {
+        let data = workload();
+        let opts = QueryOptions { protocol: ProtocolChoice::All, seed: 1 };
+        let res = run(
+            "SELECT OUTLIER 5 SUM(score) FROM clicks GROUP BY day, market, vertical, url",
+            &data,
+            &opts,
+        )
+        .unwrap();
+        // Grouping by all fields keeps every key distinct, so the result
+        // must equal the ground-truth outliers.
+        assert_eq!(res.groups, data.n());
+        let truth = data.true_k_outliers(5);
+        let got: Vec<f64> = res.rows.iter().map(|r| r.value).collect();
+        let want: Vec<f64> = truth.iter().map(|o| o.value).collect();
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-9, "{g} vs {w}");
+        }
+        assert_eq!(res.protocol, "all-vectorized");
+    }
+
+    #[test]
+    fn cs_protocol_matches_all_on_outliers() {
+        let data = workload();
+        let sql = "SELECT OUTLIER 5 SUM(score) FROM clicks GROUP BY day, market, vertical, url";
+        let exact = run(sql, &data, &QueryOptions { protocol: ProtocolChoice::All, seed: 1 })
+            .unwrap();
+        let cs = run(
+            sql,
+            &data,
+            &QueryOptions { protocol: ProtocolChoice::Cs { m: Some(200) }, seed: 1 },
+        )
+        .unwrap();
+        let exact_keys: Vec<&str> = exact.rows.iter().map(|r| r.label.as_str()).collect();
+        let cs_keys: Vec<&str> = cs.rows.iter().map(|r| r.label.as_str()).collect();
+        assert_eq!(exact_keys, cs_keys);
+        assert!(cs.cost.bits < exact.cost.bits / 2, "sketch must be cheaper");
+        assert!((cs.mode - data.mode).abs() < 1.0);
+    }
+
+    #[test]
+    fn group_by_collapses_keys() {
+        let data = workload();
+        let res = run(
+            "SELECT OUTLIER 3 SUM(score) FROM clicks GROUP BY market",
+            &data,
+            &QueryOptions { protocol: ProtocolChoice::All, seed: 1 },
+        )
+        .unwrap();
+        assert!(res.groups <= 49, "at most one group per market");
+        assert!(res.rows.len() <= 3);
+        assert!(res.rows[0].label.starts_with("market="));
+    }
+
+    #[test]
+    fn predicates_and_params_filter() {
+        let data = workload();
+        let all = run(
+            "SELECT OUTLIER 3 SUM(score) FROM clicks GROUP BY day",
+            &data,
+            &QueryOptions { protocol: ProtocolChoice::All, seed: 1 },
+        )
+        .unwrap();
+        let filtered = run(
+            "SELECT OUTLIER 3 SUM(score) FROM clicks PARAMS(2, 3) GROUP BY day",
+            &data,
+            &QueryOptions { protocol: ProtocolChoice::All, seed: 1 },
+        )
+        .unwrap();
+        assert!(filtered.groups < all.groups);
+        assert!(filtered.groups <= 2);
+        for r in &filtered.rows {
+            assert!(r.group[0] == 2 || r.group[0] == 3);
+        }
+    }
+
+    #[test]
+    fn empty_result_is_reported() {
+        let data = workload();
+        let err = run(
+            "SELECT OUTLIER 3 SUM(score) FROM clicks WHERE market > 999 GROUP BY day",
+            &data,
+            &QueryOptions::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err, QueryError::EmptyResult);
+        assert!(err.to_string().contains("no key"));
+    }
+
+    #[test]
+    fn auto_picks_all_for_small_groups_cs_for_large() {
+        let data = workload();
+        let small = run(
+            "SELECT OUTLIER 2 SUM(score) FROM clicks GROUP BY day",
+            &data,
+            &QueryOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(small.protocol, "all-vectorized");
+        let large = run(
+            "SELECT OUTLIER 2 SUM(score) FROM clicks GROUP BY day, market, vertical, url",
+            &data,
+            &QueryOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(large.protocol, "cs-bomp");
+    }
+
+    #[test]
+    fn top_k_ranks_by_value() {
+        let data = workload();
+        let res = run(
+            "SELECT TOP 4 SUM(score) FROM clicks GROUP BY market",
+            &data,
+            &QueryOptions { protocol: ProtocolChoice::All, seed: 1 },
+        )
+        .unwrap();
+        for w in res.rows.windows(2) {
+            assert!(w[0].value >= w[1].value);
+        }
+    }
+
+    #[test]
+    fn abstop_ranks_by_magnitude() {
+        let data = workload();
+        let res = run(
+            "SELECT ABSTOP 4 SUM(score) FROM clicks GROUP BY vertical",
+            &data,
+            &QueryOptions { protocol: ProtocolChoice::All, seed: 1 },
+        )
+        .unwrap();
+        for w in res.rows.windows(2) {
+            assert!(w[0].value.abs() >= w[1].value.abs());
+        }
+    }
+
+    #[test]
+    fn kdelta_protocol_runs() {
+        let data = workload();
+        let res = run(
+            "SELECT OUTLIER 5 SUM(score) FROM clicks GROUP BY day, market, vertical, url",
+            &data,
+            &QueryOptions { protocol: ProtocolChoice::KDelta { delta: 50 }, seed: 3 },
+        )
+        .unwrap();
+        assert_eq!(res.protocol, "k+delta");
+        assert_eq!(res.cost.rounds, 3);
+        assert_eq!(res.rows.len(), 5);
+    }
+
+    #[test]
+    fn default_sketch_size_properties() {
+        assert_eq!(default_sketch_size(10, 1), 10, "capped at n");
+        let m = default_sketch_size(10_000, 10);
+        assert!((64..10_000).contains(&m));
+        // Grows with k and (slowly) with n.
+        assert!(default_sketch_size(10_000, 20) > m);
+        assert!(default_sketch_size(1_000_000, 10) > m);
+    }
+
+    #[test]
+    fn explain_predicts_execution() {
+        let data = workload();
+        let sql = "SELECT OUTLIER 5 SUM(score) FROM clicks GROUP BY day, market, vertical, url";
+        for choice in [
+            ProtocolChoice::All,
+            ProtocolChoice::Cs { m: Some(200) },
+            ProtocolChoice::KDelta { delta: 50 },
+        ] {
+            let opts = QueryOptions { protocol: choice, seed: 1 };
+            let plan = explain(sql, &data, &opts).unwrap();
+            let res = run(sql, &data, &opts).unwrap();
+            assert_eq!(plan.protocol, res.protocol);
+            assert_eq!(plan.groups, res.groups);
+            assert_eq!(plan.estimated_cost.bits, res.cost.bits, "{choice:?}");
+            assert_eq!(plan.estimated_cost.rounds, res.cost.rounds);
+        }
+    }
+
+    #[test]
+    fn explain_display_and_auto() {
+        let data = workload();
+        let plan = explain(
+            "SELECT OUTLIER 2 SUM(score) FROM clicks GROUP BY day",
+            &data,
+            &QueryOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(plan.protocol, "all-vectorized");
+        assert!(plan.to_string().contains("plan: protocol=all-vectorized"));
+        let cs_plan = explain(
+            "SELECT OUTLIER 2 SUM(score) FROM clicks GROUP BY day, market, vertical, url",
+            &data,
+            &QueryOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(cs_plan.protocol, "cs-bomp");
+        assert!(cs_plan.sketch_size.is_some());
+        assert!(cs_plan.to_string().contains("M="));
+    }
+
+    #[test]
+    fn explain_empty_result() {
+        let data = workload();
+        let err = explain(
+            "SELECT OUTLIER 3 SUM(score) FROM clicks WHERE market > 999 GROUP BY day",
+            &data,
+            &QueryOptions::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err, QueryError::EmptyResult);
+    }
+
+    #[test]
+    fn parse_errors_propagate() {
+        let data = workload();
+        let err = run("SELEKT nonsense", &data, &QueryOptions::default()).unwrap_err();
+        assert!(matches!(err, QueryError::Parse(_)));
+    }
+}

@@ -1,0 +1,30 @@
+//! # cso-query
+//!
+//! A miniature aggregation-query layer over the distributed sketch
+//! protocols, implementing the paper's production template
+//! (Section 6.1.2):
+//!
+//! ```sql
+//! SELECT OUTLIER 10 SUM(score)
+//! FROM log_streams PARAMS(0, 6)
+//! WHERE market = 17 AND vertical < 30
+//! GROUP BY day, market, vertical;
+//! ```
+//!
+//! [`parser`] turns the text into a [`Query`]; [`exec`] filters the key
+//! space, projects GROUP BY attributes into a fresh global key dictionary,
+//! re-vectorizes every data center's slice and answers the aggregate with
+//! the CS sketch (default), the exact ALL baseline, or K+δ.
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod exec;
+pub mod parser;
+
+pub use ast::{Aggregate, CmpOp, Field, Predicate, Query};
+pub use exec::{
+    default_sketch_size, execute, explain, run, Explanation, ProtocolChoice, QueryError,
+    QueryOptions, QueryResult, ResultRow,
+};
+pub use parser::{parse, ParseError};

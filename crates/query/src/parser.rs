@@ -1,0 +1,395 @@
+//! Parser for the production query template.
+//!
+//! Grammar (keywords case-insensitive):
+//!
+//! ```text
+//! query  := SELECT agg FROM ident params? where? GROUP BY fields ';'?
+//! agg    := (OUTLIER | TOP | ABSTOP) number SUM '(' ident ')'
+//! params := PARAMS '(' number ',' number ')'
+//! where  := WHERE pred (AND pred)*
+//! pred   := field op number
+//! op     := '=' | '!=' | '<' | '<=' | '>' | '>='
+//! fields := field (',' field)*
+//! field  := DAY | MARKET | VERTICAL | URL
+//! ```
+
+use crate::ast::{Aggregate, CmpOp, Field, Predicate, Query};
+use std::fmt;
+
+/// A parse failure with its character position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the input where the problem was detected.
+    pub position: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Number(u64),
+    Symbol(&'static str),
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn tokenize(src: &'a str) -> Result<Vec<(usize, Token)>, ParseError> {
+        let mut lx = Lexer { src, pos: 0 };
+        let mut out = Vec::new();
+        while let Some(tok) = lx.next_token()? {
+            out.push(tok);
+        }
+        Ok(out)
+    }
+
+    fn peek_char(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    fn next_token(&mut self) -> Result<Option<(usize, Token)>, ParseError> {
+        while let Some(c) = self.peek_char() {
+            if !c.is_whitespace() {
+                break;
+            }
+            self.pos += c.len_utf8(); // whitespace may be multi-byte (e.g. U+2028)
+        }
+        let start = self.pos;
+        let Some(c) = self.peek_char() else { return Ok(None) };
+        if c.is_ascii_alphabetic() || c == '_' {
+            let end = self.src[start..]
+                .find(|ch: char| !(ch.is_ascii_alphanumeric() || ch == '_'))
+                .map_or(self.src.len(), |o| start + o);
+            self.pos = end;
+            return Ok(Some((start, Token::Ident(self.src[start..end].to_lowercase()))));
+        }
+        if c.is_ascii_digit() {
+            let end = self.src[start..]
+                .find(|ch: char| !ch.is_ascii_digit())
+                .map_or(self.src.len(), |o| start + o);
+            self.pos = end;
+            let n = self.src[start..end].parse::<u64>().map_err(|_| ParseError {
+                position: start,
+                message: "number out of range".into(),
+            })?;
+            return Ok(Some((start, Token::Number(n))));
+        }
+        // Two-character operators first.
+        for sym in ["!=", "<=", ">="] {
+            if self.src[self.pos..].starts_with(sym) {
+                self.pos += 2;
+                return Ok(Some((start, Token::Symbol(sym))));
+            }
+        }
+        for sym in ["(", ")", ",", ";", "=", "<", ">"] {
+            if self.src[self.pos..].starts_with(sym) {
+                self.pos += 1;
+                return Ok(Some((start, Token::Symbol(sym))));
+            }
+        }
+        Err(ParseError { position: start, message: format!("unexpected character `{c}`") })
+    }
+}
+
+struct Parser {
+    tokens: Vec<(usize, Token)>,
+    idx: usize,
+}
+
+impl Parser {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        let position = self
+            .tokens
+            .get(self.idx)
+            .map(|(p, _)| *p)
+            .unwrap_or_else(|| self.tokens.last().map(|(p, _)| *p + 1).unwrap_or(0));
+        Err(ParseError { position, message: message.into() })
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.idx).map(|(_, t)| t)
+    }
+
+    fn advance(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.idx).map(|(_, t)| t.clone());
+        if t.is_some() {
+            self.idx += 1;
+        }
+        t
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        match self.advance() {
+            Some(Token::Ident(s)) if s == kw => Ok(()),
+            _ => {
+                self.idx = self.idx.saturating_sub(1);
+                self.err(format!("expected keyword `{}`", kw.to_uppercase()))
+            }
+        }
+    }
+
+    fn accept_keyword(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Some(Token::Ident(s)) if s == kw) {
+            self.idx += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_symbol(&mut self, sym: &str) -> Result<(), ParseError> {
+        match self.advance() {
+            Some(Token::Symbol(s)) if s == sym => Ok(()),
+            _ => {
+                self.idx = self.idx.saturating_sub(1);
+                self.err(format!("expected `{sym}`"))
+            }
+        }
+    }
+
+    fn accept_symbol(&mut self, sym: &str) -> bool {
+        if matches!(self.peek(), Some(Token::Symbol(s)) if *s == sym) {
+            self.idx += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn number(&mut self) -> Result<u64, ParseError> {
+        match self.advance() {
+            Some(Token::Number(n)) => Ok(n),
+            _ => {
+                self.idx = self.idx.saturating_sub(1);
+                self.err("expected a number")
+            }
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.advance() {
+            Some(Token::Ident(s)) => Ok(s),
+            _ => {
+                self.idx = self.idx.saturating_sub(1);
+                self.err("expected an identifier")
+            }
+        }
+    }
+
+    fn field(&mut self) -> Result<Field, ParseError> {
+        let name = self.ident()?;
+        match name.as_str() {
+            "day" | "querydate" => Ok(Field::Day),
+            "market" => Ok(Field::Market),
+            "vertical" => Ok(Field::Vertical),
+            "url" | "requesturl" => Ok(Field::Url),
+            other => {
+                self.idx -= 1;
+                self.err(format!("unknown field `{other}`"))
+            }
+        }
+    }
+
+    fn aggregate(&mut self) -> Result<Aggregate, ParseError> {
+        let kind = self.ident()?;
+        let ctor: fn(usize) -> Aggregate = match kind.as_str() {
+            "outlier" => Aggregate::OutlierK,
+            "top" => Aggregate::TopK,
+            "abstop" => Aggregate::AbsTopK,
+            other => {
+                self.idx -= 1;
+                return self.err(format!(
+                    "expected OUTLIER, TOP or ABSTOP, found `{other}`"
+                ));
+            }
+        };
+        let k = self.number()? as usize;
+        if k == 0 {
+            return self.err("k must be at least 1");
+        }
+        self.expect_keyword("sum")?;
+        self.expect_symbol("(")?;
+        let _score_col = self.ident()?;
+        self.expect_symbol(")")?;
+        Ok(ctor(k))
+    }
+
+    fn cmp_op(&mut self) -> Result<CmpOp, ParseError> {
+        match self.advance() {
+            Some(Token::Symbol("=")) => Ok(CmpOp::Eq),
+            Some(Token::Symbol("!=")) => Ok(CmpOp::Ne),
+            Some(Token::Symbol("<")) => Ok(CmpOp::Lt),
+            Some(Token::Symbol("<=")) => Ok(CmpOp::Le),
+            Some(Token::Symbol(">")) => Ok(CmpOp::Gt),
+            Some(Token::Symbol(">=")) => Ok(CmpOp::Ge),
+            _ => {
+                self.idx = self.idx.saturating_sub(1);
+                self.err("expected a comparison operator")
+            }
+        }
+    }
+
+    fn query(&mut self) -> Result<Query, ParseError> {
+        self.expect_keyword("select")?;
+        let aggregate = self.aggregate()?;
+        self.expect_keyword("from")?;
+        let source = self.ident()?;
+
+        let date_range = if self.accept_keyword("params") {
+            self.expect_symbol("(")?;
+            let lo = self.number()? as u16;
+            self.expect_symbol(",")?;
+            let hi = self.number()? as u16;
+            self.expect_symbol(")")?;
+            if lo > hi {
+                return self.err("PARAMS start must not exceed end");
+            }
+            Some((lo, hi))
+        } else {
+            None
+        };
+
+        let mut predicates = Vec::new();
+        if self.accept_keyword("where") {
+            loop {
+                let field = self.field()?;
+                let op = self.cmp_op()?;
+                let value = self.number()? as u16;
+                predicates.push(Predicate { field, op, value });
+                if !self.accept_keyword("and") {
+                    break;
+                }
+            }
+        }
+
+        self.expect_keyword("group")?;
+        self.expect_keyword("by")?;
+        let mut group_by = vec![self.field()?];
+        while self.accept_symbol(",") {
+            group_by.push(self.field()?);
+        }
+        let _ = self.accept_symbol(";");
+        if self.idx != self.tokens.len() {
+            return self.err("unexpected trailing input");
+        }
+        Ok(Query { aggregate, source, date_range, predicates, group_by })
+    }
+}
+
+/// Parses one query from `src`.
+pub fn parse(src: &str) -> Result<Query, ParseError> {
+    let tokens = Lexer::tokenize(src)?;
+    Parser { tokens, idx: 0 }.query()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_template() {
+        let q = parse(
+            "SELECT OUTLIER 10 SUM(score) FROM log_streams PARAMS(0, 6) \
+             WHERE market = 17 AND vertical < 30 GROUP BY day, market, vertical;",
+        )
+        .unwrap();
+        assert_eq!(q.aggregate, Aggregate::OutlierK(10));
+        assert_eq!(q.source, "log_streams");
+        assert_eq!(q.date_range, Some((0, 6)));
+        assert_eq!(q.predicates.len(), 2);
+        assert_eq!(q.group_by, vec![Field::Day, Field::Market, Field::Vertical]);
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let q = parse("select outlier 5 sum(Score) from Clicks group by Market").unwrap();
+        assert_eq!(q.aggregate, Aggregate::OutlierK(5));
+        assert_eq!(q.group_by, vec![Field::Market]);
+    }
+
+    #[test]
+    fn parses_top_and_abstop() {
+        assert_eq!(
+            parse("SELECT TOP 3 SUM(s) FROM c GROUP BY url").unwrap().aggregate,
+            Aggregate::TopK(3)
+        );
+        assert_eq!(
+            parse("SELECT ABSTOP 4 SUM(s) FROM c GROUP BY url").unwrap().aggregate,
+            Aggregate::AbsTopK(4)
+        );
+    }
+
+    #[test]
+    fn parses_all_operators() {
+        let q = parse(
+            "SELECT OUTLIER 1 SUM(s) FROM c WHERE day = 1 AND day != 2 AND day < 3 \
+             AND day <= 4 AND day > 0 AND day >= 1 GROUP BY day",
+        )
+        .unwrap();
+        let ops: Vec<CmpOp> = q.predicates.iter().map(|p| p.op).collect();
+        assert_eq!(
+            ops,
+            vec![CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge]
+        );
+    }
+
+    #[test]
+    fn accepts_field_aliases() {
+        let q = parse("SELECT OUTLIER 2 SUM(s) FROM c GROUP BY querydate, requesturl").unwrap();
+        assert_eq!(q.group_by, vec![Field::Day, Field::Url]);
+    }
+
+    #[test]
+    fn rejects_zero_k() {
+        let e = parse("SELECT OUTLIER 0 SUM(s) FROM c GROUP BY day").unwrap_err();
+        assert!(e.message.contains("k must be"), "{e}");
+    }
+
+    #[test]
+    fn rejects_unknown_field() {
+        let e = parse("SELECT OUTLIER 1 SUM(s) FROM c GROUP BY country").unwrap_err();
+        assert!(e.message.contains("unknown field"), "{e}");
+    }
+
+    #[test]
+    fn rejects_missing_group_by() {
+        assert!(parse("SELECT OUTLIER 1 SUM(s) FROM c").is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let e = parse("SELECT OUTLIER 1 SUM(s) FROM c GROUP BY day day").unwrap_err();
+        assert!(e.message.contains("trailing"), "{e}");
+    }
+
+    #[test]
+    fn rejects_inverted_params() {
+        let e = parse("SELECT OUTLIER 1 SUM(s) FROM c PARAMS(5, 2) GROUP BY day").unwrap_err();
+        assert!(e.message.contains("PARAMS"), "{e}");
+    }
+
+    #[test]
+    fn rejects_bad_character_with_position() {
+        let e = parse("SELECT OUTLIER 1 SUM(s) FROM c GROUP BY day @").unwrap_err();
+        assert!(e.position > 0);
+        assert!(e.to_string().contains("parse error at"));
+    }
+
+    #[test]
+    fn error_display_mentions_expectation() {
+        let e = parse("OUTLIER 1").unwrap_err();
+        assert!(e.message.contains("SELECT"), "{e}");
+    }
+}

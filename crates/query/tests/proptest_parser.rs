@@ -1,0 +1,117 @@
+//! Property-based tests of the query parser: random ASTs rendered to SQL
+//! must parse back to themselves, and arbitrary garbage must never panic.
+
+use cso_query::{parse, Aggregate, CmpOp, Field, Predicate, Query};
+use proptest::prelude::*;
+
+fn field_strategy() -> impl Strategy<Value = Field> {
+    prop_oneof![
+        Just(Field::Day),
+        Just(Field::Market),
+        Just(Field::Vertical),
+        Just(Field::Url),
+    ]
+}
+
+fn op_strategy() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ]
+}
+
+fn aggregate_strategy() -> impl Strategy<Value = Aggregate> {
+    (1usize..1000).prop_flat_map(|k| {
+        prop_oneof![
+            Just(Aggregate::OutlierK(k)),
+            Just(Aggregate::TopK(k)),
+            Just(Aggregate::AbsTopK(k)),
+        ]
+    })
+}
+
+fn query_strategy() -> impl Strategy<Value = Query> {
+    (
+        aggregate_strategy(),
+        prop::option::of((0u16..7, 0u16..7)),
+        prop::collection::vec((field_strategy(), op_strategy(), 0u16..5000), 0..4),
+        prop::collection::vec(field_strategy(), 1..4),
+    )
+        .prop_map(|(aggregate, range, preds, group_by)| Query {
+            aggregate,
+            source: "clicks".to_string(),
+            date_range: range.map(|(a, b)| (a.min(b), a.max(b))),
+            predicates: preds
+                .into_iter()
+                .map(|(field, op, value)| Predicate { field, op, value })
+                .collect(),
+            group_by,
+        })
+}
+
+fn render(q: &Query) -> String {
+    let agg = match q.aggregate {
+        Aggregate::OutlierK(k) => format!("OUTLIER {k}"),
+        Aggregate::TopK(k) => format!("TOP {k}"),
+        Aggregate::AbsTopK(k) => format!("ABSTOP {k}"),
+    };
+    let mut sql = format!("SELECT {agg} SUM(score) FROM {}", q.source);
+    if let Some((lo, hi)) = q.date_range {
+        sql.push_str(&format!(" PARAMS({lo}, {hi})"));
+    }
+    if !q.predicates.is_empty() {
+        let preds: Vec<String> = q
+            .predicates
+            .iter()
+            .map(|p| {
+                let op = match p.op {
+                    CmpOp::Eq => "=",
+                    CmpOp::Ne => "!=",
+                    CmpOp::Lt => "<",
+                    CmpOp::Le => "<=",
+                    CmpOp::Gt => ">",
+                    CmpOp::Ge => ">=",
+                };
+                format!("{} {op} {}", p.field, p.value)
+            })
+            .collect();
+        sql.push_str(&format!(" WHERE {}", preds.join(" AND ")));
+    }
+    let groups: Vec<String> = q.group_by.iter().map(|f| f.to_string()).collect();
+    sql.push_str(&format!(" GROUP BY {}", groups.join(", ")));
+    sql
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Render → parse is the identity on well-formed queries.
+    #[test]
+    fn round_trip(q in query_strategy()) {
+        let sql = render(&q);
+        let parsed = parse(&sql).map_err(|e| {
+            TestCaseError::fail(format!("`{sql}` failed to parse: {e}"))
+        })?;
+        prop_assert_eq!(parsed, q);
+    }
+
+    /// The parser never panics, whatever the input.
+    #[test]
+    fn never_panics_on_garbage(input in "\\PC{0,80}") {
+        let _ = parse(&input);
+    }
+
+    /// Semicolons and case changes don't alter the parse.
+    #[test]
+    fn trailing_semicolon_and_case_insensitive(q in query_strategy()) {
+        let sql = render(&q);
+        let with_semi = format!("{sql};");
+        prop_assert_eq!(parse(&with_semi).unwrap(), q.clone());
+        let lower = sql.to_lowercase();
+        prop_assert_eq!(parse(&lower).unwrap(), q);
+    }
+}

@@ -1,0 +1,33 @@
+//! # cso-workloads
+//!
+//! Workload generators for the SIGMOD'15 compressive-sensing outlier
+//! evaluation:
+//!
+//! - [`majority`] — majority-dominated vectors (N entries at a mode `b`,
+//!   `s` planted outliers) — the paper's first synthetic data set;
+//! - [`powerlaw`] — heavy-tailed Pareto data with skewness α — the second
+//!   synthetic data set and the Hadoop-efficiency workload;
+//! - [`clicklog`] — a production-like distributed click-log generator
+//!   replacing the paper's proprietary Bing logs (see DESIGN.md for the
+//!   substitution argument);
+//! - [`slicing`] — strategies for splitting a global vector into additive
+//!   per-node slices, including the "camouflaged" split that creates the
+//!   local-vs-global divergence of the paper's Figure 1;
+//! - [`timeseries`] — streaming delta batches with a drifting mode and
+//!   scripted anomalies, for the incremental-update scenario.
+//!
+//! Every generator takes an explicit `u64` seed and is fully deterministic.
+
+#![warn(missing_docs)]
+
+pub mod clicklog;
+pub mod majority;
+pub mod powerlaw;
+pub mod slicing;
+pub mod timeseries;
+
+pub use clicklog::{ClickEvent, ClickKey, ClickLogConfig, ClickLogData, ScoreKind};
+pub use majority::{MajorityConfig, MajorityData};
+pub use powerlaw::{PowerLawConfig, PowerLawData};
+pub use slicing::{aggregate, split, SliceStrategy};
+pub use timeseries::{Anomaly, TimeSeriesConfig, TimeSeriesData};

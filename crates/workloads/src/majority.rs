@@ -1,0 +1,161 @@
+//! Majority-dominated synthetic data (Section 6.1.1, first data set).
+//!
+//! `N` observations with a mode `b`: `N − s` entries equal `b` exactly, the
+//! remaining `s` entries diverge from it. The paper sets `b = 5000` and
+//! varies `s ∈ {50, 100, 200}` at `N = 1000`.
+
+use cso_linalg::random::stream_rng;
+use cso_linalg::LinalgError;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Configuration for the majority-dominated generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MajorityConfig {
+    /// Total number of keys `N`.
+    pub n: usize,
+    /// Number of outliers `s` (entries not equal to the mode).
+    pub s: usize,
+    /// The mode `b` every non-outlier takes (paper: 5000).
+    pub mode: f64,
+    /// Minimum absolute deviation of an outlier from the mode.
+    pub min_deviation: f64,
+    /// Maximum absolute deviation of an outlier from the mode.
+    pub max_deviation: f64,
+}
+
+impl Default for MajorityConfig {
+    fn default() -> Self {
+        MajorityConfig {
+            n: 1000,
+            s: 50,
+            mode: 5000.0,
+            min_deviation: 100.0,
+            max_deviation: 10_000.0,
+        }
+    }
+}
+
+/// A generated majority-dominated vector with its ground truth.
+#[derive(Debug, Clone)]
+pub struct MajorityData {
+    /// The dense global vector of length `N`.
+    pub values: Vec<f64>,
+    /// The planted mode `b`.
+    pub mode: f64,
+    /// Indices of the `s` planted outliers, sorted.
+    pub outlier_indices: Vec<usize>,
+}
+
+impl MajorityData {
+    /// Generates a majority-dominated vector. Errors when `s > n/2` (the
+    /// majority-dominated property of Definition 2 would not hold) or when
+    /// the deviation range is empty/invalid.
+    pub fn generate(config: &MajorityConfig, seed: u64) -> Result<Self, LinalgError> {
+        if config.n == 0 {
+            return Err(LinalgError::InvalidParameter { name: "n", message: "must be positive" });
+        }
+        if config.s * 2 >= config.n {
+            return Err(LinalgError::InvalidParameter {
+                name: "s",
+                message: "majority domination requires s < n/2",
+            });
+        }
+        if !(config.min_deviation > 0.0 && config.max_deviation >= config.min_deviation) {
+            return Err(LinalgError::InvalidParameter {
+                name: "deviation",
+                message: "need 0 < min_deviation <= max_deviation",
+            });
+        }
+        let mut rng = stream_rng(seed, 0);
+        let mut indices: Vec<usize> = (0..config.n).collect();
+        indices.shuffle(&mut rng);
+        let mut outlier_indices: Vec<usize> = indices[..config.s].to_vec();
+        outlier_indices.sort_unstable();
+
+        let mut values = vec![config.mode; config.n];
+        for &i in &outlier_indices {
+            let dev = rng.gen_range(config.min_deviation..=config.max_deviation);
+            let sign = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+            values[i] = config.mode + sign * dev;
+        }
+        Ok(MajorityData { values, mode: config.mode, outlier_indices })
+    }
+
+    /// The true k-outliers (the paper's `O_k`).
+    pub fn true_k_outliers(&self, k: usize) -> Vec<cso_core::KeyValue> {
+        cso_core::outlier::k_outliers_strict(&self.values, self.mode, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_exact_majority_structure() {
+        let cfg = MajorityConfig { n: 1000, s: 50, ..MajorityConfig::default() };
+        let d = MajorityData::generate(&cfg, 1).unwrap();
+        assert_eq!(d.values.len(), 1000);
+        assert_eq!(d.outlier_indices.len(), 50);
+        let at_mode = d.values.iter().filter(|&&v| v == 5000.0).count();
+        assert_eq!(at_mode, 950);
+        for &i in &d.outlier_indices {
+            assert_ne!(d.values[i], 5000.0);
+            let dev = (d.values[i] - 5000.0).abs();
+            assert!((100.0..=10_000.0).contains(&dev));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = MajorityConfig::default();
+        let a = MajorityData::generate(&cfg, 9).unwrap();
+        let b = MajorityData::generate(&cfg, 9).unwrap();
+        assert_eq!(a.values, b.values);
+        let c = MajorityData::generate(&cfg, 10).unwrap();
+        assert_ne!(a.values, c.values);
+    }
+
+    #[test]
+    fn rejects_invalid_configs() {
+        // not a majority at n = 1000
+        let mut cfg = MajorityConfig { s: 500, ..MajorityConfig::default() };
+        assert!(MajorityData::generate(&cfg, 1).is_err());
+        cfg = MajorityConfig { n: 0, ..MajorityConfig::default() };
+        assert!(MajorityData::generate(&cfg, 1).is_err());
+        cfg = MajorityConfig { min_deviation: 0.0, ..MajorityConfig::default() };
+        assert!(MajorityData::generate(&cfg, 1).is_err());
+        cfg = MajorityConfig {
+            min_deviation: 10.0,
+            max_deviation: 5.0,
+            ..MajorityConfig::default()
+        };
+        assert!(MajorityData::generate(&cfg, 1).is_err());
+    }
+
+    #[test]
+    fn true_k_outliers_are_planted_ones() {
+        let cfg = MajorityConfig { n: 200, s: 10, ..MajorityConfig::default() };
+        let d = MajorityData::generate(&cfg, 3).unwrap();
+        let out = d.true_k_outliers(10);
+        let mut idx: Vec<usize> = out.iter().map(|o| o.index).collect();
+        idx.sort_unstable();
+        assert_eq!(idx, d.outlier_indices);
+        // Asking for more than s returns exactly s (strict definition).
+        assert_eq!(d.true_k_outliers(50).len(), 10);
+    }
+
+    #[test]
+    fn outliers_sorted_by_deviation() {
+        let cfg = MajorityConfig { n: 300, s: 20, ..MajorityConfig::default() };
+        let d = MajorityData::generate(&cfg, 5).unwrap();
+        let out = d.true_k_outliers(20);
+        for w in out.windows(2) {
+            assert!(
+                (w[0].value - d.mode).abs() >= (w[1].value - d.mode).abs(),
+                "outliers must be ordered by |v − b|"
+            );
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Power-law distributed synthetic data (Section 6.1.1, second data set).
+//!
+//! "A Power-Law distribution with skewness parameter α. Since it is
+//! distributed as a continuous heavy-tailed distribution, there is no pair
+//! of observations with the same value" — the paper uses α ∈ {0.9, 0.95}
+//! for the accuracy experiments (N = 10K) and α = 1.5 for the Hadoop
+//! efficiency experiments (N = 100K..1M, with the mode shifted to 0).
+//!
+//! Values are drawn from a Pareto distribution `P(X > x) = (x_min/x)^α`
+//! via inverse-transform sampling: `x = x_min · U^{-1/α}`. Smaller α means
+//! a heavier tail (more extreme outliers); the density peaks at `x_min`,
+//! which plays the role of the mode.
+
+use cso_linalg::random::stream_rng;
+use cso_linalg::LinalgError;
+use rand::Rng;
+
+/// Configuration for the power-law generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerLawConfig {
+    /// Number of keys `N`.
+    pub n: usize,
+    /// Tail exponent α (paper: 0.9, 0.95, 1.5).
+    pub alpha: f64,
+    /// Scale parameter `x_min` (> 0) — the density's peak.
+    pub x_min: f64,
+}
+
+impl Default for PowerLawConfig {
+    fn default() -> Self {
+        PowerLawConfig { n: 10_000, alpha: 0.9, x_min: 1.0 }
+    }
+}
+
+/// Generated power-law data with its density mode.
+#[derive(Debug, Clone)]
+pub struct PowerLawData {
+    /// The dense global vector.
+    pub values: Vec<f64>,
+    /// The density peak `x_min` ("the mode can be considered as the peak of
+    /// its density function").
+    pub density_mode: f64,
+    /// Tail exponent used.
+    pub alpha: f64,
+}
+
+impl PowerLawData {
+    /// Generates `n` i.i.d. Pareto(α, x_min) values. Errors on non-positive
+    /// `n`, `alpha` or `x_min`.
+    pub fn generate(config: &PowerLawConfig, seed: u64) -> Result<Self, LinalgError> {
+        if config.n == 0 {
+            return Err(LinalgError::InvalidParameter { name: "n", message: "must be positive" });
+        }
+        if config.alpha <= 0.0 || !config.alpha.is_finite() {
+            return Err(LinalgError::InvalidParameter {
+                name: "alpha",
+                message: "must be positive and finite",
+            });
+        }
+        if config.x_min <= 0.0 || !config.x_min.is_finite() {
+            return Err(LinalgError::InvalidParameter {
+                name: "x_min",
+                message: "must be positive and finite",
+            });
+        }
+        let mut rng = stream_rng(seed, 0);
+        let inv_alpha = 1.0 / config.alpha;
+        let values = (0..config.n)
+            .map(|_| {
+                // U ∈ (0, 1]; guard against exactly 0.
+                let u: f64 = 1.0 - rng.gen::<f64>();
+                config.x_min * u.powf(-inv_alpha)
+            })
+            .collect();
+        Ok(PowerLawData { values, density_mode: config.x_min, alpha: config.alpha })
+    }
+
+    /// True k-outliers relative to the density mode — on heavy-tailed data
+    /// these are simply the k largest values (all mass is ≥ x_min).
+    pub fn true_k_outliers(&self, k: usize) -> Vec<cso_core::KeyValue> {
+        cso_core::outlier::k_outliers(&self.values, self.density_mode, k)
+    }
+
+    /// Shifts all values so the density mode sits at 0 — the preprocessing
+    /// the paper applies before its Hadoop top-k comparison ("We change the
+    /// data's mode to 0 by subtracting the mode from all the data").
+    pub fn shifted_to_zero_mode(&self) -> Vec<f64> {
+        self.values.iter().map(|v| v - self.density_mode).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_count_above_xmin() {
+        let d = PowerLawData::generate(&PowerLawConfig::default(), 4).unwrap();
+        assert_eq!(d.values.len(), 10_000);
+        assert!(d.values.iter().all(|&v| v >= 1.0));
+    }
+
+    #[test]
+    fn values_are_pairwise_distinct() {
+        // "there is no pair of observations with the same value"
+        let d = PowerLawData::generate(
+            &PowerLawConfig { n: 5000, ..PowerLawConfig::default() },
+            8,
+        )
+        .unwrap();
+        let mut sorted = d.values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for w in sorted.windows(2) {
+            assert_ne!(w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn heavier_tail_for_smaller_alpha() {
+        let light = PowerLawData::generate(
+            &PowerLawConfig { alpha: 3.0, ..PowerLawConfig::default() },
+            5,
+        )
+        .unwrap();
+        let heavy = PowerLawData::generate(
+            &PowerLawConfig { alpha: 0.9, ..PowerLawConfig::default() },
+            5,
+        )
+        .unwrap();
+        let max_light = light.values.iter().cloned().fold(0.0, f64::max);
+        let max_heavy = heavy.values.iter().cloned().fold(0.0, f64::max);
+        assert!(max_heavy > max_light * 10.0, "{max_heavy} vs {max_light}");
+    }
+
+    #[test]
+    fn tail_probability_matches_pareto() {
+        // P(X > 2·x_min) = 2^{-α}.
+        let cfg = PowerLawConfig { n: 200_000, alpha: 1.5, x_min: 1.0 };
+        let d = PowerLawData::generate(&cfg, 12).unwrap();
+        let frac = d.values.iter().filter(|&&v| v > 2.0).count() as f64 / cfg.n as f64;
+        let expect = 2.0f64.powf(-1.5);
+        assert!((frac - expect).abs() < 0.01, "frac = {frac}, expect = {expect}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = PowerLawConfig::default();
+        assert_eq!(
+            PowerLawData::generate(&cfg, 3).unwrap().values,
+            PowerLawData::generate(&cfg, 3).unwrap().values
+        );
+        assert_ne!(
+            PowerLawData::generate(&cfg, 3).unwrap().values,
+            PowerLawData::generate(&cfg, 4).unwrap().values
+        );
+    }
+
+    #[test]
+    fn rejects_invalid_parameters() {
+        assert!(PowerLawData::generate(&PowerLawConfig { n: 0, ..Default::default() }, 1).is_err());
+        assert!(
+            PowerLawData::generate(&PowerLawConfig { alpha: 0.0, ..Default::default() }, 1)
+                .is_err()
+        );
+        assert!(
+            PowerLawData::generate(&PowerLawConfig { x_min: 0.0, ..Default::default() }, 1)
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn true_outliers_are_largest_values() {
+        let d = PowerLawData::generate(
+            &PowerLawConfig { n: 1000, ..PowerLawConfig::default() },
+            7,
+        )
+        .unwrap();
+        let out = d.true_k_outliers(5);
+        let mut sorted = d.values.clone();
+        sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        for (o, expect) in out.iter().zip(&sorted) {
+            assert_eq!(o.value, *expect);
+        }
+    }
+
+    #[test]
+    fn shift_moves_mode_to_zero() {
+        let d = PowerLawData::generate(
+            &PowerLawConfig { n: 100, x_min: 5.0, ..PowerLawConfig::default() },
+            2,
+        )
+        .unwrap();
+        let shifted = d.shifted_to_zero_mode();
+        let min = shifted.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!((0.0..1.0).contains(&min), "shifted minimum near zero, got {min}");
+    }
+}

@@ -1,0 +1,242 @@
+//! Splitting a global vector into additive per-node slices.
+//!
+//! The distributed k-outlier problem starts from `x = Σ_l x_l`. How the
+//! mass of each key is spread over the nodes is exactly what separates the
+//! easy cases (local outliers ≈ global outliers, where the K+δ baseline
+//! does fine) from the hard ones the paper motivates with Figure 1 — keys
+//! that look "normal" on every node but are outliers after aggregation.
+//! The CS sketch is invariant to the split (measurement is linear); the
+//! baselines are not, and the `ablation_skew` bench quantifies that.
+
+use cso_linalg::random::stream_rng;
+use cso_linalg::LinalgError;
+use rand::Rng;
+
+/// How to distribute each key's mass across nodes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SliceStrategy {
+    /// Every node receives exactly `x / L`.
+    Uniform,
+    /// Each key's mass is split by random proportions drawn per key, so
+    /// nodes see different (but same-sign) shares.
+    RandomProportions,
+    /// Random proportions plus zero-sum camouflage: pairs of nodes exchange
+    /// offsets of the given magnitude on randomly chosen keys, creating
+    /// *local* outliers and hiding *global* ones (the Figure 1 regime).
+    /// The camouflage cancels exactly in the aggregate.
+    Camouflaged {
+        /// Magnitude of the planted zero-sum offsets.
+        offset: f64,
+        /// Fraction of keys (per node pair) that receive an offset.
+        fraction: f64,
+    },
+}
+
+/// Splits `x` into `l` additive slices according to `strategy`.
+///
+/// The slices always sum to `x` exactly (the last slice is computed as the
+/// remainder, and camouflage offsets are applied in cancelling pairs).
+/// Errors when `l == 0`, `x` is empty, or camouflage parameters are out of
+/// range.
+pub fn split(
+    x: &[f64],
+    l: usize,
+    strategy: SliceStrategy,
+    seed: u64,
+) -> Result<Vec<Vec<f64>>, LinalgError> {
+    if l == 0 {
+        return Err(LinalgError::InvalidParameter { name: "l", message: "need at least one node" });
+    }
+    if x.is_empty() {
+        return Err(LinalgError::Empty { op: "split" });
+    }
+    let n = x.len();
+    let slices = match strategy {
+        SliceStrategy::Uniform => {
+            let share: Vec<f64> = x.iter().map(|v| v / l as f64).collect();
+            let mut out = vec![share; l];
+            // Make the sum exact: last slice absorbs rounding.
+            fix_remainder(x, &mut out);
+            out
+        }
+        SliceStrategy::RandomProportions => {
+            let mut rng = stream_rng(seed, 1);
+            let mut out = vec![vec![0.0; n]; l];
+            for i in 0..n {
+                // Random positive weights, normalized.
+                let mut w: Vec<f64> = (0..l).map(|_| rng.gen::<f64>() + 1e-3).collect();
+                let total: f64 = w.iter().sum();
+                for wl in &mut w {
+                    *wl /= total;
+                }
+                for (sl, wl) in out.iter_mut().zip(&w) {
+                    sl[i] = x[i] * wl;
+                }
+            }
+            fix_remainder(x, &mut out);
+            out
+        }
+        SliceStrategy::Camouflaged { offset, fraction } => {
+            if !(0.0..=1.0).contains(&fraction) {
+                return Err(LinalgError::InvalidParameter {
+                    name: "fraction",
+                    message: "must lie in [0, 1]",
+                });
+            }
+            if !offset.is_finite() {
+                return Err(LinalgError::InvalidParameter {
+                    name: "offset",
+                    message: "must be finite",
+                });
+            }
+            let mut out = split(x, l, SliceStrategy::RandomProportions, seed)?;
+            if l >= 2 {
+                let mut rng = stream_rng(seed, 2);
+                for pair in 0..l / 2 {
+                    let (a, b) = (2 * pair, 2 * pair + 1);
+                    #[allow(clippy::needless_range_loop)] // writes two slices at i
+                    for i in 0..n {
+                        if rng.gen::<f64>() < fraction {
+                            // Magnitude varies in [offset/2, 3·offset/2] so
+                            // impostors do not form a detectable plateau.
+                            let mag = offset * (0.5 + rng.gen::<f64>());
+                            let delta = if rng.gen_bool(0.5) { mag } else { -mag };
+                            out[a][i] += delta;
+                            out[b][i] -= delta;
+                        }
+                    }
+                }
+            }
+            out
+        }
+    };
+    debug_assert_eq!(slices.len(), l);
+    Ok(slices)
+}
+
+/// Adjusts the last slice so the column sums equal `x` exactly.
+fn fix_remainder(x: &[f64], slices: &mut [Vec<f64>]) {
+    let l = slices.len();
+    for i in 0..x.len() {
+        let partial: f64 = slices[..l - 1].iter().map(|s| s[i]).sum();
+        slices[l - 1][i] = x[i] - partial;
+    }
+}
+
+/// Sums slices back into a global vector — the aggregation ground truth.
+pub fn aggregate(slices: &[Vec<f64>]) -> Result<Vec<f64>, LinalgError> {
+    let first = slices.first().ok_or(LinalgError::Empty { op: "aggregate" })?;
+    let n = first.len();
+    let mut out = vec![0.0; n];
+    for s in slices {
+        if s.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "aggregate",
+                expected: (n, 1),
+                actual: (s.len(), 1),
+            });
+        }
+        for (o, v) in out.iter_mut().zip(s) {
+            *o += *v;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_x() -> Vec<f64> {
+        (0..50).map(|i| (i as f64) * 3.0 - 40.0).collect()
+    }
+
+    fn assert_sums_to(x: &[f64], slices: &[Vec<f64>], tol: f64) {
+        let agg = aggregate(slices).unwrap();
+        for (a, b) in agg.iter().zip(x) {
+            assert!((a - b).abs() <= tol, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn uniform_split_sums_exactly() {
+        let x = sample_x();
+        let s = split(&x, 4, SliceStrategy::Uniform, 1).unwrap();
+        assert_eq!(s.len(), 4);
+        assert_sums_to(&x, &s, 0.0);
+    }
+
+    #[test]
+    fn random_proportions_sum_exactly_and_vary() {
+        let x = sample_x();
+        let s = split(&x, 3, SliceStrategy::RandomProportions, 5).unwrap();
+        assert_sums_to(&x, &s, 0.0);
+        // Slices should differ from one another.
+        assert_ne!(s[0], s[1]);
+    }
+
+    #[test]
+    fn camouflage_cancels_globally_but_distorts_locally() {
+        let x = vec![100.0; 40];
+        let s = split(
+            &x,
+            4,
+            SliceStrategy::Camouflaged { offset: 500.0, fraction: 0.5 },
+            11,
+        )
+        .unwrap();
+        assert_sums_to(&x, &s, 1e-9);
+        // Locally, some entries must be far from the uniform share of 25.
+        let distorted = s[0].iter().filter(|&&v| (v - 25.0).abs() > 100.0).count();
+        assert!(distorted > 5, "camouflage should create local outliers, got {distorted}");
+    }
+
+    #[test]
+    fn camouflage_with_one_node_degenerates_gracefully() {
+        let x = sample_x();
+        let s = split(
+            &x,
+            1,
+            SliceStrategy::Camouflaged { offset: 10.0, fraction: 0.5 },
+            3,
+        )
+        .unwrap();
+        assert_eq!(s.len(), 1);
+        assert_sums_to(&x, &s, 0.0);
+    }
+
+    #[test]
+    fn rejects_invalid_inputs() {
+        let x = sample_x();
+        assert!(split(&x, 0, SliceStrategy::Uniform, 1).is_err());
+        assert!(split(&[], 2, SliceStrategy::Uniform, 1).is_err());
+        assert!(split(
+            &x,
+            2,
+            SliceStrategy::Camouflaged { offset: 1.0, fraction: 1.5 },
+            1
+        )
+        .is_err());
+        assert!(split(
+            &x,
+            2,
+            SliceStrategy::Camouflaged { offset: f64::NAN, fraction: 0.5 },
+            1
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn aggregate_checks_ragged_input() {
+        assert!(aggregate(&[vec![1.0, 2.0], vec![1.0]]).is_err());
+        assert!(aggregate(&[]).is_err());
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        let x = sample_x();
+        let a = split(&x, 3, SliceStrategy::RandomProportions, 7).unwrap();
+        let b = split(&x, 3, SliceStrategy::RandomProportions, 7).unwrap();
+        assert_eq!(a, b);
+    }
+}

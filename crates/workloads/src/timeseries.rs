@@ -1,0 +1,250 @@
+//! Streaming time-series workload.
+//!
+//! The introduction's operational setting: "terabyte of new click log data
+//! is generated every 10 mins", so "the global outliers and mode will
+//! naturally change over time" and "any solution that cannot support
+//! incremental updates is therefore fundamentally unsuited". This
+//! generator produces a sequence of per-data-center *delta batches* (one
+//! per monitoring window) whose cumulative aggregate keeps a drifting mode
+//! with scripted anomalies that switch on at chosen windows — the input
+//! for exercising `SketchAggregator`-style incremental maintenance.
+
+use cso_linalg::random::stream_rng;
+use cso_linalg::LinalgError;
+use rand::Rng;
+
+/// A scripted anomaly: from window `from_batch` onward, `key` receives an
+/// extra `magnitude` per window on one data center.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Anomaly {
+    /// First window in which the anomaly contributes.
+    pub from_batch: usize,
+    /// Affected key.
+    pub key: usize,
+    /// Extra score per window (signed).
+    pub magnitude: f64,
+    /// Data center that logs the anomalous events.
+    pub data_center: usize,
+}
+
+/// Configuration for the streaming generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeSeriesConfig {
+    /// Key-space size `N`.
+    pub keys: usize,
+    /// Number of data centers `L`.
+    pub data_centers: usize,
+    /// Number of windows (batches).
+    pub batches: usize,
+    /// Score every key accrues per window, summed over data centers — the
+    /// drifting mode (after `t` windows the mode is `t · base_rate`).
+    pub base_rate: f64,
+    /// Per-(key, window, DC) noise magnitude that cancels across DC pairs
+    /// (local skew, globally invisible).
+    pub camouflage: f64,
+    /// Scripted anomalies.
+    pub anomalies: Vec<Anomaly>,
+}
+
+/// A generated stream: per-window, per-data-center sparse delta batches.
+#[derive(Debug, Clone)]
+pub struct TimeSeriesData {
+    config: TimeSeriesConfig,
+    /// `deltas[batch][dc]` = sparse `(key, score)` updates.
+    deltas: Vec<Vec<Vec<(usize, f64)>>>,
+}
+
+impl TimeSeriesData {
+    /// Generates the stream. Errors on degenerate configurations or
+    /// out-of-range anomaly scripts.
+    pub fn generate(config: &TimeSeriesConfig, seed: u64) -> Result<Self, LinalgError> {
+        if config.keys == 0 || config.data_centers == 0 || config.batches == 0 {
+            return Err(LinalgError::InvalidParameter {
+                name: "keys/data_centers/batches",
+                message: "must be positive",
+            });
+        }
+        for a in &config.anomalies {
+            if a.key >= config.keys
+                || a.data_center >= config.data_centers
+                || a.from_batch >= config.batches
+            {
+                return Err(LinalgError::InvalidParameter {
+                    name: "anomalies",
+                    message: "anomaly key/data_center/from_batch out of range",
+                });
+            }
+        }
+        let l = config.data_centers;
+        let mut deltas = Vec::with_capacity(config.batches);
+        for batch in 0..config.batches {
+            let mut rng = stream_rng(seed, batch as u64);
+            let mut per_dc: Vec<Vec<(usize, f64)>> = vec![Vec::new(); l];
+            for key in 0..config.keys {
+                // Random split of base_rate across DCs.
+                let mut w: Vec<f64> = (0..l).map(|_| rng.gen::<f64>() + 1e-3).collect();
+                let total: f64 = w.iter().sum();
+                let mut acc = 0.0;
+                for (dc, wl) in w.iter_mut().enumerate() {
+                    let share = if dc + 1 == l {
+                        config.base_rate - acc // exact
+                    } else {
+                        let s = config.base_rate * (*wl / total);
+                        acc += s;
+                        s
+                    };
+                    per_dc[dc].push((key, share));
+                }
+                // Zero-sum camouflage between DC pairs.
+                if l >= 2 && config.camouflage > 0.0 && rng.gen::<f64>() < 0.2 {
+                    let a = rng.gen_range(0..l);
+                    let b = (a + 1) % l;
+                    let mag = config.camouflage * (0.5 + rng.gen::<f64>());
+                    per_dc[a].push((key, mag));
+                    per_dc[b].push((key, -mag));
+                }
+            }
+            for a in &config.anomalies {
+                if batch >= a.from_batch {
+                    per_dc[a.data_center].push((a.key, a.magnitude));
+                }
+            }
+            deltas.push(per_dc);
+        }
+        Ok(TimeSeriesData { config: config.clone(), deltas })
+    }
+
+    /// Number of windows.
+    pub fn batches(&self) -> usize {
+        self.deltas.len()
+    }
+
+    /// Sparse delta of `dc` in window `batch`.
+    pub fn delta(&self, batch: usize, dc: usize) -> &[(usize, f64)] {
+        &self.deltas[batch][dc]
+    }
+
+    /// The mode of the cumulative aggregate after `batches_applied`
+    /// windows (exact by construction): `batches · base_rate`.
+    pub fn expected_mode_after(&self, batches_applied: usize) -> f64 {
+        batches_applied as f64 * self.config.base_rate
+    }
+
+    /// Anomalies active in window `batch`, with their cumulative deviation
+    /// from the mode after `batch + 1` windows have been applied.
+    pub fn active_anomalies(&self, batch: usize) -> Vec<(usize, f64)> {
+        self.config
+            .anomalies
+            .iter()
+            .filter(|a| batch >= a.from_batch)
+            .map(|a| (a.key, a.magnitude * (batch - a.from_batch + 1) as f64))
+            .collect()
+    }
+
+    /// The exact cumulative aggregate after `batches_applied` windows
+    /// (test oracle).
+    pub fn cumulative_aggregate(&self, batches_applied: usize) -> Vec<f64> {
+        let mut x = vec![0.0; self.config.keys];
+        for batch in self.deltas.iter().take(batches_applied) {
+            for dc in batch {
+                for &(key, v) in dc {
+                    x[key] += v;
+                }
+            }
+        }
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> TimeSeriesConfig {
+        TimeSeriesConfig {
+            keys: 120,
+            data_centers: 4,
+            batches: 6,
+            base_rate: 100.0,
+            camouflage: 400.0,
+            anomalies: vec![
+                Anomaly { from_batch: 2, key: 17, magnitude: 5000.0, data_center: 1 },
+                Anomaly { from_batch: 4, key: 90, magnitude: -3000.0, data_center: 3 },
+            ],
+        }
+    }
+
+    #[test]
+    fn cumulative_mode_tracks_base_rate() {
+        let d = TimeSeriesData::generate(&config(), 3).unwrap();
+        for t in 1..=6 {
+            let x = d.cumulative_aggregate(t);
+            // Non-anomalous keys sit exactly at t·base_rate (camouflage
+            // cancels, splits are exact).
+            for (key, &v) in x.iter().enumerate() {
+                if key == 17 || key == 90 {
+                    continue;
+                }
+                assert!(
+                    (v - d.expected_mode_after(t)).abs() < 1e-6,
+                    "key {key} at t={t}: {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn anomalies_accumulate_after_onset() {
+        let d = TimeSeriesData::generate(&config(), 3).unwrap();
+        let x2 = d.cumulative_aggregate(3); // windows 0,1,2 applied
+        assert!((x2[17] - (3.0 * 100.0 + 5000.0)).abs() < 1e-6);
+        let x6 = d.cumulative_aggregate(6);
+        assert!((x6[17] - (600.0 + 4.0 * 5000.0)).abs() < 1e-6);
+        assert!((x6[90] - (600.0 - 2.0 * 3000.0)).abs() < 1e-6);
+        assert_eq!(d.active_anomalies(1), vec![]);
+        assert_eq!(d.active_anomalies(2), vec![(17, 5000.0)]);
+        assert_eq!(d.active_anomalies(5), vec![(17, 20000.0), (90, -6000.0)]);
+    }
+
+    #[test]
+    fn deltas_are_deterministic_and_well_formed() {
+        let a = TimeSeriesData::generate(&config(), 7).unwrap();
+        let b = TimeSeriesData::generate(&config(), 7).unwrap();
+        for t in 0..a.batches() {
+            for dc in 0..4 {
+                assert_eq!(a.delta(t, dc), b.delta(t, dc));
+                assert!(a.delta(t, dc).iter().all(|&(k, _)| k < 120));
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_bad_configs() {
+        let mut c = config();
+        c.keys = 0;
+        assert!(TimeSeriesData::generate(&c, 1).is_err());
+        let mut c = config();
+        c.anomalies[0].key = 500;
+        assert!(TimeSeriesData::generate(&c, 1).is_err());
+        let mut c = config();
+        c.anomalies[0].from_batch = 99;
+        assert!(TimeSeriesData::generate(&c, 1).is_err());
+        let mut c = config();
+        c.anomalies[0].data_center = 9;
+        assert!(TimeSeriesData::generate(&c, 1).is_err());
+    }
+
+    #[test]
+    fn camouflage_is_locally_visible_globally_invisible() {
+        let d = TimeSeriesData::generate(&config(), 11).unwrap();
+        // Some per-DC deltas deviate strongly from base_rate/L…
+        let loud = d.delta(0, 0).iter().filter(|&&(_, v)| v.abs() > 150.0).count();
+        assert!(loud > 0, "camouflage must appear locally");
+        // …but the aggregate is exactly the mode everywhere (batch 0 has no
+        // active anomaly).
+        let x = d.cumulative_aggregate(1);
+        for &v in &x {
+            assert!((v - 100.0).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! The query layer end to end: EXPLAIN plans and executions for a batch of
+//! production-template queries against one generated click-log workload.
+//!
+//! Run with: `cargo run --release --example query_console`
+
+use cs_outlier::query::{explain, run, ProtocolChoice, QueryOptions};
+use cs_outlier::workloads::{ClickLogConfig, ClickLogData};
+
+fn main() {
+    let data = ClickLogData::generate(
+        &ClickLogConfig::answer().scaled_down(4), // 2500 keys, 8 DCs
+        7,
+    )
+    .expect("generate workload");
+    println!(
+        "workload: answer click scores — {} keys × {} data centers, mode {}\n",
+        data.n(),
+        data.l(),
+        data.mode
+    );
+
+    let queries = [
+        // The paper's production template, verbatim shape.
+        "SELECT OUTLIER 10 SUM(score) FROM log_streams PARAMS(0, 6) \
+         GROUP BY day, market, vertical, url",
+        // Coarser grouping: which market×vertical combinations diverge?
+        "SELECT OUTLIER 5 SUM(score) FROM log_streams GROUP BY market, vertical",
+        // Filtered drill-down on the first half of the week.
+        "SELECT OUTLIER 5 SUM(score) FROM log_streams PARAMS(0, 3) \
+         WHERE vertical < 31 GROUP BY day, vertical",
+        // Classic top-k for comparison.
+        "SELECT TOP 5 SUM(score) FROM log_streams GROUP BY market",
+    ];
+
+    let opts = QueryOptions { protocol: ProtocolChoice::Auto, seed: 99 };
+    for sql in queries {
+        println!("sql> {sql}");
+        match explain(sql, &data, &opts) {
+            Ok(plan) => println!("  {plan}"),
+            Err(e) => {
+                println!("  plan error: {e}\n");
+                continue;
+            }
+        }
+        match run(sql, &data, &opts) {
+            Ok(result) => {
+                println!(
+                    "  ran {} over {} groups, mode ≈ {:.1}, {} bytes shipped",
+                    result.protocol,
+                    result.groups,
+                    result.mode,
+                    result.cost.bytes()
+                );
+                for row in result.rows.iter().take(5) {
+                    println!(
+                        "    {:<34} {:>10.1}  ({:+.1} from mode)",
+                        row.label, row.value, row.deviation
+                    );
+                }
+            }
+            Err(e) => println!("  execution error: {e}"),
+        }
+        println!();
+    }
+}

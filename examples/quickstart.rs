@@ -1,0 +1,73 @@
+//! Quickstart: the full sketch → aggregate → recover pipeline in ~60 lines.
+//!
+//! Three "data centers" each hold a slice of per-key click scores. No slice
+//! shows anything unusual on its own, but once aggregated, a handful of
+//! keys are far from the mode. Each node ships only an M-length sketch;
+//! the aggregator recovers both the (unknown) mode and the outliers.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use cs_outlier::core::{bomp, BompConfig, MeasurementSpec};
+use cs_outlier::linalg::Vector;
+use cs_outlier::workloads::{split, MajorityConfig, MajorityData, SliceStrategy};
+
+fn main() {
+    // Global data: N = 2000 keys concentrated at b = 1800, s = 12 outliers.
+    let n = 2000;
+    let data = MajorityData::generate(
+        &MajorityConfig {
+            n,
+            s: 12,
+            mode: 1800.0,
+            min_deviation: 500.0,
+            max_deviation: 9000.0,
+        },
+        /* seed */ 7,
+    )
+    .expect("valid config");
+
+    // Distribute it over 3 nodes with camouflage: locally, outlier keys
+    // look ordinary and ordinary keys look outlying.
+    let slices = split(
+        &data.values,
+        3,
+        SliceStrategy::Camouflaged { offset: 1500.0, fraction: 0.2 },
+        11,
+    )
+    .expect("valid split");
+
+    // Every node derives the same Φ0 from a shared (M, N, seed) spec and
+    // transmits only M = 150 numbers instead of N = 2000.
+    let spec = MeasurementSpec::new(150, n, 42).expect("valid spec");
+    let mut y = Vector::zeros(spec.m);
+    for (node, slice) in slices.iter().enumerate() {
+        let sketch = spec.measure_dense(slice).expect("sketch");
+        println!(
+            "node {node}: slice of {n} values compressed to {} measurements",
+            sketch.len()
+        );
+        y.add_assign(&sketch).expect("same length");
+    }
+
+    // Aggregator side: recover mode + outliers from the summed sketch.
+    let result = bomp(&spec, &y, &BompConfig::default()).expect("recovery");
+    println!(
+        "\nrecovered mode b = {:.1}  (true: {:.1}), {} iterations",
+        result.mode, data.mode, result.iterations
+    );
+    println!("top-5 outliers (true outlier keys: {:?}):", data.outlier_indices);
+    for o in result.top_k(5) {
+        println!(
+            "  key {:>4}  value {:>8.1}  deviation {:>+8.1}",
+            o.index, o.value, o.deviation
+        );
+    }
+
+    // Communication: 3 nodes × 150 values vs 3 × 2000 for transmit-all.
+    let sent = 3 * spec.m;
+    let all = 3 * n;
+    println!(
+        "\ncommunication: {sent} values vs {all} for transmit-all ({:.1}% of ALL)",
+        100.0 * sent as f64 / all as f64
+    );
+}

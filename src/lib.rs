@@ -1,0 +1,35 @@
+//! # cs-outlier
+//!
+//! Umbrella crate for the reproduction of *"Distributed Outlier Detection
+//! using Compressive Sensing"* (Yan et al., SIGMOD 2015). It re-exports the
+//! workspace crates under one roof and hosts the runnable examples and the
+//! cross-crate integration tests.
+//!
+//! | Layer | Crate | Contents |
+//! |---|---|---|
+//! | algorithm | [`core`] | measurement matrices, OMP, **BOMP**, basis pursuit, metrics |
+//! | numerics | [`linalg`] | vectors, matrices, incremental QR, Cholesky, seeded Gaussians |
+//! | protocols | [`distributed`] | CS / ALL / K+δ protocols, cost accounting, incremental sketches |
+//! | systems | [`mapreduce`] | Hadoop-substitute engine, CS job vs top-k job, cluster time model |
+//! | data | [`workloads`] | majority-dominated, power-law and click-log generators |
+//! | frontend | [`query`] | `SELECT OUTLIER k SUM(score) … GROUP BY …` |
+//!
+//! Start with `examples/quickstart.rs`, or:
+//!
+//! ```
+//! use cs_outlier::core::{bomp, BompConfig, MeasurementSpec};
+//!
+//! let spec = MeasurementSpec::new(60, 500, 7).unwrap();
+//! let mut x = vec![1800.0; 500];
+//! x[123] = 40_000.0;
+//! let y = spec.measure_dense(&x).unwrap();
+//! let found = bomp(&spec, &y, &BompConfig::default()).unwrap();
+//! assert_eq!(found.top_k(1)[0].index, 123);
+//! ```
+
+pub use cso_core as core;
+pub use cso_distributed as distributed;
+pub use cso_linalg as linalg;
+pub use cso_mapreduce as mapreduce;
+pub use cso_query as query;
+pub use cso_workloads as workloads;

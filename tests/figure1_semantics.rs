@@ -1,0 +1,75 @@
+//! The paper's Figure 1: (a) local slices hide global outliers; (b) the
+//! k-outlier set differs from both top-k and absolute-top-k.
+
+use cs_outlier::core::outlier::{absolute_top_k, exact_majority_mode, k_outliers, top_k};
+use cs_outlier::core::{bomp, BompConfig, MeasurementSpec};
+use cs_outlier::workloads::{aggregate, split, SliceStrategy};
+
+/// A 15-key example shaped like the paper's Figure 1: mode 1800, one key
+/// (k5, index 4) that only becomes an outlier after aggregation.
+fn figure1_global() -> Vec<f64> {
+    let mut x = vec![1800.0; 15];
+    x[4] = 5400.0; //  k5: the hidden global outlier
+    x[9] = 150.0; //   k10: a low outlier
+    x[12] = 3000.0; // k13: a moderate outlier
+    x
+}
+
+#[test]
+fn local_slices_look_normal_but_aggregate_reveals_k5() {
+    // Hand-crafted three-data-center slices, shaped like the paper's
+    // Figure 1: per-node values scatter with no mode, k5 (index 4) holds an
+    // ordinary-looking 1800 everywhere — but its column is the only one
+    // summing to 5400 ("the key k5 in the remote data centers appears
+    // 'normal'. However, after aggregation, it is an obvious outlier").
+    #[rustfmt::skip]
+    let slices: Vec<Vec<f64>> = vec![
+        vec![600.0, 2600.0, -400.0, -400.0, 1800.0, 900.0, 0.0, 1700.0, 300.0, 50.0, 2500.0, -800.0, 1000.0, 500.0, -900.0],
+        vec![600.0, -400.0, 2600.0, -400.0, 1800.0, 300.0, 1000.0, 100.0, 1500.0, 50.0, -900.0, 2400.0, 1000.0, 500.0, 400.0],
+        vec![600.0, -400.0, -400.0, 2600.0, 1800.0, 600.0, 800.0, 0.0, 0.0, 50.0, 200.0, 200.0, 1000.0, 800.0, 2300.0],
+    ];
+    // In every slice, rank keys by deviation from the slice median; k5 must
+    // not be the locally most suspicious key.
+    for slice in &slices {
+        let median = cs_outlier::linalg::stats::median(slice).unwrap();
+        let local_top = k_outliers(slice, median, 1);
+        assert_ne!(local_top[0].index, 4, "k5 must not dominate locally: {slice:?}");
+    }
+    // Globally it is the clear #1 outlier against the mode 1800.
+    let global = aggregate(&slices).unwrap();
+    let m = exact_majority_mode(&global).unwrap();
+    assert_eq!(m, 1800.0);
+    assert_eq!(k_outliers(&global, m, 1)[0].index, 4);
+}
+
+#[test]
+fn outlier_k_differs_from_both_top_variants() {
+    let x = figure1_global();
+    let k = 2;
+    let mode = exact_majority_mode(&x).unwrap();
+    let out: Vec<usize> = k_outliers(&x, mode, k).iter().map(|o| o.index).collect();
+    let top: Vec<usize> = top_k(&x, k).iter().map(|o| o.index).collect();
+    let abs: Vec<usize> = absolute_top_k(&x, k).iter().map(|o| o.index).collect();
+    // Outliers: k5 (|3600|) then k10 (|1650|).
+    assert_eq!(out, vec![4, 9]);
+    // Top-2 by value: k5 then k13 — never k10.
+    assert_eq!(top, vec![4, 12]);
+    // Absolute top-2: same as top here (all positive) — still not k10.
+    assert_eq!(abs, vec![4, 12]);
+    assert_ne!(out, top);
+}
+
+#[test]
+fn bomp_recovers_the_figure1_outliers_from_sketches() {
+    let x = figure1_global();
+    let slices = split(&x, 3, SliceStrategy::RandomProportions, 5).unwrap();
+    let spec = MeasurementSpec::new(12, 15, 33).unwrap();
+    let mut y = spec.measure_dense(&slices[0]).unwrap();
+    for s in &slices[1..] {
+        y.add_assign(&spec.measure_dense(s).unwrap()).unwrap();
+    }
+    let r = bomp(&spec, &y, &BompConfig::default()).unwrap();
+    assert!((r.mode - 1800.0).abs() < 1e-6);
+    let found: Vec<usize> = r.top_k(3).iter().map(|o| o.index).collect();
+    assert_eq!(found, vec![4, 9, 12]);
+}

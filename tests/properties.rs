@@ -1,0 +1,137 @@
+//! Property-based tests of the system's core invariants, across crates.
+
+use cs_outlier::core::{
+    bomp, error_on_key, error_on_value, BompConfig, KeyValue, MeasurementSpec, SparseVector,
+};
+use cs_outlier::linalg::{IncrementalQr, Vector};
+use cs_outlier::workloads::{aggregate, split, SliceStrategy};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Measurement is linear: sketching slices and summing equals sketching
+    /// the aggregate (equation (1), the foundation of the whole protocol).
+    #[test]
+    fn sketch_of_sum_is_sum_of_sketches(
+        values in prop::collection::vec(-1e6f64..1e6, 8..64),
+        l in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        let n = values.len();
+        let strategy = SliceStrategy::RandomProportions;
+        let slices = split(&values, l, strategy, seed).unwrap();
+        let spec = MeasurementSpec::new(6, n, seed ^ 0xF00D).unwrap();
+        let mut summed = Vector::zeros(6);
+        for s in &slices {
+            summed.add_assign(&spec.measure_dense(s).unwrap()).unwrap();
+        }
+        let direct = spec.measure_dense(&aggregate(&slices).unwrap()).unwrap();
+        let scale = direct.norm2().max(1.0);
+        prop_assert!(summed.sub(&direct).unwrap().norm2() / scale < 1e-9);
+    }
+
+    /// Slices produced by any strategy sum back to the original vector.
+    #[test]
+    fn splits_always_sum_back(
+        values in prop::collection::vec(-1e5f64..1e5, 4..80),
+        l in 1usize..8,
+        seed in 0u64..500,
+        strat in 0u8..3,
+    ) {
+        let strategy = match strat {
+            0 => SliceStrategy::Uniform,
+            1 => SliceStrategy::RandomProportions,
+            _ => SliceStrategy::Camouflaged { offset: 123.0, fraction: 0.4 },
+        };
+        let slices = split(&values, l, strategy, seed).unwrap();
+        let back = aggregate(&slices).unwrap();
+        for (a, b) in back.iter().zip(&values) {
+            prop_assert!((a - b).abs() <= 1e-7 * (1.0 + b.abs()));
+        }
+    }
+
+    /// BOMP exactly recovers biased sparse vectors whenever the sketch is
+    /// generously sized (M ≥ 8(s+1)).
+    #[test]
+    fn bomp_exact_recovery_with_generous_m(
+        mode in -1e4f64..1e4,
+        outliers in prop::collection::btree_map(0usize..50, 2e4f64..9e4, 1..5),
+        seed in 0u64..200,
+    ) {
+        let n = 50;
+        let s = outliers.len();
+        let m = 8 * (s + 1) + 8;
+        let spec = MeasurementSpec::new(m, n, seed).unwrap();
+        let mut x = vec![mode; n];
+        for (&i, &v) in &outliers {
+            x[i] = v;
+        }
+        let y = spec.measure_dense(&x).unwrap();
+        let r = bomp(&spec, &y, &BompConfig::default()).unwrap();
+        prop_assert!((r.mode - mode).abs() < 1e-3 * (1.0 + mode.abs()),
+            "mode {} vs {}", r.mode, mode);
+        let rec = r.recovered_dense();
+        for (i, (&xi, &ri)) in x.iter().zip(rec.iter()).enumerate() {
+            prop_assert!((xi - ri).abs() < 1e-3 * (1.0 + xi.abs()), "key {i}: {xi} vs {ri}");
+        }
+    }
+
+    /// EK and EV are 0 exactly on perfect estimates and EK ∈ [0, 1] always.
+    #[test]
+    fn metric_bounds(
+        truth_vals in prop::collection::vec(1.0f64..1e5, 1..20),
+        est_vals in prop::collection::vec(-1e5f64..1e5, 0..25),
+    ) {
+        let truth: Vec<KeyValue> = truth_vals
+            .iter()
+            .enumerate()
+            .map(|(index, &value)| KeyValue { index, value })
+            .collect();
+        let estimate: Vec<KeyValue> = est_vals
+            .iter()
+            .enumerate()
+            .map(|(i, &value)| KeyValue { index: i + 1000, value })
+            .collect();
+        let ek = error_on_key(&truth, &estimate).unwrap();
+        prop_assert!((0.0..=1.0).contains(&ek));
+        prop_assert_eq!(error_on_key(&truth, &truth).unwrap(), 0.0);
+        prop_assert_eq!(error_on_value(&truth, &truth).unwrap(), 0.0);
+        let ev = error_on_value(&truth, &estimate).unwrap();
+        prop_assert!(ev >= 0.0);
+    }
+
+    /// Sparse vectors round-trip through dense form.
+    #[test]
+    fn sparse_dense_round_trip(
+        entries in prop::collection::btree_map(0usize..100, -1e6f64..1e6, 0..20),
+    ) {
+        let sv = SparseVector::new(100, entries.clone().into_iter().collect()).unwrap();
+        let dense = sv.to_dense();
+        let back = SparseVector::from_dense(dense.as_slice(), 0.0);
+        prop_assert_eq!(sv.entries().len(), back.entries().len());
+        for (a, b) in sv.entries().iter().zip(back.entries()) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// Incremental QR: Q stays orthonormal and least-squares residuals are
+    /// orthogonal to the span, for arbitrary well-conditioned inputs.
+    #[test]
+    fn qr_invariants(
+        cols in prop::collection::vec(
+            prop::collection::vec(-100.0f64..100.0, 12), 1..8),
+        y in prop::collection::vec(-100.0f64..100.0, 12),
+    ) {
+        let mut qr = IncrementalQr::new(12);
+        for c in &cols {
+            // Rank-deficient pushes may legitimately fail; skip those.
+            let _ = qr.push_column(c);
+        }
+        prop_assume!(qr.ncols() > 0);
+        prop_assert!(qr.orthogonality_defect() < 1e-9);
+        let resid = qr.residual(&y).unwrap();
+        let coeffs = qr.qt_mul(resid.as_slice()).unwrap();
+        prop_assert!(coeffs.norm_inf() < 1e-8);
+    }
+}
