@@ -1,0 +1,212 @@
+//! Fault-injection sweep: outlier precision and communication cost as the
+//! transport degrades.
+//!
+//! Not a figure from the paper — the paper assumes a reliable aggregation
+//! fabric — but the natural robustness question for deployment: how do the
+//! CS protocol and the keyid-value ALL baseline behave when nodes die and
+//! frames corrupt in flight? Both run over the same [`LossyChannel`] with
+//! the same retry policy, so the comparison isolates the protocols.
+//!
+//! The structural result: both recover *exactly* on their surviving subset
+//! (sketch sums and key sums are both linear), so precision degrades only
+//! through lost nodes — but CS retransmissions cost `M` values a pop while
+//! ALL retransmissions cost a full `n_l`-pair batch, so fault recovery
+//! amplifies the paper's communication gap.
+
+use crate::common::{pct, Opts, Table};
+use cso_core::BompConfig;
+use cso_distributed::{
+    wire, Cluster, CsProtocol, Delivery, FaultPlan, LossyChannel, RetryPolicy, SketchEncoding,
+};
+use cso_workloads::{split, MajorityConfig, MajorityData, SliceStrategy};
+
+/// One (loss, corruption) grid point, averaged over `trials` plan seeds.
+struct Point {
+    drop_rate: f64,
+    corrupt_rate: f64,
+    cs_precision: f64,
+    all_precision: f64,
+    surviving: f64,
+    cs_retransmissions: f64,
+    cs_bits: f64,
+    all_bits: f64,
+}
+
+/// Fraction of the true top-k the estimate found.
+fn precision(truth: &[cso_core::KeyValue], estimate: &[cso_core::KeyValue]) -> f64 {
+    if truth.is_empty() {
+        return 1.0;
+    }
+    let want: std::collections::HashSet<usize> = truth.iter().map(|o| o.index).collect();
+    let hit = estimate.iter().filter(|o| want.contains(&o.index)).count();
+    hit as f64 / truth.len() as f64
+}
+
+/// The keyid-value ALL baseline over the same lossy transport: each node
+/// frames its non-zero keys as one `KvBatch` and retransmits under the
+/// same policy; the aggregator sums what survives and ranks deviations.
+fn run_all_kv_degraded(
+    cluster: &Cluster,
+    k: usize,
+    plan: &FaultPlan,
+    policy: &RetryPolicy,
+) -> (Vec<cso_core::KeyValue>, u64, usize) {
+    let mut channel = LossyChannel::new(plan);
+    let mut sum = vec![0.0f64; cluster.n()];
+    let mut survivors = 0usize;
+    let mut bytes = 0u64;
+    for node in 0..cluster.l() {
+        let pairs: Vec<(u32, f64)> = cluster
+            .slice(node)
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v != 0.0)
+            .map(|(i, &v)| (i as u32, v))
+            .collect();
+        let frame = wire::encode(&wire::Message::KvBatch { node: node as u32, pairs });
+        let mut received = false;
+        for attempt in 0..policy.max_attempts {
+            bytes += frame.len() as u64;
+            if let Delivery::Delivered { frames, .. } = channel.transmit(node, attempt, &frame)
+            {
+                for f in &frames {
+                    if let Ok(wire::Message::KvBatch { pairs, .. }) = wire::decode(f) {
+                        if !received {
+                            for (key, value) in pairs {
+                                sum[key as usize] += value;
+                            }
+                            received = true;
+                        }
+                    }
+                }
+            }
+            if received {
+                break;
+            }
+        }
+        survivors += usize::from(received);
+    }
+    let mode = cso_core::outlier::exact_majority_mode(&sum).unwrap_or(0.0);
+    (cso_core::outlier::k_outliers(&sum, mode, k), bytes * 8, survivors)
+}
+
+/// Sweeps node-loss and corruption rates, comparing CS and ALL.
+pub fn fault_sweep(opts: &Opts) {
+    let l = 8;
+    let k = 8;
+    let m = 120;
+    let data = MajorityData::generate(
+        &MajorityConfig { n: 400, s: 8, ..MajorityConfig::default() },
+        42,
+    )
+    .unwrap();
+    let slices = split(&data.values, l, SliceStrategy::RandomProportions, 43).unwrap();
+    let cluster = Cluster::new(slices).unwrap();
+    let truth = data.true_k_outliers(k);
+    let proto = CsProtocol::new(m, 7).with_recovery(BompConfig::for_k_outliers(k));
+    let policy = RetryPolicy::default().with_timeout_ticks(10_000);
+
+    let mut points = Vec::new();
+    for &drop_rate in &[0.0, 0.1, 0.3, 0.5] {
+        for &corrupt_rate in &[0.0, 0.05, 0.2] {
+            let mut acc = Point {
+                drop_rate,
+                corrupt_rate,
+                cs_precision: 0.0,
+                all_precision: 0.0,
+                surviving: 0.0,
+                cs_retransmissions: 0.0,
+                cs_bits: 0.0,
+                all_bits: 0.0,
+            };
+            let mut ok_trials = 0u32;
+            for trial in 0..opts.trials as u64 {
+                let plan = FaultPlan::new(1000 + trial)
+                    .drop_rate(drop_rate)
+                    .corrupt_rate(corrupt_rate);
+                let Ok(deg) =
+                    proto.run_degraded(&cluster, k, SketchEncoding::F64, &plan, &policy)
+                else {
+                    continue; // nobody survived this trial
+                };
+                let (all_estimate, all_bits, _) =
+                    run_all_kv_degraded(&cluster, k, &plan, &policy);
+                acc.cs_precision += precision(&truth, &deg.run.estimate);
+                acc.all_precision += precision(&truth, &all_estimate);
+                acc.surviving += deg.surviving_fraction();
+                acc.cs_retransmissions += deg.retransmissions as f64;
+                acc.cs_bits += deg.run.cost.bits as f64;
+                acc.all_bits += all_bits as f64;
+                ok_trials += 1;
+            }
+            if ok_trials > 0 {
+                let t = ok_trials as f64;
+                acc.cs_precision /= t;
+                acc.all_precision /= t;
+                acc.surviving /= t;
+                acc.cs_retransmissions /= t;
+                acc.cs_bits /= t;
+                acc.all_bits /= t;
+            }
+            points.push(acc);
+        }
+    }
+
+    let mut table = Table::new(
+        "fault_sweep",
+        &[
+            "drop",
+            "corrupt",
+            "surviving",
+            "cs_precision",
+            "all_precision",
+            "cs_retx",
+            "cs_cost_vs_all",
+        ],
+    );
+    for p in &points {
+        let ratio = if p.all_bits > 0.0 { p.cs_bits / p.all_bits } else { f64::NAN };
+        table.row(&[
+            &pct(p.drop_rate),
+            &pct(p.corrupt_rate),
+            &pct(p.surviving),
+            &pct(p.cs_precision),
+            &pct(p.all_precision),
+            &format!("{:.1}", p.cs_retransmissions),
+            &format!("{:.3}", ratio),
+        ]);
+    }
+    table.finish(opts);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_tiny_sweep_runs() {
+        // Tiny trial count, CSV off: exercises the full sweep path fast.
+        fault_sweep(&Opts { trials: 1, write_csv: false });
+    }
+
+    #[test]
+    fn all_kv_baseline_is_exact_without_faults() {
+        let data = MajorityData::generate(
+            &MajorityConfig { n: 200, s: 5, ..MajorityConfig::default() },
+            9,
+        )
+        .unwrap();
+        let slices = split(&data.values, 4, SliceStrategy::Uniform, 3).unwrap();
+        let cluster = Cluster::new(slices).unwrap();
+        let truth = data.true_k_outliers(5);
+        let (estimate, bits, survivors) = run_all_kv_degraded(
+            &cluster,
+            5,
+            &FaultPlan::none(),
+            &RetryPolicy::no_retry(),
+        );
+        assert_eq!(survivors, 4);
+        assert!(bits > 0);
+        assert_eq!(precision(&truth, &estimate), 1.0);
+    }
+}

@@ -18,6 +18,7 @@
 pub mod ablations;
 pub mod common;
 pub mod conj;
+pub mod faults;
 pub mod fig101112;
 pub mod fig4;
 pub mod fig56;
@@ -46,6 +47,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "ablation_bp",
     "ablation_skew",
     "ablation_quantize",
+    "fault_sweep",
 ];
 
 /// Dispatches one experiment by name. Returns false for unknown names.
@@ -69,6 +71,7 @@ pub fn run_experiment(name: &str, opts: &Opts) -> bool {
         "ablation_bp" => ablations::ablation_bp(opts),
         "ablation_quantize" => ablations::ablation_quantize(opts),
         "ablation_skew" => ablations::ablation_skew(opts),
+        "fault_sweep" => faults::fault_sweep(opts),
         _ => return false,
     }
     true
@@ -104,7 +107,7 @@ mod tests {
                 "fig4a" | "fig4b" | "fig5" | "fig6" | "fig7" | "fig8" | "fig9" | "fig10"
                     | "fig11" | "fig12" | "conj1" | "conj2" | "ablation_r"
                     | "ablation_stall" | "ablation_qr" | "ablation_bp" | "ablation_skew"
-                    | "ablation_quantize"
+                    | "ablation_quantize" | "fault_sweep"
             );
             assert!(known, "{name} missing from dispatcher");
         }

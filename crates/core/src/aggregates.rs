@@ -25,7 +25,7 @@ pub fn recovered_quantile(result: &BompResult, q: f64) -> Result<f64, LinalgErro
     if !(0.0..=1.0).contains(&q) {
         return Err(LinalgError::InvalidParameter {
             name: "q",
-            message: "quantile must lie in [0, 1]",
+            message: "quantile must lie in [0, 1]".into(),
         });
     }
     let n = result.deviations.dim();
@@ -75,7 +75,7 @@ pub fn recovered_histogram(
     bins: usize,
 ) -> Result<Vec<(f64, usize)>, LinalgError> {
     if bins == 0 {
-        return Err(LinalgError::InvalidParameter { name: "bins", message: "need >= 1 bin" });
+        return Err(LinalgError::InvalidParameter { name: "bins", message: "need >= 1 bin".into() });
     }
     let n = result.deviations.dim();
     let mut lo = result.mode;

@@ -63,7 +63,7 @@ pub fn basis_pursuit(phi: &ColMatrix, y: &Vector, config: &BpConfig) -> Result<B
         });
     }
     if config.rho <= 0.0 {
-        return Err(LinalgError::InvalidParameter { name: "rho", message: "must be positive" });
+        return Err(LinalgError::InvalidParameter { name: "rho", message: "must be positive".into() });
     }
     let n = phi.cols();
     // Scale invariance: ADMM's soft-threshold step size is absolute, so

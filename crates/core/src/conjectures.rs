@@ -83,7 +83,7 @@ pub fn verify_conjecture1(
     if m == 0 || s == 0 {
         return Err(LinalgError::InvalidParameter {
             name: "m/s",
-            message: "dimensions must be positive",
+            message: "dimensions must be positive".into(),
         });
     }
     let mut successes = 0;
@@ -122,12 +122,12 @@ pub fn verify_conjecture2(
     seed: u64,
 ) -> Result<TrialStats, LinalgError> {
     if m == 0 {
-        return Err(LinalgError::InvalidParameter { name: "m", message: "must be positive" });
+        return Err(LinalgError::InvalidParameter { name: "m", message: "must be positive".into() });
     }
     if epsilon <= 0.0 {
         return Err(LinalgError::InvalidParameter {
             name: "epsilon",
-            message: "must be positive",
+            message: "must be positive".into(),
         });
     }
     let std = 1.0 / (m as f64).sqrt();

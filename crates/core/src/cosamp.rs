@@ -58,7 +58,7 @@ pub fn cosamp(
     if config.sparsity == 0 || config.sparsity > d {
         return Err(LinalgError::InvalidParameter {
             name: "sparsity",
-            message: "need 1 <= s <= dictionary columns",
+            message: "need 1 <= s <= dictionary columns".into(),
         });
     }
     let s = config.sparsity;

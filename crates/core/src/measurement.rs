@@ -36,7 +36,7 @@ impl MeasurementSpec {
         if m == 0 || n == 0 {
             return Err(LinalgError::InvalidParameter {
                 name: "m/n",
-                message: "measurement dimensions must be positive",
+                message: "measurement dimensions must be positive".into(),
             });
         }
         Ok(MeasurementSpec { m, n, seed })

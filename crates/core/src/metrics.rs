@@ -47,7 +47,7 @@ pub fn error_on_value(truth: &[KeyValue], estimate: &[KeyValue]) -> Result<f64, 
     if denom == 0.0 {
         return Err(LinalgError::InvalidParameter {
             name: "truth",
-            message: "true outlier values have zero norm",
+            message: "true outlier values have zero norm".into(),
         });
     }
     let num: f64 = tv

@@ -15,23 +15,31 @@ impl Cluster {
     /// Builds a cluster from per-node dense slices. All slices must share
     /// one length, contain only finite values (a NaN would silently poison
     /// every downstream aggregate), and at least one node is required.
+    ///
+    /// A cluster whose slices are *all* empty is legal (a zero-key key
+    /// space, the degenerate-but-consistent case); an empty first slice
+    /// next to non-empty ones is a ragged cluster and is rejected with an
+    /// error naming the offending node.
     pub fn new(slices: Vec<Vec<f64>>) -> Result<Self, LinalgError> {
         let n = match slices.first() {
-            Some(s) if !s.is_empty() => s.len(),
-            _ => return Err(LinalgError::Empty { op: "cluster" }),
+            Some(s) => s.len(),
+            None => return Err(LinalgError::Empty { op: "cluster" }),
         };
         for (l, s) in slices.iter().enumerate() {
             if s.len() != n {
-                return Err(LinalgError::DimensionMismatch {
-                    op: "cluster",
-                    expected: (n, 1),
-                    actual: (s.len(), l),
-                });
-            }
-            if s.iter().any(|v| !v.is_finite()) {
                 return Err(LinalgError::InvalidParameter {
                     name: "slices",
-                    message: "slice values must be finite",
+                    message: format!(
+                        "ragged cluster: node {l} holds {} values but node 0 holds {n}",
+                        s.len()
+                    )
+                    .into(),
+                });
+            }
+            if let Some(i) = s.iter().position(|v| !v.is_finite()) {
+                return Err(LinalgError::InvalidParameter {
+                    name: "slices",
+                    message: format!("node {l} holds a non-finite value at key {i}").into(),
                 });
             }
         }
@@ -90,7 +98,7 @@ impl Cluster {
         if slice.iter().any(|v| !v.is_finite()) {
             return Err(LinalgError::InvalidParameter {
                 name: "slice",
-                message: "slice values must be finite",
+                message: "slice values must be finite".into(),
             });
         }
         self.slices.push(slice);
@@ -103,13 +111,13 @@ impl Cluster {
         if l >= self.slices.len() {
             return Err(LinalgError::InvalidParameter {
                 name: "l",
-                message: "node index out of range",
+                message: "node index out of range".into(),
             });
         }
         if self.slices.len() == 1 {
             return Err(LinalgError::InvalidParameter {
                 name: "l",
-                message: "cannot remove the last node",
+                message: "cannot remove the last node".into(),
             });
         }
         Ok(self.slices.remove(l))
@@ -136,8 +144,28 @@ mod tests {
     #[test]
     fn rejects_empty_and_ragged() {
         assert!(Cluster::new(vec![]).is_err());
-        assert!(Cluster::new(vec![vec![]]).is_err());
         assert!(Cluster::new(vec![vec![1.0], vec![1.0, 2.0]]).is_err());
+        // An empty first slice is only legal when every slice is empty.
+        assert!(Cluster::new(vec![vec![], vec![1.0]]).is_err());
+    }
+
+    #[test]
+    fn all_empty_slices_are_a_legal_degenerate_cluster() {
+        let c = Cluster::new(vec![vec![], vec![], vec![]]).unwrap();
+        assert_eq!(c.l(), 3);
+        assert_eq!(c.n(), 0);
+        assert_eq!(c.aggregate(), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn ragged_error_names_the_offending_node() {
+        let err = Cluster::new(vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0]]).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("node 2"), "{msg}");
+        assert!(msg.contains("ragged"), "{msg}");
+
+        let err = Cluster::new(vec![vec![], vec![1.0]]).unwrap_err();
+        assert!(err.to_string().contains("node 1"), "{err}");
     }
 
     #[test]

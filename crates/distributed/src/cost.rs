@@ -78,6 +78,17 @@ impl CostMeter {
         self.tuples += count * nodes;
     }
 
+    /// Records `bytes` of raw framed traffic sent by `node`. Used by the
+    /// wire-level and fault-injected paths, where cost is actual encoded
+    /// bytes (headers, checksums, and every retransmission attempt) rather
+    /// than abstract tuples; tuple counts are tracked by the caller there.
+    pub fn record_wire_bytes(&mut self, node: usize, bytes: u64) {
+        assert!(node < self.per_node_bits.len(), "node {node} out of range");
+        let b = bytes * 8;
+        self.bits += b;
+        self.per_node_bits[node] += b;
+    }
+
     /// Marks the start of a new communication round.
     pub fn begin_round(&mut self) {
         self.rounds += 1;
@@ -200,6 +211,19 @@ mod tests {
         m.begin_round();
         m.begin_round();
         assert_eq!(m.finish().rounds, 3);
+    }
+
+    #[test]
+    fn wire_bytes_count_bits_but_not_tuples() {
+        let mut m = CostMeter::new(2);
+        m.begin_round();
+        m.record_wire_bytes(0, 100);
+        m.record_wire_bytes(1, 50);
+        let c = m.finish();
+        assert_eq!(c.bits, 150 * 8);
+        assert_eq!(c.tuples, 0);
+        assert_eq!(m.node_bits(0), 800);
+        assert_eq!(m.node_bits(1), 400);
     }
 
     #[test]

@@ -38,7 +38,7 @@ impl CsProtocol {
     }
 
     /// The effective iteration budget for a given `k`.
-    fn budget_for(&self, k: usize) -> usize {
+    pub(crate) fn budget_for(&self, k: usize) -> usize {
         if self.recovery.omp.max_iterations == usize::MAX {
             BompConfig::for_k_outliers(k).omp.max_iterations
         } else {
@@ -90,13 +90,13 @@ impl CsProtocol {
             // Aggregator side: decode + verify configuration agreement.
             match wire::decode(&bytes).map_err(|_| LinalgError::InvalidParameter {
                 name: "wire",
-                message: "sketch message failed to decode",
+                message: "sketch message failed to decode".into(),
             })? {
                 wire::Message::Sketch { seed, payload, .. } => {
                     if seed != self.seed {
                         return Err(LinalgError::InvalidParameter {
                             name: "seed",
-                            message: "node and aggregator disagree on the seed",
+                            message: "node and aggregator disagree on the seed".into(),
                         });
                     }
                     y.add_assign(&quantize::decode(&payload))?;
@@ -104,7 +104,7 @@ impl CsProtocol {
                 _ => {
                     return Err(LinalgError::InvalidParameter {
                         name: "wire",
-                        message: "unexpected message kind",
+                        message: "unexpected message kind".into(),
                     })
                 }
             }

@@ -30,7 +30,7 @@ impl<K: Eq + Hash + Clone> KeyDictionary<K> {
             if index.insert(k.clone(), i).is_some() {
                 return Err(LinalgError::InvalidParameter {
                     name: "keys",
-                    message: "duplicate key in dictionary",
+                    message: "duplicate key in dictionary".into(),
                 });
             }
         }
@@ -75,7 +75,7 @@ impl<K: Eq + Hash + Clone> KeyDictionary<K> {
                 None => {
                     return Err(LinalgError::InvalidParameter {
                         name: "records",
-                        message: "record key not in the global dictionary",
+                        message: "record key not in the global dictionary".into(),
                     })
                 }
             }

@@ -1,0 +1,366 @@
+//! Deterministic fault injection for the transport layer.
+//!
+//! Real aggregations lose nodes, corrupt frames, deliver duplicates, and
+//! straggle. This module simulates all of that *reproducibly*: a
+//! [`FaultPlan`] is a pure description of a failure regime (seeded, so two
+//! runs inject byte-identical faults), and a [`LossyChannel`] applies it to
+//! individual transmission attempts on a **virtual clock** — ticks are
+//! plain integers, never real sleeps, so fault-heavy tests stay instant.
+//!
+//! Per-attempt randomness is derived from `(plan seed, node, attempt)`
+//! rather than from a shared stream, so the outcome of one node's attempt
+//! never depends on how many messages other nodes sent first. That makes
+//! degraded-mode runs order-independent and individual faults replayable in
+//! isolation.
+
+use cso_linalg::random::{derive_seed, stream_rng};
+use rand::Rng;
+use std::collections::BTreeSet;
+
+/// A seeded, declarative description of the faults to inject.
+///
+/// Rates are per transmission attempt and independent; hard-failed nodes
+/// ([`FaultPlan::fail_nodes`]) drop every attempt regardless of rates.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Master seed all injected faults derive from.
+    pub seed: u64,
+    /// Nodes that are down for the whole run: every attempt is lost.
+    pub failed_nodes: BTreeSet<usize>,
+    /// Probability an attempt's frame is silently dropped.
+    pub drop_rate: f64,
+    /// Probability an attempt's frame arrives with flipped bits.
+    pub corrupt_rate: f64,
+    /// Probability a delivered frame arrives twice.
+    pub duplicate_rate: f64,
+    /// Probability a delivered frame straggles (extra delay ticks).
+    pub delay_rate: f64,
+    /// Largest straggler delay, in virtual ticks.
+    pub max_delay_ticks: u64,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (useful as a baseline).
+    pub fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            failed_nodes: BTreeSet::new(),
+            drop_rate: 0.0,
+            corrupt_rate: 0.0,
+            duplicate_rate: 0.0,
+            delay_rate: 0.0,
+            max_delay_ticks: 0,
+        }
+    }
+
+    /// A fault-free plan with the given seed, to be refined by the builder
+    /// methods below.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan { seed, ..FaultPlan::none() }
+    }
+
+    /// Marks nodes as hard-failed for the whole run.
+    pub fn fail_nodes(mut self, nodes: &[usize]) -> Self {
+        self.failed_nodes.extend(nodes.iter().copied());
+        self
+    }
+
+    /// Sets the per-attempt drop probability.
+    pub fn drop_rate(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "drop_rate must lie in [0, 1]");
+        self.drop_rate = p;
+        self
+    }
+
+    /// Sets the per-attempt corruption probability.
+    pub fn corrupt_rate(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "corrupt_rate must lie in [0, 1]");
+        self.corrupt_rate = p;
+        self
+    }
+
+    /// Sets the per-delivery duplication probability.
+    pub fn duplicate_rate(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "duplicate_rate must lie in [0, 1]");
+        self.duplicate_rate = p;
+        self
+    }
+
+    /// Sets the straggler probability and its worst-case delay.
+    pub fn delay(mut self, p: f64, max_ticks: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "delay_rate must lie in [0, 1]");
+        self.delay_rate = p;
+        self.max_delay_ticks = max_ticks;
+        self
+    }
+}
+
+/// What the channel did to one transmission attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Delivery {
+    /// The frame(s) arrived. `frames` holds one copy, or two when the
+    /// channel duplicated the delivery; bytes may have been corrupted.
+    /// `delay_ticks` is the straggler delay beyond the nominal transit time.
+    Delivered {
+        /// Received byte buffers (1 normally, 2 when duplicated).
+        frames: Vec<Vec<u8>>,
+        /// Extra virtual ticks this delivery straggled.
+        delay_ticks: u64,
+    },
+    /// The frame was lost.
+    Dropped,
+}
+
+/// Running totals of the faults a [`LossyChannel`] actually injected.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Attempts sent through the channel.
+    pub attempts: u64,
+    /// Frames silently dropped (including all attempts to failed nodes).
+    pub dropped: u64,
+    /// Frames delivered with flipped bits.
+    pub corrupted: u64,
+    /// Frames delivered twice.
+    pub duplicated: u64,
+    /// Frames delivered late.
+    pub delayed: u64,
+}
+
+/// Applies a [`FaultPlan`] to transmission attempts.
+#[derive(Debug, Clone)]
+pub struct LossyChannel<'a> {
+    plan: &'a FaultPlan,
+    stats: FaultStats,
+}
+
+impl<'a> LossyChannel<'a> {
+    /// A channel injecting the given plan.
+    pub fn new(plan: &'a FaultPlan) -> Self {
+        LossyChannel { plan, stats: FaultStats::default() }
+    }
+
+    /// Totals of what has been injected so far.
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    /// Transmits `frame` from `node` as attempt number `attempt`
+    /// (0-based). Deterministic in `(plan.seed, node, attempt)` only.
+    pub fn transmit(&mut self, node: usize, attempt: u32, frame: &[u8]) -> Delivery {
+        self.stats.attempts += 1;
+        if self.plan.failed_nodes.contains(&node) {
+            self.stats.dropped += 1;
+            return Delivery::Dropped;
+        }
+        // One private stream per (node, attempt): outcomes are replayable
+        // in isolation and independent of global send order.
+        let stream = derive_seed(node as u64, attempt as u64);
+        let mut rng = stream_rng(self.plan.seed, stream);
+
+        if rng.gen_bool(self.plan.drop_rate) {
+            self.stats.dropped += 1;
+            return Delivery::Dropped;
+        }
+
+        let mut received = frame.to_vec();
+        if rng.gen_bool(self.plan.corrupt_rate) {
+            self.stats.corrupted += 1;
+            corrupt_in_place(&mut received, &mut rng);
+        }
+
+        let mut frames = vec![received.clone()];
+        if rng.gen_bool(self.plan.duplicate_rate) {
+            self.stats.duplicated += 1;
+            frames.push(received);
+        }
+
+        let delay_ticks = if self.plan.max_delay_ticks > 0 && rng.gen_bool(self.plan.delay_rate)
+        {
+            self.stats.delayed += 1;
+            rng.gen_range(1..=self.plan.max_delay_ticks)
+        } else {
+            0
+        };
+
+        Delivery::Delivered { frames, delay_ticks }
+    }
+}
+
+/// Flips one to three bits at random positions (a burst of length ≤ 3 is
+/// well inside CRC-32's guaranteed detection envelope, and single-bit flips
+/// are the adversarial best case for slipping past a checksum).
+fn corrupt_in_place(bytes: &mut [u8], rng: &mut impl Rng) {
+    if bytes.is_empty() {
+        return;
+    }
+    let flips = rng.gen_range(1..=3usize);
+    for _ in 0..flips {
+        let byte = rng.gen_range(0..bytes.len());
+        let bit = rng.gen_range(0..8u32);
+        bytes[byte] ^= 1 << bit;
+    }
+}
+
+/// A virtual clock: integer ticks, advanced explicitly, never slept on.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VirtualClock {
+    now: u64,
+}
+
+impl VirtualClock {
+    /// A clock at tick zero.
+    pub fn new() -> Self {
+        VirtualClock { now: 0 }
+    }
+
+    /// Current tick.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Advances the clock by `ticks`.
+    pub fn advance(&mut self, ticks: u64) {
+        self.now += ticks;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame() -> Vec<u8> {
+        (0u8..64).collect()
+    }
+
+    #[test]
+    fn clean_plan_is_transparent() {
+        let plan = FaultPlan::none();
+        let mut ch = LossyChannel::new(&plan);
+        for node in 0..10 {
+            match ch.transmit(node, 0, &frame()) {
+                Delivery::Delivered { frames, delay_ticks } => {
+                    assert_eq!(frames, vec![frame()]);
+                    assert_eq!(delay_ticks, 0);
+                }
+                Delivery::Dropped => panic!("clean channel must deliver"),
+            }
+        }
+        assert_eq!(ch.stats().dropped, 0);
+        assert_eq!(ch.stats().attempts, 10);
+    }
+
+    #[test]
+    fn failed_nodes_always_drop_others_unaffected() {
+        let plan = FaultPlan::new(7).fail_nodes(&[1, 3]);
+        let mut ch = LossyChannel::new(&plan);
+        for attempt in 0..5 {
+            assert_eq!(ch.transmit(1, attempt, &frame()), Delivery::Dropped);
+            assert_eq!(ch.transmit(3, attempt, &frame()), Delivery::Dropped);
+            assert!(matches!(
+                ch.transmit(0, attempt, &frame()),
+                Delivery::Delivered { .. }
+            ));
+        }
+        assert_eq!(ch.stats().dropped, 10);
+    }
+
+    #[test]
+    fn deterministic_and_order_independent() {
+        let plan = FaultPlan::new(99)
+            .drop_rate(0.3)
+            .corrupt_rate(0.3)
+            .duplicate_rate(0.3)
+            .delay(0.3, 10);
+        // Same (node, attempt) → same outcome, regardless of what else the
+        // channel carried beforehand.
+        let mut a = LossyChannel::new(&plan);
+        let mut b = LossyChannel::new(&plan);
+        for noise in 0..17 {
+            b.transmit(noise, 9, &frame());
+        }
+        for node in 0..20 {
+            for attempt in 0..3 {
+                assert_eq!(
+                    a.transmit(node, attempt, &frame()),
+                    b.transmit(node, attempt, &frame()),
+                    "node {node} attempt {attempt}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rates_are_roughly_honored() {
+        let plan = FaultPlan::new(5).drop_rate(0.25);
+        let mut ch = LossyChannel::new(&plan);
+        let trials = 2000u64;
+        for node in 0..trials {
+            ch.transmit(node as usize, 0, &frame());
+        }
+        let dropped = ch.stats().dropped;
+        let expect = trials / 4;
+        assert!(
+            dropped > expect / 2 && dropped < expect * 2,
+            "dropped {dropped} of {trials} at rate 0.25"
+        );
+    }
+
+    #[test]
+    fn corruption_changes_bytes_but_not_length() {
+        let plan = FaultPlan::new(3).corrupt_rate(1.0);
+        let mut ch = LossyChannel::new(&plan);
+        let original = frame();
+        let mut changed = 0;
+        for node in 0..50 {
+            if let Delivery::Delivered { frames, .. } = ch.transmit(node, 0, &original) {
+                assert_eq!(frames[0].len(), original.len());
+                if frames[0] != original {
+                    changed += 1;
+                }
+            }
+        }
+        assert_eq!(changed, 50, "corrupt_rate 1.0 must mutate every frame");
+        assert_eq!(ch.stats().corrupted, 50);
+    }
+
+    #[test]
+    fn duplicates_carry_identical_bytes() {
+        let plan = FaultPlan::new(11).duplicate_rate(1.0);
+        let mut ch = LossyChannel::new(&plan);
+        match ch.transmit(0, 0, &frame()) {
+            Delivery::Delivered { frames, .. } => {
+                assert_eq!(frames.len(), 2);
+                assert_eq!(frames[0], frames[1]);
+            }
+            Delivery::Dropped => panic!("must deliver"),
+        }
+    }
+
+    #[test]
+    fn delays_bounded_by_max() {
+        let plan = FaultPlan::new(2).delay(1.0, 7);
+        let mut ch = LossyChannel::new(&plan);
+        for node in 0..50 {
+            if let Delivery::Delivered { delay_ticks, .. } = ch.transmit(node, 0, &frame()) {
+                assert!((1..=7).contains(&delay_ticks), "delay {delay_ticks}");
+            }
+        }
+        assert_eq!(ch.stats().delayed, 50);
+    }
+
+    #[test]
+    fn virtual_clock_never_sleeps() {
+        let mut clock = VirtualClock::new();
+        assert_eq!(clock.now(), 0);
+        clock.advance(5);
+        clock.advance(0);
+        clock.advance(100);
+        assert_eq!(clock.now(), 105);
+    }
+
+    #[test]
+    #[should_panic(expected = "drop_rate")]
+    fn out_of_range_rate_rejected() {
+        let _ = FaultPlan::new(1).drop_rate(1.5);
+    }
+}

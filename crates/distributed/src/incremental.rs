@@ -57,7 +57,7 @@ impl SketchAggregator {
         if self.node_sketches.contains_key(&node) {
             return Err(LinalgError::InvalidParameter {
                 name: "node",
-                message: "node id already registered",
+                message: "node id already registered".into(),
             });
         }
         self.y.add_assign(&sketch)?;
@@ -70,7 +70,7 @@ impl SketchAggregator {
     pub fn leave(&mut self, node: usize) -> Result<(), LinalgError> {
         let sketch = self.node_sketches.remove(&node).ok_or(LinalgError::InvalidParameter {
             name: "node",
-            message: "unknown node id",
+            message: "unknown node id".into(),
         })?;
         self.y = self.y.sub(&sketch)?;
         Ok(())
@@ -83,7 +83,7 @@ impl SketchAggregator {
         let dy = self.spec.measure_sparse(delta)?;
         let sketch = self.node_sketches.get_mut(&node).ok_or(LinalgError::InvalidParameter {
             name: "node",
-            message: "unknown node id",
+            message: "unknown node id".into(),
         })?;
         sketch.add_assign(&dy)?;
         self.y.add_assign(&dy)?;

@@ -21,11 +21,14 @@ pub mod all;
 pub mod cluster;
 pub mod cost;
 pub mod cs;
+pub mod degraded;
 pub mod dictionary;
+pub mod fault;
 pub mod incremental;
 pub mod kdelta;
 pub mod protocol;
 pub mod quantize;
+pub mod retry;
 pub mod ta;
 pub mod topology;
 pub mod tput;
@@ -38,11 +41,14 @@ pub use cost::{
     VALUE_BITS,
 };
 pub use cs::CsProtocol;
+pub use degraded::{DegradedRun, Offer, SketchCollector};
 pub use dictionary::KeyDictionary;
+pub use fault::{Delivery, FaultPlan, FaultStats, LossyChannel, VirtualClock};
 pub use incremental::SketchAggregator;
 pub use kdelta::KDeltaProtocol;
 pub use protocol::{OutlierProtocol, ProtocolRun};
 pub use quantize::{decode as decode_sketch, encode as encode_sketch, SketchEncoding};
+pub use retry::RetryPolicy;
 pub use ta::TaProtocol;
 pub use topology::{AggregationTree, TreeNode};
 pub use tput::TputProtocol;

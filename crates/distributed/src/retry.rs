@@ -1,0 +1,153 @@
+//! Retransmission policy for the lossy transport.
+//!
+//! Pure arithmetic over the virtual clock of [`crate::fault`]: a
+//! [`RetryPolicy`] decides how many times a node retransmits, how long it
+//! backs off between attempts (exponential with bounded, deterministic
+//! jitter), and when the aggregator stops waiting for a node altogether.
+//! Nothing here sleeps; schedules are integer ticks, so policy behaviour is
+//! exactly testable.
+
+use cso_linalg::random::derive_seed;
+
+/// When a node's transmission should be retried and when it should be
+/// abandoned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total transmission attempts per node (1 = never retransmit).
+    pub max_attempts: u32,
+    /// Backoff before the first retransmission, in virtual ticks.
+    pub base_backoff_ticks: u64,
+    /// Ceiling on a single backoff interval.
+    pub max_backoff_ticks: u64,
+    /// Seed for the deterministic backoff jitter.
+    pub jitter_seed: u64,
+    /// Per-node deadline: once a node's elapsed virtual time passes this,
+    /// the aggregator gives up on it (it joins the dropped set).
+    pub timeout_ticks: u64,
+}
+
+impl Default for RetryPolicy {
+    /// Sensible defaults: 4 attempts, backoff 2·2^i ticks capped at 16,
+    /// 64-tick node deadline.
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff_ticks: 2,
+            max_backoff_ticks: 16,
+            jitter_seed: 0x5EED,
+            timeout_ticks: 64,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retransmits (one attempt, generous deadline).
+    pub fn no_retry() -> Self {
+        RetryPolicy { max_attempts: 1, ..RetryPolicy::default() }
+    }
+
+    /// Overrides the attempt budget.
+    pub fn with_max_attempts(mut self, attempts: u32) -> Self {
+        assert!(attempts >= 1, "at least one attempt is required");
+        self.max_attempts = attempts;
+        self
+    }
+
+    /// Overrides the per-node deadline.
+    pub fn with_timeout_ticks(mut self, ticks: u64) -> Self {
+        self.timeout_ticks = ticks;
+        self
+    }
+
+    /// Backoff in ticks before retransmission number `retry` (1-based: the
+    /// wait between attempt `retry-1` and attempt `retry`) from `node`.
+    /// Exponential — `base · 2^(retry-1)` capped at `max_backoff_ticks` —
+    /// plus a deterministic jitter in `[0, base]` derived from
+    /// `(jitter_seed, node, retry)` so simultaneous retransmitters
+    /// desynchronize reproducibly.
+    pub fn backoff_ticks(&self, node: usize, retry: u32) -> u64 {
+        assert!(retry >= 1, "retry is 1-based");
+        let exp = self
+            .base_backoff_ticks
+            .saturating_mul(1u64 << (retry - 1).min(32))
+            .min(self.max_backoff_ticks);
+        let jitter = if self.base_backoff_ticks == 0 {
+            0
+        } else {
+            derive_seed(self.jitter_seed, derive_seed(node as u64, retry as u64))
+                % (self.base_backoff_ticks + 1)
+        };
+        exp + jitter
+    }
+
+    /// True when `elapsed_ticks` of virtual time has passed the node
+    /// deadline.
+    pub fn timed_out(&self, elapsed_ticks: u64) -> bool {
+        elapsed_ticks > self.timeout_ticks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_exponentially_up_to_cap() {
+        let p = RetryPolicy {
+            base_backoff_ticks: 2,
+            max_backoff_ticks: 16,
+            jitter_seed: 1,
+            ..RetryPolicy::default()
+        };
+        // Strip jitter by comparing lower bounds: attempt i waits at least
+        // base·2^(i-1), capped.
+        for retry in 1..8u32 {
+            let b = p.backoff_ticks(0, retry);
+            let floor = (2u64 << (retry - 1)).min(16);
+            assert!(b >= floor, "retry {retry}: {b} < {floor}");
+            assert!(b <= 16 + 2, "retry {retry}: {b} exceeds cap + jitter");
+        }
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_desynchronizes_nodes() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff_ticks(3, 2), p.backoff_ticks(3, 2));
+        // Across many nodes the same retry number must not always produce
+        // one identical wait (that is the thundering herd jitter prevents).
+        let waits: std::collections::BTreeSet<u64> =
+            (0..32).map(|node| p.backoff_ticks(node, 1)).collect();
+        assert!(waits.len() > 1, "all nodes backed off identically: {waits:?}");
+    }
+
+    #[test]
+    fn zero_base_means_no_jitter() {
+        let p = RetryPolicy {
+            base_backoff_ticks: 0,
+            max_backoff_ticks: 0,
+            ..RetryPolicy::default()
+        };
+        for retry in 1..5 {
+            assert_eq!(p.backoff_ticks(0, retry), 0);
+        }
+    }
+
+    #[test]
+    fn timeout_is_a_strict_threshold() {
+        let p = RetryPolicy::default().with_timeout_ticks(10);
+        assert!(!p.timed_out(0));
+        assert!(!p.timed_out(10));
+        assert!(p.timed_out(11));
+    }
+
+    #[test]
+    fn no_retry_uses_single_attempt() {
+        assert_eq!(RetryPolicy::no_retry().max_attempts, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one attempt")]
+    fn zero_attempts_rejected() {
+        let _ = RetryPolicy::default().with_max_attempts(0);
+    }
+}

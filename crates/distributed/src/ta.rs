@@ -45,13 +45,13 @@ impl TaProtocol {
     /// aggregation over non-negative contributions) or `k == 0`.
     pub fn run_topk(&self, cluster: &Cluster, k: usize) -> Result<TaRun, LinalgError> {
         if k == 0 {
-            return Err(LinalgError::InvalidParameter { name: "k", message: "k must be >= 1" });
+            return Err(LinalgError::InvalidParameter { name: "k", message: "k must be >= 1".into() });
         }
         for l in 0..cluster.l() {
             if cluster.slice(l).iter().any(|&v| v < 0.0) {
                 return Err(LinalgError::InvalidParameter {
                     name: "slice",
-                    message: "TA requires non-negative values (see Section 7.1)",
+                    message: "TA requires non-negative values (see Section 7.1)".into(),
                 });
             }
         }

@@ -83,7 +83,7 @@ impl AggregationTree {
         if matches!(root, TreeNode::Leaf { .. }) {
             return Err(LinalgError::InvalidParameter {
                 name: "root",
-                message: "the root must be an aggregator hub",
+                message: "the root must be an aggregator hub".into(),
             });
         }
         let mut leaves = Vec::new();
@@ -94,7 +94,7 @@ impl AggregationTree {
         if sorted.len() != leaves.len() {
             return Err(LinalgError::InvalidParameter {
                 name: "root",
-                message: "a cluster node appears more than once",
+                message: "a cluster node appears more than once".into(),
             });
         }
         if sorted.len() != expected_nodes
@@ -103,7 +103,7 @@ impl AggregationTree {
         {
             return Err(LinalgError::InvalidParameter {
                 name: "root",
-                message: "leaves must cover cluster nodes 0..L exactly",
+                message: "leaves must cover cluster nodes 0..L exactly".into(),
             });
         }
         Ok(AggregationTree { root })
@@ -119,7 +119,7 @@ impl AggregationTree {
         if group == 0 {
             return Err(LinalgError::InvalidParameter {
                 name: "group",
-                message: "group size must be positive",
+                message: "group size must be positive".into(),
             });
         }
         let hubs: Vec<TreeNode> = (0..l)
@@ -173,7 +173,7 @@ impl AggregationTree {
                 .cloned()
                 .ok_or(LinalgError::InvalidParameter {
                     name: "sketches",
-                    message: "missing sketch for a leaf node",
+                    message: "missing sketch for a leaf node".into(),
                 }),
             TreeNode::Hub { children } => {
                 let mut acc = Vector::zeros(spec.m);

@@ -44,14 +44,14 @@ impl TputProtocol {
     /// negative values or `k == 0`.
     pub fn run_topk(&self, cluster: &Cluster, k: usize) -> Result<TputRun, LinalgError> {
         if k == 0 {
-            return Err(LinalgError::InvalidParameter { name: "k", message: "k must be >= 1" });
+            return Err(LinalgError::InvalidParameter { name: "k", message: "k must be >= 1".into() });
         }
         let l = cluster.l();
         for node in 0..l {
             if cluster.slice(node).iter().any(|&v| v < 0.0) {
                 return Err(LinalgError::InvalidParameter {
                     name: "slice",
-                    message: "TPUT requires non-negative values (see Section 7.1)",
+                    message: "TPUT requires non-negative values (see Section 7.1)".into(),
                 });
             }
         }

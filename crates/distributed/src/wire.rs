@@ -6,23 +6,59 @@
 //! Tests cross-check the encoded byte counts against the abstract
 //! accounting, so the normalized-cost figures rest on real byte layouts.
 //!
+//! Every frame carries a CRC-32 trailer over the body. [`decode`] verifies
+//! the checksum *before* touching the body, so a corrupted length field or
+//! flipped payload bit is rejected outright instead of producing a garbage
+//! sketch — the integrity property the fault-injection harness
+//! ([`crate::fault`]) leans on.
+//!
 //! Layout (all integers little-endian):
 //!
 //! ```text
-//! [0]    u8   message tag (1 = sketch, 2 = kv batch, 3 = mode broadcast)
-//! [1]    u8   format version (currently 1)
-//! ...         tag-specific body
+//! [0]        u8   message tag (1 = sketch, 2 = kv batch, 3 = mode broadcast)
+//! [1]        u8   format version (currently 2)
+//! ...             tag-specific body
+//! [len-4..]  u32  CRC-32 (IEEE) over bytes [0, len-4)
 //! ```
 
 use crate::quantize::{EncodedSketch, SketchEncoding};
 use std::fmt;
 
-/// Current format version.
-pub const WIRE_VERSION: u8 = 1;
+/// Current format version. Version 2 added the CRC-32 trailer.
+pub const WIRE_VERSION: u8 = 2;
+
+/// Bytes of the CRC-32 trailer appended to every frame.
+pub const CHECKSUM_BYTES: usize = 4;
 
 const TAG_SKETCH: u8 = 1;
 const TAG_KV_BATCH: u8 = 2;
 const TAG_MODE: u8 = 3;
+
+/// IEEE CRC-32 lookup table (reflected, polynomial `0xEDB88320`).
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            bit += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// IEEE CRC-32 of `bytes` (the common zlib/Ethernet variant).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
 
 /// A message a node or the aggregator puts on the wire.
 #[derive(Debug, Clone, PartialEq)]
@@ -57,20 +93,39 @@ pub enum WireError {
     /// The buffer ended before the message did.
     Truncated,
     /// Unknown message tag.
-    BadTag(u8),
-    /// Unsupported format version.
-    BadVersion(u8),
+    UnknownTag(u8),
+    /// The frame's format version differs from the one this decoder speaks.
+    VersionMismatch {
+        /// Version byte found in the frame.
+        got: u8,
+        /// Version this decoder implements.
+        want: u8,
+    },
     /// Unknown sketch-encoding discriminant.
     BadEncoding(u8),
+    /// The CRC-32 trailer disagrees with the body — the frame was corrupted
+    /// in flight.
+    ChecksumMismatch {
+        /// Checksum carried in the trailer.
+        stored: u32,
+        /// Checksum computed over the received body.
+        computed: u32,
+    },
 }
 
 impl fmt::Display for WireError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             WireError::Truncated => write!(f, "message truncated"),
-            WireError::BadTag(t) => write!(f, "unknown message tag {t}"),
-            WireError::BadVersion(v) => write!(f, "unsupported wire version {v}"),
+            WireError::UnknownTag(t) => write!(f, "unknown message tag {t}"),
+            WireError::VersionMismatch { got, want } => {
+                write!(f, "wire version mismatch: frame says {got}, decoder speaks {want}")
+            }
             WireError::BadEncoding(e) => write!(f, "unknown sketch encoding {e}"),
+            WireError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "checksum mismatch: frame carries {stored:#010x}, body hashes to {computed:#010x}"
+            ),
         }
     }
 }
@@ -140,9 +195,20 @@ impl<'a> Reader<'a> {
     fn i16(&mut self) -> Result<i16, WireError> {
         Ok(i16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
     }
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
     fn finished(&self) -> bool {
         self.pos == self.buf.len()
     }
+}
+
+/// Caps an element count declared by a length field to what the rest of the
+/// buffer could actually hold, so a corrupt count can never drive a huge
+/// allocation (the checksum rejects such frames, but `decode` stays safe on
+/// arbitrary bytes regardless).
+fn capped(declared: usize, remaining_bytes: usize, elem_bytes: usize) -> usize {
+    declared.min(remaining_bytes / elem_bytes.max(1))
 }
 
 fn encoding_tag(e: SketchEncoding) -> u8 {
@@ -153,7 +219,7 @@ fn encoding_tag(e: SketchEncoding) -> u8 {
     }
 }
 
-/// Serializes a message.
+/// Serializes a message, sealing it with the CRC-32 trailer.
 pub fn encode(msg: &Message) -> Vec<u8> {
     let mut w = Writer::new();
     match msg {
@@ -189,16 +255,31 @@ pub fn encode(msg: &Message) -> Vec<u8> {
             w.f64(*mode);
         }
     }
+    let sum = crc32(&w.buf);
+    w.u32(sum);
     w.buf
 }
 
-/// Deserializes a message, requiring the buffer to contain exactly one.
+/// Deserializes a message, requiring the buffer to contain exactly one
+/// checksum-sealed frame. The CRC is verified before any of the body is
+/// interpreted.
 pub fn decode(buf: &[u8]) -> Result<Message, WireError> {
-    let mut r = Reader::new(buf);
+    // Smallest legal frame: tag + version + CRC trailer.
+    if buf.len() < 2 + CHECKSUM_BYTES {
+        return Err(WireError::Truncated);
+    }
+    let (body, trailer) = buf.split_at(buf.len() - CHECKSUM_BYTES);
+    let stored = u32::from_le_bytes(trailer.try_into().expect("4 bytes"));
+    let computed = crc32(body);
+    if stored != computed {
+        return Err(WireError::ChecksumMismatch { stored, computed });
+    }
+
+    let mut r = Reader::new(body);
     let tag = r.u8()?;
     let version = r.u8()?;
     if version != WIRE_VERSION {
-        return Err(WireError::BadVersion(version));
+        return Err(WireError::VersionMismatch { got: version, want: WIRE_VERSION });
     }
     let msg = match tag {
         TAG_SKETCH => {
@@ -208,14 +289,14 @@ pub fn decode(buf: &[u8]) -> Result<Message, WireError> {
             let len = r.u32()? as usize;
             let payload = match enc {
                 0 => {
-                    let mut v = Vec::with_capacity(len);
+                    let mut v = Vec::with_capacity(capped(len, r.remaining(), 8));
                     for _ in 0..len {
                         v.push(r.f64()?);
                     }
                     EncodedSketch::F64(v)
                 }
                 1 => {
-                    let mut v = Vec::with_capacity(len);
+                    let mut v = Vec::with_capacity(capped(len, r.remaining(), 4));
                     for _ in 0..len {
                         v.push(r.f32()?);
                     }
@@ -223,7 +304,7 @@ pub fn decode(buf: &[u8]) -> Result<Message, WireError> {
                 }
                 2 => {
                     let scale = r.f64()?;
-                    let mut values = Vec::with_capacity(len);
+                    let mut values = Vec::with_capacity(capped(len, r.remaining(), 2));
                     for _ in 0..len {
                         values.push(r.i16()?);
                     }
@@ -236,7 +317,7 @@ pub fn decode(buf: &[u8]) -> Result<Message, WireError> {
         TAG_KV_BATCH => {
             let node = r.u32()?;
             let len = r.u32()? as usize;
-            let mut pairs = Vec::with_capacity(len);
+            let mut pairs = Vec::with_capacity(capped(len, r.remaining(), 12));
             for _ in 0..len {
                 let k = r.u32()?;
                 let v = r.f64()?;
@@ -245,7 +326,7 @@ pub fn decode(buf: &[u8]) -> Result<Message, WireError> {
             Message::KvBatch { node, pairs }
         }
         TAG_MODE => Message::ModeBroadcast { mode: r.f64()? },
-        other => return Err(WireError::BadTag(other)),
+        other => return Err(WireError::UnknownTag(other)),
     };
     if !r.finished() {
         return Err(WireError::Truncated); // trailing garbage = framing bug
@@ -263,6 +344,22 @@ mod tests {
     fn sketch_msg(encoding: SketchEncoding) -> Message {
         let y = Vector::from_vec(vec![1.0, -2.5, 3e7, 0.0]);
         Message::Sketch { node: 3, seed: 99, payload: quantize::encode(&y, encoding) }
+    }
+
+    /// Recomputes the trailer after a test deliberately edits the body, so
+    /// the edit reaches the parser instead of tripping the checksum.
+    fn reseal(buf: &mut Vec<u8>) {
+        let body_len = buf.len() - CHECKSUM_BYTES;
+        let sum = crc32(&buf[..body_len]);
+        buf.truncate(body_len);
+        buf.extend_from_slice(&sum.to_le_bytes());
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The standard IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
     }
 
     #[test]
@@ -292,28 +389,37 @@ mod tests {
     #[test]
     fn sketch_payload_matches_cost_accounting() {
         // The abstract meter charges 64 bits per sketch value; the real
-        // f64 payload is exactly that plus a fixed 18-byte header.
+        // f64 payload is exactly that plus fixed header + CRC trailer.
         let m = 4;
         let bytes = encode(&sketch_msg(SketchEncoding::F64)).len() as u64;
         let header = 1 + 1 + 4 + 8 + 1 + 4; // tag, ver, node, seed, enc, len
-        assert_eq!(bytes, header + m * VALUE_BITS / 8);
+        assert_eq!(bytes, header + m * VALUE_BITS / 8 + CHECKSUM_BYTES as u64);
     }
 
     #[test]
     fn kv_payload_matches_cost_accounting() {
-        // 96 bits per pair (32-bit key id + 64-bit value), plus header.
+        // 96 bits per pair (32-bit key id + 64-bit value), plus framing.
         let pairs = 3u64;
         let msg = Message::KvBatch { node: 1, pairs: vec![(1, 1.0), (2, 2.0), (3, 3.0)] };
         let bytes = encode(&msg).len() as u64;
         let header = 1 + 1 + 4 + 4;
-        assert_eq!(bytes, header + pairs * KV_PAIR_BITS / 8);
+        assert_eq!(bytes, header + pairs * KV_PAIR_BITS / 8 + CHECKSUM_BYTES as u64);
     }
 
     #[test]
     fn truncated_buffers_rejected() {
+        // Too short to even hold the trailer → Truncated; cut mid-frame the
+        // trailer no longer matches the remaining body → ChecksumMismatch.
+        // Either way no bytes are ever interpreted as a message.
         let full = encode(&sketch_msg(SketchEncoding::F64));
-        for cut in [0usize, 1, 5, full.len() - 1] {
+        for cut in [0usize, 1, 5] {
             assert_eq!(decode(&full[..cut]), Err(WireError::Truncated), "cut = {cut}");
+        }
+        for cut in [7usize, full.len() - 1] {
+            assert!(
+                matches!(decode(&full[..cut]), Err(WireError::ChecksumMismatch { .. })),
+                "cut = {cut}"
+            );
         }
     }
 
@@ -321,27 +427,79 @@ mod tests {
     fn trailing_garbage_rejected() {
         let mut buf = encode(&Message::ModeBroadcast { mode: 1.0 });
         buf.push(0);
+        reseal(&mut buf);
         assert_eq!(decode(&buf), Err(WireError::Truncated));
     }
 
     #[test]
-    fn bad_tag_version_encoding_rejected() {
+    fn every_flipped_bit_is_caught() {
+        // CRC-32 detects all single-bit errors: flip each bit of a frame in
+        // turn and the decoder must reject every variant (checksum first,
+        // or Truncated/parse errors never yielding a wrong message).
+        let good = encode(&sketch_msg(SketchEncoding::Fixed16));
+        let original = decode(&good).unwrap();
+        for byte in 0..good.len() {
+            for bit in 0..8 {
+                let mut bad = good.clone();
+                bad[byte] ^= 1 << bit;
+                assert_ne!(
+                    decode(&bad).ok(),
+                    Some(original.clone()),
+                    "flip at byte {byte} bit {bit} silently accepted"
+                );
+                assert!(
+                    matches!(decode(&bad), Err(WireError::ChecksumMismatch { .. })),
+                    "flip at byte {byte} bit {bit} not caught by the checksum"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_tag_round_trip() {
         let mut buf = encode(&Message::ModeBroadcast { mode: 1.0 });
         buf[0] = 99;
-        assert_eq!(decode(&buf), Err(WireError::BadTag(99)));
+        reseal(&mut buf);
+        assert_eq!(decode(&buf), Err(WireError::UnknownTag(99)));
+    }
 
+    #[test]
+    fn version_mismatch_round_trip() {
         let mut buf = encode(&Message::ModeBroadcast { mode: 1.0 });
         buf[1] = 9;
-        assert_eq!(decode(&buf), Err(WireError::BadVersion(9)));
+        reseal(&mut buf);
+        assert_eq!(
+            decode(&buf),
+            Err(WireError::VersionMismatch { got: 9, want: WIRE_VERSION })
+        );
+    }
 
+    #[test]
+    fn bad_encoding_rejected() {
         let mut buf = encode(&sketch_msg(SketchEncoding::F64));
         buf[14] = 7; // encoding byte (after tag, ver, node, seed)
+        reseal(&mut buf);
         assert_eq!(decode(&buf), Err(WireError::BadEncoding(7)));
+    }
+
+    #[test]
+    fn corrupt_length_field_cannot_drive_allocation() {
+        // Declare u32::MAX elements: the checksum rejects the frame, and
+        // even a resealed frame parses within the buffer's actual bytes.
+        let mut buf = encode(&sketch_msg(SketchEncoding::F64));
+        buf[15..19].copy_from_slice(&u32::MAX.to_le_bytes()); // len field
+        assert!(matches!(decode(&buf), Err(WireError::ChecksumMismatch { .. })));
+        reseal(&mut buf);
+        assert_eq!(decode(&buf), Err(WireError::Truncated));
     }
 
     #[test]
     fn error_display() {
         assert!(WireError::Truncated.to_string().contains("truncated"));
-        assert!(WireError::BadTag(5).to_string().contains('5'));
+        assert!(WireError::UnknownTag(5).to_string().contains('5'));
+        assert!(WireError::VersionMismatch { got: 9, want: 2 }.to_string().contains('9'));
+        assert!(WireError::ChecksumMismatch { stored: 1, computed: 2 }
+            .to_string()
+            .contains("checksum"));
     }
 }

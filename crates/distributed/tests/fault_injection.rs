@@ -1,0 +1,143 @@
+//! Heavier fault-injection sweeps, gated behind the `fault-injection`
+//! feature so the default test run stays fast:
+//!
+//! ```text
+//! cargo test -q -p cso-distributed --features fault-injection
+//! ```
+//!
+//! These sweep drop/corruption rates and many seeds, checking the
+//! degraded-mode invariants hold everywhere: recovery always equals the
+//! clean protocol on the surviving subset, corrupt frames never decode,
+//! and every transmitted byte is accounted for.
+
+#![cfg(feature = "fault-injection")]
+
+use cso_core::BompConfig;
+use cso_distributed::{
+    Cluster, CsProtocol, FaultPlan, OutlierProtocol, RetryPolicy, SketchEncoding,
+};
+use cso_workloads::{split, MajorityConfig, MajorityData, SliceStrategy};
+
+fn cluster_of(l: usize, seed: u64) -> Cluster {
+    let data = MajorityData::generate(
+        &MajorityConfig { n: 300, s: 6, ..MajorityConfig::default() },
+        seed,
+    )
+    .unwrap();
+    let slices = split(&data.values, l, SliceStrategy::RandomProportions, seed + 1).unwrap();
+    Cluster::new(slices).unwrap()
+}
+
+fn proto() -> CsProtocol {
+    CsProtocol::new(90, 7).with_recovery(BompConfig::for_k_outliers(6))
+}
+
+/// Across a grid of loss/corruption rates and seeds, a degraded run must be
+/// *exactly* the clean protocol restricted to its surviving subset — faults
+/// may shrink the subset, never distort the recovery.
+#[test]
+fn degraded_recovery_equals_clean_run_on_survivors_across_sweep() {
+    let cluster = cluster_of(8, 11);
+    let p = proto();
+    let policy = RetryPolicy::default().with_timeout_ticks(10_000);
+    for &drop in &[0.0, 0.1, 0.3, 0.5] {
+        for &corrupt in &[0.0, 0.05, 0.2] {
+            for plan_seed in 0..5u64 {
+                let plan = FaultPlan::new(plan_seed).drop_rate(drop).corrupt_rate(corrupt);
+                let Ok(deg) =
+                    p.run_degraded(&cluster, 6, SketchEncoding::F64, &plan, &policy)
+                else {
+                    // Legal only when nobody survived.
+                    continue;
+                };
+                let surviving: Vec<Vec<f64>> = deg
+                    .surviving_nodes
+                    .iter()
+                    .map(|&l| cluster.slice(l).to_vec())
+                    .collect();
+                let clean = p.run(&Cluster::new(surviving).unwrap(), 6).unwrap();
+                assert_eq!(
+                    deg.run.estimate, clean.estimate,
+                    "drop {drop} corrupt {corrupt} seed {plan_seed}"
+                );
+                assert!((deg.run.mode - clean.mode).abs() < 1e-9);
+                // Zero garbage decodes: every injected corruption was
+                // rejected by the checksum.
+                assert_eq!(deg.corrupt_rejected, deg.fault_stats.corrupted);
+            }
+        }
+    }
+}
+
+/// Byte accounting is exact under every fault regime: cost equals frames
+/// actually sent times the fixed frame size.
+#[test]
+fn every_transmitted_byte_is_charged() {
+    let cluster = cluster_of(6, 3);
+    let p = proto();
+    let frame_bytes = (1 + 1 + 4 + 8 + 1 + 4 + 8 * p.m + 4) as u64;
+    let policy = RetryPolicy::default().with_timeout_ticks(10_000);
+    for plan_seed in 0..10u64 {
+        let plan = FaultPlan::new(plan_seed)
+            .drop_rate(0.3)
+            .corrupt_rate(0.1)
+            .duplicate_rate(0.2);
+        let Ok(deg) = p.run_degraded(&cluster, 6, SketchEncoding::F64, &plan, &policy) else {
+            continue;
+        };
+        assert_eq!(
+            deg.run.cost.bits,
+            deg.fault_stats.attempts * frame_bytes * 8,
+            "seed {plan_seed}"
+        );
+        assert_eq!(
+            deg.fault_stats.attempts,
+            cluster.l() as u64 + deg.retransmissions,
+            "seed {plan_seed}"
+        );
+    }
+}
+
+/// More retries monotonically (weakly) improve survival under pure loss.
+#[test]
+fn retry_budget_improves_survival() {
+    let cluster = cluster_of(8, 21);
+    let p = proto();
+    let plan = FaultPlan::new(9).drop_rate(0.5);
+    let mut survivors_by_budget = Vec::new();
+    for attempts in [1u32, 2, 4, 8] {
+        let policy = RetryPolicy::default()
+            .with_max_attempts(attempts)
+            .with_timeout_ticks(100_000);
+        let survived = match p.run_degraded(&cluster, 6, SketchEncoding::F64, &plan, &policy) {
+            Ok(deg) => deg.surviving_nodes.len(),
+            Err(_) => 0,
+        };
+        survivors_by_budget.push(survived);
+    }
+    assert!(
+        survivors_by_budget.windows(2).all(|w| w[0] <= w[1]),
+        "more attempts must never lose nodes: {survivors_by_budget:?}"
+    );
+    assert_eq!(
+        *survivors_by_budget.last().unwrap(),
+        cluster.l(),
+        "8 attempts at 50% loss leaves survival gaps only with ~0.4% probability per node"
+    );
+}
+
+/// Hard-failed nodes never survive, whatever the retry budget; surviving
+/// fraction reports exactly the planned survivors.
+#[test]
+fn hard_failures_are_immune_to_retries() {
+    let cluster = cluster_of(10, 5);
+    let p = proto();
+    let plan = FaultPlan::new(1).fail_nodes(&[0, 4, 9]);
+    let policy = RetryPolicy::default().with_max_attempts(10).with_timeout_ticks(100_000);
+    let deg = p
+        .run_degraded(&cluster, 6, SketchEncoding::F64, &plan, &policy)
+        .unwrap();
+    assert_eq!(deg.dropped_nodes, vec![0, 4, 9]);
+    assert!((deg.surviving_fraction() - 0.7).abs() < 1e-12);
+    assert_eq!(deg.retransmissions, 3 * 9, "each dead node exhausts its 9 retries");
+}

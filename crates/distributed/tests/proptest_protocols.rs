@@ -4,10 +4,14 @@
 use cso_distributed::quantize::{self, SketchEncoding};
 use cso_distributed::wire::{self, Message};
 use cso_distributed::{
-    all_vectorized_cost, cs_cost, Cluster, CostMeter, TaProtocol, TputProtocol,
+    all_vectorized_cost, cs_cost, Cluster, CostMeter, Offer, SketchCollector, TaProtocol,
+    TputProtocol,
 };
 use cso_linalg::Vector;
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
@@ -97,6 +101,56 @@ proptest! {
         let cs = cs_cost(l, m);
         let expect = m as f64 / n as f64;
         prop_assert!((cs.normalized_to(&all) - expect).abs() < 1e-12);
+    }
+
+    /// The aggregator's partial sum is invariant (up to floating-point
+    /// reassociation) under any permutation of arriving sketches, and
+    /// offering duplicates is exactly idempotent: the sum is bit-for-bit
+    /// unchanged and each duplicate is reported as such.
+    #[test]
+    fn collector_permutation_invariant_and_duplicate_idempotent(
+        sketches in prop::collection::vec(prop::collection::vec(-1e6f64..1e6, 6..7), 1..8),
+        perm_seed in 0u64..u64::MAX,
+        dup_picks in prop::collection::vec(0usize..64, 0..12),
+    ) {
+        let m = 6;
+        let seed = 42u64;
+
+        // Arrival order A: node id order.
+        let mut in_order = SketchCollector::new(m);
+        for (node, s) in sketches.iter().enumerate() {
+            let r = in_order.offer(node as u32, seed, &Vector::from_vec(s.clone())).unwrap();
+            prop_assert_eq!(r, Offer::Accepted);
+        }
+
+        // Arrival order B: a random permutation of the same sketches.
+        let mut order: Vec<usize> = (0..sketches.len()).collect();
+        order.shuffle(&mut StdRng::seed_from_u64(perm_seed));
+        let mut permuted = SketchCollector::new(m);
+        for &node in &order {
+            permuted
+                .offer(node as u32, seed, &Vector::from_vec(sketches[node].clone()))
+                .unwrap();
+        }
+        prop_assert_eq!(in_order.nodes(), permuted.nodes());
+        for (a, b) in in_order.sum().as_slice().iter().zip(permuted.sum().as_slice()) {
+            // Summation order differs, so allow reassociation slack only.
+            prop_assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0), "{a} vs {b}");
+        }
+
+        // Replaying any sketches (retransmits / network duplicates) must
+        // leave the aggregate bit-for-bit untouched.
+        let snapshot = permuted.sum().as_slice().to_vec();
+        for &pick in &dup_picks {
+            let node = pick % sketches.len();
+            let r = permuted
+                .offer(node as u32, seed, &Vector::from_vec(sketches[node].clone()))
+                .unwrap();
+            prop_assert_eq!(r, Offer::Duplicate);
+        }
+        prop_assert_eq!(permuted.sum().as_slice(), snapshot.as_slice());
+        prop_assert_eq!(permuted.duplicates_ignored(), dup_picks.len() as u64);
+        prop_assert_eq!(permuted.len(), sketches.len());
     }
 
     /// TA and TPUT agree with the exact aggregate top-k on random

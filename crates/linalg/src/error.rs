@@ -1,5 +1,6 @@
 //! Error types for linear-algebra operations.
 
+use std::borrow::Cow;
 use std::fmt;
 
 /// Errors produced by `cso-linalg` operations.
@@ -41,8 +42,10 @@ pub enum LinalgError {
     InvalidParameter {
         /// Name of the offending parameter.
         name: &'static str,
-        /// Description of the constraint that was violated.
-        message: &'static str,
+        /// Description of the constraint that was violated. Borrowed for
+        /// the common static case; owned when the message carries runtime
+        /// detail (e.g. which node's slice disagreed).
+        message: Cow<'static, str>,
     },
 }
 
@@ -110,7 +113,7 @@ mod tests {
 
     #[test]
     fn display_invalid_parameter() {
-        let e = LinalgError::InvalidParameter { name: "rho", message: "must be positive" };
+        let e = LinalgError::InvalidParameter { name: "rho", message: "must be positive".into() };
         let s = e.to_string();
         assert!(s.contains("rho") && s.contains("positive"));
     }

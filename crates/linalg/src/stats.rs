@@ -35,7 +35,7 @@ pub fn quantile(data: &[f64], q: f64) -> Result<f64> {
     if !(0.0..=1.0).contains(&q) {
         return Err(LinalgError::InvalidParameter {
             name: "q",
-            message: "quantile must lie in [0, 1]",
+            message: "quantile must lie in [0, 1]".into(),
         });
     }
     let mut sorted = data.to_vec();
@@ -58,7 +58,7 @@ pub fn histogram_mode(data: &[f64], bin: f64) -> Result<f64> {
     if bin <= 0.0 || !bin.is_finite() {
         return Err(LinalgError::InvalidParameter {
             name: "bin",
-            message: "bin width must be positive and finite",
+            message: "bin width must be positive and finite".into(),
         });
     }
     use std::collections::HashMap;

@@ -190,19 +190,19 @@ impl ClickLogData {
         if config.keys == 0 || config.data_centers == 0 {
             return Err(LinalgError::InvalidParameter {
                 name: "keys/data_centers",
-                message: "must be positive",
+                message: "must be positive".into(),
             });
         }
         if config.outliers * 2 >= config.keys {
             return Err(LinalgError::InvalidParameter {
                 name: "outliers",
-                message: "need s < N/2 for a majority-dominated aggregate",
+                message: "need s < N/2 for a majority-dominated aggregate".into(),
             });
         }
         if config.outlier_min_dev <= 0.0 || config.outlier_max_dev < config.outlier_min_dev {
             return Err(LinalgError::InvalidParameter {
                 name: "outlier_dev",
-                message: "need 0 < min <= max",
+                message: "need 0 < min <= max".into(),
             });
         }
 

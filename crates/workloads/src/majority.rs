@@ -53,18 +53,18 @@ impl MajorityData {
     /// the deviation range is empty/invalid.
     pub fn generate(config: &MajorityConfig, seed: u64) -> Result<Self, LinalgError> {
         if config.n == 0 {
-            return Err(LinalgError::InvalidParameter { name: "n", message: "must be positive" });
+            return Err(LinalgError::InvalidParameter { name: "n", message: "must be positive".into() });
         }
         if config.s * 2 >= config.n {
             return Err(LinalgError::InvalidParameter {
                 name: "s",
-                message: "majority domination requires s < n/2",
+                message: "majority domination requires s < n/2".into(),
             });
         }
         if !(config.min_deviation > 0.0 && config.max_deviation >= config.min_deviation) {
             return Err(LinalgError::InvalidParameter {
                 name: "deviation",
-                message: "need 0 < min_deviation <= max_deviation",
+                message: "need 0 < min_deviation <= max_deviation".into(),
             });
         }
         let mut rng = stream_rng(seed, 0);

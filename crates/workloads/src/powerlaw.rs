@@ -49,18 +49,18 @@ impl PowerLawData {
     /// `n`, `alpha` or `x_min`.
     pub fn generate(config: &PowerLawConfig, seed: u64) -> Result<Self, LinalgError> {
         if config.n == 0 {
-            return Err(LinalgError::InvalidParameter { name: "n", message: "must be positive" });
+            return Err(LinalgError::InvalidParameter { name: "n", message: "must be positive".into() });
         }
         if config.alpha <= 0.0 || !config.alpha.is_finite() {
             return Err(LinalgError::InvalidParameter {
                 name: "alpha",
-                message: "must be positive and finite",
+                message: "must be positive and finite".into(),
             });
         }
         if config.x_min <= 0.0 || !config.x_min.is_finite() {
             return Err(LinalgError::InvalidParameter {
                 name: "x_min",
-                message: "must be positive and finite",
+                message: "must be positive and finite".into(),
             });
         }
         let mut rng = stream_rng(seed, 0);

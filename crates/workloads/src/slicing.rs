@@ -45,7 +45,7 @@ pub fn split(
     seed: u64,
 ) -> Result<Vec<Vec<f64>>, LinalgError> {
     if l == 0 {
-        return Err(LinalgError::InvalidParameter { name: "l", message: "need at least one node" });
+        return Err(LinalgError::InvalidParameter { name: "l", message: "need at least one node".into() });
     }
     if x.is_empty() {
         return Err(LinalgError::Empty { op: "split" });
@@ -80,13 +80,13 @@ pub fn split(
             if !(0.0..=1.0).contains(&fraction) {
                 return Err(LinalgError::InvalidParameter {
                     name: "fraction",
-                    message: "must lie in [0, 1]",
+                    message: "must lie in [0, 1]".into(),
                 });
             }
             if !offset.is_finite() {
                 return Err(LinalgError::InvalidParameter {
                     name: "offset",
-                    message: "must be finite",
+                    message: "must be finite".into(),
                 });
             }
             let mut out = split(x, l, SliceStrategy::RandomProportions, seed)?;

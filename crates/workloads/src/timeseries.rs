@@ -61,7 +61,7 @@ impl TimeSeriesData {
         if config.keys == 0 || config.data_centers == 0 || config.batches == 0 {
             return Err(LinalgError::InvalidParameter {
                 name: "keys/data_centers/batches",
-                message: "must be positive",
+                message: "must be positive".into(),
             });
         }
         for a in &config.anomalies {
@@ -71,7 +71,7 @@ impl TimeSeriesData {
             {
                 return Err(LinalgError::InvalidParameter {
                     name: "anomalies",
-                    message: "anomaly key/data_center/from_batch out of range",
+                    message: "anomaly key/data_center/from_batch out of range".into(),
                 });
             }
         }

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# CI gate for the workspace. Mirrors what a reviewer runs by hand:
+#
+#   1. release build of every crate
+#   2. the full default test suite
+#   3. the heavier fault-injection sweeps (feature-gated off by default)
+#   4. a warnings-clean check over all targets, fault-injection included
+#   5. a fast smoke of the fault sweep bench path
+#
+# Any step failing fails the script.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> [1/5] release build"
+cargo build --release --workspace
+
+echo "==> [2/5] workspace tests"
+cargo test -q --workspace
+
+echo "==> [3/5] fault-injection sweeps"
+cargo test -q -p cso-distributed --features fault-injection
+
+echo "==> [4/5] warnings-clean (all targets, fault-injection on)"
+RUSTFLAGS="-D warnings" cargo check --workspace --all-targets --features fault-injection
+
+echo "==> [5/5] fault sweep smoke"
+cargo test -q -p cso-bench faults::
+
+echo "ci: all green"
