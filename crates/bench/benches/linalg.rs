@@ -24,11 +24,9 @@ fn bench_matvec(c: &mut Criterion) {
         let spec = MeasurementSpec::new(m, n, 7).unwrap();
         let phi = spec.materialize();
         let x = Vector::from_vec((0..n).map(|i| (i % 13) as f64).collect());
-        g.bench_with_input(
-            BenchmarkId::from_parameter(format!("{m}x{n}")),
-            &m,
-            |bench, _| bench.iter(|| phi.matvec(black_box(&x)).unwrap()),
-        );
+        g.bench_with_input(BenchmarkId::from_parameter(format!("{m}x{n}")), &m, |bench, _| {
+            bench.iter(|| phi.matvec(black_box(&x)).unwrap())
+        });
     }
     g.finish();
 }

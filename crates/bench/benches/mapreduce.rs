@@ -8,11 +8,7 @@ use cso_mapreduce::{run_cs_job, run_topk_job, Record};
 use cso_workloads::{PowerLawConfig, PowerLawData};
 
 fn splits(n: usize, tasks: usize) -> Vec<Vec<Record>> {
-    let data = PowerLawData::generate(
-        &PowerLawConfig { n, alpha: 1.5, x_min: 10.0 },
-        19,
-    )
-    .unwrap();
+    let data = PowerLawData::generate(&PowerLawConfig { n, alpha: 1.5, x_min: 10.0 }, 19).unwrap();
     let shifted = data.shifted_to_zero_mode();
     (0..tasks)
         .map(|t| {
@@ -35,15 +31,8 @@ fn bench_jobs(c: &mut Criterion) {
         });
         g.bench_with_input(BenchmarkId::new("cs_job_m200", n), &n, |b, _| {
             b.iter(|| {
-                run_cs_job(
-                    black_box(&sp),
-                    n,
-                    200,
-                    3,
-                    5,
-                    &BompConfig::with_max_iterations(25),
-                )
-                .unwrap()
+                run_cs_job(black_box(&sp), n, 200, 3, 5, &BompConfig::with_max_iterations(25))
+                    .unwrap()
             })
         });
     }

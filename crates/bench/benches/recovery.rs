@@ -14,11 +14,9 @@ const N: usize = 2000;
 const S: usize = 20;
 
 fn instance(m: usize) -> (ColMatrix, cso_linalg::Vector, f64) {
-    let data = MajorityData::generate(
-        &MajorityConfig { n: N, s: S, ..MajorityConfig::default() },
-        9,
-    )
-    .unwrap();
+    let data =
+        MajorityData::generate(&MajorityConfig { n: N, s: S, ..MajorityConfig::default() }, 9)
+            .unwrap();
     let spec = MeasurementSpec::new(m, N, 4).unwrap();
     let phi = spec.materialize();
     let y = spec.measure_dense(&data.values).unwrap();
@@ -45,9 +43,7 @@ fn bench_omp_known_mode(c: &mut Criterion) {
         let (phi, y, mode) = instance(m);
         let cfg = BompConfig::with_max_iterations(S + 1);
         g.bench_with_input(BenchmarkId::from_parameter(m), &m, |bench, _| {
-            bench.iter(|| {
-                omp_with_known_mode(black_box(&phi), black_box(&y), mode, &cfg).unwrap()
-            })
+            bench.iter(|| omp_with_known_mode(black_box(&phi), black_box(&y), mode, &cfg).unwrap())
         });
     }
     g.finish();

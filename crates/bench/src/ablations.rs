@@ -30,18 +30,16 @@ pub fn ablation_r(opts: &Opts) {
     let k = 10;
     let truth: Vec<KeyValue> = data.true_k_outliers(k);
     let m = 400;
-    let mut table = Table::new(
-        "ablation_r",
-        &["R_over_k", "R", "ek_avg", "ev_avg", "iterations_avg"],
-    );
+    let mut table =
+        Table::new("ablation_r", &["R_over_k", "R", "ek_avg", "ev_avg", "iterations_avg"]);
     for &c in &[1usize, 2, 3, 5, 8, 12] {
         let r = c * k;
         let mut eks = 0.0;
         let mut evs = 0.0;
         let mut iters = 0usize;
         for trial in 0..opts.trials {
-            let proto = CsProtocol::new(m, trial as u64)
-                .with_recovery(BompConfig::with_max_iterations(r));
+            let proto =
+                CsProtocol::new(m, trial as u64).with_recovery(BompConfig::with_max_iterations(r));
             let run = proto.run(&cluster, k).expect("run");
             let (ek, ev) = outlier_errors(&truth, &run.estimate).expect("metrics");
             eks += ek;
@@ -50,8 +48,7 @@ pub fn ablation_r(opts: &Opts) {
             // for the count.
             let spec = MeasurementSpec::new(m, data.n(), trial as u64).expect("spec");
             let y = spec.measure_dense(&data.global).expect("measure");
-            let res =
-                cso_core::bomp(&spec, &y, &BompConfig::with_max_iterations(r)).expect("bomp");
+            let res = cso_core::bomp(&spec, &y, &BompConfig::with_max_iterations(r)).expect("bomp");
             iters += res.iterations;
         }
         let t = opts.trials as f64;
@@ -75,20 +72,15 @@ pub fn ablation_stall(opts: &Opts) {
     let k = 10;
     let truth: Vec<KeyValue> = data.true_k_outliers(k);
     let m = 500;
-    let mut table = Table::new(
-        "ablation_stall",
-        &["min_rel_decrease", "iterations_avg", "ek_avg", "ev_avg"],
-    );
+    let mut table =
+        Table::new("ablation_stall", &["min_rel_decrease", "iterations_avg", "ek_avg", "ev_avg"]);
     // Sweep the guard's sensitivity: "off" runs to the budget; aggressive
     // thresholds stop as soon as a step barely improves the fit — the
     // paper's point is that almost all of the iterations past the true
     // support buy nothing.
-    for (label, guard, min_dec) in [
-        ("off", false, 0.0f64),
-        ("1e-9", true, 1e-9),
-        ("1e-4", true, 1e-4),
-        ("1e-2", true, 1e-2),
-    ] {
+    for (label, guard, min_dec) in
+        [("off", false, 0.0f64), ("1e-9", true, 1e-9), ("1e-4", true, 1e-4), ("1e-2", true, 1e-2)]
+    {
         let mut iters = 0usize;
         let mut eks = 0.0;
         let mut evs = 0.0;
@@ -107,11 +99,8 @@ pub fn ablation_stall(opts: &Opts) {
             };
             let res = cso_core::bomp(&spec, &y, &rec).expect("bomp");
             iters += res.iterations;
-            let estimate: Vec<KeyValue> = res
-                .top_k(k)
-                .iter()
-                .map(|o| KeyValue { index: o.index, value: o.value })
-                .collect();
+            let estimate: Vec<KeyValue> =
+                res.top_k(k).iter().map(|o| KeyValue { index: o.index, value: o.value }).collect();
             let (ek, ev) = outlier_errors(&truth, &estimate).expect("metrics");
             eks += ek;
             evs += ev;
@@ -182,11 +171,7 @@ pub fn ablation_qr(opts: &Opts) {
         let phi0 = spec.materialize();
         let y = spec.measure_dense(&data.values).expect("measure");
 
-        let cfg = OmpConfig {
-            max_iterations: s,
-            residual_tolerance: 1e-9,
-            ..OmpConfig::default()
-        };
+        let cfg = OmpConfig { max_iterations: s, residual_tolerance: 1e-9, ..OmpConfig::default() };
         let t0 = Instant::now();
         let fast = omp(&phi0, &y, &cfg).expect("omp");
         let fast_ms = t0.elapsed().as_secs_f64() * 1e3;
@@ -213,33 +198,23 @@ pub fn ablation_qr(opts: &Opts) {
 pub fn ablation_bp(opts: &Opts) {
     let mut table = Table::new(
         "ablation_bp",
-        &[
-            "s", "M", "omp_ms", "omp_err", "bp_ms", "bp_err", "bp_iters", "cosamp_ms",
-            "cosamp_err",
-        ],
+        &["s", "M", "omp_ms", "omp_err", "bp_ms", "bp_err", "bp_iters", "cosamp_ms", "cosamp_err"],
     );
     let n = 400;
     for &s in &[5usize, 10, 20] {
         let m = 16 * s;
         let spec = MeasurementSpec::new(m, n, 1000 + s as u64).expect("spec");
         let phi0 = spec.materialize();
-        let truth = SparseVector::new(
-            n,
-            (0..s).map(|i| (i * 17 % n, 100.0 + i as f64)).collect(),
-        )
-        .expect("sparse truth");
+        let truth = SparseVector::new(n, (0..s).map(|i| (i * 17 % n, 100.0 + i as f64)).collect())
+            .expect("sparse truth");
         let y = phi0.matvec(&truth.to_dense()).expect("measure");
         let truth_norm = truth.to_dense().norm2();
 
         let t0 = Instant::now();
         let o = omp(&phi0, &y, &OmpConfig::default()).expect("omp");
         let omp_ms = t0.elapsed().as_secs_f64() * 1e3;
-        let omp_err = o
-            .to_sparse(n)
-            .expect("sparse")
-            .l2_distance(&truth)
-            .expect("same dim")
-            / truth_norm;
+        let omp_err =
+            o.to_sparse(n).expect("sparse").l2_distance(&truth).expect("same dim") / truth_norm;
 
         let t1 = Instant::now();
         let b = basis_pursuit(&phi0, &y, &BpConfig::default()).expect("bp");
@@ -289,23 +264,15 @@ pub fn ablation_quantize(opts: &Opts) {
             // sums what it received.
             let mut y = cso_linalg::Vector::zeros(m);
             for slice in &data.slices {
-                let exact = phi0
-                    .matvec(&cso_linalg::Vector::from_vec(slice.clone()))
-                    .expect("sketch");
+                let exact =
+                    phi0.matvec(&cso_linalg::Vector::from_vec(slice.clone())).expect("sketch");
                 let (received, _) = transmit(&exact, encoding).expect("transmit");
                 y.add_assign(&received).expect("same length");
             }
-            let res = cso_core::bomp_with_matrix(
-                &phi0,
-                &y,
-                &BompConfig::with_max_iterations(120),
-            )
-            .expect("bomp");
-            let estimate: Vec<KeyValue> = res
-                .top_k(k)
-                .iter()
-                .map(|o| KeyValue { index: o.index, value: o.value })
-                .collect();
+            let res = cso_core::bomp_with_matrix(&phi0, &y, &BompConfig::with_max_iterations(120))
+                .expect("bomp");
+            let estimate: Vec<KeyValue> =
+                res.top_k(k).iter().map(|o| KeyValue { index: o.index, value: o.value }).collect();
             let (ek, ev) = outlier_errors(&truth, &estimate).expect("metrics");
             eks += ek;
             evs += ev;
@@ -325,25 +292,17 @@ pub fn ablation_quantize(opts: &Opts) {
 
 /// Protocol error under the three slice-distribution regimes.
 pub fn ablation_skew(opts: &Opts) {
-    let data = MajorityData::generate(
-        &MajorityConfig { n: 2000, s: 20, ..MajorityConfig::default() },
-        8,
-    )
-    .expect("gen");
+    let data =
+        MajorityData::generate(&MajorityConfig { n: 2000, s: 20, ..MajorityConfig::default() }, 8)
+            .expect("gen");
     let k = 10;
     let truth = data.true_k_outliers(k);
     let m = 300;
-    let mut table = Table::new(
-        "ablation_skew",
-        &["strategy", "cs_ek_avg", "kdelta_ek_avg"],
-    );
+    let mut table = Table::new("ablation_skew", &["strategy", "cs_ek_avg", "kdelta_ek_avg"]);
     for (name, strategy) in [
         ("uniform", SliceStrategy::Uniform),
         ("random_proportions", SliceStrategy::RandomProportions),
-        (
-            "camouflaged",
-            SliceStrategy::Camouflaged { offset: 4000.0, fraction: 0.3 },
-        ),
+        ("camouflaged", SliceStrategy::Camouflaged { offset: 4000.0, fraction: 0.3 }),
     ] {
         let mut cs_ek = 0.0;
         let mut kd_ek = 0.0;
@@ -362,11 +321,7 @@ pub fn ablation_skew(opts: &Opts) {
             kd_ek += cso_core::error_on_key(&truth, &kd.estimate).expect("metric");
         }
         let t = opts.trials as f64;
-        table.row(&[
-            &name,
-            &format!("{:.3}", cs_ek / t),
-            &format!("{:.3}", kd_ek / t),
-        ]);
+        table.row(&[&name, &format!("{:.3}", cs_ek / t), &format!("{:.3}", kd_ek / t)]);
     }
     table.finish(opts);
 }

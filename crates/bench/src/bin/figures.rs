@@ -40,12 +40,7 @@ fn main() {
         std::process::exit(2);
     }
     // fig5/fig6 and fig7/fig8 share a sweep; drop duplicates.
-    names.dedup_by(|a, b| {
-        matches!(
-            (a.as_str(), b.as_str()),
-            ("fig6", "fig5") | ("fig8", "fig7")
-        )
-    });
+    names.dedup_by(|a, b| matches!((a.as_str(), b.as_str()), ("fig6", "fig5") | ("fig8", "fig7")));
     for name in &names {
         let t = Instant::now();
         eprintln!("== {name} (trials = {}) ==", opts.trials);

@@ -67,8 +67,7 @@ fn run_all_kv_degraded(
         let mut received = false;
         for attempt in 0..policy.max_attempts {
             bytes += frame.len() as u64;
-            if let Delivery::Delivered { frames, .. } = channel.transmit(node, attempt, &frame)
-            {
+            if let Delivery::Delivered { frames, .. } = channel.transmit(node, attempt, &frame) {
                 for f in &frames {
                     if let Ok(wire::Message::KvBatch { pairs, .. }) = wire::decode(f) {
                         if !received {
@@ -95,11 +94,9 @@ pub fn fault_sweep(opts: &Opts) {
     let l = 8;
     let k = 8;
     let m = 120;
-    let data = MajorityData::generate(
-        &MajorityConfig { n: 400, s: 8, ..MajorityConfig::default() },
-        42,
-    )
-    .unwrap();
+    let data =
+        MajorityData::generate(&MajorityConfig { n: 400, s: 8, ..MajorityConfig::default() }, 42)
+            .unwrap();
     let slices = split(&data.values, l, SliceStrategy::RandomProportions, 43).unwrap();
     let cluster = Cluster::new(slices).unwrap();
     let truth = data.true_k_outliers(k);
@@ -121,16 +118,13 @@ pub fn fault_sweep(opts: &Opts) {
             };
             let mut ok_trials = 0u32;
             for trial in 0..opts.trials as u64 {
-                let plan = FaultPlan::new(1000 + trial)
-                    .drop_rate(drop_rate)
-                    .corrupt_rate(corrupt_rate);
-                let Ok(deg) =
-                    proto.run_degraded(&cluster, k, SketchEncoding::F64, &plan, &policy)
+                let plan =
+                    FaultPlan::new(1000 + trial).drop_rate(drop_rate).corrupt_rate(corrupt_rate);
+                let Ok(deg) = proto.run_degraded(&cluster, k, SketchEncoding::F64, &plan, &policy)
                 else {
                     continue; // nobody survived this trial
                 };
-                let (all_estimate, all_bits, _) =
-                    run_all_kv_degraded(&cluster, k, &plan, &policy);
+                let (all_estimate, all_bits, _) = run_all_kv_degraded(&cluster, k, &plan, &policy);
                 acc.cs_precision += precision(&truth, &deg.run.estimate);
                 acc.all_precision += precision(&truth, &all_estimate);
                 acc.surviving += deg.surviving_fraction();
@@ -199,12 +193,8 @@ mod tests {
         let slices = split(&data.values, 4, SliceStrategy::Uniform, 3).unwrap();
         let cluster = Cluster::new(slices).unwrap();
         let truth = data.true_k_outliers(5);
-        let (estimate, bits, survivors) = run_all_kv_degraded(
-            &cluster,
-            5,
-            &FaultPlan::none(),
-            &RetryPolicy::no_retry(),
-        );
+        let (estimate, bits, survivors) =
+            run_all_kv_degraded(&cluster, 5, &FaultPlan::none(), &RetryPolicy::no_retry());
         assert_eq!(survivors, 4);
         assert!(bits > 0);
         assert_eq!(precision(&truth, &estimate), 1.0);

@@ -32,10 +32,7 @@ fn settings() -> Vec<(&'static str, u64, usize, usize)> {
 /// reference line.
 pub fn fig10(opts: &Opts) {
     let profile = ClusterProfile::paper_2015();
-    let mut table = Table::new(
-        "fig10_end_to_end",
-        &["setting", "M", "bomp_s", "traditional_s"],
-    );
+    let mut table = Table::new("fig10_end_to_end", &["setting", "M", "bomp_s", "traditional_s"]);
     let mut crossovers = Table::new("fig10_crossover", &["setting", "crossover_M"]);
     for (label, input, n, r) in settings() {
         let shape = WorkloadShape { input_bytes: input, record_bytes: 100, n };
@@ -69,14 +66,7 @@ pub fn fig11(opts: &Opts) {
     let profile = ClusterProfile::paper_2015();
     let mut table = Table::new(
         "fig11_breakdown",
-        &[
-            "setting",
-            "M",
-            "bomp_map_s",
-            "trad_map_s",
-            "bomp_reduce_s",
-            "trad_reduce_s",
-        ],
+        &["setting", "M", "bomp_map_s", "trad_map_s", "bomp_reduce_s", "trad_reduce_s"],
     );
     for (label, input, n, r) in settings() {
         let shape = WorkloadShape { input_bytes: input, record_bytes: 100, n };
@@ -99,10 +89,8 @@ pub fn fig11(opts: &Opts) {
 /// Figure 12: scalability in the key-space size `N` at fixed 10 GB input.
 pub fn fig12(opts: &Opts) {
     let profile = ClusterProfile::paper_2015();
-    let mut table = Table::new(
-        "fig12_scalability",
-        &["N", "job", "map_s", "reduce_s", "end_to_end_s"],
-    );
+    let mut table =
+        Table::new("fig12_scalability", &["N", "job", "map_s", "reduce_s", "end_to_end_s"]);
     let r = 25; // k = 5 in the paper's run
     for n in [100_000usize, 200_000, 500_000, 1_000_000, 5_000_000] {
         let shape = WorkloadShape { input_bytes: 10 * GB, record_bytes: 100, n };

@@ -38,10 +38,7 @@ fn exact(result: &BompResult, data: &MajorityData) -> bool {
 
 /// Figure 4(a).
 pub fn fig4a(opts: &Opts) {
-    let mut table = Table::new(
-        "fig4a",
-        &["s", "M", "bomp_exact_pct", "omp_known_mode_exact_pct"],
-    );
+    let mut table = Table::new("fig4a", &["s", "M", "bomp_exact_pct", "omp_known_mode_exact_pct"]);
     for &s in &[50usize, 100, 200] {
         let cfg = config(s);
         for m in (100..=1000).step_by(100) {
@@ -88,10 +85,8 @@ pub fn fig4b(opts: &Opts) {
         let data = MajorityData::generate(&config(s), 424_242).expect("valid config");
         let spec = MeasurementSpec::new(m, N, 37).expect("valid spec");
         let y = spec.measure_dense(&data.values).expect("measure");
-        let rec = BompConfig {
-            omp: OmpConfig::with_max_iterations(m.min(s) + 1),
-            track_mode: true,
-        };
+        let rec =
+            BompConfig { omp: OmpConfig::with_max_iterations(m.min(s) + 1), track_mode: true };
         let result = cso_core::bomp(&spec, &y, &rec).expect("bomp");
         for (i, b) in result.mode_trace.iter().enumerate() {
             table.row(&[&s, &m, &(i + 1), &format!("{b:.2}")]);

@@ -5,8 +5,8 @@
 //! MIN / AVG over repeated trials with fresh random measurement matrices.
 
 use crate::common::{Opts, Table};
-use cso_core::{bomp_with_matrix, outlier_errors, BompConfig, KeyValue, OmpConfig};
 use cso_core::MeasurementSpec;
+use cso_core::{bomp_with_matrix, outlier_errors, BompConfig, KeyValue, OmpConfig};
 use cso_linalg::stats::Summary;
 use cso_workloads::{PowerLawConfig, PowerLawData};
 
@@ -14,14 +14,10 @@ const N: usize = 10_000;
 
 /// Runs the shared sweep and emits both error metrics.
 pub fn fig5_and_6(opts: &Opts) {
-    let mut ek_table = Table::new(
-        "fig5_error_on_key",
-        &["alpha", "k", "M", "ek_max", "ek_min", "ek_avg"],
-    );
-    let mut ev_table = Table::new(
-        "fig6_error_on_value",
-        &["alpha", "k", "M", "ev_max", "ev_min", "ev_avg"],
-    );
+    let mut ek_table =
+        Table::new("fig5_error_on_key", &["alpha", "k", "M", "ek_max", "ek_min", "ek_avg"]);
+    let mut ev_table =
+        Table::new("fig6_error_on_value", &["alpha", "k", "M", "ev_max", "ev_min", "ev_avg"]);
 
     for &alpha in &[0.9f64, 0.95] {
         // One data set per α (the paper fixes the data and varies Φ0).
@@ -34,8 +30,7 @@ pub fn fig5_and_6(opts: &Opts) {
         let truths: Vec<Vec<KeyValue>> = ks.iter().map(|&k| data.true_k_outliers(k)).collect();
         for m in (100..=1000).step_by(100) {
             // errors[k-slot] collects per-trial (ek, ev).
-            let mut errors: Vec<(Vec<f64>, Vec<f64>)> =
-                vec![(Vec::new(), Vec::new()); ks.len()];
+            let mut errors: Vec<(Vec<f64>, Vec<f64>)> = vec![(Vec::new(), Vec::new()); ks.len()];
             for trial in 0..opts.trials {
                 // One matrix per trial, shared by all k (the expensive part
                 // is materializing Φ0, not the greedy recovery).
@@ -54,8 +49,7 @@ pub fn fig5_and_6(opts: &Opts) {
                         .iter()
                         .map(|o| KeyValue { index: o.index, value: o.value })
                         .collect();
-                    let (ek, ev) =
-                        outlier_errors(&truths[slot], &estimate).expect("metrics");
+                    let (ek, ev) = outlier_errors(&truths[slot], &estimate).expect("metrics");
                     errors[slot].0.push(ek);
                     errors[slot].1.push(ev);
                 }

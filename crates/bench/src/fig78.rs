@@ -37,16 +37,12 @@ pub fn fig7_and_8(opts: &Opts) {
         &["k", "cost_pct", "M", "cs_max", "cs_min", "cs_avg", "kdelta"],
     );
 
-    let all_cost = AllProtocol::vectorized()
-        .run(&cluster, 1)
-        .expect("all runs")
-        .cost;
+    let all_cost = AllProtocol::vectorized().run(&cluster, 1).expect("all runs").cost;
 
     let ks = [5usize, 10, 20];
     let truths: Vec<Vec<KeyValue>> = ks.iter().map(|&k| data.true_k_outliers(k)).collect();
     // errors[(k-slot, cost-slot)] = (eks, evs) across trials.
-    let mut cs_errors =
-        vec![vec![(Vec::new(), Vec::new()); COST_FRACTIONS.len()]; ks.len()];
+    let mut cs_errors = vec![vec![(Vec::new(), Vec::new()); COST_FRACTIONS.len()]; ks.len()];
 
     for (ci, &frac) in COST_FRACTIONS.iter().enumerate() {
         // CS cost is L·M·64 bits; ALL is L·N·64, so M = frac·N.
@@ -59,9 +55,8 @@ pub fn fig7_and_8(opts: &Opts) {
             let phi0 = spec.materialize();
             let mut y = cso_linalg::Vector::zeros(m);
             for node in 0..l {
-                let yl = phi0
-                    .matvec(&Vector::from_vec(cluster.slice(node).to_vec()))
-                    .expect("sketch");
+                let yl =
+                    phi0.matvec(&Vector::from_vec(cluster.slice(node).to_vec())).expect("sketch");
                 y.add_assign(&yl).expect("same length");
             }
             for (slot, &k) in ks.iter().enumerate() {
@@ -85,14 +80,11 @@ pub fn fig7_and_8(opts: &Opts) {
             let m = ((frac * n as f64).round() as usize).max(8);
             // K+δ at the same bit budget: L·(k+δ)·96 + L·64 ≈ frac·L·N·64.
             let pair_budget = ((frac * n as f64 * 64.0 / 96.0) as usize).max(k + 2);
-            let kd = KDeltaProtocol::new(pair_budget - k, 5)
-                .run(&cluster, k)
-                .expect("kdelta run");
+            let kd = KDeltaProtocol::new(pair_budget - k, 5).run(&cluster, k).expect("kdelta run");
             debug_assert!(
                 (kd.cost.bits as f64) < frac * all_cost.bits as f64 * 1.2 + l as f64 * 64.0
             );
-            let (kd_ek, kd_ev) =
-                outlier_errors(&truths[slot], &kd.estimate).expect("metrics");
+            let (kd_ek, kd_ev) = outlier_errors(&truths[slot], &kd.estimate).expect("metrics");
 
             let ek = Summary::of(&cs_errors[slot][ci].0).expect("non-empty");
             let ev = Summary::of(&cs_errors[slot][ci].1).expect("non-empty");

@@ -43,10 +43,7 @@ pub fn fig9(opts: &Opts) {
                 .expect("same length");
         }
         let budget = (config.outliers * 2).min(m);
-        let rec = BompConfig {
-            omp: OmpConfig::with_max_iterations(budget),
-            track_mode: true,
-        };
+        let rec = BompConfig { omp: OmpConfig::with_max_iterations(budget), track_mode: true };
         let result = cso_core::bomp(&spec, &y, &rec).expect("recover");
 
         // Emit a decimated trace (every 10th iteration) plus the last one.

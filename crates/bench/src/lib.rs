@@ -104,10 +104,25 @@ mod tests {
         for name in EXPERIMENTS {
             let known = matches!(
                 *name,
-                "fig4a" | "fig4b" | "fig5" | "fig6" | "fig7" | "fig8" | "fig9" | "fig10"
-                    | "fig11" | "fig12" | "conj1" | "conj2" | "ablation_r"
-                    | "ablation_stall" | "ablation_qr" | "ablation_bp" | "ablation_skew"
-                    | "ablation_quantize" | "fault_sweep"
+                "fig4a"
+                    | "fig4b"
+                    | "fig5"
+                    | "fig6"
+                    | "fig7"
+                    | "fig8"
+                    | "fig9"
+                    | "fig10"
+                    | "fig11"
+                    | "fig12"
+                    | "conj1"
+                    | "conj2"
+                    | "ablation_r"
+                    | "ablation_stall"
+                    | "ablation_qr"
+                    | "ablation_bp"
+                    | "ablation_skew"
+                    | "ablation_quantize"
+                    | "fault_sweep"
             );
             assert!(known, "{name} missing from dispatcher");
         }

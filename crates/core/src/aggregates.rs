@@ -75,7 +75,10 @@ pub fn recovered_histogram(
     bins: usize,
 ) -> Result<Vec<(f64, usize)>, LinalgError> {
     if bins == 0 {
-        return Err(LinalgError::InvalidParameter { name: "bins", message: "need >= 1 bin".into() });
+        return Err(LinalgError::InvalidParameter {
+            name: "bins",
+            message: "need >= 1 bin".into(),
+        });
     }
     let n = result.deviations.dim();
     let mut lo = result.mode;
@@ -97,11 +100,7 @@ pub fn recovered_histogram(
     for &(_, z) in result.deviations.entries() {
         counts[index_of(result.mode + z)] += 1;
     }
-    Ok(counts
-        .into_iter()
-        .enumerate()
-        .map(|(i, c)| (lo + i as f64 * width, c))
-        .collect())
+    Ok(counts.into_iter().enumerate().map(|(i, c)| (lo + i as f64 * width, c)).collect())
 }
 
 #[cfg(test)]

@@ -14,9 +14,10 @@
 //! `b = z̃₀ / √N` and each recovered signal entry is `x̂ᵢ = z̃ᵢ + b`.
 
 use crate::measurement::MeasurementSpec;
-use crate::omp::{omp, OmpConfig, OmpResult, StopReason};
+use crate::omp::{omp, omp_traced, OmpConfig, OmpResult, StopReason};
 use crate::sparse::SparseVector;
 use cso_linalg::{ColMatrix, LinalgError, Vector};
+use cso_obs::{Recorder, Value};
 
 /// Recovered outlier: a key index and its recovered aggregate value.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -72,8 +73,7 @@ impl BompResult {
 }
 
 /// Configuration for [`bomp`] / [`bomp_with_matrix`].
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct BompConfig {
     /// Inner OMP configuration. `max_iterations` is the paper's `R = f(k)`.
     pub omp: OmpConfig,
@@ -81,16 +81,12 @@ pub struct BompConfig {
     pub track_mode: bool,
 }
 
-
 impl BompConfig {
     /// The paper's iteration heuristic `R = f(k) ∈ [2k, 5k]` (Section 5).
     /// We default to the midpoint `3k + 1` (the `+ 1` pays for the bias
     /// column, which occupies one support slot).
     pub fn for_k_outliers(k: usize) -> Self {
-        BompConfig {
-            omp: OmpConfig::with_max_iterations(3 * k + 1),
-            ..BompConfig::default()
-        }
+        BompConfig { omp: OmpConfig::with_max_iterations(3 * k + 1), ..BompConfig::default() }
     }
 
     /// Iteration budget `r` with defaults elsewhere.
@@ -104,9 +100,24 @@ impl BompConfig {
 /// This is the aggregator-side entry point matching the paper's CS-Reducer:
 /// regenerate `Φ0` from the shared seed, extend it with the bias column,
 /// recover.
-pub fn bomp(spec: &MeasurementSpec, y: &Vector, config: &BompConfig) -> Result<BompResult, LinalgError> {
+pub fn bomp(
+    spec: &MeasurementSpec,
+    y: &Vector,
+    config: &BompConfig,
+) -> Result<BompResult, LinalgError> {
+    bomp_traced(spec, y, config, &Recorder::disabled())
+}
+
+/// As [`bomp`], recording the recovery trace into `rec` (see
+/// [`bomp_with_matrix_traced`]).
+pub fn bomp_traced(
+    spec: &MeasurementSpec,
+    y: &Vector,
+    config: &BompConfig,
+    rec: &Recorder,
+) -> Result<BompResult, LinalgError> {
     let phi0 = spec.materialize();
-    bomp_with_matrix(&phi0, y, config)
+    bomp_with_matrix_traced(&phi0, y, config, rec)
 }
 
 /// Runs BOMP against an already-materialized `Φ0` (`M × N`).
@@ -114,6 +125,25 @@ pub fn bomp_with_matrix(
     phi0: &ColMatrix,
     y: &Vector,
     config: &BompConfig,
+) -> Result<BompResult, LinalgError> {
+    bomp_with_matrix_traced(phi0, y, config, &Recorder::disabled())
+}
+
+/// As [`bomp_with_matrix`], recording a `recover.bomp` span into `rec`.
+///
+/// Per iteration one `bomp.iter` event carries the selected atom in signal
+/// space (`atom = -1, bias = true` for the bias column), the residual norm,
+/// and the running mode estimate `z₀/√N` — the per-iteration signals of the
+/// paper's Figures 4(b) and 9. A final `bomp.done` event records mode,
+/// bias selection, iteration count and the stop reason. When the recorder
+/// is enabled, per-iteration coefficient tracking is switched on so the
+/// mode series can be computed (one `O(k²)` solve per iteration — the cost
+/// of watching); a disabled recorder changes nothing.
+pub fn bomp_with_matrix_traced(
+    phi0: &ColMatrix,
+    y: &Vector,
+    config: &BompConfig,
+    rec: &Recorder,
 ) -> Result<BompResult, LinalgError> {
     let n = phi0.cols();
     let m = phi0.rows();
@@ -143,11 +173,15 @@ pub fn bomp_with_matrix(
     }
 
     let mut omp_cfg = config.omp;
-    if config.track_mode {
+    if config.track_mode || rec.is_enabled() {
         omp_cfg.track_coefficients = true;
     }
-    let inner: OmpResult = omp(&extended, y, &omp_cfg)?;
-    assemble(n, inner, config.track_mode)
+    let _span = rec.span_with(
+        "recover.bomp",
+        &[("rows", Value::U64(m as u64)), ("cols", Value::U64(n as u64))],
+    );
+    let inner: OmpResult = omp_traced(&extended, y, &omp_cfg, rec)?;
+    assemble(n, inner, config.track_mode, rec)
 }
 
 /// Recovery with a *known* mode — the baseline BOMP is compared against in
@@ -212,7 +246,12 @@ pub fn omp_with_known_mode(
 
 /// Converts the extended-dictionary OMP result back into signal space
 /// (paper equation (4)).
-fn assemble(n: usize, inner: OmpResult, track_mode: bool) -> Result<BompResult, LinalgError> {
+fn assemble(
+    n: usize,
+    inner: OmpResult,
+    track_mode: bool,
+    rec: &Recorder,
+) -> Result<BompResult, LinalgError> {
     let inv_sqrt_n = 1.0 / (n as f64).sqrt();
 
     let mut mode = 0.0;
@@ -241,12 +280,14 @@ fn assemble(n: usize, inner: OmpResult, track_mode: bool) -> Result<BompResult, 
             .then(a.index.cmp(&b.index))
     });
 
-    let mode_trace = if track_mode {
+    // Per-iteration mode estimate z₀/√N. Available whenever the inner OMP
+    // tracked coefficients (track_mode, or an enabled recorder).
+    let mode_series: Vec<f64> = if inner.trace.iter().all(|t| t.coefficients.is_some()) {
         inner
             .trace
             .iter()
-            .map(|rec| {
-                let coeffs = rec.coefficients.as_ref().expect("tracked");
+            .map(|t| {
+                let coeffs = t.coefficients.as_ref().expect("tracked");
                 // Position of the bias column within the support-so-far.
                 inner.support[..coeffs.len()]
                     .iter()
@@ -258,6 +299,36 @@ fn assemble(n: usize, inner: OmpResult, track_mode: bool) -> Result<BompResult, 
     } else {
         Vec::new()
     };
+
+    if rec.is_enabled() {
+        for (i, step) in inner.trace.iter().enumerate() {
+            // Extended column 0 is the bias atom; columns 1.. map to signal
+            // keys 0.. — report signal-space indices, with −1 for the bias.
+            let bias = step.selected == 0;
+            let atom = if bias { -1i64 } else { (step.selected - 1) as i64 };
+            rec.event(
+                "bomp.iter",
+                &[
+                    ("iter", Value::U64(i as u64)),
+                    ("atom", Value::I64(atom)),
+                    ("bias", Value::Bool(bias)),
+                    ("residual", Value::F64(step.residual_norm)),
+                    ("mode", Value::F64(mode_series.get(i).copied().unwrap_or(0.0))),
+                ],
+            );
+        }
+        rec.event(
+            "bomp.done",
+            &[
+                ("mode", Value::F64(mode)),
+                ("bias_selected", Value::Bool(bias_selected)),
+                ("iterations", Value::U64(inner.trace.len() as u64)),
+                ("stop", Value::from(inner.stop.as_str())),
+            ],
+        );
+    }
+
+    let mode_trace = if track_mode { mode_series } else { Vec::new() };
     let residual_trace = inner.trace.iter().map(|t| t.residual_norm).collect();
 
     Ok(BompResult {
@@ -295,13 +366,8 @@ mod tests {
 
     #[test]
     fn recovers_mode_and_outliers_exactly() {
-        let (spec, y, _x) = biased_instance(
-            60,
-            200,
-            5000.0,
-            &[(10, 9000.0), (50, 100.0), (120, 7000.0)],
-            2024,
-        );
+        let (spec, y, _x) =
+            biased_instance(60, 200, 5000.0, &[(10, 9000.0), (50, 100.0), (120, 7000.0)], 2024);
         let r = bomp(&spec, &y, &BompConfig::default()).unwrap();
         assert!(r.bias_selected);
         assert!((r.mode - 5000.0).abs() < 1e-6, "mode = {}", r.mode);
@@ -322,13 +388,8 @@ mod tests {
 
     #[test]
     fn outliers_sorted_by_absolute_deviation() {
-        let (spec, y, _) = biased_instance(
-            60,
-            150,
-            1000.0,
-            &[(5, 1100.0), (9, 5000.0), (80, -2000.0)],
-            7,
-        );
+        let (spec, y, _) =
+            biased_instance(60, 150, 1000.0, &[(5, 1100.0), (9, 5000.0), (80, -2000.0)], 7);
         let r = bomp(&spec, &y, &BompConfig::default()).unwrap();
         // |dev|: key 9 → 4000, key 80 → 3000, key 5 → 100.
         let order: Vec<usize> = r.outliers.iter().map(|o| o.index).collect();
@@ -404,13 +465,8 @@ mod tests {
 
     #[test]
     fn known_mode_omp_matches_bomp_on_exact_instances() {
-        let (spec, y, _) = biased_instance(
-            60,
-            200,
-            5000.0,
-            &[(10, 9000.0), (50, 100.0), (120, 7000.0)],
-            2024,
-        );
+        let (spec, y, _) =
+            biased_instance(60, 200, 5000.0, &[(10, 9000.0), (50, 100.0), (120, 7000.0)], 2024);
         let phi0 = spec.materialize();
         let r = omp_with_known_mode(&phi0, &y, 5000.0, &BompConfig::default()).unwrap();
         assert_eq!(r.mode, 5000.0);
@@ -436,16 +492,16 @@ mod tests {
         let (spec, y, _) = biased_instance(40, 200, 5000.0, &[(10, 9000.0)], 9);
         let phi0 = spec.materialize();
         let r = omp_with_known_mode(&phi0, &y, 0.0, &BompConfig::default()).unwrap();
-        assert!(r.residual_trace.last().copied().unwrap_or(f64::INFINITY) > 1.0
-            || r.outliers.len() > 5);
+        assert!(
+            r.residual_trace.last().copied().unwrap_or(f64::INFINITY) > 1.0 || r.outliers.len() > 5
+        );
     }
 
     #[test]
     fn known_mode_omp_checks_dimensions() {
         let spec = MeasurementSpec::new(10, 20, 1).unwrap();
         let phi0 = spec.materialize();
-        assert!(omp_with_known_mode(&phi0, &Vector::zeros(9), 0.0, &BompConfig::default())
-            .is_err());
+        assert!(omp_with_known_mode(&phi0, &Vector::zeros(9), 0.0, &BompConfig::default()).is_err());
     }
 
     #[test]

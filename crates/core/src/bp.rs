@@ -54,7 +54,11 @@ pub struct BpResult {
 ///
 /// Requires `M ≤ N` with full row rank (`ΦΦᵀ` invertible) — always true in
 /// practice for Gaussian measurement matrices with `M < N`.
-pub fn basis_pursuit(phi: &ColMatrix, y: &Vector, config: &BpConfig) -> Result<BpResult, LinalgError> {
+pub fn basis_pursuit(
+    phi: &ColMatrix,
+    y: &Vector,
+    config: &BpConfig,
+) -> Result<BpResult, LinalgError> {
     if y.len() != phi.rows() {
         return Err(LinalgError::DimensionMismatch {
             op: "basis_pursuit",
@@ -63,7 +67,10 @@ pub fn basis_pursuit(phi: &ColMatrix, y: &Vector, config: &BpConfig) -> Result<B
         });
     }
     if config.rho <= 0.0 {
-        return Err(LinalgError::InvalidParameter { name: "rho", message: "must be positive".into() });
+        return Err(LinalgError::InvalidParameter {
+            name: "rho",
+            message: "must be positive".into(),
+        });
     }
     let n = phi.cols();
     // Scale invariance: ADMM's soft-threshold step size is absolute, so

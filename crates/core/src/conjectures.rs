@@ -122,7 +122,10 @@ pub fn verify_conjecture2(
     seed: u64,
 ) -> Result<TrialStats, LinalgError> {
     if m == 0 {
-        return Err(LinalgError::InvalidParameter { name: "m", message: "must be positive".into() });
+        return Err(LinalgError::InvalidParameter {
+            name: "m",
+            message: "must be positive".into(),
+        });
     }
     if epsilon <= 0.0 {
         return Err(LinalgError::InvalidParameter {
@@ -200,11 +203,7 @@ mod tests {
         let zeta = 1.0 / 1000.0; // ζ = 1/√N with N = 10⁶
         let stats = verify_conjecture2(m, zeta, eps, 2000, 11).unwrap();
         let bound = conjecture2_bound(m, eps, 1.1);
-        assert!(
-            stats.success_rate() >= bound,
-            "rate {} < bound {bound}",
-            stats.success_rate()
-        );
+        assert!(stats.success_rate() >= bound, "rate {} < bound {bound}", stats.success_rate());
     }
 
     #[test]
@@ -230,8 +229,7 @@ mod tests {
         let c0 = e.col(0);
         for j in 1..=s {
             let cj = e.col(j);
-            let cov: f64 =
-                c0.iter().zip(cj).map(|(a, b)| a * b).sum::<f64>() / m as f64;
+            let cov: f64 = c0.iter().zip(cj).map(|(a, b)| a * b).sum::<f64>() / m as f64;
             // Expected per-entry covariance: ζ·var = ζ/M.
             let expected = zeta / m as f64;
             assert!(

@@ -77,11 +77,7 @@ pub fn cosamp(
         let proxy = dictionary.matvec_transpose(&residual)?;
         let mut order: Vec<usize> = (0..d).collect();
         order.sort_by(|&a, &b| {
-            proxy[b]
-                .abs()
-                .partial_cmp(&proxy[a].abs())
-                .expect("finite")
-                .then(a.cmp(&b))
+            proxy[b].abs().partial_cmp(&proxy[a].abs()).expect("finite").then(a.cmp(&b))
         });
         // Merge the 2s strongest candidates with the current support.
         let mut merged: Vec<usize> = support.clone();
@@ -103,11 +99,9 @@ pub fn cosamp(
         let b = qr.solve_least_squares(y.as_slice())?;
 
         // Prune to the s largest coefficients.
-        let mut ranked: Vec<(usize, f64)> =
-            kept.iter().copied().zip(b.iter().copied()).collect();
-        ranked.sort_by(|a, b| {
-            b.1.abs().partial_cmp(&a.1.abs()).expect("finite").then(a.0.cmp(&b.0))
-        });
+        let mut ranked: Vec<(usize, f64)> = kept.iter().copied().zip(b.iter().copied()).collect();
+        ranked
+            .sort_by(|a, b| b.1.abs().partial_cmp(&a.1.abs()).expect("finite").then(a.0.cmp(&b.0)));
         ranked.truncate(s);
         ranked.sort_by_key(|&(j, _)| j);
         support = ranked.iter().map(|&(j, _)| j).collect();
@@ -124,10 +118,7 @@ pub fn cosamp(
         converged = residual.norm2() <= abs_tol;
     }
 
-    let x = SparseVector::new(
-        d,
-        support.iter().copied().zip(coeffs.iter().copied()).collect(),
-    )?;
+    let x = SparseVector::new(d, support.iter().copied().zip(coeffs.iter().copied()).collect())?;
     Ok(CosampResult { x, residual_norm: residual.norm2(), iterations, converged })
 }
 

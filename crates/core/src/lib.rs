@@ -58,12 +58,15 @@ pub mod outlier;
 pub mod sparse;
 pub mod streaming;
 
-pub use bomp::{bomp, bomp_with_matrix, omp_with_known_mode, BompConfig, BompResult, RecoveredOutlier};
+pub use bomp::{
+    bomp, bomp_traced, bomp_with_matrix, bomp_with_matrix_traced, omp_with_known_mode, BompConfig,
+    BompResult, RecoveredOutlier,
+};
 pub use bp::{basis_pursuit, BpConfig, BpResult};
 pub use cosamp::{cosamp, CosampConfig, CosampResult};
 pub use measurement::MeasurementSpec;
 pub use metrics::{error_on_key, error_on_value, outlier_errors};
-pub use omp::{omp, IterationRecord, OmpConfig, OmpResult, StopReason};
+pub use omp::{omp, omp_traced, IterationRecord, OmpConfig, OmpResult, StopReason};
 pub use outlier::KeyValue;
 pub use sparse::SparseVector;
 pub use streaming::streaming_bomp;

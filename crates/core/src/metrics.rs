@@ -39,8 +39,9 @@ pub fn error_on_value(truth: &[KeyValue], estimate: &[KeyValue]) -> Result<f64, 
     }
     let mut tv: Vec<f64> = truth.iter().map(|o| o.value).collect();
     let mut ev: Vec<f64> = estimate.iter().map(|o| o.value).collect();
+    // resize() both pads a short estimate with zeros and truncates a long
+    // one to the first |truth| entries (in estimate order, before sorting).
     ev.resize(tv.len(), 0.0);
-    ev.truncate(tv.len());
     tv.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
     ev.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
     let denom: f64 = tv.iter().map(|v| v * v).sum::<f64>().sqrt();
@@ -50,12 +51,7 @@ pub fn error_on_value(truth: &[KeyValue], estimate: &[KeyValue]) -> Result<f64, 
             message: "true outlier values have zero norm".into(),
         });
     }
-    let num: f64 = tv
-        .iter()
-        .zip(&ev)
-        .map(|(a, b)| (a - b) * (a - b))
-        .sum::<f64>()
-        .sqrt();
+    let num: f64 = tv.iter().zip(&ev).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
     Ok(num / denom)
 }
 
@@ -136,9 +132,27 @@ mod tests {
     fn ev_truncates_long_estimates() {
         let t = kv(&[(1, 5.0)]);
         let e = kv(&[(1, 5.0), (2, 99.0)]);
-        // Only the first |truth| values after sorting participate.
+        // Only the first |truth| values (estimate order) participate.
         let ev = error_on_value(&t, &e).unwrap();
         assert!(ev.is_finite());
+    }
+
+    #[test]
+    fn ev_long_estimate_hand_computed() {
+        // A 3-entry estimate against a 2-entry truth keeps the first two
+        // estimate values [4, 3] (insertion order, before sorting) and drops
+        // the 99. Sorted: truth [3, 4] vs estimate [3, 4] → EV = 0.
+        let t = kv(&[(1, 3.0), (2, 4.0)]);
+        let e = kv(&[(1, 4.0), (2, 3.0), (9, 99.0)]);
+        let ev = error_on_value(&t, &e).unwrap();
+        assert_eq!(ev, 0.0);
+
+        // And a non-zero hand-computed case: estimate truncates to [5, 1],
+        // sorted [1, 5] vs truth [3, 4] → √((3−1)² + (4−5)²)/√(3²+4²) = √5/5.
+        let t2 = kv(&[(1, 3.0), (2, 4.0)]);
+        let e2 = kv(&[(3, 5.0), (4, 1.0), (5, 777.0)]);
+        let ev2 = error_on_value(&t2, &e2).unwrap();
+        assert!((ev2 - 5.0f64.sqrt() / 5.0).abs() < 1e-12);
     }
 
     #[test]

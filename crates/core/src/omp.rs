@@ -18,6 +18,7 @@
 
 use crate::sparse::SparseVector;
 use cso_linalg::{ColMatrix, IncrementalQr, LinalgError, Vector};
+use cso_obs::{Recorder, Value};
 
 /// Why an OMP run stopped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,6 +36,19 @@ pub enum StopReason {
     RankExhausted,
     /// Every dictionary column has already been selected.
     DictionaryExhausted,
+}
+
+impl StopReason {
+    /// Stable lowercase name for traces and reports.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            StopReason::MaxIterations => "max_iterations",
+            StopReason::ResidualTolerance => "residual_tolerance",
+            StopReason::ResidualStall => "residual_stall",
+            StopReason::RankExhausted => "rank_exhausted",
+            StopReason::DictionaryExhausted => "dictionary_exhausted",
+        }
+    }
 }
 
 /// Tuning knobs for [`omp`].
@@ -122,7 +136,26 @@ impl OmpResult {
 /// `dictionary` is `M × D` (for BOMP, `D = N + 1` with the bias column
 /// first); `y` has length `M`. Errors on a dimension mismatch or an empty
 /// measurement.
-pub fn omp(dictionary: &ColMatrix, y: &Vector, config: &OmpConfig) -> Result<OmpResult, LinalgError> {
+pub fn omp(
+    dictionary: &ColMatrix,
+    y: &Vector,
+    config: &OmpConfig,
+) -> Result<OmpResult, LinalgError> {
+    omp_traced(dictionary, y, config, &Recorder::disabled())
+}
+
+/// As [`omp`], recording a `recover.omp` span with one `omp.iter` event per
+/// iteration (selected atom, residual norm, relative residual decrease) and
+/// a final `omp.stop` event into `rec`.
+///
+/// With a disabled recorder every instrumentation point reduces to a single
+/// branch, so this path is what [`omp`] itself runs.
+pub fn omp_traced(
+    dictionary: &ColMatrix,
+    y: &Vector,
+    config: &OmpConfig,
+    rec: &Recorder,
+) -> Result<OmpResult, LinalgError> {
     if y.len() != dictionary.rows() {
         return Err(LinalgError::DimensionMismatch {
             op: "omp",
@@ -134,6 +167,13 @@ pub fn omp(dictionary: &ColMatrix, y: &Vector, config: &OmpConfig) -> Result<Omp
         return Err(LinalgError::Empty { op: "omp" });
     }
 
+    let _span = rec.span_with(
+        "recover.omp",
+        &[
+            ("rows", Value::U64(dictionary.rows() as u64)),
+            ("cols", Value::U64(dictionary.cols() as u64)),
+        ],
+    );
     let y_norm = y.norm2();
     let abs_tol = config.residual_tolerance * y_norm;
     let d = dictionary.cols();
@@ -174,6 +214,18 @@ pub fn omp(dictionary: &ColMatrix, y: &Vector, config: &OmpConfig) -> Result<Omp
             None
         };
         trace.push(IterationRecord { selected: j, residual_norm: norm, coefficients });
+        rec.event(
+            "omp.iter",
+            &[
+                ("iter", Value::U64(trace.len() as u64)),
+                ("atom", Value::U64(j as u64)),
+                ("residual", Value::F64(norm)),
+                (
+                    "rel_decrease",
+                    Value::F64(if prev_norm > 0.0 { 1.0 - norm / prev_norm } else { 0.0 }),
+                ),
+            ],
+        );
         if config.stall_guard && norm >= prev_norm * (1.0 - config.min_relative_decrease) {
             break StopReason::ResidualStall;
         }
@@ -186,6 +238,17 @@ pub fn omp(dictionary: &ColMatrix, y: &Vector, config: &OmpConfig) -> Result<Omp
         qr.solve_least_squares(y.as_slice())?.into_vec()
     };
     let residual_norm = residual.norm2();
+    if rec.is_enabled() {
+        rec.event(
+            "omp.stop",
+            &[
+                ("reason", Value::from(stop.as_str())),
+                ("iterations", Value::U64(trace.len() as u64)),
+                ("residual", Value::F64(residual_norm)),
+                ("stall_guard", Value::Bool(config.stall_guard)),
+            ],
+        );
+    }
     Ok(OmpResult { support, coefficients, residual_norm, stop, trace })
 }
 
@@ -264,12 +327,15 @@ mod tests {
 
     #[test]
     fn recovers_exactly_sparse_signal() {
-        let (phi, y, truth) =
-            sparse_instance(40, 100, &[(3, 5.0), (42, -2.0), (77, 9.0)], 7);
+        let (phi, y, truth) = sparse_instance(40, 100, &[(3, 5.0), (42, -2.0), (77, 9.0)], 7);
         let r = omp(&phi, &y, &OmpConfig::default()).unwrap();
         assert_eq!(r.stop, StopReason::ResidualTolerance);
         let rec = r.to_sparse(100).unwrap();
-        assert!(rec.l2_distance(&truth).unwrap() < 1e-8, "d = {}", rec.l2_distance(&truth).unwrap());
+        assert!(
+            rec.l2_distance(&truth).unwrap() < 1e-8,
+            "d = {}",
+            rec.l2_distance(&truth).unwrap()
+        );
         let mut sup = r.support.clone();
         sup.sort_unstable();
         assert_eq!(sup, vec![3, 42, 77]);
@@ -284,8 +350,7 @@ mod tests {
 
     #[test]
     fn respects_iteration_budget() {
-        let (phi, y, _) =
-            sparse_instance(40, 100, &[(1, 3.0), (2, 3.0), (3, 3.0), (4, 3.0)], 11);
+        let (phi, y, _) = sparse_instance(40, 100, &[(1, 3.0), (2, 3.0), (3, 3.0), (4, 3.0)], 11);
         let r = omp(&phi, &y, &OmpConfig::with_max_iterations(2)).unwrap();
         assert_eq!(r.stop, StopReason::MaxIterations);
         assert_eq!(r.iterations(), 2);
@@ -352,7 +417,12 @@ mod tests {
         // the stall guard (or rank exhaustion) must stop before scanning all 30.
         assert!(r.support.len() <= 13, "stopped after {} columns", r.support.len());
         assert!(
-            matches!(r.stop, StopReason::ResidualStall | StopReason::RankExhausted | StopReason::ResidualTolerance),
+            matches!(
+                r.stop,
+                StopReason::ResidualStall
+                    | StopReason::RankExhausted
+                    | StopReason::ResidualTolerance
+            ),
             "stop = {:?}",
             r.stop
         );
@@ -368,11 +438,7 @@ mod tests {
         ])
         .unwrap();
         let y = Vector::from_vec(vec![1.0, 2.0, 3.0]);
-        let cfg = OmpConfig {
-            residual_tolerance: 0.0,
-            stall_guard: false,
-            ..OmpConfig::default()
-        };
+        let cfg = OmpConfig { residual_tolerance: 0.0, stall_guard: false, ..OmpConfig::default() };
         let r = omp(&phi, &y, &cfg).unwrap();
         assert_eq!(r.stop, StopReason::DictionaryExhausted);
         assert_eq!(r.support.len(), 2);

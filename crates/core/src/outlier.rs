@@ -61,11 +61,8 @@ pub fn estimated_mode(x: &[f64]) -> Result<f64, LinalgError> {
 /// `|value − mode|` with index tie-breaking — the paper's k-outlier set
 /// `O_k` (Section 2.1).
 pub fn k_outliers(x: &[f64], mode: f64, k: usize) -> Vec<KeyValue> {
-    let mut kv: Vec<KeyValue> = x
-        .iter()
-        .enumerate()
-        .map(|(index, &value)| KeyValue { index, value })
-        .collect();
+    let mut kv: Vec<KeyValue> =
+        x.iter().enumerate().map(|(index, &value)| KeyValue { index, value }).collect();
     sort_by_deviation(&mut kv, mode);
     kv.truncate(k);
     kv
@@ -88,31 +85,19 @@ pub fn k_outliers_strict(x: &[f64], mode: f64, k: usize) -> Vec<KeyValue> {
 
 /// The `k` largest values (the classic distributed top-k).
 pub fn top_k(x: &[f64], k: usize) -> Vec<KeyValue> {
-    let mut kv: Vec<KeyValue> = x
-        .iter()
-        .enumerate()
-        .map(|(index, &value)| KeyValue { index, value })
-        .collect();
-    kv.sort_by(|a, b| {
-        b.value.partial_cmp(&a.value).expect("finite").then(a.index.cmp(&b.index))
-    });
+    let mut kv: Vec<KeyValue> =
+        x.iter().enumerate().map(|(index, &value)| KeyValue { index, value }).collect();
+    kv.sort_by(|a, b| b.value.partial_cmp(&a.value).expect("finite").then(a.index.cmp(&b.index)));
     kv.truncate(k);
     kv
 }
 
 /// The `k` largest absolute values.
 pub fn absolute_top_k(x: &[f64], k: usize) -> Vec<KeyValue> {
-    let mut kv: Vec<KeyValue> = x
-        .iter()
-        .enumerate()
-        .map(|(index, &value)| KeyValue { index, value })
-        .collect();
+    let mut kv: Vec<KeyValue> =
+        x.iter().enumerate().map(|(index, &value)| KeyValue { index, value }).collect();
     kv.sort_by(|a, b| {
-        b.value
-            .abs()
-            .partial_cmp(&a.value.abs())
-            .expect("finite")
-            .then(a.index.cmp(&b.index))
+        b.value.abs().partial_cmp(&a.value.abs()).expect("finite").then(a.index.cmp(&b.index))
     });
     kv.truncate(k);
     kv

@@ -45,12 +45,8 @@ impl SparseVector {
 
     /// Builds from a dense slice, keeping entries with `|v| > tol`.
     pub fn from_dense(x: &[f64], tol: f64) -> Self {
-        let entries = x
-            .iter()
-            .enumerate()
-            .filter(|(_, v)| v.abs() > tol)
-            .map(|(i, &v)| (i, v))
-            .collect();
+        let entries =
+            x.iter().enumerate().filter(|(_, v)| v.abs() > tol).map(|(i, &v)| (i, v)).collect();
         SparseVector { dim: x.len(), entries }
     }
 

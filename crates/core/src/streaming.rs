@@ -93,11 +93,7 @@ pub fn streaming_bomp(
                 spec.fill_column(start + offset, &mut chunk[offset * m..(offset + 1) * m]);
             }
             for offset in 0..count {
-                consider(
-                    start + offset + 1,
-                    &chunk[offset * m..(offset + 1) * m],
-                    &mut best,
-                );
+                consider(start + offset + 1, &chunk[offset * m..(offset + 1) * m], &mut best);
             }
             start += count;
         }
@@ -124,9 +120,7 @@ pub fn streaming_bomp(
                 .unwrap_or(0.0);
             mode_trace.push(b);
         }
-        if config.omp.stall_guard
-            && norm >= prev_norm * (1.0 - config.omp.min_relative_decrease)
-        {
+        if config.omp.stall_guard && norm >= prev_norm * (1.0 - config.omp.min_relative_decrease) {
             break StopReason::ResidualStall;
         }
         prev_norm = norm;

@@ -9,8 +9,7 @@ use proptest::prelude::*;
 
 /// Strategy: a sparse support of 1–4 well-separated entries in [0, 60).
 fn support() -> impl Strategy<Value = Vec<(usize, f64)>> {
-    prop::collection::btree_map(0usize..60, 5e3f64..5e4, 1..5)
-        .prop_map(|m| m.into_iter().collect())
+    prop::collection::btree_map(0usize..60, 5e3f64..5e4, 1..5).prop_map(|m| m.into_iter().collect())
 }
 
 proptest! {

@@ -86,8 +86,7 @@ mod tests {
             3,
         )
         .unwrap();
-        let slices =
-            split(&data.values, 4, SliceStrategy::RandomProportions, 4).unwrap();
+        let slices = split(&data.values, 4, SliceStrategy::RandomProportions, 4).unwrap();
         (Cluster::new(slices).unwrap(), data)
     }
 

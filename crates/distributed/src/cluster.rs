@@ -80,10 +80,7 @@ impl Cluster {
 
     /// Non-zero counts per node — the `nᵢ` of the keyid-value ALL cost.
     pub fn nonzeros_per_node(&self) -> Vec<usize> {
-        self.slices
-            .iter()
-            .map(|s| s.iter().filter(|&&v| v != 0.0).count())
-            .collect()
+        self.slices.iter().map(|s| s.iter().filter(|&&v| v != 0.0).count()).collect()
     }
 
     /// Adds a node (the paper's "a new data center joins the network").

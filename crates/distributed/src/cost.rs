@@ -10,6 +10,8 @@
 //! The meter is explicit rather than inferred so the normalized-cost axes
 //! of Figures 7 and 8 are computed exactly as in the paper.
 
+use cso_obs::Recorder;
+
 /// Bits used to encode one bare value (the paper's `S_v` / `S_M`).
 pub const VALUE_BITS: u64 = 64;
 /// Bits used to encode one keyid-value pair (the paper's `S_t`).
@@ -42,6 +44,16 @@ impl CommunicationCost {
         } else {
             self.bits as f64 / baseline.bits as f64
         }
+    }
+
+    /// Adds this cost to the recorder's `comm.bits` / `comm.tuples` /
+    /// `comm.rounds` counters. Counters accumulate, so publishing the costs
+    /// of two protocol runs into one recorder sums them; publish once per
+    /// finished run.
+    pub fn publish(&self, rec: &Recorder) {
+        rec.counter_add("comm.bits", self.bits);
+        rec.counter_add("comm.tuples", self.tuples);
+        rec.counter_add("comm.rounds", u64::from(self.rounds));
     }
 }
 
@@ -111,16 +123,24 @@ impl CostMeter {
     pub fn finish(&self) -> CommunicationCost {
         CommunicationCost { bits: self.bits, tuples: self.tuples, rounds: self.rounds }
     }
+
+    /// [`CommunicationCost::publish`] for a still-running meter, plus a
+    /// `comm.node_bits` histogram sample per node (the per-node skew the
+    /// scalar totals hide).
+    pub fn publish(&self, rec: &Recorder) {
+        self.finish().publish(rec);
+        if rec.is_enabled() {
+            for &bits in &self.per_node_bits {
+                rec.histogram_record("comm.node_bits", bits);
+            }
+        }
+    }
 }
 
 /// Closed-form cost of the trivial vectorized ALL baseline: `L·N` values
 /// in one round (the paper's `L·N·S_v`).
 pub fn all_vectorized_cost(l: usize, n: usize) -> CommunicationCost {
-    CommunicationCost {
-        bits: (l * n) as u64 * VALUE_BITS,
-        tuples: (l * n) as u64,
-        rounds: 1,
-    }
+    CommunicationCost { bits: (l * n) as u64 * VALUE_BITS, tuples: (l * n) as u64, rounds: 1 }
 }
 
 /// Closed-form cost of shipping every non-zero key as a keyid-value pair:
@@ -133,11 +153,7 @@ pub fn all_kv_cost(nonzeros_per_node: &[usize]) -> CommunicationCost {
 
 /// Closed-form cost of the CS protocol: `L·M` values in one round.
 pub fn cs_cost(l: usize, m: usize) -> CommunicationCost {
-    CommunicationCost {
-        bits: (l * m) as u64 * VALUE_BITS,
-        tuples: (l * m) as u64,
-        rounds: 1,
-    }
+    CommunicationCost { bits: (l * m) as u64 * VALUE_BITS, tuples: (l * m) as u64, rounds: 1 }
 }
 
 #[cfg(test)]
@@ -168,9 +184,76 @@ mod tests {
     }
 
     #[test]
+    fn broadcast_charges_no_individual_node() {
+        // Broadcast traffic is aggregator → nodes; it must appear in the
+        // totals but not in any node's uplink accounting.
+        let mut m = CostMeter::new(3);
+        m.record_values(1, 2);
+        m.record_broadcast_values(5);
+        assert_eq!(m.node_bits(0), 0);
+        assert_eq!(m.node_bits(1), 2 * 64);
+        assert_eq!(m.node_bits(2), 0);
+        let c = m.finish();
+        assert_eq!(c.bits, 2 * 64 + 5 * 64 * 3);
+        assert_eq!(c.tuples, 2 + 5 * 3);
+    }
+
+    #[test]
+    fn broadcast_to_zero_nodes_is_free() {
+        let mut m = CostMeter::new(0);
+        m.record_broadcast_values(100);
+        let c = m.finish();
+        assert_eq!(c.bits, 0);
+        assert_eq!(c.tuples, 0);
+    }
+
+    #[test]
     fn bytes_round_up() {
         let c = CommunicationCost { bits: 65, tuples: 1, rounds: 1 };
         assert_eq!(c.bytes(), 9);
+    }
+
+    #[test]
+    fn bytes_rounding_boundaries() {
+        let with_bits = |bits| CommunicationCost { bits, tuples: 0, rounds: 0 };
+        assert_eq!(with_bits(0).bytes(), 0);
+        assert_eq!(with_bits(1).bytes(), 1);
+        assert_eq!(with_bits(7).bytes(), 1);
+        assert_eq!(with_bits(8).bytes(), 1);
+        assert_eq!(with_bits(9).bytes(), 2);
+        assert_eq!(with_bits(64).bytes(), 8);
+        assert_eq!(with_bits(u64::MAX).bytes(), u64::MAX / 8 + 1);
+    }
+
+    #[test]
+    fn normalized_to_zero_baseline_is_infinite() {
+        let zero = CommunicationCost::default();
+        let cs = cs_cost(4, 100);
+        assert!(cs.normalized_to(&zero).is_infinite());
+        // Zero against zero is also "infinitely worse", not NaN.
+        assert!(zero.normalized_to(&zero).is_infinite());
+        // And a zero-cost run against a real baseline is exactly 0.
+        assert_eq!(zero.normalized_to(&cs), 0.0);
+    }
+
+    #[test]
+    fn publish_mirrors_totals_into_recorder_counters() {
+        let mut m = CostMeter::new(2);
+        m.begin_round();
+        m.record_values(0, 10);
+        m.record_kv_pairs(1, 5);
+        let rec = Recorder::new();
+        m.publish(&rec);
+        let snap = rec.metrics_snapshot();
+        let c = m.finish();
+        assert_eq!(snap.counter("comm.bits"), Some(c.bits));
+        assert_eq!(snap.counter("comm.tuples"), Some(c.tuples));
+        assert_eq!(snap.counter("comm.rounds"), Some(u64::from(c.rounds)));
+        let h = snap.histogram("comm.node_bits").expect("per-node histogram");
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, c.bits);
+        // Publishing to a disabled recorder is a no-op that must not panic.
+        c.publish(&Recorder::disabled());
     }
 
     #[test]

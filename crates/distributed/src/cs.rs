@@ -9,8 +9,9 @@
 use crate::cluster::Cluster;
 use crate::cost::CostMeter;
 use crate::protocol::{OutlierProtocol, ProtocolRun};
-use cso_core::{bomp_with_matrix, BompConfig, KeyValue, MeasurementSpec};
+use cso_core::{bomp_with_matrix, bomp_with_matrix_traced, BompConfig, KeyValue, MeasurementSpec};
 use cso_linalg::{ColMatrix, LinalgError, Vector};
+use cso_obs::{Recorder, Value};
 
 /// The CS-based outlier protocol.
 #[derive(Debug, Clone)]
@@ -50,6 +51,69 @@ impl CsProtocol {
     /// layer can reuse it as the CS-Mapper body.
     pub fn sketch_slice(phi0: &ColMatrix, slice: &[f64]) -> Result<Vector, LinalgError> {
         phi0.matvec(&Vector::from_vec(slice.to_vec()))
+    }
+
+    /// As [`OutlierProtocol::run`], recording the execution into `rec`.
+    ///
+    /// The trace is one `protocol.cs` span containing `sketch.build` (all
+    /// node-side measurements), `transport` (the single sketch round, one
+    /// virtual tick), and `recovery` (which BOMP fills with per-iteration
+    /// events — see [`cso_core::bomp_with_matrix_traced`]). The finished
+    /// [`CostMeter`] is published into the `comm.*` counters, so the
+    /// recorder's metrics agree with [`ProtocolRun::cost`] exactly.
+    pub fn run_traced(
+        &self,
+        cluster: &Cluster,
+        k: usize,
+        rec: &Recorder,
+    ) -> Result<ProtocolRun, LinalgError> {
+        let n = cluster.n();
+        let spec = MeasurementSpec::new(self.m, n, self.seed)?;
+        // All parties regenerate the same matrix from the seed; we
+        // materialize it once here since the simulation shares an address
+        // space (bit-identical to per-node regeneration — see tests).
+        let phi0 = spec.materialize();
+
+        let _proto_span = rec.span_with(
+            "protocol.cs",
+            &[
+                ("nodes", Value::U64(cluster.l() as u64)),
+                ("n", Value::U64(n as u64)),
+                ("m", Value::U64(self.m as u64)),
+                ("k", Value::U64(k as u64)),
+            ],
+        );
+
+        let sketches: Vec<Vector> = {
+            let _s = rec.span("sketch.build");
+            (0..cluster.l())
+                .map(|l| Self::sketch_slice(&phi0, cluster.slice(l)))
+                .collect::<Result<_, _>>()?
+        };
+
+        let mut meter = CostMeter::new(cluster.l());
+        let mut y = Vector::zeros(self.m);
+        {
+            let _t = rec.span_with("transport", &[("round", Value::U64(1))]);
+            meter.begin_round();
+            rec.advance_ticks(1);
+            for (l, yl) in sketches.iter().enumerate() {
+                meter.record_values(l, self.m as u64);
+                y.add_assign(yl)?;
+            }
+        }
+
+        let mut recovery = self.recovery;
+        recovery.omp.max_iterations = self.budget_for(k).min(self.m);
+        let result = {
+            let _r = rec.span("recovery");
+            bomp_with_matrix_traced(&phi0, &y, &recovery, rec)?
+        };
+
+        meter.publish(rec);
+        let estimate: Vec<KeyValue> =
+            result.top_k(k).iter().map(|o| KeyValue { index: o.index, value: o.value }).collect();
+        Ok(ProtocolRun { protocol: self.name(), estimate, mode: result.mode, cost: meter.finish() })
     }
 }
 
@@ -113,11 +177,8 @@ impl CsProtocol {
         let mut recovery = self.recovery;
         recovery.omp.max_iterations = self.budget_for(k).min(self.m);
         let result = bomp_with_matrix(&phi0, &y, &recovery)?;
-        let estimate: Vec<KeyValue> = result
-            .top_k(k)
-            .iter()
-            .map(|o| KeyValue { index: o.index, value: o.value })
-            .collect();
+        let estimate: Vec<KeyValue> =
+            result.top_k(k).iter().map(|o| KeyValue { index: o.index, value: o.value }).collect();
         Ok(ProtocolRun {
             protocol: self.name(),
             estimate,
@@ -137,37 +198,7 @@ impl OutlierProtocol for CsProtocol {
     }
 
     fn run(&self, cluster: &Cluster, k: usize) -> Result<ProtocolRun, LinalgError> {
-        let n = cluster.n();
-        let spec = MeasurementSpec::new(self.m, n, self.seed)?;
-        // All parties regenerate the same matrix from the seed; we
-        // materialize it once here since the simulation shares an address
-        // space (bit-identical to per-node regeneration — see tests).
-        let phi0 = spec.materialize();
-
-        let mut meter = CostMeter::new(cluster.l());
-        meter.begin_round();
-        let mut y = Vector::zeros(self.m);
-        for l in 0..cluster.l() {
-            let yl = Self::sketch_slice(&phi0, cluster.slice(l))?;
-            meter.record_values(l, self.m as u64);
-            y.add_assign(&yl)?;
-        }
-
-        let mut recovery = self.recovery;
-        recovery.omp.max_iterations = self.budget_for(k).min(self.m);
-        let result = bomp_with_matrix(&phi0, &y, &recovery)?;
-
-        let estimate: Vec<KeyValue> = result
-            .top_k(k)
-            .iter()
-            .map(|o| KeyValue { index: o.index, value: o.value })
-            .collect();
-        Ok(ProtocolRun {
-            protocol: self.name(),
-            estimate,
-            mode: result.mode,
-            cost: meter.finish(),
-        })
+        self.run_traced(cluster, k, &Recorder::disabled())
     }
 }
 
@@ -246,11 +277,9 @@ mod tests {
         let spec = MeasurementSpec::new(100, n, 13).unwrap();
         let aggregate = cluster.aggregate();
         let y_central = spec.measure_dense(&aggregate).unwrap();
-        let central =
-            cso_core::bomp(&spec, &y_central, &BompConfig::for_k_outliers(8)).unwrap();
+        let central = cso_core::bomp(&spec, &y_central, &BompConfig::for_k_outliers(8)).unwrap();
 
-        let proto = CsProtocol::new(100, 13)
-            .with_recovery(BompConfig::for_k_outliers(8));
+        let proto = CsProtocol::new(100, 13).with_recovery(BompConfig::for_k_outliers(8));
         let run = proto.run(&cluster, 8).unwrap();
         assert!((run.mode - central.mode).abs() < 1e-6);
         let central_top: Vec<usize> = central.top_k(8).iter().map(|o| o.index).collect();
@@ -263,9 +292,8 @@ mod tests {
         let (cluster, _) = majority_cluster(77);
         let proto = CsProtocol::new(110, 5).with_recovery(BompConfig::for_k_outliers(8));
         let abstract_run = proto.run(&cluster, 8).unwrap();
-        let wire_run = proto
-            .run_over_wire(&cluster, 8, crate::quantize::SketchEncoding::F64)
-            .unwrap();
+        let wire_run =
+            proto.run_over_wire(&cluster, 8, crate::quantize::SketchEncoding::F64).unwrap();
         assert_eq!(abstract_run.estimate, wire_run.estimate);
         assert!((abstract_run.mode - wire_run.mode).abs() < 1e-12);
         // Real bytes = abstract payload + framing headers.
@@ -277,16 +305,56 @@ mod tests {
     fn wire_execution_with_quantization_is_cheaper_and_still_accurate() {
         let (cluster, data) = majority_cluster(78);
         let proto = CsProtocol::new(120, 9).with_recovery(BompConfig::for_k_outliers(8));
-        let f64_run = proto
-            .run_over_wire(&cluster, 8, crate::quantize::SketchEncoding::F64)
-            .unwrap();
-        let f32_run = proto
-            .run_over_wire(&cluster, 8, crate::quantize::SketchEncoding::F32)
-            .unwrap();
+        let f64_run =
+            proto.run_over_wire(&cluster, 8, crate::quantize::SketchEncoding::F64).unwrap();
+        let f32_run =
+            proto.run_over_wire(&cluster, 8, crate::quantize::SketchEncoding::F32).unwrap();
         assert!(f32_run.cost.bits < f64_run.cost.bits * 6 / 10);
         let truth = data.true_k_outliers(8);
         let ek = cso_core::error_on_key(&truth, &f32_run.estimate).unwrap();
         assert_eq!(ek, 0.0, "32-bit sketches must not lose the outliers");
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_publishes_exact_cost() {
+        let (cluster, _) = majority_cluster(42);
+        let proto = CsProtocol::new(120, 7).with_recovery(BompConfig::for_k_outliers(8));
+        let plain = proto.run(&cluster, 8).unwrap();
+        let rec = Recorder::new();
+        let traced = proto.run_traced(&cluster, 8, &rec).unwrap();
+
+        // Tracing must not change the computation.
+        assert_eq!(plain.estimate, traced.estimate);
+        assert_eq!(plain.cost, traced.cost);
+        assert!((plain.mode - traced.mode).abs() < 1e-12);
+
+        // Published comm.* counters equal the CostMeter totals exactly.
+        let snap = rec.metrics_snapshot();
+        assert_eq!(snap.counter("comm.bits"), Some(traced.cost.bits));
+        assert_eq!(snap.counter("comm.tuples"), Some(traced.cost.tuples));
+        assert_eq!(snap.counter("comm.rounds"), Some(u64::from(traced.cost.rounds)));
+
+        // The trace contains the protocol span structure and per-iteration
+        // BOMP events.
+        let trace = rec.trace_snapshot();
+        let span_names: Vec<&str> = trace
+            .iter()
+            .filter(|e| e.kind == cso_obs::EntryKind::SpanStart)
+            .map(|e| e.name)
+            .collect();
+        assert_eq!(
+            span_names,
+            vec![
+                "protocol.cs",
+                "sketch.build",
+                "transport",
+                "recovery",
+                "recover.bomp",
+                "recover.omp"
+            ]
+        );
+        assert!(!rec.events_named("bomp.iter").is_empty());
+        assert_eq!(rec.events_named("bomp.done").len(), 1);
     }
 
     #[test]

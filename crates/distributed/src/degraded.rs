@@ -23,8 +23,9 @@ use crate::protocol::{OutlierProtocol, ProtocolRun};
 use crate::quantize::{self, SketchEncoding};
 use crate::retry::RetryPolicy;
 use crate::wire;
-use cso_core::{bomp_with_matrix, KeyValue, MeasurementSpec};
+use cso_core::{bomp_with_matrix_traced, KeyValue, MeasurementSpec};
 use cso_linalg::{LinalgError, Vector};
+use cso_obs::{Recorder, Value};
 use std::collections::BTreeSet;
 
 /// Virtual ticks one transmission attempt takes when the channel does not
@@ -59,12 +60,7 @@ impl SketchCollector {
 
     /// Folds `sketch` into the sum unless this `(node, seed)` already
     /// contributed. Errors only on a length mismatch.
-    pub fn offer(
-        &mut self,
-        node: u32,
-        seed: u64,
-        sketch: &Vector,
-    ) -> Result<Offer, LinalgError> {
+    pub fn offer(&mut self, node: u32, seed: u64, sketch: &Vector) -> Result<Offer, LinalgError> {
         if !self.seen.insert((node, seed)) {
             self.duplicates_ignored += 1;
             return Ok(Offer::Duplicate);
@@ -151,9 +147,43 @@ impl CsProtocol {
         plan: &FaultPlan,
         policy: &RetryPolicy,
     ) -> Result<DegradedRun, LinalgError> {
+        self.run_degraded_traced(cluster, k, encoding, plan, policy, &Recorder::disabled())
+    }
+
+    /// As [`CsProtocol::run_degraded`], recording the execution into `rec`.
+    ///
+    /// The trace is one `protocol.cs.degraded` span containing
+    /// `sketch.build`, `transport` (one `transport.node` event per node with
+    /// its attempt count, survival, and virtual elapsed ticks), and
+    /// `recovery`. The recorder's tick advances by the round's elapsed
+    /// virtual time. Published metrics: the `comm.*` counters (equal to the
+    /// returned [`crate::cost::CommunicationCost`] exactly), the transport
+    /// counters `retry.retransmissions` / `transport.corrupt_rejected` /
+    /// `transport.duplicates` / `transport.timeouts` /
+    /// `nodes.survived` / `nodes.dropped`, the channel's `fault.*`
+    /// counters, and the `transport.surviving_fraction` gauge.
+    pub fn run_degraded_traced(
+        &self,
+        cluster: &Cluster,
+        k: usize,
+        encoding: SketchEncoding,
+        plan: &FaultPlan,
+        policy: &RetryPolicy,
+        rec: &Recorder,
+    ) -> Result<DegradedRun, LinalgError> {
         let n = cluster.n();
         let spec = MeasurementSpec::new(self.m, n, self.seed)?;
         let phi0 = spec.materialize();
+
+        let _proto_span = rec.span_with(
+            "protocol.cs.degraded",
+            &[
+                ("nodes", Value::U64(cluster.l() as u64)),
+                ("n", Value::U64(n as u64)),
+                ("m", Value::U64(self.m as u64)),
+                ("k", Value::U64(k as u64)),
+            ],
+        );
 
         let mut channel = LossyChannel::new(plan);
         let mut collector = SketchCollector::new(self.m);
@@ -168,18 +198,27 @@ impl CsProtocol {
         let mut elapsed_ticks = 0u64;
         let mut tuples_sent = 0u64;
 
-        for node in 0..cluster.l() {
-            // The node's frame is identical across attempts — retransmits
-            // are idempotent and the collector dedups by (node, seed).
-            let sketch = Self::sketch_slice(&phi0, cluster.slice(node))?;
-            let frame = wire::encode(&wire::Message::Sketch {
-                node: node as u32,
-                seed: self.seed,
-                payload: quantize::encode(&sketch, encoding),
-            });
+        // Node frames are identical across attempts — retransmits are
+        // idempotent and the collector dedups by (node, seed).
+        let frames_by_node: Vec<Vec<u8>> = {
+            let _s = rec.span("sketch.build");
+            (0..cluster.l())
+                .map(|node| {
+                    let sketch = Self::sketch_slice(&phi0, cluster.slice(node))?;
+                    Ok(wire::encode(&wire::Message::Sketch {
+                        node: node as u32,
+                        seed: self.seed,
+                        payload: quantize::encode(&sketch, encoding),
+                    }))
+                })
+                .collect::<Result<_, LinalgError>>()?
+        };
 
+        let transport_span = rec.span_with("transport", &[("round", Value::U64(1))]);
+        for (node, frame) in frames_by_node.iter().enumerate() {
             let mut node_elapsed = 0u64;
             let mut survived = false;
+            let mut attempts_sent = 0u64;
             'attempts: for attempt in 0..policy.max_attempts {
                 if attempt > 0 {
                     node_elapsed += policy.backoff_ticks(node, attempt);
@@ -194,9 +233,10 @@ impl CsProtocol {
                 // The frame goes on the wire whatever happens to it next.
                 meter.record_wire_bytes(node, frame.len() as u64);
                 tuples_sent += self.m as u64;
+                attempts_sent += 1;
                 node_elapsed += TRANSIT_TICKS;
 
-                match channel.transmit(node, attempt, &frame) {
+                match channel.transmit(node, attempt, frame) {
                     Delivery::Dropped => {}
                     Delivery::Delivered { frames, delay_ticks } => {
                         node_elapsed += delay_ticks;
@@ -237,10 +277,25 @@ impl CsProtocol {
             } else {
                 dropped_nodes.push(node);
             }
+            rec.event(
+                "transport.node",
+                &[
+                    ("node", Value::U64(node as u64)),
+                    ("attempts", Value::U64(attempts_sent)),
+                    ("survived", Value::Bool(survived)),
+                    ("elapsed_ticks", Value::U64(node_elapsed)),
+                ],
+            );
+            if rec.is_enabled() {
+                rec.histogram_record("transport.node_attempts", attempts_sent);
+            }
             // Nodes transmit concurrently; the round lasts as long as the
             // slowest one.
             elapsed_ticks = elapsed_ticks.max(node_elapsed);
         }
+        // Virtual time: the round lasts as long as its slowest node.
+        rec.advance_ticks(elapsed_ticks);
+        drop(transport_span);
 
         if collector.is_empty() {
             return Err(LinalgError::Empty { op: "degraded aggregation" });
@@ -248,23 +303,35 @@ impl CsProtocol {
 
         let mut recovery = self.recovery;
         recovery.omp.max_iterations = self.budget_for(k).min(self.m);
-        let result = bomp_with_matrix(&phi0, collector.sum(), &recovery)?;
-        let estimate: Vec<KeyValue> = result
-            .top_k(k)
-            .iter()
-            .map(|o| KeyValue { index: o.index, value: o.value })
-            .collect();
+        let result = {
+            let _r = rec.span("recovery");
+            bomp_with_matrix_traced(&phi0, collector.sum(), &recovery, rec)?
+        };
+        let estimate: Vec<KeyValue> =
+            result.top_k(k).iter().map(|o| KeyValue { index: o.index, value: o.value }).collect();
 
         let mut cost = meter.finish();
         cost.tuples = tuples_sent;
 
+        let fault_stats = channel.stats();
+        cost.publish(rec);
+        if rec.is_enabled() {
+            for node in 0..cluster.l() {
+                rec.histogram_record("comm.node_bits", meter.node_bits(node));
+            }
+            rec.counter_add("retry.retransmissions", retransmissions);
+            rec.counter_add("transport.corrupt_rejected", corrupt_rejected);
+            rec.counter_add("transport.duplicates", collector.duplicates_ignored());
+            rec.counter_add("transport.timeouts", timeouts);
+            rec.counter_add("nodes.survived", surviving_nodes.len() as u64);
+            rec.counter_add("nodes.dropped", dropped_nodes.len() as u64);
+            fault_stats.publish(rec);
+            let total = (surviving_nodes.len() + dropped_nodes.len()) as f64;
+            rec.gauge_set("transport.surviving_fraction", surviving_nodes.len() as f64 / total);
+        }
+
         Ok(DegradedRun {
-            run: ProtocolRun {
-                protocol: self.name(),
-                estimate,
-                mode: result.mode,
-                cost,
-            },
+            run: ProtocolRun { protocol: self.name(), estimate, mode: result.mode, cost },
             surviving_nodes,
             dropped_nodes,
             retransmissions,
@@ -272,7 +339,7 @@ impl CsProtocol {
             duplicates_ignored: collector.duplicates_ignored(),
             timeouts,
             elapsed_ticks,
-            fault_stats: channel.stats(),
+            fault_stats,
         })
     }
 }
@@ -335,9 +402,7 @@ mod tests {
         let p = proto();
         let plan = FaultPlan::new(1234).fail_nodes(&[2, 5]).corrupt_rate(0.05);
         let policy = RetryPolicy::default();
-        let deg = p
-            .run_degraded(&cluster, 8, SketchEncoding::F64, &plan, &policy)
-            .unwrap();
+        let deg = p.run_degraded(&cluster, 8, SketchEncoding::F64, &plan, &policy).unwrap();
 
         assert_eq!(deg.dropped_nodes, vec![2, 5]);
         assert_eq!(deg.surviving_nodes, vec![0, 1, 3, 4, 6, 7]);
@@ -346,11 +411,8 @@ mod tests {
         // Recovery must equal the clean protocol on the surviving subset —
         // degraded mode is exact on the partial aggregate, and no corrupt
         // frame leaked garbage into the sum.
-        let surviving: Vec<Vec<f64>> = deg
-            .surviving_nodes
-            .iter()
-            .map(|&l| cluster.slice(l).to_vec())
-            .collect();
+        let surviving: Vec<Vec<f64>> =
+            deg.surviving_nodes.iter().map(|&l| cluster.slice(l).to_vec()).collect();
         let partial = Cluster::new(surviving).unwrap();
         let clean = p.run(&partial, 8).unwrap();
         assert_eq!(deg.run.estimate, clean.estimate);
@@ -374,18 +436,11 @@ mod tests {
     fn determinism_same_plan_same_run() {
         let (cluster, _) = cluster_of(6, 9);
         let p = proto();
-        let plan = FaultPlan::new(77)
-            .drop_rate(0.2)
-            .corrupt_rate(0.1)
-            .duplicate_rate(0.2)
-            .delay(0.2, 3);
+        let plan =
+            FaultPlan::new(77).drop_rate(0.2).corrupt_rate(0.1).duplicate_rate(0.2).delay(0.2, 3);
         let policy = RetryPolicy::default();
-        let a = p
-            .run_degraded(&cluster, 8, SketchEncoding::F64, &plan, &policy)
-            .unwrap();
-        let b = p
-            .run_degraded(&cluster, 8, SketchEncoding::F64, &plan, &policy)
-            .unwrap();
+        let a = p.run_degraded(&cluster, 8, SketchEncoding::F64, &plan, &policy).unwrap();
+        let b = p.run_degraded(&cluster, 8, SketchEncoding::F64, &plan, &policy).unwrap();
         assert_eq!(a.run.estimate, b.run.estimate);
         assert_eq!(a.run.cost, b.run.cost);
         assert_eq!(a.surviving_nodes, b.surviving_nodes);
@@ -400,13 +455,7 @@ mod tests {
         let p = proto();
         let plan = FaultPlan::new(4).duplicate_rate(1.0);
         let deg = p
-            .run_degraded(
-                &cluster,
-                8,
-                SketchEncoding::F64,
-                &plan,
-                &RetryPolicy::no_retry(),
-            )
+            .run_degraded(&cluster, 8, SketchEncoding::F64, &plan, &RetryPolicy::no_retry())
             .unwrap();
         assert_eq!(deg.duplicates_ignored, 5, "every node's frame arrived twice");
         // The estimate equals the clean run: duplicate sketches were not
@@ -441,9 +490,7 @@ mod tests {
         // 40% loss, but 6 attempts: survival probability per node > 99.5%.
         let plan = FaultPlan::new(31).drop_rate(0.4);
         let policy = RetryPolicy::default().with_max_attempts(6).with_timeout_ticks(10_000);
-        let deg = p
-            .run_degraded(&cluster, 8, SketchEncoding::F64, &plan, &policy)
-            .unwrap();
+        let deg = p.run_degraded(&cluster, 8, SketchEncoding::F64, &plan, &policy).unwrap();
         assert_eq!(deg.dropped_nodes, Vec::<usize>::new());
         assert!(deg.retransmissions > 0, "40% loss must force retransmits");
         let clean = p.run(&cluster, 8).unwrap();
@@ -451,16 +498,50 @@ mod tests {
     }
 
     #[test]
+    fn traced_degraded_counters_match_run_fields_exactly() {
+        let (cluster, _) = cluster_of(8, 42);
+        let p = proto();
+        let plan = FaultPlan::new(1234).fail_nodes(&[2, 5]).corrupt_rate(0.05);
+        let policy = RetryPolicy::default();
+        let rec = Recorder::new();
+        let deg =
+            p.run_degraded_traced(&cluster, 8, SketchEncoding::F64, &plan, &policy, &rec).unwrap();
+
+        // Tracing must not perturb the deterministic execution.
+        let plain = p.run_degraded(&cluster, 8, SketchEncoding::F64, &plan, &policy).unwrap();
+        assert_eq!(deg.run.estimate, plain.run.estimate);
+        assert_eq!(deg.run.cost, plain.run.cost);
+        assert_eq!(deg.fault_stats, plain.fault_stats);
+
+        // Every published counter equals the corresponding DegradedRun
+        // field exactly.
+        let snap = rec.metrics_snapshot();
+        assert_eq!(snap.counter("comm.bits"), Some(deg.run.cost.bits));
+        assert_eq!(snap.counter("comm.tuples"), Some(deg.run.cost.tuples));
+        assert_eq!(snap.counter("comm.rounds"), Some(1));
+        assert_eq!(snap.counter("retry.retransmissions"), Some(deg.retransmissions));
+        assert_eq!(snap.counter("transport.corrupt_rejected"), Some(deg.corrupt_rejected));
+        assert_eq!(snap.counter("transport.duplicates"), Some(deg.duplicates_ignored));
+        assert_eq!(snap.counter("transport.timeouts"), Some(deg.timeouts));
+        assert_eq!(snap.counter("nodes.survived"), Some(deg.surviving_nodes.len() as u64));
+        assert_eq!(snap.counter("nodes.dropped"), Some(deg.dropped_nodes.len() as u64));
+        assert_eq!(snap.counter("fault.attempts"), Some(deg.fault_stats.attempts));
+        assert_eq!(snap.counter("fault.dropped"), Some(deg.fault_stats.dropped));
+        assert_eq!(snap.counter("fault.corrupted"), Some(deg.fault_stats.corrupted));
+        assert_eq!(snap.gauge("transport.surviving_fraction"), Some(deg.surviving_fraction()));
+
+        // The virtual clock advanced by the round's elapsed time, and one
+        // transport.node event was recorded per node.
+        assert_eq!(rec.tick(), deg.elapsed_ticks);
+        assert_eq!(rec.events_named("transport.node").len(), cluster.l());
+    }
+
+    #[test]
     fn all_nodes_down_is_an_error() {
         let (cluster, _) = cluster_of(3, 2);
         let plan = FaultPlan::new(1).fail_nodes(&[0, 1, 2]);
-        let result = proto().run_degraded(
-            &cluster,
-            8,
-            SketchEncoding::F64,
-            &plan,
-            &RetryPolicy::default(),
-        );
+        let result =
+            proto().run_degraded(&cluster, 8, SketchEncoding::F64, &plan, &RetryPolicy::default());
         assert!(matches!(result, Err(LinalgError::Empty { .. })));
     }
 

@@ -113,11 +113,7 @@ mod tests {
     fn vectorize_aggregates_by_key() {
         let d = dict();
         let x = d
-            .vectorize(&[
-                ("a".to_string(), 2.0),
-                ("c".to_string(), 5.0),
-                ("a".to_string(), 3.0),
-            ])
+            .vectorize(&[("a".to_string(), 2.0), ("c".to_string(), 5.0), ("a".to_string(), 3.0)])
             .unwrap();
         assert_eq!(x, vec![5.0, 0.0, 5.0]);
     }

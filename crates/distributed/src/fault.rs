@@ -126,6 +126,17 @@ pub struct FaultStats {
     pub delayed: u64,
 }
 
+impl FaultStats {
+    /// Adds these totals to the recorder's `fault.*` counters.
+    pub fn publish(&self, rec: &cso_obs::Recorder) {
+        rec.counter_add("fault.attempts", self.attempts);
+        rec.counter_add("fault.dropped", self.dropped);
+        rec.counter_add("fault.corrupted", self.corrupted);
+        rec.counter_add("fault.duplicated", self.duplicated);
+        rec.counter_add("fault.delayed", self.delayed);
+    }
+}
+
 /// Applies a [`FaultPlan`] to transmission attempts.
 #[derive(Debug, Clone)]
 pub struct LossyChannel<'a> {
@@ -174,8 +185,7 @@ impl<'a> LossyChannel<'a> {
             frames.push(received);
         }
 
-        let delay_ticks = if self.plan.max_delay_ticks > 0 && rng.gen_bool(self.plan.delay_rate)
-        {
+        let delay_ticks = if self.plan.max_delay_ticks > 0 && rng.gen_bool(self.plan.delay_rate) {
             self.stats.delayed += 1;
             rng.gen_range(1..=self.plan.max_delay_ticks)
         } else {
@@ -256,21 +266,15 @@ mod tests {
         for attempt in 0..5 {
             assert_eq!(ch.transmit(1, attempt, &frame()), Delivery::Dropped);
             assert_eq!(ch.transmit(3, attempt, &frame()), Delivery::Dropped);
-            assert!(matches!(
-                ch.transmit(0, attempt, &frame()),
-                Delivery::Delivered { .. }
-            ));
+            assert!(matches!(ch.transmit(0, attempt, &frame()), Delivery::Delivered { .. }));
         }
         assert_eq!(ch.stats().dropped, 10);
     }
 
     #[test]
     fn deterministic_and_order_independent() {
-        let plan = FaultPlan::new(99)
-            .drop_rate(0.3)
-            .corrupt_rate(0.3)
-            .duplicate_rate(0.3)
-            .delay(0.3, 10);
+        let plan =
+            FaultPlan::new(99).drop_rate(0.3).corrupt_rate(0.3).duplicate_rate(0.3).delay(0.3, 10);
         // Same (node, attempt) → same outcome, regardless of what else the
         // channel carried beforehand.
         let mut a = LossyChannel::new(&plan);

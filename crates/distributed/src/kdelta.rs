@@ -45,8 +45,7 @@ impl KDeltaProtocol {
     /// Number of sample keys `g` for a given `k`.
     fn g_for(&self, k: usize, n: usize) -> usize {
         let budget = k + self.delta;
-        (((budget as f64) * self.sample_fraction).round() as usize)
-            .clamp(1, n)
+        (((budget as f64) * self.sample_fraction).round() as usize).clamp(1, n)
     }
 }
 
@@ -116,10 +115,8 @@ impl OutlierProtocol for KDeltaProtocol {
         }
 
         // Final selection over everything the aggregator heard about.
-        let mut estimate: Vec<KeyValue> = received
-            .into_iter()
-            .map(|(index, value)| KeyValue { index, value })
-            .collect();
+        let mut estimate: Vec<KeyValue> =
+            received.into_iter().map(|(index, value)| KeyValue { index, value }).collect();
         estimate.sort_by(|a, b| {
             (b.value - mode)
                 .abs()
@@ -139,11 +136,8 @@ mod tests {
     use cso_workloads::{split, MajorityConfig, MajorityData, SliceStrategy};
 
     fn data() -> MajorityData {
-        MajorityData::generate(
-            &MajorityConfig { n: 500, s: 10, ..MajorityConfig::default() },
-            21,
-        )
-        .unwrap()
+        MajorityData::generate(&MajorityConfig { n: 500, s: 10, ..MajorityConfig::default() }, 21)
+            .unwrap()
     }
 
     #[test]
@@ -165,13 +159,9 @@ mod tests {
     fn degrades_under_camouflage() {
         // The paper's motivating failure: local outliers ≠ global outliers.
         let d = data();
-        let slices = split(
-            &d.values,
-            8,
-            SliceStrategy::Camouflaged { offset: 4000.0, fraction: 0.4 },
-            2,
-        )
-        .unwrap();
+        let slices =
+            split(&d.values, 8, SliceStrategy::Camouflaged { offset: 4000.0, fraction: 0.4 }, 2)
+                .unwrap();
         let c = Cluster::new(slices).unwrap();
         let run = KDeltaProtocol::new(90, 5).run(&c, 10).unwrap();
         let truth = d.true_k_outliers(10);

@@ -89,9 +89,7 @@ impl EncodedSketch {
 pub fn encode(sketch: &Vector, encoding: SketchEncoding) -> EncodedSketch {
     match encoding {
         SketchEncoding::F64 => EncodedSketch::F64(sketch.as_slice().to_vec()),
-        SketchEncoding::F32 => {
-            EncodedSketch::F32(sketch.iter().map(|&v| v as f32).collect())
-        }
+        SketchEncoding::F32 => EncodedSketch::F32(sketch.iter().map(|&v| v as f32).collect()),
         SketchEncoding::Fixed16 => {
             let max = sketch.norm_inf();
             if max == 0.0 {
@@ -120,10 +118,7 @@ pub fn decode(encoded: &EncodedSketch) -> Vector {
 
 /// Round-trips a sketch through an encoding, returning the received vector
 /// and the exact payload size. Errors on an empty sketch.
-pub fn transmit(
-    sketch: &Vector,
-    encoding: SketchEncoding,
-) -> Result<(Vector, u64), LinalgError> {
+pub fn transmit(sketch: &Vector, encoding: SketchEncoding) -> Result<(Vector, u64), LinalgError> {
     if sketch.is_empty() {
         return Err(LinalgError::Empty { op: "transmit" });
     }
@@ -210,8 +205,7 @@ mod tests {
         let (qb, _) = transmit(&b, SketchEncoding::Fixed16).unwrap();
         let approx = qa.add(&qb).unwrap();
         let exact = a.add(&b).unwrap();
-        let bound = relative_error_bound(SketchEncoding::Fixed16)
-            * (a.norm_inf() + b.norm_inf());
+        let bound = relative_error_bound(SketchEncoding::Fixed16) * (a.norm_inf() + b.norm_inf());
         assert!(approx.sub(&exact).unwrap().norm_inf() <= bound);
     }
 }

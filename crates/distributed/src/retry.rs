@@ -122,11 +122,8 @@ mod tests {
 
     #[test]
     fn zero_base_means_no_jitter() {
-        let p = RetryPolicy {
-            base_backoff_ticks: 0,
-            max_backoff_ticks: 0,
-            ..RetryPolicy::default()
-        };
+        let p =
+            RetryPolicy { base_backoff_ticks: 0, max_backoff_ticks: 0, ..RetryPolicy::default() };
         for retry in 1..5 {
             assert_eq!(p.backoff_ticks(0, retry), 0);
         }

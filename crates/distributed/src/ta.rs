@@ -45,7 +45,10 @@ impl TaProtocol {
     /// aggregation over non-negative contributions) or `k == 0`.
     pub fn run_topk(&self, cluster: &Cluster, k: usize) -> Result<TaRun, LinalgError> {
         if k == 0 {
-            return Err(LinalgError::InvalidParameter { name: "k", message: "k must be >= 1".into() });
+            return Err(LinalgError::InvalidParameter {
+                name: "k",
+                message: "k must be >= 1".into(),
+            });
         }
         for l in 0..cluster.l() {
             if cluster.slice(l).iter().any(|&v| v < 0.0) {
@@ -102,10 +105,8 @@ impl TaProtocol {
             }
             depth += 1;
             // Stop once k seen keys have totals ≥ threshold.
-            let mut seen: Vec<(usize, f64)> = seen_order
-                .iter()
-                .map(|&key| (key, total[key].expect("seen")))
-                .collect();
+            let mut seen: Vec<(usize, f64)> =
+                seen_order.iter().map(|&key| (key, total[key].expect("seen"))).collect();
             seen.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
             if seen.len() >= k && seen[k - 1].1 >= threshold {
                 let topk = seen
@@ -117,10 +118,8 @@ impl TaProtocol {
             }
         }
         // Exhaustive fallback (tiny inputs): everything seen.
-        let mut seen: Vec<(usize, f64)> = seen_order
-            .iter()
-            .map(|&key| (key, total[key].expect("seen")))
-            .collect();
+        let mut seen: Vec<(usize, f64)> =
+            seen_order.iter().map(|&key| (key, total[key].expect("seen"))).collect();
         seen.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
         seen.truncate(k);
         Ok(TaRun {

@@ -168,13 +168,12 @@ impl AggregationTree {
         sketches: &[Vector],
     ) -> Result<Vector, LinalgError> {
         match node {
-            TreeNode::Leaf { node } => sketches
-                .get(*node)
-                .cloned()
-                .ok_or(LinalgError::InvalidParameter {
+            TreeNode::Leaf { node } => {
+                sketches.get(*node).cloned().ok_or(LinalgError::InvalidParameter {
                     name: "sketches",
                     message: "missing sketch for a leaf node".into(),
-                }),
+                })
+            }
             TreeNode::Hub { children } => {
                 let mut acc = Vector::zeros(spec.m);
                 for c in children {
@@ -208,8 +207,7 @@ mod tests {
         let mut x = vec![700.0; 300];
         x[42] = 9000.0;
         x[200] = -4000.0;
-        cso_workloads::split(&x, 6, cso_workloads::SliceStrategy::RandomProportions, 3)
-            .unwrap()
+        cso_workloads::split(&x, 6, cso_workloads::SliceStrategy::RandomProportions, 3).unwrap()
     }
 
     #[test]
@@ -253,19 +251,13 @@ mod tests {
         // Root must be a hub.
         assert!(AggregationTree::new(TreeNode::leaf(0), 1).is_err());
         // Duplicate leaf.
-        assert!(AggregationTree::new(
-            TreeNode::hub(vec![TreeNode::leaf(0), TreeNode::leaf(0)]),
-            2
-        )
-        .is_err());
+        assert!(AggregationTree::new(TreeNode::hub(vec![TreeNode::leaf(0), TreeNode::leaf(0)]), 2)
+            .is_err());
         // Missing leaf.
         assert!(AggregationTree::new(TreeNode::hub(vec![TreeNode::leaf(0)]), 2).is_err());
         // Out-of-range leaf.
-        assert!(AggregationTree::new(
-            TreeNode::hub(vec![TreeNode::leaf(0), TreeNode::leaf(5)]),
-            2
-        )
-        .is_err());
+        assert!(AggregationTree::new(TreeNode::hub(vec![TreeNode::leaf(0), TreeNode::leaf(5)]), 2)
+            .is_err());
         assert!(AggregationTree::two_level(4, 0).is_err());
     }
 
@@ -274,9 +266,7 @@ mod tests {
         let spec = MeasurementSpec::new(10, 50, 1).unwrap();
         let star = AggregationTree::star(2).unwrap();
         // Wrong sketch length.
-        assert!(star
-            .aggregate(&spec, &[Vector::zeros(10), Vector::zeros(9)])
-            .is_err());
+        assert!(star.aggregate(&spec, &[Vector::zeros(10), Vector::zeros(9)]).is_err());
         // Missing sketch.
         assert!(star.aggregate(&spec, &[Vector::zeros(10)]).is_err());
     }

@@ -44,7 +44,10 @@ impl TputProtocol {
     /// negative values or `k == 0`.
     pub fn run_topk(&self, cluster: &Cluster, k: usize) -> Result<TputRun, LinalgError> {
         if k == 0 {
-            return Err(LinalgError::InvalidParameter { name: "k", message: "k must be >= 1".into() });
+            return Err(LinalgError::InvalidParameter {
+                name: "k",
+                message: "k must be >= 1".into(),
+            });
         }
         let l = cluster.l();
         for node in 0..l {

@@ -373,10 +373,8 @@ mod tests {
 
     #[test]
     fn kv_batch_round_trip() {
-        let msg = Message::KvBatch {
-            node: 7,
-            pairs: vec![(0, 1.5), (4_000_000, -2.25), (42, f64::MAX)],
-        };
+        let msg =
+            Message::KvBatch { node: 7, pairs: vec![(0, 1.5), (4_000_000, -2.25), (42, f64::MAX)] };
         assert_eq!(decode(&encode(&msg)).unwrap(), msg);
     }
 
@@ -468,10 +466,7 @@ mod tests {
         let mut buf = encode(&Message::ModeBroadcast { mode: 1.0 });
         buf[1] = 9;
         reseal(&mut buf);
-        assert_eq!(
-            decode(&buf),
-            Err(WireError::VersionMismatch { got: 9, want: WIRE_VERSION })
-        );
+        assert_eq!(decode(&buf), Err(WireError::VersionMismatch { got: 9, want: WIRE_VERSION }));
     }
 
     #[test]

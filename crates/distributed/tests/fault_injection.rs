@@ -19,11 +19,9 @@ use cso_distributed::{
 use cso_workloads::{split, MajorityConfig, MajorityData, SliceStrategy};
 
 fn cluster_of(l: usize, seed: u64) -> Cluster {
-    let data = MajorityData::generate(
-        &MajorityConfig { n: 300, s: 6, ..MajorityConfig::default() },
-        seed,
-    )
-    .unwrap();
+    let data =
+        MajorityData::generate(&MajorityConfig { n: 300, s: 6, ..MajorityConfig::default() }, seed)
+            .unwrap();
     let slices = split(&data.values, l, SliceStrategy::RandomProportions, seed + 1).unwrap();
     Cluster::new(slices).unwrap()
 }
@@ -44,17 +42,13 @@ fn degraded_recovery_equals_clean_run_on_survivors_across_sweep() {
         for &corrupt in &[0.0, 0.05, 0.2] {
             for plan_seed in 0..5u64 {
                 let plan = FaultPlan::new(plan_seed).drop_rate(drop).corrupt_rate(corrupt);
-                let Ok(deg) =
-                    p.run_degraded(&cluster, 6, SketchEncoding::F64, &plan, &policy)
+                let Ok(deg) = p.run_degraded(&cluster, 6, SketchEncoding::F64, &plan, &policy)
                 else {
                     // Legal only when nobody survived.
                     continue;
                 };
-                let surviving: Vec<Vec<f64>> = deg
-                    .surviving_nodes
-                    .iter()
-                    .map(|&l| cluster.slice(l).to_vec())
-                    .collect();
+                let surviving: Vec<Vec<f64>> =
+                    deg.surviving_nodes.iter().map(|&l| cluster.slice(l).to_vec()).collect();
                 let clean = p.run(&Cluster::new(surviving).unwrap(), 6).unwrap();
                 assert_eq!(
                     deg.run.estimate, clean.estimate,
@@ -78,10 +72,7 @@ fn every_transmitted_byte_is_charged() {
     let frame_bytes = (1 + 1 + 4 + 8 + 1 + 4 + 8 * p.m + 4) as u64;
     let policy = RetryPolicy::default().with_timeout_ticks(10_000);
     for plan_seed in 0..10u64 {
-        let plan = FaultPlan::new(plan_seed)
-            .drop_rate(0.3)
-            .corrupt_rate(0.1)
-            .duplicate_rate(0.2);
+        let plan = FaultPlan::new(plan_seed).drop_rate(0.3).corrupt_rate(0.1).duplicate_rate(0.2);
         let Ok(deg) = p.run_degraded(&cluster, 6, SketchEncoding::F64, &plan, &policy) else {
             continue;
         };
@@ -106,9 +97,7 @@ fn retry_budget_improves_survival() {
     let plan = FaultPlan::new(9).drop_rate(0.5);
     let mut survivors_by_budget = Vec::new();
     for attempts in [1u32, 2, 4, 8] {
-        let policy = RetryPolicy::default()
-            .with_max_attempts(attempts)
-            .with_timeout_ticks(100_000);
+        let policy = RetryPolicy::default().with_max_attempts(attempts).with_timeout_ticks(100_000);
         let survived = match p.run_degraded(&cluster, 6, SketchEncoding::F64, &plan, &policy) {
             Ok(deg) => deg.surviving_nodes.len(),
             Err(_) => 0,
@@ -134,9 +123,7 @@ fn hard_failures_are_immune_to_retries() {
     let p = proto();
     let plan = FaultPlan::new(1).fail_nodes(&[0, 4, 9]);
     let policy = RetryPolicy::default().with_max_attempts(10).with_timeout_ticks(100_000);
-    let deg = p
-        .run_degraded(&cluster, 6, SketchEncoding::F64, &plan, &policy)
-        .unwrap();
+    let deg = p.run_degraded(&cluster, 6, SketchEncoding::F64, &plan, &policy).unwrap();
     assert_eq!(deg.dropped_nodes, vec![0, 4, 9]);
     assert!((deg.surviving_fraction() - 0.7).abs() < 1e-12);
     assert_eq!(deg.retransmissions, 3 * 9, "each dead node exhausts its 9 retries");

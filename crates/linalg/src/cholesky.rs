@@ -117,12 +117,8 @@ mod tests {
 
     fn spd3() -> ColMatrix {
         // A = Bᵀ·B + I for B = [[1,2,0],[0,1,1],[1,0,1]] is SPD.
-        let b = ColMatrix::from_col_major(
-            3,
-            3,
-            vec![1.0, 0.0, 1.0, 2.0, 1.0, 0.0, 0.0, 1.0, 1.0],
-        )
-        .unwrap();
+        let b = ColMatrix::from_col_major(3, 3, vec![1.0, 0.0, 1.0, 2.0, 1.0, 0.0, 0.0, 1.0, 1.0])
+            .unwrap();
         let mut g = b.gram();
         for i in 0..3 {
             g.set(i, i, g.get(i, i) + 1.0);
@@ -166,10 +162,7 @@ mod tests {
     fn indefinite_matrix_rejected() {
         let mut a = ColMatrix::identity(2);
         a.set(1, 1, -1.0);
-        assert!(matches!(
-            Cholesky::factor(&a),
-            Err(LinalgError::Singular { op: "cholesky", .. })
-        ));
+        assert!(matches!(Cholesky::factor(&a), Err(LinalgError::Singular { op: "cholesky", .. })));
     }
 
     #[test]

@@ -82,11 +82,7 @@ mod tests {
 
     #[test]
     fn display_dimension_mismatch() {
-        let e = LinalgError::DimensionMismatch {
-            op: "matvec",
-            expected: (3, 4),
-            actual: (3, 5),
-        };
+        let e = LinalgError::DimensionMismatch { op: "matvec", expected: (3, 4), actual: (3, 5) };
         let s = e.to_string();
         assert!(s.contains("matvec"), "{s}");
         assert!(s.contains("3x4"), "{s}");
@@ -120,8 +116,7 @@ mod tests {
 
     #[test]
     fn error_trait_object() {
-        let e: Box<dyn std::error::Error> =
-            Box::new(LinalgError::Empty { op: "x" });
+        let e: Box<dyn std::error::Error> = Box::new(LinalgError::Empty { op: "x" });
         assert!(e.to_string().contains('x'));
     }
 }

@@ -227,11 +227,7 @@ impl ColMatrix {
     pub fn approx_eq(&self, other: &ColMatrix, tol: f64) -> bool {
         self.rows == other.rows
             && self.cols == other.cols
-            && self
-                .data
-                .iter()
-                .zip(&other.data)
-                .all(|(a, b)| (a - b).abs() <= tol)
+            && self.data.iter().zip(&other.data).all(|(a, b)| (a - b).abs() <= tol)
     }
 
     /// Borrows the raw column-major storage.
@@ -277,11 +273,7 @@ mod tests {
     #[test]
     fn from_columns_rejects_ragged_and_empty() {
         assert!(ColMatrix::from_columns(&[]).is_err());
-        assert!(ColMatrix::from_columns(&[
-            Vector::zeros(2),
-            Vector::zeros(3)
-        ])
-        .is_err());
+        assert!(ColMatrix::from_columns(&[Vector::zeros(2), Vector::zeros(3)]).is_err());
     }
 
     #[test]

@@ -212,10 +212,7 @@ mod tests {
     #[test]
     fn zero_column_is_rank_deficient() {
         let mut qr = IncrementalQr::new(2);
-        assert!(matches!(
-            qr.push_column(&[0.0, 0.0]),
-            Err(LinalgError::RankDeficient { rank: 0 })
-        ));
+        assert!(matches!(qr.push_column(&[0.0, 0.0]), Err(LinalgError::RankDeficient { rank: 0 })));
     }
 
     #[test]
@@ -319,11 +316,8 @@ mod tests {
     #[test]
     fn reconstruction_a_equals_qr() {
         // Verify A ≈ Q·R column by column.
-        let cols: Vec<Vec<f64>> = vec![
-            vec![1.0, 2.0, 3.0, 4.0],
-            vec![0.5, -1.0, 2.0, 0.0],
-            vec![3.0, 3.0, 3.0, 1.0],
-        ];
+        let cols: Vec<Vec<f64>> =
+            vec![vec![1.0, 2.0, 3.0, 4.0], vec![0.5, -1.0, 2.0, 0.0], vec![3.0, 3.0, 3.0, 1.0]];
         let mut qr = IncrementalQr::new(4);
         for c in &cols {
             qr.push_column(c).unwrap();

@@ -72,8 +72,7 @@ impl<R: RngCore> GaussianSampler<R> {
 /// (and every node of a simulated cluster) its own independent stream while
 /// keeping the whole system reproducible from one `u64`.
 pub fn derive_seed(master: u64, stream: u64) -> u64 {
-    let mut z = master
-        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream.wrapping_add(1)));
+    let mut z = master.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream.wrapping_add(1)));
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)

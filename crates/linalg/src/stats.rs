@@ -66,10 +66,8 @@ pub fn histogram_mode(data: &[f64], bin: f64) -> Result<f64> {
     for &x in data {
         *counts.entry((x / bin).round() as i64).or_insert(0) += 1;
     }
-    let (&best_bin, _) = counts
-        .iter()
-        .max_by(|(ka, va), (kb, vb)| va.cmp(vb).then(kb.cmp(ka)))
-        .expect("non-empty");
+    let (&best_bin, _) =
+        counts.iter().max_by(|(ka, va), (kb, vb)| va.cmp(vb).then(kb.cmp(ka))).expect("non-empty");
     Ok(best_bin as f64 * bin)
 }
 

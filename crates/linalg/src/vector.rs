@@ -105,17 +105,13 @@ impl Vector {
     /// Returns `self + other` as a new vector.
     pub fn add(&self, other: &Vector) -> Result<Vector> {
         check_same_len("add", self.len(), other.len())?;
-        Ok(Vector::from_vec(
-            self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect(),
-        ))
+        Ok(Vector::from_vec(self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect()))
     }
 
     /// Returns `self - other` as a new vector.
     pub fn sub(&self, other: &Vector) -> Result<Vector> {
         check_same_len("sub", self.len(), other.len())?;
-        Ok(Vector::from_vec(
-            self.data.iter().zip(&other.data).map(|(a, b)| a - b).collect(),
-        ))
+        Ok(Vector::from_vec(self.data.iter().zip(&other.data).map(|(a, b)| a - b).collect()))
     }
 
     /// In-place element-wise addition `self ← self + other`.
@@ -150,11 +146,7 @@ impl Vector {
     /// True when every pair of entries differs by at most `tol`.
     pub fn approx_eq(&self, other: &Vector, tol: f64) -> bool {
         self.len() == other.len()
-            && self
-                .data
-                .iter()
-                .zip(&other.data)
-                .all(|(a, b)| (a - b).abs() <= tol)
+            && self.data.iter().zip(&other.data).all(|(a, b)| (a - b).abs() <= tol)
     }
 }
 
@@ -195,11 +187,7 @@ fn check_same_len(op: &'static str, a: usize, b: usize) -> Result<()> {
     if a == b {
         Ok(())
     } else {
-        Err(LinalgError::DimensionMismatch {
-            op,
-            expected: (a, 1),
-            actual: (b, 1),
-        })
+        Err(LinalgError::DimensionMismatch { op, expected: (a, 1), actual: (b, 1) })
     }
 }
 
@@ -273,10 +261,7 @@ mod tests {
     fn dot_rejects_mismatched_lengths() {
         let a = Vector::zeros(3);
         let b = Vector::zeros(4);
-        assert!(matches!(
-            a.dot(&b),
-            Err(LinalgError::DimensionMismatch { op: "dot", .. })
-        ));
+        assert!(matches!(a.dot(&b), Err(LinalgError::DimensionMismatch { op: "dot", .. })));
     }
 
     #[test]

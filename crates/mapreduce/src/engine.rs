@@ -7,6 +7,7 @@
 //! (`crate::jobs`) are both expressed against this engine, mirroring the
 //! paper's Algorithms 3 (CS-Mapper) and 4 (CS-Reducer).
 
+use cso_obs::{Recorder, Value};
 use std::collections::BTreeMap;
 
 /// Counters collected while a job runs — the simulator's "Hadoop UI".
@@ -22,6 +23,17 @@ pub struct JobCounters {
     pub map_tasks: u64,
     /// Distinct reduce keys.
     pub reduce_groups: u64,
+}
+
+impl JobCounters {
+    /// Adds these totals to the recorder's `mr.*` counters.
+    pub fn publish(&self, rec: &Recorder) {
+        rec.counter_add("mr.map_input_records", self.map_input_records);
+        rec.counter_add("mr.map_output_records", self.map_output_records);
+        rec.counter_add("mr.shuffle_bytes", self.shuffle_bytes);
+        rec.counter_add("mr.map_tasks", self.map_tasks);
+        rec.counter_add("mr.reduce_groups", self.reduce_groups);
+    }
 }
 
 /// Collects a mapper's emissions.
@@ -63,6 +75,21 @@ where
     map_reduce_with_combiner(splits, mapper, no_combiner, pair_bytes, reducer)
 }
 
+/// As [`map_reduce`], recording per-phase spans into `rec`
+/// (see [`map_reduce_with_combiner_traced`]).
+pub fn map_reduce_traced<I, K, V, O>(
+    splits: &[Vec<I>],
+    mapper: impl FnMut(&I, &mut Emitter<K, V>),
+    pair_bytes: u64,
+    reducer: impl FnMut(&K, Vec<V>) -> Vec<O>,
+    rec: &Recorder,
+) -> (Vec<O>, JobCounters)
+where
+    K: Ord,
+{
+    map_reduce_with_combiner_traced(splits, mapper, no_combiner, pair_bytes, reducer, rec)
+}
+
 /// The identity combiner used by [`map_reduce`].
 fn no_combiner<K, V>(_key: &K, values: Vec<V>) -> Vec<V> {
     values
@@ -75,10 +102,39 @@ fn no_combiner<K, V>(_key: &K, values: Vec<V>) -> Vec<V> {
 /// counters reflect the combined output.
 pub fn map_reduce_with_combiner<I, K, V, O>(
     splits: &[Vec<I>],
+    mapper: impl FnMut(&I, &mut Emitter<K, V>),
+    combiner: impl FnMut(&K, Vec<V>) -> Vec<V>,
+    pair_bytes: u64,
+    reducer: impl FnMut(&K, Vec<V>) -> Vec<O>,
+) -> (Vec<O>, JobCounters)
+where
+    K: Ord,
+{
+    map_reduce_with_combiner_traced(
+        splits,
+        mapper,
+        combiner,
+        pair_bytes,
+        reducer,
+        &Recorder::disabled(),
+    )
+}
+
+/// As [`map_reduce_with_combiner`], recording the job into `rec`.
+///
+/// The trace is one `mr.job` span containing `mr.map` (map + combine +
+/// shuffle accounting, with one `mr.task` event per split carrying its
+/// input/output record counts and shuffled bytes) and `mr.reduce`. The
+/// finished [`JobCounters`] are *not* auto-published — callers that own a
+/// whole job call [`JobCounters::publish`] once, so a multi-job pipeline
+/// controls which runs land in the metrics.
+pub fn map_reduce_with_combiner_traced<I, K, V, O>(
+    splits: &[Vec<I>],
     mut mapper: impl FnMut(&I, &mut Emitter<K, V>),
     mut combiner: impl FnMut(&K, Vec<V>) -> Vec<V>,
     pair_bytes: u64,
     mut reducer: impl FnMut(&K, Vec<V>) -> Vec<O>,
+    rec: &Recorder,
 ) -> (Vec<O>, JobCounters)
 where
     K: Ord,
@@ -86,29 +142,49 @@ where
     let mut counters = JobCounters { map_tasks: splits.len() as u64, ..Default::default() };
     let mut groups: BTreeMap<K, Vec<V>> = BTreeMap::new();
 
-    for split in splits {
-        let mut em = Emitter::new();
-        for record in split {
-            counters.map_input_records += 1;
-            mapper(record, &mut em);
-        }
-        counters.map_output_records += em.pairs.len() as u64;
-        // Map-side combine: group this task's pairs, shrink each group.
-        let mut local: BTreeMap<K, Vec<V>> = BTreeMap::new();
-        for (k, v) in em.pairs {
-            local.entry(k).or_default().push(v);
-        }
-        for (k, vs) in local {
-            let combined = combiner(&k, vs);
-            counters.shuffle_bytes += combined.len() as u64 * pair_bytes;
-            groups.entry(k).or_default().extend(combined);
+    let _job_span = rec.span_with("mr.job", &[("tasks", Value::U64(splits.len() as u64))]);
+    {
+        let _map_span = rec.span("mr.map");
+        for (task, split) in splits.iter().enumerate() {
+            let mut em = Emitter::new();
+            for record in split {
+                counters.map_input_records += 1;
+                mapper(record, &mut em);
+            }
+            let task_output = em.pairs.len() as u64;
+            counters.map_output_records += task_output;
+            // Map-side combine: group this task's pairs, shrink each group.
+            let mut local: BTreeMap<K, Vec<V>> = BTreeMap::new();
+            for (k, v) in em.pairs {
+                local.entry(k).or_default().push(v);
+            }
+            let mut task_shuffle = 0u64;
+            for (k, vs) in local {
+                let combined = combiner(&k, vs);
+                task_shuffle += combined.len() as u64 * pair_bytes;
+                groups.entry(k).or_default().extend(combined);
+            }
+            counters.shuffle_bytes += task_shuffle;
+            rec.event(
+                "mr.task",
+                &[
+                    ("task", Value::U64(task as u64)),
+                    ("input_records", Value::U64(split.len() as u64)),
+                    ("output_records", Value::U64(task_output)),
+                    ("shuffle_bytes", Value::U64(task_shuffle)),
+                ],
+            );
         }
     }
 
     counters.reduce_groups = groups.len() as u64;
     let mut out = Vec::new();
-    for (k, vs) in groups {
-        out.extend(reducer(&k, vs));
+    {
+        let _reduce_span =
+            rec.span_with("mr.reduce", &[("groups", Value::U64(counters.reduce_groups))]);
+        for (k, vs) in groups {
+            out.extend(reducer(&k, vs));
+        }
     }
     (out, counters)
 }
@@ -119,24 +195,14 @@ mod tests {
 
     #[test]
     fn word_count_smoke_test() {
-        let splits = vec![
-            vec!["a", "b", "a"],
-            vec!["b", "c"],
-        ];
+        let splits = vec![vec!["a", "b", "a"], vec!["b", "c"]];
         let (out, counters) = map_reduce(
             &splits,
             |w, em| em.emit(w.to_string(), 1u64),
             16,
             |k, vs| vec![(k.clone(), vs.iter().sum::<u64>())],
         );
-        assert_eq!(
-            out,
-            vec![
-                ("a".to_string(), 2),
-                ("b".to_string(), 2),
-                ("c".to_string(), 1)
-            ]
-        );
+        assert_eq!(out, vec![("a".to_string(), 2), ("b".to_string(), 2), ("c".to_string(), 1)]);
         assert_eq!(counters.map_input_records, 5);
         assert_eq!(counters.map_output_records, 5);
         assert_eq!(counters.shuffle_bytes, 80);
@@ -147,24 +213,15 @@ mod tests {
     #[test]
     fn reducer_sees_sorted_keys() {
         let splits = vec![vec![3u32, 1, 2]];
-        let (out, _) = map_reduce(
-            &splits,
-            |x, em| em.emit(*x, ()),
-            4,
-            |k, _| vec![*k],
-        );
+        let (out, _) = map_reduce(&splits, |x, em| em.emit(*x, ()), 4, |k, _| vec![*k]);
         assert_eq!(out, vec![1, 2, 3]);
     }
 
     #[test]
     fn empty_input_is_fine() {
         let splits: Vec<Vec<u8>> = vec![vec![], vec![]];
-        let (out, counters) = map_reduce(
-            &splits,
-            |_, em: &mut Emitter<u8, u8>| em.emit(0, 0),
-            1,
-            |_, _| vec![0u8],
-        );
+        let (out, counters) =
+            map_reduce(&splits, |_, em: &mut Emitter<u8, u8>| em.emit(0, 0), 1, |_, _| vec![0u8]);
         assert!(out.is_empty());
         assert_eq!(counters.map_input_records, 0);
         assert_eq!(counters.reduce_groups, 0);

@@ -5,9 +5,10 @@
 //! `(key index, score)` with indices from the global key dictionary (the
 //! paper's mappers do this lookup against the broadcast `KeyList`).
 
-use crate::engine::{map_reduce, JobCounters};
-use cso_core::{bomp_with_matrix, BompConfig, KeyValue, MeasurementSpec};
+use crate::engine::{map_reduce_traced, JobCounters};
+use cso_core::{bomp_with_matrix_traced, BompConfig, KeyValue, MeasurementSpec};
 use cso_linalg::{LinalgError, Vector};
+use cso_obs::{Recorder, Value};
 
 /// One raw input record: a resolved key index and a signed score.
 pub type Record = (usize, f64);
@@ -46,7 +47,37 @@ pub fn run_cs_job(
     k: usize,
     recovery: &BompConfig,
 ) -> Result<CsJobOutput, LinalgError> {
+    run_cs_job_traced(splits, n, m, seed, k, recovery, &Recorder::disabled())
+}
+
+/// As [`run_cs_job`], recording the execution into `rec`.
+///
+/// The trace is one `job.cs` span containing `sketch.build` (Algorithm 3's
+/// per-split partial aggregation and compression), the engine's `mr.job`
+/// span (shuffle + per-row summation), and `recovery` (BOMP with its
+/// per-iteration events). The finished [`JobCounters`] are published into
+/// the `mr.*` counters, so the recorder's metrics agree with
+/// [`CsJobOutput::counters`] exactly.
+pub fn run_cs_job_traced(
+    splits: &[Vec<Record>],
+    n: usize,
+    m: usize,
+    seed: u64,
+    k: usize,
+    recovery: &BompConfig,
+    rec: &Recorder,
+) -> Result<CsJobOutput, LinalgError> {
     let spec = MeasurementSpec::new(m, n, seed)?;
+
+    let _job_span = rec.span_with(
+        "job.cs",
+        &[
+            ("tasks", Value::U64(splits.len() as u64)),
+            ("n", Value::U64(n as u64)),
+            ("m", Value::U64(m as u64)),
+            ("k", Value::U64(k as u64)),
+        ],
+    );
 
     // Map phase (per split): partial aggregation + local compression
     // (Algorithm 3). A real mapper regenerates Φ0 from the shared seed;
@@ -55,32 +86,39 @@ pub fn run_cs_job(
     // engine's shuffle/reduce handles the per-row summation below.
     let mut sketches: Vec<Vec<Record>> = Vec::with_capacity(splits.len());
     let mut input_records = 0u64;
-    for split in splits {
-        input_records += split.len() as u64;
-        // Partial aggregation by key (the mapper's hash aggregation).
-        let mut partial: std::collections::HashMap<usize, f64> =
-            std::collections::HashMap::new();
-        for &(key, score) in split {
-            if key >= n {
-                return Err(LinalgError::DimensionMismatch {
-                    op: "cs_mapper",
-                    expected: (n, 1),
-                    actual: (key, 1),
-                });
+    {
+        let _sketch_span = rec.span("sketch.build");
+        for split in splits {
+            input_records += split.len() as u64;
+            // Partial aggregation by key (the mapper's hash aggregation).
+            let mut partial: std::collections::HashMap<usize, f64> =
+                std::collections::HashMap::new();
+            for &(key, score) in split {
+                if key >= n {
+                    return Err(LinalgError::DimensionMismatch {
+                        op: "cs_mapper",
+                        expected: (n, 1),
+                        actual: (key, 1),
+                    });
+                }
+                *partial.entry(key).or_insert(0.0) += score;
             }
-            *partial.entry(key).or_insert(0.0) += score;
+            // Sort by key so the float summation order — and hence the
+            // sketch — is identical across runs (HashMap order is not).
+            let mut entries: Vec<(usize, f64)> = partial.into_iter().collect();
+            entries.sort_unstable_by_key(|&(key, _)| key);
+            let yl = spec.measure_sparse(&entries)?;
+            sketches.push(yl.iter().copied().enumerate().collect());
         }
-        let entries: Vec<(usize, f64)> = partial.into_iter().collect();
-        let yl = spec.measure_sparse(&entries)?;
-        sketches.push(yl.iter().copied().enumerate().collect());
     }
 
     // Shuffle + reduce: sum each measurement row across tasks.
-    let (rows, mut counters) = map_reduce(
+    let (rows, mut counters) = map_reduce_traced(
         &sketches,
         |pair: &(usize, f64), em| em.emit(pair.0, pair.1),
         8,
         |row, values| vec![(*row, values.iter().sum::<f64>())],
+        rec,
     );
     counters.map_input_records = input_records;
     let mut y = Vector::zeros(m);
@@ -90,12 +128,13 @@ pub fn run_cs_job(
 
     // Reduce phase: recover with BOMP on the regenerated Φ0.
     let phi0 = spec.materialize();
-    let result = bomp_with_matrix(&phi0, &y, recovery)?;
-    let outliers = result
-        .top_k(k)
-        .iter()
-        .map(|o| KeyValue { index: o.index, value: o.value })
-        .collect();
+    let result = {
+        let _recovery_span = rec.span("recovery");
+        bomp_with_matrix_traced(&phi0, &y, recovery, rec)?
+    };
+    counters.publish(rec);
+    let outliers =
+        result.top_k(k).iter().map(|o| KeyValue { index: o.index, value: o.value }).collect();
     Ok(CsJobOutput { outliers, mode: result.mode, counters })
 }
 
@@ -125,9 +164,7 @@ pub fn run_topk_job(
     );
 
     let mut topk = sums;
-    topk.sort_by(|a, b| {
-        b.value.partial_cmp(&a.value).expect("finite").then(a.index.cmp(&b.index))
-    });
+    topk.sort_by(|a, b| b.value.partial_cmp(&a.value).expect("finite").then(a.index.cmp(&b.index)));
     topk.truncate(k);
     Ok(TopKJobOutput { topk, counters })
 }
@@ -194,6 +231,49 @@ mod tests {
     }
 
     #[test]
+    fn traced_cs_job_matches_untraced_and_publishes_counters() {
+        let (splits, _) = fixture(64);
+        let plain = run_cs_job(&splits, 64, 40, 9, 3, &BompConfig::default()).unwrap();
+        let rec = Recorder::new();
+        let traced =
+            run_cs_job_traced(&splits, 64, 40, 9, 3, &BompConfig::default(), &rec).unwrap();
+        assert_eq!(plain.outliers, traced.outliers);
+        assert_eq!(plain.counters, traced.counters);
+        assert!((plain.mode - traced.mode).abs() < 1e-12);
+
+        let snap = rec.metrics_snapshot();
+        let c = traced.counters;
+        assert_eq!(snap.counter("mr.map_input_records"), Some(c.map_input_records));
+        assert_eq!(snap.counter("mr.map_output_records"), Some(c.map_output_records));
+        assert_eq!(snap.counter("mr.shuffle_bytes"), Some(c.shuffle_bytes));
+        assert_eq!(snap.counter("mr.map_tasks"), Some(c.map_tasks));
+        assert_eq!(snap.counter("mr.reduce_groups"), Some(c.reduce_groups));
+
+        // Span structure: job.cs ⊃ {sketch.build, mr.job ⊃ {mr.map,
+        // mr.reduce}, recovery ⊃ BOMP}, one mr.task event per split.
+        let spans: Vec<&str> = rec
+            .trace_snapshot()
+            .iter()
+            .filter(|e| e.kind == cso_obs::EntryKind::SpanStart)
+            .map(|e| e.name)
+            .collect();
+        assert_eq!(
+            spans,
+            vec![
+                "job.cs",
+                "sketch.build",
+                "mr.job",
+                "mr.map",
+                "mr.reduce",
+                "recovery",
+                "recover.bomp",
+                "recover.omp"
+            ]
+        );
+        assert_eq!(rec.events_named("mr.task").len(), splits.len());
+    }
+
+    #[test]
     fn jobs_reject_out_of_range_keys() {
         let splits = vec![vec![(99usize, 1.0)]];
         assert!(run_topk_job(&splits, 10, 1).is_err());
@@ -206,8 +286,7 @@ mod tests {
         let n = 512;
         let mut splits = Vec::new();
         for t in 0..4 {
-            let split: Vec<Record> =
-                (0..n).map(|i| (i, (t + i) as f64)).collect();
+            let split: Vec<Record> = (0..n).map(|i| (i, (t + i) as f64)).collect();
             splits.push(split);
         }
         let cs = run_cs_job(&splits, n, 32, 3, 5, &BompConfig::default()).unwrap();

@@ -118,8 +118,7 @@ pub fn traditional_topk(profile: &ClusterProfile, shape: &WorkloadShape) -> JobE
     let waves = profile.map_waves(shape.input_bytes) as f64;
     let kpt = shape.keys_per_task(profile) as f64;
 
-    let emit = kpt * MAP_EMIT_S_PER_PAIR
-        + kpt * log2_of(kpt) * profile.sort_s_per_item_log2;
+    let emit = kpt * MAP_EMIT_S_PER_PAIR + kpt * log2_of(kpt) * profile.sort_s_per_item_log2;
     let map_task = map_input_s(profile, shape) + emit;
     let map_s = waves * map_task;
 
@@ -145,12 +144,7 @@ pub fn traditional_topk(profile: &ClusterProfile, shape: &WorkloadShape) -> JobE
 /// values; the reducer sums the sketches and runs BOMP recovery —
 /// `R` iterations of a `2·M·(N+1)` correlation scan plus the incremental-QR
 /// update, after regenerating `Φ0`.
-pub fn cs_bomp(
-    profile: &ClusterProfile,
-    shape: &WorkloadShape,
-    m: usize,
-    r: usize,
-) -> JobEstimate {
+pub fn cs_bomp(profile: &ClusterProfile, shape: &WorkloadShape, m: usize, r: usize) -> JobEstimate {
     let tasks = profile.map_tasks(shape.input_bytes) as f64;
     let waves = profile.map_waves(shape.input_bytes) as f64;
     let kpt = shape.keys_per_task(profile) as f64;
@@ -161,7 +155,8 @@ pub fn cs_bomp(
     // Mapper: generate the nnz needed columns (M samples each) + measure.
     let gen = kpt * mf * GAUSSIAN_S_PER_SAMPLE;
     let measure = 2.0 * mf * kpt * profile.flop_s;
-    let emit = mf * MAP_EMIT_S_PER_PAIR * (profile.value_bytes as f64 / profile.kv_pair_bytes as f64);
+    let emit =
+        mf * MAP_EMIT_S_PER_PAIR * (profile.value_bytes as f64 / profile.kv_pair_bytes as f64);
     let map_task = map_input_s(profile, shape) + gen + measure + emit;
     let map_s = waves * map_task;
 
@@ -262,10 +257,10 @@ mod tests {
         let m = 400;
         let small = shape_small();
         let big = shape_big();
-        let save_small = traditional_topk(&p, &small).end_to_end_s()
-            - cs_bomp(&p, &small, m, 25).end_to_end_s();
-        let save_big = traditional_topk(&p, &big).end_to_end_s()
-            - cs_bomp(&p, &big, m, 25).end_to_end_s();
+        let save_small =
+            traditional_topk(&p, &small).end_to_end_s() - cs_bomp(&p, &small, m, 25).end_to_end_s();
+        let save_big =
+            traditional_topk(&p, &big).end_to_end_s() - cs_bomp(&p, &big, m, 25).end_to_end_s();
         assert!(save_big > save_small, "{save_big} vs {save_small}");
     }
 

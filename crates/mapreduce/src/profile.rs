@@ -42,16 +42,16 @@ impl ClusterProfile {
     /// Approximation of the paper's 10-node Hadoop 2.4.0 cluster.
     pub fn paper_2015() -> Self {
         ClusterProfile {
-            map_slots: 40,                    // 10 nodes × 4 slots
+            map_slots: 40, // 10 nodes × 4 slots
             reducers: 1,
-            split_bytes: 128 << 20,           // 128 MB HDFS blocks
-            disk_bytes_per_s: 120.0e6,        // ~120 MB/s sequential
-            network_bytes_per_s: 1.0e8,       // ~1 Gbps effective to one reducer
-            map_cpu_s_per_record: 1.2e-6,     // parse + hash + aggregate
+            split_bytes: 128 << 20,       // 128 MB HDFS blocks
+            disk_bytes_per_s: 120.0e6,    // ~120 MB/s sequential
+            network_bytes_per_s: 1.0e8,   // ~1 Gbps effective to one reducer
+            map_cpu_s_per_record: 1.2e-6, // parse + hash + aggregate
             sort_s_per_item_log2: 8.0e-9,
-            flop_s: 2.7e-10,                  // ~3.7 Gflop/s effective (MKL via JNI)
+            flop_s: 2.7e-10, // ~3.7 Gflop/s effective (MKL via JNI)
             job_overhead_s: 8.0,
-            kv_pair_bytes: 12,                // 4-byte key id + 8-byte value
+            kv_pair_bytes: 12, // 4-byte key id + 8-byte value
             value_bytes: 8,
         }
     }

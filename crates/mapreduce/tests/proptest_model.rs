@@ -6,13 +6,8 @@ use cso_mapreduce::{cs_bomp, traditional_topk, ClusterProfile, WorkloadShape};
 use proptest::prelude::*;
 
 fn shapes() -> impl Strategy<Value = WorkloadShape> {
-    (20u64..5_000, 50u64..2_000, 1_000usize..2_000_000).prop_map(
-        |(mb, record_bytes, n)| WorkloadShape {
-            input_bytes: mb << 20,
-            record_bytes,
-            n,
-        },
-    )
+    (20u64..5_000, 50u64..2_000, 1_000usize..2_000_000)
+        .prop_map(|(mb, record_bytes, n)| WorkloadShape { input_bytes: mb << 20, record_bytes, n })
 }
 
 proptest! {

@@ -1,0 +1,314 @@
+//! Minimal JSON support: an escaping writer and a syntax validator.
+//!
+//! The workspace is hermetic (no serde), so the exporters hand-roll their
+//! JSON through these helpers, and [`validate`] provides an in-repo way for
+//! CI and tests to prove that emitted artifacts actually parse. The
+//! validator is a strict recursive-descent parser over the RFC 8259
+//! grammar; it accepts exactly one top-level value.
+
+use std::fmt::Write as _;
+
+/// Appends `s` to `out` as a quoted, escaped JSON string.
+pub fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends `v` as a JSON number. Non-finite values have no JSON encoding;
+/// they are emitted as `null` (documented in the RunReport schema).
+pub fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // `{:?}` prints the shortest representation that round-trips.
+        let _ = write!(out, "{v:?}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Validates that `s` is exactly one JSON value. Returns the byte offset
+/// and a message on failure.
+pub fn validate(s: &str) -> Result<(), String> {
+    let b = s.as_bytes();
+    let mut p = Parser { b, i: 0 };
+    p.skip_ws();
+    p.value()?;
+    p.skip_ws();
+    if p.i != b.len() {
+        return Err(format!("trailing bytes at offset {}", p.i));
+    }
+    Ok(())
+}
+
+/// Validates newline-delimited JSON: every non-empty line must be one JSON
+/// value. Returns the number of validated lines.
+pub fn validate_jsonl(s: &str) -> Result<usize, String> {
+    let mut n = 0;
+    for (lineno, line) in s.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        validate(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        n += 1;
+    }
+    Ok(n)
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&c) = self.b.get(self.i) {
+            if c == b' ' || c == b'\t' || c == b'\n' || c == b'\r' {
+                self.i += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn err(&self, msg: &str) -> String {
+        format!("{msg} at offset {}", self.i)
+    }
+
+    fn value(&mut self) -> Result<(), String> {
+        match self.b.get(self.i) {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string(),
+            Some(b't') => self.literal(b"true"),
+            Some(b'f') => self.literal(b"false"),
+            Some(b'n') => self.literal(b"null"),
+            Some(c) if c.is_ascii_digit() || *c == b'-' => self.number(),
+            Some(_) => Err(self.err("unexpected byte")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn literal(&mut self, lit: &[u8]) -> Result<(), String> {
+        if self.b[self.i..].starts_with(lit) {
+            self.i += lit.len();
+            Ok(())
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn object(&mut self) -> Result<(), String> {
+        self.i += 1; // '{'
+        self.skip_ws();
+        if self.b.get(self.i) == Some(&b'}') {
+            self.i += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            if self.b.get(self.i) != Some(&b'"') {
+                return Err(self.err("expected object key"));
+            }
+            self.string()?;
+            self.skip_ws();
+            if self.b.get(self.i) != Some(&b':') {
+                return Err(self.err("expected ':'"));
+            }
+            self.i += 1;
+            self.skip_ws();
+            self.value()?;
+            self.skip_ws();
+            match self.b.get(self.i) {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<(), String> {
+        self.i += 1; // '['
+        self.skip_ws();
+        if self.b.get(self.i) == Some(&b']') {
+            self.i += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.value()?;
+            self.skip_ws();
+            match self.b.get(self.i) {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<(), String> {
+        self.i += 1; // opening quote
+        while let Some(&c) = self.b.get(self.i) {
+            match c {
+                b'"' => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                b'\\' => {
+                    self.i += 1;
+                    match self.b.get(self.i) {
+                        Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => self.i += 1,
+                        Some(b'u') => {
+                            self.i += 1;
+                            for _ in 0..4 {
+                                match self.b.get(self.i) {
+                                    Some(h) if h.is_ascii_hexdigit() => self.i += 1,
+                                    _ => return Err(self.err("invalid \\u escape")),
+                                }
+                            }
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                }
+                c if c < 0x20 => return Err(self.err("raw control byte in string")),
+                _ => self.i += 1,
+            }
+        }
+        Err(self.err("unterminated string"))
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        if self.b.get(self.i) == Some(&b'-') {
+            self.i += 1;
+        }
+        let start = self.i;
+        while matches!(self.b.get(self.i), Some(c) if c.is_ascii_digit()) {
+            self.i += 1;
+        }
+        if self.i == start {
+            return Err(self.err("expected digits"));
+        }
+        if self.b.get(self.i) == Some(&b'.') {
+            self.i += 1;
+            let frac = self.i;
+            while matches!(self.b.get(self.i), Some(c) if c.is_ascii_digit()) {
+                self.i += 1;
+            }
+            if self.i == frac {
+                return Err(self.err("expected fraction digits"));
+            }
+        }
+        if matches!(self.b.get(self.i), Some(b'e' | b'E')) {
+            self.i += 1;
+            if matches!(self.b.get(self.i), Some(b'+' | b'-')) {
+                self.i += 1;
+            }
+            let exp = self.i;
+            while matches!(self.b.get(self.i), Some(c) if c.is_ascii_digit()) {
+                self.i += 1;
+            }
+            if self.i == exp {
+                return Err(self.err("expected exponent digits"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_escapes() {
+        let mut s = String::new();
+        write_str(&mut s, "a\"b\\c\nd\te\u{1}");
+        assert_eq!(s, r#""a\"b\\c\nd\te\u0001""#);
+    }
+
+    #[test]
+    fn writer_formats_floats() {
+        let mut s = String::new();
+        write_f64(&mut s, 1.5);
+        s.push(',');
+        write_f64(&mut s, -0.001);
+        s.push(',');
+        write_f64(&mut s, f64::NAN);
+        s.push(',');
+        write_f64(&mut s, f64::INFINITY);
+        assert_eq!(s, "1.5,-0.001,null,null");
+    }
+
+    #[test]
+    fn validator_accepts_valid_json() {
+        for ok in [
+            "{}",
+            "[]",
+            "null",
+            "true",
+            "-1.5e-3",
+            r#"{"a":[1,2,{"b":"c\n"}],"d":null}"#,
+            "  { \"x\" : 0.5 }  ",
+            "1e9",
+        ] {
+            assert!(validate(ok).is_ok(), "{ok}");
+        }
+    }
+
+    #[test]
+    fn validator_rejects_invalid_json() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "tru",
+            "01a",
+            "\"unterminated",
+            "{} {}",
+            "nan",
+            "1.",
+            "1e",
+            "{'a':1}",
+        ] {
+            assert!(validate(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn jsonl_counts_lines() {
+        let good = "{\"a\":1}\n\n[2,3]\n";
+        assert_eq!(validate_jsonl(good), Ok(2));
+        let bad = "{\"a\":1}\n{oops}\n";
+        let err = validate_jsonl(bad).unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+    }
+
+    #[test]
+    fn round_trip_written_values_validate() {
+        let mut s = String::from("{");
+        write_str(&mut s, "weird\"key\n");
+        s.push(':');
+        write_f64(&mut s, 0.1 + 0.2);
+        s.push('}');
+        assert!(validate(&s).is_ok(), "{s}");
+    }
+}

@@ -1,0 +1,49 @@
+//! # cso-obs
+//!
+//! The observability layer of the workspace: structured tracing, a metrics
+//! registry, and serializable run reports, with **zero external
+//! dependencies** so every other crate can sit on top of it.
+//!
+//! The paper evaluates every protocol through observable quantities —
+//! EK/EV recovery error (§6.1), normalized communication cost (§6.1.2),
+//! per-phase job time (§6.2) — and the fault/retry/degraded machinery adds
+//! retransmission and dedup accounting on top. This crate gives all of
+//! those one home:
+//!
+//! - [`Recorder`] — a cheaply clonable handle recording [`trace`] spans and
+//!   events on the workspace's virtual tick clock, plus [`metrics`]
+//!   counters/gauges/histograms. The disabled recorder
+//!   ([`Recorder::disabled`]) reduces every call to a single branch, so
+//!   instrumented hot paths pay ~nothing when unobserved.
+//! - [`MetricsRegistry`] — named counters, gauges and log₂-bucketed
+//!   histograms with deterministic (sorted) snapshots.
+//! - [`RunReport`] — trace + metrics + EK/EV bundled into one artifact,
+//!   exported as JSONL (for `results/`), a single JSON object (for
+//!   benches), or a human-readable tree.
+//! - [`json`] — the hermetic JSON writer and validator backing the
+//!   exporters and CI's artifact checks.
+//!
+//! ```
+//! use cso_obs::{Recorder, RunReport, Value};
+//!
+//! let rec = Recorder::new();
+//! {
+//!     let _run = rec.span("protocol.cs");
+//!     rec.counter_add("comm.bits", 9600);
+//!     rec.advance_ticks(1);
+//!     rec.event("sketch.node", &[("node", Value::U64(0))]);
+//! }
+//! let report = RunReport::from_recorder("demo", &rec).with_errors(0.0, 0.01);
+//! cso_obs::json::validate_jsonl(&report.to_jsonl()).unwrap();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod metrics;
+pub mod report;
+pub mod trace;
+
+pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot};
+pub use report::{RunReport, REPORT_KEYS};
+pub use trace::{EntryKind, Recorder, SpanGuard, TraceEntry, Value};

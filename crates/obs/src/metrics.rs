@@ -1,0 +1,245 @@
+//! Metrics registry: counters, gauges, and log-scale histograms.
+//!
+//! A [`MetricsRegistry`] accumulates named metrics behind interior
+//! mutability so any layer holding a shared [`crate::Recorder`] can
+//! contribute. Names are dot-separated (`comm.bits`, `retry.retransmits`,
+//! `mr.shuffle_bytes`); DESIGN.md §7 lists the workspace taxonomy.
+//!
+//! Histograms are **log₂-bucketed**: a value `v` lands in bucket
+//! `⌈log₂(v+1)⌉`, so bucket `b` covers `[2^(b−1), 2^b − 1]` (bucket 0 holds
+//! exact zeros). That keeps the registry allocation-free per observation
+//! and resolves the quantities this workspace cares about — byte counts,
+//! tick latencies, retry counts — across nine orders of magnitude in 65
+//! fixed slots.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+const BUCKETS: usize = 65;
+
+/// A log₂-bucketed histogram over `u64` observations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// Observation count.
+    pub count: u64,
+    /// Sum of all observations.
+    pub sum: u64,
+    /// Smallest observation (u64::MAX before any).
+    pub min: u64,
+    /// Largest observation.
+    pub max: u64,
+    /// `buckets[b]` counts observations in `[2^(b−1), 2^b − 1]`
+    /// (`buckets[0]` counts zeros).
+    pub buckets: Vec<u64>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram { count: 0, sum: 0, min: u64::MAX, max: 0, buckets: vec![0; BUCKETS] }
+    }
+}
+
+impl Histogram {
+    /// The bucket index value `v` lands in.
+    pub fn bucket_of(v: u64) -> usize {
+        (64 - v.leading_zeros()) as usize
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, v: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.buckets[Self::bucket_of(v)] += 1;
+    }
+
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Non-empty `(bucket_low, bucket_high, count)` triples, ascending.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(b, &c)| {
+                if b == 0 {
+                    (0, 0, c)
+                } else {
+                    (1u64 << (b - 1), (1u64 << (b - 1)).wrapping_mul(2).wrapping_sub(1), c)
+                }
+            })
+            .collect()
+    }
+}
+
+#[derive(Debug, Default, Clone)]
+struct Registry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// Thread-safe named-metrics store.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<Registry>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to counter `name`, creating it at zero.
+    pub fn counter_add(&self, name: &str, n: u64) {
+        let mut r = self.inner.lock().expect("metrics lock");
+        if let Some(c) = r.counters.get_mut(name) {
+            *c += n;
+        } else {
+            r.counters.insert(name.to_string(), n);
+        }
+    }
+
+    /// Sets gauge `name` to `v` (last write wins).
+    pub fn gauge_set(&self, name: &str, v: f64) {
+        let mut r = self.inner.lock().expect("metrics lock");
+        if let Some(g) = r.gauges.get_mut(name) {
+            *g = v;
+        } else {
+            r.gauges.insert(name.to_string(), v);
+        }
+    }
+
+    /// Records `v` into histogram `name`, creating it empty.
+    pub fn histogram_record(&self, name: &str, v: u64) {
+        let mut r = self.inner.lock().expect("metrics lock");
+        if let Some(h) = r.histograms.get_mut(name) {
+            h.record(v);
+        } else {
+            let mut h = Histogram::default();
+            h.record(v);
+            r.histograms.insert(name.to_string(), h);
+        }
+    }
+
+    /// An immutable copy of everything recorded so far.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let r = self.inner.lock().expect("metrics lock");
+        MetricsSnapshot {
+            counters: r.counters.clone(),
+            gauges: r.gauges.clone(),
+            histograms: r.histograms.clone(),
+        }
+    }
+}
+
+/// Point-in-time copy of a [`MetricsRegistry`].
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histograms by name.
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsSnapshot {
+    /// Counter value, if recorded.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// Gauge value, if recorded.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Histogram, if recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = MetricsRegistry::new();
+        m.counter_add("a", 1);
+        m.counter_add("a", 2);
+        m.counter_add("b", 10);
+        let s = m.snapshot();
+        assert_eq!(s.counter("a"), Some(3));
+        assert_eq!(s.counter("b"), Some(10));
+        assert_eq!(s.counter("c"), None);
+    }
+
+    #[test]
+    fn gauges_keep_last_value() {
+        let m = MetricsRegistry::new();
+        m.gauge_set("g", 1.5);
+        m.gauge_set("g", -2.5);
+        assert_eq!(m.snapshot().gauge("g"), Some(-2.5));
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(1023), 10);
+        assert_eq!(Histogram::bucket_of(1024), 11);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn histogram_stats() {
+        let m = MetricsRegistry::new();
+        for v in [0u64, 1, 3, 100] {
+            m.histogram_record("h", v);
+        }
+        let s = m.snapshot();
+        let h = s.histogram("h").unwrap();
+        assert_eq!(h.count, 4);
+        assert_eq!(h.sum, 104);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, 100);
+        assert_eq!(h.mean(), 26.0);
+        // zeros → bucket 0; 1 → [1,1]; 3 → [2,3]; 100 → [64,127].
+        assert_eq!(h.nonzero_buckets(), vec![(0, 0, 1), (1, 1, 1), (2, 3, 1), (64, 127, 1)]);
+    }
+
+    #[test]
+    fn snapshot_is_detached() {
+        let m = MetricsRegistry::new();
+        m.counter_add("a", 1);
+        let s = m.snapshot();
+        m.counter_add("a", 1);
+        assert_eq!(s.counter("a"), Some(1));
+        assert_eq!(m.snapshot().counter("a"), Some(2));
+    }
+
+    #[test]
+    fn empty_snapshot() {
+        assert!(MetricsRegistry::new().snapshot().is_empty());
+    }
+}

@@ -1,0 +1,430 @@
+//! `RunReport`: one serializable artifact bundling what a run did.
+//!
+//! A report carries the run's identity and parameters, its recovery quality
+//! (the paper's EK/EV), a [`MetricsSnapshot`], and the full trace. Two
+//! serializations are provided:
+//!
+//! - [`RunReport::to_json`] — a single JSON object (used by
+//!   `BENCH_pr2.json` and programmatic consumers);
+//! - [`RunReport::to_jsonl`] — newline-delimited records (`{"type":"run"}`
+//!   header, then `counter`/`gauge`/`histogram` lines, then
+//!   `span_start`/`event`/`span_end` lines), the format written under
+//!   `results/` and documented in DESIGN.md §7;
+//!
+//! plus [`RunReport::render_text`], a human-readable tree for terminals.
+
+use crate::json::{write_f64, write_str};
+use crate::metrics::MetricsSnapshot;
+use crate::trace::{EntryKind, Recorder, TraceEntry, Value};
+use std::fmt::Write as _;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Required top-level keys of [`RunReport::to_json`]; CI's smoke step
+/// checks the emitted artifact against this list.
+pub const REPORT_KEYS: &[&str] = &["name", "params", "ek", "ev", "metrics", "trace"];
+
+/// A complete, serializable record of one run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Short run name (`quickstart`, `obs_report`, ...).
+    pub name: String,
+    /// Free-form run parameters (n, m, k, seed, ...), in insertion order.
+    pub params: Vec<(String, Value)>,
+    /// Error on Key, when a ground truth was available.
+    pub ek: Option<f64>,
+    /// Error on Value, when a ground truth was available.
+    pub ev: Option<f64>,
+    /// Metrics at the end of the run.
+    pub metrics: MetricsSnapshot,
+    /// The full trace.
+    pub trace: Vec<TraceEntry>,
+}
+
+impl RunReport {
+    /// An empty report with the given name.
+    pub fn new(name: &str) -> Self {
+        RunReport {
+            name: name.to_string(),
+            params: Vec::new(),
+            ek: None,
+            ev: None,
+            metrics: MetricsSnapshot::default(),
+            trace: Vec::new(),
+        }
+    }
+
+    /// Captures metrics and trace from `rec` into a report.
+    pub fn from_recorder(name: &str, rec: &Recorder) -> Self {
+        RunReport {
+            metrics: rec.metrics_snapshot(),
+            trace: rec.trace_snapshot(),
+            ..RunReport::new(name)
+        }
+    }
+
+    /// Attaches one run parameter.
+    pub fn with_param(mut self, key: &str, value: impl Into<Value>) -> Self {
+        self.params.push((key.to_string(), value.into()));
+        self
+    }
+
+    /// Attaches the EK/EV quality metrics.
+    pub fn with_errors(mut self, ek: f64, ev: f64) -> Self {
+        self.ek = Some(ek);
+        self.ev = Some(ev);
+        self
+    }
+
+    /// The report as one JSON object (keys: [`REPORT_KEYS`]).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(1024);
+        s.push_str("{\"name\":");
+        write_str(&mut s, &self.name);
+        s.push_str(",\"params\":");
+        write_params(&mut s, &self.params);
+        s.push_str(",\"ek\":");
+        write_opt_f64(&mut s, self.ek);
+        s.push_str(",\"ev\":");
+        write_opt_f64(&mut s, self.ev);
+        s.push_str(",\"metrics\":");
+        write_metrics_object(&mut s, &self.metrics);
+        s.push_str(",\"trace\":[");
+        for (i, e) in self.trace.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            write_entry(&mut s, e);
+        }
+        s.push_str("]}");
+        s
+    }
+
+    /// The report as newline-delimited JSON records.
+    pub fn to_jsonl(&self) -> String {
+        let mut s = String::with_capacity(1024);
+        s.push_str("{\"type\":\"run\",\"name\":");
+        write_str(&mut s, &self.name);
+        s.push_str(",\"params\":");
+        write_params(&mut s, &self.params);
+        s.push_str(",\"ek\":");
+        write_opt_f64(&mut s, self.ek);
+        s.push_str(",\"ev\":");
+        write_opt_f64(&mut s, self.ev);
+        s.push_str("}\n");
+        for (name, v) in &self.metrics.counters {
+            s.push_str("{\"type\":\"counter\",\"name\":");
+            write_str(&mut s, name);
+            let _ = write!(s, ",\"value\":{v}}}");
+            s.push('\n');
+        }
+        for (name, v) in &self.metrics.gauges {
+            s.push_str("{\"type\":\"gauge\",\"name\":");
+            write_str(&mut s, name);
+            s.push_str(",\"value\":");
+            write_f64(&mut s, *v);
+            s.push_str("}\n");
+        }
+        for (name, h) in &self.metrics.histograms {
+            s.push_str("{\"type\":\"histogram\",\"name\":");
+            write_str(&mut s, name);
+            let _ = write!(
+                s,
+                ",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},",
+                h.count, h.sum, h.min, h.max
+            );
+            s.push_str("\"buckets\":[");
+            for (i, (lo, hi, c)) in h.nonzero_buckets().iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                let _ = write!(s, "[{lo},{hi},{c}]");
+            }
+            s.push_str("]}\n");
+        }
+        for e in &self.trace {
+            write_entry(&mut s, e);
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Writes [`RunReport::to_jsonl`] to `path`, creating parent
+    /// directories. Returns the path written.
+    pub fn write_jsonl(&self, path: impl AsRef<Path>) -> io::Result<PathBuf> {
+        let path = path.as_ref();
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        std::fs::write(path, self.to_jsonl())?;
+        Ok(path.to_path_buf())
+    }
+
+    /// A human-readable rendering: run header, metrics, then the trace as
+    /// an indented tree with per-span tick durations.
+    pub fn render_text(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "run {}", self.name);
+        for (k, v) in &self.params {
+            let _ = writeln!(s, "  param {k} = {}", value_text(v));
+        }
+        if let (Some(ek), Some(ev)) = (self.ek, self.ev) {
+            let _ = writeln!(s, "  quality EK = {ek:.4}  EV = {ev:.4}");
+        }
+        if !self.metrics.is_empty() {
+            let _ = writeln!(s, "  metrics:");
+            for (k, v) in &self.metrics.counters {
+                let _ = writeln!(s, "    {k} = {v}");
+            }
+            for (k, v) in &self.metrics.gauges {
+                let _ = writeln!(s, "    {k} = {v}");
+            }
+            for (k, h) in &self.metrics.histograms {
+                let _ = writeln!(
+                    s,
+                    "    {k}: n={} sum={} min={} max={} mean={:.1}",
+                    h.count,
+                    h.sum,
+                    h.min,
+                    h.max,
+                    h.mean()
+                );
+            }
+        }
+        let _ = writeln!(s, "  trace ({} records):", self.trace.len());
+        // End ticks by span id, for durations.
+        let mut depth = 0usize;
+        for e in &self.trace {
+            match e.kind {
+                EntryKind::SpanStart => {
+                    let end = self
+                        .trace
+                        .iter()
+                        .find(|x| x.kind == EntryKind::SpanEnd && x.id == e.id)
+                        .map(|x| x.tick);
+                    let dur = end.map(|t| t.saturating_sub(e.tick));
+                    let _ = write!(s, "    {:indent$}+ {}", "", e.name, indent = depth * 2);
+                    match dur {
+                        Some(d) => {
+                            let _ = write!(s, " [tick {}, {} ticks]", e.tick, d);
+                        }
+                        None => {
+                            let _ = write!(s, " [tick {}, open]", e.tick);
+                        }
+                    }
+                    let _ = writeln!(s, "{}", fields_text(&e.fields));
+                    depth += 1;
+                }
+                EntryKind::SpanEnd => {
+                    depth = depth.saturating_sub(1);
+                }
+                EntryKind::Event => {
+                    let _ = writeln!(
+                        s,
+                        "    {:indent$}- {} @{}{}",
+                        "",
+                        e.name,
+                        e.tick,
+                        fields_text(&e.fields),
+                        indent = depth * 2
+                    );
+                }
+            }
+        }
+        s
+    }
+}
+
+fn value_text(v: &Value) -> String {
+    match v {
+        Value::U64(x) => x.to_string(),
+        Value::I64(x) => x.to_string(),
+        Value::F64(x) => format!("{x}"),
+        Value::Bool(x) => x.to_string(),
+        Value::Str(x) => x.clone(),
+    }
+}
+
+fn fields_text(fields: &[(&'static str, Value)]) -> String {
+    if fields.is_empty() {
+        return String::new();
+    }
+    let mut s = String::from("  {");
+    for (i, (k, v)) in fields.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        let _ = write!(s, "{k}={}", value_text(v));
+    }
+    s.push('}');
+    s
+}
+
+fn write_value(out: &mut String, v: &Value) {
+    match v {
+        Value::U64(x) => {
+            let _ = write!(out, "{x}");
+        }
+        Value::I64(x) => {
+            let _ = write!(out, "{x}");
+        }
+        Value::F64(x) => write_f64(out, *x),
+        Value::Bool(x) => {
+            let _ = write!(out, "{x}");
+        }
+        Value::Str(x) => write_str(out, x),
+    }
+}
+
+fn write_opt_f64(out: &mut String, v: Option<f64>) {
+    match v {
+        Some(v) => write_f64(out, v),
+        None => out.push_str("null"),
+    }
+}
+
+fn write_params(out: &mut String, params: &[(String, Value)]) {
+    out.push('{');
+    for (i, (k, v)) in params.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_str(out, k);
+        out.push(':');
+        write_value(out, v);
+    }
+    out.push('}');
+}
+
+fn write_metrics_object(out: &mut String, m: &MetricsSnapshot) {
+    out.push_str("{\"counters\":{");
+    for (i, (k, v)) in m.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_str(out, k);
+        let _ = write!(out, ":{v}");
+    }
+    out.push_str("},\"gauges\":{");
+    for (i, (k, v)) in m.gauges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_str(out, k);
+        out.push(':');
+        write_f64(out, *v);
+    }
+    out.push_str("},\"histograms\":{");
+    for (i, (k, h)) in m.histograms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_str(out, k);
+        let _ = write!(
+            out,
+            ":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{}}}",
+            h.count, h.sum, h.min, h.max
+        );
+    }
+    out.push_str("}}");
+}
+
+fn write_entry(out: &mut String, e: &TraceEntry) {
+    out.push_str("{\"type\":\"");
+    out.push_str(e.kind.as_str());
+    let _ = write!(out, "\",\"id\":{},\"parent\":", e.id);
+    match e.parent {
+        Some(p) => {
+            let _ = write!(out, "{p}");
+        }
+        None => out.push_str("null"),
+    }
+    out.push_str(",\"name\":");
+    write_str(out, e.name);
+    let _ = write!(out, ",\"tick\":{}", e.tick);
+    if !e.fields.is_empty() {
+        out.push_str(",\"fields\":{");
+        for (i, (k, v)) in e.fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_str(out, k);
+            out.push(':');
+            write_value(out, v);
+        }
+        out.push('}');
+    }
+    out.push('}');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{validate, validate_jsonl};
+
+    fn sample() -> RunReport {
+        let rec = Recorder::new();
+        {
+            let _outer = rec.span_with("proto", &[("m", Value::U64(10))]);
+            rec.counter_add("comm.bits", 640);
+            rec.gauge_set("mode", 1800.5);
+            rec.histogram_record("frame.bytes", 100);
+            rec.advance_ticks(3);
+            rec.event("node", &[("node", Value::U64(0)), ("ok", Value::Bool(true))]);
+        }
+        RunReport::from_recorder("sample", &rec)
+            .with_param("n", 100usize)
+            .with_param("tag", "quick\"start")
+            .with_errors(0.0, 0.001)
+    }
+
+    #[test]
+    fn json_object_validates_and_has_required_keys() {
+        let j = sample().to_json();
+        validate(&j).expect("valid JSON");
+        for key in REPORT_KEYS {
+            assert!(j.contains(&format!("\"{key}\":")), "missing key {key} in {j}");
+        }
+    }
+
+    #[test]
+    fn jsonl_every_line_validates() {
+        let l = sample().to_jsonl();
+        let lines = validate_jsonl(&l).expect("valid JSONL");
+        // run + counter + gauge + histogram + 2 span boundaries + 1 event.
+        assert_eq!(lines, 7);
+        assert!(l.starts_with("{\"type\":\"run\""));
+        assert!(l.contains("\"type\":\"span_start\""));
+        assert!(l.contains("\"type\":\"span_end\""));
+        assert!(l.contains("\"type\":\"counter\""));
+    }
+
+    #[test]
+    fn text_rendering_shows_tree_and_durations() {
+        let t = sample().render_text();
+        assert!(t.contains("run sample"));
+        assert!(t.contains("+ proto [tick 0, 3 ticks]"));
+        assert!(t.contains("- node @3"));
+        assert!(t.contains("quality EK = 0.0000"));
+        assert!(t.contains("comm.bits = 640"));
+    }
+
+    #[test]
+    fn write_jsonl_creates_parents() {
+        let dir = std::env::temp_dir().join("cso_obs_report_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested").join("r.jsonl");
+        let written = sample().write_jsonl(&path).expect("write");
+        assert_eq!(written, path);
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(validate_jsonl(&content).is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_report_serializes() {
+        let r = RunReport::new("empty");
+        validate(&r.to_json()).expect("valid");
+        assert_eq!(validate_jsonl(&r.to_jsonl()), Ok(1));
+    }
+}

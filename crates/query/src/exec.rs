@@ -11,8 +11,7 @@ use crate::ast::{Aggregate, Query};
 use crate::parser::ParseError;
 use cso_core::BompConfig;
 use cso_distributed::{
-    all_vectorized_cost, Cluster, CommunicationCost, CsProtocol, KDeltaProtocol,
-    OutlierProtocol,
+    all_vectorized_cost, Cluster, CommunicationCost, CsProtocol, KDeltaProtocol, OutlierProtocol,
 };
 use cso_linalg::LinalgError;
 use cso_workloads::ClickLogData;
@@ -127,7 +126,11 @@ pub fn default_sketch_size(n: usize, k: usize) -> usize {
 }
 
 /// Parses and executes a query string against a generated workload.
-pub fn run(sql: &str, data: &ClickLogData, options: &QueryOptions) -> Result<QueryResult, QueryError> {
+pub fn run(
+    sql: &str,
+    data: &ClickLogData,
+    options: &QueryOptions,
+) -> Result<QueryResult, QueryError> {
     let query = crate::parser::parse(sql)?;
     execute(&query, data, options)
 }
@@ -280,54 +283,53 @@ pub fn execute(
         }
         other => other,
     };
-    let (mode, cost, protocol, candidates): (f64, CommunicationCost, &'static str, Vec<(usize, f64)>) =
-        match choice {
-            ProtocolChoice::All => {
-                let aggregate = cluster.aggregate();
-                let mode = cso_core::outlier::exact_majority_mode(&aggregate)
-                    .map_or_else(|| cso_core::outlier::estimated_mode(&aggregate), Ok)?;
-                let cands = aggregate.iter().copied().enumerate().collect();
-                (mode, all_vectorized_cost(cluster.l(), n_groups), "all-vectorized", cands)
-            }
-            ProtocolChoice::Cs { m } => {
-                let m = m.unwrap_or_else(|| default_sketch_size(n_groups, k));
-                // Iteration budget: the paper's f(k) floor, raised to M/3 so
-                // recovery can absorb data whose true sparsity s exceeds 3k
-                // (the production queries of Figure 9 needed R ≈ s ≫ k).
-                let budget = (3 * k + 1).max(m / 3);
-                let proto = CsProtocol::new(m, options.seed)
-                    .with_recovery(BompConfig::with_max_iterations(budget));
-                // Request every recovered outlier so top-k re-ranking has
-                // the full candidate set.
-                let run = proto.run(&cluster, m)?;
-                let cands = run.estimate.iter().map(|o| (o.index, o.value)).collect();
-                (run.mode, run.cost, run.protocol, cands)
-            }
-            ProtocolChoice::KDelta { delta } => {
-                let proto = KDeltaProtocol::new(delta, options.seed);
-                let run = proto.run(&cluster, k)?;
-                let cands = run.estimate.iter().map(|o| (o.index, o.value)).collect();
-                (run.mode, run.cost, run.protocol, cands)
-            }
-            ProtocolChoice::Auto => unreachable!("resolved above"),
-        };
+    let (mode, cost, protocol, candidates): (
+        f64,
+        CommunicationCost,
+        &'static str,
+        Vec<(usize, f64)>,
+    ) = match choice {
+        ProtocolChoice::All => {
+            let aggregate = cluster.aggregate();
+            let mode = cso_core::outlier::exact_majority_mode(&aggregate)
+                .map_or_else(|| cso_core::outlier::estimated_mode(&aggregate), Ok)?;
+            let cands = aggregate.iter().copied().enumerate().collect();
+            (mode, all_vectorized_cost(cluster.l(), n_groups), "all-vectorized", cands)
+        }
+        ProtocolChoice::Cs { m } => {
+            let m = m.unwrap_or_else(|| default_sketch_size(n_groups, k));
+            // Iteration budget: the paper's f(k) floor, raised to M/3 so
+            // recovery can absorb data whose true sparsity s exceeds 3k
+            // (the production queries of Figure 9 needed R ≈ s ≫ k).
+            let budget = (3 * k + 1).max(m / 3);
+            let proto = CsProtocol::new(m, options.seed)
+                .with_recovery(BompConfig::with_max_iterations(budget));
+            // Request every recovered outlier so top-k re-ranking has
+            // the full candidate set.
+            let run = proto.run(&cluster, m)?;
+            let cands = run.estimate.iter().map(|o| (o.index, o.value)).collect();
+            (run.mode, run.cost, run.protocol, cands)
+        }
+        ProtocolChoice::KDelta { delta } => {
+            let proto = KDeltaProtocol::new(delta, options.seed);
+            let run = proto.run(&cluster, k)?;
+            let cands = run.estimate.iter().map(|o| (o.index, o.value)).collect();
+            (run.mode, run.cost, run.protocol, cands)
+        }
+        ProtocolChoice::Auto => unreachable!("resolved above"),
+    };
 
     // 4. Rank candidates per the aggregate.
     let mut ranked = candidates;
     match query.aggregate {
         Aggregate::OutlierK(_) => ranked.sort_by(|a, b| {
-            (b.1 - mode)
-                .abs()
-                .partial_cmp(&(a.1 - mode).abs())
-                .expect("finite")
-                .then(a.0.cmp(&b.0))
+            (b.1 - mode).abs().partial_cmp(&(a.1 - mode).abs()).expect("finite").then(a.0.cmp(&b.0))
         }),
         Aggregate::TopK(_) => {
             ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)))
         }
-        Aggregate::AbsTopK(_) => ranked.sort_by(|a, b| {
-            b.1.abs().partial_cmp(&a.1.abs()).expect("finite").then(a.0.cmp(&b.0))
-        }),
+        Aggregate::AbsTopK(_) => ranked
+            .sort_by(|a, b| b.1.abs().partial_cmp(&a.1.abs()).expect("finite").then(a.0.cmp(&b.0))),
     }
     ranked.truncate(k);
 
@@ -345,13 +347,7 @@ pub fn execute(
 }
 
 fn label_of(query: &Query, group: &[u16]) -> String {
-    query
-        .group_by
-        .iter()
-        .zip(group)
-        .map(|(f, v)| format!("{f}={v}"))
-        .collect::<Vec<_>>()
-        .join("/")
+    query.group_by.iter().zip(group).map(|(f, v)| format!("{f}={v}")).collect::<Vec<_>>().join("/")
 }
 
 #[cfg(test)]
@@ -389,8 +385,8 @@ mod tests {
     fn cs_protocol_matches_all_on_outliers() {
         let data = workload();
         let sql = "SELECT OUTLIER 5 SUM(score) FROM clicks GROUP BY day, market, vertical, url";
-        let exact = run(sql, &data, &QueryOptions { protocol: ProtocolChoice::All, seed: 1 })
-            .unwrap();
+        let exact =
+            run(sql, &data, &QueryOptions { protocol: ProtocolChoice::All, seed: 1 }).unwrap();
         let cs = run(
             sql,
             &data,

@@ -210,9 +210,7 @@ impl Parser {
             "abstop" => Aggregate::AbsTopK,
             other => {
                 self.idx -= 1;
-                return self.err(format!(
-                    "expected OUTLIER, TOP or ABSTOP, found `{other}`"
-                ));
+                return self.err(format!("expected OUTLIER, TOP or ABSTOP, found `{other}`"));
             }
         };
         let k = self.number()? as usize;
@@ -339,10 +337,7 @@ mod tests {
         )
         .unwrap();
         let ops: Vec<CmpOp> = q.predicates.iter().map(|p| p.op).collect();
-        assert_eq!(
-            ops,
-            vec![CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge]
-        );
+        assert_eq!(ops, vec![CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge]);
     }
 
     #[test]

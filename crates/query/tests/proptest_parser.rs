@@ -5,12 +5,7 @@ use cso_query::{parse, Aggregate, CmpOp, Field, Predicate, Query};
 use proptest::prelude::*;
 
 fn field_strategy() -> impl Strategy<Value = Field> {
-    prop_oneof![
-        Just(Field::Day),
-        Just(Field::Market),
-        Just(Field::Vertical),
-        Just(Field::Url),
-    ]
+    prop_oneof![Just(Field::Day), Just(Field::Market), Just(Field::Vertical), Just(Field::Url),]
 }
 
 fn op_strategy() -> impl Strategy<Value = CmpOp> {

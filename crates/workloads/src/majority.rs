@@ -53,7 +53,10 @@ impl MajorityData {
     /// the deviation range is empty/invalid.
     pub fn generate(config: &MajorityConfig, seed: u64) -> Result<Self, LinalgError> {
         if config.n == 0 {
-            return Err(LinalgError::InvalidParameter { name: "n", message: "must be positive".into() });
+            return Err(LinalgError::InvalidParameter {
+                name: "n",
+                message: "must be positive".into(),
+            });
         }
         if config.s * 2 >= config.n {
             return Err(LinalgError::InvalidParameter {
@@ -126,11 +129,8 @@ mod tests {
         assert!(MajorityData::generate(&cfg, 1).is_err());
         cfg = MajorityConfig { min_deviation: 0.0, ..MajorityConfig::default() };
         assert!(MajorityData::generate(&cfg, 1).is_err());
-        cfg = MajorityConfig {
-            min_deviation: 10.0,
-            max_deviation: 5.0,
-            ..MajorityConfig::default()
-        };
+        cfg =
+            MajorityConfig { min_deviation: 10.0, max_deviation: 5.0, ..MajorityConfig::default() };
         assert!(MajorityData::generate(&cfg, 1).is_err());
     }
 

@@ -49,7 +49,10 @@ impl PowerLawData {
     /// `n`, `alpha` or `x_min`.
     pub fn generate(config: &PowerLawConfig, seed: u64) -> Result<Self, LinalgError> {
         if config.n == 0 {
-            return Err(LinalgError::InvalidParameter { name: "n", message: "must be positive".into() });
+            return Err(LinalgError::InvalidParameter {
+                name: "n",
+                message: "must be positive".into(),
+            });
         }
         if config.alpha <= 0.0 || !config.alpha.is_finite() {
             return Err(LinalgError::InvalidParameter {
@@ -103,11 +106,8 @@ mod tests {
     #[test]
     fn values_are_pairwise_distinct() {
         // "there is no pair of observations with the same value"
-        let d = PowerLawData::generate(
-            &PowerLawConfig { n: 5000, ..PowerLawConfig::default() },
-            8,
-        )
-        .unwrap();
+        let d = PowerLawData::generate(&PowerLawConfig { n: 5000, ..PowerLawConfig::default() }, 8)
+            .unwrap();
         let mut sorted = d.values.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
         for w in sorted.windows(2) {
@@ -117,16 +117,12 @@ mod tests {
 
     #[test]
     fn heavier_tail_for_smaller_alpha() {
-        let light = PowerLawData::generate(
-            &PowerLawConfig { alpha: 3.0, ..PowerLawConfig::default() },
-            5,
-        )
-        .unwrap();
-        let heavy = PowerLawData::generate(
-            &PowerLawConfig { alpha: 0.9, ..PowerLawConfig::default() },
-            5,
-        )
-        .unwrap();
+        let light =
+            PowerLawData::generate(&PowerLawConfig { alpha: 3.0, ..PowerLawConfig::default() }, 5)
+                .unwrap();
+        let heavy =
+            PowerLawData::generate(&PowerLawConfig { alpha: 0.9, ..PowerLawConfig::default() }, 5)
+                .unwrap();
         let max_light = light.values.iter().cloned().fold(0.0, f64::max);
         let max_heavy = heavy.values.iter().cloned().fold(0.0, f64::max);
         assert!(max_heavy > max_light * 10.0, "{max_heavy} vs {max_light}");
@@ -158,23 +154,16 @@ mod tests {
     #[test]
     fn rejects_invalid_parameters() {
         assert!(PowerLawData::generate(&PowerLawConfig { n: 0, ..Default::default() }, 1).is_err());
-        assert!(
-            PowerLawData::generate(&PowerLawConfig { alpha: 0.0, ..Default::default() }, 1)
-                .is_err()
-        );
-        assert!(
-            PowerLawData::generate(&PowerLawConfig { x_min: 0.0, ..Default::default() }, 1)
-                .is_err()
-        );
+        assert!(PowerLawData::generate(&PowerLawConfig { alpha: 0.0, ..Default::default() }, 1)
+            .is_err());
+        assert!(PowerLawData::generate(&PowerLawConfig { x_min: 0.0, ..Default::default() }, 1)
+            .is_err());
     }
 
     #[test]
     fn true_outliers_are_largest_values() {
-        let d = PowerLawData::generate(
-            &PowerLawConfig { n: 1000, ..PowerLawConfig::default() },
-            7,
-        )
-        .unwrap();
+        let d = PowerLawData::generate(&PowerLawConfig { n: 1000, ..PowerLawConfig::default() }, 7)
+            .unwrap();
         let out = d.true_k_outliers(5);
         let mut sorted = d.values.clone();
         sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());

@@ -45,7 +45,10 @@ pub fn split(
     seed: u64,
 ) -> Result<Vec<Vec<f64>>, LinalgError> {
     if l == 0 {
-        return Err(LinalgError::InvalidParameter { name: "l", message: "need at least one node".into() });
+        return Err(LinalgError::InvalidParameter {
+            name: "l",
+            message: "need at least one node".into(),
+        });
     }
     if x.is_empty() {
         return Err(LinalgError::Empty { op: "split" });
@@ -178,13 +181,8 @@ mod tests {
     #[test]
     fn camouflage_cancels_globally_but_distorts_locally() {
         let x = vec![100.0; 40];
-        let s = split(
-            &x,
-            4,
-            SliceStrategy::Camouflaged { offset: 500.0, fraction: 0.5 },
-            11,
-        )
-        .unwrap();
+        let s =
+            split(&x, 4, SliceStrategy::Camouflaged { offset: 500.0, fraction: 0.5 }, 11).unwrap();
         assert_sums_to(&x, &s, 1e-9);
         // Locally, some entries must be far from the uniform share of 25.
         let distorted = s[0].iter().filter(|&&v| (v - 25.0).abs() > 100.0).count();
@@ -194,13 +192,8 @@ mod tests {
     #[test]
     fn camouflage_with_one_node_degenerates_gracefully() {
         let x = sample_x();
-        let s = split(
-            &x,
-            1,
-            SliceStrategy::Camouflaged { offset: 10.0, fraction: 0.5 },
-            3,
-        )
-        .unwrap();
+        let s =
+            split(&x, 1, SliceStrategy::Camouflaged { offset: 10.0, fraction: 0.5 }, 3).unwrap();
         assert_eq!(s.len(), 1);
         assert_sums_to(&x, &s, 0.0);
     }
@@ -210,20 +203,9 @@ mod tests {
         let x = sample_x();
         assert!(split(&x, 0, SliceStrategy::Uniform, 1).is_err());
         assert!(split(&[], 2, SliceStrategy::Uniform, 1).is_err());
-        assert!(split(
-            &x,
-            2,
-            SliceStrategy::Camouflaged { offset: 1.0, fraction: 1.5 },
-            1
-        )
-        .is_err());
-        assert!(split(
-            &x,
-            2,
-            SliceStrategy::Camouflaged { offset: f64::NAN, fraction: 0.5 },
-            1
-        )
-        .is_err());
+        assert!(split(&x, 2, SliceStrategy::Camouflaged { offset: 1.0, fraction: 1.5 }, 1).is_err());
+        assert!(split(&x, 2, SliceStrategy::Camouflaged { offset: f64::NAN, fraction: 0.5 }, 1)
+            .is_err());
     }
 
     #[test]

@@ -185,10 +185,7 @@ mod tests {
                 if key == 17 || key == 90 {
                     continue;
                 }
-                assert!(
-                    (v - d.expected_mode_after(t)).abs() < 1e-6,
-                    "key {key} at t={t}: {v}"
-                );
+                assert!((v - d.expected_mode_after(t)).abs() < 1e-6, "key {key} at t={t}: {v}");
             }
         }
     }

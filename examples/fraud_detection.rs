@@ -19,11 +19,8 @@ fn main() {
     // a heavy tail — harder than majority-dominated data because *nothing*
     // is exactly equal to the mode.
     let n = 8000;
-    let data = PowerLawData::generate(
-        &PowerLawConfig { n, alpha: 0.9, x_min: 100.0 },
-        2026,
-    )
-    .expect("generate");
+    let data = PowerLawData::generate(&PowerLawConfig { n, alpha: 0.9, x_min: 100.0 }, 2026)
+        .expect("generate");
     let k = 10;
     let truth: Vec<KeyValue> = data.true_k_outliers(k);
     println!(
@@ -34,45 +31,26 @@ fn main() {
     // 6 regional sites; each account's volume splits unevenly across them,
     // and fraud rings smear activity so per-site totals stay unremarkable
     // (zero-sum camouflage) — no site sees the global picture.
-    let slices = split(
-        &data.values,
-        6,
-        SliceStrategy::Camouflaged { offset: 150_000.0, fraction: 0.1 },
-        5,
-    )
-    .expect("split");
+    let slices =
+        split(&data.values, 6, SliceStrategy::Camouflaged { offset: 150_000.0, fraction: 0.1 }, 5)
+            .expect("split");
     let cluster = Cluster::new(slices).expect("cluster");
 
     println!("\n{:<10} {:>8} {:>12} {:>10}", "protocol", "M", "bytes", "key error");
     for m in [200usize, 400, 800] {
         let run = CsProtocol::new(m, 99).run(&cluster, k).expect("cs run");
         let ek = error_on_key(&truth, &run.estimate).expect("metric");
-        println!(
-            "{:<10} {:>8} {:>12} {:>9.0}%",
-            run.protocol,
-            m,
-            run.cost.bytes(),
-            100.0 * ek
-        );
+        println!("{:<10} {:>8} {:>12} {:>9.0}%", run.protocol, m, run.cost.bytes(), 100.0 * ek);
     }
     // The K+δ baseline at a comparable budget.
     let kd = KDeltaProtocol::new(400, 3).run(&cluster, k).expect("k+delta run");
     let ek = error_on_key(&truth, &kd.estimate).expect("metric");
-    println!(
-        "{:<10} {:>8} {:>12} {:>9.0}%",
-        kd.protocol,
-        "-",
-        kd.cost.bytes(),
-        100.0 * ek
-    );
+    println!("{:<10} {:>8} {:>12} {:>9.0}%", kd.protocol, "-", kd.cost.bytes(), 100.0 * ek);
 
     let best = CsProtocol::new(800, 99).run(&cluster, k).expect("cs run");
     println!("\nflagged accounts (CS, M = 800):");
     for o in &best.estimate {
         let exact = data.values[o.index];
-        println!(
-            "  account {:>5}  recovered {:>12.1}  actual {:>12.1}",
-            o.index, o.value, exact
-        );
+        println!("  account {:>5}  recovered {:>12.1}  actual {:>12.1}", o.index, o.value, exact);
     }
 }

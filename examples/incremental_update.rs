@@ -13,17 +13,9 @@ use cs_outlier::distributed::SketchAggregator;
 
 fn print_state(label: &str, agg: &mut SketchAggregator) {
     let r = agg.recover(&BompConfig::default()).expect("recover");
-    let top: Vec<(usize, f64)> = r
-        .top_k(3)
-        .iter()
-        .map(|o| (o.index, (o.value * 10.0).round() / 10.0))
-        .collect();
-    println!(
-        "{label:<34} nodes={} mode={:>7.1} top3={:?}",
-        agg.node_count(),
-        r.mode,
-        top
-    );
+    let top: Vec<(usize, f64)> =
+        r.top_k(3).iter().map(|o| (o.index, (o.value * 10.0).round() / 10.0)).collect();
+    println!("{label:<34} nodes={} mode={:>7.1} top3={:?}", agg.node_count(), r.mode, top);
 }
 
 fn main() {

@@ -23,11 +23,8 @@ fn main() {
     let k = 5;
     // α = 1.5 power-law data with the mode shifted to 0, as in the paper's
     // Hadoop experiments.
-    let data = PowerLawData::generate(
-        &PowerLawConfig { n, alpha: 1.5, x_min: 10.0 },
-        77,
-    )
-    .expect("generate");
+    let data = PowerLawData::generate(&PowerLawConfig { n, alpha: 1.5, x_min: 10.0 }, 77)
+        .expect("generate");
     let shifted = data.shifted_to_zero_mode();
 
     // Spread each key's mass unevenly over 8 splits (shares vary by key).
@@ -42,8 +39,7 @@ fn main() {
         .collect();
 
     let m = 320;
-    let cs = run_cs_job(&splits, n, m, 1234, k, &BompConfig::for_k_outliers(k))
-        .expect("cs job");
+    let cs = run_cs_job(&splits, n, m, 1234, k, &BompConfig::for_k_outliers(k)).expect("cs job");
     let tk = run_topk_job(&splits, n, k).expect("topk job");
 
     println!("executed on {} splits × {} keys:", splits.len(), n);
@@ -57,8 +53,8 @@ fn main() {
         cs.counters.shuffle_bytes,
         cs.outliers.iter().map(|o| o.index).collect::<Vec<_>>()
     );
-    let reduction = 100.0
-        * (1.0 - cs.counters.shuffle_bytes as f64 / tk.counters.shuffle_bytes as f64);
+    let reduction =
+        100.0 * (1.0 - cs.counters.shuffle_bytes as f64 / tk.counters.shuffle_bytes as f64);
     println!("  shuffle reduction: {reduction:.1}%");
 
     // ---- Part 2: modeled timings at paper scale ------------------------
@@ -74,10 +70,7 @@ fn main() {
         let shape = WorkloadShape { input_bytes: input, record_bytes: 100, n: nn };
         let trad = traditional_topk(&profile, &shape);
         println!("\n{label}");
-        println!(
-            "  {:<18} {:>10} {:>10} {:>10}",
-            "job", "map s", "reduce s", "total s"
-        );
+        println!("  {:<18} {:>10} {:>10} {:>10}", "job", "map s", "reduce s", "total s");
         println!(
             "  {:<18} {:>10.1} {:>10.1} {:>10.1}",
             "traditional",

@@ -13,6 +13,7 @@ use cs_outlier::core::BompConfig;
 use cs_outlier::distributed::{
     Cluster, CsProtocol, FaultPlan, RetryPolicy, SketchAggregator, SketchEncoding,
 };
+use cs_outlier::obs::{Recorder, RunReport};
 use cs_outlier::workloads::{Anomaly, TimeSeriesConfig, TimeSeriesData};
 
 fn main() {
@@ -81,12 +82,14 @@ fn main() {
         })
         .collect();
     let cluster = Cluster::new(cumulative).expect("cluster");
-    let plan = FaultPlan::new(2026)
-        .fail_nodes(&[2])
-        .drop_rate(0.10)
-        .corrupt_rate(0.05);
+    let plan = FaultPlan::new(2026).fail_nodes(&[2]).drop_rate(0.10).corrupt_rate(0.05);
+    // Trace the degraded execution: the recorder collects the transport
+    // span (per-node attempt events), retry/fault counters, and BOMP's
+    // per-iteration recovery events, all on the same virtual tick clock
+    // the retry policy runs on.
+    let rec = Recorder::new();
     let degraded = CsProtocol::new(140, 777)
-        .run_degraded(&cluster, 5, SketchEncoding::F64, &plan, &RetryPolicy::default())
+        .run_degraded_traced(&cluster, 5, SketchEncoding::F64, &plan, &RetryPolicy::default(), &rec)
         .expect("at least one data center must survive");
     println!(
         "surviving data centers: {:?} ({:.0}% of the fleet); dropped: {:?}",
@@ -106,4 +109,12 @@ fn main() {
         degraded.run.cost.bytes(),
         degraded.elapsed_ticks
     );
+
+    let report = RunReport::from_recorder("monitoring", &rec)
+        .with_param("n", n as u64)
+        .with_param("m", 140u64)
+        .with_param("data_centers", config.data_centers as u64)
+        .with_param("seed", 777u64);
+    let path = report.write_jsonl("results/monitoring_report.jsonl").expect("write report");
+    println!("\nfull degraded-run report (trace + fault/retry metrics): {}", path.display());
 }

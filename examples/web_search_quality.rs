@@ -41,10 +41,7 @@ fn main() {
         .iter()
         .enumerate()
         .map(|(i, k)| {
-            (
-                format!("day={}/market={}/vertical={}/url={}", k.day, k.market, k.vertical, k.url),
-                i,
-            )
+            (format!("day={}/market={}/vertical={}/url={}", k.day, k.market, k.vertical, k.url), i)
         })
         .collect();
 
@@ -57,15 +54,12 @@ fn main() {
         ProtocolChoice::KDelta { delta: 190 },
         ProtocolChoice::Cs { m: Some(520) },
     ] {
-        let res = run(sql, &data, &QueryOptions { protocol: choice, seed: 9 })
-            .expect("protocol runs");
+        let res =
+            run(sql, &data, &QueryOptions { protocol: choice, seed: 9 }).expect("protocol runs");
         let estimate: Vec<cs_outlier::core::KeyValue> = res
             .rows
             .iter()
-            .map(|r| cs_outlier::core::KeyValue {
-                index: index_of_label[&r.label],
-                value: r.value,
-            })
+            .map(|r| cs_outlier::core::KeyValue { index: index_of_label[&r.label], value: r.value })
             .collect();
         let (ek, ev) = outlier_errors(&truth, &estimate).expect("metrics");
         println!(
@@ -80,17 +74,11 @@ fn main() {
     }
 
     println!("\ntop recovered outliers (CS, M = 520):");
-    let res = run(
-        sql,
-        &data,
-        &QueryOptions { protocol: ProtocolChoice::Cs { m: Some(520) }, seed: 9 },
-    )
-    .expect("cs runs");
+    let res =
+        run(sql, &data, &QueryOptions { protocol: ProtocolChoice::Cs { m: Some(520) }, seed: 9 })
+            .expect("cs runs");
     println!("  recovered mode: {:.1} (true {})", res.mode, data.mode);
     for row in res.rows.iter().take(5) {
-        println!(
-            "  {:<36} value {:>9.1}  deviation {:>+9.1}",
-            row.label, row.value, row.deviation
-        );
+        println!("  {:<36} value {:>9.1}  deviation {:>+9.1}", row.label, row.value, row.deviation);
     }
 }

@@ -1,29 +1,44 @@
 #!/usr/bin/env bash
 # CI gate for the workspace. Mirrors what a reviewer runs by hand:
 #
-#   1. release build of every crate
-#   2. the full default test suite
-#   3. the heavier fault-injection sweeps (feature-gated off by default)
-#   4. a warnings-clean check over all targets, fault-injection included
-#   5. a fast smoke of the fault sweep bench path
+#   1. formatting (rustfmt.toml is the single source of style)
+#   2. release build of every crate
+#   3. the full default test suite
+#   4. the heavier fault-injection sweeps (feature-gated off by default)
+#   5. a warnings-clean check over all targets, fault-injection included
+#   6. a fast smoke of the fault sweep bench path
+#   7. the observability smoke: obs_report must emit a RunReport that
+#      parses as strict JSON with every required top-level key
 #
 # Any step failing fails the script.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> [1/5] release build"
+echo "==> [1/7] cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> [2/7] release build"
 cargo build --release --workspace
 
-echo "==> [2/5] workspace tests"
+echo "==> [3/7] workspace tests"
 cargo test -q --workspace
 
-echo "==> [3/5] fault-injection sweeps"
+echo "==> [4/7] fault-injection sweeps"
 cargo test -q -p cso-distributed --features fault-injection
 
-echo "==> [4/5] warnings-clean (all targets, fault-injection on)"
+echo "==> [5/7] warnings-clean (all targets, fault-injection on)"
 RUSTFLAGS="-D warnings" cargo check --workspace --all-targets --features fault-injection
 
-echo "==> [5/5] fault sweep smoke"
+echo "==> [6/7] fault sweep smoke"
 cargo test -q -p cso-bench faults::
+
+echo "==> [7/7] observability smoke (obs_report)"
+# The binary self-validates: strict JSON parse of the emitted report,
+# required REPORT_KEYS present, comm.* metrics equal to the CostMeter
+# totals, per-iteration BOMP events present. Any violation aborts.
+cargo run --release -q -p cso-bench --bin obs_report -- 2
+for artifact in results/run_report.jsonl BENCH_pr2.json; do
+    test -s "$artifact" || { echo "missing $artifact"; exit 1; }
+done
 
 echo "ci: all green"

@@ -13,6 +13,7 @@
 //! | systems | [`mapreduce`] | Hadoop-substitute engine, CS job vs top-k job, cluster time model |
 //! | data | [`workloads`] | majority-dominated, power-law and click-log generators |
 //! | frontend | [`query`] | `SELECT OUTLIER k SUM(score) … GROUP BY …` |
+//! | observability | [`obs`] | tracing spans/events, metrics registry, `RunReport` artifacts |
 //!
 //! Start with `examples/quickstart.rs`, or:
 //!
@@ -31,5 +32,6 @@ pub use cso_core as core;
 pub use cso_distributed as distributed;
 pub use cso_linalg as linalg;
 pub use cso_mapreduce as mapreduce;
+pub use cso_obs as obs;
 pub use cso_query as query;
 pub use cso_workloads as workloads;

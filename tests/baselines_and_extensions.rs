@@ -10,8 +10,7 @@ use cs_outlier::workloads::{split, ClickLogConfig, ClickLogData, SliceStrategy};
 
 /// Non-negative workload (shifted click-log aggregate) that TA/TPUT accept.
 fn nonneg_cluster() -> (Cluster, Vec<f64>) {
-    let data =
-        ClickLogData::generate(&ClickLogConfig::core_search().scaled_down(20), 4).unwrap();
+    let data = ClickLogData::generate(&ClickLogConfig::core_search().scaled_down(20), 4).unwrap();
     // Shift so everything is non-negative (top-k semantics, as in the
     // paper's Hadoop comparison which moves the mode to 0).
     let min = data.global.iter().cloned().fold(f64::INFINITY, f64::min);
@@ -19,10 +18,8 @@ fn nonneg_cluster() -> (Cluster, Vec<f64>) {
     let slices = split(&shifted, 4, SliceStrategy::RandomProportions, 9).unwrap();
     // Random proportions of non-negative data stay non-negative (up to
     // float dust); clamp the dust so TA/TPUT accept.
-    let slices: Vec<Vec<f64>> = slices
-        .into_iter()
-        .map(|s| s.into_iter().map(|v| v.max(0.0)).collect())
-        .collect();
+    let slices: Vec<Vec<f64>> =
+        slices.into_iter().map(|s| s.into_iter().map(|v| v.max(0.0)).collect()).collect();
     (Cluster::new(slices).unwrap(), shifted)
 }
 
@@ -49,8 +46,7 @@ fn ta_tput_and_exact_topk_agree_on_click_data() {
 fn exact_baselines_refuse_outlier_style_data() {
     // The k-outlier problem lives over R^N; TA/TPUT's monotonicity
     // assumptions break and the implementations refuse (paper §7.1).
-    let data =
-        ClickLogData::generate(&ClickLogConfig::ads().scaled_down(30), 8).unwrap();
+    let data = ClickLogData::generate(&ClickLogConfig::ads().scaled_down(30), 8).unwrap();
     let cluster = Cluster::new(data.slices.clone()).unwrap();
     let has_negative = data.slices.iter().flatten().any(|&v| v < 0.0);
     assert!(has_negative, "camouflaged click slices carry negative values");
@@ -66,8 +62,7 @@ fn exact_baselines_refuse_outlier_style_data() {
 
 #[test]
 fn quantized_wire_run_matches_lossless_on_real_workload() {
-    let data =
-        ClickLogData::generate(&ClickLogConfig::answer().scaled_down(10), 17).unwrap();
+    let data = ClickLogData::generate(&ClickLogConfig::answer().scaled_down(10), 17).unwrap();
     let cluster = Cluster::new(data.slices.clone()).unwrap();
     // k must stay above the workload's deviation floor: the scaled-down
     // preset only has ~5 dominant outliers before ties set in.
@@ -92,8 +87,7 @@ fn quantized_wire_run_matches_lossless_on_real_workload() {
 #[test]
 fn recovered_aggregates_answer_section8_queries() {
     use cs_outlier::core::aggregates::{recovered_mean, recovered_median, recovered_quantile};
-    let data =
-        ClickLogData::generate(&ClickLogConfig::core_search().scaled_down(20), 23).unwrap();
+    let data = ClickLogData::generate(&ClickLogConfig::core_search().scaled_down(20), 23).unwrap();
     let spec = cs_outlier::core::MeasurementSpec::new(260, data.n(), 5).unwrap();
     let y = spec.measure_dense(&data.global).unwrap();
     let r = cs_outlier::core::bomp(&spec, &y, &BompConfig::with_max_iterations(120)).unwrap();

@@ -3,9 +3,7 @@
 //! cross. These tests pin the paper's headline claims at small scale.
 
 use cs_outlier::core::{outlier_errors, BompConfig, KeyValue};
-use cs_outlier::distributed::{
-    AllProtocol, Cluster, CsProtocol, KDeltaProtocol, OutlierProtocol,
-};
+use cs_outlier::distributed::{AllProtocol, Cluster, CsProtocol, KDeltaProtocol, OutlierProtocol};
 use cs_outlier::workloads::{ClickLogConfig, ClickLogData};
 
 fn workload(seed: u64) -> ClickLogData {
@@ -118,9 +116,6 @@ fn errors_shrink_as_m_grows() {
         }
         avg_ev.push(total / runs as f64);
     }
-    assert!(
-        avg_ev[2] < avg_ev[0],
-        "EV should fall from M=40 to M=240: {avg_ev:?}"
-    );
+    assert!(avg_ev[2] < avg_ev[0], "EV should fall from M=40 to M=240: {avg_ev:?}");
     assert!(avg_ev[2] < 0.01, "large M should be near-exact: {avg_ev:?}");
 }

@@ -14,19 +14,11 @@ fn three_level_tree_plus_streaming_recovery() {
     x[100] = 30_000.0;
     x[700] = -12_000.0;
     x[1400] = 18_000.0;
-    let slices = split(
-        &x,
-        12,
-        SliceStrategy::Camouflaged { offset: 2500.0, fraction: 0.3 },
-        21,
-    )
-    .unwrap();
+    let slices =
+        split(&x, 12, SliceStrategy::Camouflaged { offset: 2500.0, fraction: 0.3 }, 21).unwrap();
 
     let spec = MeasurementSpec::new(90, n, 5150).unwrap();
-    let sketches: Vec<_> = slices
-        .iter()
-        .map(|s| spec.measure_dense(s).unwrap())
-        .collect();
+    let sketches: Vec<_> = slices.iter().map(|s| spec.measure_dense(s).unwrap()).collect();
 
     // region r holds sub-hubs over leaves {4r..4r+1} and {4r+2..4r+3}.
     let regions: Vec<TreeNode> = (0..3)
@@ -61,10 +53,7 @@ fn tree_shape_does_not_change_recovery() {
     x[9] = 7_000.0;
     let slices = split(&x, 8, SliceStrategy::RandomProportions, 3).unwrap();
     let spec = MeasurementSpec::new(50, n, 77).unwrap();
-    let sketches: Vec<_> = slices
-        .iter()
-        .map(|s| spec.measure_dense(s).unwrap())
-        .collect();
+    let sketches: Vec<_> = slices.iter().map(|s| spec.measure_dense(s).unwrap()).collect();
 
     let shapes = [
         AggregationTree::star(8).unwrap(),

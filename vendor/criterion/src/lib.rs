@@ -60,8 +60,9 @@ impl Bencher {
         let warm_start = Instant::now();
         black_box(routine());
         let once = warm_start.elapsed().max(Duration::from_nanos(1));
-        let iters_per_sample =
-            ((Duration::from_millis(5).as_nanos() / once.as_nanos().max(1)) as u64).clamp(1, 100_000);
+        let iters_per_sample = ((Duration::from_millis(5).as_nanos() / once.as_nanos().max(1))
+            as u64)
+            .clamp(1, 100_000);
 
         self.samples.clear();
         for _ in 0..self.sample_size {

@@ -90,7 +90,9 @@ pub mod test_runner {
                 h ^= b as u64;
                 h = h.wrapping_mul(0x0000_0100_0000_01B3);
             }
-            TestRng(StdRng::seed_from_u64(h ^ ((case as u64) << 1 | 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+            TestRng(StdRng::seed_from_u64(
+                h ^ ((case as u64) << 1 | 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            ))
         }
     }
 
@@ -257,12 +259,12 @@ pub mod strategy {
             }
         };
     }
-    impl_tuple_strategy!(A/a);
-    impl_tuple_strategy!(A/a, B/b);
-    impl_tuple_strategy!(A/a, B/b, C/c);
-    impl_tuple_strategy!(A/a, B/b, C/c, D/d);
-    impl_tuple_strategy!(A/a, B/b, C/c, D/d, E/e);
-    impl_tuple_strategy!(A/a, B/b, C/c, D/d, E/e, F/f);
+    impl_tuple_strategy!(A / a);
+    impl_tuple_strategy!(A / a, B / b);
+    impl_tuple_strategy!(A / a, B / b, C / c);
+    impl_tuple_strategy!(A / a, B / b, C / c, D / d);
+    impl_tuple_strategy!(A / a, B / b, C / c, D / d, E / e);
+    impl_tuple_strategy!(A / a, B / b, C / c, D / d, E / e, F / f);
 
     /// String-pattern strategies. Upstream interprets the pattern as a full
     /// regex; this shim covers the workspace's actual use — "arbitrary
@@ -456,7 +458,9 @@ pub mod prelude {
     pub use crate as prop;
     pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
     pub use crate::test_runner::{Config as ProptestConfig, TestCaseError, TestRng};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 }
 
 /// Asserts a condition inside a `proptest!` body, failing the case (not the
@@ -498,12 +502,7 @@ macro_rules! prop_assert_eq {
 macro_rules! prop_assert_ne {
     ($left:expr, $right:expr $(,)?) => {{
         let (left, right) = (&$left, &$right);
-        $crate::prop_assert!(
-            *left != *right,
-            "assertion failed: `{:?}` != `{:?}`",
-            left,
-            right
-        );
+        $crate::prop_assert!(*left != *right, "assertion failed: `{:?}` != `{:?}`", left, right);
     }};
 }
 
