@@ -24,6 +24,7 @@ pub mod fig4;
 pub mod fig56;
 pub mod fig78;
 pub mod fig9;
+pub mod scaling;
 
 pub use common::Opts;
 
@@ -48,6 +49,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "ablation_skew",
     "ablation_quantize",
     "fault_sweep",
+    "scaling",
 ];
 
 /// Dispatches one experiment by name. Returns false for unknown names.
@@ -72,6 +74,7 @@ pub fn run_experiment(name: &str, opts: &Opts) -> bool {
         "ablation_quantize" => ablations::ablation_quantize(opts),
         "ablation_skew" => ablations::ablation_skew(opts),
         "fault_sweep" => faults::fault_sweep(opts),
+        "scaling" => scaling::scaling(opts),
         _ => return false,
     }
     true
@@ -123,6 +126,7 @@ mod tests {
                     | "ablation_skew"
                     | "ablation_quantize"
                     | "fault_sweep"
+                    | "scaling"
             );
             assert!(known, "{name} missing from dispatcher");
         }

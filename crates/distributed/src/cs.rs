@@ -10,6 +10,7 @@ use crate::cluster::Cluster;
 use crate::cost::CostMeter;
 use crate::protocol::{OutlierProtocol, ProtocolRun};
 use cso_core::{bomp_with_matrix, bomp_with_matrix_traced, BompConfig, KeyValue, MeasurementSpec};
+use cso_exec::ExecConfig;
 use cso_linalg::{ColMatrix, LinalgError, Vector};
 use cso_obs::{Recorder, Value};
 
@@ -24,18 +25,50 @@ pub struct CsProtocol {
     /// (the default), the protocol substitutes the paper's `R = f(k)`
     /// heuristic at run time.
     pub recovery: BompConfig,
+    /// Execution configuration for the node-side sketch builds, which are
+    /// independent per node and run on the work-stealing pool when
+    /// `exec.workers > 1`. Results are bit-identical to the sequential
+    /// reference for any worker count: each node's sketch `y_l = Φ0·x_l`
+    /// is computed in isolation, and the aggregator sums them in node
+    /// order on the calling thread.
+    pub exec: ExecConfig,
 }
 
 impl CsProtocol {
     /// Protocol with sketch size `m`, seed, and default recovery settings.
+    /// Sketch builds use [`ExecConfig::auto`] (all available cores).
     pub fn new(m: usize, seed: u64) -> Self {
-        CsProtocol { m, seed, recovery: BompConfig::default() }
+        CsProtocol { m, seed, recovery: BompConfig::default(), exec: ExecConfig::default() }
     }
 
     /// Overrides the recovery configuration.
     pub fn with_recovery(mut self, recovery: BompConfig) -> Self {
         self.recovery = recovery;
         self
+    }
+
+    /// Overrides the execution configuration
+    /// ([`ExecConfig::sequential`] pins the single-threaded reference path).
+    pub fn with_exec(mut self, exec: ExecConfig) -> Self {
+        self.exec = exec;
+        self
+    }
+
+    /// Builds all node sketches (`y_l = Φ0·x_l`) on the configured
+    /// executor, returned in node order, recording `exec.*` stats into
+    /// `rec` when the build actually ran multi-worker.
+    fn build_sketches(
+        &self,
+        phi0: &ColMatrix,
+        cluster: &Cluster,
+        rec: &Recorder,
+    ) -> Result<Vec<Vector>, LinalgError> {
+        let nodes: Vec<usize> = (0..cluster.l()).collect();
+        let (result, stats) = cso_exec::try_par_map(&self.exec, &nodes, |_, &l| {
+            Self::sketch_slice(phi0, cluster.slice(l))
+        });
+        stats.record(rec);
+        result
     }
 
     /// The effective iteration budget for a given `k`.
@@ -86,9 +119,7 @@ impl CsProtocol {
 
         let sketches: Vec<Vector> = {
             let _s = rec.span("sketch.build");
-            (0..cluster.l())
-                .map(|l| Self::sketch_slice(&phi0, cluster.slice(l)))
-                .collect::<Result<_, _>>()?
+            self.build_sketches(&phi0, cluster, rec)?
         };
 
         let mut meter = CostMeter::new(cluster.l());
@@ -139,15 +170,18 @@ impl CsProtocol {
         let spec = MeasurementSpec::new(self.m, n, self.seed)?;
         let phi0 = spec.materialize();
 
+        // Node-side measurement runs on the executor; framing, decoding and
+        // the aggregation sum stay sequential in node order (the byte and
+        // float accounting must match the reference exactly).
+        let sketches = self.build_sketches(&phi0, cluster, &Recorder::disabled())?;
         let mut total_bytes = 0u64;
         let mut y = Vector::zeros(self.m);
-        for l in 0..cluster.l() {
-            let sketch = Self::sketch_slice(&phi0, cluster.slice(l))?;
+        for (l, sketch) in sketches.iter().enumerate() {
             // Node side: quantize + frame.
             let msg = wire::Message::Sketch {
                 node: l as u32,
                 seed: self.seed,
-                payload: quantize::encode(&sketch, encoding),
+                payload: quantize::encode(sketch, encoding),
             };
             let bytes = wire::encode(&msg);
             total_bytes += bytes.len() as u64;
@@ -318,7 +352,11 @@ mod tests {
     #[test]
     fn traced_run_matches_untraced_and_publishes_exact_cost() {
         let (cluster, _) = majority_cluster(42);
-        let proto = CsProtocol::new(120, 7).with_recovery(BompConfig::for_k_outliers(8));
+        // Pin the sequential reference path so the recorded span sequence
+        // below is exact on any host (multi-worker runs add exec.* spans).
+        let proto = CsProtocol::new(120, 7)
+            .with_recovery(BompConfig::for_k_outliers(8))
+            .with_exec(ExecConfig::sequential());
         let plain = proto.run(&cluster, 8).unwrap();
         let rec = Recorder::new();
         let traced = proto.run_traced(&cluster, 8, &rec).unwrap();
@@ -355,6 +393,54 @@ mod tests {
         );
         assert!(!rec.events_named("bomp.iter").is_empty());
         assert_eq!(rec.events_named("bomp.done").len(), 1);
+    }
+
+    /// Parallel sketch builds are bit-identical to the sequential
+    /// reference — estimate value bits, mode bits, and cost all match for
+    /// worker counts that exercise real stealing.
+    #[test]
+    fn parallel_run_is_bit_identical_to_sequential() {
+        let (cluster, _) = majority_cluster(23);
+        let base = CsProtocol::new(110, 9).with_recovery(BompConfig::for_k_outliers(8));
+        let seq = base.clone().with_exec(ExecConfig::sequential()).run(&cluster, 8).unwrap();
+        for workers in [1, 2, 8] {
+            let par =
+                base.clone().with_exec(ExecConfig::with_workers(workers)).run(&cluster, 8).unwrap();
+            assert_eq!(par.cost, seq.cost, "workers = {workers}");
+            assert_eq!(par.mode.to_bits(), seq.mode.to_bits(), "workers = {workers}");
+            assert_eq!(par.estimate.len(), seq.estimate.len());
+            for (a, b) in par.estimate.iter().zip(&seq.estimate) {
+                assert_eq!(a.index, b.index, "workers = {workers}");
+                assert_eq!(a.value.to_bits(), b.value.to_bits(), "workers = {workers}");
+            }
+            // The wire path agrees too.
+            let wire = base
+                .clone()
+                .with_exec(ExecConfig::with_workers(workers))
+                .run_over_wire(&cluster, 8, crate::quantize::SketchEncoding::F64)
+                .unwrap();
+            assert_eq!(wire.estimate, seq.estimate, "workers = {workers}");
+        }
+    }
+
+    /// A traced multi-worker run records `exec.*` inside `sketch.build`
+    /// without disturbing the `comm.*` cost metrics.
+    #[test]
+    fn parallel_traced_run_records_exec_metrics() {
+        let (cluster, _) = majority_cluster(31);
+        let proto = CsProtocol::new(80, 3)
+            .with_recovery(BompConfig::for_k_outliers(6))
+            .with_exec(ExecConfig::with_workers(4));
+        let rec = Recorder::new();
+        let run = proto.run_traced(&cluster, 6, &rec).unwrap();
+        let snap = rec.metrics_snapshot();
+        // One executor task per node.
+        assert_eq!(snap.counter("exec.tasks"), Some(cluster.l() as u64));
+        assert_eq!(snap.gauge("exec.workers"), Some(4.0));
+        assert_eq!(rec.events_named("exec.task").len(), cluster.l());
+        // Cost accounting is untouched by the executor.
+        assert_eq!(snap.counter("comm.bits"), Some(run.cost.bits));
+        assert_eq!(snap.counter("comm.tuples"), Some(run.cost.tuples));
     }
 
     #[test]

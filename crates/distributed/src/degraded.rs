@@ -199,19 +199,23 @@ impl CsProtocol {
         let mut tuples_sent = 0u64;
 
         // Node frames are identical across attempts — retransmits are
-        // idempotent and the collector dedups by (node, seed).
+        // idempotent and the collector dedups by (node, seed). Measurement
+        // and framing are independent per node, so they run on the
+        // executor; the lossy transport below stays sequential because the
+        // channel's fault schedule and the cost meter are order-sensitive.
         let frames_by_node: Vec<Vec<u8>> = {
             let _s = rec.span("sketch.build");
-            (0..cluster.l())
-                .map(|node| {
-                    let sketch = Self::sketch_slice(&phi0, cluster.slice(node))?;
-                    Ok(wire::encode(&wire::Message::Sketch {
-                        node: node as u32,
-                        seed: self.seed,
-                        payload: quantize::encode(&sketch, encoding),
-                    }))
-                })
-                .collect::<Result<_, LinalgError>>()?
+            let nodes: Vec<usize> = (0..cluster.l()).collect();
+            let (result, stats) = cso_exec::try_par_map(&self.exec, &nodes, |_, &node| {
+                let sketch = Self::sketch_slice(&phi0, cluster.slice(node))?;
+                Ok::<_, LinalgError>(wire::encode(&wire::Message::Sketch {
+                    node: node as u32,
+                    seed: self.seed,
+                    payload: quantize::encode(&sketch, encoding),
+                }))
+            });
+            stats.record(rec);
+            result?
         };
 
         let transport_span = rec.span_with("transport", &[("round", Value::U64(1))]);
@@ -447,6 +451,33 @@ mod tests {
         assert_eq!(a.retransmissions, b.retransmissions);
         assert_eq!(a.elapsed_ticks, b.elapsed_ticks);
         assert_eq!(a.fault_stats, b.fault_stats);
+    }
+
+    /// Degraded runs are bit-identical across worker counts: the parallel
+    /// section only builds per-node frames, and the fault-injected
+    /// transport replays the same schedule on the calling thread.
+    #[test]
+    fn parallel_degraded_run_is_bit_identical_to_sequential() {
+        use cso_exec::ExecConfig;
+        let (cluster, _) = cluster_of(8, 42);
+        let plan = FaultPlan::new(1234).fail_nodes(&[2, 5]).corrupt_rate(0.05);
+        let policy = RetryPolicy::default();
+        let seq = proto()
+            .with_exec(ExecConfig::sequential())
+            .run_degraded(&cluster, 8, SketchEncoding::F64, &plan, &policy)
+            .unwrap();
+        for workers in [2, 8] {
+            let par = proto()
+                .with_exec(ExecConfig::with_workers(workers))
+                .run_degraded(&cluster, 8, SketchEncoding::F64, &plan, &policy)
+                .unwrap();
+            assert_eq!(par.run.estimate, seq.run.estimate, "workers = {workers}");
+            assert_eq!(par.run.mode.to_bits(), seq.run.mode.to_bits());
+            assert_eq!(par.run.cost, seq.run.cost);
+            assert_eq!(par.surviving_nodes, seq.surviving_nodes);
+            assert_eq!(par.fault_stats, seq.fault_stats);
+            assert_eq!(par.elapsed_ticks, seq.elapsed_ticks);
+        }
     }
 
     #[test]

@@ -1,0 +1,256 @@
+//! # cso-exec
+//!
+//! Zero-dependency work-stealing thread-pool executor for the CS pipeline.
+//!
+//! The paper's system runs its CS-Mappers concurrently across a Hadoop
+//! cluster; this crate supplies the single-process counterpart: a
+//! persistent pool of worker threads executing **indexed task sets**
+//! (`task i of n`) with per-worker range queues and back-half stealing.
+//! Results land in an index-addressed slot table, so the caller always
+//! receives them **in task order**, no matter which worker ran what — the
+//! foundation of the workspace's determinism guarantee (ordered merges
+//! over commutative-but-float-sensitive sums, DESIGN.md §8).
+//!
+//! Entry points:
+//!
+//! - [`ExecConfig`] — how many workers a parallel section may use.
+//!   `ExecConfig { workers: 1 }` (or [`ExecConfig::sequential`]) selects
+//!   the inline sequential reference path, bit-identical by construction.
+//! - [`par_map`] / [`par_map_n`] / [`try_par_map`] — run a task set on the
+//!   shared global pool and return ordered results plus [`ExecStats`].
+//! - [`ThreadPool`] — an explicitly owned pool, for tests and embedders
+//!   that want controlled shutdown.
+//!
+//! Every parallel section reports [`ExecStats`] (per-worker task counts,
+//! steals, busy time, initial queue depth); [`ExecStats::record`] publishes
+//! them as `exec.*` spans and metrics on a [`cso_obs::Recorder`] — see
+//! DESIGN.md §7/§8 for the taxonomy.
+//!
+//! ```
+//! use cso_exec::{par_map, ExecConfig};
+//!
+//! let cfg = ExecConfig::with_workers(4);
+//! let items: Vec<u64> = (0..100).collect();
+//! let (squares, stats) = par_map(&cfg, &items, |_, &x| x * x);
+//! assert_eq!(squares[7], 49);          // results are in task order
+//! assert_eq!(stats.tasks(), 100);      // every task ran exactly once
+//! ```
+
+#![warn(missing_docs)]
+
+mod pool;
+mod stats;
+
+pub use pool::{global_pool, ThreadPool, MAX_WORKERS};
+pub use stats::{ExecStats, WorkerStats};
+
+/// How a parallel section is executed.
+///
+/// `workers` is the number of participants a task set may use, **including
+/// the calling thread** — `workers: 1` means the caller runs every task
+/// inline, in index order, with no pool involvement at all: that is the
+/// sequential reference path every parallel run is tested against.
+/// Requests above [`MAX_WORKERS`] are clamped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecConfig {
+    /// Maximum number of worker threads (caller included) for a section.
+    pub workers: usize,
+}
+
+impl ExecConfig {
+    /// The sequential reference configuration (`workers: 1`).
+    pub fn sequential() -> Self {
+        ExecConfig { workers: 1 }
+    }
+
+    /// Exactly `workers` participants (clamped to `1..=`[`MAX_WORKERS`]).
+    pub fn with_workers(workers: usize) -> Self {
+        ExecConfig { workers: workers.clamp(1, MAX_WORKERS) }
+    }
+
+    /// One worker per available hardware thread.
+    pub fn auto() -> Self {
+        let n = std::thread::available_parallelism().map_or(1, |t| t.get());
+        ExecConfig::with_workers(n)
+    }
+
+    /// True when this configuration runs everything inline on the caller.
+    pub fn is_sequential(&self) -> bool {
+        self.workers <= 1
+    }
+}
+
+impl Default for ExecConfig {
+    /// Defaults to [`ExecConfig::auto`].
+    fn default() -> Self {
+        ExecConfig::auto()
+    }
+}
+
+/// Runs `f(0..n)` across the configured workers and returns the results in
+/// index order plus the section's [`ExecStats`].
+///
+/// With `cfg.workers == 1` (or `n <= 1`, or when called from inside a pool
+/// task) this is an inline sequential loop — the reference path. Panics in
+/// `f` propagate to the caller after every in-flight task has finished.
+pub fn par_map_n<R, F>(cfg: &ExecConfig, n: usize, f: F) -> (Vec<R>, ExecStats)
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if cfg.is_sequential() || n <= 1 || pool::in_pool_task() {
+        return pool::run_sequential(n, &f);
+    }
+    global_pool(cfg.workers).run(cfg.workers, n, &f)
+}
+
+/// As [`par_map_n`] over the elements of a slice: `f(i, &items[i])`.
+pub fn par_map<T, R, F>(cfg: &ExecConfig, items: &[T], f: F) -> (Vec<R>, ExecStats)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    par_map_n(cfg, items.len(), |i| f(i, &items[i]))
+}
+
+/// As [`par_map`] for fallible tasks: every task runs, then the results
+/// are folded in index order, so the returned error is always the
+/// lowest-index failure — exactly what the sequential loop would return.
+pub fn try_par_map<T, R, E, F>(
+    cfg: &ExecConfig,
+    items: &[T],
+    f: F,
+) -> (Result<Vec<R>, E>, ExecStats)
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(usize, &T) -> Result<R, E> + Sync,
+{
+    let (results, stats) = par_map(cfg, items, f);
+    (results.into_iter().collect(), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn config_clamps_and_classifies() {
+        assert_eq!(ExecConfig::with_workers(0).workers, 1);
+        assert_eq!(ExecConfig::with_workers(10_000).workers, MAX_WORKERS);
+        assert!(ExecConfig::sequential().is_sequential());
+        assert!(!ExecConfig::with_workers(2).is_sequential());
+        assert!(ExecConfig::default().workers >= 1);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        for workers in [1, 2, 8] {
+            let cfg = ExecConfig::with_workers(workers);
+            let (out, stats) = par_map_n(&cfg, 0, |i| i);
+            assert!(out.is_empty());
+            assert_eq!(stats.tasks(), 0);
+        }
+    }
+
+    #[test]
+    fn results_are_in_task_order_for_every_worker_count() {
+        let items: Vec<usize> = (0..257).collect();
+        let expect: Vec<usize> = items.iter().map(|&x| x * 3 + 1).collect();
+        for workers in [1, 2, 3, 8] {
+            let cfg = ExecConfig::with_workers(workers);
+            let (out, stats) = par_map(&cfg, &items, |_, &x| x * 3 + 1);
+            assert_eq!(out, expect, "workers = {workers}");
+            assert_eq!(stats.tasks(), items.len() as u64);
+            assert_eq!(stats.task_worker.len(), items.len());
+        }
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once_under_stealing() {
+        // Uneven task costs force steals on multi-worker runs; the
+        // execution count per index must still be exactly one.
+        let counts: Vec<AtomicU64> = (0..300).map(|_| AtomicU64::new(0)).collect();
+        let cfg = ExecConfig::with_workers(8);
+        let (_, stats) = par_map_n(&cfg, counts.len(), |i| {
+            // Index-dependent busywork: early tasks are ~100× heavier.
+            let spins = if i < 8 { 20_000 } else { 200 };
+            let mut acc = 0u64;
+            for s in 0..spins {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(s);
+            }
+            counts[i].fetch_add(1, Ordering::SeqCst);
+            std::hint::black_box(acc);
+        });
+        for (i, c) in counts.iter().enumerate() {
+            assert_eq!(c.load(Ordering::SeqCst), 1, "task {i} ran a wrong number of times");
+        }
+        assert_eq!(stats.tasks(), counts.len() as u64);
+        // Worker accounting is conserved regardless of the schedule.
+        let per_worker: u64 = stats.per_worker.iter().map(|w| w.tasks).sum();
+        assert_eq!(per_worker, counts.len() as u64);
+    }
+
+    #[test]
+    fn try_par_map_returns_lowest_index_error() {
+        let items: Vec<usize> = (0..64).collect();
+        for workers in [1, 2, 8] {
+            let cfg = ExecConfig::with_workers(workers);
+            let (res, _) =
+                try_par_map(&cfg, &items, |_, &x| if x % 7 == 3 { Err(x) } else { Ok(x) });
+            assert_eq!(res.unwrap_err(), 3, "workers = {workers}");
+        }
+        let ok: (Result<Vec<usize>, usize>, _) =
+            try_par_map(&ExecConfig::with_workers(4), &items, |_, &x| Ok(x));
+        assert_eq!(ok.0.unwrap(), items);
+    }
+
+    #[test]
+    fn nested_sections_fall_back_to_inline_execution() {
+        // A task that itself calls par_map must not deadlock the pool: the
+        // inner section detects it is on a pool thread and runs inline.
+        let cfg = ExecConfig::with_workers(4);
+        let (out, _) = par_map_n(&cfg, 8, |i| {
+            let (inner, inner_stats) = par_map_n(&cfg, 4, move |j| i * 10 + j);
+            assert_eq!(inner_stats.workers(), 1);
+            inner.iter().sum::<usize>()
+        });
+        let expect: Vec<usize> = (0..8).map(|i| 4 * (i * 10) + 6).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn panic_in_task_propagates_and_pool_survives() {
+        let cfg = ExecConfig::with_workers(4);
+        let caught = std::panic::catch_unwind(|| {
+            par_map_n(&cfg, 32, |i| {
+                if i == 13 {
+                    panic!("boom at {i}");
+                }
+                i
+            })
+        });
+        let payload = caught.expect_err("panic must propagate");
+        let msg = payload.downcast_ref::<String>().expect("panic message");
+        assert!(msg.contains("boom at 13"), "unexpected payload: {msg}");
+
+        // The pool is still usable after a propagated panic.
+        let (out, _) = par_map_n(&cfg, 16, |i| i + 1);
+        assert_eq!(out, (1..=16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn oversubscription_beyond_cpu_count_is_correct() {
+        // Worker counts above the host's parallelism (always true for 8+
+        // on small CI hosts) must not change results.
+        let items: Vec<u64> = (0..500).collect();
+        let (seq, _) = par_map(&ExecConfig::sequential(), &items, |i, &x| x * 7 + i as u64);
+        let (par, stats) = par_map(&ExecConfig::with_workers(8), &items, |i, &x| x * 7 + i as u64);
+        assert_eq!(seq, par);
+        assert_eq!(stats.workers(), 8);
+        assert_eq!(stats.tasks(), 500);
+    }
+}

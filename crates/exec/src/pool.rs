@@ -1,0 +1,520 @@
+//! The work-stealing thread pool.
+//!
+//! ## Execution model
+//!
+//! A task set is the index range `0..n`. At launch it is split into one
+//! contiguous block per participant (the calling thread is participant 0);
+//! each participant pops indices off the **front** of its own block and,
+//! when empty, **steals the back half** of a victim's block. Ranges are a
+//! single packed `AtomicU64` (`start << 32 | end`), so pops and steals are
+//! lock-free CAS loops and every index is claimed exactly once.
+//!
+//! ## Determinism
+//!
+//! Which worker runs which task is scheduling-dependent, but results are
+//! written into an index-addressed slot table and returned in task order —
+//! callers that fold them sequentially (every caller in this workspace)
+//! get bit-identical output to the `workers = 1` inline path.
+//!
+//! ## Safety
+//!
+//! Tasks borrow the caller's stack (`f`, the result slots, the stats
+//! table) through a type-erased pointer. The invariant making that sound:
+//! [`ThreadPool::run`] does not return until every helper that claimed the
+//! job has finished, and helpers that did not claim never dereference the
+//! context. Claims are capped at `participants - 1` and performed under
+//! the pool mutex, so a late-waking worker can never touch a job whose
+//! caller already returned.
+
+use crate::stats::{ExecStats, WorkerStats};
+use std::any::Any;
+use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Hard cap on the workers of any pool or section — a guard against
+/// runaway oversubscription, far above any sensible host parallelism.
+pub const MAX_WORKERS: usize = 64;
+
+thread_local! {
+    static IN_POOL_TASK: Cell<bool> = const { Cell::new(false) };
+}
+
+/// True when the current thread is executing inside a pool task (either a
+/// helper thread or a caller participating in its own section). Nested
+/// sections use this to fall back to inline execution instead of
+/// deadlocking on the pool's job lock.
+pub(crate) fn in_pool_task() -> bool {
+    IN_POOL_TASK.with(|f| f.get())
+}
+
+/// Runs `0..n` inline on the calling thread — the sequential reference
+/// path. Panics in `f` propagate directly, as in any plain loop.
+pub(crate) fn run_sequential<R, F>(n: usize, f: &F) -> (Vec<R>, ExecStats)
+where
+    F: Fn(usize) -> R,
+{
+    let start = Instant::now();
+    let results: Vec<R> = (0..n).map(f).collect();
+    (results, ExecStats::sequential(n as u64, start.elapsed().as_nanos() as u64))
+}
+
+// ---------------------------------------------------------------------------
+// Packed index ranges
+// ---------------------------------------------------------------------------
+
+#[inline]
+fn pack(start: u32, end: u32) -> u64 {
+    (u64::from(start) << 32) | u64::from(end)
+}
+
+#[inline]
+fn unpack(r: u64) -> (u32, u32) {
+    ((r >> 32) as u32, r as u32)
+}
+
+/// Claims the front index of `range`, if any.
+fn pop_front(range: &AtomicU64) -> Option<usize> {
+    let mut cur = range.load(Ordering::SeqCst);
+    loop {
+        let (s, e) = unpack(cur);
+        if s >= e {
+            return None;
+        }
+        match range.compare_exchange_weak(cur, pack(s + 1, e), Ordering::SeqCst, Ordering::SeqCst) {
+            Ok(_) => return Some(s as usize),
+            Err(v) => cur = v,
+        }
+    }
+}
+
+/// Moves the back half of `victim` into `thief` (known empty). Returns
+/// false when the victim had nothing to take.
+fn steal_back_half(victim: &AtomicU64, thief: &AtomicU64) -> bool {
+    let mut cur = victim.load(Ordering::SeqCst);
+    loop {
+        let (s, e) = unpack(cur);
+        if s >= e {
+            return false;
+        }
+        let take = (e - s).div_ceil(2);
+        match victim.compare_exchange_weak(
+            cur,
+            pack(s, e - take),
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        ) {
+            Ok(_) => {
+                thief.store(pack(e - take, e), Ordering::SeqCst);
+                return true;
+            }
+            Err(v) => cur = v,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Type-erased job context
+// ---------------------------------------------------------------------------
+
+/// One result slot, written by exactly the participant that claimed its
+/// index (ranges partition `0..n`, so writes never alias).
+struct ResultSlot<R>(std::cell::UnsafeCell<Option<R>>);
+
+// SAFETY: each slot is written by exactly one thread (unique index claim)
+// and read by the caller only after the completion handshake (a mutex
+// acquire/release pair), which orders the write before the read.
+unsafe impl<R: Send> Sync for ResultSlot<R> {}
+
+/// Per-participant counters, owned by the caller's stack for one section.
+struct SlotStats {
+    tasks: AtomicU64,
+    steals: AtomicU64,
+    busy_ns: AtomicU64,
+    initial_queue: u64,
+}
+
+struct Ctx<'a, R, F> {
+    f: &'a F,
+    results: &'a [ResultSlot<R>],
+    ranges: &'a [AtomicU64],
+    claimed: &'a [AtomicU32],
+    stats: &'a [SlotStats],
+    panic: &'a Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+/// The participant body: pop own range, steal when empty, stop when no
+/// work is visible anywhere. Task panics are caught and parked in
+/// `ctx.panic` (first wins); the section re-raises after completion.
+fn participate<R, F>(ctx: &Ctx<'_, R, F>, slot: usize)
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let start = Instant::now();
+    let mut tasks = 0u64;
+    let mut steals = 0u64;
+    let p = ctx.ranges.len();
+    IN_POOL_TASK.with(|flag| flag.set(true));
+    loop {
+        match pop_front(&ctx.ranges[slot]) {
+            Some(i) => {
+                ctx.claimed[i].store(slot as u32, Ordering::SeqCst);
+                match catch_unwind(AssertUnwindSafe(|| (ctx.f)(i))) {
+                    // SAFETY: index i is claimed by this participant only.
+                    Ok(r) => unsafe { *ctx.results[i].0.get() = Some(r) },
+                    Err(payload) => {
+                        let mut slot = ctx.panic.lock().unwrap_or_else(|e| e.into_inner());
+                        slot.get_or_insert(payload);
+                    }
+                }
+                tasks += 1;
+            }
+            None => {
+                let stolen = (1..p)
+                    .map(|d| (slot + d) % p)
+                    .any(|victim| steal_back_half(&ctx.ranges[victim], &ctx.ranges[slot]));
+                if stolen {
+                    steals += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+    IN_POOL_TASK.with(|flag| flag.set(false));
+    let s = &ctx.stats[slot];
+    s.tasks.store(tasks, Ordering::SeqCst);
+    s.steals.store(steals, Ordering::SeqCst);
+    s.busy_ns.store(start.elapsed().as_nanos() as u64, Ordering::SeqCst);
+}
+
+unsafe fn participate_erased<R, F>(ctx: *const (), slot: usize)
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    // SAFETY: `ctx` points at the live `Ctx` of the section that posted
+    // this job; `run` keeps it alive until every claimant finished.
+    let ctx = unsafe { &*(ctx as *const Ctx<'_, R, F>) };
+    participate(ctx, slot);
+}
+
+#[derive(Clone, Copy)]
+struct RawJob {
+    run: unsafe fn(*const (), usize),
+    ctx: *const (),
+}
+
+// SAFETY: the pointers are only dereferenced by claimed participants while
+// the posting caller blocks in `run` (see module docs).
+unsafe impl Send for RawJob {}
+
+// ---------------------------------------------------------------------------
+// The pool
+// ---------------------------------------------------------------------------
+
+struct PoolState {
+    epoch: u64,
+    job: Option<RawJob>,
+    participants: usize,
+    claims: usize,
+    active: usize,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<PoolState>,
+    work_cv: Condvar,
+    done_cv: Condvar,
+}
+
+/// A persistent pool of helper threads executing indexed task sets.
+///
+/// A pool created with `ExecConfig { workers: w }` owns `w - 1` helper
+/// threads; the calling thread is always participant 0 of a section, so a
+/// 1-worker pool owns no threads at all. Dropping the pool joins every
+/// helper (the shutdown handshake tested in `tests`).
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    /// Section-serializing lock: one task set runs at a time per pool.
+    job_lock: Mutex<()>,
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool").field("capacity", &self.capacity()).finish()
+    }
+}
+
+impl ThreadPool {
+    /// Builds a pool sized for `config` (helpers = `workers - 1`).
+    pub fn new(config: &crate::ExecConfig) -> Self {
+        let workers = config.workers.clamp(1, MAX_WORKERS);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(PoolState {
+                epoch: 0,
+                job: None,
+                participants: 1,
+                claims: 0,
+                active: 0,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        let handles = (1..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("cso-exec-{i}"))
+                    .spawn(move || helper_loop(&shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        ThreadPool { shared, handles, job_lock: Mutex::new(()) }
+    }
+
+    /// Maximum participants a section on this pool can have (helpers + 1).
+    pub fn capacity(&self) -> usize {
+        self.handles.len() + 1
+    }
+
+    /// Runs `f(0..n)` with up to `workers` participants (capped by this
+    /// pool's [`ThreadPool::capacity`]) and returns results in task order.
+    ///
+    /// Concurrent sections on one pool are serialized. A panic in `f` is
+    /// re-raised on the caller after all in-flight tasks finish.
+    pub fn run<R, F>(&self, workers: usize, n: usize, f: &F) -> (Vec<R>, ExecStats)
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        let participants = workers.clamp(1, self.capacity()).min(n.max(1));
+        if participants <= 1 || n <= 1 {
+            return run_sequential(n, f);
+        }
+        assert!(n < u32::MAX as usize, "task sets are limited to u32 indices");
+
+        let results: Vec<ResultSlot<R>> =
+            (0..n).map(|_| ResultSlot(std::cell::UnsafeCell::new(None))).collect();
+        let claimed: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(u32::MAX)).collect();
+        // Even contiguous blocks, front-loaded remainder: deterministic.
+        let base = n / participants;
+        let rem = n % participants;
+        let mut next = 0u32;
+        let mut ranges = Vec::with_capacity(participants);
+        let mut stats = Vec::with_capacity(participants);
+        for i in 0..participants {
+            let len = (base + usize::from(i < rem)) as u32;
+            ranges.push(AtomicU64::new(pack(next, next + len)));
+            stats.push(SlotStats {
+                tasks: AtomicU64::new(0),
+                steals: AtomicU64::new(0),
+                busy_ns: AtomicU64::new(0),
+                initial_queue: u64::from(len),
+            });
+            next += len;
+        }
+        let panic: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
+        let ctx = Ctx {
+            f,
+            results: &results,
+            ranges: &ranges,
+            claimed: &claimed,
+            stats: &stats,
+            panic: &panic,
+        };
+        let raw =
+            RawJob { run: participate_erased::<R, F>, ctx: (&ctx as *const Ctx<'_, R, F>).cast() };
+
+        let _section = self.job_lock.lock().unwrap_or_else(|e| e.into_inner());
+        {
+            let mut st = self.shared.state.lock().expect("pool state");
+            st.epoch += 1;
+            st.job = Some(raw);
+            st.participants = participants;
+            st.claims = 0;
+            st.active = 0;
+            drop(st);
+            self.shared.work_cv.notify_all();
+        }
+
+        // The caller is participant 0. `participate` never unwinds (task
+        // panics are parked in `ctx.panic`), so the completion wait below
+        // always runs and `ctx` outlives every helper's borrow.
+        participate(&ctx, 0);
+
+        {
+            let mut st = self.shared.state.lock().expect("pool state");
+            while st.claims < st.participants - 1 || st.active > 0 {
+                st = self.shared.done_cv.wait(st).expect("pool state");
+            }
+            st.job = None;
+        }
+
+        if let Some(payload) = panic.into_inner().unwrap_or_else(|e| e.into_inner()) {
+            std::panic::resume_unwind(payload);
+        }
+
+        let out: Vec<R> = results
+            .into_iter()
+            .map(|slot| slot.0.into_inner().expect("every task index executed"))
+            .collect();
+        let per_worker: Vec<WorkerStats> = stats
+            .iter()
+            .map(|s| WorkerStats {
+                tasks: s.tasks.load(Ordering::SeqCst),
+                steals: s.steals.load(Ordering::SeqCst),
+                busy_ns: s.busy_ns.load(Ordering::SeqCst),
+                initial_queue: s.initial_queue,
+            })
+            .collect();
+        let task_worker: Vec<u32> = claimed.iter().map(|c| c.load(Ordering::SeqCst)).collect();
+        (out, ExecStats { per_worker, task_worker })
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            st.shutdown = true;
+        }
+        self.shared.work_cv.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn helper_loop(shared: &Shared) {
+    let mut last_seen = 0u64;
+    loop {
+        let job;
+        let slot;
+        {
+            let mut st = shared.state.lock().expect("pool state");
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.job.is_some() && st.epoch != last_seen {
+                    break;
+                }
+                st = shared.work_cv.wait(st).expect("pool state");
+            }
+            last_seen = st.epoch;
+            if st.claims >= st.participants - 1 {
+                // Section already fully staffed — skip this epoch.
+                continue;
+            }
+            st.claims += 1;
+            st.active += 1;
+            slot = st.claims; // helper slots are 1-based
+            job = st.job.expect("job present under claim");
+        }
+        // SAFETY: claimed under the mutex before the caller's completion
+        // wait could pass, so the context is still alive.
+        unsafe { (job.run)(job.ctx, slot) };
+        {
+            let mut st = shared.state.lock().expect("pool state");
+            st.active -= 1;
+            if st.active == 0 && st.claims == st.participants - 1 {
+                shared.done_cv.notify_all();
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The global pool
+// ---------------------------------------------------------------------------
+
+/// Returns the shared process-wide pool, grown (never shrunk) to at least
+/// `workers` capacity. Growth swaps in a fresh pool; the old one is
+/// retired once its in-flight sections complete.
+pub fn global_pool(workers: usize) -> Arc<ThreadPool> {
+    static REGISTRY: OnceLock<Mutex<Arc<ThreadPool>>> = OnceLock::new();
+    let registry =
+        REGISTRY.get_or_init(|| Mutex::new(Arc::new(ThreadPool::new(&crate::ExecConfig::auto()))));
+    let mut pool = registry.lock().unwrap_or_else(|e| e.into_inner());
+    let wanted = workers.clamp(1, MAX_WORKERS);
+    if pool.capacity() < wanted {
+        *pool = Arc::new(ThreadPool::new(&crate::ExecConfig::with_workers(wanted)));
+    }
+    Arc::clone(&pool)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ExecConfig;
+
+    #[test]
+    fn pool_shutdown_joins_all_helpers() {
+        let pool = ThreadPool::new(&ExecConfig::with_workers(4));
+        assert_eq!(pool.capacity(), 4);
+        let (out, _) = pool.run(4, 100, &|i| i * 2);
+        assert_eq!(out[99], 198);
+        // Drop must return (joining all helpers) rather than hang; the
+        // test harness's timeout is the hang detector.
+        drop(pool);
+    }
+
+    #[test]
+    fn one_worker_pool_spawns_no_threads() {
+        let pool = ThreadPool::new(&ExecConfig::sequential());
+        assert_eq!(pool.capacity(), 1);
+        let (out, stats) = pool.run(1, 10, &|i| i + 1);
+        assert_eq!(out, (1..=10).collect::<Vec<_>>());
+        assert_eq!(stats.workers(), 1);
+    }
+
+    #[test]
+    fn capacity_caps_section_width() {
+        let pool = ThreadPool::new(&ExecConfig::with_workers(2));
+        let (_, stats) = pool.run(16, 64, &|i| i);
+        assert_eq!(stats.workers(), 2, "section width is capped by pool capacity");
+    }
+
+    #[test]
+    fn back_to_back_sections_reuse_the_pool() {
+        let pool = ThreadPool::new(&ExecConfig::with_workers(3));
+        for round in 0..20 {
+            let (out, _) = pool.run(3, 50, &|i| i + round);
+            assert_eq!(out[49], 49 + round, "round {round}");
+        }
+    }
+
+    #[test]
+    fn global_pool_grows_monotonically() {
+        let a = global_pool(2);
+        assert!(a.capacity() >= 2);
+        let b = global_pool(6);
+        assert!(b.capacity() >= 6);
+        let c = global_pool(3);
+        assert!(c.capacity() >= 6, "the global pool never shrinks");
+    }
+
+    #[test]
+    fn range_primitives_are_exact() {
+        let r = AtomicU64::new(pack(0, 3));
+        assert_eq!(pop_front(&r), Some(0));
+        assert_eq!(pop_front(&r), Some(1));
+        assert_eq!(pop_front(&r), Some(2));
+        assert_eq!(pop_front(&r), None);
+
+        let victim = AtomicU64::new(pack(10, 20));
+        let thief = AtomicU64::new(pack(0, 0));
+        assert!(steal_back_half(&victim, &thief));
+        assert_eq!(unpack(victim.load(Ordering::SeqCst)), (10, 15));
+        assert_eq!(unpack(thief.load(Ordering::SeqCst)), (15, 20));
+        let empty = AtomicU64::new(pack(5, 5));
+        assert!(!steal_back_half(&empty, &thief));
+    }
+}

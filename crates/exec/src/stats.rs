@@ -1,0 +1,162 @@
+//! Per-section execution statistics and their `exec.*` observability
+//! mapping (DESIGN.md §7/§8).
+
+use cso_obs::{Recorder, Value};
+
+/// What one worker did during a parallel section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Tasks this worker executed.
+    pub tasks: u64,
+    /// Successful steals this worker performed.
+    pub steals: u64,
+    /// Wall time the worker spent inside the section, in nanoseconds.
+    /// Wall-side only: the trace's virtual tick clock is never advanced by
+    /// the executor (see DESIGN.md §8 on the tick/wall distinction).
+    pub busy_ns: u64,
+    /// Tasks initially assigned to this worker's queue before stealing.
+    pub initial_queue: u64,
+}
+
+/// Statistics of one parallel section.
+///
+/// Worker attribution (`task_worker`, steal counts, busy times) is
+/// scheduling-dependent on multi-worker runs; the task *results* are not —
+/// they are always returned in task order (DESIGN.md §8).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecStats {
+    /// One entry per participating worker (worker 0 is the caller).
+    pub per_worker: Vec<WorkerStats>,
+    /// Which worker executed each task, indexed by task.
+    pub task_worker: Vec<u32>,
+}
+
+impl ExecStats {
+    /// Stats for an inline sequential run of `tasks` tasks.
+    pub(crate) fn sequential(tasks: u64, busy_ns: u64) -> Self {
+        ExecStats {
+            per_worker: vec![WorkerStats { tasks, steals: 0, busy_ns, initial_queue: tasks }],
+            task_worker: vec![0; tasks as usize],
+        }
+    }
+
+    /// Number of workers that participated (1 for sequential runs).
+    pub fn workers(&self) -> usize {
+        self.per_worker.len()
+    }
+
+    /// Total tasks executed.
+    pub fn tasks(&self) -> u64 {
+        self.per_worker.iter().map(|w| w.tasks).sum()
+    }
+
+    /// Total successful steals across workers.
+    pub fn steals(&self) -> u64 {
+        self.per_worker.iter().map(|w| w.steals).sum()
+    }
+
+    /// The busiest worker's task count — the section's load-balance
+    /// bottleneck (`tasks / max_worker_tasks` is the modeled speedup the
+    /// scaling sweep reports).
+    pub fn max_worker_tasks(&self) -> u64 {
+        self.per_worker.iter().map(|w| w.tasks).max().unwrap_or(0)
+    }
+
+    /// Publishes the section as `exec.*` spans and metrics.
+    ///
+    /// Recorded (only when `rec` is enabled **and** the section actually
+    /// ran multi-worker, so sequential reference traces are unchanged):
+    ///
+    /// - one `exec.worker` span per worker with `worker`, `tasks`,
+    ///   `steals`, `busy_ns`, `queue_depth` fields, in worker order;
+    /// - one `exec.task` event per task with `task`, `worker` fields, in
+    ///   task order;
+    /// - counters `exec.tasks` / `exec.steals`, gauge `exec.workers`, and
+    ///   histograms `exec.queue_depth` / `exec.busy_ns` (per worker).
+    pub fn record(&self, rec: &Recorder) {
+        if !rec.is_enabled() || self.workers() <= 1 {
+            return;
+        }
+        rec.counter_add("exec.tasks", self.tasks());
+        rec.counter_add("exec.steals", self.steals());
+        rec.gauge_set("exec.workers", self.workers() as f64);
+        for (worker, w) in self.per_worker.iter().enumerate() {
+            let _span = rec.span_with(
+                "exec.worker",
+                &[
+                    ("worker", Value::U64(worker as u64)),
+                    ("tasks", Value::U64(w.tasks)),
+                    ("steals", Value::U64(w.steals)),
+                    ("busy_ns", Value::U64(w.busy_ns)),
+                    ("queue_depth", Value::U64(w.initial_queue)),
+                ],
+            );
+            rec.histogram_record("exec.queue_depth", w.initial_queue);
+            rec.histogram_record("exec.busy_ns", w.busy_ns);
+        }
+        for (task, &worker) in self.task_worker.iter().enumerate() {
+            rec.event(
+                "exec.task",
+                &[("task", Value::U64(task as u64)), ("worker", Value::U64(u64::from(worker)))],
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cso_obs::EntryKind;
+
+    fn two_worker_stats() -> ExecStats {
+        ExecStats {
+            per_worker: vec![
+                WorkerStats { tasks: 3, steals: 0, busy_ns: 100, initial_queue: 2 },
+                WorkerStats { tasks: 1, steals: 1, busy_ns: 90, initial_queue: 2 },
+            ],
+            task_worker: vec![0, 0, 1, 0],
+        }
+    }
+
+    #[test]
+    fn aggregates_sum_per_worker() {
+        let s = two_worker_stats();
+        assert_eq!(s.workers(), 2);
+        assert_eq!(s.tasks(), 4);
+        assert_eq!(s.steals(), 1);
+        assert_eq!(s.max_worker_tasks(), 3);
+    }
+
+    #[test]
+    fn record_emits_spans_events_and_metrics() {
+        let rec = Recorder::new();
+        let s = two_worker_stats();
+        s.record(&rec);
+        let trace = rec.trace_snapshot();
+        let worker_spans: Vec<_> = trace
+            .iter()
+            .filter(|e| e.kind == EntryKind::SpanStart && e.name == "exec.worker")
+            .collect();
+        assert_eq!(worker_spans.len(), 2);
+        assert_eq!(worker_spans[0].field_u64("worker"), Some(0));
+        assert_eq!(worker_spans[0].field_u64("tasks"), Some(3));
+        assert_eq!(worker_spans[1].field_u64("steals"), Some(1));
+        let task_events = rec.events_named("exec.task");
+        assert_eq!(task_events.len(), 4);
+        assert_eq!(task_events[2].field_u64("worker"), Some(1));
+        let snap = rec.metrics_snapshot();
+        assert_eq!(snap.counter("exec.tasks"), Some(4));
+        assert_eq!(snap.counter("exec.steals"), Some(1));
+        assert_eq!(snap.gauge("exec.workers"), Some(2.0));
+    }
+
+    #[test]
+    fn sequential_sections_record_nothing() {
+        let rec = Recorder::new();
+        ExecStats::sequential(10, 5).record(&rec);
+        assert!(rec.trace_snapshot().is_empty());
+        assert!(rec.metrics_snapshot().is_empty());
+        // And a disabled recorder is a no-op for parallel stats too.
+        two_worker_stats().record(&Recorder::disabled());
+    }
+}

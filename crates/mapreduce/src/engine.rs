@@ -6,7 +6,21 @@
 //! records, shuffle bytes). The CS job and the traditional top-k job
 //! (`crate::jobs`) are both expressed against this engine, mirroring the
 //! paper's Algorithms 3 (CS-Mapper) and 4 (CS-Reducer).
+//!
+//! ## Value-ordering contract
+//!
+//! The reducer for a key `k` receives its values in **(task index,
+//! emission order)** order: all of task 0's combined values for `k` first
+//! (in the order task 0 emitted them), then task 1's, and so on. Keys
+//! themselves arrive in sorted order. This contract is what makes
+//! floating-point reductions (`values.iter().sum()`) bit-reproducible,
+//! and the parallel engine preserves it exactly: map+combine tasks run on
+//! worker threads, but their outputs are merged **sequentially in task
+//! order** ([`map_reduce_exec`] and friends), so parallel output is
+//! bit-identical to the sequential reference (tested, and proptested at
+//! the protocol level).
 
+use cso_exec::ExecConfig;
 use cso_obs::{Recorder, Value};
 use std::collections::BTreeMap;
 
@@ -53,6 +67,80 @@ impl<K, V> Emitter<K, V> {
     }
 }
 
+/// One map task's mapped + combined output, pre-shuffle. Produced by
+/// worker threads in the parallel engine and merged in task order.
+struct MapTaskOutput<K, V> {
+    /// Combined pairs, grouped per key in sorted-key order; values within
+    /// a key keep their emission order.
+    groups: Vec<(K, Vec<V>)>,
+    input_records: u64,
+    output_records: u64,
+    shuffle_bytes: u64,
+}
+
+/// Runs one map task: map every record, then apply the map-side combiner
+/// per key. Pure per-split — safe to run on any thread.
+fn run_map_task<I, K, V>(
+    split: &[I],
+    mapper: &mut impl FnMut(&I, &mut Emitter<K, V>),
+    combiner: &mut impl FnMut(&K, Vec<V>) -> Vec<V>,
+    pair_bytes: u64,
+) -> MapTaskOutput<K, V>
+where
+    K: Ord,
+{
+    let mut em = Emitter::new();
+    for record in split {
+        mapper(record, &mut em);
+    }
+    let output_records = em.pairs.len() as u64;
+    // Map-side combine: group this task's pairs, shrink each group.
+    let mut local: BTreeMap<K, Vec<V>> = BTreeMap::new();
+    for (k, v) in em.pairs {
+        local.entry(k).or_default().push(v);
+    }
+    let mut shuffle_bytes = 0u64;
+    let mut groups = Vec::with_capacity(local.len());
+    for (k, vs) in local {
+        let combined = combiner(&k, vs);
+        shuffle_bytes += combined.len() as u64 * pair_bytes;
+        groups.push((k, combined));
+    }
+    MapTaskOutput { groups, input_records: split.len() as u64, output_records, shuffle_bytes }
+}
+
+/// Merges task outputs **in task order** into the shuffle groups — the
+/// single place the value-ordering contract is established. Also
+/// accumulates counters and records one `mr.task` event per task.
+fn merge_task_outputs<K, V>(
+    outputs: Vec<MapTaskOutput<K, V>>,
+    counters: &mut JobCounters,
+    rec: &Recorder,
+) -> BTreeMap<K, Vec<V>>
+where
+    K: Ord,
+{
+    let mut groups: BTreeMap<K, Vec<V>> = BTreeMap::new();
+    for (task, out) in outputs.into_iter().enumerate() {
+        counters.map_input_records += out.input_records;
+        counters.map_output_records += out.output_records;
+        counters.shuffle_bytes += out.shuffle_bytes;
+        for (k, vs) in out.groups {
+            groups.entry(k).or_default().extend(vs);
+        }
+        rec.event(
+            "mr.task",
+            &[
+                ("task", Value::U64(task as u64)),
+                ("input_records", Value::U64(out.input_records)),
+                ("output_records", Value::U64(out.output_records)),
+                ("shuffle_bytes", Value::U64(out.shuffle_bytes)),
+            ],
+        );
+    }
+    groups
+}
+
 /// Runs a complete map-shuffle-reduce pass.
 ///
 /// - `splits` — one `Vec` of records per map task;
@@ -60,7 +148,8 @@ impl<K, V> Emitter<K, V> {
 /// - `pair_bytes` — serialized size of one intermediate pair (for the
 ///   shuffle counter);
 /// - `reducer` — called once per distinct key with all its values (sorted
-///   key order, so output is deterministic).
+///   key order; values follow the module-level ordering contract, so
+///   output is deterministic).
 ///
 /// Returns the reducer outputs concatenated in key order plus counters.
 pub fn map_reduce<I, K, V, O>(
@@ -90,8 +179,40 @@ where
     map_reduce_with_combiner_traced(splits, mapper, no_combiner, pair_bytes, reducer, rec)
 }
 
+/// As [`map_reduce`], running map+combine tasks on `exec`'s worker threads
+/// (see [`map_reduce_with_combiner_exec_traced`] for the determinism
+/// guarantee).
+pub fn map_reduce_exec<I, K, V, O>(
+    exec: &ExecConfig,
+    splits: &[Vec<I>],
+    mapper: impl Fn(&I, &mut Emitter<K, V>) + Sync,
+    pair_bytes: u64,
+    reducer: impl FnMut(&K, Vec<V>) -> Vec<O>,
+) -> (Vec<O>, JobCounters)
+where
+    I: Sync,
+    K: Ord + Send,
+    V: Send,
+{
+    map_reduce_with_combiner_exec_traced(
+        exec,
+        splits,
+        mapper,
+        no_combiner_sync,
+        pair_bytes,
+        reducer,
+        &Recorder::disabled(),
+    )
+}
+
 /// The identity combiner used by [`map_reduce`].
 fn no_combiner<K, V>(_key: &K, values: Vec<V>) -> Vec<V> {
+    values
+}
+
+/// The identity combiner for the parallel entry points (same function,
+/// named separately so the `Fn + Sync` bound is explicit).
+fn no_combiner_sync<K, V>(_key: &K, values: Vec<V>) -> Vec<V> {
     values
 }
 
@@ -128,55 +249,90 @@ where
 /// finished [`JobCounters`] are *not* auto-published — callers that own a
 /// whole job call [`JobCounters::publish`] once, so a multi-job pipeline
 /// controls which runs land in the metrics.
+///
+/// This is the sequential reference implementation: map tasks run inline
+/// in task order. The parallel engine
+/// ([`map_reduce_with_combiner_exec_traced`]) shares the per-task body and
+/// the ordered merge with this function, differing only in where tasks
+/// execute.
 pub fn map_reduce_with_combiner_traced<I, K, V, O>(
     splits: &[Vec<I>],
     mut mapper: impl FnMut(&I, &mut Emitter<K, V>),
     mut combiner: impl FnMut(&K, Vec<V>) -> Vec<V>,
     pair_bytes: u64,
-    mut reducer: impl FnMut(&K, Vec<V>) -> Vec<O>,
+    reducer: impl FnMut(&K, Vec<V>) -> Vec<O>,
     rec: &Recorder,
 ) -> (Vec<O>, JobCounters)
 where
     K: Ord,
 {
     let mut counters = JobCounters { map_tasks: splits.len() as u64, ..Default::default() };
-    let mut groups: BTreeMap<K, Vec<V>> = BTreeMap::new();
 
     let _job_span = rec.span_with("mr.job", &[("tasks", Value::U64(splits.len() as u64))]);
-    {
+    let groups = {
         let _map_span = rec.span("mr.map");
-        for (task, split) in splits.iter().enumerate() {
-            let mut em = Emitter::new();
-            for record in split {
-                counters.map_input_records += 1;
-                mapper(record, &mut em);
-            }
-            let task_output = em.pairs.len() as u64;
-            counters.map_output_records += task_output;
-            // Map-side combine: group this task's pairs, shrink each group.
-            let mut local: BTreeMap<K, Vec<V>> = BTreeMap::new();
-            for (k, v) in em.pairs {
-                local.entry(k).or_default().push(v);
-            }
-            let mut task_shuffle = 0u64;
-            for (k, vs) in local {
-                let combined = combiner(&k, vs);
-                task_shuffle += combined.len() as u64 * pair_bytes;
-                groups.entry(k).or_default().extend(combined);
-            }
-            counters.shuffle_bytes += task_shuffle;
-            rec.event(
-                "mr.task",
-                &[
-                    ("task", Value::U64(task as u64)),
-                    ("input_records", Value::U64(split.len() as u64)),
-                    ("output_records", Value::U64(task_output)),
-                    ("shuffle_bytes", Value::U64(task_shuffle)),
-                ],
-            );
-        }
-    }
+        let outputs: Vec<MapTaskOutput<K, V>> = splits
+            .iter()
+            .map(|split| run_map_task(split, &mut mapper, &mut combiner, pair_bytes))
+            .collect();
+        merge_task_outputs(outputs, &mut counters, rec)
+    };
+    reduce_groups(groups, reducer, &mut counters, rec)
+}
 
+/// As [`map_reduce_with_combiner_traced`], running the map+combine tasks
+/// on `exec`'s workers.
+///
+/// **Determinism:** worker threads only produce per-task map outputs; the
+/// merge into shuffle groups happens on the calling thread, sequentially,
+/// in task order — the same merge the sequential reference performs. Output, counters, and the recorded
+/// `mr.*` trace are therefore bit-identical to the sequential path for
+/// any worker count (tested). With `exec.workers > 1` and an enabled
+/// recorder, the section additionally records `exec.*` spans and metrics
+/// inside `mr.map` (see `cso_exec::ExecStats::record`).
+pub fn map_reduce_with_combiner_exec_traced<I, K, V, O>(
+    exec: &ExecConfig,
+    splits: &[Vec<I>],
+    mapper: impl Fn(&I, &mut Emitter<K, V>) + Sync,
+    combiner: impl Fn(&K, Vec<V>) -> Vec<V> + Sync,
+    pair_bytes: u64,
+    reducer: impl FnMut(&K, Vec<V>) -> Vec<O>,
+    rec: &Recorder,
+) -> (Vec<O>, JobCounters)
+where
+    I: Sync,
+    K: Ord + Send,
+    V: Send,
+{
+    let mut counters = JobCounters { map_tasks: splits.len() as u64, ..Default::default() };
+
+    let _job_span = rec.span_with("mr.job", &[("tasks", Value::U64(splits.len() as u64))]);
+    let groups = {
+        let _map_span = rec.span("mr.map");
+        let (outputs, stats) = cso_exec::par_map(exec, splits, |_, split| {
+            run_map_task(
+                split,
+                &mut |i, em| mapper(i, em),
+                &mut |k, vs| combiner(k, vs),
+                pair_bytes,
+            )
+        });
+        stats.record(rec);
+        merge_task_outputs(outputs, &mut counters, rec)
+    };
+    reduce_groups(groups, reducer, &mut counters, rec)
+}
+
+/// The shared reduce phase: sorted-key iteration, sequential.
+fn reduce_groups<K, V, O>(
+    groups: BTreeMap<K, Vec<V>>,
+    mut reducer: impl FnMut(&K, Vec<V>) -> Vec<O>,
+    counters: &mut JobCounters,
+    rec: &Recorder,
+) -> (Vec<O>, JobCounters)
+where
+    K: Ord,
+{
     counters.reduce_groups = groups.len() as u64;
     let mut out = Vec::new();
     {
@@ -186,7 +342,7 @@ where
             out.extend(reducer(&k, vs));
         }
     }
-    (out, counters)
+    (out, *counters)
 }
 
 #[cfg(test)]
@@ -273,5 +429,120 @@ mod tests {
         );
         assert_eq!(out, vec![(0, 1), (1, 1)]);
         assert_eq!(counters.map_output_records, 2);
+    }
+
+    /// Regression test for the value-ordering contract (module docs): the
+    /// reducer must see each key's values in (task index, emission order)
+    /// order — the property the parallel merge relies on.
+    #[test]
+    fn reducer_values_arrive_in_task_then_emission_order() {
+        // Every task emits the same key; values are tagged (task, seq).
+        let splits: Vec<Vec<(u32, u32)>> =
+            (0..5u32).map(|t| (0..4u32).map(|s| (t, s)).collect()).collect();
+        let (out, _) = map_reduce(&splits, |&(t, s), em| em.emit("k", (t, s)), 8, |_, vs| vec![vs]);
+        let expect: Vec<(u32, u32)> =
+            (0..5u32).flat_map(|t| (0..4u32).map(move |s| (t, s))).collect();
+        assert_eq!(out, vec![expect.clone()]);
+
+        // The parallel engine preserves the contract for every worker
+        // count, including ones that force stealing.
+        for workers in [1, 2, 3, 8] {
+            let (par, _) = map_reduce_exec(
+                &ExecConfig::with_workers(workers),
+                &splits,
+                |&(t, s), em| em.emit("k", (t, s)),
+                8,
+                |_, vs| vec![vs],
+            );
+            assert_eq!(par, vec![expect.clone()], "workers = {workers}");
+        }
+    }
+
+    /// Float reductions are bit-identical between the sequential reference
+    /// and the parallel engine: the ordered merge fixes the summation
+    /// order, which floating-point addition is sensitive to.
+    #[test]
+    fn parallel_float_sums_are_bit_identical() {
+        // Values chosen so summation order matters (mixed magnitudes).
+        let splits: Vec<Vec<(usize, f64)>> = (0..8)
+            .map(|t| {
+                (0..50)
+                    .map(|i| ((t * 7 + i) % 13, 1e-8 + (t as f64) * 1e8 + i as f64 * 0.1))
+                    .collect()
+            })
+            .collect();
+        let run_seq = || {
+            map_reduce(
+                &splits,
+                |&(k, v), em| em.emit(k, v),
+                8,
+                |k, vs| vec![(*k, vs.iter().sum::<f64>())],
+            )
+        };
+        let (seq, seq_counters) = run_seq();
+        for workers in [1, 2, 4, 8] {
+            let (par, par_counters) = map_reduce_exec(
+                &ExecConfig::with_workers(workers),
+                &splits,
+                |&(k, v), em| em.emit(k, v),
+                8,
+                |k, vs| vec![(*k, vs.iter().sum::<f64>())],
+            );
+            assert_eq!(par.len(), seq.len());
+            for (a, b) in par.iter().zip(&seq) {
+                assert_eq!(a.0, b.0);
+                assert_eq!(a.1.to_bits(), b.1.to_bits(), "workers = {workers}");
+            }
+            assert_eq!(par_counters, seq_counters, "workers = {workers}");
+        }
+    }
+
+    /// Traced parallel runs produce the same `mr.*` trace structure as the
+    /// sequential reference, with `exec.*` additions inside `mr.map`.
+    #[test]
+    fn parallel_trace_matches_reference_plus_exec_sections() {
+        let splits: Vec<Vec<u32>> = (0..6).map(|t| vec![t, t + 1, t + 2]).collect();
+        let run = |workers: usize| {
+            let rec = Recorder::new();
+            let (out, counters) = map_reduce_with_combiner_exec_traced(
+                &ExecConfig::with_workers(workers),
+                &splits,
+                |x, em| em.emit(*x % 4, u64::from(*x)),
+                |_, vs| vec![vs.iter().sum()],
+                8,
+                |k, vs| vec![(*k, vs.iter().sum::<u64>())],
+                &rec,
+            );
+            (out, counters, rec)
+        };
+        let (seq_out, seq_counters, seq_rec) = run(1);
+        let (par_out, par_counters, par_rec) = run(8);
+        assert_eq!(seq_out, par_out);
+        assert_eq!(seq_counters, par_counters);
+
+        // Sequential trace: no exec.* spans at all (reference unchanged).
+        let seq_spans: Vec<&str> = seq_rec
+            .trace_snapshot()
+            .iter()
+            .filter(|e| e.kind == cso_obs::EntryKind::SpanStart)
+            .map(|e| e.name)
+            .collect();
+        assert_eq!(seq_spans, vec!["mr.job", "mr.map", "mr.reduce"]);
+
+        // Parallel trace: same mr.* skeleton, exec.worker spans inside
+        // mr.map, one exec.task event and one mr.task event per split.
+        let par_trace = par_rec.trace_snapshot();
+        let par_spans: Vec<&str> = par_trace
+            .iter()
+            .filter(|e| e.kind == cso_obs::EntryKind::SpanStart)
+            .map(|e| e.name)
+            .collect();
+        assert_eq!(par_spans[..2], ["mr.job", "mr.map"]);
+        assert_eq!(*par_spans.last().unwrap(), "mr.reduce");
+        assert_eq!(par_spans.iter().filter(|s| **s == "exec.worker").count(), 6.min(8));
+        assert_eq!(par_rec.events_named("exec.task").len(), splits.len());
+        assert_eq!(par_rec.events_named("mr.task").len(), splits.len());
+        let snap = par_rec.metrics_snapshot();
+        assert_eq!(snap.counter("exec.tasks"), Some(splits.len() as u64));
     }
 }

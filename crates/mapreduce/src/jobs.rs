@@ -5,8 +5,9 @@
 //! `(key index, score)` with indices from the global key dictionary (the
 //! paper's mappers do this lookup against the broadcast `KeyList`).
 
-use crate::engine::{map_reduce_traced, JobCounters};
+use crate::engine::{map_reduce_with_combiner_exec_traced, JobCounters};
 use cso_core::{bomp_with_matrix_traced, BompConfig, KeyValue, MeasurementSpec};
+use cso_exec::ExecConfig;
 use cso_linalg::{LinalgError, Vector};
 use cso_obs::{Recorder, Value};
 
@@ -67,6 +68,29 @@ pub fn run_cs_job_traced(
     recovery: &BompConfig,
     rec: &Recorder,
 ) -> Result<CsJobOutput, LinalgError> {
+    run_cs_job_exec(&ExecConfig::sequential(), splits, n, m, seed, k, recovery, rec)
+}
+
+/// As [`run_cs_job_traced`], running the per-split sketch construction and
+/// the engine's map tasks on `exec`'s worker threads.
+///
+/// Output is **bit-identical** to the sequential reference for any worker
+/// count: per-split sketches are computed in isolation and merged in split
+/// order, and the engine's shuffle preserves its value-ordering contract
+/// (see [`crate::engine`]). With `exec.workers > 1` and an enabled
+/// recorder, `exec.*` spans and metrics appear inside `sketch.build` and
+/// `mr.map`; sequential traces are unchanged.
+#[allow(clippy::too_many_arguments)]
+pub fn run_cs_job_exec(
+    exec: &ExecConfig,
+    splits: &[Vec<Record>],
+    n: usize,
+    m: usize,
+    seed: u64,
+    k: usize,
+    recovery: &BompConfig,
+    rec: &Recorder,
+) -> Result<CsJobOutput, LinalgError> {
     let spec = MeasurementSpec::new(m, n, seed)?;
 
     let _job_span = rec.span_with(
@@ -82,40 +106,45 @@ pub fn run_cs_job_traced(
     // Map phase (per split): partial aggregation + local compression
     // (Algorithm 3). A real mapper regenerates Φ0 from the shared seed;
     // `measure_sparse` does exactly that, column by column. The unit of
-    // compression is the whole split, so the map pass runs here and the
-    // engine's shuffle/reduce handles the per-row summation below.
-    let mut sketches: Vec<Vec<Record>> = Vec::with_capacity(splits.len());
-    let mut input_records = 0u64;
-    {
+    // compression is the whole split, so the map pass runs here (one task
+    // per split on the executor) and the engine's shuffle/reduce handles
+    // the per-row summation below. On error the lowest-index split wins,
+    // matching the sequential scan.
+    let input_records: u64 = splits.iter().map(|s| s.len() as u64).sum();
+    let sketches: Vec<Vec<Record>> = {
         let _sketch_span = rec.span("sketch.build");
-        for split in splits {
-            input_records += split.len() as u64;
-            // Partial aggregation by key (the mapper's hash aggregation).
-            let mut partial: std::collections::HashMap<usize, f64> =
-                std::collections::HashMap::new();
-            for &(key, score) in split {
-                if key >= n {
-                    return Err(LinalgError::DimensionMismatch {
-                        op: "cs_mapper",
-                        expected: (n, 1),
-                        actual: (key, 1),
-                    });
+        let (result, stats) =
+            cso_exec::try_par_map(exec, splits, |_, split| -> Result<Vec<Record>, LinalgError> {
+                // Partial aggregation by key (the mapper's hash aggregation).
+                let mut partial: std::collections::HashMap<usize, f64> =
+                    std::collections::HashMap::new();
+                for &(key, score) in split {
+                    if key >= n {
+                        return Err(LinalgError::DimensionMismatch {
+                            op: "cs_mapper",
+                            expected: (n, 1),
+                            actual: (key, 1),
+                        });
+                    }
+                    *partial.entry(key).or_insert(0.0) += score;
                 }
-                *partial.entry(key).or_insert(0.0) += score;
-            }
-            // Sort by key so the float summation order — and hence the
-            // sketch — is identical across runs (HashMap order is not).
-            let mut entries: Vec<(usize, f64)> = partial.into_iter().collect();
-            entries.sort_unstable_by_key(|&(key, _)| key);
-            let yl = spec.measure_sparse(&entries)?;
-            sketches.push(yl.iter().copied().enumerate().collect());
-        }
-    }
+                // Sort by key so the float summation order — and hence the
+                // sketch — is identical across runs (HashMap order is not).
+                let mut entries: Vec<(usize, f64)> = partial.into_iter().collect();
+                entries.sort_unstable_by_key(|&(key, _)| key);
+                let yl = spec.measure_sparse(&entries)?;
+                Ok(yl.iter().copied().enumerate().collect())
+            });
+        stats.record(rec);
+        result?
+    };
 
     // Shuffle + reduce: sum each measurement row across tasks.
-    let (rows, mut counters) = map_reduce_traced(
+    let (rows, mut counters) = map_reduce_with_combiner_exec_traced(
+        exec,
         &sketches,
         |pair: &(usize, f64), em| em.emit(pair.0, pair.1),
+        |_row, values| values,
         8,
         |row, values| vec![(*row, values.iter().sum::<f64>())],
         rec,
@@ -278,6 +307,54 @@ mod tests {
         let splits = vec![vec![(99usize, 1.0)]];
         assert!(run_topk_job(&splits, 10, 1).is_err());
         assert!(run_cs_job(&splits, 10, 5, 1, 1, &BompConfig::default()).is_err());
+        // The parallel job rejects them too, for every worker count.
+        for workers in [1, 2, 8] {
+            assert!(run_cs_job_exec(
+                &ExecConfig::with_workers(workers),
+                &splits,
+                10,
+                5,
+                1,
+                1,
+                &BompConfig::default(),
+                &Recorder::disabled(),
+            )
+            .is_err());
+        }
+    }
+
+    /// The parallel CS job is bit-identical to the sequential reference:
+    /// same recovered outliers (indices AND value bits), same mode, same
+    /// counters, for worker counts that exercise real stealing.
+    #[test]
+    fn parallel_cs_job_is_bit_identical_to_sequential() {
+        let n = 128;
+        let splits: Vec<Vec<Record>> = (0..16)
+            .map(|t| {
+                (0..40).map(|i| ((t * 13 + i * 7) % n, ((t + 1) * (i + 3)) as f64 * 0.25)).collect()
+            })
+            .collect();
+        let seq = run_cs_job(&splits, n, 48, 11, 4, &BompConfig::default()).unwrap();
+        for workers in [1, 2, 8] {
+            let par = run_cs_job_exec(
+                &ExecConfig::with_workers(workers),
+                &splits,
+                n,
+                48,
+                11,
+                4,
+                &BompConfig::default(),
+                &Recorder::disabled(),
+            )
+            .unwrap();
+            assert_eq!(par.counters, seq.counters, "workers = {workers}");
+            assert_eq!(par.mode.to_bits(), seq.mode.to_bits(), "workers = {workers}");
+            assert_eq!(par.outliers.len(), seq.outliers.len());
+            for (a, b) in par.outliers.iter().zip(&seq.outliers) {
+                assert_eq!(a.index, b.index, "workers = {workers}");
+                assert_eq!(a.value.to_bits(), b.value.to_bits(), "workers = {workers}");
+            }
+        }
     }
 
     #[test]

@@ -6,33 +6,39 @@
 #   3. the full default test suite
 #   4. the heavier fault-injection sweeps (feature-gated off by default)
 #   5. a warnings-clean check over all targets, fault-injection included
-#   6. a fast smoke of the fault sweep bench path
-#   7. the observability smoke: obs_report must emit a RunReport that
+#   6. a warnings-clean rustdoc build (broken intra-doc links fail CI)
+#   7. a fast smoke of the fault sweep bench path
+#   8. the observability smoke: obs_report must emit a RunReport that
 #      parses as strict JSON with every required top-level key
+#   9. the scaling smoke: the parallel-executor sweep must run and write
+#      a valid BENCH_pr3.json
 #
 # Any step failing fails the script.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> [1/7] cargo fmt --check"
+echo "==> [1/9] cargo fmt --check"
 cargo fmt --all --check
 
-echo "==> [2/7] release build"
+echo "==> [2/9] release build"
 cargo build --release --workspace
 
-echo "==> [3/7] workspace tests"
+echo "==> [3/9] workspace tests"
 cargo test -q --workspace
 
-echo "==> [4/7] fault-injection sweeps"
+echo "==> [4/9] fault-injection sweeps"
 cargo test -q -p cso-distributed --features fault-injection
 
-echo "==> [5/7] warnings-clean (all targets, fault-injection on)"
+echo "==> [5/9] warnings-clean (all targets, fault-injection on)"
 RUSTFLAGS="-D warnings" cargo check --workspace --all-targets --features fault-injection
 
-echo "==> [6/7] fault sweep smoke"
+echo "==> [6/9] rustdoc warnings-clean"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
+echo "==> [7/9] fault sweep smoke"
 cargo test -q -p cso-bench faults::
 
-echo "==> [7/7] observability smoke (obs_report)"
+echo "==> [8/9] observability smoke (obs_report)"
 # The binary self-validates: strict JSON parse of the emitted report,
 # required REPORT_KEYS present, comm.* metrics equal to the CostMeter
 # totals, per-iteration BOMP events present. Any violation aborts.
@@ -40,5 +46,11 @@ cargo run --release -q -p cso-bench --bin obs_report -- 2
 for artifact in results/run_report.jsonl BENCH_pr2.json; do
     test -s "$artifact" || { echo "missing $artifact"; exit 1; }
 done
+
+echo "==> [9/9] scaling smoke (parallel executor sweep)"
+# The sweep self-validates its JSON before writing; the sequential
+# reference and every worker count run the same deterministic workload.
+cargo run --release -q -p cso-bench --bin figures -- scaling
+test -s BENCH_pr3.json || { echo "missing BENCH_pr3.json"; exit 1; }
 
 echo "ci: all green"

@@ -14,6 +14,7 @@
 //! | data | [`workloads`] | majority-dominated, power-law and click-log generators |
 //! | frontend | [`query`] | `SELECT OUTLIER k SUM(score) … GROUP BY …` |
 //! | observability | [`obs`] | tracing spans/events, metrics registry, `RunReport` artifacts |
+//! | execution | [`exec`] | work-stealing thread pool, `ExecConfig`, `exec.*` stats |
 //!
 //! Start with `examples/quickstart.rs`, or:
 //!
@@ -30,6 +31,7 @@
 
 pub use cso_core as core;
 pub use cso_distributed as distributed;
+pub use cso_exec as exec;
 pub use cso_linalg as linalg;
 pub use cso_mapreduce as mapreduce;
 pub use cso_obs as obs;

@@ -329,7 +329,7 @@ pub mod collection {
     use rand::Rng;
     use std::collections::BTreeMap;
 
-    /// Size specification accepted by [`vec`] and [`btree_map`].
+    /// Size specification accepted by [`vec()`] and [`btree_map`].
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         lo: usize,
@@ -366,7 +366,7 @@ pub mod collection {
         VecStrategy { element, size: size.into() }
     }
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,
