@@ -1,0 +1,60 @@
+//! Microbenchmarks for the fused recovery kernels (DESIGN.md §9): the
+//! blocked `Φᵀ·x` transpose kernel against the naive per-column dot scan
+//! it replaces, across paper-scale dictionary widths, plus the forward
+//! blocked gemv against the axpy-based matvec.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use cso_core::MeasurementSpec;
+use cso_linalg::{gemv, vector, Vector};
+
+const M: usize = 256;
+
+fn bench_transpose_scan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("correlation_scan");
+    for n in [2048usize, 16_384, 65_536] {
+        let spec = MeasurementSpec::new(M, n, 7).unwrap();
+        let phi = spec.materialize();
+        let x: Vec<f64> = (0..M).map(|i| ((i as f64) * 0.37).sin()).collect();
+        let mut out = vec![0.0; n];
+
+        g.bench_with_input(BenchmarkId::new("naive_dot", n), &n, |bench, _| {
+            bench.iter(|| {
+                for (j, o) in out.iter_mut().enumerate() {
+                    *o = vector::dot(phi.col(j), black_box(&x));
+                }
+                black_box(&out);
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("blocked_gemv", n), &n, |bench, _| {
+            bench.iter(|| {
+                gemv::gemv_transpose_into(phi.as_col_major(), M, black_box(&x), &mut out);
+                black_box(&out);
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_forward_gemv(c: &mut Criterion) {
+    let mut g = c.benchmark_group("forward_gemv");
+    for n in [2048usize, 16_384] {
+        let spec = MeasurementSpec::new(M, n, 11).unwrap();
+        let phi = spec.materialize();
+        let x = Vector::from_vec((0..n).map(|i| ((i as f64) * 0.11).cos()).collect());
+
+        g.bench_with_input(BenchmarkId::new("matvec_axpy", n), &n, |bench, _| {
+            bench.iter(|| phi.matvec(black_box(&x)).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("blocked", n), &n, |bench, _| {
+            bench.iter(|| phi.gemv(black_box(&x)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_transpose_scan, bench_forward_gemv
+}
+criterion_main!(benches);

@@ -93,7 +93,7 @@ pub fn ablation_stall(opts: &Opts) {
                     residual_tolerance: 0.0,
                     stall_guard: guard,
                     min_relative_decrease: min_dec,
-                    track_coefficients: false,
+                    ..OmpConfig::default()
                 },
                 track_mode: false,
             };

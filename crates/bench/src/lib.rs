@@ -24,6 +24,7 @@ pub mod fig4;
 pub mod fig56;
 pub mod fig78;
 pub mod fig9;
+pub mod recovery;
 pub mod scaling;
 
 pub use common::Opts;
@@ -49,6 +50,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "ablation_skew",
     "ablation_quantize",
     "fault_sweep",
+    "recovery",
     "scaling",
 ];
 
@@ -74,6 +76,7 @@ pub fn run_experiment(name: &str, opts: &Opts) -> bool {
         "ablation_quantize" => ablations::ablation_quantize(opts),
         "ablation_skew" => ablations::ablation_skew(opts),
         "fault_sweep" => faults::fault_sweep(opts),
+        "recovery" => recovery::recovery(opts),
         "scaling" => scaling::scaling(opts),
         _ => return false,
     }
@@ -126,6 +129,7 @@ mod tests {
                     | "ablation_skew"
                     | "ablation_quantize"
                     | "fault_sweep"
+                    | "recovery"
                     | "scaling"
             );
             assert!(known, "{name} missing from dispatcher");

@@ -66,7 +66,7 @@ pub use bp::{basis_pursuit, BpConfig, BpResult};
 pub use cosamp::{cosamp, CosampConfig, CosampResult};
 pub use measurement::MeasurementSpec;
 pub use metrics::{error_on_key, error_on_value, outlier_errors};
-pub use omp::{omp, omp_traced, IterationRecord, OmpConfig, OmpResult, StopReason};
+pub use omp::{omp, omp_traced, IterationRecord, OmpConfig, OmpKernel, OmpResult, StopReason};
 pub use outlier::KeyValue;
 pub use sparse::SparseVector;
 pub use streaming::streaming_bomp;

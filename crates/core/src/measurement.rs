@@ -148,6 +148,34 @@ impl MeasurementSpec {
         Ok(Vector::from_vec(y))
     }
 
+    /// Computes all column correlations `Φ0ᵀ · x` (one `⟨φ_j, x⟩` per key)
+    /// without materializing the matrix: columns are regenerated in small
+    /// batches and reduced through the blocked
+    /// [`cso_linalg::gemv::gemv_transpose_into`] kernel. Bit-identical to
+    /// `materialize().matvec_transpose(x)` — the streamed and in-memory
+    /// recovery paths must agree exactly.
+    pub fn correlations(&self, x: &[f64]) -> Result<Vector, LinalgError> {
+        const BLOCK: usize = 64;
+        if x.len() != self.m {
+            return Err(LinalgError::DimensionMismatch {
+                op: "correlations",
+                expected: (self.m, 1),
+                actual: (x.len(), 1),
+            });
+        }
+        let mut out = vec![0.0; self.n];
+        let mut cols = vec![0.0; self.m * BLOCK];
+        for (b, chunk) in out.chunks_mut(BLOCK).enumerate() {
+            let first = b * BLOCK;
+            let block = &mut cols[..self.m * chunk.len()];
+            for (offset, col) in block.chunks_mut(self.m).enumerate() {
+                self.fill_column(first + offset, col);
+            }
+            cso_linalg::gemv::gemv_transpose_into(block, self.m, x, chunk);
+        }
+        Ok(Vector::from_vec(out))
+    }
+
     /// The BOMP bias column `φ0 = (1/√N) · Σⱼ φⱼ` (paper equation (3)).
     pub fn bias_column(&self) -> Vec<f64> {
         let mut s = vec![0.0; self.m];
@@ -273,6 +301,31 @@ mod tests {
         let ysum = s.measure_dense(&sum).unwrap();
         let combined = y1.add(&y2).unwrap();
         assert!(ysum.approx_eq(&combined, 1e-10));
+    }
+
+    #[test]
+    fn streamed_correlations_match_materialized_bitwise() {
+        // Regression guard for the fused recovery path: the streamed-column
+        // correlation scan and the in-memory blocked kernel must agree
+        // bit-for-bit, including at a non-multiple-of-block N with a
+        // partial final batch.
+        let s = MeasurementSpec::new(24, 197, 77).unwrap();
+        let x: Vec<f64> = (0..24).map(|i| ((i * 31 % 17) as f64 - 8.0) * 0.37).collect();
+        let streamed = s.correlations(&x).unwrap();
+        let full = s.materialize().matvec_transpose(&Vector::from_vec(x.clone())).unwrap();
+        for (j, (a, b)) in streamed.iter().zip(full.iter()).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "col {j}");
+        }
+        // And both equal the naive per-column dot.
+        for j in [0usize, 63, 64, 196] {
+            let naive = cso_linalg::vector::dot(&s.column(j), &x);
+            assert_eq!(streamed.as_slice()[j].to_bits(), naive.to_bits());
+        }
+    }
+
+    #[test]
+    fn correlations_check_input_length() {
+        assert!(spec().correlations(&[0.0; 3]).is_err());
     }
 
     #[test]

@@ -15,10 +15,40 @@
 //! - the **residual-stall guard**: "terminate the recovery process once the
 //!   residual stops decreasing", the paper's fix for floating-point error
 //!   accumulation in Gram–Schmidt QR.
+//!
+//! Two kernels implement the loop (selected by [`OmpConfig::kernel`]):
+//!
+//! - [`OmpKernel::Fused`] (default) maintains the residual and the full
+//!   correlation vector `c = Φᵀr` incrementally. After selecting column
+//!   `j` the new orthonormal direction `q` satisfies `r' = r − (qᵀr)·q`
+//!   (one dot + one axpy, since `r ⊥ span(q₀..q_{k−1})`), and the
+//!   correlations follow as `c' = c − (qᵀr)·Φᵀq` — a single blocked
+//!   [`cso_linalg::gemv`] pass fused with the next argmax scan, instead of
+//!   re-projecting `y` through the QR and re-scanning every column.
+//! - [`OmpKernel::Reference`] is the textbook loop (full `qr.residual`
+//!   re-projection and a fresh `Φᵀr` dot scan per iteration), kept as the
+//!   oracle the fused path is tested against.
+//!
+//! Both kernels scan the dictionary in fixed [`COL_BLOCK`]-column blocks
+//! scheduled over the [`cso_exec`] pool; block boundaries are independent
+//! of the worker count and block winners fold in ascending order with a
+//! lowest-index tie-break, so results are bit-identical at any worker
+//! count. See DESIGN.md §9.
 
 use crate::sparse::SparseVector;
-use cso_linalg::{ColMatrix, IncrementalQr, LinalgError, Vector};
+use cso_exec::{ExecConfig, ExecStats};
+use cso_linalg::{gemv, vector, ColMatrix, IncrementalQr, LinalgError, Vector};
 use cso_obs::{Recorder, Value};
+
+/// Fixed column-block width for dictionary scans. Blocks are the unit of
+/// parallel scheduling *and* of the fused gemv kernel, and are independent
+/// of the worker count — the determinism contract (DESIGN.md §9).
+pub const COL_BLOCK: usize = 2048;
+
+/// Default for [`OmpConfig::par_min_work`]: dictionaries below ~2M
+/// elements are scanned inline, where pool dispatch would cost more than
+/// the scan itself.
+pub const DEFAULT_PAR_MIN_WORK: usize = 1 << 21;
 
 /// Why an OMP run stopped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,6 +81,27 @@ impl StopReason {
     }
 }
 
+/// Which inner-loop implementation [`omp`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OmpKernel {
+    /// Incremental residual/correlation recurrence with blocked gemv
+    /// refresh fused into the argmax scan (default).
+    Fused,
+    /// Textbook loop: full QR re-projection and a fresh dot scan per
+    /// iteration. The oracle the fused kernel is tested against.
+    Reference,
+}
+
+impl OmpKernel {
+    /// Stable lowercase name for traces and reports.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            OmpKernel::Fused => "fused",
+            OmpKernel::Reference => "reference",
+        }
+    }
+}
+
 /// Tuning knobs for [`omp`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OmpConfig {
@@ -67,6 +118,16 @@ pub struct OmpConfig {
     /// iteration (needed for the paper's mode-vs-iteration traces,
     /// Figures 4(b) and 9; costs one `O(k²)` solve per iteration).
     pub track_coefficients: bool,
+    /// Inner-loop implementation (see [`OmpKernel`]).
+    pub kernel: OmpKernel,
+    /// Worker budget for dictionary scans. Resolved **once per run** (not
+    /// per iteration): dictionaries with fewer than
+    /// [`OmpConfig::par_min_work`] elements always scan inline on the
+    /// caller.
+    pub exec: ExecConfig,
+    /// Minimum dictionary size (`rows · cols`) before `exec` is engaged;
+    /// below it every scan runs sequentially regardless of `exec.workers`.
+    pub par_min_work: usize,
 }
 
 impl Default for OmpConfig {
@@ -77,6 +138,9 @@ impl Default for OmpConfig {
             stall_guard: true,
             min_relative_decrease: 1e-12,
             track_coefficients: false,
+            kernel: OmpKernel::Fused,
+            exec: ExecConfig::default(),
+            par_min_work: DEFAULT_PAR_MIN_WORK,
         }
     }
 }
@@ -131,6 +195,15 @@ impl OmpResult {
     }
 }
 
+/// What a kernel loop hands back to the shared epilogue.
+struct RunOutcome {
+    qr: IncrementalQr,
+    support: Vec<usize>,
+    trace: Vec<IterationRecord>,
+    residual_norm: f64,
+    stop: StopReason,
+}
+
 /// Runs OMP against a materialized dictionary.
 ///
 /// `dictionary` is `M × D` (for BOMP, `D = N + 1` with the bias column
@@ -172,72 +245,28 @@ pub fn omp_traced(
         &[
             ("rows", Value::U64(dictionary.rows() as u64)),
             ("cols", Value::U64(dictionary.cols() as u64)),
+            ("kernel", Value::from(config.kernel.as_str())),
         ],
     );
-    let y_norm = y.norm2();
-    let abs_tol = config.residual_tolerance * y_norm;
-    let d = dictionary.cols();
-
-    let mut qr = IncrementalQr::new(dictionary.rows());
-    let mut selected = vec![false; d];
-    let mut support: Vec<usize> = Vec::new();
-    let mut trace: Vec<IterationRecord> = Vec::new();
-    let mut residual = y.clone();
-    let mut prev_norm = y_norm;
-
-    let stop = loop {
-        if support.len() >= config.max_iterations {
-            break StopReason::MaxIterations;
-        }
-        if residual.norm2() <= abs_tol {
-            break StopReason::ResidualTolerance;
-        }
-        if support.len() == d {
-            break StopReason::DictionaryExhausted;
-        }
-        // Column selection: argmax |⟨φ_j, r⟩| over unselected columns.
-        // Ties break to the lowest index for determinism.
-        let best = select_column(dictionary, &residual, &selected);
-        let (j, _) = best.expect("unselected column exists");
-        match qr.push_column(dictionary.col(j)) {
-            Ok(()) => {}
-            Err(LinalgError::RankDeficient { .. }) => break StopReason::RankExhausted,
-            Err(e) => return Err(e),
-        }
-        selected[j] = true;
-        support.push(j);
-        residual = qr.residual(y.as_slice())?;
-        let norm = residual.norm2();
-        let coefficients = if config.track_coefficients {
-            Some(qr.solve_least_squares(y.as_slice())?.into_vec())
-        } else {
-            None
-        };
-        trace.push(IterationRecord { selected: j, residual_norm: norm, coefficients });
-        rec.event(
-            "omp.iter",
-            &[
-                ("iter", Value::U64(trace.len() as u64)),
-                ("atom", Value::U64(j as u64)),
-                ("residual", Value::F64(norm)),
-                (
-                    "rel_decrease",
-                    Value::F64(if prev_norm > 0.0 { 1.0 - norm / prev_norm } else { 0.0 }),
-                ),
-            ],
-        );
-        if config.stall_guard && norm >= prev_norm * (1.0 - config.min_relative_decrease) {
-            break StopReason::ResidualStall;
-        }
-        prev_norm = norm;
+    // Worker budget for every scan in this run, resolved exactly once:
+    // small dictionaries stay inline no matter what `exec` asks for.
+    let exec = if dictionary.rows() * dictionary.cols() >= config.par_min_work {
+        config.exec
+    } else {
+        ExecConfig::sequential()
     };
+
+    let outcome = match config.kernel {
+        OmpKernel::Fused => run_fused(dictionary, y, config, rec, &exec)?,
+        OmpKernel::Reference => run_reference(dictionary, y, config, rec, &exec)?,
+    };
+    let RunOutcome { qr, support, trace, residual_norm, stop } = outcome;
 
     let coefficients = if support.is_empty() {
         Vec::new()
     } else {
         qr.solve_least_squares(y.as_slice())?.into_vec()
     };
-    let residual_norm = residual.norm2();
     if rec.is_enabled() {
         rec.event(
             "omp.stop",
@@ -252,58 +281,277 @@ pub fn omp_traced(
     Ok(OmpResult { support, coefficients, residual_norm, stop, trace })
 }
 
-/// Finds the unselected column with the largest `|⟨φ_j, r⟩|`, ties to the
-/// lowest index. The scan dominates OMP's runtime (`O(M·D)` per iteration),
-/// so large dictionaries are scanned across threads; chunk-local winners
-/// are reduced with the same ordering, keeping the result deterministic.
-fn select_column(
-    dictionary: &ColMatrix,
-    residual: &Vector,
-    selected: &[bool],
-) -> Option<(usize, f64)> {
-    const PAR_MIN_WORK: usize = 1 << 21;
-    let d = dictionary.cols();
-    let work = d * dictionary.rows();
-    let threads = std::thread::available_parallelism().map_or(1, |t| t.get());
+/// Shared per-iteration bookkeeping: coefficient tracking, trace push, the
+/// `omp.iter` event, and the stall-guard decision (returns `true` when the
+/// guard fires). Identical for both kernels so their traces agree.
+#[allow(clippy::too_many_arguments)]
+fn record_iteration(
+    config: &OmpConfig,
+    rec: &Recorder,
+    qr: &IncrementalQr,
+    y: &Vector,
+    j: usize,
+    norm: f64,
+    prev_norm: f64,
+    trace: &mut Vec<IterationRecord>,
+) -> Result<bool, LinalgError> {
+    let coefficients = if config.track_coefficients {
+        Some(qr.solve_least_squares(y.as_slice())?.into_vec())
+    } else {
+        None
+    };
+    trace.push(IterationRecord { selected: j, residual_norm: norm, coefficients });
+    rec.event(
+        "omp.iter",
+        &[
+            ("iter", Value::U64(trace.len() as u64)),
+            ("atom", Value::U64(j as u64)),
+            ("residual", Value::F64(norm)),
+            (
+                "rel_decrease",
+                Value::F64(if prev_norm > 0.0 { 1.0 - norm / prev_norm } else { 0.0 }),
+            ),
+        ],
+    );
+    Ok(config.stall_guard && norm >= prev_norm * (1.0 - config.min_relative_decrease))
+}
 
-    let scan = |range: std::ops::Range<usize>| -> Option<(usize, f64)> {
-        let mut best: Option<(usize, f64)> = None;
-        for j in range {
-            if selected[j] {
-                continue;
-            }
-            let c = cso_linalg::vector::dot(dictionary.col(j), residual.as_slice()).abs();
-            match best {
-                Some((_, b)) if b >= c => {}
-                _ => best = Some((j, c)),
-            }
+/// The incremental-residual kernel (see the module docs and DESIGN.md §9).
+///
+/// Invariants at the top of each iteration:
+/// - `residual = y − proj(y, span(support))` (maintained by axpy),
+/// - `corr[j] = ⟨φ_j, residual⟩` **after** the pending refresh is applied —
+///   the refresh for the last selected direction is deferred (`pending`)
+///   and fused into the next argmax scan, so a run that stops never pays a
+///   final `Φᵀq` pass.
+fn run_fused(
+    dictionary: &ColMatrix,
+    y: &Vector,
+    config: &OmpConfig,
+    rec: &Recorder,
+    exec: &ExecConfig,
+) -> Result<RunOutcome, LinalgError> {
+    let rows = dictionary.rows();
+    let d = dictionary.cols();
+    let data = dictionary.as_col_major();
+    let y_norm = y.norm2();
+    let abs_tol = config.residual_tolerance * y_norm;
+
+    // Initial correlations c = Φᵀy: one blocked pass, bit-identical to a
+    // per-column dot scan.
+    let mut corr = vec![0.0f64; d];
+    let (_, stats) = cso_exec::par_map_chunks_mut(exec, &mut corr, COL_BLOCK, |b, chunk| {
+        let start = b * COL_BLOCK;
+        let block = &data[start * rows..(start + chunk.len()) * rows];
+        gemv::gemv_transpose_into(block, rows, y.as_slice(), chunk);
+    });
+    stats.record(rec);
+
+    let mut qr = IncrementalQr::new(rows);
+    let mut selected = vec![false; d];
+    let mut support: Vec<usize> = Vec::new();
+    let mut trace: Vec<IterationRecord> = Vec::new();
+    let mut residual = y.clone();
+    let mut norm = y_norm;
+    let mut prev_norm = y_norm;
+    // Deferred correlation refresh: `Some(α)` means `corr` still reflects
+    // the residual *before* the last selection and must be shifted by
+    // `−α·Φᵀq_last` (fused into the next scan) before use.
+    let mut pending: Option<f64> = None;
+
+    let stop = loop {
+        if support.len() >= config.max_iterations {
+            break StopReason::MaxIterations;
         }
-        best
+        if norm <= abs_tol {
+            break StopReason::ResidualTolerance;
+        }
+        if support.len() == d {
+            break StopReason::DictionaryExhausted;
+        }
+        let best = match pending.take() {
+            Some(alpha) => {
+                let q = qr.q_col(qr.ncols() - 1);
+                let (partials, stats) =
+                    cso_exec::par_map_chunks_mut(exec, &mut corr, COL_BLOCK, |b, chunk| {
+                        refresh_block(data, rows, q, alpha, b, chunk, &selected)
+                    });
+                stats.record(rec);
+                fold_block_winners(partials)
+            }
+            None => argmax_unselected(&corr, &selected),
+        };
+        let (j, _) = best.expect("unselected column exists");
+        match qr.push_column(dictionary.col(j)) {
+            Ok(()) => {}
+            Err(LinalgError::RankDeficient { .. }) => break StopReason::RankExhausted,
+            Err(e) => return Err(e),
+        }
+        selected[j] = true;
+        support.push(j);
+        // r ⊥ span(q₀..q_{k−1}) already, so the new projection removes
+        // only the q_k component: r' = r − (q_kᵀr)·q_k.
+        let q = qr.q_col(qr.ncols() - 1);
+        let alpha = vector::dot(q, residual.as_slice());
+        vector::axpy(-alpha, q, residual.as_mut_slice());
+        norm = residual.norm2();
+        pending = Some(alpha);
+        if record_iteration(config, rec, &qr, y, j, norm, prev_norm, &mut trace)? {
+            break StopReason::ResidualStall;
+        }
+        prev_norm = norm;
     };
 
-    if threads == 1 || work < PAR_MIN_WORK {
-        return scan(0..d);
-    }
-    let chunk = d.div_ceil(threads);
-    let mut partials: Vec<Option<(usize, f64)>> = Vec::with_capacity(threads);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..d)
-            .step_by(chunk)
-            .map(|start| {
-                let range = start..(start + chunk).min(d);
-                scope.spawn(move || scan(range))
-            })
-            .collect();
-        for h in handles {
-            partials.push(h.join().expect("scan thread panicked"));
+    Ok(RunOutcome { qr, support, trace, residual_norm: norm, stop })
+}
+
+/// One block of the fused refresh+select pass: shifts `chunk` (the block's
+/// slice of the correlation vector) by `−α·Φ_blockᵀq` via the blocked gemv
+/// kernel, then returns the block's argmax over unselected columns.
+fn refresh_block(
+    data: &[f64],
+    rows: usize,
+    q: &[f64],
+    alpha: f64,
+    b: usize,
+    chunk: &mut [f64],
+    selected: &[bool],
+) -> Option<(usize, f64)> {
+    let start = b * COL_BLOCK;
+    let len = chunk.len();
+    let mut qt_phi = [0.0f64; COL_BLOCK];
+    let block = &data[start * rows..(start + len) * rows];
+    gemv::gemv_transpose_into(block, rows, q, &mut qt_phi[..len]);
+    let mut best: Option<(usize, f64)> = None;
+    for (off, (c, t)) in chunk.iter_mut().zip(&qt_phi[..len]).enumerate() {
+        *c -= alpha * *t;
+        let j = start + off;
+        if selected[j] {
+            continue;
         }
-    });
-    // Chunks are in ascending index order, so `>` (strictly better) keeps
-    // the lowest index on ties — identical to the serial scan.
+        let a = c.abs();
+        match best {
+            Some((_, b)) if b >= a => {}
+            _ => best = Some((j, a)),
+        }
+    }
+    best
+}
+
+/// Folds per-block winners (ascending block order) with the lowest-index
+/// tie-break — identical to a serial left-to-right scan.
+fn fold_block_winners(partials: Vec<Option<(usize, f64)>>) -> Option<(usize, f64)> {
     partials.into_iter().flatten().fold(None, |acc, (j, c)| match acc {
         Some((_, b)) if b >= c => acc,
         _ => Some((j, c)),
     })
+}
+
+/// Serial argmax of `|corr[j]|` over unselected columns, lowest index wins
+/// ties. Used for the first fused iteration (no refresh pending yet).
+fn argmax_unselected(corr: &[f64], selected: &[bool]) -> Option<(usize, f64)> {
+    let mut best: Option<(usize, f64)> = None;
+    for (j, c) in corr.iter().enumerate() {
+        if selected[j] {
+            continue;
+        }
+        let a = c.abs();
+        match best {
+            Some((_, b)) if b >= a => {}
+            _ => best = Some((j, a)),
+        }
+    }
+    best
+}
+
+/// The textbook loop: full `qr.residual` re-projection and a fresh dot
+/// scan per iteration. Bit-for-bit the historical behaviour of this module
+/// (the scan itself now runs over [`COL_BLOCK`] blocks on the exec pool,
+/// which does not change any float).
+fn run_reference(
+    dictionary: &ColMatrix,
+    y: &Vector,
+    config: &OmpConfig,
+    rec: &Recorder,
+    exec: &ExecConfig,
+) -> Result<RunOutcome, LinalgError> {
+    let d = dictionary.cols();
+    let y_norm = y.norm2();
+    let abs_tol = config.residual_tolerance * y_norm;
+
+    let mut qr = IncrementalQr::new(dictionary.rows());
+    let mut selected = vec![false; d];
+    let mut support: Vec<usize> = Vec::new();
+    let mut trace: Vec<IterationRecord> = Vec::new();
+    let mut residual = y.clone();
+    let mut norm = y_norm;
+    let mut prev_norm = y_norm;
+
+    let stop = loop {
+        if support.len() >= config.max_iterations {
+            break StopReason::MaxIterations;
+        }
+        if norm <= abs_tol {
+            break StopReason::ResidualTolerance;
+        }
+        if support.len() == d {
+            break StopReason::DictionaryExhausted;
+        }
+        // Column selection: argmax |⟨φ_j, r⟩| over unselected columns.
+        // Ties break to the lowest index for determinism.
+        let best = select_column(dictionary, &residual, &selected, exec, rec);
+        let (j, _) = best.expect("unselected column exists");
+        match qr.push_column(dictionary.col(j)) {
+            Ok(()) => {}
+            Err(LinalgError::RankDeficient { .. }) => break StopReason::RankExhausted,
+            Err(e) => return Err(e),
+        }
+        selected[j] = true;
+        support.push(j);
+        residual = qr.residual(y.as_slice())?;
+        norm = residual.norm2();
+        if record_iteration(config, rec, &qr, y, j, norm, prev_norm, &mut trace)? {
+            break StopReason::ResidualStall;
+        }
+        prev_norm = norm;
+    };
+
+    Ok(RunOutcome { qr, support, trace, residual_norm: norm, stop })
+}
+
+/// Finds the unselected column with the largest `|⟨φ_j, r⟩|`, ties to the
+/// lowest index. The scan dominates the reference kernel's runtime
+/// (`O(M·D)` per iteration), so it runs over fixed [`COL_BLOCK`]-column
+/// blocks on the exec pool; block winners fold in ascending order, keeping
+/// the result identical to a serial scan at any worker count.
+fn select_column(
+    dictionary: &ColMatrix,
+    residual: &Vector,
+    selected: &[bool],
+    exec: &ExecConfig,
+    rec: &Recorder,
+) -> Option<(usize, f64)> {
+    let d = dictionary.cols();
+    let blocks = d.div_ceil(COL_BLOCK);
+    let (partials, stats): (Vec<Option<(usize, f64)>>, ExecStats) =
+        cso_exec::par_map_n(exec, blocks, |b| {
+            let start = b * COL_BLOCK;
+            let end = (start + COL_BLOCK).min(d);
+            let mut best: Option<(usize, f64)> = None;
+            for j in start..end {
+                if selected[j] {
+                    continue;
+                }
+                let c = vector::dot(dictionary.col(j), residual.as_slice()).abs();
+                match best {
+                    Some((_, b)) if b >= c => {}
+                    _ => best = Some((j, c)),
+                }
+            }
+            best
+        });
+    stats.record(rec);
+    fold_block_winners(partials)
 }
 
 #[cfg(test)]
@@ -454,5 +702,52 @@ mod tests {
         assert_eq!(rec.get(1), 7.0);
         assert_eq!(rec.get(3), -2.0);
         assert_eq!(rec.nnz(), 2);
+    }
+
+    #[test]
+    fn fused_matches_reference_on_fixed_instance() {
+        let (phi, y, _) = sparse_instance(40, 120, &[(8, 6.0), (55, -4.0), (99, 2.5)], 29);
+        let fused = omp(&phi, &y, &OmpConfig::default()).unwrap();
+        let reference =
+            omp(&phi, &y, &OmpConfig { kernel: OmpKernel::Reference, ..OmpConfig::default() })
+                .unwrap();
+        assert_eq!(fused.support, reference.support);
+        assert_eq!(fused.stop, reference.stop);
+        for (a, b) in fused.coefficients.iter().zip(reference.coefficients.iter()) {
+            // Both kernels solve the final coefficients through the same QR,
+            // so agreement is bitwise.
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        let scale = y.norm2();
+        assert!((fused.residual_norm - reference.residual_norm).abs() <= 1e-10 * scale.max(1.0));
+    }
+
+    #[test]
+    fn fused_is_bit_identical_across_worker_counts() {
+        // d = 2500 spans two COL_BLOCK blocks; par_min_work: 0 forces the
+        // exec pool on even for this small instance.
+        let (phi, y, _) = sparse_instance(16, 2500, &[(100, 5.0), (2300, -3.0)], 31);
+        let base = OmpConfig { par_min_work: 0, ..OmpConfig::default() };
+        let seq = omp(&phi, &y, &OmpConfig { exec: ExecConfig::sequential(), ..base }).unwrap();
+        for workers in [2, 8] {
+            let par = omp(&phi, &y, &OmpConfig { exec: ExecConfig::with_workers(workers), ..base })
+                .unwrap();
+            assert_eq!(par.support, seq.support, "workers = {workers}");
+            assert_eq!(par.stop, seq.stop);
+            assert_eq!(par.residual_norm.to_bits(), seq.residual_norm.to_bits());
+            for (a, b) in par.coefficients.iter().zip(seq.coefficients.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+            for (ta, tb) in par.trace.iter().zip(seq.trace.iter()) {
+                assert_eq!(ta.residual_norm.to_bits(), tb.residual_norm.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_names_are_stable() {
+        assert_eq!(OmpKernel::Fused.as_str(), "fused");
+        assert_eq!(OmpKernel::Reference.as_str(), "reference");
+        assert_eq!(OmpConfig::default().kernel, OmpKernel::Fused);
     }
 }

@@ -1,0 +1,147 @@
+//! Property-based equivalence of the fused OMP kernel against the
+//! reference kernel (DESIGN.md §9).
+//!
+//! The fused kernel replaces the per-iteration QR re-projection and full
+//! dot re-scan with the incremental recurrences `r' = r − (qᵀr)·q` and
+//! `c' = c − (qᵀr)·Φᵀq`. These are algebraically exact, so on random
+//! instances the two kernels must select the same support in the same
+//! order, stop for the same reason, and agree on coefficients and residual
+//! norms to fused-rounding accuracy (1e-10 relative). On top of that the
+//! fused kernel must be **bit-identical to itself** at any worker count —
+//! the fixed-block decomposition contract.
+
+use cso_core::{omp, MeasurementSpec, OmpConfig, OmpKernel, OmpResult, SparseVector};
+use cso_exec::ExecConfig;
+use cso_linalg::Vector;
+use proptest::prelude::*;
+
+fn instance(m: usize, n: usize, support: &[(usize, f64)], seed: u64) -> (MeasurementSpec, Vector) {
+    let spec = MeasurementSpec::new(m, n, seed).unwrap();
+    let truth = SparseVector::new(n, support.to_vec()).unwrap();
+    let y = spec.materialize().matvec(&truth.to_dense()).unwrap();
+    (spec, y)
+}
+
+fn fused_cfg(workers: usize) -> OmpConfig {
+    OmpConfig {
+        kernel: OmpKernel::Fused,
+        exec: ExecConfig::with_workers(workers),
+        // Force the configured worker count even on tiny dictionaries so
+        // the parallel path is actually exercised.
+        par_min_work: 0,
+        ..OmpConfig::default()
+    }
+}
+
+fn reference_cfg() -> OmpConfig {
+    OmpConfig {
+        kernel: OmpKernel::Reference,
+        exec: ExecConfig::sequential(),
+        ..OmpConfig::default()
+    }
+}
+
+/// Fused and reference agree on the discrete outcome and, within
+/// `1e-10 · scale`, on every numeric one.
+fn assert_equivalent(fused: &OmpResult, reference: &OmpResult, scale: f64) {
+    assert_eq!(fused.support, reference.support, "support order diverged");
+    assert_eq!(fused.stop, reference.stop, "stop reason diverged");
+    assert_eq!(fused.trace.len(), reference.trace.len());
+    let tol = 1e-10 * scale.max(1.0);
+    for (a, b) in fused.coefficients.iter().zip(reference.coefficients.iter()) {
+        assert!((a - b).abs() <= tol, "coefficient {a} vs {b}");
+    }
+    assert!(
+        (fused.residual_norm - reference.residual_norm).abs() <= tol,
+        "residual norm {} vs {}",
+        fused.residual_norm,
+        reference.residual_norm
+    );
+    for (ta, tb) in fused.trace.iter().zip(reference.trace.iter()) {
+        assert_eq!(ta.selected, tb.selected);
+        assert!((ta.residual_norm - tb.residual_norm).abs() <= tol);
+    }
+}
+
+/// The fused kernel must not depend on the worker count at all.
+fn assert_bit_identical(a: &OmpResult, b: &OmpResult) {
+    assert_eq!(a.support, b.support);
+    assert_eq!(a.stop, b.stop);
+    assert_eq!(a.residual_norm.to_bits(), b.residual_norm.to_bits());
+    for (ca, cb) in a.coefficients.iter().zip(b.coefficients.iter()) {
+        assert_eq!(ca.to_bits(), cb.to_bits());
+    }
+    for (ta, tb) in a.trace.iter().zip(b.trace.iter()) {
+        assert_eq!(ta.selected, tb.selected);
+        assert_eq!(ta.residual_norm.to_bits(), tb.residual_norm.to_bits());
+    }
+}
+
+fn check_instance(spec: &MeasurementSpec, y: &Vector) {
+    let phi = spec.materialize();
+    let reference = omp(&phi, y, &reference_cfg()).unwrap();
+    let scale = y.norm2();
+    let single = omp(&phi, y, &fused_cfg(1)).unwrap();
+    assert_equivalent(&single, &reference, scale);
+    for workers in [2, 8] {
+        let parallel = omp(&phi, y, &fused_cfg(workers)).unwrap();
+        assert_bit_identical(&parallel, &single);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Small instances: one COL_BLOCK, every stop reason reachable.
+    #[test]
+    fn fused_matches_reference_small(
+        m in 30usize..60,
+        n in 60usize..150,
+        seed in 0u64..1000,
+        v0 in 1.0f64..50.0,
+        v1 in -50.0f64..-1.0,
+    ) {
+        let i0 = seed as usize % n;
+        let i1 = (seed as usize * 7 + 13) % n;
+        prop_assume!(i0 != i1);
+        let (spec, y) = instance(m, n, &[(i0, v0), (i1, v1)], seed);
+        check_instance(&spec, &y);
+    }
+
+    /// Large instances spanning multiple COL_BLOCK blocks, so the block
+    /// decomposition and the parallel reduce are genuinely exercised.
+    #[test]
+    fn fused_matches_reference_multi_block(
+        m in 16usize..32,
+        n in 2500usize..5500,
+        seed in 0u64..200,
+        v in 2.0f64..30.0,
+    ) {
+        let i0 = seed as usize % n;
+        let i1 = (seed as usize * 31 + 2047) % n;
+        let i2 = (seed as usize * 101 + 4099) % n;
+        prop_assume!(i0 != i1 && i1 != i2 && i0 != i2);
+        let (spec, y) = instance(m, n, &[(i0, v), (i1, -v * 0.7), (i2, v * 0.3)], seed);
+        check_instance(&spec, &y);
+    }
+
+    /// Noisy measurements that stop via the stall guard rather than the
+    /// residual tolerance: discrete outcomes must still agree exactly.
+    #[test]
+    fn fused_matches_reference_under_stall(
+        m in 20usize..40,
+        seed in 0u64..500,
+    ) {
+        let n = 3 * m;
+        let (spec, mut y) = instance(m, n, &[(seed as usize % n, 10.0)], seed);
+        for i in 0..y.len() {
+            y[i] += ((i * 7919 % 13) as f64 - 6.0) * 1e-3;
+        }
+        let phi = spec.materialize();
+        let cfg_ref = OmpConfig { residual_tolerance: 0.0, ..reference_cfg() };
+        let cfg_fused = OmpConfig { residual_tolerance: 0.0, ..fused_cfg(1) };
+        let reference = omp(&phi, &y, &cfg_ref).unwrap();
+        let fused = omp(&phi, &y, &cfg_fused).unwrap();
+        assert_equivalent(&fused, &reference, y.norm2());
+    }
+}

@@ -8,11 +8,11 @@
 //! exactly; residual norms are matched at `{:.3e}` so the snapshot survives
 //! last-bit libm differences while still pinning the convergence curve.
 
-use cso_core::{bomp_traced, BompConfig, MeasurementSpec};
+use cso_core::{bomp_traced, BompConfig, MeasurementSpec, OmpKernel};
 use cso_obs::{Recorder, Value};
 
 /// The fixed instance: N keys at the mode, three planted outliers.
-fn run_fixture() -> Recorder {
+fn run_fixture_with(kernel: OmpKernel) -> Recorder {
     let n = 2000;
     let mut x = vec![1800.0; n];
     x[404] = 9000.0; // deviation +7200
@@ -21,16 +21,19 @@ fn run_fixture() -> Recorder {
     let spec = MeasurementSpec::new(150, n, 42).expect("valid spec");
     let y = spec.measure_dense(&x).expect("measure");
 
+    let mut cfg = BompConfig::for_k_outliers(3);
+    cfg.omp.kernel = kernel;
     let rec = Recorder::new();
-    bomp_traced(&spec, &y, &BompConfig::for_k_outliers(3), &rec).expect("recovery");
+    bomp_traced(&spec, &y, &cfg, &rec).expect("recovery");
     rec
 }
 
-#[test]
-fn bomp_iteration_trace_is_reproducible() {
-    let rec = run_fixture();
-    let iters = rec.events_named("bomp.iter");
+fn run_fixture() -> Recorder {
+    run_fixture_with(OmpKernel::Fused)
+}
 
+fn trace_fields(rec: &Recorder) -> (Vec<i64>, Vec<String>, Vec<String>) {
+    let iters = rec.events_named("bomp.iter");
     let atoms: Vec<i64> = iters
         .iter()
         .map(|e| match e.field("atom") {
@@ -44,15 +47,24 @@ fn bomp_iteration_trace_is_reproducible() {
         .collect();
     let modes: Vec<String> =
         iters.iter().map(|e| format!("{:.1}", e.field_f64("mode").expect("mode field"))).collect();
+    (atoms, residuals, modes)
+}
+
+#[test]
+fn bomp_iteration_trace_is_reproducible() {
+    let rec = run_fixture();
+    let (atoms, residuals, modes) = trace_fields(&rec);
 
     // Iteration 1 grabs the bias column (atom −1): the mode dominates the
     // measurement energy. The three outliers follow by correlation with the
     // residual, and once the support is complete the residual collapses to
-    // numerical zero (~1e-10 after an initial norm of ~1e4).
+    // numerical zero (~1e-10 after an initial norm of ~1e4). The fused
+    // kernel's incremental residual differs from the reference only in the
+    // last collapsed value, where both are pure cancellation noise.
     assert_eq!(atoms, vec![-1, 1200, 404, 33], "selected-atom sequence changed");
     assert_eq!(
         residuals,
-        vec!["1.051e4", "8.229e3", "4.466e3", "1.536e-10"],
+        vec!["1.051e4", "8.229e3", "4.466e3", "1.537e-10"],
         "residual-norm sequence changed"
     );
     assert_eq!(
@@ -66,6 +78,26 @@ fn bomp_iteration_trace_is_reproducible() {
     assert_eq!(done[0].field("bias_selected"), Some(&Value::Bool(true)));
     let mode = done[0].field_f64("mode").expect("final mode");
     assert!((mode - 1800.0).abs() < 1e-6, "final mode = {mode}");
+}
+
+#[test]
+fn reference_kernel_trace_is_unchanged() {
+    // The historical snapshot, pinned against the reference kernel: the
+    // textbook QR re-projection loop must keep producing exactly the
+    // residual curve recorded before the fused kernel became the default.
+    let rec = run_fixture_with(OmpKernel::Reference);
+    let (atoms, residuals, modes) = trace_fields(&rec);
+    assert_eq!(atoms, vec![-1, 1200, 404, 33], "selected-atom sequence changed");
+    assert_eq!(
+        residuals,
+        vec!["1.051e4", "8.229e3", "4.466e3", "1.536e-10"],
+        "residual-norm sequence changed"
+    );
+    assert_eq!(
+        modes,
+        vec!["1813.0", "1791.7", "1795.0", "1800.0"],
+        "mode-estimate sequence changed"
+    );
 }
 
 #[test]

@@ -25,12 +25,15 @@ pub struct CsProtocol {
     /// (the default), the protocol substitutes the paper's `R = f(k)`
     /// heuristic at run time.
     pub recovery: BompConfig,
-    /// Execution configuration for the node-side sketch builds, which are
-    /// independent per node and run on the work-stealing pool when
-    /// `exec.workers > 1`. Results are bit-identical to the sequential
-    /// reference for any worker count: each node's sketch `y_l = Φ0·x_l`
-    /// is computed in isolation, and the aggregator sums them in node
-    /// order on the calling thread.
+    /// Execution configuration, threaded into both the node-side sketch
+    /// builds (independent per node, run on the work-stealing pool when
+    /// `exec.workers > 1`) and the aggregator's recovery scans
+    /// (`recovery.omp.exec`; engaged only for dictionaries above
+    /// `omp.par_min_work` elements). Results are bit-identical to the
+    /// sequential reference for any worker count: each node's sketch
+    /// `y_l = Φ0·x_l` is computed in isolation, sketches sum in node order
+    /// on the calling thread, and recovery scans use fixed column blocks
+    /// with an ordered reduction (DESIGN.md §9).
     pub exec: ExecConfig,
 }
 
@@ -136,6 +139,7 @@ impl CsProtocol {
 
         let mut recovery = self.recovery;
         recovery.omp.max_iterations = self.budget_for(k).min(self.m);
+        recovery.omp.exec = self.exec;
         let result = {
             let _r = rec.span("recovery");
             bomp_with_matrix_traced(&phi0, &y, &recovery, rec)?
@@ -210,6 +214,7 @@ impl CsProtocol {
 
         let mut recovery = self.recovery;
         recovery.omp.max_iterations = self.budget_for(k).min(self.m);
+        recovery.omp.exec = self.exec;
         let result = bomp_with_matrix(&phi0, &y, &recovery)?;
         let estimate: Vec<KeyValue> =
             result.top_k(k).iter().map(|o| KeyValue { index: o.index, value: o.value }).collect();

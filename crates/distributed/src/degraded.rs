@@ -307,6 +307,7 @@ impl CsProtocol {
 
         let mut recovery = self.recovery;
         recovery.omp.max_iterations = self.budget_for(k).min(self.m);
+        recovery.omp.exec = self.exec;
         let result = {
             let _r = rec.span("recovery");
             bomp_with_matrix_traced(&phi0, collector.sum(), &recovery, rec)?

@@ -114,6 +114,39 @@ where
     par_map_n(cfg, items.len(), |i| f(i, &items[i]))
 }
 
+/// Runs `f(i, chunk_i)` over the disjoint `chunk`-sized pieces of `data`
+/// (last piece may be shorter), returning the per-chunk results in chunk
+/// order plus the section's [`ExecStats`].
+///
+/// This is the mutable counterpart of [`par_map`] for block-decomposed
+/// in-place updates (e.g. OMP's correlation refresh over fixed column
+/// blocks): every task owns exactly one disjoint sub-slice, so the
+/// decomposition — and with it every intermediate float — is independent
+/// of the worker count. Each chunk is handed to its task through a
+/// dedicated mutex that is locked exactly once, so there is no contention
+/// and no `unsafe`.
+///
+/// Panics when `chunk == 0`.
+pub fn par_map_chunks_mut<T, R, F>(
+    cfg: &ExecConfig,
+    data: &mut [T],
+    chunk: usize,
+    f: F,
+) -> (Vec<R>, ExecStats)
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut [T]) -> R + Sync,
+{
+    assert!(chunk > 0, "par_map_chunks_mut: chunk size must be positive");
+    let slots: Vec<std::sync::Mutex<&mut [T]>> =
+        data.chunks_mut(chunk).map(std::sync::Mutex::new).collect();
+    par_map(cfg, &slots, |i, slot| {
+        let mut guard = slot.lock().expect("chunk slot lock");
+        f(i, &mut guard)
+    })
+}
+
 /// As [`par_map`] for fallible tasks: every task runs, then the results
 /// are folded in index order, so the returned error is always the
 /// lowest-index failure — exactly what the sequential loop would return.
@@ -192,6 +225,64 @@ mod tests {
         // Worker accounting is conserved regardless of the schedule.
         let per_worker: u64 = stats.per_worker.iter().map(|w| w.tasks).sum();
         assert_eq!(per_worker, counts.len() as u64);
+    }
+
+    #[test]
+    fn chunked_mutation_covers_every_element_once() {
+        let mut data: Vec<u64> = (0..1000).collect();
+        let expect: Vec<u64> = data.iter().map(|&x| x * 2 + 1).collect();
+        let (sums, stats) =
+            par_map_chunks_mut(&ExecConfig::with_workers(4), &mut data, 64, |i, c| {
+                for v in c.iter_mut() {
+                    *v = *v * 2 + 1;
+                }
+                (i, c.iter().sum::<u64>())
+            });
+        assert_eq!(data, expect);
+        assert_eq!(stats.tasks(), 1000u64.div_ceil(64));
+        // Results arrive in chunk order and the trailing partial chunk
+        // (1000 = 15·64 + 40) is visited too.
+        assert_eq!(sums.len(), 16);
+        assert!(sums.iter().enumerate().all(|(i, &(j, _))| i == j));
+        assert_eq!(sums.last().unwrap().1, expect[15 * 64..].iter().sum::<u64>());
+    }
+
+    #[test]
+    fn chunked_mutation_is_identical_for_every_worker_count() {
+        let reference: Vec<f64> = {
+            let mut d: Vec<f64> = (0..513).map(|i| i as f64 * 0.25 - 3.0).collect();
+            let _ = par_map_chunks_mut(&ExecConfig::sequential(), &mut d, 32, |i, c| {
+                for v in c.iter_mut() {
+                    *v = v.sin() + i as f64;
+                }
+            });
+            d
+        };
+        for workers in [2, 8] {
+            let mut d: Vec<f64> = (0..513).map(|i| i as f64 * 0.25 - 3.0).collect();
+            let _ = par_map_chunks_mut(&ExecConfig::with_workers(workers), &mut d, 32, |i, c| {
+                for v in c.iter_mut() {
+                    *v = v.sin() + i as f64;
+                }
+            });
+            assert!(
+                d.iter().zip(&reference).all(|(a, b)| a.to_bits() == b.to_bits()),
+                "workers = {workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn chunked_mutation_handles_empty_and_oversized_chunks() {
+        let mut empty: Vec<u8> = Vec::new();
+        let (out, stats) =
+            par_map_chunks_mut(&ExecConfig::with_workers(4), &mut empty, 8, |_, c| c.len());
+        assert!(out.is_empty());
+        assert_eq!(stats.tasks(), 0);
+        let mut small = vec![1u8, 2, 3];
+        let (out, _) =
+            par_map_chunks_mut(&ExecConfig::with_workers(4), &mut small, 100, |_, c| c.len());
+        assert_eq!(out, vec![3]);
     }
 
     #[test]

@@ -9,6 +9,9 @@
 //!   OMP's column scans are contiguous;
 //! - [`IncrementalQr`] — thin QR grown one column per OMP iteration via
 //!   modified Gram–Schmidt with re-orthogonalization;
+//! - [`gemv`] — blocked multi-accumulator `A·x` / `Aᵀ·x` kernels,
+//!   bit-identical to the per-column scalar reference (the recovery hot
+//!   path — see DESIGN.md §9);
 //! - [`Cholesky`] — SPD factorization for the basis-pursuit ADMM extension;
 //! - [`random`] — seeded Gaussian sampling (polar Box–Muller) so all nodes
 //!   regenerate identical measurement matrices from a shared `u64` seed;
@@ -21,6 +24,7 @@
 
 pub mod cholesky;
 pub mod error;
+pub mod gemv;
 pub mod matrix;
 pub mod qr;
 pub mod random;

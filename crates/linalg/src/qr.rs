@@ -106,6 +106,15 @@ impl IncrementalQr {
         Ok(())
     }
 
+    /// Borrows orthonormal column `i` of the `Q` factor. The fused OMP
+    /// kernel reads the newest column after each push to run its residual
+    /// recurrence `r ← r − (qᵀr)·q`. Panics when `i >= ncols()`
+    /// (debug-friendly accessor, like [`crate::ColMatrix::get`]).
+    pub fn q_col(&self, i: usize) -> &[f64] {
+        assert!(i < self.ncols(), "q column {i} out of bounds ({})", self.ncols());
+        &self.q[i]
+    }
+
     /// `Qᵀ·y` — the coordinates of `y` in the orthonormal basis.
     pub fn qt_mul(&self, y: &[f64]) -> Result<Vector> {
         if y.len() != self.rows {
@@ -311,6 +320,17 @@ mod tests {
         assert_eq!(r.as_slice(), &[1.0, 2.0]);
         let z = qr.solve_least_squares(&[1.0, 2.0]).unwrap();
         assert!(z.is_empty());
+    }
+
+    #[test]
+    fn q_col_exposes_orthonormal_columns() {
+        let mut qr = IncrementalQr::new(3);
+        push_all(&mut qr, &[&[3.0, 0.0, 4.0], &[1.0, 1.0, 0.0]]);
+        for i in 0..qr.ncols() {
+            assert!((vector::norm2(qr.q_col(i)) - 1.0).abs() < 1e-14);
+        }
+        assert!(vector::dot(qr.q_col(0), qr.q_col(1)).abs() < 1e-14);
+        assert!(std::panic::catch_unwind(|| qr.q_col(2)).is_err());
     }
 
     #[test]

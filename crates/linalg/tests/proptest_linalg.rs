@@ -130,6 +130,50 @@ proptest! {
         prop_assert!(perturbed + 1e-9 >= optimal);
     }
 
+    /// The blocked transpose kernel is bit-identical to the per-column
+    /// scalar dot scan for arbitrary shapes — the determinism contract the
+    /// fused OMP selection relies on (DESIGN.md §9).
+    #[test]
+    fn gemv_transpose_is_bit_identical_to_dot_scan(
+        rows in 1usize..48,
+        cols in 1usize..40,
+        seed in 0u64..500,
+    ) {
+        let mut g = GaussianSampler::from_seed(seed);
+        let mut data = vec![0.0; rows * cols];
+        g.fill(&mut data, 1.0);
+        let mut x = vec![0.0; rows];
+        g.fill(&mut x, 1.0);
+        let mut fused = vec![0.0; cols];
+        cso_linalg::gemv::gemv_transpose_into(&data, rows, &x, &mut fused);
+        for (j, f) in fused.iter().enumerate() {
+            let reference = vector::dot(&data[j * rows..(j + 1) * rows], &x);
+            prop_assert_eq!(f.to_bits(), reference.to_bits(), "col {}", j);
+        }
+    }
+
+    /// The blocked forward kernel agrees with the axpy-based matvec; with
+    /// Gaussian inputs (no exact zeros) the agreement is bitwise.
+    #[test]
+    fn gemv_forward_matches_matvec(
+        rows in 1usize..32,
+        cols in 1usize..24,
+        seed in 0u64..500,
+    ) {
+        let mut g = GaussianSampler::from_seed(seed);
+        let mut data = vec![0.0; rows * cols];
+        g.fill(&mut data, 1.0);
+        let a = ColMatrix::from_col_major(rows, cols, data).unwrap();
+        let mut xv = vec![0.0; cols];
+        g.fill(&mut xv, 1.0);
+        let x = Vector::from_vec(xv);
+        let fused = a.gemv(&x).unwrap();
+        let reference = a.matvec(&x).unwrap();
+        for (f, r) in fused.iter().zip(reference.iter()) {
+            prop_assert_eq!(f.to_bits(), r.to_bits());
+        }
+    }
+
     /// Quantiles are monotone in q and bracketed by min/max.
     #[test]
     fn quantiles_monotone_and_bounded(data in finite_vec(1..50)) {
