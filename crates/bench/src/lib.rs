@@ -26,6 +26,7 @@ pub mod fig78;
 pub mod fig9;
 pub mod recovery;
 pub mod scaling;
+pub mod serve_bench;
 
 pub use common::Opts;
 
@@ -52,6 +53,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "fault_sweep",
     "recovery",
     "scaling",
+    "serve_throughput",
 ];
 
 /// Dispatches one experiment by name. Returns false for unknown names.
@@ -78,6 +80,7 @@ pub fn run_experiment(name: &str, opts: &Opts) -> bool {
         "fault_sweep" => faults::fault_sweep(opts),
         "recovery" => recovery::recovery(opts),
         "scaling" => scaling::scaling(opts),
+        "serve_throughput" => serve_bench::serve_throughput(opts),
         _ => return false,
     }
     true
@@ -131,6 +134,7 @@ mod tests {
                     | "fault_sweep"
                     | "recovery"
                     | "scaling"
+                    | "serve_throughput"
             );
             assert!(known, "{name} missing from dispatcher");
         }

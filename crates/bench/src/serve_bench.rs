@@ -1,0 +1,212 @@
+//! Serving-layer throughput sweep (PR 5).
+//!
+//! Drives a live loopback `cso-serve` server with an increasing number of
+//! concurrent ingest connections and reports, per connection count:
+//!
+//! - **sketches/sec** — wall-clock ingest throughput over the whole
+//!   fan-out (open + every sketch ack'd);
+//! - **p50/p99 ingest latency** — client-observed round-trip time of a
+//!   single `Sketch` frame (write + server dispatch + ack), measured per
+//!   request so the percentiles are exact rather than bucketed;
+//! - the server's own `serve.*` accounting as a cross-check (every sent
+//!   sketch must be accepted exactly once).
+//!
+//! Every sweep point seals and recovers its epoch afterwards (untimed), so
+//! the path under test is the same open → ingest → seal → recover → report
+//! lifecycle the protocol uses, not an ingest-only synthetic. With CSV
+//! output enabled the table mirrors to `results/serve.csv` and a
+//! machine-readable summary is written to `BENCH_pr5.json` (validated with
+//! [`cso_obs::json::validate`]).
+
+use crate::common::{Opts, Table};
+use cso_distributed::quantize::SketchEncoding;
+use cso_distributed::{Cluster, CsProtocol, RetryPolicy};
+use cso_obs::json;
+use cso_serve::{spawn, ServeClient, ServerConfig};
+use cso_workloads::{split, MajorityConfig, MajorityData, SliceStrategy};
+use std::time::Instant;
+
+/// One row of the sweep.
+struct Sample {
+    connections: usize,
+    nodes: usize,
+    wall_ns: f64,
+    p50_ns: u64,
+    p99_ns: u64,
+    sketches_per_s: f64,
+}
+
+/// Exact percentile of a sorted sample set (nearest-rank).
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Ingests `sketches` over `connections` concurrent clients against a
+/// fresh epoch, then seals and recovers. Returns (wall ns of the timed
+/// ingest fan-out, per-request RTT samples).
+fn run_ingest(
+    addr: std::net::SocketAddr,
+    proto: &CsProtocol,
+    n: usize,
+    sketches: &[cso_linalg::Vector],
+    connections: usize,
+    epoch: u64,
+    k: u32,
+) -> (f64, Vec<u64>) {
+    let retry = RetryPolicy::default();
+    let m = proto.m as u32;
+    let started = Instant::now();
+    let all_rtts: Vec<Vec<u64>> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(connections);
+        for c in 0..connections {
+            handles.push(scope.spawn(move || {
+                let (mut client, _) =
+                    ServeClient::open(addr, &retry, 1, epoch, m, n as u64, proto.seed)
+                        .expect("open epoch");
+                let mut rtts = Vec::new();
+                for (node, sketch) in sketches.iter().enumerate().skip(c).step_by(connections) {
+                    let t = Instant::now();
+                    client
+                        .send_sketch(node as u32, sketch, SketchEncoding::F64)
+                        .expect("sketch accepted");
+                    rtts.push(t.elapsed().as_nanos() as u64);
+                }
+                rtts
+            }));
+        }
+        handles.into_iter().map(|h| h.join().expect("ingest thread")).collect()
+    });
+    let wall_ns = started.elapsed().as_nanos() as f64;
+
+    // Untimed: complete the lifecycle so the epoch is recovered, not
+    // abandoned.
+    let (mut control, _) =
+        ServeClient::open(addr, &retry, 1, epoch, m, n as u64, proto.seed).expect("control");
+    assert_eq!(control.seal().expect("seal"), sketches.len() as u64);
+    control.recover(k).expect("recover");
+
+    (wall_ns, all_rtts.into_iter().flatten().collect())
+}
+
+/// The `serve_throughput` experiment: ingest throughput and latency versus
+/// concurrent connection count against a live loopback server.
+pub fn serve_throughput(opts: &Opts) {
+    // Fast mode keeps the CI smoke quick; the default is sized so each
+    // sweep point ships a few hundred frames.
+    let (nodes, n, m, k) = if opts.trials <= 4 { (32, 256, 48, 4) } else { (192, 1024, 96, 8) };
+    let connection_counts = [1usize, 2, 4, 8];
+
+    let data =
+        MajorityData::generate(&MajorityConfig { n, s: k, ..MajorityConfig::default() }, 2024)
+            .expect("workload");
+    let slices = split(&data.values, nodes, SliceStrategy::RandomProportions, 2025).expect("split");
+    let cluster = Cluster::new(slices).expect("cluster");
+    let proto = CsProtocol::new(m, 77);
+    let sketches = proto.node_sketches(&cluster).expect("sketches");
+
+    let server = spawn(ServerConfig {
+        handlers: connection_counts.iter().copied().max().unwrap() + 1,
+        queue_depth: 32,
+        ..ServerConfig::default()
+    })
+    .expect("server");
+
+    let mut samples = Vec::new();
+    for (epoch, &connections) in connection_counts.iter().enumerate() {
+        let (wall_ns, mut rtts) =
+            run_ingest(server.addr(), &proto, n, &sketches, connections, epoch as u64, k as u32);
+        rtts.sort_unstable();
+        samples.push(Sample {
+            connections,
+            nodes,
+            wall_ns,
+            p50_ns: percentile(&rtts, 0.50),
+            p99_ns: percentile(&rtts, 0.99),
+            sketches_per_s: nodes as f64 / (wall_ns / 1e9),
+        });
+    }
+
+    // Cross-check the server's own accounting before tearing it down.
+    let metrics = server.recorder().metrics_snapshot();
+    let expected = (nodes * connection_counts.len()) as u64;
+    assert_eq!(
+        metrics.counter("serve.sketches_accepted"),
+        Some(expected),
+        "server must have accepted every sketch exactly once"
+    );
+    assert_eq!(
+        metrics.counter("serve.epochs_recovered"),
+        Some(connection_counts.len() as u64),
+        "every sweep epoch must have recovered"
+    );
+    server.shutdown();
+
+    let mut table = Table::new(
+        "serve",
+        &["connections", "sketches", "wall_ms", "sketches_per_s", "p50_us", "p99_us"],
+    );
+    for s in &samples {
+        table.row(&[
+            &s.connections,
+            &s.nodes,
+            &format!("{:.2}", s.wall_ns / 1e6),
+            &format!("{:.0}", s.sketches_per_s),
+            &format!("{:.1}", s.p50_ns as f64 / 1e3),
+            &format!("{:.1}", s.p99_ns as f64 / 1e3),
+        ]);
+    }
+    table.finish(opts);
+
+    if opts.write_csv {
+        write_bench_json(&samples, n, m, k);
+    }
+}
+
+/// Writes the machine-readable sweep to `BENCH_pr5.json` (repo root).
+fn write_bench_json(samples: &[Sample], n: usize, m: usize, k: usize) {
+    let cores = std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
+    let mut out = String::new();
+    out.push_str("{\"bench\":\"serve_throughput\",\"params\":{");
+    out.push_str(&format!(
+        "\"nodes\":{},\"n\":{n},\"m\":{m},\"k\":{k},\"encoding\":\"f64\",\"host_cpus\":{cores}",
+        samples.first().map_or(0, |s| s.nodes)
+    ));
+    out.push_str("},\"sweep\":[");
+    for (i, s) in samples.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"connections\":{},\"wall_ns\":{},\"sketches_per_s\":{},\
+             \"p50_ingest_ns\":{},\"p99_ingest_ns\":{}}}",
+            s.connections, s.wall_ns, s.sketches_per_s, s.p50_ns, s.p99_ns
+        ));
+    }
+    out.push_str("]}");
+    json::validate(&out).expect("BENCH_pr5.json must be valid JSON");
+    std::fs::write("BENCH_pr5.json", format!("{out}\n")).expect("write BENCH_pr5.json");
+    println!("wrote BENCH_pr5.json");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let sorted = [10, 20, 30, 40];
+        assert_eq!(percentile(&sorted, 0.0), 10);
+        assert_eq!(percentile(&sorted, 0.5), 30);
+        assert_eq!(percentile(&sorted, 1.0), 40);
+        assert_eq!(percentile(&[], 0.5), 0);
+    }
+
+    #[test]
+    fn serve_throughput_smoke_runs_without_artifacts() {
+        serve_throughput(&Opts { trials: 1, write_csv: false });
+    }
+}

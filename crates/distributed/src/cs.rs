@@ -83,6 +83,28 @@ impl CsProtocol {
         }
     }
 
+    /// The recovery configuration a run with outlier budget `k` actually
+    /// uses: the `R = f(k)` iteration heuristic resolved and capped at `M`,
+    /// and the protocol's [`ExecConfig`] threaded into the OMP scans.
+    /// Out-of-process aggregators (`cso-serve`) recover with exactly this
+    /// configuration to stay bit-identical to the in-process paths.
+    pub fn effective_recovery(&self, k: usize) -> BompConfig {
+        let mut recovery = self.recovery;
+        recovery.omp.max_iterations = self.budget_for(k).min(self.m);
+        recovery.omp.exec = self.exec;
+        recovery
+    }
+
+    /// Builds every node's sketch `y_l = Φ0·x_l` on the configured
+    /// executor, in node order — the node-side half of the protocol,
+    /// exposed so real transports (`cso-serve`'s TCP clients) can ship the
+    /// same measurements the simulated paths use.
+    pub fn node_sketches(&self, cluster: &Cluster) -> Result<Vec<Vector>, LinalgError> {
+        let spec = MeasurementSpec::new(self.m, cluster.n(), self.seed)?;
+        let phi0 = spec.materialize();
+        self.build_sketches(&phi0, cluster, &Recorder::disabled())
+    }
+
     /// Node-side compression: `y_l = Φ0 · x_l`. Exposed so the MapReduce
     /// layer can reuse it as the CS-Mapper body.
     pub fn sketch_slice(phi0: &ColMatrix, slice: &[f64]) -> Result<Vector, LinalgError> {
@@ -137,9 +159,7 @@ impl CsProtocol {
             }
         }
 
-        let mut recovery = self.recovery;
-        recovery.omp.max_iterations = self.budget_for(k).min(self.m);
-        recovery.omp.exec = self.exec;
+        let recovery = self.effective_recovery(k);
         let result = {
             let _r = rec.span("recovery");
             bomp_with_matrix_traced(&phi0, &y, &recovery, rec)?
@@ -212,9 +232,7 @@ impl CsProtocol {
             }
         }
 
-        let mut recovery = self.recovery;
-        recovery.omp.max_iterations = self.budget_for(k).min(self.m);
-        recovery.omp.exec = self.exec;
+        let recovery = self.effective_recovery(k);
         let result = bomp_with_matrix(&phi0, &y, &recovery)?;
         let estimate: Vec<KeyValue> =
             result.top_k(k).iter().map(|o| KeyValue { index: o.index, value: o.value }).collect();

@@ -9,17 +9,31 @@
 
 use cso_core::{bomp_with_matrix, BompConfig, BompResult, MeasurementSpec};
 use cso_linalg::{ColMatrix, LinalgError, Vector};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// An aggregator that maintains the global sketch under streaming updates
 /// and node membership changes.
+///
+/// The global measurement is kept **canonical**: after any membership
+/// change (join or leave) `y` is recomputed as the ascending-node-id sum
+/// of the current per-node sketches. A running float sum would drift under
+/// churn — `(y + s) − s + s` is not `y + s` bit-for-bit — so a node that
+/// leaves and re-joins across an epoch boundary would otherwise perturb
+/// every later recovery. Canonical resummation makes membership history
+/// irrelevant: the same member set with the same sketches always yields
+/// the same measurement bits, which is also what lets a TCP server ingest
+/// sketches in arbitrary arrival order and still recover bit-identically
+/// to the sequential in-process path (`cso-serve`). Membership changes
+/// cost `O(L·M)`; streaming [`SketchAggregator::update`]s stay `O(M)`.
 #[derive(Debug, Clone)]
 pub struct SketchAggregator {
     spec: MeasurementSpec,
-    /// Current global measurement `y = Σ_l y_l`.
+    /// Current global measurement: the ascending-id sum of `node_sketches`
+    /// plus any streaming deltas applied since the last membership change.
     y: Vector,
-    /// Last full sketch received per node id (needed to retire a node).
-    node_sketches: HashMap<usize, Vector>,
+    /// Last full sketch received per node id (needed to retire a node),
+    /// keyed in ascending order so resummation is deterministic.
+    node_sketches: BTreeMap<usize, Vector>,
     /// Lazily materialized `Φ0` for recovery.
     phi0: Option<ColMatrix>,
 }
@@ -30,7 +44,7 @@ impl SketchAggregator {
         SketchAggregator {
             spec,
             y: Vector::zeros(spec.m),
-            node_sketches: HashMap::new(),
+            node_sketches: BTreeMap::new(),
             phi0: None,
         }
     }
@@ -43,6 +57,16 @@ impl SketchAggregator {
     /// Number of participating nodes.
     pub fn node_count(&self) -> usize {
         self.node_sketches.len()
+    }
+
+    /// True when `node` currently contributes a sketch.
+    pub fn contains(&self, node: usize) -> bool {
+        self.node_sketches.contains_key(&node)
+    }
+
+    /// The contributing node ids, ascending.
+    pub fn node_ids(&self) -> Vec<usize> {
+        self.node_sketches.keys().copied().collect()
     }
 
     /// The current global measurement.
@@ -60,20 +84,31 @@ impl SketchAggregator {
                 message: "node id already registered".into(),
             });
         }
-        self.y.add_assign(&sketch)?;
         self.node_sketches.insert(node, sketch);
+        self.resum();
         Ok(())
     }
 
-    /// Retires a node (a data center leaves): its last sketch is subtracted
-    /// from the global measurement. Errors on an unknown id.
+    /// Retires a node (a data center leaves). Errors on an unknown id.
     pub fn leave(&mut self, node: usize) -> Result<(), LinalgError> {
-        let sketch = self.node_sketches.remove(&node).ok_or(LinalgError::InvalidParameter {
+        self.node_sketches.remove(&node).ok_or(LinalgError::InvalidParameter {
             name: "node",
             message: "unknown node id".into(),
         })?;
-        self.y = self.y.sub(&sketch)?;
+        self.resum();
         Ok(())
+    }
+
+    /// Recomputes the canonical measurement: the ascending-node-id sum of
+    /// the current sketches. Called on every membership change so a
+    /// leave/re-join cycle is loss-free — subtracting and re-adding a
+    /// float vector is *not* the identity, resumming the same set is.
+    fn resum(&mut self) {
+        let mut y = Vector::zeros(self.spec.m);
+        for sketch in self.node_sketches.values() {
+            y.add_assign(sketch).expect("sketch lengths verified at join");
+        }
+        self.y = y;
     }
 
     /// Applies a batch of new records on `node`, given as sparse
@@ -171,6 +206,75 @@ mod tests {
         let r = agg.recover(&BompConfig::default()).unwrap();
         assert_eq!(r.top_k(1)[0].index, 3);
         assert!((r.mode - 500.0).abs() < 1e-6);
+    }
+
+    /// Node churn is a server's steady state: a node that leaves and
+    /// re-joins with the same sketch must leave the global measurement
+    /// bit-for-bit unchanged, no matter how many cycles happen or in what
+    /// order the membership set was originally assembled.
+    #[test]
+    fn leave_then_rejoin_is_loss_free() {
+        let spec = spec();
+        let mut agg = SketchAggregator::new(spec);
+        let sketches: Vec<Vector> = (0..4)
+            .map(|i| {
+                spec.measure_dense(&dense_with(100.0 + i as f64, &[(i * 31, 7e3 * (i + 1) as f64)]))
+                    .unwrap()
+            })
+            .collect();
+        for (i, s) in sketches.iter().enumerate() {
+            agg.join(i, s.clone()).unwrap();
+        }
+        let before: Vec<u64> = agg.global_measurement().iter().map(|v| v.to_bits()).collect();
+
+        // An epoch boundary's worth of churn: each node leaves and comes
+        // back, twice over, interleaved.
+        for _ in 0..2 {
+            for (i, s) in sketches.iter().enumerate() {
+                agg.leave(i).unwrap();
+                assert_eq!(agg.node_count(), 3);
+                agg.join(i, s.clone()).unwrap();
+            }
+        }
+        let after: Vec<u64> = agg.global_measurement().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(before, after, "churn drifted the global measurement");
+    }
+
+    /// The measurement is canonical in the member set: join order is
+    /// irrelevant, so concurrent ingest (arbitrary arrival order over TCP)
+    /// agrees bit-for-bit with the sequential reference.
+    #[test]
+    fn join_order_does_not_change_the_bits() {
+        let spec = spec();
+        let sketches: Vec<Vector> = (0..5)
+            .map(|i| spec.measure_dense(&dense_with(i as f64, &[(i * 17, 900.0)])).unwrap())
+            .collect();
+        let reference: Vec<u64> = {
+            let mut agg = SketchAggregator::new(spec);
+            for (i, s) in sketches.iter().enumerate() {
+                agg.join(i, s.clone()).unwrap();
+            }
+            agg.global_measurement().iter().map(|v| v.to_bits()).collect()
+        };
+        for order in [[4usize, 2, 0, 3, 1], [1, 3, 4, 0, 2]] {
+            let mut agg = SketchAggregator::new(spec);
+            for &i in &order {
+                agg.join(i, sketches[i].clone()).unwrap();
+            }
+            let got: Vec<u64> = agg.global_measurement().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(got, reference, "order {order:?}");
+        }
+    }
+
+    #[test]
+    fn membership_introspection() {
+        let spec = spec();
+        let mut agg = SketchAggregator::new(spec);
+        agg.join(3, Vector::zeros(80)).unwrap();
+        agg.join(1, Vector::zeros(80)).unwrap();
+        assert!(agg.contains(3));
+        assert!(!agg.contains(0));
+        assert_eq!(agg.node_ids(), vec![1, 3]);
     }
 
     #[test]

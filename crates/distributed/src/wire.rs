@@ -15,11 +15,19 @@
 //! Layout (all integers little-endian):
 //!
 //! ```text
-//! [0]        u8   message tag (1 = sketch, 2 = kv batch, 3 = mode broadcast)
+//! [0]        u8   message tag (1 = sketch, 2 = kv batch, 3 = mode broadcast,
+//!                 4 = open epoch, 5 = seal epoch, 6 = recover epoch,
+//!                 7 = ack, 8 = reject, 9 = report)
 //! [1]        u8   format version (currently 2)
 //! ...             tag-specific body
 //! [len-4..]  u32  CRC-32 (IEEE) over bytes [0, len-4)
 //! ```
+//!
+//! Tags 1–3 are the original simulation messages; tags 4–9 are the serving
+//! layer's control plane (`cso-serve`): session/epoch lifecycle requests
+//! from clients and the server's acknowledgement / rejection / recovery-
+//! report replies. They ride the same version-2 CRC-sealed frames, so the
+//! corruption guarantees below apply to the control plane too.
 
 use crate::quantize::{EncodedSketch, SketchEncoding};
 use std::fmt;
@@ -30,9 +38,24 @@ pub const WIRE_VERSION: u8 = 2;
 /// Bytes of the CRC-32 trailer appended to every frame.
 pub const CHECKSUM_BYTES: usize = 4;
 
-const TAG_SKETCH: u8 = 1;
-const TAG_KV_BATCH: u8 = 2;
-const TAG_MODE: u8 = 3;
+/// Frame tag of [`Message::Sketch`].
+pub const TAG_SKETCH: u8 = 1;
+/// Frame tag of [`Message::KvBatch`].
+pub const TAG_KV_BATCH: u8 = 2;
+/// Frame tag of [`Message::ModeBroadcast`].
+pub const TAG_MODE: u8 = 3;
+/// Frame tag of [`Message::OpenEpoch`].
+pub const TAG_OPEN_EPOCH: u8 = 4;
+/// Frame tag of [`Message::SealEpoch`].
+pub const TAG_SEAL_EPOCH: u8 = 5;
+/// Frame tag of [`Message::RecoverEpoch`].
+pub const TAG_RECOVER_EPOCH: u8 = 6;
+/// Frame tag of [`Message::Ack`].
+pub const TAG_ACK: u8 = 7;
+/// Frame tag of [`Message::Reject`].
+pub const TAG_REJECT: u8 = 8;
+/// Frame tag of [`Message::Report`].
+pub const TAG_REPORT: u8 = 9;
 
 /// IEEE CRC-32 lookup table (reflected, polynomial `0xEDB88320`).
 const CRC32_TABLE: [u32; 256] = {
@@ -85,6 +108,86 @@ pub enum Message {
         /// Estimated mode.
         mode: f64,
     },
+    /// Client → server: open (or attach to) an epoch of a session. Carries
+    /// the full measurement configuration so the server can verify that
+    /// every participant derives the same `Φ0`.
+    OpenEpoch {
+        /// Session (run) id the epoch belongs to.
+        session: u64,
+        /// Epoch number within the session.
+        epoch: u64,
+        /// Sketch length `M`.
+        m: u32,
+        /// Key-space size `N`.
+        n: u64,
+        /// Shared seed `Φ0` is derived from.
+        seed: u64,
+    },
+    /// Client → server: no more sketches for this epoch; freeze the
+    /// membership for recovery.
+    SealEpoch {
+        /// Session id.
+        session: u64,
+        /// Epoch number.
+        epoch: u64,
+    },
+    /// Client → server: recover the top-`k` outliers of a sealed epoch.
+    RecoverEpoch {
+        /// Session id.
+        session: u64,
+        /// Epoch number.
+        epoch: u64,
+        /// Outlier budget `k`.
+        k: u32,
+    },
+    /// Server → client: the request identified by `of` (a message tag)
+    /// succeeded. `info` is tag-specific (accepted-sketch node count for
+    /// seals, 0/1 duplicate flag for sketches).
+    Ack {
+        /// Tag of the message being acknowledged.
+        of: u8,
+        /// Tag-specific detail.
+        info: u64,
+    },
+    /// Server → client: the request was refused. `code` is a
+    /// `cso-serve` reject code (typed protocol error or backpressure);
+    /// `retry_after_ms` is non-zero when the client should retry later
+    /// (admission-queue backpressure).
+    Reject {
+        /// Typed reject code (see `cso-serve`'s `RejectCode`).
+        code: u16,
+        /// Suggested retry delay in milliseconds (0 = do not retry).
+        retry_after_ms: u32,
+    },
+    /// Server → client: recovery report for one epoch.
+    Report {
+        /// Epoch the report describes.
+        epoch: u64,
+        /// Recovered mode `b`.
+        mode: f64,
+        /// Recovered `(key id, value)` outliers, ordered by decreasing
+        /// deviation from the mode.
+        outliers: Vec<(u32, f64)>,
+    },
+}
+
+impl Message {
+    /// The message's wire tag — the discriminant byte [`encode`] writes.
+    /// Server acknowledgements echo this in [`Message::Ack`]'s `of` field
+    /// so a client can match replies to requests.
+    pub fn tag(&self) -> u8 {
+        match self {
+            Message::Sketch { .. } => TAG_SKETCH,
+            Message::KvBatch { .. } => TAG_KV_BATCH,
+            Message::ModeBroadcast { .. } => TAG_MODE,
+            Message::OpenEpoch { .. } => TAG_OPEN_EPOCH,
+            Message::SealEpoch { .. } => TAG_SEAL_EPOCH,
+            Message::RecoverEpoch { .. } => TAG_RECOVER_EPOCH,
+            Message::Ack { .. } => TAG_ACK,
+            Message::Reject { .. } => TAG_REJECT,
+            Message::Report { .. } => TAG_REPORT,
+        }
+    }
 }
 
 /// Decode failures.
@@ -158,6 +261,9 @@ impl Writer {
     fn i16(&mut self, v: i16) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
+    fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
 }
 
 struct Reader<'a> {
@@ -194,6 +300,9 @@ impl<'a> Reader<'a> {
     }
     fn i16(&mut self) -> Result<i16, WireError> {
         Ok(i16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+    }
+    fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
     }
     fn remaining(&self) -> usize {
         self.buf.len() - self.pos
@@ -253,6 +362,51 @@ pub fn encode(msg: &Message) -> Vec<u8> {
             w.u8(TAG_MODE);
             w.u8(WIRE_VERSION);
             w.f64(*mode);
+        }
+        Message::OpenEpoch { session, epoch, m, n, seed } => {
+            w.u8(TAG_OPEN_EPOCH);
+            w.u8(WIRE_VERSION);
+            w.u64(*session);
+            w.u64(*epoch);
+            w.u32(*m);
+            w.u64(*n);
+            w.u64(*seed);
+        }
+        Message::SealEpoch { session, epoch } => {
+            w.u8(TAG_SEAL_EPOCH);
+            w.u8(WIRE_VERSION);
+            w.u64(*session);
+            w.u64(*epoch);
+        }
+        Message::RecoverEpoch { session, epoch, k } => {
+            w.u8(TAG_RECOVER_EPOCH);
+            w.u8(WIRE_VERSION);
+            w.u64(*session);
+            w.u64(*epoch);
+            w.u32(*k);
+        }
+        Message::Ack { of, info } => {
+            w.u8(TAG_ACK);
+            w.u8(WIRE_VERSION);
+            w.u8(*of);
+            w.u64(*info);
+        }
+        Message::Reject { code, retry_after_ms } => {
+            w.u8(TAG_REJECT);
+            w.u8(WIRE_VERSION);
+            w.u16(*code);
+            w.u32(*retry_after_ms);
+        }
+        Message::Report { epoch, mode, outliers } => {
+            w.u8(TAG_REPORT);
+            w.u8(WIRE_VERSION);
+            w.u64(*epoch);
+            w.f64(*mode);
+            w.u32(outliers.len() as u32);
+            for &(k, v) in outliers {
+                w.u32(k);
+                w.f64(v);
+            }
         }
     }
     let sum = crc32(&w.buf);
@@ -326,6 +480,31 @@ pub fn decode(buf: &[u8]) -> Result<Message, WireError> {
             Message::KvBatch { node, pairs }
         }
         TAG_MODE => Message::ModeBroadcast { mode: r.f64()? },
+        TAG_OPEN_EPOCH => Message::OpenEpoch {
+            session: r.u64()?,
+            epoch: r.u64()?,
+            m: r.u32()?,
+            n: r.u64()?,
+            seed: r.u64()?,
+        },
+        TAG_SEAL_EPOCH => Message::SealEpoch { session: r.u64()?, epoch: r.u64()? },
+        TAG_RECOVER_EPOCH => {
+            Message::RecoverEpoch { session: r.u64()?, epoch: r.u64()?, k: r.u32()? }
+        }
+        TAG_ACK => Message::Ack { of: r.u8()?, info: r.u64()? },
+        TAG_REJECT => Message::Reject { code: r.u16()?, retry_after_ms: r.u32()? },
+        TAG_REPORT => {
+            let epoch = r.u64()?;
+            let mode = r.f64()?;
+            let len = r.u32()? as usize;
+            let mut outliers = Vec::with_capacity(capped(len, r.remaining(), 12));
+            for _ in 0..len {
+                let k = r.u32()?;
+                let v = r.f64()?;
+                outliers.push((k, v));
+            }
+            Message::Report { epoch, mode, outliers }
+        }
         other => return Err(WireError::UnknownTag(other)),
     };
     if !r.finished() {
@@ -382,6 +561,40 @@ mod tests {
     fn mode_broadcast_round_trip() {
         let msg = Message::ModeBroadcast { mode: -1800.75 };
         assert_eq!(decode(&encode(&msg)).unwrap(), msg);
+    }
+
+    #[test]
+    fn control_plane_round_trips() {
+        let msgs = [
+            Message::OpenEpoch { session: 7, epoch: 3, m: 128, n: 1 << 40, seed: u64::MAX },
+            Message::SealEpoch { session: 7, epoch: 3 },
+            Message::RecoverEpoch { session: 7, epoch: 3, k: 8 },
+            Message::Ack { of: 4, info: 12 },
+            Message::Reject { code: 2, retry_after_ms: 40 },
+            Message::Report { epoch: 3, mode: 5000.5, outliers: vec![(9, 1.25), (0, -2e9)] },
+        ];
+        for msg in msgs {
+            assert_eq!(decode(&encode(&msg)).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn tags_match_the_encoded_discriminant() {
+        let msgs = [
+            sketch_msg(SketchEncoding::F64),
+            Message::KvBatch { node: 0, pairs: vec![] },
+            Message::ModeBroadcast { mode: 0.0 },
+            Message::OpenEpoch { session: 0, epoch: 0, m: 0, n: 0, seed: 0 },
+            Message::SealEpoch { session: 0, epoch: 0 },
+            Message::RecoverEpoch { session: 0, epoch: 0, k: 0 },
+            Message::Ack { of: 0, info: 0 },
+            Message::Reject { code: 0, retry_after_ms: 0 },
+            Message::Report { epoch: 0, mode: 0.0, outliers: vec![] },
+        ];
+        for (i, msg) in msgs.iter().enumerate() {
+            assert_eq!(msg.tag(), i as u8 + 1);
+            assert_eq!(encode(msg)[0], msg.tag());
+        }
     }
 
     #[test]

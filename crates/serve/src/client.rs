@@ -1,0 +1,301 @@
+//! Blocking client for the aggregation server, plus the end-to-end driver
+//! that runs the full CS protocol of a [`CsProtocol`] against a live
+//! server.
+//!
+//! Every connection starts with an `OpenEpoch` — that frame doubles as
+//! the admission probe: a server under backpressure answers it (or the
+//! raw accept) with `Reject { Busy, retry_after_ms }` and closes, and
+//! [`ServeClient::open`] reconnects after waiting out the larger of the
+//! server's hint and its own exponential backoff (reusing
+//! [`RetryPolicy`], one virtual tick ≈ one millisecond). All other
+//! rejects are surfaced as typed [`ClientError::Rejected`] values.
+
+use crate::frame::{read_frame, write_frame, FrameError};
+use crate::session::RejectCode;
+use cso_distributed::quantize::{self, SketchEncoding};
+use cso_distributed::wire::Message;
+use cso_distributed::{Cluster, CsProtocol, RetryPolicy};
+use cso_linalg::Vector;
+use std::fmt;
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Typed client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// TCP connect failed.
+    Connect(io::ErrorKind),
+    /// Reading or writing a frame failed.
+    Frame(FrameError),
+    /// The server rejected the request (never `Busy` — that is retried).
+    Rejected(RejectCode),
+    /// The server rejected with a code this client does not know.
+    RejectedUnknown(u16),
+    /// The server replied with a frame the request does not expect.
+    UnexpectedReply(u8),
+    /// The server stayed busy through every connection attempt.
+    BusyExhausted,
+    /// Local sketch construction failed before anything hit the wire.
+    Local(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Connect(kind) => write!(f, "connect failed: {kind:?}"),
+            ClientError::Frame(e) => write!(f, "transport failed: {e}"),
+            ClientError::Rejected(code) => write!(f, "server rejected: {code}"),
+            ClientError::RejectedUnknown(v) => write!(f, "server rejected with unknown code {v}"),
+            ClientError::UnexpectedReply(tag) => write!(f, "unexpected reply frame (tag {tag})"),
+            ClientError::BusyExhausted => write!(f, "server busy through all retries"),
+            ClientError::Local(msg) => write!(f, "local failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        ClientError::Frame(e)
+    }
+}
+
+/// A blocking connection bound to one `(session, epoch)` on the server.
+pub struct ServeClient {
+    stream: TcpStream,
+    session: u64,
+    epoch: u64,
+    seed: u64,
+    bytes_sent: u64,
+    bytes_received: u64,
+}
+
+impl ServeClient {
+    /// Connects and opens (or attaches to) `(session, epoch)` with the
+    /// given measurement configuration, retrying `Busy` admission rejects
+    /// with backoff. Returns the bound client and the number of nodes
+    /// already in the epoch (0 for a fresh one).
+    #[allow(clippy::too_many_arguments)]
+    pub fn open(
+        addr: SocketAddr,
+        retry: &RetryPolicy,
+        session: u64,
+        epoch: u64,
+        m: u32,
+        n: u64,
+        seed: u64,
+    ) -> Result<(Self, u64), ClientError> {
+        let open = Message::OpenEpoch { session, epoch, m, n, seed };
+        for attempt in 1..=retry.max_attempts {
+            let stream = TcpStream::connect(addr).map_err(|e| ClientError::Connect(e.kind()))?;
+            // Request/reply framing stalls badly under Nagle + delayed
+            // ACK (~40 ms per round trip); flush frames immediately.
+            let _ = stream.set_nodelay(true);
+            let mut client =
+                ServeClient { stream, session, epoch, seed, bytes_sent: 0, bytes_received: 0 };
+            match client.request(&open) {
+                Ok(Message::Ack { info, .. }) => return Ok((client, info)),
+                Ok(Message::Reject { code, retry_after_ms })
+                    if code == RejectCode::Busy.as_u16() =>
+                {
+                    client.backoff(retry, attempt, retry_after_ms);
+                }
+                Ok(reply) => return Err(reply_error(reply)),
+                // A busy server closes right after writing its reject, so
+                // depending on timing the raced request sees a clean close,
+                // a cut-off reply, or a reset/broken pipe: all retryable.
+                Err(ClientError::Frame(
+                    FrameError::Closed
+                    | FrameError::Truncated
+                    | FrameError::Io(
+                        io::ErrorKind::BrokenPipe
+                        | io::ErrorKind::ConnectionReset
+                        | io::ErrorKind::ConnectionAborted,
+                    ),
+                )) => {
+                    client.backoff(retry, attempt, 0);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(ClientError::BusyExhausted)
+    }
+
+    /// Waits out the larger of the server's hint and the policy backoff
+    /// (1 virtual tick ≈ 1 ms).
+    fn backoff(&self, retry: &RetryPolicy, attempt: u32, server_hint_ms: u32) {
+        let ticks = retry.backoff_ticks(self.session as usize, attempt);
+        std::thread::sleep(Duration::from_millis(ticks.max(u64::from(server_hint_ms))));
+    }
+
+    /// Sends one frame and reads one reply.
+    pub fn request(&mut self, msg: &Message) -> Result<Message, ClientError> {
+        self.bytes_sent += write_frame(&mut self.stream, msg).map_err(|e| {
+            ClientError::Frame(match e.kind() {
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => FrameError::TimedOut,
+                kind => FrameError::Io(kind),
+            })
+        })? as u64;
+        let (reply, bytes) = read_frame(&mut self.stream)?;
+        self.bytes_received += bytes as u64;
+        Ok(reply)
+    }
+
+    /// Ships one node's sketch. Returns `true` when the server had already
+    /// seen this node (an idempotent duplicate).
+    pub fn send_sketch(
+        &mut self,
+        node: u32,
+        sketch: &Vector,
+        encoding: SketchEncoding,
+    ) -> Result<bool, ClientError> {
+        let msg =
+            Message::Sketch { node, seed: self.seed, payload: quantize::encode(sketch, encoding) };
+        match self.request(&msg)? {
+            Message::Ack { info, .. } => Ok(info == 1),
+            reply => Err(reply_error(reply)),
+        }
+    }
+
+    /// Seals the bound epoch. Returns the number of contributing nodes.
+    pub fn seal(&mut self) -> Result<u64, ClientError> {
+        let msg = Message::SealEpoch { session: self.session, epoch: self.epoch };
+        match self.request(&msg)? {
+            Message::Ack { info, .. } => Ok(info),
+            reply => Err(reply_error(reply)),
+        }
+    }
+
+    /// Recovers the sealed epoch with outlier budget `k`. Returns the
+    /// recovered mode and the outliers as `(index, value)` pairs.
+    pub fn recover(&mut self, k: u32) -> Result<(f64, Vec<(u32, f64)>), ClientError> {
+        let msg = Message::RecoverEpoch { session: self.session, epoch: self.epoch, k };
+        match self.request(&msg)? {
+            Message::Report { mode, outliers, .. } => Ok((mode, outliers)),
+            reply => Err(reply_error(reply)),
+        }
+    }
+
+    /// Bytes this client has written to the socket (prefixes included).
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent
+    }
+
+    /// Bytes this client has read off the socket (prefixes included).
+    pub fn bytes_received(&self) -> u64 {
+        self.bytes_received
+    }
+}
+
+/// Maps a non-Ack reply to the matching typed error.
+fn reply_error(reply: Message) -> ClientError {
+    match reply {
+        Message::Reject { code, .. } => match RejectCode::from_u16(code) {
+            Some(c) => ClientError::Rejected(c),
+            None => ClientError::RejectedUnknown(code),
+        },
+        other => ClientError::UnexpectedReply(other.tag()),
+    }
+}
+
+/// Result of one full protocol run against a live server.
+#[derive(Debug, Clone)]
+pub struct ServeRun {
+    /// Recovered mode.
+    pub mode: f64,
+    /// Recovered outliers as `(index, value)`, ordered by decreasing
+    /// deviation from the mode (ties by index).
+    pub outliers: Vec<(u32, f64)>,
+    /// Total bytes all connections wrote (length prefixes included).
+    pub bytes_sent: u64,
+    /// Total bytes all connections read.
+    pub bytes_received: u64,
+    /// Nodes the sealed epoch actually aggregated.
+    pub nodes: u64,
+}
+
+/// Tuning for [`run_cs_over_server`].
+#[derive(Debug, Clone)]
+pub struct ServeRunConfig {
+    /// Concurrent ingest connections to fan the nodes out over.
+    pub connections: usize,
+    /// Sketch payload encoding.
+    pub encoding: SketchEncoding,
+    /// Session id the run lives in.
+    pub session: u64,
+    /// Epoch number within the session.
+    pub epoch: u64,
+    /// Busy-retry policy for every connection.
+    pub retry: RetryPolicy,
+}
+
+impl Default for ServeRunConfig {
+    fn default() -> Self {
+        ServeRunConfig {
+            connections: 2,
+            encoding: SketchEncoding::F64,
+            session: 1,
+            epoch: 0,
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+/// Runs the complete CS protocol against a server at `addr`: builds every
+/// node's sketch locally (the node side), fans them out over
+/// `cfg.connections` concurrent TCP connections in round-robin node order,
+/// seals, recovers, and returns the server's report.
+///
+/// With `SketchEncoding::F64` the result is **bit-identical** to
+/// [`CsProtocol::run_over_wire`] — the server's canonical
+/// ascending-node-id resummation makes the aggregate independent of
+/// arrival interleaving, and recovery runs the same
+/// [`CsProtocol::effective_recovery`] configuration.
+pub fn run_cs_over_server(
+    proto: &CsProtocol,
+    cluster: &Cluster,
+    k: usize,
+    addr: SocketAddr,
+    cfg: &ServeRunConfig,
+) -> Result<ServeRun, ClientError> {
+    let sketches = proto
+        .node_sketches(cluster)
+        .map_err(|e| ClientError::Local(format!("sketch build failed: {e:?}")))?;
+    let m = proto.m as u32;
+    let n = cluster.n() as u64;
+    let connections = cfg.connections.max(1);
+
+    // Fan out ingest: connection c ships nodes c, c+C, c+2C, ...
+    let mut transferred: Vec<(u64, u64)> = Vec::with_capacity(connections);
+    let results: Vec<Result<(u64, u64), ClientError>> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(connections);
+        for c in 0..connections {
+            let sketches = &sketches;
+            handles.push(scope.spawn(move || {
+                let (mut client, _) =
+                    ServeClient::open(addr, &cfg.retry, cfg.session, cfg.epoch, m, n, proto.seed)?;
+                for (node, sketch) in sketches.iter().enumerate().skip(c).step_by(connections) {
+                    client.send_sketch(node as u32, sketch, cfg.encoding)?;
+                }
+                Ok((client.bytes_sent(), client.bytes_received()))
+            }));
+        }
+        handles.into_iter().map(|h| h.join().expect("ingest thread panicked")).collect()
+    });
+    for r in results {
+        transferred.push(r?);
+    }
+
+    // Control connection: attach, seal, recover.
+    let (mut control, _) =
+        ServeClient::open(addr, &cfg.retry, cfg.session, cfg.epoch, m, n, proto.seed)?;
+    let nodes = control.seal()?;
+    let (mode, outliers) = control.recover(k as u32)?;
+    transferred.push((control.bytes_sent(), control.bytes_received()));
+
+    let (bytes_sent, bytes_received) =
+        transferred.iter().fold((0, 0), |(s, r), &(ds, dr)| (s + ds, r + dr));
+    Ok(ServeRun { mode, outliers, bytes_sent, bytes_received, nodes })
+}

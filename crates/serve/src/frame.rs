@@ -1,0 +1,194 @@
+//! Length-prefixed framing of [`wire::Message`] over byte streams.
+//!
+//! A TCP stream has no record boundaries, so every CRC-sealed wire frame
+//! travels behind a 4-byte little-endian length prefix:
+//!
+//! ```text
+//! [0..4]      u32  frame length F (bytes of the wire frame, prefix excluded)
+//! [4..4+F]         the v2 CRC-32-sealed frame (`wire::encode` output)
+//! ```
+//!
+//! [`read_frame`] distinguishes every way a socket read can go wrong as a
+//! typed [`FrameError`] — clean close between frames, a connection killed
+//! mid-frame, a read-deadline expiry, an oversized length prefix, and CRC
+//! or parse failures from [`wire::decode`] — because the server reacts
+//! differently to each (see `server.rs`): corrupt-but-well-framed frames
+//! are rejected and the stream continues, while a desynchronizing failure
+//! drops the connection and degrades the epoch to its surviving subset.
+
+use cso_distributed::wire::{self, Message, WireError};
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Hard cap on a declared frame length. A length prefix above this is
+/// treated as corruption/hostility and the connection is dropped (a 16 MiB
+/// frame holds a 2M-value f64 sketch — far beyond any real `M`).
+pub const MAX_FRAME_BYTES: u32 = 1 << 24;
+
+/// Bytes of the length prefix preceding every frame.
+pub const LEN_PREFIX_BYTES: usize = 4;
+
+/// Typed failure modes of reading one frame off a stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The peer closed the connection cleanly at a frame boundary.
+    Closed,
+    /// The connection died mid-frame: the length prefix or body was cut
+    /// short (a killed peer, a mid-frame reset).
+    Truncated,
+    /// The read deadline expired before a full frame arrived.
+    TimedOut,
+    /// The length prefix declares more than [`MAX_FRAME_BYTES`].
+    TooLarge {
+        /// Declared frame length.
+        declared: u32,
+    },
+    /// The framed bytes failed the CRC or did not parse as a message.
+    Wire(WireError),
+    /// Any other socket error.
+    Io(io::ErrorKind),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Closed => write!(f, "connection closed"),
+            FrameError::Truncated => write!(f, "connection died mid-frame"),
+            FrameError::TimedOut => write!(f, "read deadline expired"),
+            FrameError::TooLarge { declared } => {
+                write!(f, "frame declares {declared} bytes (cap {MAX_FRAME_BYTES})")
+            }
+            FrameError::Wire(e) => write!(f, "bad frame: {e}"),
+            FrameError::Io(kind) => write!(f, "socket error: {kind:?}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<WireError> for FrameError {
+    fn from(e: WireError) -> Self {
+        FrameError::Wire(e)
+    }
+}
+
+/// Maps an I/O error from a body read: deadline expiries keep their
+/// identity, a short read is a mid-frame kill, everything else is `Io`.
+fn map_body_err(e: io::Error) -> FrameError {
+    match e.kind() {
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => FrameError::TimedOut,
+        io::ErrorKind::UnexpectedEof => FrameError::Truncated,
+        kind => FrameError::Io(kind),
+    }
+}
+
+/// Reads exactly one length-prefixed frame and decodes it. Returns the
+/// message and the total bytes consumed (prefix included).
+pub fn read_frame(r: &mut impl Read) -> Result<(Message, usize), FrameError> {
+    // First byte by hand so a clean close (EOF at a boundary) is
+    // distinguishable from a prefix cut short.
+    let mut prefix = [0u8; LEN_PREFIX_BYTES];
+    let mut got = 0;
+    while got < 1 {
+        match r.read(&mut prefix[..1]) {
+            Ok(0) => return Err(FrameError::Closed),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(map_body_err(e)),
+        }
+    }
+    r.read_exact(&mut prefix[1..]).map_err(map_body_err)?;
+    let declared = u32::from_le_bytes(prefix);
+    if declared > MAX_FRAME_BYTES {
+        return Err(FrameError::TooLarge { declared });
+    }
+    let mut body = vec![0u8; declared as usize];
+    r.read_exact(&mut body).map_err(map_body_err)?;
+    let msg = wire::decode(&body)?;
+    Ok((msg, LEN_PREFIX_BYTES + declared as usize))
+}
+
+/// Encodes `msg` and writes it behind its length prefix. Returns the total
+/// bytes written (prefix included).
+pub fn write_frame(w: &mut impl Write, msg: &Message) -> io::Result<usize> {
+    let body = wire::encode(msg);
+    let len = body.len() as u32;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(&body)?;
+    w.flush()?;
+    Ok(LEN_PREFIX_BYTES + body.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn msg() -> Message {
+        Message::SealEpoch { session: 9, epoch: 2 }
+    }
+
+    #[test]
+    fn frame_round_trip() {
+        let mut buf = Vec::new();
+        let written = write_frame(&mut buf, &msg()).unwrap();
+        assert_eq!(written, buf.len());
+        let (back, consumed) = read_frame(&mut Cursor::new(&buf)).unwrap();
+        assert_eq!(back, msg());
+        assert_eq!(consumed, written);
+    }
+
+    #[test]
+    fn back_to_back_frames_stay_synchronized() {
+        let mut buf = Vec::new();
+        let msgs = [
+            Message::OpenEpoch { session: 1, epoch: 0, m: 4, n: 10, seed: 3 },
+            Message::Ack { of: 4, info: 0 },
+            Message::Report { epoch: 0, mode: 1.5, outliers: vec![(2, 9.0)] },
+        ];
+        for m in &msgs {
+            write_frame(&mut buf, m).unwrap();
+        }
+        let mut cur = Cursor::new(&buf);
+        for m in &msgs {
+            assert_eq!(&read_frame(&mut cur).unwrap().0, m);
+        }
+        assert_eq!(read_frame(&mut cur).unwrap_err(), FrameError::Closed);
+    }
+
+    #[test]
+    fn eof_at_boundary_is_closed_mid_frame_is_truncated() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &msg()).unwrap();
+        assert_eq!(read_frame(&mut Cursor::new(&[] as &[u8])).unwrap_err(), FrameError::Closed);
+        for cut in [1, LEN_PREFIX_BYTES - 1, LEN_PREFIX_BYTES, buf.len() - 1] {
+            assert_eq!(
+                read_frame(&mut Cursor::new(&buf[..cut])).unwrap_err(),
+                FrameError::Truncated,
+                "cut = {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_prefix_rejected_before_allocation() {
+        let mut buf = (MAX_FRAME_BYTES + 1).to_le_bytes().to_vec();
+        buf.extend_from_slice(&[0; 8]);
+        assert_eq!(
+            read_frame(&mut Cursor::new(&buf)).unwrap_err(),
+            FrameError::TooLarge { declared: MAX_FRAME_BYTES + 1 }
+        );
+    }
+
+    #[test]
+    fn corrupt_body_is_a_wire_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &msg()).unwrap();
+        let last = buf.len() - 1;
+        buf[last] ^= 0x40;
+        assert!(matches!(
+            read_frame(&mut Cursor::new(&buf)).unwrap_err(),
+            FrameError::Wire(WireError::ChecksumMismatch { .. })
+        ));
+    }
+}

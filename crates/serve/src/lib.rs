@@ -1,0 +1,49 @@
+//! `cso-serve` — a long-running TCP sketch-aggregation server.
+//!
+//! The simulation crates run the paper's CS protocol in-process; this
+//! crate hosts the aggregator side as a real service so the protocol can
+//! execute over actual sockets (DESIGN.md §10). Zero external
+//! dependencies: `std::net` TCP, the existing CRC-sealed v2
+//! [`wire::Message`](cso_distributed::wire) frames behind a 4-byte length
+//! prefix, and the workspace's own exec/obs infrastructure.
+//!
+//! The pieces:
+//!
+//! - [`frame`] — length-prefixed framing with typed failure modes;
+//! - [`session`] — sessioned epoch lifecycle (open → ingest → seal →
+//!   recover → report) as a pure, testable state machine;
+//! - [`server`] — the acceptor + handler-pool runtime with bounded
+//!   admission, straggler deadlines, `serve.*` metrics and per-epoch
+//!   JSONL reports;
+//! - [`client`] — a blocking client plus [`run_cs_over_server`], which
+//!   drives the whole protocol against a live server and (with f64
+//!   payloads) recovers **bit-identically** to the in-process
+//!   [`CsProtocol::run_over_wire`](cso_distributed::CsProtocol) path.
+//!
+//! ```no_run
+//! use cso_distributed::{Cluster, CsProtocol};
+//! use cso_serve::{run_cs_over_server, ServeRunConfig, ServerConfig};
+//!
+//! let server = cso_serve::spawn(ServerConfig::default()).unwrap();
+//! let cluster = Cluster::new(vec![vec![5.0, 5.0, 9.0], vec![5.0, 5.0, 9.0]]).unwrap();
+//! let proto = CsProtocol::new(3, 42);
+//! let run = run_cs_over_server(
+//!     &proto, &cluster, 1, server.addr(), &ServeRunConfig::default(),
+//! ).unwrap();
+//! println!("mode {} outliers {:?}", run.mode, run.outliers);
+//! server.shutdown();
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod client;
+pub mod frame;
+pub mod server;
+pub mod session;
+
+pub use client::{run_cs_over_server, ClientError, ServeClient, ServeRun, ServeRunConfig};
+pub use frame::{read_frame, write_frame, FrameError, MAX_FRAME_BYTES};
+pub use server::{spawn, ServerConfig, ServerHandle};
+pub use session::{
+    ConnState, EpochPhase, RecoveredEpoch, RecoveryPolicy, RejectCode, SessionStore,
+};

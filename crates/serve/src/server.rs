@@ -1,0 +1,289 @@
+//! The long-running TCP aggregation server.
+//!
+//! One acceptor thread plus a fixed pool of connection handlers. Accepted
+//! sockets enter a **bounded admission queue**; when the queue is full the
+//! acceptor answers `Reject { Busy, retry_after_ms }` and closes the
+//! socket, pushing backpressure to the client's retry/backoff loop instead
+//! of letting memory grow. Handler threads pull a socket, bind it to a
+//! [`ConnState`], and run frames through the shared [`SessionStore`].
+//!
+//! Fault containment per connection (see [`crate::frame`]):
+//!
+//! - a CRC-corrupt but well-framed message → `Reject { CorruptFrame }`,
+//!   the stream stays synchronized and continues;
+//! - an oversized prefix, a mid-frame kill, or a straggler past the read
+//!   deadline → the connection is dropped. The epoch simply keeps the
+//!   sketches it already ingested — recovery degrades to the surviving
+//!   subset, the session is never wedged.
+//!
+//! Handler threads record `serve.*` counters and the `serve.ingest_ns`
+//! latency histogram through a shared [`Recorder`] — counters and
+//! histograms only, never spans, because the recorder's span stack is
+//! process-wide and concurrent handlers would garble parent links. Each
+//! completed recovery appends one JSONL line (a [`RunReport`]) to the
+//! configured report path.
+
+use crate::frame::{read_frame, write_frame, FrameError};
+use crate::session::{ConnState, RecoveredEpoch, RecoveryPolicy, RejectCode, SessionStore};
+use cso_distributed::wire::Message;
+use cso_obs::{Recorder, RunReport};
+use std::collections::VecDeque;
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Connection handler threads — the cap on concurrently served
+    /// connections.
+    pub handlers: usize,
+    /// Accepted sockets that may wait for a free handler before the
+    /// acceptor starts rejecting with `Busy`.
+    pub queue_depth: usize,
+    /// Read deadline per frame: a connection silent this long is a
+    /// straggler and is dropped (its epoch degrades to the sketches
+    /// already ingested).
+    pub read_timeout: Duration,
+    /// Retry hint carried in `Busy` rejects.
+    pub retry_after_ms: u32,
+    /// Recovery configuration applied at epoch recover.
+    pub policy: RecoveryPolicy,
+    /// When set, every recovered epoch appends one JSONL report line here.
+    pub report_path: Option<PathBuf>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            handlers: 4,
+            queue_depth: 16,
+            read_timeout: Duration::from_secs(2),
+            retry_after_ms: 10,
+            policy: RecoveryPolicy::default(),
+            report_path: None,
+        }
+    }
+}
+
+/// Everything the acceptor and handler threads share.
+struct Shared {
+    store: Mutex<SessionStore>,
+    queue: Mutex<VecDeque<TcpStream>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+    rec: Recorder,
+    config: ServerConfig,
+}
+
+/// A running server. Dropping the handle shuts the server down and joins
+/// every thread.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The loopback address the server listens on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The recorder collecting `serve.*` metrics.
+    pub fn recorder(&self) -> &Recorder {
+        &self.shared.rec
+    }
+
+    /// Stops accepting, drains handlers, and joins all threads.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the acceptor with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        self.shared.available.notify_all();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Binds a loopback listener and spawns the acceptor + handler threads.
+pub fn spawn(config: ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        store: Mutex::new(SessionStore::new()),
+        queue: Mutex::new(VecDeque::new()),
+        available: Condvar::new(),
+        shutdown: AtomicBool::new(false),
+        rec: Recorder::new(),
+        config,
+    });
+
+    let mut threads = Vec::with_capacity(shared.config.handlers + 1);
+    for _ in 0..shared.config.handlers.max(1) {
+        let sh = Arc::clone(&shared);
+        threads.push(std::thread::spawn(move || handler_loop(&sh)));
+    }
+    {
+        let sh = Arc::clone(&shared);
+        threads.push(std::thread::spawn(move || accept_loop(&listener, &sh)));
+    }
+    Ok(ServerHandle { addr, shared, threads })
+}
+
+fn accept_loop(listener: &TcpListener, sh: &Shared) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((s, _)) => s,
+            Err(_) => {
+                if sh.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if sh.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let mut queue = sh.queue.lock().expect("queue lock");
+        if queue.len() >= sh.config.queue_depth {
+            drop(queue);
+            // Admission control: tell the client when to come back, then
+            // close. The write is best-effort — the client may be gone.
+            sh.rec.counter_add("serve.conns_rejected_busy", 1);
+            let mut s = stream;
+            let _ = write_frame(
+                &mut s,
+                &Message::Reject {
+                    code: RejectCode::Busy.as_u16(),
+                    retry_after_ms: sh.config.retry_after_ms,
+                },
+            );
+            continue;
+        }
+        queue.push_back(stream);
+        sh.rec.counter_add("serve.conns_accepted", 1);
+        sh.available.notify_one();
+    }
+}
+
+fn handler_loop(sh: &Shared) {
+    loop {
+        let stream = {
+            let mut queue = sh.queue.lock().expect("queue lock");
+            loop {
+                if let Some(s) = queue.pop_front() {
+                    break s;
+                }
+                if sh.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                queue = sh.available.wait(queue).expect("queue lock");
+            }
+        };
+        serve_connection(stream, sh);
+        if sh.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+    }
+}
+
+/// Runs one connection to completion: read a frame, dispatch it against
+/// the shared store, write the reply; repeat until the peer closes or a
+/// desynchronizing fault drops the connection.
+fn serve_connection(mut stream: TcpStream, sh: &Shared) {
+    let _ = stream.set_read_timeout(Some(sh.config.read_timeout));
+    let _ = stream.set_nodelay(true);
+    let mut conn = ConnState::new();
+    loop {
+        if sh.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let msg = match read_frame(&mut stream) {
+            Ok((msg, _)) => msg,
+            Err(FrameError::Closed) => {
+                sh.rec.counter_add("serve.conns_closed", 1);
+                return;
+            }
+            Err(FrameError::Wire(_)) => {
+                // The length prefix was intact, so the stream is still
+                // frame-synchronized: reject the corrupt frame and go on.
+                sh.rec.counter_add("serve.frames_corrupt", 1);
+                let reject =
+                    Message::Reject { code: RejectCode::CorruptFrame.as_u16(), retry_after_ms: 0 };
+                if write_frame(&mut stream, &reject).is_err() {
+                    return;
+                }
+                continue;
+            }
+            Err(FrameError::TimedOut) => {
+                sh.rec.counter_add("serve.conns_straggler_dropped", 1);
+                return;
+            }
+            Err(FrameError::Truncated) => {
+                sh.rec.counter_add("serve.conns_died_mid_frame", 1);
+                return;
+            }
+            Err(FrameError::TooLarge { .. }) | Err(FrameError::Io(_)) => {
+                sh.rec.counter_add("serve.conns_errored", 1);
+                return;
+            }
+        };
+        let started = Instant::now();
+        let (reply, recovered) = {
+            let mut store = sh.store.lock().expect("store lock");
+            store.handle(&mut conn, &msg, &sh.config.policy, &sh.rec)
+        };
+        sh.rec.counter_add("serve.frames_handled", 1);
+        sh.rec.histogram_record("serve.ingest_ns", started.elapsed().as_nanos() as u64);
+        if let Some(summary) = recovered {
+            report_epoch(sh, &summary);
+        }
+        if write_frame(&mut stream, &reply).is_err() {
+            sh.rec.counter_add("serve.conns_errored", 1);
+            return;
+        }
+    }
+}
+
+/// Appends one JSONL [`RunReport`] line for a recovered epoch.
+fn report_epoch(sh: &Shared, ep: &RecoveredEpoch) {
+    let Some(path) = &sh.config.report_path else { return };
+    let report = RunReport::new("serve_epoch")
+        .with_param("session", ep.session)
+        .with_param("epoch", ep.epoch)
+        .with_param("k", ep.k)
+        .with_param("mode", ep.mode)
+        .with_param("nodes", ep.nodes)
+        .with_param("duplicates", ep.duplicates)
+        .with_param("iterations", ep.iterations)
+        .with_param("outliers", ep.outliers);
+    let line = report.to_json();
+    let written = (|| -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let mut f = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+        writeln!(f, "{line}")
+    })();
+    if written.is_err() {
+        sh.rec.counter_add("serve.report_write_errors", 1);
+    }
+}

@@ -1,0 +1,591 @@
+//! Sessioned epoch lifecycle — the server's pure state machine.
+//!
+//! A **session** (keyed by run id) is a sequence of **epochs**; each epoch
+//! is one aggregation window backed by a [`SketchAggregator`] and walks
+//!
+//! ```text
+//! open ──► ingest ──► seal ──► recover (→ report)
+//! ```
+//!
+//! [`SessionStore::handle`] maps every incoming [`Message`] to exactly one
+//! reply — an `Ack`, a `Report`, or a `Reject` carrying a typed
+//! [`RejectCode`] — and *never* tears state down on a protocol error: an
+//! out-of-order message (sketch before open, duplicate seal, recover on an
+//! empty epoch) is rejected and the session stays usable. All I/O lives in
+//! `server.rs`; this module is deterministic and unit-testable.
+//!
+//! Ingest is **idempotent and order-free**: a re-sent sketch for a node
+//! that already contributed is acknowledged as a duplicate (retransmits
+//! are free), and because the aggregator keeps its measurement canonical
+//! (ascending-node-id resummation, see `cso_distributed::incremental`),
+//! any arrival interleaving across concurrent connections yields
+//! bit-identical recovery.
+
+use crate::frame::MAX_FRAME_BYTES;
+use cso_core::{BompConfig, MeasurementSpec};
+use cso_distributed::quantize::{self, EncodedSketch};
+use cso_distributed::wire::{Message, TAG_OPEN_EPOCH, TAG_SEAL_EPOCH, TAG_SKETCH};
+use cso_distributed::{CsProtocol, SketchAggregator};
+use cso_exec::ExecConfig;
+use cso_obs::Recorder;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Typed reject codes carried in [`Message::Reject`] frames. Wire values
+/// are stable: new codes may be appended, existing ones never renumbered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u16)]
+pub enum RejectCode {
+    /// The admission queue is full; retry after the suggested delay.
+    Busy = 1,
+    /// The frame failed the CRC or did not parse.
+    CorruptFrame = 2,
+    /// A sketch arrived on a connection that never opened an epoch.
+    SketchBeforeOpen = 3,
+    /// The addressed session does not exist.
+    UnknownSession = 4,
+    /// The addressed epoch does not exist in the session.
+    UnknownEpoch = 5,
+    /// An open re-declared an existing epoch with a different `(M, N,
+    /// seed)` configuration.
+    SpecMismatch = 6,
+    /// A sketch's seed disagrees with the epoch's seed.
+    SeedMismatch = 7,
+    /// A sketch arrived after the epoch was sealed.
+    EpochSealed = 8,
+    /// A seal arrived for an already-sealed epoch.
+    DuplicateSeal = 9,
+    /// A recover arrived before the epoch was sealed.
+    NotSealed = 10,
+    /// A recover arrived for an epoch with zero contributions.
+    EmptyEpoch = 11,
+    /// A sketch payload was malformed (wrong length for the epoch's `M`).
+    BadSketch = 12,
+    /// The epoch configuration itself was invalid (e.g. `M > N`).
+    BadSpec = 13,
+    /// A message kind the server does not accept (e.g. a server-to-client
+    /// reply sent at the server).
+    Unexpected = 14,
+    /// Recovery failed internally.
+    Internal = 15,
+}
+
+impl RejectCode {
+    /// The stable wire value.
+    pub fn as_u16(self) -> u16 {
+        self as u16
+    }
+
+    /// Parses a wire value back into a code.
+    pub fn from_u16(v: u16) -> Option<RejectCode> {
+        use RejectCode::*;
+        Some(match v {
+            1 => Busy,
+            2 => CorruptFrame,
+            3 => SketchBeforeOpen,
+            4 => UnknownSession,
+            5 => UnknownEpoch,
+            6 => SpecMismatch,
+            7 => SeedMismatch,
+            8 => EpochSealed,
+            9 => DuplicateSeal,
+            10 => NotSealed,
+            11 => EmptyEpoch,
+            12 => BadSketch,
+            13 => BadSpec,
+            14 => Unexpected,
+            15 => Internal,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for RejectCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RejectCode::Busy => "server busy",
+            RejectCode::CorruptFrame => "corrupt frame",
+            RejectCode::SketchBeforeOpen => "sketch before open",
+            RejectCode::UnknownSession => "unknown session",
+            RejectCode::UnknownEpoch => "unknown epoch",
+            RejectCode::SpecMismatch => "epoch spec mismatch",
+            RejectCode::SeedMismatch => "sketch seed mismatch",
+            RejectCode::EpochSealed => "epoch already sealed",
+            RejectCode::DuplicateSeal => "duplicate seal",
+            RejectCode::NotSealed => "epoch not sealed",
+            RejectCode::EmptyEpoch => "empty epoch",
+            RejectCode::BadSketch => "malformed sketch",
+            RejectCode::BadSpec => "invalid epoch spec",
+            RejectCode::Unexpected => "unexpected message",
+            RejectCode::Internal => "internal recovery failure",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Where an epoch is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EpochPhase {
+    /// Accepting sketches.
+    Ingest,
+    /// Membership frozen; awaiting recovery.
+    Sealed,
+    /// Recovered at least once (recover is repeatable).
+    Recovered,
+}
+
+/// One aggregation window of a session.
+#[derive(Debug)]
+struct Epoch {
+    agg: SketchAggregator,
+    seed: u64,
+    phase: EpochPhase,
+    duplicates: u64,
+}
+
+/// One client run: a keyed sequence of epochs.
+#[derive(Debug, Default)]
+struct Session {
+    epochs: BTreeMap<u64, Epoch>,
+}
+
+/// Per-connection protocol state: which epoch the connection's sketches
+/// flow into (bound by its `OpenEpoch`).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ConnState {
+    bound: Option<(u64, u64)>,
+}
+
+impl ConnState {
+    /// A fresh, unbound connection.
+    pub fn new() -> Self {
+        ConnState::default()
+    }
+
+    /// The `(session, epoch)` this connection ingests into, if opened.
+    pub fn bound(&self) -> Option<(u64, u64)> {
+        self.bound
+    }
+}
+
+/// How recoveries are configured: the same knobs [`CsProtocol`] resolves —
+/// a base [`BompConfig`] (defaulting to the paper's `R = f(k)` heuristic)
+/// and the executor the OMP scans run on.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RecoveryPolicy {
+    /// Base recovery configuration (iteration budget `usize::MAX` means
+    /// "resolve the paper heuristic at recover time").
+    pub recovery: BompConfig,
+    /// Executor for epoch-seal BOMP recovery.
+    pub exec: ExecConfig,
+}
+
+impl RecoveryPolicy {
+    /// The exact configuration a recover of `(m, seed, k)` runs with —
+    /// identical to [`CsProtocol::effective_recovery`], which is what makes
+    /// server-side recovery bit-identical to the in-process paths.
+    fn effective(&self, m: usize, seed: u64, k: u32) -> BompConfig {
+        CsProtocol { m, seed, recovery: self.recovery, exec: self.exec }
+            .effective_recovery(k as usize)
+    }
+}
+
+/// Summary of one completed recovery, handed back so the server can emit
+/// the per-epoch JSONL report.
+#[derive(Debug, Clone)]
+pub struct RecoveredEpoch {
+    /// Session id.
+    pub session: u64,
+    /// Epoch number.
+    pub epoch: u64,
+    /// Outlier budget of the recover request.
+    pub k: u32,
+    /// Recovered mode.
+    pub mode: f64,
+    /// Number of contributing nodes.
+    pub nodes: u64,
+    /// Duplicate sketches ignored during ingest.
+    pub duplicates: u64,
+    /// BOMP iterations the recovery ran.
+    pub iterations: u64,
+    /// Outliers reported.
+    pub outliers: u64,
+}
+
+/// All sessions the server currently holds.
+#[derive(Debug, Default)]
+pub struct SessionStore {
+    sessions: BTreeMap<u64, Session>,
+}
+
+impl SessionStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        SessionStore::default()
+    }
+
+    /// Number of live sessions.
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// The phase of `(session, epoch)`, if it exists.
+    pub fn epoch_phase(&self, session: u64, epoch: u64) -> Option<EpochPhase> {
+        self.sessions.get(&session)?.epochs.get(&epoch).map(|e| e.phase)
+    }
+
+    /// Applies one client message and produces the reply frame, plus a
+    /// recovery summary when the message completed a recover. Protocol
+    /// errors reject the message but never tear down session state.
+    pub fn handle(
+        &mut self,
+        conn: &mut ConnState,
+        msg: &Message,
+        policy: &RecoveryPolicy,
+        rec: &Recorder,
+    ) -> (Message, Option<RecoveredEpoch>) {
+        match msg {
+            Message::OpenEpoch { session, epoch, m, n, seed } => {
+                (self.open(conn, *session, *epoch, *m, *n, *seed, rec), None)
+            }
+            Message::Sketch { node, seed, payload } => {
+                (self.ingest(conn, *node, *seed, payload, rec), None)
+            }
+            Message::SealEpoch { session, epoch } => (self.seal(*session, *epoch, rec), None),
+            Message::RecoverEpoch { session, epoch, k } => {
+                self.recover(*session, *epoch, *k, policy, rec)
+            }
+            _ => (reject(RejectCode::Unexpected), None),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn open(
+        &mut self,
+        conn: &mut ConnState,
+        session: u64,
+        epoch: u64,
+        m: u32,
+        n: u64,
+        seed: u64,
+        rec: &Recorder,
+    ) -> Message {
+        // The epoch's sketches must fit a frame with headroom: M doubles
+        // plus headers, capped at half the frame budget.
+        if u64::from(m) * 8 > u64::from(MAX_FRAME_BYTES) / 2 {
+            return reject(RejectCode::BadSpec);
+        }
+        let entry = self.sessions.entry(session).or_default();
+        if let Some(existing) = entry.epochs.get(&epoch) {
+            // Re-opening is how additional connections attach to the same
+            // epoch — legal only when they agree on the configuration.
+            let spec = existing.agg.spec();
+            if spec.m != m as usize || spec.n != n as usize || existing.seed != seed {
+                return reject(RejectCode::SpecMismatch);
+            }
+            conn.bound = Some((session, epoch));
+            return Message::Ack { of: TAG_OPEN_EPOCH, info: existing.agg.node_count() as u64 };
+        }
+        let spec = match MeasurementSpec::new(m as usize, n as usize, seed) {
+            Ok(s) => s,
+            Err(_) => return reject(RejectCode::BadSpec),
+        };
+        entry.epochs.insert(
+            epoch,
+            Epoch {
+                agg: SketchAggregator::new(spec),
+                seed,
+                phase: EpochPhase::Ingest,
+                duplicates: 0,
+            },
+        );
+        conn.bound = Some((session, epoch));
+        rec.counter_add("serve.epochs_opened", 1);
+        Message::Ack { of: TAG_OPEN_EPOCH, info: 0 }
+    }
+
+    fn ingest(
+        &mut self,
+        conn: &ConnState,
+        node: u32,
+        seed: u64,
+        payload: &EncodedSketch,
+        rec: &Recorder,
+    ) -> Message {
+        let Some((session, epoch)) = conn.bound else {
+            return reject(RejectCode::SketchBeforeOpen);
+        };
+        let ep = match self.epoch_mut(session, epoch) {
+            Ok(e) => e,
+            Err(code) => return reject(code),
+        };
+        if ep.phase != EpochPhase::Ingest {
+            return reject(RejectCode::EpochSealed);
+        }
+        if seed != ep.seed {
+            return reject(RejectCode::SeedMismatch);
+        }
+        if ep.agg.contains(node as usize) {
+            // Retransmits are idempotent: the first sketch for a node wins,
+            // mirroring the degraded path's (node, seed) dedup.
+            ep.duplicates += 1;
+            rec.counter_add("serve.sketches_duplicate", 1);
+            return Message::Ack { of: TAG_SKETCH, info: 1 };
+        }
+        let sketch = quantize::decode(payload);
+        if ep.agg.join(node as usize, sketch).is_err() {
+            return reject(RejectCode::BadSketch);
+        }
+        rec.counter_add("serve.sketches_accepted", 1);
+        Message::Ack { of: TAG_SKETCH, info: 0 }
+    }
+
+    fn seal(&mut self, session: u64, epoch: u64, rec: &Recorder) -> Message {
+        let ep = match self.epoch_mut(session, epoch) {
+            Ok(e) => e,
+            Err(code) => return reject(code),
+        };
+        if ep.phase != EpochPhase::Ingest {
+            return reject(RejectCode::DuplicateSeal);
+        }
+        ep.phase = EpochPhase::Sealed;
+        rec.counter_add("serve.epochs_sealed", 1);
+        Message::Ack { of: TAG_SEAL_EPOCH, info: ep.agg.node_count() as u64 }
+    }
+
+    fn recover(
+        &mut self,
+        session: u64,
+        epoch: u64,
+        k: u32,
+        policy: &RecoveryPolicy,
+        rec: &Recorder,
+    ) -> (Message, Option<RecoveredEpoch>) {
+        let ep = match self.epoch_mut(session, epoch) {
+            Ok(e) => e,
+            Err(code) => return (reject(code), None),
+        };
+        if ep.phase == EpochPhase::Ingest {
+            return (reject(RejectCode::NotSealed), None);
+        }
+        if ep.agg.node_count() == 0 {
+            return (reject(RejectCode::EmptyEpoch), None);
+        }
+        let config = policy.effective(ep.agg.spec().m, ep.seed, k);
+        let result = match ep.agg.recover(&config) {
+            Ok(r) => r,
+            Err(_) => return (reject(RejectCode::Internal), None),
+        };
+        ep.phase = EpochPhase::Recovered;
+        rec.counter_add("serve.epochs_recovered", 1);
+        let outliers: Vec<(u32, f64)> =
+            result.top_k(k as usize).iter().map(|o| (o.index as u32, o.value)).collect();
+        let summary = RecoveredEpoch {
+            session,
+            epoch,
+            k,
+            mode: result.mode,
+            nodes: ep.agg.node_count() as u64,
+            duplicates: ep.duplicates,
+            iterations: result.iterations as u64,
+            outliers: outliers.len() as u64,
+        };
+        (Message::Report { epoch, mode: result.mode, outliers }, Some(summary))
+    }
+
+    fn epoch_mut(&mut self, session: u64, epoch: u64) -> Result<&mut Epoch, RejectCode> {
+        self.sessions
+            .get_mut(&session)
+            .ok_or(RejectCode::UnknownSession)?
+            .epochs
+            .get_mut(&epoch)
+            .ok_or(RejectCode::UnknownEpoch)
+    }
+}
+
+/// A no-retry reject frame for a typed protocol error.
+fn reject(code: RejectCode) -> Message {
+    Message::Reject { code: code.as_u16(), retry_after_ms: 0 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cso_distributed::quantize::SketchEncoding;
+    use cso_linalg::Vector;
+
+    const M: u32 = 8;
+    const N: u64 = 64;
+    const SEED: u64 = 7;
+
+    fn sketch_msg(node: u32, seed: u64) -> Message {
+        let y = Vector::from_vec((0..M as usize).map(|i| (node as f64) + i as f64).collect());
+        Message::Sketch { node, seed, payload: quantize::encode(&y, SketchEncoding::F64) }
+    }
+
+    fn open_msg() -> Message {
+        Message::OpenEpoch { session: 1, epoch: 0, m: M, n: N, seed: SEED }
+    }
+
+    struct Fixture {
+        store: SessionStore,
+        conn: ConnState,
+        policy: RecoveryPolicy,
+        rec: Recorder,
+    }
+
+    impl Fixture {
+        fn new() -> Self {
+            Fixture {
+                store: SessionStore::new(),
+                conn: ConnState::new(),
+                policy: RecoveryPolicy::default(),
+                rec: Recorder::disabled(),
+            }
+        }
+
+        fn send(&mut self, msg: &Message) -> Message {
+            self.store.handle(&mut self.conn, msg, &self.policy, &self.rec).0
+        }
+    }
+
+    fn code_of(reply: &Message) -> RejectCode {
+        match reply {
+            Message::Reject { code, .. } => RejectCode::from_u16(*code).expect("known code"),
+            other => panic!("expected reject, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn happy_path_walks_the_lifecycle() {
+        let mut fx = Fixture::new();
+        assert_eq!(fx.send(&open_msg()), Message::Ack { of: TAG_OPEN_EPOCH, info: 0 });
+        assert_eq!(fx.store.epoch_phase(1, 0), Some(EpochPhase::Ingest));
+        for node in 0..4 {
+            assert_eq!(fx.send(&sketch_msg(node, SEED)), Message::Ack { of: TAG_SKETCH, info: 0 });
+        }
+        assert_eq!(
+            fx.send(&Message::SealEpoch { session: 1, epoch: 0 }),
+            Message::Ack { of: TAG_SEAL_EPOCH, info: 4 }
+        );
+        assert_eq!(fx.store.epoch_phase(1, 0), Some(EpochPhase::Sealed));
+        let reply = fx.send(&Message::RecoverEpoch { session: 1, epoch: 0, k: 2 });
+        assert!(matches!(reply, Message::Report { epoch: 0, .. }), "got {reply:?}");
+        assert_eq!(fx.store.epoch_phase(1, 0), Some(EpochPhase::Recovered));
+    }
+
+    #[test]
+    fn sketch_before_open_is_rejected_and_session_stays_usable() {
+        let mut fx = Fixture::new();
+        assert_eq!(code_of(&fx.send(&sketch_msg(0, SEED))), RejectCode::SketchBeforeOpen);
+        // The same connection recovers by opening properly.
+        fx.send(&open_msg());
+        assert_eq!(fx.send(&sketch_msg(0, SEED)), Message::Ack { of: TAG_SKETCH, info: 0 });
+    }
+
+    #[test]
+    fn duplicate_sketch_is_idempotent() {
+        let mut fx = Fixture::new();
+        fx.send(&open_msg());
+        assert_eq!(fx.send(&sketch_msg(0, SEED)), Message::Ack { of: TAG_SKETCH, info: 0 });
+        assert_eq!(fx.send(&sketch_msg(0, SEED)), Message::Ack { of: TAG_SKETCH, info: 1 });
+        assert_eq!(
+            fx.send(&Message::SealEpoch { session: 1, epoch: 0 }),
+            Message::Ack { of: TAG_SEAL_EPOCH, info: 1 }
+        );
+    }
+
+    #[test]
+    fn duplicate_seal_and_late_sketch_are_typed_errors() {
+        let mut fx = Fixture::new();
+        fx.send(&open_msg());
+        fx.send(&sketch_msg(0, SEED));
+        fx.send(&Message::SealEpoch { session: 1, epoch: 0 });
+        assert_eq!(
+            code_of(&fx.send(&Message::SealEpoch { session: 1, epoch: 0 })),
+            RejectCode::DuplicateSeal
+        );
+        assert_eq!(code_of(&fx.send(&sketch_msg(1, SEED))), RejectCode::EpochSealed);
+        // The epoch is still recoverable after both errors.
+        let reply = fx.send(&Message::RecoverEpoch { session: 1, epoch: 0, k: 1 });
+        assert!(matches!(reply, Message::Report { .. }));
+    }
+
+    #[test]
+    fn recover_before_seal_and_on_empty_epoch_are_typed_errors() {
+        let mut fx = Fixture::new();
+        fx.send(&open_msg());
+        assert_eq!(
+            code_of(&fx.send(&Message::RecoverEpoch { session: 1, epoch: 0, k: 1 })),
+            RejectCode::NotSealed
+        );
+        fx.send(&Message::SealEpoch { session: 1, epoch: 0 });
+        assert_eq!(
+            code_of(&fx.send(&Message::RecoverEpoch { session: 1, epoch: 0, k: 1 })),
+            RejectCode::EmptyEpoch
+        );
+        // The session still accepts a fresh epoch afterwards.
+        assert_eq!(
+            fx.send(&Message::OpenEpoch { session: 1, epoch: 1, m: M, n: N, seed: SEED }),
+            Message::Ack { of: TAG_OPEN_EPOCH, info: 0 }
+        );
+    }
+
+    #[test]
+    fn unknown_addresses_and_spec_mismatch_are_rejected() {
+        let mut fx = Fixture::new();
+        assert_eq!(
+            code_of(&fx.send(&Message::SealEpoch { session: 9, epoch: 0 })),
+            RejectCode::UnknownSession
+        );
+        fx.send(&open_msg());
+        assert_eq!(
+            code_of(&fx.send(&Message::SealEpoch { session: 1, epoch: 5 })),
+            RejectCode::UnknownEpoch
+        );
+        assert_eq!(
+            code_of(&fx.send(&Message::OpenEpoch { session: 1, epoch: 0, m: M, n: N, seed: 99 })),
+            RejectCode::SpecMismatch
+        );
+        assert_eq!(code_of(&fx.send(&sketch_msg(0, 99))), RejectCode::SeedMismatch);
+    }
+
+    #[test]
+    fn second_connection_attaches_to_the_same_epoch() {
+        let mut fx = Fixture::new();
+        fx.send(&open_msg());
+        fx.send(&sketch_msg(0, SEED));
+
+        let mut conn2 = ConnState::new();
+        let (reply, _) = fx.store.handle(&mut conn2, &open_msg(), &fx.policy, &fx.rec);
+        assert_eq!(reply, Message::Ack { of: TAG_OPEN_EPOCH, info: 1 });
+        let (reply, _) = fx.store.handle(&mut conn2, &sketch_msg(1, SEED), &fx.policy, &fx.rec);
+        assert_eq!(reply, Message::Ack { of: TAG_SKETCH, info: 0 });
+        assert_eq!(
+            fx.send(&Message::SealEpoch { session: 1, epoch: 0 }),
+            Message::Ack { of: TAG_SEAL_EPOCH, info: 2 }
+        );
+    }
+
+    #[test]
+    fn server_to_client_frames_are_unexpected_at_the_server() {
+        let mut fx = Fixture::new();
+        for msg in [
+            Message::Ack { of: TAG_SKETCH, info: 0 },
+            Message::Reject { code: 1, retry_after_ms: 5 },
+            Message::Report { epoch: 0, mode: 0.0, outliers: vec![] },
+        ] {
+            assert_eq!(code_of(&fx.send(&msg)), RejectCode::Unexpected);
+        }
+    }
+
+    #[test]
+    fn reject_codes_round_trip_their_wire_values() {
+        for v in 1..=15u16 {
+            let code = RejectCode::from_u16(v).expect("all codes defined");
+            assert_eq!(code.as_u16(), v);
+        }
+        assert_eq!(RejectCode::from_u16(0), None);
+        assert_eq!(RejectCode::from_u16(16), None);
+    }
+}

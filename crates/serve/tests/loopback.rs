@@ -1,0 +1,250 @@
+//! End-to-end tests against a live loopback server: bit-identity with the
+//! in-process protocol paths, backpressure, and socket fault injection.
+
+use cso_core::BompConfig;
+use cso_distributed::quantize::SketchEncoding;
+use cso_distributed::wire::{self, Message};
+use cso_distributed::{Cluster, CsProtocol, RetryPolicy};
+use cso_exec::ExecConfig;
+use cso_serve::{
+    read_frame, run_cs_over_server, spawn, write_frame, RecoveryPolicy, RejectCode, ServeClient,
+    ServeRunConfig, ServerConfig,
+};
+use cso_workloads::{split, MajorityConfig, MajorityData, SliceStrategy};
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::time::Duration;
+
+const M: usize = 120;
+const SEED: u64 = 7;
+const K: usize = 8;
+
+fn majority_cluster() -> (Cluster, MajorityData) {
+    let data =
+        MajorityData::generate(&MajorityConfig { n: 400, s: 8, ..MajorityConfig::default() }, 42)
+            .unwrap();
+    let slices =
+        split(&data.values, 4, SliceStrategy::Camouflaged { offset: 2000.0, fraction: 0.2 }, 43)
+            .unwrap();
+    (Cluster::new(slices).unwrap(), data)
+}
+
+fn proto() -> CsProtocol {
+    CsProtocol::new(M, SEED)
+}
+
+/// The acceptance bar: a run against the real server recovers the same
+/// bits as `run_over_wire`, for 1, 2 and 8 concurrent ingest connections
+/// and a multi-worker recovery executor on the server side.
+#[test]
+fn loopback_run_is_bit_identical_to_run_over_wire() {
+    let (cluster, _) = majority_cluster();
+    let reference = proto().run_over_wire(&cluster, K, SketchEncoding::F64).unwrap();
+
+    let report_path = std::env::temp_dir()
+        .join(format!("cso_serve_test_{}", std::process::id()))
+        .join("epochs.jsonl");
+    let _ = std::fs::remove_file(&report_path);
+    let server = spawn(ServerConfig {
+        policy: RecoveryPolicy {
+            recovery: BompConfig::default(),
+            exec: ExecConfig::with_workers(8),
+        },
+        report_path: Some(report_path.clone()),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+
+    for (epoch, connections) in [(0u64, 1usize), (1, 2), (2, 8)] {
+        let cfg = ServeRunConfig { connections, epoch, ..ServeRunConfig::default() };
+        let run = run_cs_over_server(&proto(), &cluster, K, server.addr(), &cfg).unwrap();
+
+        assert_eq!(run.nodes, cluster.l() as u64, "connections={connections}");
+        assert_eq!(
+            run.mode.to_bits(),
+            reference.mode.to_bits(),
+            "mode differs at connections={connections}"
+        );
+        assert_eq!(run.outliers.len(), reference.estimate.len());
+        for (got, want) in run.outliers.iter().zip(&reference.estimate) {
+            assert_eq!(got.0 as usize, want.index, "connections={connections}");
+            assert_eq!(
+                got.1.to_bits(),
+                want.value.to_bits(),
+                "value bits differ at index {} connections={connections}",
+                want.index
+            );
+        }
+    }
+
+    let metrics = server.recorder().metrics_snapshot();
+    assert_eq!(metrics.counter("serve.epochs_opened"), Some(3));
+    assert_eq!(metrics.counter("serve.epochs_sealed"), Some(3));
+    assert_eq!(metrics.counter("serve.epochs_recovered"), Some(3));
+    assert_eq!(metrics.counter("serve.sketches_accepted"), Some(3 * cluster.l() as u64));
+    assert!(metrics.histograms.contains_key("serve.ingest_ns"));
+    server.shutdown();
+
+    let report = std::fs::read_to_string(&report_path).unwrap();
+    let lines: Vec<&str> = report.lines().collect();
+    assert_eq!(lines.len(), 3, "one JSONL line per recovered epoch");
+    assert!(lines.iter().all(|l| l.contains("serve_epoch")));
+}
+
+/// A full admission queue answers `Busy` with a retry hint, and the
+/// client's backoff loop gets in once capacity frees up.
+#[test]
+fn busy_rejection_carries_retry_hint_and_retry_succeeds() {
+    let server = spawn(ServerConfig {
+        handlers: 1,
+        queue_depth: 1,
+        retry_after_ms: 25,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = server.addr();
+    let retry = RetryPolicy::no_retry();
+
+    // Occupy the only handler, then fill the queue with a raw connection.
+    let (holder, _) = ServeClient::open(addr, &retry, 1, 0, 16, 64, SEED).unwrap();
+    let filler = TcpStream::connect(addr).unwrap();
+    std::thread::sleep(Duration::from_millis(30)); // let the acceptor queue it
+
+    // The next arrival must be turned away with the configured hint.
+    let mut turned_away = TcpStream::connect(addr).unwrap();
+    let (reply, _) = read_frame(&mut turned_away).unwrap();
+    assert_eq!(reply, Message::Reject { code: RejectCode::Busy.as_u16(), retry_after_ms: 25 });
+
+    // A patient client keeps retrying and succeeds once the holder leaves.
+    let patient = std::thread::spawn(move || {
+        let patient_retry = RetryPolicy::default().with_max_attempts(40);
+        ServeClient::open(addr, &patient_retry, 2, 0, 16, 64, SEED).map(|(_, info)| info)
+    });
+    std::thread::sleep(Duration::from_millis(60));
+    drop(holder);
+    drop(filler);
+    assert_eq!(patient.join().unwrap().unwrap(), 0);
+
+    let metrics = server.recorder().metrics_snapshot();
+    assert!(metrics.counter("serve.conns_rejected_busy").unwrap_or(0) >= 1);
+    server.shutdown();
+}
+
+/// A CRC-corrupt but well-framed message is rejected in place: the stream
+/// stays synchronized and the connection keeps working.
+#[test]
+fn corrupt_frame_is_rejected_without_dropping_the_connection() {
+    let server = spawn(ServerConfig::default()).unwrap();
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+
+    // A valid frame with one payload bit flipped, behind an intact prefix.
+    let mut body = wire::encode(&Message::SealEpoch { session: 1, epoch: 0 });
+    let mid = body.len() / 2;
+    body[mid] ^= 0x10;
+    stream.write_all(&(body.len() as u32).to_le_bytes()).unwrap();
+    stream.write_all(&body).unwrap();
+    let (reply, _) = read_frame(&mut stream).unwrap();
+    assert_eq!(
+        reply,
+        Message::Reject { code: RejectCode::CorruptFrame.as_u16(), retry_after_ms: 0 }
+    );
+
+    // The very same connection still speaks the protocol.
+    write_frame(&mut stream, &Message::OpenEpoch { session: 1, epoch: 0, m: 16, n: 64, seed: 3 })
+        .unwrap();
+    let (reply, _) = read_frame(&mut stream).unwrap();
+    assert!(matches!(reply, Message::Ack { .. }), "got {reply:?}");
+
+    let metrics = server.recorder().metrics_snapshot();
+    assert_eq!(metrics.counter("serve.frames_corrupt"), Some(1));
+    server.shutdown();
+}
+
+/// Connections killed mid-frame and stragglers past the read deadline are
+/// dropped; the epoch recovers from the surviving subset instead of
+/// wedging, and the metrics account for every casualty.
+#[test]
+fn epoch_survives_killed_and_straggling_connections() {
+    let (cluster, _) = majority_cluster();
+    let sketches = proto().node_sketches(&cluster).unwrap();
+    let server =
+        spawn(ServerConfig { read_timeout: Duration::from_millis(100), ..ServerConfig::default() })
+            .unwrap();
+    let addr = server.addr();
+    let retry = RetryPolicy::no_retry();
+    let n = cluster.n() as u64;
+
+    // Healthy connection ships nodes 0 and 1.
+    let (mut healthy, _) = ServeClient::open(addr, &retry, 1, 0, M as u32, n, SEED).unwrap();
+    healthy.send_sketch(0, &sketches[0], SketchEncoding::F64).unwrap();
+    healthy.send_sketch(1, &sketches[1], SketchEncoding::F64).unwrap();
+
+    // Node 2's connection dies mid-frame: prefix promises 256 bytes, the
+    // socket delivers 10 and is killed.
+    let mut killed = TcpStream::connect(addr).unwrap();
+    write_frame(
+        &mut killed,
+        &Message::OpenEpoch { session: 1, epoch: 0, m: M as u32, n, seed: SEED },
+    )
+    .unwrap();
+    let _ = read_frame(&mut killed).unwrap();
+    killed.write_all(&256u32.to_le_bytes()).unwrap();
+    killed.write_all(&[0xAB; 10]).unwrap();
+    drop(killed);
+
+    // Node 3's connection opens and then stalls past the read deadline
+    // (so does `healthy`, idle since its last sketch — ingested sketches
+    // live in the epoch, not the connection).
+    let (straggler, _) = ServeClient::open(addr, &retry, 1, 0, M as u32, n, SEED).unwrap();
+    std::thread::sleep(Duration::from_millis(300));
+    drop(straggler);
+    drop(healthy);
+
+    // A fresh control connection seals and recovers: only the two
+    // surviving sketches count.
+    let (mut control, already) = ServeClient::open(addr, &retry, 1, 0, M as u32, n, SEED).unwrap();
+    assert_eq!(already, 2, "the epoch kept the sketches of dropped connections");
+    let sealed = control.seal().unwrap();
+    assert_eq!(sealed, 2, "only the surviving subset is aggregated");
+    let (mode, outliers) = control.recover(K as u32).unwrap();
+    assert!(mode.is_finite());
+    assert!(outliers.len() <= K);
+
+    // The degraded result equals an in-process aggregation of the same
+    // surviving subset, bit for bit.
+    let mut agg = cso_distributed::SketchAggregator::new(
+        cso_core::MeasurementSpec::new(M, cluster.n(), SEED).unwrap(),
+    );
+    agg.join(0, sketches[0].clone()).unwrap();
+    agg.join(1, sketches[1].clone()).unwrap();
+    let expect = agg.recover(&proto().effective_recovery(K)).unwrap();
+    assert_eq!(mode.to_bits(), expect.mode.to_bits());
+    for (got, want) in outliers.iter().zip(expect.top_k(K)) {
+        assert_eq!(got.0 as usize, want.index);
+        assert_eq!(got.1.to_bits(), want.value.to_bits());
+    }
+
+    let metrics = server.recorder().metrics_snapshot();
+    assert!(metrics.counter("serve.conns_died_mid_frame").unwrap_or(0) >= 1, "{metrics:?}");
+    assert!(metrics.counter("serve.conns_straggler_dropped").unwrap_or(0) >= 1, "{metrics:?}");
+    assert_eq!(metrics.counter("serve.sketches_accepted"), Some(2));
+    assert_eq!(metrics.counter("serve.epochs_recovered"), Some(1));
+    server.shutdown();
+}
+
+/// Narrow encodings flow through the server exactly like the in-process
+/// wire path: same quantization, same recovered bits.
+#[test]
+fn f32_encoding_matches_run_over_wire() {
+    let (cluster, _) = majority_cluster();
+    let reference = proto().run_over_wire(&cluster, K, SketchEncoding::F32).unwrap();
+    let server = spawn(ServerConfig::default()).unwrap();
+    let cfg = ServeRunConfig { encoding: SketchEncoding::F32, ..ServeRunConfig::default() };
+    let run = run_cs_over_server(&proto(), &cluster, K, server.addr(), &cfg).unwrap();
+    assert_eq!(run.mode.to_bits(), reference.mode.to_bits());
+    for (got, want) in run.outliers.iter().zip(&reference.estimate) {
+        assert_eq!(got.0 as usize, want.index);
+        assert_eq!(got.1.to_bits(), want.value.to_bits());
+    }
+    server.shutdown();
+}

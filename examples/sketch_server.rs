@@ -1,0 +1,62 @@
+//! The CS protocol against a real server: sketches over TCP.
+//!
+//! Everything else in this repo runs the aggregator in-process; here the
+//! aggregation is a long-running service. A loopback `cso-serve` server
+//! hosts the sessioned epoch lifecycle (open → ingest → seal → recover →
+//! report), four "data centers" ship their sketches over concurrent TCP
+//! connections, and the recovered outliers are compared bit-for-bit
+//! against the in-process wire path — same measurement, same canonical
+//! aggregation, same BOMP configuration, so the bits must agree.
+//!
+//! Run with: `cargo run --release --example sketch_server`
+
+use cs_outlier::distributed::{Cluster, CsProtocol, SketchEncoding};
+use cs_outlier::serve::{run_cs_over_server, ServeRunConfig, ServerConfig};
+use cs_outlier::workloads::{split, MajorityConfig, MajorityData, SliceStrategy};
+
+fn main() {
+    let n = 1000;
+    let k = 6;
+    let data = MajorityData::generate(&MajorityConfig { n, s: k, ..MajorityConfig::default() }, 99)
+        .expect("workload");
+    let slices =
+        split(&data.values, 4, SliceStrategy::Camouflaged { offset: 1500.0, fraction: 0.25 }, 100)
+            .expect("split");
+    let cluster = Cluster::new(slices).expect("cluster");
+    let proto = CsProtocol::new(150, 7);
+
+    // The service: a real TCP listener on a loopback port.
+    let server = cs_outlier::serve::spawn(ServerConfig::default()).expect("server");
+    println!("aggregation server listening on {}", server.addr());
+
+    // The protocol, over actual sockets: 4 concurrent ingest connections.
+    let cfg = ServeRunConfig { connections: 4, ..ServeRunConfig::default() };
+    let run = run_cs_over_server(&proto, &cluster, k, server.addr(), &cfg).expect("run");
+    println!(
+        "\nepoch recovered: mode={:.1}, {} nodes, {} bytes sent / {} received",
+        run.mode, run.nodes, run.bytes_sent, run.bytes_received
+    );
+    println!("outliers (index, value):");
+    for (index, value) in &run.outliers {
+        let planted = data.outlier_indices.contains(&(*index as usize));
+        println!("  {index:>5}  {value:>10.1}  {}", if planted { "planted ✓" } else { "" });
+    }
+
+    // The same run in-process: the server must agree to the bit.
+    let reference = proto.run_over_wire(&cluster, k, SketchEncoding::F64).expect("reference");
+    let identical = run.mode.to_bits() == reference.mode.to_bits()
+        && run.outliers.len() == reference.estimate.len()
+        && run.outliers.iter().zip(&reference.estimate).all(|(got, want)| {
+            got.0 as usize == want.index && got.1.to_bits() == want.value.to_bits()
+        });
+    println!("\nbit-identical to the in-process wire path: {identical}");
+    assert!(identical, "server and in-process recovery must agree exactly");
+
+    // What the server saw, from its own metrics.
+    let metrics = server.recorder().metrics_snapshot();
+    println!("\nserver accounting:");
+    for key in ["serve.conns_accepted", "serve.sketches_accepted", "serve.epochs_recovered"] {
+        println!("  {key} = {}", metrics.counter(key).unwrap_or(0));
+    }
+    server.shutdown();
+}

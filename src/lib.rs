@@ -15,6 +15,7 @@
 //! | frontend | [`query`] | `SELECT OUTLIER k SUM(score) … GROUP BY …` |
 //! | observability | [`obs`] | tracing spans/events, metrics registry, `RunReport` artifacts |
 //! | execution | [`exec`] | work-stealing thread pool, `ExecConfig`, `exec.*` stats |
+//! | serving | [`serve`] | long-running TCP aggregation server, sessioned epochs, blocking client |
 //!
 //! Start with `examples/quickstart.rs`, or:
 //!
@@ -36,4 +37,5 @@ pub use cso_linalg as linalg;
 pub use cso_mapreduce as mapreduce;
 pub use cso_obs as obs;
 pub use cso_query as query;
+pub use cso_serve as serve;
 pub use cso_workloads as workloads;
