@@ -13,7 +13,7 @@
 use crate::frame::{read_frame, write_frame, FrameError};
 use crate::session::RejectCode;
 use cso_distributed::quantize::{self, SketchEncoding};
-use cso_distributed::wire::Message;
+use cso_distributed::wire::{Message, TAG_OPEN_EPOCH, TAG_SEAL_EPOCH, TAG_SKETCH};
 use cso_distributed::{Cluster, CsProtocol, RetryPolicy};
 use cso_linalg::Vector;
 use std::fmt;
@@ -32,7 +32,9 @@ pub enum ClientError {
     Rejected(RejectCode),
     /// The server rejected with a code this client does not know.
     RejectedUnknown(u16),
-    /// The server replied with a frame the request does not expect.
+    /// The server replied with a frame the request does not expect —
+    /// carries the reply's frame tag, or, for an `Ack` echoing a tag the
+    /// request did not send, that mismatched `of` value.
     UnexpectedReply(u8),
     /// The server stayed busy through every connection attempt.
     BusyExhausted,
@@ -96,7 +98,9 @@ impl ServeClient {
             let mut client =
                 ServeClient { stream, session, epoch, seed, bytes_sent: 0, bytes_received: 0 };
             match client.request(&open) {
-                Ok(Message::Ack { info, .. }) => return Ok((client, info)),
+                // The Ack must echo the request's tag: replies are
+                // request/reply matched, not taken on faith.
+                Ok(Message::Ack { of: TAG_OPEN_EPOCH, info }) => return Ok((client, info)),
                 Ok(Message::Reject { code, retry_after_ms })
                     if code == RejectCode::Busy.as_u16() =>
                 {
@@ -154,7 +158,7 @@ impl ServeClient {
         let msg =
             Message::Sketch { node, seed: self.seed, payload: quantize::encode(sketch, encoding) };
         match self.request(&msg)? {
-            Message::Ack { info, .. } => Ok(info == 1),
+            Message::Ack { of: TAG_SKETCH, info } => Ok(info == 1),
             reply => Err(reply_error(reply)),
         }
     }
@@ -163,7 +167,7 @@ impl ServeClient {
     pub fn seal(&mut self) -> Result<u64, ClientError> {
         let msg = Message::SealEpoch { session: self.session, epoch: self.epoch };
         match self.request(&msg)? {
-            Message::Ack { info, .. } => Ok(info),
+            Message::Ack { of: TAG_SEAL_EPOCH, info } => Ok(info),
             reply => Err(reply_error(reply)),
         }
     }
@@ -189,13 +193,16 @@ impl ServeClient {
     }
 }
 
-/// Maps a non-Ack reply to the matching typed error.
+/// Maps a reply that is not the one the request expects to the matching
+/// typed error. An `Ack` reaching this function echoed the wrong request
+/// tag, so the mismatched `of` is what the error carries.
 fn reply_error(reply: Message) -> ClientError {
     match reply {
         Message::Reject { code, .. } => match RejectCode::from_u16(code) {
             Some(c) => ClientError::Rejected(c),
             None => ClientError::RejectedUnknown(code),
         },
+        Message::Ack { of, .. } => ClientError::UnexpectedReply(of),
         other => ClientError::UnexpectedReply(other.tag()),
     }
 }

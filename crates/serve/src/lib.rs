@@ -45,5 +45,6 @@ pub use client::{run_cs_over_server, ClientError, ServeClient, ServeRun, ServeRu
 pub use frame::{read_frame, write_frame, FrameError, MAX_FRAME_BYTES};
 pub use server::{spawn, ServerConfig, ServerHandle};
 pub use session::{
-    ConnState, EpochPhase, RecoveredEpoch, RecoveryPolicy, RejectCode, SessionStore,
+    ConnState, Dispatch, EpochPhase, RecoverJob, RecoveredEpoch, RecoveryPolicy, RejectCode,
+    SessionStore, StoreLimits,
 };

@@ -24,7 +24,9 @@
 //! configured report path.
 
 use crate::frame::{read_frame, write_frame, FrameError};
-use crate::session::{ConnState, RecoveredEpoch, RecoveryPolicy, RejectCode, SessionStore};
+use crate::session::{
+    ConnState, Dispatch, RecoveredEpoch, RecoveryPolicy, RejectCode, SessionStore, StoreLimits,
+};
 use cso_distributed::wire::Message;
 use cso_obs::{Recorder, RunReport};
 use std::collections::VecDeque;
@@ -32,7 +34,7 @@ use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -53,6 +55,9 @@ pub struct ServerConfig {
     pub retry_after_ms: u32,
     /// Recovery configuration applied at epoch recover.
     pub policy: RecoveryPolicy,
+    /// Resource caps the session store enforces at `OpenEpoch` (hostile
+    /// geometry, session/epoch counts).
+    pub limits: StoreLimits,
     /// When set, every recovered epoch appends one JSONL report line here.
     pub report_path: Option<PathBuf>,
 }
@@ -65,6 +70,7 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_secs(2),
             retry_after_ms: 10,
             policy: RecoveryPolicy::default(),
+            limits: StoreLimits::default(),
             report_path: None,
         }
     }
@@ -128,7 +134,7 @@ pub fn spawn(config: ServerConfig) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind("127.0.0.1:0")?;
     let addr = listener.local_addr()?;
     let shared = Arc::new(Shared {
-        store: Mutex::new(SessionStore::new()),
+        store: Mutex::new(SessionStore::with_limits(config.limits)),
         queue: Mutex::new(VecDeque::new()),
         available: Condvar::new(),
         shutdown: AtomicBool::new(false),
@@ -148,21 +154,40 @@ pub fn spawn(config: ServerConfig) -> std::io::Result<ServerHandle> {
     Ok(ServerHandle { addr, shared, threads })
 }
 
+/// Locks a mutex tolerating poisoning: a handler that panicked mid-update
+/// must not turn every later `lock()` into a cascading panic that kills
+/// the whole server — the guarded state is a plain state machine, so the
+/// surviving threads continue with whatever it holds.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 fn accept_loop(listener: &TcpListener, sh: &Shared) {
+    let mut consecutive_errors: u32 = 0;
     loop {
         let stream = match listener.accept() {
-            Ok((s, _)) => s,
+            Ok((s, _)) => {
+                consecutive_errors = 0;
+                s
+            }
             Err(_) => {
                 if sh.shutdown.load(Ordering::SeqCst) {
                     return;
                 }
+                // Accept failures can be persistent (EMFILE under fd
+                // exhaustion): back off instead of hot-spinning the core.
+                consecutive_errors = consecutive_errors.saturating_add(1);
+                sh.rec.counter_add("serve.accept_errors", 1);
+                std::thread::sleep(Duration::from_millis(
+                    (10 * u64::from(consecutive_errors)).min(500),
+                ));
                 continue;
             }
         };
         if sh.shutdown.load(Ordering::SeqCst) {
             return;
         }
-        let mut queue = sh.queue.lock().expect("queue lock");
+        let mut queue = lock_unpoisoned(&sh.queue);
         if queue.len() >= sh.config.queue_depth {
             drop(queue);
             // Admission control: tell the client when to come back, then
@@ -187,7 +212,7 @@ fn accept_loop(listener: &TcpListener, sh: &Shared) {
 fn handler_loop(sh: &Shared) {
     loop {
         let stream = {
-            let mut queue = sh.queue.lock().expect("queue lock");
+            let mut queue = lock_unpoisoned(&sh.queue);
             loop {
                 if let Some(s) = queue.pop_front() {
                     break s;
@@ -195,7 +220,7 @@ fn handler_loop(sh: &Shared) {
                 if sh.shutdown.load(Ordering::SeqCst) {
                     return;
                 }
-                queue = sh.available.wait(queue).expect("queue lock");
+                queue = sh.available.wait(queue).unwrap_or_else(PoisonError::into_inner);
             }
         };
         serve_connection(stream, sh);
@@ -247,9 +272,28 @@ fn serve_connection(mut stream: TcpStream, sh: &Shared) {
             }
         };
         let started = Instant::now();
-        let (reply, recovered) = {
-            let mut store = sh.store.lock().expect("store lock");
-            store.handle(&mut conn, &msg, &sh.config.policy, &sh.rec)
+        let dispatched = {
+            let mut store = lock_unpoisoned(&sh.store);
+            store.dispatch(&mut conn, &msg, &sh.config.policy, &sh.rec)
+        };
+        let (reply, recovered) = match dispatched {
+            Dispatch::Reply(reply) => (reply, None),
+            Dispatch::Recover(job) => {
+                // BOMP and the Φ0 materialization run outside the store
+                // lock: a recovery must never stall other connections'
+                // ingest across every session.
+                let (session, epoch) = job.target();
+                let recover_started = Instant::now();
+                let (reply, summary) = job.run();
+                sh.rec.histogram_record(
+                    "serve.recover_ns",
+                    recover_started.elapsed().as_nanos() as u64,
+                );
+                if summary.is_some() {
+                    lock_unpoisoned(&sh.store).finish_recover(session, epoch, &sh.rec);
+                }
+                (reply, summary)
+            }
         };
         sh.rec.counter_add("serve.frames_handled", 1);
         sh.rec.histogram_record("serve.ingest_ns", started.elapsed().as_nanos() as u64);

@@ -22,11 +22,12 @@
 //! bit-identical recovery.
 
 use crate::frame::MAX_FRAME_BYTES;
-use cso_core::{BompConfig, MeasurementSpec};
+use cso_core::{bomp_with_matrix, BompConfig, MeasurementSpec};
 use cso_distributed::quantize::{self, EncodedSketch};
 use cso_distributed::wire::{Message, TAG_OPEN_EPOCH, TAG_SEAL_EPOCH, TAG_SKETCH};
 use cso_distributed::{CsProtocol, SketchAggregator};
 use cso_exec::ExecConfig;
+use cso_linalg::Vector;
 use cso_obs::Recorder;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -68,6 +69,10 @@ pub enum RejectCode {
     Unexpected = 14,
     /// Recovery failed internally.
     Internal = 15,
+    /// The store is at its session/epoch capacity and nothing was
+    /// evictable; the client should recover (or abandon) finished work
+    /// before opening more.
+    StoreFull = 16,
 }
 
 impl RejectCode {
@@ -95,6 +100,7 @@ impl RejectCode {
             13 => BadSpec,
             14 => Unexpected,
             15 => Internal,
+            16 => StoreFull,
             _ => return None,
         })
     }
@@ -118,6 +124,7 @@ impl fmt::Display for RejectCode {
             RejectCode::BadSpec => "invalid epoch spec",
             RejectCode::Unexpected => "unexpected message",
             RejectCode::Internal => "internal recovery failure",
+            RejectCode::StoreFull => "session/epoch capacity reached",
         };
         write!(f, "{s}")
     }
@@ -137,16 +144,75 @@ pub enum EpochPhase {
 /// One aggregation window of a session.
 #[derive(Debug)]
 struct Epoch {
-    agg: SketchAggregator,
     seed: u64,
     phase: EpochPhase,
     duplicates: u64,
+    state: EpochState,
+}
+
+/// The storage backing an epoch. Sealing **compacts**: membership is
+/// frozen at seal, so the per-node sketches (the `O(L·M)` bulk of an
+/// epoch) are dropped and only the canonical `M`-length measurement
+/// recovery needs is retained. A long-running server therefore holds
+/// `O(M)` per finished epoch, not `O(L·M)`.
+#[derive(Debug)]
+enum EpochState {
+    /// Accepting sketches (phase `Ingest`).
+    Ingest(SketchAggregator),
+    /// Sealed or recovered: just the spec and the canonical measurement.
+    Sealed { spec: MeasurementSpec, y: Vector, nodes: u64 },
+}
+
+impl Epoch {
+    fn spec(&self) -> &MeasurementSpec {
+        match &self.state {
+            EpochState::Ingest(agg) => agg.spec(),
+            EpochState::Sealed { spec, .. } => spec,
+        }
+    }
+
+    fn node_count(&self) -> u64 {
+        match &self.state {
+            EpochState::Ingest(agg) => agg.node_count() as u64,
+            EpochState::Sealed { nodes, .. } => *nodes,
+        }
+    }
 }
 
 /// One client run: a keyed sequence of epochs.
 #[derive(Debug, Default)]
 struct Session {
     epochs: BTreeMap<u64, Epoch>,
+}
+
+/// Resource caps the store enforces at `OpenEpoch`. Every limit maps to a
+/// typed reject (`BadSpec` for a hostile geometry, `StoreFull` for
+/// capacity), never a panic or an unbounded allocation: recovery
+/// materializes a dense `m × n` matrix, so an unvalidated client-supplied
+/// `n` would otherwise let a single frame abort the process.
+#[derive(Debug, Clone, Copy)]
+pub struct StoreLimits {
+    /// Largest accepted ambient dimension `N` per epoch.
+    pub max_n: u64,
+    /// Cap on the dense `m·n·8`-byte matrix recovery materializes.
+    pub max_matrix_bytes: u64,
+    /// Live sessions the store holds before `OpenEpoch` of a new session
+    /// is rejected (finished sessions are evicted to make room first).
+    pub max_sessions: usize,
+    /// Live epochs per session before a new epoch is rejected (recovered
+    /// epochs are evicted to make room first).
+    pub max_epochs_per_session: usize,
+}
+
+impl Default for StoreLimits {
+    fn default() -> Self {
+        StoreLimits {
+            max_n: 1 << 22,
+            max_matrix_bytes: 256 << 20,
+            max_sessions: 64,
+            max_epochs_per_session: 64,
+        }
+    }
 }
 
 /// Per-connection protocol state: which epoch the connection's sketches
@@ -212,16 +278,82 @@ pub struct RecoveredEpoch {
     pub outliers: u64,
 }
 
+/// The outcome of dispatching one message against the store: either the
+/// reply frame itself, or a [`RecoverJob`] the caller runs *outside* any
+/// store lock — BOMP plus the `Φ0` materialization are the only expensive
+/// operations in the protocol, and running them under the store mutex
+/// would stall every other connection for their duration.
+#[derive(Debug)]
+pub enum Dispatch {
+    /// The reply to send back.
+    Reply(Message),
+    /// A recovery to run lock-free; see [`RecoverJob::run`] and
+    /// [`SessionStore::finish_recover`].
+    Recover(RecoverJob),
+}
+
+/// Everything a recovery needs, detached from the store: the spec, the
+/// canonical measurement (an `M`-length clone), and the resolved BOMP
+/// configuration.
+#[derive(Debug)]
+pub struct RecoverJob {
+    session: u64,
+    epoch: u64,
+    k: u32,
+    spec: MeasurementSpec,
+    y: Vector,
+    nodes: u64,
+    duplicates: u64,
+    config: BompConfig,
+}
+
+impl RecoverJob {
+    /// The `(session, epoch)` this job recovers, for
+    /// [`SessionStore::finish_recover`].
+    pub fn target(&self) -> (u64, u64) {
+        (self.session, self.epoch)
+    }
+
+    /// Runs the recovery. `Φ0` is materialized transiently and dropped
+    /// with the job, so the store never retains the dense matrix.
+    pub fn run(self) -> (Message, Option<RecoveredEpoch>) {
+        let phi0 = self.spec.materialize();
+        let result = match bomp_with_matrix(&phi0, &self.y, &self.config) {
+            Ok(r) => r,
+            Err(_) => return (reject(RejectCode::Internal), None),
+        };
+        let outliers: Vec<(u32, f64)> =
+            result.top_k(self.k as usize).iter().map(|o| (o.index as u32, o.value)).collect();
+        let summary = RecoveredEpoch {
+            session: self.session,
+            epoch: self.epoch,
+            k: self.k,
+            mode: result.mode,
+            nodes: self.nodes,
+            duplicates: self.duplicates,
+            iterations: result.iterations as u64,
+            outliers: outliers.len() as u64,
+        };
+        (Message::Report { epoch: self.epoch, mode: result.mode, outliers }, Some(summary))
+    }
+}
+
 /// All sessions the server currently holds.
 #[derive(Debug, Default)]
 pub struct SessionStore {
     sessions: BTreeMap<u64, Session>,
+    limits: StoreLimits,
 }
 
 impl SessionStore {
-    /// An empty store.
+    /// An empty store with default limits.
     pub fn new() -> Self {
         SessionStore::default()
+    }
+
+    /// An empty store with the given resource caps.
+    pub fn with_limits(limits: StoreLimits) -> Self {
+        SessionStore { sessions: BTreeMap::new(), limits }
     }
 
     /// Number of live sessions.
@@ -234,9 +366,38 @@ impl SessionStore {
         self.sessions.get(&session)?.epochs.get(&epoch).map(|e| e.phase)
     }
 
-    /// Applies one client message and produces the reply frame, plus a
-    /// recovery summary when the message completed a recover. Protocol
-    /// errors reject the message but never tear down session state.
+    /// Applies one client message. Cheap messages produce their reply
+    /// directly; a valid `RecoverEpoch` yields a [`RecoverJob`] the caller
+    /// runs without holding the store, then reports back through
+    /// [`SessionStore::finish_recover`]. Protocol errors reject the
+    /// message but never tear down session state.
+    pub fn dispatch(
+        &mut self,
+        conn: &mut ConnState,
+        msg: &Message,
+        policy: &RecoveryPolicy,
+        rec: &Recorder,
+    ) -> Dispatch {
+        Dispatch::Reply(match msg {
+            Message::OpenEpoch { session, epoch, m, n, seed } => {
+                self.open(conn, *session, *epoch, *m, *n, *seed, rec)
+            }
+            Message::Sketch { node, seed, payload } => {
+                self.ingest(conn, *node, *seed, payload, rec)
+            }
+            Message::SealEpoch { session, epoch } => self.seal(*session, *epoch, rec),
+            Message::RecoverEpoch { session, epoch, k } => {
+                match self.begin_recover(*session, *epoch, *k, policy) {
+                    Ok(job) => return Dispatch::Recover(job),
+                    Err(code) => reject(code),
+                }
+            }
+            _ => reject(RejectCode::Unexpected),
+        })
+    }
+
+    /// As [`SessionStore::dispatch`], but runs any recovery inline —
+    /// the convenience path for single-threaded callers and tests.
     pub fn handle(
         &mut self,
         conn: &mut ConnState,
@@ -244,18 +405,16 @@ impl SessionStore {
         policy: &RecoveryPolicy,
         rec: &Recorder,
     ) -> (Message, Option<RecoveredEpoch>) {
-        match msg {
-            Message::OpenEpoch { session, epoch, m, n, seed } => {
-                (self.open(conn, *session, *epoch, *m, *n, *seed, rec), None)
+        match self.dispatch(conn, msg, policy, rec) {
+            Dispatch::Reply(reply) => (reply, None),
+            Dispatch::Recover(job) => {
+                let (session, epoch) = job.target();
+                let (reply, summary) = job.run();
+                if summary.is_some() {
+                    self.finish_recover(session, epoch, rec);
+                }
+                (reply, summary)
             }
-            Message::Sketch { node, seed, payload } => {
-                (self.ingest(conn, *node, *seed, payload, rec), None)
-            }
-            Message::SealEpoch { session, epoch } => (self.seal(*session, *epoch, rec), None),
-            Message::RecoverEpoch { session, epoch, k } => {
-                self.recover(*session, *epoch, *k, policy, rec)
-            }
-            _ => (reject(RejectCode::Unexpected), None),
         }
     }
 
@@ -275,33 +434,71 @@ impl SessionStore {
         if u64::from(m) * 8 > u64::from(MAX_FRAME_BYTES) / 2 {
             return reject(RejectCode::BadSpec);
         }
-        let entry = self.sessions.entry(session).or_default();
-        if let Some(existing) = entry.epochs.get(&epoch) {
+        // The dense m×n matrix recovery materializes is the epoch's real
+        // allocation, so the client-supplied n is bounded exactly like m:
+        // a hostile OpenEpoch must be a typed reject, never an abort.
+        if n == 0 || u64::from(m) > n || n > self.limits.max_n {
+            return reject(RejectCode::BadSpec);
+        }
+        if u128::from(m) * u128::from(n) * 8 > u128::from(self.limits.max_matrix_bytes) {
+            return reject(RejectCode::BadSpec);
+        }
+        if let Some(existing) = self.sessions.get(&session).and_then(|s| s.epochs.get(&epoch)) {
             // Re-opening is how additional connections attach to the same
             // epoch — legal only when they agree on the configuration.
-            let spec = existing.agg.spec();
+            let spec = existing.spec();
             if spec.m != m as usize || spec.n != n as usize || existing.seed != seed {
                 return reject(RejectCode::SpecMismatch);
             }
+            let nodes = existing.node_count();
             conn.bound = Some((session, epoch));
-            return Message::Ack { of: TAG_OPEN_EPOCH, info: existing.agg.node_count() as u64 };
+            return Message::Ack { of: TAG_OPEN_EPOCH, info: nodes };
         }
         let spec = match MeasurementSpec::new(m as usize, n as usize, seed) {
             Ok(s) => s,
             Err(_) => return reject(RejectCode::BadSpec),
         };
+        if !self.sessions.contains_key(&session)
+            && self.sessions.len() >= self.limits.max_sessions
+            && !self.evict_finished_session(rec)
+        {
+            return reject(RejectCode::StoreFull);
+        }
+        let limit = self.limits.max_epochs_per_session;
+        let entry = self.sessions.entry(session).or_default();
+        if entry.epochs.len() >= limit && !evict_recovered_epoch(entry, rec) {
+            return reject(RejectCode::StoreFull);
+        }
         entry.epochs.insert(
             epoch,
             Epoch {
-                agg: SketchAggregator::new(spec),
                 seed,
                 phase: EpochPhase::Ingest,
                 duplicates: 0,
+                state: EpochState::Ingest(SketchAggregator::new(spec)),
             },
         );
         conn.bound = Some((session, epoch));
         rec.counter_add("serve.epochs_opened", 1);
         Message::Ack { of: TAG_OPEN_EPOCH, info: 0 }
+    }
+
+    /// Evicts the lowest-id session whose epochs are all recovered (or
+    /// that is empty). Sessions mid-flight are never touched.
+    fn evict_finished_session(&mut self, rec: &Recorder) -> bool {
+        let id = self
+            .sessions
+            .iter()
+            .find(|(_, s)| s.epochs.values().all(|e| e.phase == EpochPhase::Recovered))
+            .map(|(id, _)| *id);
+        match id {
+            Some(id) => {
+                self.sessions.remove(&id);
+                rec.counter_add("serve.sessions_evicted", 1);
+                true
+            }
+            None => false,
+        }
     }
 
     fn ingest(
@@ -325,7 +522,10 @@ impl SessionStore {
         if seed != ep.seed {
             return reject(RejectCode::SeedMismatch);
         }
-        if ep.agg.contains(node as usize) {
+        let EpochState::Ingest(agg) = &mut ep.state else {
+            return reject(RejectCode::EpochSealed);
+        };
+        if agg.contains(node as usize) {
             // Retransmits are idempotent: the first sketch for a node wins,
             // mirroring the degraded path's (node, seed) dedup.
             ep.duplicates += 1;
@@ -333,7 +533,7 @@ impl SessionStore {
             return Message::Ack { of: TAG_SKETCH, info: 1 };
         }
         let sketch = quantize::decode(payload);
-        if ep.agg.join(node as usize, sketch).is_err() {
+        if agg.join(node as usize, sketch).is_err() {
             return reject(RejectCode::BadSketch);
         }
         rec.counter_add("serve.sketches_accepted", 1);
@@ -348,49 +548,54 @@ impl SessionStore {
         if ep.phase != EpochPhase::Ingest {
             return reject(RejectCode::DuplicateSeal);
         }
+        let EpochState::Ingest(agg) = &ep.state else {
+            return reject(RejectCode::DuplicateSeal);
+        };
+        // Compact at the freeze point: membership can no longer change, so
+        // only the canonical measurement survives the seal.
+        let nodes = agg.node_count() as u64;
+        let spec = *agg.spec();
+        let y = agg.global_measurement().clone();
+        ep.state = EpochState::Sealed { spec, y, nodes };
         ep.phase = EpochPhase::Sealed;
         rec.counter_add("serve.epochs_sealed", 1);
-        Message::Ack { of: TAG_SEAL_EPOCH, info: ep.agg.node_count() as u64 }
+        Message::Ack { of: TAG_SEAL_EPOCH, info: nodes }
     }
 
-    fn recover(
+    fn begin_recover(
         &mut self,
         session: u64,
         epoch: u64,
         k: u32,
         policy: &RecoveryPolicy,
-        rec: &Recorder,
-    ) -> (Message, Option<RecoveredEpoch>) {
-        let ep = match self.epoch_mut(session, epoch) {
-            Ok(e) => e,
-            Err(code) => return (reject(code), None),
+    ) -> Result<RecoverJob, RejectCode> {
+        let ep = self.epoch_mut(session, epoch)?;
+        let EpochState::Sealed { spec, y, nodes } = &ep.state else {
+            return Err(RejectCode::NotSealed);
         };
-        if ep.phase == EpochPhase::Ingest {
-            return (reject(RejectCode::NotSealed), None);
+        if *nodes == 0 {
+            return Err(RejectCode::EmptyEpoch);
         }
-        if ep.agg.node_count() == 0 {
-            return (reject(RejectCode::EmptyEpoch), None);
-        }
-        let config = policy.effective(ep.agg.spec().m, ep.seed, k);
-        let result = match ep.agg.recover(&config) {
-            Ok(r) => r,
-            Err(_) => return (reject(RejectCode::Internal), None),
-        };
-        ep.phase = EpochPhase::Recovered;
-        rec.counter_add("serve.epochs_recovered", 1);
-        let outliers: Vec<(u32, f64)> =
-            result.top_k(k as usize).iter().map(|o| (o.index as u32, o.value)).collect();
-        let summary = RecoveredEpoch {
+        Ok(RecoverJob {
             session,
             epoch,
             k,
-            mode: result.mode,
-            nodes: ep.agg.node_count() as u64,
+            spec: *spec,
+            y: y.clone(),
+            nodes: *nodes,
             duplicates: ep.duplicates,
-            iterations: result.iterations as u64,
-            outliers: outliers.len() as u64,
-        };
-        (Message::Report { epoch, mode: result.mode, outliers }, Some(summary))
+            config: policy.effective(spec.m, ep.seed, k),
+        })
+    }
+
+    /// Marks `(session, epoch)` recovered after a [`RecoverJob`] succeeded.
+    /// A no-op when the epoch has been evicted in the meantime; repeatable
+    /// (recover is repeatable).
+    pub fn finish_recover(&mut self, session: u64, epoch: u64, rec: &Recorder) {
+        if let Ok(ep) = self.epoch_mut(session, epoch) {
+            ep.phase = EpochPhase::Recovered;
+            rec.counter_add("serve.epochs_recovered", 1);
+        }
     }
 
     fn epoch_mut(&mut self, session: u64, epoch: u64) -> Result<&mut Epoch, RejectCode> {
@@ -400,6 +605,20 @@ impl SessionStore {
             .epochs
             .get_mut(&epoch)
             .ok_or(RejectCode::UnknownEpoch)
+    }
+}
+
+/// Evicts the lowest-id recovered epoch of `sess` to make room for a new
+/// one. Ingesting and sealed-but-unrecovered epochs are never touched.
+fn evict_recovered_epoch(sess: &mut Session, rec: &Recorder) -> bool {
+    let id = sess.epochs.iter().find(|(_, e)| e.phase == EpochPhase::Recovered).map(|(id, _)| *id);
+    match id {
+        Some(id) => {
+            sess.epochs.remove(&id);
+            rec.counter_add("serve.epochs_evicted", 1);
+            true
+        }
+        None => false,
     }
 }
 
@@ -581,11 +800,134 @@ mod tests {
 
     #[test]
     fn reject_codes_round_trip_their_wire_values() {
-        for v in 1..=15u16 {
+        for v in 1..=16u16 {
             let code = RejectCode::from_u16(v).expect("all codes defined");
             assert_eq!(code.as_u16(), v);
         }
         assert_eq!(RejectCode::from_u16(0), None);
-        assert_eq!(RejectCode::from_u16(16), None);
+        assert_eq!(RejectCode::from_u16(17), None);
+    }
+
+    /// The high-severity regression: an `OpenEpoch` with a hostile
+    /// geometry must be a typed `BadSpec` reject — never an `m·n`
+    /// allocation (or overflow) at recover time — and the store must stay
+    /// usable afterwards.
+    #[test]
+    fn hostile_open_dimensions_are_typed_rejects() {
+        let mut fx = Fixture::new();
+        for (m, n) in [
+            (M, 1u64 << 40),       // n beyond any sane key space
+            (M, u64::MAX),         // m*n would overflow usize
+            (M, 0),                // zero-dimensional
+            (M, u64::from(M) - 1), // more measurements than keys
+        ] {
+            let msg = Message::OpenEpoch { session: 1, epoch: 0, m, n, seed: SEED };
+            assert_eq!(code_of(&fx.send(&msg)), RejectCode::BadSpec, "m={m} n={n}");
+        }
+        // A rejected open leaves nothing behind: the session map is empty
+        // and a well-formed open still works.
+        assert_eq!(fx.store.session_count(), 0);
+        assert_eq!(fx.send(&open_msg()), Message::Ack { of: TAG_OPEN_EPOCH, info: 0 });
+    }
+
+    #[test]
+    fn matrix_byte_cap_bounds_m_times_n() {
+        let mut fx = Fixture::new();
+        fx.store = SessionStore::with_limits(StoreLimits {
+            max_matrix_bytes: 8 * u64::from(M) * N, // exactly one M×N f64 matrix
+            ..StoreLimits::default()
+        });
+        assert_eq!(fx.send(&open_msg()), Message::Ack { of: TAG_OPEN_EPOCH, info: 0 });
+        let over = Message::OpenEpoch { session: 1, epoch: 1, m: M, n: N + 1, seed: SEED };
+        assert_eq!(code_of(&fx.send(&over)), RejectCode::BadSpec);
+    }
+
+    /// Capacity is bounded and typed: pending work fills the store to its
+    /// caps, further opens reject with `StoreFull`, and finished
+    /// (recovered) epochs/sessions are evicted to make room.
+    #[test]
+    fn store_capacity_rejects_then_evicts_finished_work() {
+        let limits =
+            StoreLimits { max_sessions: 2, max_epochs_per_session: 2, ..Default::default() };
+        let mut fx = Fixture::new();
+        fx.store = SessionStore::with_limits(limits);
+
+        // Fill session 1 with two in-flight epochs; a third must reject.
+        for epoch in 0..2 {
+            let open = Message::OpenEpoch { session: 1, epoch, m: M, n: N, seed: SEED };
+            assert!(matches!(fx.send(&open), Message::Ack { .. }));
+        }
+        let third = Message::OpenEpoch { session: 1, epoch: 2, m: M, n: N, seed: SEED };
+        assert_eq!(code_of(&fx.send(&third)), RejectCode::StoreFull);
+
+        // Recover epoch 1 (the one this connection is bound to); its slot
+        // becomes evictable and the open lands.
+        fx.send(&sketch_msg(0, SEED));
+        fx.send(&Message::SealEpoch { session: 1, epoch: 1 });
+        assert!(matches!(
+            fx.send(&Message::RecoverEpoch { session: 1, epoch: 1, k: 1 }),
+            Message::Report { .. }
+        ));
+        assert_eq!(fx.send(&third), Message::Ack { of: TAG_OPEN_EPOCH, info: 0 });
+        assert_eq!(fx.store.epoch_phase(1, 1), None, "recovered epoch was evicted");
+
+        // Session capacity: sessions 1 and 2 exist, session 3 rejects
+        // while both are mid-flight…
+        fx.send(&Message::OpenEpoch { session: 2, epoch: 0, m: M, n: N, seed: SEED });
+        let s3 = Message::OpenEpoch { session: 3, epoch: 0, m: M, n: N, seed: SEED };
+        assert_eq!(code_of(&fx.send(&s3)), RejectCode::StoreFull);
+
+        // …then session 2 finishes entirely and is evicted to admit 3.
+        fx.send(&sketch_msg(0, SEED)); // bound to (2, 0) by the open above
+        fx.send(&Message::SealEpoch { session: 2, epoch: 0 });
+        assert!(matches!(
+            fx.send(&Message::RecoverEpoch { session: 2, epoch: 0, k: 1 }),
+            Message::Report { .. }
+        ));
+        assert_eq!(fx.send(&s3), Message::Ack { of: TAG_OPEN_EPOCH, info: 0 });
+        assert_eq!(fx.store.epoch_phase(2, 0), None, "finished session was evicted");
+    }
+
+    /// Sealing compacts the epoch to its canonical measurement; attach,
+    /// repeat recovery, and the recovered bits all survive compaction.
+    #[test]
+    fn recover_is_repeatable_after_seal_compaction() {
+        let mut fx = Fixture::new();
+        fx.send(&open_msg());
+        for node in 0..3 {
+            fx.send(&sketch_msg(node, SEED));
+        }
+        fx.send(&Message::SealEpoch { session: 1, epoch: 0 });
+        let first = fx.send(&Message::RecoverEpoch { session: 1, epoch: 0, k: 2 });
+        let second = fx.send(&Message::RecoverEpoch { session: 1, epoch: 0, k: 2 });
+        assert_eq!(first, second, "recovery must be repeatable bit-for-bit");
+        // A late attach still reports the frozen membership count.
+        let mut conn2 = ConnState::new();
+        let (reply, _) = fx.store.handle(&mut conn2, &open_msg(), &fx.policy, &fx.rec);
+        assert_eq!(reply, Message::Ack { of: TAG_OPEN_EPOCH, info: 3 });
+    }
+
+    /// The two-phase dispatch: a valid recover yields a job runnable
+    /// without the store, and `finish_recover` flips the phase after.
+    #[test]
+    fn dispatch_detaches_recovery_from_the_store() {
+        let mut fx = Fixture::new();
+        fx.send(&open_msg());
+        fx.send(&sketch_msg(0, SEED));
+        fx.send(&Message::SealEpoch { session: 1, epoch: 0 });
+        let msg = Message::RecoverEpoch { session: 1, epoch: 0, k: 1 };
+        let Dispatch::Recover(job) = fx.store.dispatch(&mut fx.conn, &msg, &fx.policy, &fx.rec)
+        else {
+            panic!("expected a recover job");
+        };
+        assert_eq!(job.target(), (1, 0));
+        // The store is untouched (and could serve other connections) while
+        // the job runs.
+        assert_eq!(fx.store.epoch_phase(1, 0), Some(EpochPhase::Sealed));
+        let (reply, summary) = job.run();
+        assert!(matches!(reply, Message::Report { .. }));
+        assert_eq!(summary.expect("summary").nodes, 1);
+        fx.store.finish_recover(1, 0, &fx.rec);
+        assert_eq!(fx.store.epoch_phase(1, 0), Some(EpochPhase::Recovered));
     }
 }

@@ -232,6 +232,73 @@ fn epoch_survives_killed_and_straggling_connections() {
     server.shutdown();
 }
 
+/// The high-severity regression: a hostile `OpenEpoch` (astronomical `n`,
+/// which would make recovery allocate an `m·n` dense matrix) gets a typed
+/// `BadSpec` reject over the wire, and the server keeps serving everyone
+/// else — one frame must never be able to abort the process.
+#[test]
+fn hostile_open_is_rejected_and_the_server_survives() {
+    let (cluster, _) = majority_cluster();
+    let server = spawn(ServerConfig::default()).unwrap();
+    let mut hostile = TcpStream::connect(server.addr()).unwrap();
+
+    for n in [1u64 << 40, u64::MAX, 0] {
+        write_frame(
+            &mut hostile,
+            &Message::OpenEpoch { session: 66, epoch: 0, m: 8, n, seed: SEED },
+        )
+        .unwrap();
+        let (reply, _) = read_frame(&mut hostile).unwrap();
+        assert_eq!(
+            reply,
+            Message::Reject { code: RejectCode::BadSpec.as_u16(), retry_after_ms: 0 },
+            "n={n}"
+        );
+    }
+    // Even a hostile recover path is inert: open a tiny epoch, seal it
+    // empty-adjacent, and keep the connection usable.
+    write_frame(&mut hostile, &Message::OpenEpoch { session: 66, epoch: 0, m: 8, n: 64, seed: 1 })
+        .unwrap();
+    assert!(matches!(read_frame(&mut hostile).unwrap().0, Message::Ack { .. }));
+    drop(hostile);
+
+    // The same server still runs a full protocol round, bit-correct.
+    let reference = proto().run_over_wire(&cluster, K, SketchEncoding::F64).unwrap();
+    let run = run_cs_over_server(&proto(), &cluster, K, server.addr(), &ServeRunConfig::default())
+        .unwrap();
+    assert_eq!(run.mode.to_bits(), reference.mode.to_bits());
+    server.shutdown();
+}
+
+/// The client matches replies to requests by the echoed tag: an `Ack`
+/// carrying the wrong `of` is surfaced as `UnexpectedReply`, not taken as
+/// success.
+#[test]
+fn mismatched_ack_tag_is_an_unexpected_reply() {
+    use cso_serve::ClientError;
+    use std::net::TcpListener;
+
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let fake = std::thread::spawn(move || {
+        let (mut sock, _) = listener.accept().unwrap();
+        // Swallow the OpenEpoch and reply with an Ack echoing the wrong
+        // request tag.
+        let _ = read_frame(&mut sock).unwrap();
+        write_frame(&mut sock, &Message::Ack { of: wire::TAG_SKETCH, info: 0 }).unwrap();
+    });
+
+    let err = match ServeClient::open(addr, &RetryPolicy::no_retry(), 1, 0, 16, 64, SEED) {
+        Ok(_) => panic!("a mismatched ack must not be accepted"),
+        Err(e) => e,
+    };
+    assert!(
+        matches!(err, ClientError::UnexpectedReply(tag) if tag == wire::TAG_SKETCH),
+        "got {err:?}"
+    );
+    fake.join().unwrap();
+}
+
 /// Narrow encodings flow through the server exactly like the in-process
 /// wire path: same quantization, same recovered bits.
 #[test]
