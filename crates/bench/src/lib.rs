@@ -54,6 +54,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "recovery",
     "scaling",
     "serve_throughput",
+    "serve_durable",
 ];
 
 /// Dispatches one experiment by name. Returns false for unknown names.
@@ -81,6 +82,7 @@ pub fn run_experiment(name: &str, opts: &Opts) -> bool {
         "recovery" => recovery::recovery(opts),
         "scaling" => scaling::scaling(opts),
         "serve_throughput" => serve_bench::serve_throughput(opts),
+        "serve_durable" => serve_bench::serve_durable(opts),
         _ => return false,
     }
     true
@@ -135,6 +137,7 @@ mod tests {
                     | "recovery"
                     | "scaling"
                     | "serve_throughput"
+                    | "serve_durable"
             );
             assert!(known, "{name} missing from dispatcher");
         }

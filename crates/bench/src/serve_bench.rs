@@ -17,12 +17,18 @@
 //! output enabled the table mirrors to `results/serve.csv` and a
 //! machine-readable summary is written to `BENCH_pr5.json` (validated with
 //! [`cso_obs::json::validate`]).
+//!
+//! The companion `serve_durable` sweep (PR 6) holds the fan-out fixed and
+//! varies the durability configuration instead — no WAL at all (the PR 5
+//! baseline), then `fsync=off`, `per-seal`, and `per-record` — quantifying
+//! what journaling and each fsync policy cost on the ingest path
+//! (`results/serve_durable.csv`, `BENCH_pr6.json`).
 
 use crate::common::{Opts, Table};
 use cso_distributed::quantize::SketchEncoding;
 use cso_distributed::{Cluster, CsProtocol, RetryPolicy};
 use cso_obs::json;
-use cso_serve::{spawn, ServeClient, ServerConfig};
+use cso_serve::{spawn, Durability, FsyncPolicy, ServeClient, ServerConfig};
 use cso_workloads::{split, MajorityConfig, MajorityData, SliceStrategy};
 use std::time::Instant;
 
@@ -166,6 +172,155 @@ pub fn serve_throughput(opts: &Opts) {
     }
 }
 
+/// One row of the durability sweep: an fsync policy (or no WAL at all)
+/// and what the ingest path cost under it.
+struct DurableSample {
+    policy: &'static str,
+    nodes: usize,
+    wall_ns: f64,
+    p50_ns: u64,
+    p99_ns: u64,
+    sketches_per_s: f64,
+}
+
+/// The `serve_durable` experiment: ingest cost versus durability policy at
+/// a fixed connection fan-out. The `none` row is the PR 5 baseline (no
+/// journal); every other row journals to a scratch WAL directory under the
+/// named fsync policy. The JSON summary quantifies the per-seal policy's
+/// ingest overhead against the baseline — the number the durability model
+/// in DESIGN.md §11 budgets for.
+pub fn serve_durable(opts: &Opts) {
+    let (nodes, n, m, k) = if opts.trials <= 4 { (32, 256, 48, 4) } else { (192, 1024, 96, 8) };
+    let connections = 4usize;
+    let policies: [(&'static str, Option<FsyncPolicy>); 4] = [
+        ("none", None),
+        ("off", Some(FsyncPolicy::Off)),
+        ("per-seal", Some(FsyncPolicy::PerSeal)),
+        ("per-record", Some(FsyncPolicy::PerRecord)),
+    ];
+
+    let data =
+        MajorityData::generate(&MajorityConfig { n, s: k, ..MajorityConfig::default() }, 2024)
+            .expect("workload");
+    let slices = split(&data.values, nodes, SliceStrategy::RandomProportions, 2025).expect("split");
+    let cluster = Cluster::new(slices).expect("cluster");
+    let proto = CsProtocol::new(m, 77);
+    let sketches = proto.node_sketches(&cluster).expect("sketches");
+
+    let mut samples = Vec::new();
+    for (name, fsync) in policies {
+        let wal_dir =
+            std::env::temp_dir().join(format!("cso-bench-durable-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&wal_dir);
+        let durability = fsync.map(|policy| {
+            let mut d = Durability::at(&wal_dir);
+            d.fsync = policy;
+            d
+        });
+        let server = spawn(ServerConfig {
+            handlers: connections + 1,
+            queue_depth: 32,
+            durability,
+            ..ServerConfig::default()
+        })
+        .expect("server");
+
+        let (wall_ns, mut rtts) =
+            run_ingest(server.addr(), &proto, n, &sketches, connections, 0, k as u32);
+        rtts.sort_unstable();
+
+        let metrics = server.recorder().metrics_snapshot();
+        assert_eq!(
+            metrics.counter("serve.sketches_accepted"),
+            Some(nodes as u64),
+            "{name}: every sketch accepted exactly once"
+        );
+        if fsync.is_some() {
+            assert!(
+                metrics.counter("serve.wal_records").unwrap_or(0) >= nodes as u64,
+                "{name}: every ingest must have been journaled"
+            );
+            assert_eq!(metrics.counter("serve.wal_errors"), None, "{name}: journal stayed healthy");
+        }
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&wal_dir);
+
+        samples.push(DurableSample {
+            policy: name,
+            nodes,
+            wall_ns,
+            p50_ns: percentile(&rtts, 0.50),
+            p99_ns: percentile(&rtts, 0.99),
+            sketches_per_s: nodes as f64 / (wall_ns / 1e9),
+        });
+    }
+
+    let baseline_ns = samples[0].wall_ns;
+    let overhead_pct = |s: &DurableSample| (s.wall_ns / baseline_ns - 1.0) * 100.0;
+
+    let mut table = Table::new(
+        "serve_durable",
+        &["fsync", "sketches", "wall_ms", "sketches_per_s", "p50_us", "p99_us", "overhead_pct"],
+    );
+    for s in &samples {
+        table.row(&[
+            &s.policy,
+            &s.nodes,
+            &format!("{:.2}", s.wall_ns / 1e6),
+            &format!("{:.0}", s.sketches_per_s),
+            &format!("{:.1}", s.p50_ns as f64 / 1e3),
+            &format!("{:.1}", s.p99_ns as f64 / 1e3),
+            &format!("{:+.1}", overhead_pct(s)),
+        ]);
+    }
+    table.finish(opts);
+
+    if opts.write_csv {
+        write_durable_json(&samples, n, m, k, connections);
+    }
+}
+
+/// Writes the machine-readable durability sweep to `BENCH_pr6.json` (repo
+/// root), headlined by the per-seal policy's ingest overhead versus the
+/// no-WAL baseline.
+fn write_durable_json(samples: &[DurableSample], n: usize, m: usize, k: usize, conns: usize) {
+    let cores = std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
+    let baseline_ns = samples[0].wall_ns;
+    let per_seal_overhead_pct = samples
+        .iter()
+        .find(|s| s.policy == "per-seal")
+        .map_or(0.0, |s| (s.wall_ns / baseline_ns - 1.0) * 100.0);
+    let mut out = String::new();
+    out.push_str("{\"bench\":\"serve_durable\",\"params\":{");
+    out.push_str(&format!(
+        "\"nodes\":{},\"n\":{n},\"m\":{m},\"k\":{k},\"connections\":{conns},\
+         \"encoding\":\"f64\",\"host_cpus\":{cores}",
+        samples.first().map_or(0, |s| s.nodes)
+    ));
+    out.push_str(&format!(
+        "}},\"per_seal_ingest_overhead_pct\":{per_seal_overhead_pct:.3},\"sweep\":["
+    ));
+    for (i, s) in samples.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"fsync\":\"{}\",\"wall_ns\":{},\"sketches_per_s\":{},\
+             \"p50_ingest_ns\":{},\"p99_ingest_ns\":{},\"ingest_overhead_pct\":{:.3}}}",
+            s.policy,
+            s.wall_ns,
+            s.sketches_per_s,
+            s.p50_ns,
+            s.p99_ns,
+            (s.wall_ns / baseline_ns - 1.0) * 100.0
+        ));
+    }
+    out.push_str("]}");
+    json::validate(&out).expect("BENCH_pr6.json must be valid JSON");
+    std::fs::write("BENCH_pr6.json", format!("{out}\n")).expect("write BENCH_pr6.json");
+    println!("wrote BENCH_pr6.json");
+}
+
 /// Writes the machine-readable sweep to `BENCH_pr5.json` (repo root).
 fn write_bench_json(samples: &[Sample], n: usize, m: usize, k: usize) {
     let cores = std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
@@ -208,5 +363,10 @@ mod tests {
     #[test]
     fn serve_throughput_smoke_runs_without_artifacts() {
         serve_throughput(&Opts { trials: 1, write_csv: false });
+    }
+
+    #[test]
+    fn serve_durable_smoke_runs_without_artifacts() {
+        serve_durable(&Opts { trials: 1, write_csv: false });
     }
 }

@@ -69,6 +69,12 @@ impl SketchAggregator {
         self.node_sketches.keys().copied().collect()
     }
 
+    /// The last full sketch `node` contributed, if it is a member — what a
+    /// durability layer persists to reconstruct an in-flight epoch.
+    pub fn node_sketch(&self, node: usize) -> Option<&Vector> {
+        self.node_sketches.get(&node)
+    }
+
     /// The current global measurement.
     pub fn global_measurement(&self) -> &Vector {
         &self.y

@@ -17,7 +17,8 @@
 //! ```text
 //! [0]        u8   message tag (1 = sketch, 2 = kv batch, 3 = mode broadcast,
 //!                 4 = open epoch, 5 = seal epoch, 6 = recover epoch,
-//!                 7 = ack, 8 = reject, 9 = report)
+//!                 7 = ack, 8 = reject, 9 = report, 10 = epoch status query,
+//!                 11 = status reply)
 //! [1]        u8   format version (currently 2)
 //! ...             tag-specific body
 //! [len-4..]  u32  CRC-32 (IEEE) over bytes [0, len-4)
@@ -56,6 +57,10 @@ pub const TAG_ACK: u8 = 7;
 pub const TAG_REJECT: u8 = 8;
 /// Frame tag of [`Message::Report`].
 pub const TAG_REPORT: u8 = 9;
+/// Frame tag of [`Message::EpochStatus`].
+pub const TAG_EPOCH_STATUS: u8 = 10;
+/// Frame tag of [`Message::Status`].
+pub const TAG_STATUS: u8 = 11;
 
 /// IEEE CRC-32 lookup table (reflected, polynomial `0xEDB88320`).
 const CRC32_TABLE: [u32; 256] = {
@@ -169,6 +174,27 @@ pub enum Message {
         /// deviation from the mode.
         outliers: Vec<(u32, f64)>,
     },
+    /// Client → server: where is this epoch in its lifecycle? The query a
+    /// client uses to resume idempotent ingest after a connection loss or
+    /// a server restart — it tells the client whether the epoch still
+    /// exists, whether it is still accepting sketches, and how many nodes
+    /// the server already holds.
+    EpochStatus {
+        /// Session id.
+        session: u64,
+        /// Epoch number.
+        epoch: u64,
+    },
+    /// Server → client: reply to [`Message::EpochStatus`].
+    Status {
+        /// Epoch the status describes.
+        epoch: u64,
+        /// Lifecycle phase (0 = ingesting, 1 = sealed, 2 = recovered; see
+        /// `cso-serve`'s `EpochPhase`).
+        phase: u8,
+        /// Nodes currently contributing to (or frozen into) the epoch.
+        nodes: u64,
+    },
 }
 
 impl Message {
@@ -186,6 +212,8 @@ impl Message {
             Message::Ack { .. } => TAG_ACK,
             Message::Reject { .. } => TAG_REJECT,
             Message::Report { .. } => TAG_REPORT,
+            Message::EpochStatus { .. } => TAG_EPOCH_STATUS,
+            Message::Status { .. } => TAG_STATUS,
         }
     }
 }
@@ -408,6 +436,19 @@ pub fn encode(msg: &Message) -> Vec<u8> {
                 w.f64(v);
             }
         }
+        Message::EpochStatus { session, epoch } => {
+            w.u8(TAG_EPOCH_STATUS);
+            w.u8(WIRE_VERSION);
+            w.u64(*session);
+            w.u64(*epoch);
+        }
+        Message::Status { epoch, phase, nodes } => {
+            w.u8(TAG_STATUS);
+            w.u8(WIRE_VERSION);
+            w.u64(*epoch);
+            w.u8(*phase);
+            w.u64(*nodes);
+        }
     }
     let sum = crc32(&w.buf);
     w.u32(sum);
@@ -505,6 +546,8 @@ pub fn decode(buf: &[u8]) -> Result<Message, WireError> {
             }
             Message::Report { epoch, mode, outliers }
         }
+        TAG_EPOCH_STATUS => Message::EpochStatus { session: r.u64()?, epoch: r.u64()? },
+        TAG_STATUS => Message::Status { epoch: r.u64()?, phase: r.u8()?, nodes: r.u64()? },
         other => return Err(WireError::UnknownTag(other)),
     };
     if !r.finished() {
@@ -572,6 +615,8 @@ mod tests {
             Message::Ack { of: 4, info: 12 },
             Message::Reject { code: 2, retry_after_ms: 40 },
             Message::Report { epoch: 3, mode: 5000.5, outliers: vec![(9, 1.25), (0, -2e9)] },
+            Message::EpochStatus { session: 7, epoch: 3 },
+            Message::Status { epoch: 3, phase: 1, nodes: 12 },
         ];
         for msg in msgs {
             assert_eq!(decode(&encode(&msg)).unwrap(), msg);
@@ -590,6 +635,8 @@ mod tests {
             Message::Ack { of: 0, info: 0 },
             Message::Reject { code: 0, retry_after_ms: 0 },
             Message::Report { epoch: 0, mode: 0.0, outliers: vec![] },
+            Message::EpochStatus { session: 0, epoch: 0 },
+            Message::Status { epoch: 0, phase: 0, nodes: 0 },
         ];
         for (i, msg) in msgs.iter().enumerate() {
             assert_eq!(msg.tag(), i as u8 + 1);

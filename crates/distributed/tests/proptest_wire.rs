@@ -37,6 +37,13 @@ fn arb_message() -> impl Strategy<Value = Message> {
         ),
         (0u64..u64::MAX, 0u64..1000)
             .prop_map(|(session, epoch)| Message::SealEpoch { session, epoch }),
+        (0u64..u64::MAX, 0u64..1000)
+            .prop_map(|(session, epoch)| Message::EpochStatus { session, epoch }),
+        (0u64..1000, 0u8..4, 0u64..u64::MAX).prop_map(|(epoch, phase, nodes)| Message::Status {
+            epoch,
+            phase,
+            nodes
+        }),
         (0u64..u64::MAX, 0u64..1000, 0u32..10_000)
             .prop_map(|(session, epoch, k)| Message::RecoverEpoch { session, epoch, k }),
         (0u8..255, 0u64..u64::MAX).prop_map(|(of, info)| Message::Ack { of, info }),

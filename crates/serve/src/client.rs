@@ -11,9 +11,9 @@
 //! rejects are surfaced as typed [`ClientError::Rejected`] values.
 
 use crate::frame::{read_frame, write_frame, FrameError};
-use crate::session::RejectCode;
+use crate::session::{EpochPhase, RejectCode};
 use cso_distributed::quantize::{self, SketchEncoding};
-use cso_distributed::wire::{Message, TAG_OPEN_EPOCH, TAG_SEAL_EPOCH, TAG_SKETCH};
+use cso_distributed::wire::{Message, TAG_OPEN_EPOCH, TAG_SEAL_EPOCH, TAG_SKETCH, TAG_STATUS};
 use cso_distributed::{Cluster, CsProtocol, RetryPolicy};
 use cso_linalg::Vector;
 use std::fmt;
@@ -26,7 +26,13 @@ use std::time::Duration;
 pub enum ClientError {
     /// TCP connect failed.
     Connect(io::ErrorKind),
-    /// Reading or writing a frame failed.
+    /// The connection was lost mid-conversation — a close, a mid-frame
+    /// cut, or a reset-class socket error (see
+    /// [`FrameError::is_connection_lost`]). Idempotent requests (ingest,
+    /// status, recover) retry these through the shared [`RetryPolicy`] by
+    /// reconnecting; this surfaces only once retries are exhausted.
+    ConnectionLost,
+    /// Reading or writing a frame failed in a non-connection-lost way.
     Frame(FrameError),
     /// The server rejected the request (never `Busy` — that is retried).
     Rejected(RejectCode),
@@ -46,6 +52,7 @@ impl fmt::Display for ClientError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ClientError::Connect(kind) => write!(f, "connect failed: {kind:?}"),
+            ClientError::ConnectionLost => write!(f, "connection lost mid-request"),
             ClientError::Frame(e) => write!(f, "transport failed: {e}"),
             ClientError::Rejected(code) => write!(f, "server rejected: {code}"),
             ClientError::RejectedUnknown(v) => write!(f, "server rejected with unknown code {v}"),
@@ -53,6 +60,16 @@ impl fmt::Display for ClientError {
             ClientError::BusyExhausted => write!(f, "server busy through all retries"),
             ClientError::Local(msg) => write!(f, "local failure: {msg}"),
         }
+    }
+}
+
+/// Collapses reset-class frame errors into [`ClientError::ConnectionLost`];
+/// everything else keeps its identity.
+fn conn_err(e: FrameError) -> ClientError {
+    if e.is_connection_lost() {
+        ClientError::ConnectionLost
+    } else {
+        ClientError::Frame(e)
     }
 }
 
@@ -65,20 +82,28 @@ impl From<FrameError> for ClientError {
 }
 
 /// A blocking connection bound to one `(session, epoch)` on the server.
+/// Remembers how it opened, so a lost connection can be re-dialed and
+/// re-attached transparently for idempotent requests.
 pub struct ServeClient {
     stream: TcpStream,
+    addr: SocketAddr,
+    retry: RetryPolicy,
     session: u64,
     epoch: u64,
+    m: u32,
+    n: u64,
     seed: u64,
     bytes_sent: u64,
     bytes_received: u64,
+    reconnects: u64,
 }
 
 impl ServeClient {
     /// Connects and opens (or attaches to) `(session, epoch)` with the
-    /// given measurement configuration, retrying `Busy` admission rejects
-    /// with backoff. Returns the bound client and the number of nodes
-    /// already in the epoch (0 for a fresh one).
+    /// given measurement configuration, retrying `Busy` admission rejects,
+    /// refused connects (a server mid-restart), and reset races with
+    /// backoff. Returns the bound client and the number of nodes already
+    /// in the epoch (0 for a fresh one).
     #[allow(clippy::too_many_arguments)]
     pub fn open(
         addr: SocketAddr,
@@ -90,13 +115,38 @@ impl ServeClient {
         seed: u64,
     ) -> Result<(Self, u64), ClientError> {
         let open = Message::OpenEpoch { session, epoch, m, n, seed };
+        let mut bytes_sent = 0u64;
+        let mut bytes_received = 0u64;
         for attempt in 1..=retry.max_attempts {
-            let stream = TcpStream::connect(addr).map_err(|e| ClientError::Connect(e.kind()))?;
+            let stream = match TcpStream::connect(addr) {
+                Ok(s) => s,
+                // A restarting server refuses connects until its listener
+                // rebinds: wait it out like a Busy reject.
+                Err(e)
+                    if e.kind() == io::ErrorKind::ConnectionRefused
+                        && attempt < retry.max_attempts =>
+                {
+                    backoff_sleep(retry, session, attempt, 0);
+                    continue;
+                }
+                Err(e) => return Err(ClientError::Connect(e.kind())),
+            };
             // Request/reply framing stalls badly under Nagle + delayed
             // ACK (~40 ms per round trip); flush frames immediately.
             let _ = stream.set_nodelay(true);
-            let mut client =
-                ServeClient { stream, session, epoch, seed, bytes_sent: 0, bytes_received: 0 };
+            let mut client = ServeClient {
+                stream,
+                addr,
+                retry: *retry,
+                session,
+                epoch,
+                m,
+                n,
+                seed,
+                bytes_sent,
+                bytes_received,
+                reconnects: 0,
+            };
             match client.request(&open) {
                 // The Ack must echo the request's tag: replies are
                 // request/reply matched, not taken on faith.
@@ -104,51 +154,113 @@ impl ServeClient {
                 Ok(Message::Reject { code, retry_after_ms })
                     if code == RejectCode::Busy.as_u16() =>
                 {
-                    client.backoff(retry, attempt, retry_after_ms);
+                    client.backoff(attempt, retry_after_ms);
+                }
+                Ok(Message::Reject { code, .. }) if code == RejectCode::ShuttingDown.as_u16() => {
+                    // A draining server answers queued connections with
+                    // this instead of a silent close: fail over (here,
+                    // retry — the restart harness brings it right back).
+                    client.backoff(attempt, 0);
                 }
                 Ok(reply) => return Err(reply_error(reply)),
                 // A busy server closes right after writing its reject, so
                 // depending on timing the raced request sees a clean close,
                 // a cut-off reply, or a reset/broken pipe: all retryable.
-                Err(ClientError::Frame(
-                    FrameError::Closed
-                    | FrameError::Truncated
-                    | FrameError::Io(
-                        io::ErrorKind::BrokenPipe
-                        | io::ErrorKind::ConnectionReset
-                        | io::ErrorKind::ConnectionAborted,
-                    ),
-                )) => {
-                    client.backoff(retry, attempt, 0);
+                Err(ClientError::ConnectionLost) => {
+                    client.backoff(attempt, 0);
                 }
                 Err(e) => return Err(e),
             }
+            bytes_sent = client.bytes_sent;
+            bytes_received = client.bytes_received;
         }
         Err(ClientError::BusyExhausted)
     }
 
     /// Waits out the larger of the server's hint and the policy backoff
     /// (1 virtual tick ≈ 1 ms).
-    fn backoff(&self, retry: &RetryPolicy, attempt: u32, server_hint_ms: u32) {
-        let ticks = retry.backoff_ticks(self.session as usize, attempt);
-        std::thread::sleep(Duration::from_millis(ticks.max(u64::from(server_hint_ms))));
+    fn backoff(&self, attempt: u32, server_hint_ms: u32) {
+        backoff_sleep(&self.retry, self.session, attempt, server_hint_ms);
     }
 
-    /// Sends one frame and reads one reply.
+    /// Re-dials the server and re-attaches to the bound epoch, folding the
+    /// fresh connection's transfer into this client's byte counters.
+    fn reconnect(&mut self) -> Result<(), ClientError> {
+        let (fresh, _) = ServeClient::open(
+            self.addr,
+            &self.retry,
+            self.session,
+            self.epoch,
+            self.m,
+            self.n,
+            self.seed,
+        )?;
+        self.bytes_sent += fresh.bytes_sent;
+        self.bytes_received += fresh.bytes_received;
+        self.stream = fresh.stream;
+        self.reconnects += 1;
+        Ok(())
+    }
+
+    /// Sends one frame and reads one reply. Reset-class failures surface
+    /// as [`ClientError::ConnectionLost`].
     pub fn request(&mut self, msg: &Message) -> Result<Message, ClientError> {
         self.bytes_sent += write_frame(&mut self.stream, msg).map_err(|e| {
-            ClientError::Frame(match e.kind() {
+            conn_err(match e.kind() {
                 io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => FrameError::TimedOut,
                 kind => FrameError::Io(kind),
             })
         })? as u64;
-        let (reply, bytes) = read_frame(&mut self.stream)?;
+        let (reply, bytes) = read_frame(&mut self.stream).map_err(conn_err)?;
         self.bytes_received += bytes as u64;
         Ok(reply)
     }
 
-    /// Ships one node's sketch. Returns `true` when the server had already
-    /// seen this node (an idempotent duplicate).
+    /// As [`ServeClient::request`], but retries [`ClientError::ConnectionLost`]
+    /// by reconnecting with backoff. Only for **idempotent** requests —
+    /// ingest (duplicates are acked), status (read-only), recover
+    /// (repeatable) — where re-sending after an ambiguous failure cannot
+    /// double-apply.
+    pub fn request_idempotent(&mut self, msg: &Message) -> Result<Message, ClientError> {
+        let retry = self.retry;
+        for attempt in 1..=retry.max_attempts {
+            match self.request(msg) {
+                Err(ClientError::ConnectionLost) if attempt < retry.max_attempts => {
+                    self.backoff(attempt, 0);
+                    match self.reconnect() {
+                        Ok(()) => {}
+                        // Still restarting: loop — the next request on the
+                        // dead stream fails straight back here.
+                        Err(
+                            ClientError::Connect(_)
+                            | ClientError::ConnectionLost
+                            | ClientError::BusyExhausted,
+                        ) => {}
+                        Err(e) => return Err(e),
+                    }
+                }
+                other => return other,
+            }
+        }
+        Err(ClientError::ConnectionLost)
+    }
+
+    /// Queries the bound epoch's lifecycle state: `(phase, node count)`.
+    /// Read-only and retried across connection loss — the probe a client
+    /// uses to find out what survived a server restart.
+    pub fn status(&mut self) -> Result<(EpochPhase, u64), ClientError> {
+        let msg = Message::EpochStatus { session: self.session, epoch: self.epoch };
+        match self.request_idempotent(&msg)? {
+            Message::Status { phase, nodes, .. } => EpochPhase::from_u8(phase)
+                .map(|p| (p, nodes))
+                .ok_or(ClientError::UnexpectedReply(TAG_STATUS)),
+            reply => Err(reply_error(reply)),
+        }
+    }
+
+    /// Ships one node's sketch, reconnecting and re-sending across
+    /// connection loss (ingest is idempotent per `(node, seed)`). Returns
+    /// `true` when the server had already seen this node.
     pub fn send_sketch(
         &mut self,
         node: u32,
@@ -157,26 +269,52 @@ impl ServeClient {
     ) -> Result<bool, ClientError> {
         let msg =
             Message::Sketch { node, seed: self.seed, payload: quantize::encode(sketch, encoding) };
-        match self.request(&msg)? {
+        match self.request_idempotent(&msg)? {
             Message::Ack { of: TAG_SKETCH, info } => Ok(info == 1),
             reply => Err(reply_error(reply)),
         }
     }
 
     /// Seals the bound epoch. Returns the number of contributing nodes.
+    ///
+    /// Seal is *not* blindly re-sendable (a duplicate seal is a typed
+    /// reject), so after a connection loss the client asks via
+    /// [`ServeClient::status`] whether its seal landed before the crash:
+    /// already sealed → success; still ingesting → re-send the seal.
     pub fn seal(&mut self) -> Result<u64, ClientError> {
         let msg = Message::SealEpoch { session: self.session, epoch: self.epoch };
-        match self.request(&msg)? {
-            Message::Ack { of: TAG_SEAL_EPOCH, info } => Ok(info),
-            reply => Err(reply_error(reply)),
+        let retry = self.retry;
+        for attempt in 1..=retry.max_attempts {
+            match self.request(&msg) {
+                Ok(Message::Ack { of: TAG_SEAL_EPOCH, info }) => return Ok(info),
+                Ok(reply) => return Err(reply_error(reply)),
+                Err(ClientError::ConnectionLost) if attempt < retry.max_attempts => {
+                    self.backoff(attempt, 0);
+                    match self.reconnect() {
+                        Ok(()) => match self.status()? {
+                            (phase, nodes) if phase >= EpochPhase::Sealed => return Ok(nodes),
+                            _ => {} // seal was lost with the crash: re-send
+                        },
+                        Err(
+                            ClientError::Connect(_)
+                            | ClientError::ConnectionLost
+                            | ClientError::BusyExhausted,
+                        ) => {}
+                        Err(e) => return Err(e),
+                    }
+                }
+                Err(e) => return Err(e),
+            }
         }
+        Err(ClientError::ConnectionLost)
     }
 
     /// Recovers the sealed epoch with outlier budget `k`. Returns the
     /// recovered mode and the outliers as `(index, value)` pairs.
+    /// Recovery is repeatable, so connection loss is retried.
     pub fn recover(&mut self, k: u32) -> Result<(f64, Vec<(u32, f64)>), ClientError> {
         let msg = Message::RecoverEpoch { session: self.session, epoch: self.epoch, k };
-        match self.request(&msg)? {
+        match self.request_idempotent(&msg)? {
             Message::Report { mode, outliers, .. } => Ok((mode, outliers)),
             reply => Err(reply_error(reply)),
         }
@@ -191,6 +329,18 @@ impl ServeClient {
     pub fn bytes_received(&self) -> u64 {
         self.bytes_received
     }
+
+    /// Times this client re-dialed after losing its connection.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+}
+
+/// Exponential-backoff sleep: the larger of the server's hint and the
+/// policy's jittered tick count (1 virtual tick ≈ 1 ms).
+fn backoff_sleep(retry: &RetryPolicy, session: u64, attempt: u32, server_hint_ms: u32) {
+    let ticks = retry.backoff_ticks(session as usize, attempt);
+    std::thread::sleep(Duration::from_millis(ticks.max(u64::from(server_hint_ms))));
 }
 
 /// Maps a reply that is not the one the request expects to the matching

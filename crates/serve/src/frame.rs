@@ -64,6 +64,27 @@ impl fmt::Display for FrameError {
     }
 }
 
+impl FrameError {
+    /// Whether this failure means the peer went away mid-conversation — a
+    /// clean close, a mid-frame cut, or a reset-class socket error. These
+    /// are the errors a client maps to `ConnectionLost` and retries by
+    /// reconnecting; everything else (timeouts, CRC failures, oversized
+    /// prefixes) keeps its own identity.
+    pub fn is_connection_lost(&self) -> bool {
+        matches!(
+            self,
+            FrameError::Closed
+                | FrameError::Truncated
+                | FrameError::Io(
+                    io::ErrorKind::BrokenPipe
+                        | io::ErrorKind::ConnectionReset
+                        | io::ErrorKind::ConnectionAborted
+                        | io::ErrorKind::ConnectionRefused,
+                )
+        )
+    }
+}
+
 impl std::error::Error for FrameError {}
 
 impl From<WireError> for FrameError {

@@ -18,7 +18,13 @@
 //! - [`client`] — a blocking client plus [`run_cs_over_server`], which
 //!   drives the whole protocol against a live server and (with f64
 //!   payloads) recovers **bit-identically** to the in-process
-//!   [`CsProtocol::run_over_wire`](cso_distributed::CsProtocol) path.
+//!   [`CsProtocol::run_over_wire`](cso_distributed::CsProtocol) path;
+//! - [`wal`] — the write-ahead epoch journal: every store transition is
+//!   CRC-framed and appended before its ack, snapshots bound replay
+//!   length, and [`SessionStore::recover_from`] rebuilds the store after a
+//!   crash (torn tails truncate, wrong-version segments are typed
+//!   errors), so a restarted server recovers bit-identically on the
+//!   replayed node subset.
 //!
 //! ```no_run
 //! use cso_distributed::{Cluster, CsProtocol};
@@ -40,11 +46,13 @@ pub mod client;
 pub mod frame;
 pub mod server;
 pub mod session;
+pub mod wal;
 
 pub use client::{run_cs_over_server, ClientError, ServeClient, ServeRun, ServeRunConfig};
 pub use frame::{read_frame, write_frame, FrameError, MAX_FRAME_BYTES};
 pub use server::{spawn, ServerConfig, ServerHandle};
 pub use session::{
-    ConnState, Dispatch, EpochPhase, RecoverJob, RecoveredEpoch, RecoveryPolicy, RejectCode,
-    SessionStore, StoreLimits,
+    ConnState, Dispatch, Effect, EpochPhase, RecoverJob, RecoveredEpoch, RecoveryPolicy,
+    RejectCode, SessionStore, StoreLimits,
 };
+pub use wal::{Durability, FsyncPolicy, RecoveryReport, Wal, WalError, WalRecord};

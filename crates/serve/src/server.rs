@@ -25,8 +25,10 @@
 
 use crate::frame::{read_frame, write_frame, FrameError};
 use crate::session::{
-    ConnState, Dispatch, RecoveredEpoch, RecoveryPolicy, RejectCode, SessionStore, StoreLimits,
+    ConnState, Dispatch, Effect, RecoveredEpoch, RecoveryPolicy, RejectCode, SessionStore,
+    StoreLimits,
 };
+use crate::wal::{crash_point, Durability, Wal, WalRecord};
 use cso_distributed::wire::Message;
 use cso_obs::{Recorder, RunReport};
 use std::collections::VecDeque;
@@ -60,6 +62,12 @@ pub struct ServerConfig {
     pub limits: StoreLimits,
     /// When set, every recovered epoch appends one JSONL report line here.
     pub report_path: Option<PathBuf>,
+    /// Loopback port to bind (`0` = OS-assigned ephemeral). A fixed port
+    /// is what lets clients reconnect to a restarted server.
+    pub port: u16,
+    /// When set, the session store is recovered from this WAL directory at
+    /// startup and every state transition is journaled before its ack.
+    pub durability: Option<Durability>,
 }
 
 impl Default for ServerConfig {
@@ -72,6 +80,8 @@ impl Default for ServerConfig {
             policy: RecoveryPolicy::default(),
             limits: StoreLimits::default(),
             report_path: None,
+            port: 0,
+            durability: None,
         }
     }
 }
@@ -79,11 +89,29 @@ impl Default for ServerConfig {
 /// Everything the acceptor and handler threads share.
 struct Shared {
     store: Mutex<SessionStore>,
+    // Lock order: store before wal, always — appends happen under the
+    // store lock so journal order equals application order.
+    wal: Option<Mutex<Wal>>,
     queue: Mutex<VecDeque<TcpStream>>,
     available: Condvar,
     shutdown: AtomicBool,
     rec: Recorder,
     config: ServerConfig,
+}
+
+impl Shared {
+    /// Journals a dispatched message's effect (and snapshots when due).
+    /// Called with the store lock held; a no-op without durability or for
+    /// effect-free messages.
+    fn journal(&self, effect: &Effect, msg: &Message, store: &SessionStore) {
+        let Some(wal) = &self.wal else { return };
+        let Some(record) = WalRecord::of_effect(effect, msg) else { return };
+        let mut wal = lock_unpoisoned(wal);
+        wal.append(&record, &self.rec);
+        if wal.should_snapshot() {
+            wal.snapshot(store, &self.rec);
+        }
+    }
 }
 
 /// A running server. Dropping the handle shuts the server down and joins
@@ -120,6 +148,24 @@ impl ServerHandle {
         for t in self.threads.drain(..) {
             let _ = t.join();
         }
+        // Queued-but-unstarted connections get a typed reject instead of a
+        // silent close, so their clients fail over immediately rather than
+        // burning their read deadline. Best-effort: the peer may be gone.
+        let mut queue = lock_unpoisoned(&self.shared.queue);
+        while let Some(mut s) = queue.pop_front() {
+            self.shared.rec.counter_add("serve.conns_rejected_shutdown", 1);
+            let _ = write_frame(
+                &mut s,
+                &Message::Reject { code: RejectCode::ShuttingDown.as_u16(), retry_after_ms: 0 },
+            );
+        }
+        drop(queue);
+        // Mark the drain graceful: the next startup's recovery sees this
+        // as the journal's final record and knows it is not rebuilding
+        // after a crash. Always fsynced, whatever the policy.
+        if let Some(wal) = &self.shared.wal {
+            lock_unpoisoned(wal).append(&WalRecord::CleanShutdown, &self.shared.rec);
+        }
     }
 }
 
@@ -130,15 +176,40 @@ impl Drop for ServerHandle {
 }
 
 /// Binds a loopback listener and spawns the acceptor + handler threads.
+/// With [`ServerConfig::durability`] set, the session store is first
+/// recovered from the WAL directory (`serve.restarts`,
+/// `serve.replayed_records`, and — for a prior process that did not drain
+/// cleanly — `serve.unclean_shutdowns` record what was found).
 pub fn spawn(config: ServerConfig) -> std::io::Result<ServerHandle> {
-    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let listener = TcpListener::bind(("127.0.0.1", config.port))?;
     let addr = listener.local_addr()?;
+    let rec = Recorder::new();
+    let (store, wal) = match &config.durability {
+        Some(d) => {
+            let (store, report) = SessionStore::recover_from(&d.dir, config.limits)
+                .map_err(|e| std::io::Error::other(e.to_string()))?;
+            if report.had_prior_state {
+                rec.counter_add("serve.restarts", 1);
+                rec.counter_add("serve.replayed_records", report.replayed_records);
+                if !report.clean_shutdown {
+                    rec.counter_add("serve.unclean_shutdowns", 1);
+                }
+                if report.torn_tail {
+                    rec.counter_add("serve.wal_torn_tails", 1);
+                }
+            }
+            let wal = Wal::open(d).map_err(|e| std::io::Error::other(e.to_string()))?;
+            (store, Some(Mutex::new(wal)))
+        }
+        None => (SessionStore::with_limits(config.limits), None),
+    };
     let shared = Arc::new(Shared {
-        store: Mutex::new(SessionStore::with_limits(config.limits)),
+        store: Mutex::new(store),
+        wal,
         queue: Mutex::new(VecDeque::new()),
         available: Condvar::new(),
         shutdown: AtomicBool::new(false),
-        rec: Recorder::new(),
+        rec,
         config,
     });
 
@@ -274,10 +345,16 @@ fn serve_connection(mut stream: TcpStream, sh: &Shared) {
         let started = Instant::now();
         let dispatched = {
             let mut store = lock_unpoisoned(&sh.store);
-            store.dispatch(&mut conn, &msg, &sh.config.policy, &sh.rec)
+            let d = store.dispatch(&mut conn, &msg, &sh.config.policy, &sh.rec);
+            // Journal before the ack leaves the process, while the store
+            // lock still serializes us against other transitions.
+            if let Dispatch::Reply(_, effect) = &d {
+                sh.journal(effect, &msg, &store);
+            }
+            d
         };
         let (reply, recovered) = match dispatched {
-            Dispatch::Reply(reply) => (reply, None),
+            Dispatch::Reply(reply, _) => (reply, None),
             Dispatch::Recover(job) => {
                 // BOMP and the Φ0 materialization run outside the store
                 // lock: a recovery must never stall other connections'
@@ -290,7 +367,10 @@ fn serve_connection(mut stream: TcpStream, sh: &Shared) {
                     recover_started.elapsed().as_nanos() as u64,
                 );
                 if summary.is_some() {
-                    lock_unpoisoned(&sh.store).finish_recover(session, epoch, &sh.rec);
+                    crash_point("mid-recover");
+                    let mut store = lock_unpoisoned(&sh.store);
+                    store.finish_recover(session, epoch, &sh.rec);
+                    sh.journal(&Effect::Recovered { session, epoch }, &msg, &store);
                 }
                 (reply, summary)
             }

@@ -73,6 +73,10 @@ pub enum RejectCode {
     /// evictable; the client should recover (or abandon) finished work
     /// before opening more.
     StoreFull = 16,
+    /// The server is draining for shutdown: queued connections are
+    /// answered with this instead of a silent close, so clients fail over
+    /// immediately rather than burning their read deadline.
+    ShuttingDown = 17,
 }
 
 impl RejectCode {
@@ -101,6 +105,7 @@ impl RejectCode {
             14 => Unexpected,
             15 => Internal,
             16 => StoreFull,
+            17 => ShuttingDown,
             _ => return None,
         })
     }
@@ -125,13 +130,14 @@ impl fmt::Display for RejectCode {
             RejectCode::Unexpected => "unexpected message",
             RejectCode::Internal => "internal recovery failure",
             RejectCode::StoreFull => "session/epoch capacity reached",
+            RejectCode::ShuttingDown => "server shutting down",
         };
         write!(f, "{s}")
     }
 }
 
 /// Where an epoch is in its lifecycle.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum EpochPhase {
     /// Accepting sketches.
     Ingest,
@@ -139,6 +145,27 @@ pub enum EpochPhase {
     Sealed,
     /// Recovered at least once (recover is repeatable).
     Recovered,
+}
+
+impl EpochPhase {
+    /// The stable wire value carried in [`Message::Status`] frames.
+    pub fn as_u8(self) -> u8 {
+        match self {
+            EpochPhase::Ingest => 0,
+            EpochPhase::Sealed => 1,
+            EpochPhase::Recovered => 2,
+        }
+    }
+
+    /// Parses a wire value back into a phase.
+    pub fn from_u8(v: u8) -> Option<EpochPhase> {
+        Some(match v {
+            0 => EpochPhase::Ingest,
+            1 => EpochPhase::Sealed,
+            2 => EpochPhase::Recovered,
+            _ => return None,
+        })
+    }
 }
 
 /// One aggregation window of a session.
@@ -278,15 +305,78 @@ pub struct RecoveredEpoch {
     pub outliers: u64,
 }
 
+/// The durable state transition (if any) a dispatched message applied —
+/// what the write-ahead journal must persist before the reply is
+/// acknowledgeable. Read-only messages, rejected messages, and idempotent
+/// duplicates all produce [`Effect::None`]: only transitions that change
+/// what a restarted server must reconstruct are journaled.
+#[derive(Debug)]
+pub enum Effect {
+    /// Nothing changed (reject, duplicate, or read-only query).
+    None,
+    /// A fresh epoch was created (attaching to an existing one is free).
+    Opened {
+        /// Session id.
+        session: u64,
+        /// Epoch number.
+        epoch: u64,
+        /// Sketch length `M`.
+        m: u32,
+        /// Key-space size `N`.
+        n: u64,
+        /// Shared measurement seed.
+        seed: u64,
+    },
+    /// A new node's sketch joined the epoch (duplicates are not effects).
+    Ingested {
+        /// Session id.
+        session: u64,
+        /// Epoch number.
+        epoch: u64,
+    },
+    /// The epoch sealed; carries the compacted canonical measurement so
+    /// the journal record is self-contained (replaying it never depends on
+    /// the per-node ingest records surviving).
+    Sealed {
+        /// Session id.
+        session: u64,
+        /// Epoch number.
+        epoch: u64,
+        /// Shared measurement seed.
+        seed: u64,
+        /// Sketch length `M`.
+        m: u32,
+        /// Key-space size `N`.
+        n: u64,
+        /// Frozen membership count.
+        nodes: u64,
+        /// Duplicate sketches ignored during ingest.
+        duplicates: u64,
+        /// The canonical `M`-length measurement (ascending-node-id sum).
+        y: Vector,
+    },
+    /// The epoch's recovery completed (never produced by
+    /// [`SessionStore::dispatch`] — the server emits it alongside
+    /// [`SessionStore::finish_recover`], after the detached
+    /// [`RecoverJob`] ran outside the store lock).
+    Recovered {
+        /// Session id.
+        session: u64,
+        /// Epoch number.
+        epoch: u64,
+    },
+}
+
 /// The outcome of dispatching one message against the store: either the
-/// reply frame itself, or a [`RecoverJob`] the caller runs *outside* any
+/// reply frame itself (plus the state transition it applied, for the
+/// durability layer), or a [`RecoverJob`] the caller runs *outside* any
 /// store lock — BOMP plus the `Φ0` materialization are the only expensive
 /// operations in the protocol, and running them under the store mutex
 /// would stall every other connection for their duration.
 #[derive(Debug)]
 pub enum Dispatch {
-    /// The reply to send back.
-    Reply(Message),
+    /// The reply to send back, and the journalable transition it applied.
+    Reply(Message, Effect),
     /// A recovery to run lock-free; see [`RecoverJob::run`] and
     /// [`SessionStore::finish_recover`].
     Recover(RecoverJob),
@@ -378,7 +468,7 @@ impl SessionStore {
         policy: &RecoveryPolicy,
         rec: &Recorder,
     ) -> Dispatch {
-        Dispatch::Reply(match msg {
+        let (reply, effect) = match msg {
             Message::OpenEpoch { session, epoch, m, n, seed } => {
                 self.open(conn, *session, *epoch, *m, *n, *seed, rec)
             }
@@ -389,11 +479,15 @@ impl SessionStore {
             Message::RecoverEpoch { session, epoch, k } => {
                 match self.begin_recover(*session, *epoch, *k, policy) {
                     Ok(job) => return Dispatch::Recover(job),
-                    Err(code) => reject(code),
+                    Err(code) => (reject(code), Effect::None),
                 }
             }
-            _ => reject(RejectCode::Unexpected),
-        })
+            Message::EpochStatus { session, epoch } => {
+                (self.status(*session, *epoch), Effect::None)
+            }
+            _ => (reject(RejectCode::Unexpected), Effect::None),
+        };
+        Dispatch::Reply(reply, effect)
     }
 
     /// As [`SessionStore::dispatch`], but runs any recovery inline —
@@ -406,7 +500,7 @@ impl SessionStore {
         rec: &Recorder,
     ) -> (Message, Option<RecoveredEpoch>) {
         match self.dispatch(conn, msg, policy, rec) {
-            Dispatch::Reply(reply) => (reply, None),
+            Dispatch::Reply(reply, _) => (reply, None),
             Dispatch::Recover(job) => {
                 let (session, epoch) = job.target();
                 let (reply, summary) = job.run();
@@ -428,46 +522,46 @@ impl SessionStore {
         n: u64,
         seed: u64,
         rec: &Recorder,
-    ) -> Message {
+    ) -> (Message, Effect) {
         // The epoch's sketches must fit a frame with headroom: M doubles
         // plus headers, capped at half the frame budget.
         if u64::from(m) * 8 > u64::from(MAX_FRAME_BYTES) / 2 {
-            return reject(RejectCode::BadSpec);
+            return (reject(RejectCode::BadSpec), Effect::None);
         }
         // The dense m×n matrix recovery materializes is the epoch's real
         // allocation, so the client-supplied n is bounded exactly like m:
         // a hostile OpenEpoch must be a typed reject, never an abort.
         if n == 0 || u64::from(m) > n || n > self.limits.max_n {
-            return reject(RejectCode::BadSpec);
+            return (reject(RejectCode::BadSpec), Effect::None);
         }
         if u128::from(m) * u128::from(n) * 8 > u128::from(self.limits.max_matrix_bytes) {
-            return reject(RejectCode::BadSpec);
+            return (reject(RejectCode::BadSpec), Effect::None);
         }
         if let Some(existing) = self.sessions.get(&session).and_then(|s| s.epochs.get(&epoch)) {
             // Re-opening is how additional connections attach to the same
             // epoch — legal only when they agree on the configuration.
             let spec = existing.spec();
             if spec.m != m as usize || spec.n != n as usize || existing.seed != seed {
-                return reject(RejectCode::SpecMismatch);
+                return (reject(RejectCode::SpecMismatch), Effect::None);
             }
             let nodes = existing.node_count();
             conn.bound = Some((session, epoch));
-            return Message::Ack { of: TAG_OPEN_EPOCH, info: nodes };
+            return (Message::Ack { of: TAG_OPEN_EPOCH, info: nodes }, Effect::None);
         }
         let spec = match MeasurementSpec::new(m as usize, n as usize, seed) {
             Ok(s) => s,
-            Err(_) => return reject(RejectCode::BadSpec),
+            Err(_) => return (reject(RejectCode::BadSpec), Effect::None),
         };
         if !self.sessions.contains_key(&session)
             && self.sessions.len() >= self.limits.max_sessions
             && !self.evict_finished_session(rec)
         {
-            return reject(RejectCode::StoreFull);
+            return (reject(RejectCode::StoreFull), Effect::None);
         }
         let limit = self.limits.max_epochs_per_session;
         let entry = self.sessions.entry(session).or_default();
         if entry.epochs.len() >= limit && !evict_recovered_epoch(entry, rec) {
-            return reject(RejectCode::StoreFull);
+            return (reject(RejectCode::StoreFull), Effect::None);
         }
         entry.epochs.insert(
             epoch,
@@ -480,7 +574,22 @@ impl SessionStore {
         );
         conn.bound = Some((session, epoch));
         rec.counter_add("serve.epochs_opened", 1);
-        Message::Ack { of: TAG_OPEN_EPOCH, info: 0 }
+        (
+            Message::Ack { of: TAG_OPEN_EPOCH, info: 0 },
+            Effect::Opened { session, epoch, m, n, seed },
+        )
+    }
+
+    /// Answers an [`Message::EpochStatus`] query — read-only, so a client
+    /// can probe lifecycle state after a reconnect without side effects.
+    fn status(&self, session: u64, epoch: u64) -> Message {
+        let Some(sess) = self.sessions.get(&session) else {
+            return reject(RejectCode::UnknownSession);
+        };
+        let Some(ep) = sess.epochs.get(&epoch) else {
+            return reject(RejectCode::UnknownEpoch);
+        };
+        Message::Status { epoch, phase: ep.phase.as_u8(), nodes: ep.node_count() }
     }
 
     /// Evicts the lowest-id session whose epochs are all recovered (or
@@ -508,58 +617,72 @@ impl SessionStore {
         seed: u64,
         payload: &EncodedSketch,
         rec: &Recorder,
-    ) -> Message {
+    ) -> (Message, Effect) {
         let Some((session, epoch)) = conn.bound else {
-            return reject(RejectCode::SketchBeforeOpen);
+            return (reject(RejectCode::SketchBeforeOpen), Effect::None);
         };
         let ep = match self.epoch_mut(session, epoch) {
             Ok(e) => e,
-            Err(code) => return reject(code),
+            Err(code) => return (reject(code), Effect::None),
         };
         if ep.phase != EpochPhase::Ingest {
-            return reject(RejectCode::EpochSealed);
+            return (reject(RejectCode::EpochSealed), Effect::None);
         }
         if seed != ep.seed {
-            return reject(RejectCode::SeedMismatch);
+            return (reject(RejectCode::SeedMismatch), Effect::None);
         }
         let EpochState::Ingest(agg) = &mut ep.state else {
-            return reject(RejectCode::EpochSealed);
+            return (reject(RejectCode::EpochSealed), Effect::None);
         };
         if agg.contains(node as usize) {
             // Retransmits are idempotent: the first sketch for a node wins,
             // mirroring the degraded path's (node, seed) dedup.
             ep.duplicates += 1;
             rec.counter_add("serve.sketches_duplicate", 1);
-            return Message::Ack { of: TAG_SKETCH, info: 1 };
+            return (Message::Ack { of: TAG_SKETCH, info: 1 }, Effect::None);
         }
         let sketch = quantize::decode(payload);
         if agg.join(node as usize, sketch).is_err() {
-            return reject(RejectCode::BadSketch);
+            return (reject(RejectCode::BadSketch), Effect::None);
         }
         rec.counter_add("serve.sketches_accepted", 1);
-        Message::Ack { of: TAG_SKETCH, info: 0 }
+        (Message::Ack { of: TAG_SKETCH, info: 0 }, Effect::Ingested { session, epoch })
     }
 
-    fn seal(&mut self, session: u64, epoch: u64, rec: &Recorder) -> Message {
+    fn seal(&mut self, session: u64, epoch: u64, rec: &Recorder) -> (Message, Effect) {
         let ep = match self.epoch_mut(session, epoch) {
             Ok(e) => e,
-            Err(code) => return reject(code),
+            Err(code) => return (reject(code), Effect::None),
         };
         if ep.phase != EpochPhase::Ingest {
-            return reject(RejectCode::DuplicateSeal);
+            return (reject(RejectCode::DuplicateSeal), Effect::None);
         }
         let EpochState::Ingest(agg) = &ep.state else {
-            return reject(RejectCode::DuplicateSeal);
+            return (reject(RejectCode::DuplicateSeal), Effect::None);
         };
         // Compact at the freeze point: membership can no longer change, so
         // only the canonical measurement survives the seal.
         let nodes = agg.node_count() as u64;
         let spec = *agg.spec();
         let y = agg.global_measurement().clone();
-        ep.state = EpochState::Sealed { spec, y, nodes };
+        let seed = ep.seed;
+        let duplicates = ep.duplicates;
+        ep.state = EpochState::Sealed { spec, y: y.clone(), nodes };
         ep.phase = EpochPhase::Sealed;
         rec.counter_add("serve.epochs_sealed", 1);
-        Message::Ack { of: TAG_SEAL_EPOCH, info: nodes }
+        (
+            Message::Ack { of: TAG_SEAL_EPOCH, info: nodes },
+            Effect::Sealed {
+                session,
+                epoch,
+                seed,
+                m: spec.m as u32,
+                n: spec.n as u64,
+                nodes,
+                duplicates,
+                y,
+            },
+        )
     }
 
     fn begin_recover(
@@ -605,6 +728,274 @@ impl SessionStore {
             .epochs
             .get_mut(&epoch)
             .ok_or(RejectCode::UnknownEpoch)
+    }
+
+    // ---- journal replay ------------------------------------------------
+    //
+    // Replay routes journal records back through the same typed state
+    // machine the live path uses, with two deliberate differences that make
+    // replay **idempotent** (a duplicated record is a no-op, never an error
+    // or a divergence): duplicate ingest replays skip the `duplicates`
+    // statistic (which is restored from the seal record and otherwise
+    // documented as non-durable), and a seal replay is self-contained —
+    // the record carries the canonical measurement, so it never depends on
+    // the per-node ingest records surviving a torn tail.
+
+    /// Replays an epoch-open record. Attaching to an already-replayed
+    /// epoch is the idempotent no-op; a spec disagreement means the
+    /// journal is inconsistent.
+    pub(crate) fn replay_open(
+        &mut self,
+        session: u64,
+        epoch: u64,
+        m: u32,
+        n: u64,
+        seed: u64,
+    ) -> Result<(), String> {
+        let mut conn = ConnState::new();
+        let rec = Recorder::disabled();
+        match self.open(&mut conn, session, epoch, m, n, seed, &rec).0 {
+            Message::Ack { .. } => Ok(()),
+            Message::Reject { code, .. } => {
+                Err(format!("replayed open of ({session}, {epoch}) rejected: code {code}"))
+            }
+            other => Err(format!("replayed open of ({session}, {epoch}) got {other:?}")),
+        }
+    }
+
+    /// Replays a node-ingest record. Returns `true` when the sketch was
+    /// applied, `false` for the idempotent no-ops (node already present,
+    /// epoch already sealed by a later self-contained seal record).
+    pub(crate) fn replay_ingest(
+        &mut self,
+        session: u64,
+        epoch: u64,
+        node: u32,
+        seed: u64,
+        payload: &EncodedSketch,
+    ) -> Result<bool, String> {
+        let ep = self
+            .epoch_mut(session, epoch)
+            .map_err(|c| format!("replayed ingest into ({session}, {epoch}): {c}"))?;
+        if seed != ep.seed {
+            return Err(format!("replayed ingest into ({session}, {epoch}): seed mismatch"));
+        }
+        match &mut ep.state {
+            EpochState::Ingest(agg) => {
+                if agg.contains(node as usize) {
+                    return Ok(false);
+                }
+                let sketch = quantize::decode(payload);
+                agg.join(node as usize, sketch)
+                    .map_err(|e| format!("replayed ingest of node {node}: {e}"))?;
+                Ok(true)
+            }
+            // A duplicated ingest record replayed after the (authoritative)
+            // seal record: membership is frozen, the sketch is already in y.
+            EpochState::Sealed { .. } => Ok(false),
+        }
+    }
+
+    /// Replays a seal record. Self-contained: rebuilds the epoch from the
+    /// record's own spec and canonical measurement, creating it if the
+    /// open/ingest records were compacted or torn away. Preserves a
+    /// `Recovered` phase installed by an earlier replay.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn replay_seal(
+        &mut self,
+        session: u64,
+        epoch: u64,
+        seed: u64,
+        m: u32,
+        n: u64,
+        nodes: u64,
+        duplicates: u64,
+        y: Vector,
+    ) -> Result<(), String> {
+        let spec = MeasurementSpec::new(m as usize, n as usize, seed)
+            .map_err(|e| format!("replayed seal of ({session}, {epoch}): bad spec: {e}"))?;
+        if y.len() != m as usize {
+            return Err(format!(
+                "replayed seal of ({session}, {epoch}): measurement length {} != m {m}",
+                y.len()
+            ));
+        }
+        let entry = self.sessions.entry(session).or_default();
+        let ep = entry.epochs.entry(epoch).or_insert_with(|| Epoch {
+            seed,
+            phase: EpochPhase::Ingest,
+            duplicates: 0,
+            state: EpochState::Ingest(SketchAggregator::new(spec)),
+        });
+        if ep.seed != seed {
+            return Err(format!("replayed seal of ({session}, {epoch}): seed mismatch"));
+        }
+        ep.duplicates = duplicates;
+        ep.state = EpochState::Sealed { spec, y, nodes };
+        if ep.phase < EpochPhase::Sealed {
+            ep.phase = EpochPhase::Sealed;
+        }
+        Ok(())
+    }
+
+    /// Replays a recover-done record: marks the epoch recovered (making it
+    /// evictable again after restart). Tolerant of the epoch being absent
+    /// or unsealed — a duplicated or torn-reordered record is a no-op.
+    pub(crate) fn replay_recovered(&mut self, session: u64, epoch: u64) {
+        if let Ok(ep) = self.epoch_mut(session, epoch) {
+            if ep.phase != EpochPhase::Ingest {
+                ep.phase = EpochPhase::Recovered;
+            }
+        }
+    }
+
+    // ---- snapshot ------------------------------------------------------
+
+    /// Serializes the full store deterministically (`BTreeMap` order).
+    /// The inverse is [`SessionStore::from_snapshot_bytes`]; the format is
+    /// internal to the WAL directory and versioned by the snapshot file
+    /// header, not here.
+    pub fn snapshot_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_u32(&mut out, self.sessions.len() as u32);
+        for (sid, sess) in &self.sessions {
+            put_u64(&mut out, *sid);
+            put_u32(&mut out, sess.epochs.len() as u32);
+            for (eid, ep) in &sess.epochs {
+                put_u64(&mut out, *eid);
+                put_u64(&mut out, ep.seed);
+                out.push(ep.phase.as_u8());
+                put_u64(&mut out, ep.duplicates);
+                match &ep.state {
+                    EpochState::Ingest(agg) => {
+                        out.push(0);
+                        let spec = agg.spec();
+                        put_u32(&mut out, spec.m as u32);
+                        put_u64(&mut out, spec.n as u64);
+                        put_u64(&mut out, spec.seed);
+                        let ids = agg.node_ids();
+                        put_u32(&mut out, ids.len() as u32);
+                        for node in ids {
+                            put_u64(&mut out, node as u64);
+                            let sketch = agg.node_sketch(node).expect("listed node");
+                            for v in sketch.as_slice() {
+                                put_u64(&mut out, v.to_bits());
+                            }
+                        }
+                    }
+                    EpochState::Sealed { spec, y, nodes } => {
+                        out.push(1);
+                        put_u32(&mut out, spec.m as u32);
+                        put_u64(&mut out, spec.n as u64);
+                        put_u64(&mut out, spec.seed);
+                        put_u64(&mut out, *nodes);
+                        for v in y.as_slice() {
+                            put_u64(&mut out, v.to_bits());
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Rebuilds a store from [`SessionStore::snapshot_bytes`] output.
+    /// Aggregators are reconstructed through `join`, so the rebuilt
+    /// measurement is the same canonical ascending-node-id sum —
+    /// bit-identical to the snapshotted store's.
+    pub fn from_snapshot_bytes(buf: &[u8], limits: StoreLimits) -> Result<SessionStore, String> {
+        let mut r = SnapReader { buf, pos: 0 };
+        let mut store = SessionStore::with_limits(limits);
+        let n_sessions = r.u32()?;
+        for _ in 0..n_sessions {
+            let sid = r.u64()?;
+            let n_epochs = r.u32()?;
+            let sess = store.sessions.entry(sid).or_default();
+            for _ in 0..n_epochs {
+                let eid = r.u64()?;
+                let seed = r.u64()?;
+                let phase = EpochPhase::from_u8(r.u8()?)
+                    .ok_or_else(|| "snapshot: bad epoch phase".to_string())?;
+                let duplicates = r.u64()?;
+                let tag = r.u8()?;
+                let m = r.u32()? as usize;
+                let n = r.u64()? as usize;
+                let spec_seed = r.u64()?;
+                let spec = MeasurementSpec::new(m, n, spec_seed)
+                    .map_err(|e| format!("snapshot: bad spec: {e}"))?;
+                let state = match tag {
+                    0 => {
+                        let mut agg = SketchAggregator::new(spec);
+                        let count = r.u32()?;
+                        for _ in 0..count {
+                            let node = r.u64()? as usize;
+                            let mut vals = Vec::with_capacity(m);
+                            for _ in 0..m {
+                                vals.push(f64::from_bits(r.u64()?));
+                            }
+                            agg.join(node, Vector::from_vec(vals))
+                                .map_err(|e| format!("snapshot: join: {e}"))?;
+                        }
+                        EpochState::Ingest(agg)
+                    }
+                    1 => {
+                        let nodes = r.u64()?;
+                        let mut vals = Vec::with_capacity(m);
+                        for _ in 0..m {
+                            vals.push(f64::from_bits(r.u64()?));
+                        }
+                        EpochState::Sealed { spec, y: Vector::from_vec(vals), nodes }
+                    }
+                    t => return Err(format!("snapshot: unknown epoch state tag {t}")),
+                };
+                sess.epochs.insert(eid, Epoch { seed, phase, duplicates, state });
+            }
+        }
+        if r.pos != buf.len() {
+            return Err(format!("snapshot: {} trailing bytes", buf.len() - r.pos));
+        }
+        Ok(store)
+    }
+}
+
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Bounds-checked little-endian reader for snapshot and WAL-record
+/// decoding: every truncation is a typed error, never a slice panic.
+pub(crate) struct SnapReader<'a> {
+    pub(crate) buf: &'a [u8],
+    pub(crate) pos: usize,
+}
+
+impl SnapReader<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8], String> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.buf.len());
+        let end = end.ok_or_else(|| "snapshot: truncated".to_string())?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn remaining(&self) -> &[u8] {
+        &self.buf[self.pos..]
     }
 }
 
@@ -793,6 +1184,7 @@ mod tests {
             Message::Ack { of: TAG_SKETCH, info: 0 },
             Message::Reject { code: 1, retry_after_ms: 5 },
             Message::Report { epoch: 0, mode: 0.0, outliers: vec![] },
+            Message::Status { epoch: 0, phase: 0, nodes: 0 },
         ] {
             assert_eq!(code_of(&fx.send(&msg)), RejectCode::Unexpected);
         }
@@ -800,12 +1192,12 @@ mod tests {
 
     #[test]
     fn reject_codes_round_trip_their_wire_values() {
-        for v in 1..=16u16 {
+        for v in 1..=17u16 {
             let code = RejectCode::from_u16(v).expect("all codes defined");
             assert_eq!(code.as_u16(), v);
         }
         assert_eq!(RejectCode::from_u16(0), None);
-        assert_eq!(RejectCode::from_u16(17), None);
+        assert_eq!(RejectCode::from_u16(18), None);
     }
 
     /// The high-severity regression: an `OpenEpoch` with a hostile
@@ -929,5 +1321,95 @@ mod tests {
         assert_eq!(summary.expect("summary").nodes, 1);
         fx.store.finish_recover(1, 0, &fx.rec);
         assert_eq!(fx.store.epoch_phase(1, 0), Some(EpochPhase::Recovered));
+    }
+
+    /// `EpochStatus` tracks the lifecycle without side effects, and its
+    /// misses are the same typed rejects as every other addressed message.
+    #[test]
+    fn status_reports_phase_and_membership() {
+        let mut fx = Fixture::new();
+        let status = Message::EpochStatus { session: 1, epoch: 0 };
+        assert_eq!(code_of(&fx.send(&status)), RejectCode::UnknownSession);
+        fx.send(&open_msg());
+        assert_eq!(
+            code_of(&fx.send(&Message::EpochStatus { session: 1, epoch: 9 })),
+            RejectCode::UnknownEpoch
+        );
+        assert_eq!(fx.send(&status), Message::Status { epoch: 0, phase: 0, nodes: 0 });
+        fx.send(&sketch_msg(0, SEED));
+        fx.send(&sketch_msg(1, SEED));
+        assert_eq!(fx.send(&status), Message::Status { epoch: 0, phase: 0, nodes: 2 });
+        fx.send(&Message::SealEpoch { session: 1, epoch: 0 });
+        assert_eq!(fx.send(&status), Message::Status { epoch: 0, phase: 1, nodes: 2 });
+        fx.send(&Message::RecoverEpoch { session: 1, epoch: 0, k: 1 });
+        assert_eq!(fx.send(&status), Message::Status { epoch: 0, phase: 2, nodes: 2 });
+    }
+
+    /// Snapshot round-trip: an ingesting epoch, a sealed epoch, and a
+    /// recovered epoch all survive serialize → deserialize bit-for-bit
+    /// (the re-encoded snapshot is byte-identical).
+    #[test]
+    fn snapshot_round_trips_every_phase() {
+        let mut fx = Fixture::new();
+        // Epoch 0: sealed + recovered. Epoch 1: sealed. Epoch 2: ingesting.
+        for epoch in 0..3u64 {
+            let open = Message::OpenEpoch { session: 1, epoch, m: M, n: N, seed: SEED };
+            fx.send(&open);
+            fx.send(&sketch_msg(epoch as u32, SEED)); // bound to latest open
+            fx.send(&sketch_msg(epoch as u32 + 10, SEED));
+        }
+        fx.send(&Message::SealEpoch { session: 1, epoch: 0 });
+        fx.send(&Message::SealEpoch { session: 1, epoch: 1 });
+        fx.send(&Message::RecoverEpoch { session: 1, epoch: 0, k: 1 });
+
+        let bytes = fx.store.snapshot_bytes();
+        let rebuilt = SessionStore::from_snapshot_bytes(&bytes, StoreLimits::default())
+            .expect("valid snapshot");
+        assert_eq!(rebuilt.snapshot_bytes(), bytes, "round-trip must be exact");
+        assert_eq!(rebuilt.epoch_phase(1, 0), Some(EpochPhase::Recovered));
+        assert_eq!(rebuilt.epoch_phase(1, 1), Some(EpochPhase::Sealed));
+        assert_eq!(rebuilt.epoch_phase(1, 2), Some(EpochPhase::Ingest));
+
+        // Truncations of a valid snapshot are typed errors, not panics.
+        for cut in 0..bytes.len() {
+            assert!(
+                SessionStore::from_snapshot_bytes(&bytes[..cut], StoreLimits::default()).is_err()
+            );
+        }
+    }
+
+    /// Replayed records are idempotent: applying the same transition twice
+    /// leaves the store byte-identical to applying it once.
+    #[test]
+    fn replay_is_idempotent() {
+        let payload = {
+            let y = Vector::from_vec((0..M as usize).map(|i| i as f64).collect());
+            quantize::encode(&y, SketchEncoding::F64)
+        };
+        let mut store = SessionStore::new();
+        store.replay_open(1, 0, M, N, SEED).unwrap();
+        assert!(store.replay_ingest(1, 0, 3, SEED, &payload).unwrap());
+        let once = store.snapshot_bytes();
+
+        store.replay_open(1, 0, M, N, SEED).unwrap();
+        assert!(!store.replay_ingest(1, 0, 3, SEED, &payload).unwrap());
+        assert_eq!(store.snapshot_bytes(), once, "duplicate replay is a no-op");
+
+        // Seal is self-contained: replaying it onto a store whose ingest
+        // records were torn away still installs the canonical measurement.
+        let y = Vector::from_vec((0..M as usize).map(|i| 2.0 * i as f64).collect());
+        let mut bare = SessionStore::new();
+        bare.replay_seal(1, 0, SEED, M, N, 1, 0, y.clone()).unwrap();
+        assert_eq!(bare.epoch_phase(1, 0), Some(EpochPhase::Sealed));
+        bare.replay_recovered(1, 0);
+        assert_eq!(bare.epoch_phase(1, 0), Some(EpochPhase::Recovered));
+        // Replaying the seal again preserves the recovered phase.
+        bare.replay_seal(1, 0, SEED, M, N, 1, 0, y).unwrap();
+        assert_eq!(bare.epoch_phase(1, 0), Some(EpochPhase::Recovered));
+        // A recover replayed against a still-ingesting epoch is a no-op.
+        let mut fresh = SessionStore::new();
+        fresh.replay_open(1, 0, M, N, SEED).unwrap();
+        fresh.replay_recovered(1, 0);
+        assert_eq!(fresh.epoch_phase(1, 0), Some(EpochPhase::Ingest));
     }
 }

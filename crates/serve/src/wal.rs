@@ -1,0 +1,1000 @@
+//! Write-ahead epoch journal and crash recovery for the serve layer.
+//!
+//! PR 5's server keeps every session in memory, so one process crash
+//! throws away all ingested sketches and forces every node to re-vectorize
+//! and retransmit — exactly the cross-DC cost the compressive-sensing
+//! scheme exists to avoid. This module makes the [`SessionStore`]'s state
+//! transitions durable:
+//!
+//! - **Journal** — every store mutation ([`WalRecord`]) is appended to a
+//!   CRC-framed, length-prefixed segment file *before* the client's ack is
+//!   written, under the same store lock that applied it, so record order
+//!   always equals application order.
+//! - **Snapshots** — every [`Durability::snapshot_every_records`] records
+//!   the full store is serialized (see [`SessionStore::snapshot_bytes`]),
+//!   written atomically (temp + rename), and older segments are pruned, so
+//!   replay length stays bounded no matter how long the server runs.
+//! - **Recovery** — [`SessionStore::recover_from`] loads the newest valid
+//!   snapshot and replays the segment tail through the same typed state
+//!   machine the live path uses. A torn tail (the partially written record
+//!   a crash leaves behind) is truncated at the first bad length or CRC;
+//!   everything before it is intact by construction. A wrong-magic or
+//!   wrong-version segment is a typed [`WalError`] — never a panic, never
+//!   silently wrong bits.
+//!
+//! ## What each fsync policy buys
+//!
+//! A `write(2)` that returned before a **process** crash (SIGKILL, abort)
+//! survives in the OS page cache — replay sees it without any fsync. Fsync
+//! only matters for **machine** crashes (power loss, kernel panic):
+//! [`FsyncPolicy::PerRecord`] makes every ack machine-durable,
+//! [`FsyncPolicy::PerSeal`] makes sealed epochs machine-durable while
+//! unsealed ingest rides the page cache (nodes can re-send it — ingest is
+//! idempotent), and [`FsyncPolicy::Off`] relies on the page cache alone.
+//!
+//! ## Consistency model
+//!
+//! The journal is **prefix-consistent**: recovery reconstructs exactly the
+//! state produced by some prefix of the acknowledged transitions, and the
+//! canonical ascending-node-id resummation guarantees that recovering that
+//! prefix's epoch yields bit-identical output to a never-crashed server
+//! holding the same node subset. Seal records are self-contained (they
+//! carry the compacted canonical measurement), so a sealed epoch's bits
+//! never depend on its per-node ingest records surviving. The
+//! `duplicates` statistic is restored from the seal record and is
+//! otherwise non-durable — replaying a duplicated ingest record is a
+//! silent no-op, which is what makes replay idempotent.
+
+use crate::session::{put_u32, put_u64, SessionStore, SnapReader, StoreLimits};
+use cso_distributed::quantize::EncodedSketch;
+use cso_distributed::wire::{self, Message};
+use cso_obs::Recorder;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Magic bytes opening every segment file.
+pub const SEGMENT_MAGIC: &[u8; 8] = b"CSOWAL01";
+/// Magic bytes opening every snapshot file.
+pub const SNAPSHOT_MAGIC: &[u8; 8] = b"CSOSNAP1";
+/// Current segment/snapshot format version.
+pub const WAL_VERSION: u32 = 1;
+
+/// Hard cap on one record's encoded length — a flipped length prefix must
+/// never drive an allocation. Generous: the largest legitimate record is a
+/// seal carrying an `M`-length measurement, far below a frame.
+pub const MAX_RECORD_BYTES: u32 = 1 << 25;
+
+/// Environment variable naming a seeded crash-injection point; when the
+/// process reaches that point it aborts (no cleanup — equivalent to
+/// SIGKILL for everything except the kernel's signal accounting). Used by
+/// the kill-9 crash harness; unset in production.
+pub const ENV_CRASH_POINT: &str = "CSO_SERVE_CRASH_POINT";
+/// Companion to [`ENV_CRASH_POINT`]: abort on the n-th hit (default 1).
+pub const ENV_CRASH_COUNT: &str = "CSO_SERVE_CRASH_COUNT";
+
+/// Aborts the process if the seeded injection point `name` is armed via
+/// [`ENV_CRASH_POINT`]. A no-op (one relaxed atomic read) when unarmed.
+pub(crate) fn crash_point(name: &str) {
+    static ARMED: OnceLock<Option<(String, u64)>> = OnceLock::new();
+    static HITS: AtomicU64 = AtomicU64::new(0);
+    let armed = ARMED.get_or_init(|| {
+        let point = std::env::var(ENV_CRASH_POINT).ok()?;
+        let count = std::env::var(ENV_CRASH_COUNT).ok().and_then(|v| v.parse().ok()).unwrap_or(1);
+        Some((point, count.max(1)))
+    });
+    if let Some((point, count)) = armed {
+        if point == name && HITS.fetch_add(1, Ordering::SeqCst) + 1 == *count {
+            std::process::abort();
+        }
+    }
+}
+
+/// When the journal is flushed to stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// Never fsync: process-crash durable (page cache), not power-loss
+    /// durable. The fastest policy.
+    Off,
+    /// Fsync at seal records (and the clean-shutdown marker): sealed
+    /// epochs are power-loss durable, in-flight ingest is re-sendable.
+    PerSeal,
+    /// Fsync every record: every acked transition is power-loss durable.
+    PerRecord,
+}
+
+impl FsyncPolicy {
+    /// Stable lowercase name, used in bench CSV columns.
+    pub fn name(self) -> &'static str {
+        match self {
+            FsyncPolicy::Off => "off",
+            FsyncPolicy::PerSeal => "per-seal",
+            FsyncPolicy::PerRecord => "per-record",
+        }
+    }
+}
+
+/// Durability configuration for [`crate::server::ServerConfig`].
+#[derive(Debug, Clone)]
+pub struct Durability {
+    /// Directory holding segments and snapshots (created if absent).
+    pub dir: PathBuf,
+    /// When appends reach stable storage.
+    pub fsync: FsyncPolicy,
+    /// Rotate to a fresh segment once the current one exceeds this size.
+    pub segment_bytes: u64,
+    /// Snapshot the store (and prune replayed segments) after this many
+    /// journaled records, bounding replay length.
+    pub snapshot_every_records: u64,
+}
+
+impl Durability {
+    /// Default policy (`PerSeal`, 8 MiB segments, snapshot every 4096
+    /// records) rooted at `dir`.
+    pub fn at(dir: impl Into<PathBuf>) -> Self {
+        Durability {
+            dir: dir.into(),
+            fsync: FsyncPolicy::PerSeal,
+            segment_bytes: 8 << 20,
+            snapshot_every_records: 4096,
+        }
+    }
+}
+
+/// Typed failures of the durability layer.
+#[derive(Debug)]
+pub enum WalError {
+    /// Filesystem operation failed.
+    Io {
+        /// What the layer was doing.
+        context: String,
+        /// The error kind.
+        kind: io::ErrorKind,
+    },
+    /// A segment file's header is not a format this build reads (wrong
+    /// magic or wrong version). Unlike a torn tail this is never
+    /// self-inflicted by a crash — the header is written in one call — so
+    /// it is surfaced instead of truncated.
+    BadSegment {
+        /// The offending file.
+        path: PathBuf,
+        /// Why the header was rejected.
+        reason: String,
+    },
+    /// A replayed record was internally inconsistent with the store built
+    /// so far (e.g. a seal whose seed disagrees with its open).
+    Replay(String),
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalError::Io { context, kind } => write!(f, "wal i/o failed ({context}): {kind:?}"),
+            WalError::BadSegment { path, reason } => {
+                write!(f, "unreadable wal segment {}: {reason}", path.display())
+            }
+            WalError::Replay(msg) => write!(f, "wal replay failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+fn io_err(context: &str, e: &io::Error) -> WalError {
+    WalError::Io { context: context.to_string(), kind: e.kind() }
+}
+
+/// One journaled state transition. Kinds 1–4 mirror the [`Effect`]s the
+/// state machine produces; [`WalRecord::CleanShutdown`] is the marker
+/// [`crate::server::ServerHandle::shutdown`] appends after a graceful
+/// drain, distinguishing it from a crash at the next startup.
+///
+/// [`Effect`]: crate::session::Effect
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// A fresh epoch was created (kind 1; body is the v2-encoded
+    /// `OpenEpoch` frame).
+    Open {
+        /// Session id.
+        session: u64,
+        /// Epoch number.
+        epoch: u64,
+        /// Sketch length `M`.
+        m: u32,
+        /// Key-space size `N`.
+        n: u64,
+        /// Shared measurement seed.
+        seed: u64,
+    },
+    /// A node's sketch joined the epoch (kind 2; the payload reuses the v2
+    /// wire encoding of the `Sketch` frame).
+    Ingest {
+        /// Session id.
+        session: u64,
+        /// Epoch number.
+        epoch: u64,
+        /// Node id.
+        node: u32,
+        /// The sketch's measurement seed.
+        seed: u64,
+        /// The encoded sketch exactly as it arrived.
+        payload: EncodedSketch,
+    },
+    /// The epoch sealed (kind 3). Self-contained: carries the compacted
+    /// canonical measurement, so replay never depends on the per-node
+    /// ingest records surviving.
+    Seal {
+        /// Session id.
+        session: u64,
+        /// Epoch number.
+        epoch: u64,
+        /// Shared measurement seed.
+        seed: u64,
+        /// Sketch length `M`.
+        m: u32,
+        /// Key-space size `N`.
+        n: u64,
+        /// Frozen membership count.
+        nodes: u64,
+        /// Duplicate sketches ignored during ingest.
+        duplicates: u64,
+        /// IEEE-754 bit patterns of the canonical `M`-length measurement.
+        y_bits: Vec<u64>,
+    },
+    /// The epoch's recovery completed (kind 4) — after restart the epoch
+    /// is evictable again.
+    RecoverDone {
+        /// Session id.
+        session: u64,
+        /// Epoch number.
+        epoch: u64,
+    },
+    /// Graceful-drain marker (kind 5): when this is the journal's final
+    /// record, the previous process exited cleanly.
+    CleanShutdown,
+}
+
+impl WalRecord {
+    /// Builds the journal record for a dispatched message's [`Effect`],
+    /// or `None` for effect-free messages. `msg` is the original request —
+    /// an ingest effect journals its sketch payload verbatim from there.
+    ///
+    /// [`Effect`]: crate::session::Effect
+    pub fn of_effect(effect: &crate::session::Effect, msg: &Message) -> Option<WalRecord> {
+        use crate::session::Effect;
+        match effect {
+            Effect::None => None,
+            Effect::Opened { session, epoch, m, n, seed } => Some(WalRecord::Open {
+                session: *session,
+                epoch: *epoch,
+                m: *m,
+                n: *n,
+                seed: *seed,
+            }),
+            Effect::Ingested { session, epoch } => match msg {
+                Message::Sketch { node, seed, payload } => Some(WalRecord::Ingest {
+                    session: *session,
+                    epoch: *epoch,
+                    node: *node,
+                    seed: *seed,
+                    payload: payload.clone(),
+                }),
+                _ => None,
+            },
+            Effect::Sealed { session, epoch, seed, m, n, nodes, duplicates, y } => {
+                Some(WalRecord::Seal {
+                    session: *session,
+                    epoch: *epoch,
+                    seed: *seed,
+                    m: *m,
+                    n: *n,
+                    nodes: *nodes,
+                    duplicates: *duplicates,
+                    y_bits: y.as_slice().iter().map(|v| v.to_bits()).collect(),
+                })
+            }
+            Effect::Recovered { session, epoch } => {
+                Some(WalRecord::RecoverDone { session: *session, epoch: *epoch })
+            }
+        }
+    }
+}
+
+const KIND_OPEN: u8 = 1;
+const KIND_INGEST: u8 = 2;
+const KIND_SEAL: u8 = 3;
+const KIND_RECOVER_DONE: u8 = 4;
+const KIND_CLEAN_SHUTDOWN: u8 = 5;
+
+impl WalRecord {
+    /// Encodes the record as `[kind][body]` (the framing CRC and length
+    /// prefix are added by the segment writer).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            WalRecord::Open { session, epoch, m, n, seed } => {
+                out.push(KIND_OPEN);
+                let msg = Message::OpenEpoch {
+                    session: *session,
+                    epoch: *epoch,
+                    m: *m,
+                    n: *n,
+                    seed: *seed,
+                };
+                out.extend_from_slice(&wire::encode(&msg));
+            }
+            WalRecord::Ingest { session, epoch, node, seed, payload } => {
+                out.push(KIND_INGEST);
+                put_u64(&mut out, *session);
+                put_u64(&mut out, *epoch);
+                let msg = Message::Sketch { node: *node, seed: *seed, payload: payload.clone() };
+                out.extend_from_slice(&wire::encode(&msg));
+            }
+            WalRecord::Seal { session, epoch, seed, m, n, nodes, duplicates, y_bits } => {
+                out.push(KIND_SEAL);
+                put_u64(&mut out, *session);
+                put_u64(&mut out, *epoch);
+                put_u64(&mut out, *seed);
+                put_u32(&mut out, *m);
+                put_u64(&mut out, *n);
+                put_u64(&mut out, *nodes);
+                put_u64(&mut out, *duplicates);
+                for bits in y_bits {
+                    put_u64(&mut out, *bits);
+                }
+            }
+            WalRecord::RecoverDone { session, epoch } => {
+                out.push(KIND_RECOVER_DONE);
+                put_u64(&mut out, *session);
+                put_u64(&mut out, *epoch);
+            }
+            WalRecord::CleanShutdown => out.push(KIND_CLEAN_SHUTDOWN),
+        }
+        out
+    }
+
+    /// Decodes a `[kind][body]` record. Any malformation is a typed error.
+    pub fn decode(buf: &[u8]) -> Result<WalRecord, String> {
+        let (&kind, body) = buf.split_first().ok_or("empty record")?;
+        match kind {
+            KIND_OPEN => match wire::decode(body) {
+                Ok(Message::OpenEpoch { session, epoch, m, n, seed }) => {
+                    Ok(WalRecord::Open { session, epoch, m, n, seed })
+                }
+                Ok(other) => Err(format!("open record held a {} frame", other.tag())),
+                Err(e) => Err(format!("open record: {e}")),
+            },
+            KIND_INGEST => {
+                let mut r = SnapReader { buf: body, pos: 0 };
+                let session = r.u64()?;
+                let epoch = r.u64()?;
+                match wire::decode(r.remaining()) {
+                    Ok(Message::Sketch { node, seed, payload }) => {
+                        Ok(WalRecord::Ingest { session, epoch, node, seed, payload })
+                    }
+                    Ok(other) => Err(format!("ingest record held a {} frame", other.tag())),
+                    Err(e) => Err(format!("ingest record: {e}")),
+                }
+            }
+            KIND_SEAL => {
+                let mut r = SnapReader { buf: body, pos: 0 };
+                let session = r.u64()?;
+                let epoch = r.u64()?;
+                let seed = r.u64()?;
+                let m = r.u32()?;
+                let n = r.u64()?;
+                let nodes = r.u64()?;
+                let duplicates = r.u64()?;
+                if r.remaining().len() != m as usize * 8 {
+                    return Err(format!(
+                        "seal record carries {} measurement bytes for m={m}",
+                        r.remaining().len()
+                    ));
+                }
+                let mut y_bits = Vec::with_capacity(m as usize);
+                for _ in 0..m {
+                    y_bits.push(r.u64()?);
+                }
+                Ok(WalRecord::Seal { session, epoch, seed, m, n, nodes, duplicates, y_bits })
+            }
+            KIND_RECOVER_DONE => {
+                let mut r = SnapReader { buf: body, pos: 0 };
+                let session = r.u64()?;
+                let epoch = r.u64()?;
+                if !r.remaining().is_empty() {
+                    return Err("recover-done record has trailing bytes".into());
+                }
+                Ok(WalRecord::RecoverDone { session, epoch })
+            }
+            KIND_CLEAN_SHUTDOWN => {
+                if !body.is_empty() {
+                    return Err("clean-shutdown record has a body".into());
+                }
+                Ok(WalRecord::CleanShutdown)
+            }
+            k => Err(format!("unknown record kind {k}")),
+        }
+    }
+
+    /// Applies the record to a store being rebuilt. Duplicated records are
+    /// no-ops; inconsistent ones are typed errors. This is the exact path
+    /// recovery drives, exposed so tests can mirror-replay a record list
+    /// against an in-memory store.
+    pub fn replay(&self, store: &mut SessionStore) -> Result<(), String> {
+        match self {
+            WalRecord::Open { session, epoch, m, n, seed } => {
+                store.replay_open(*session, *epoch, *m, *n, *seed)
+            }
+            WalRecord::Ingest { session, epoch, node, seed, payload } => {
+                store.replay_ingest(*session, *epoch, *node, *seed, payload).map(|_| ())
+            }
+            WalRecord::Seal { session, epoch, seed, m, n, nodes, duplicates, y_bits } => {
+                let y = cso_linalg::Vector::from_vec(
+                    y_bits.iter().map(|&b| f64::from_bits(b)).collect(),
+                );
+                store.replay_seal(*session, *epoch, *seed, *m, *n, *nodes, *duplicates, y)
+            }
+            WalRecord::RecoverDone { session, epoch } => {
+                store.replay_recovered(*session, *epoch);
+                Ok(())
+            }
+            WalRecord::CleanShutdown => Ok(()),
+        }
+    }
+}
+
+fn segment_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("wal-{seq:08}.log"))
+}
+
+fn snapshot_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("snapshot-{seq:08}.bin"))
+}
+
+/// Lists `(seq, path)` of files named `prefix-XXXXXXXX.suffix`, ascending.
+fn list_numbered(dir: &Path, prefix: &str, suffix: &str) -> Result<Vec<(u64, PathBuf)>, WalError> {
+    let mut out = Vec::new();
+    let entries = fs::read_dir(dir).map_err(|e| io_err("read_dir", &e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| io_err("read_dir entry", &e))?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(mid) = name.strip_prefix(prefix).and_then(|r| r.strip_suffix(suffix)) else {
+            continue;
+        };
+        if let Ok(seq) = mid.parse::<u64>() {
+            out.push((seq, entry.path()));
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn segment_header() -> [u8; 12] {
+    let mut h = [0u8; 12];
+    h[..8].copy_from_slice(SEGMENT_MAGIC);
+    h[8..].copy_from_slice(&WAL_VERSION.to_le_bytes());
+    h
+}
+
+/// The append side of the journal. Owned by the server behind a mutex;
+/// every method is infallible at the call site — an I/O failure latches
+/// [`Wal::failed`], counts `serve.wal_errors`, and stops journaling for
+/// the process lifetime (recovery then replays the prefix written so far,
+/// which is exactly the fsync-off consistency model).
+#[derive(Debug)]
+pub struct Wal {
+    cfg: Durability,
+    seg: File,
+    seg_seq: u64,
+    seg_bytes: u64,
+    records_since_snapshot: u64,
+    failed: bool,
+}
+
+impl Wal {
+    /// Opens the journal for appending: creates `cfg.dir` if needed and
+    /// starts a fresh segment after the highest existing one (earlier
+    /// segments are never appended to — their tail may be torn).
+    pub fn open(cfg: &Durability) -> Result<Wal, WalError> {
+        fs::create_dir_all(&cfg.dir).map_err(|e| io_err("create wal dir", &e))?;
+        let next_seq = list_numbered(&cfg.dir, "wal-", ".log")?
+            .last()
+            .map(|(seq, _)| seq + 1)
+            .unwrap_or(0)
+            .max(
+                list_numbered(&cfg.dir, "snapshot-", ".bin")?
+                    .last()
+                    .map(|(seq, _)| seq + 1)
+                    .unwrap_or(0),
+            );
+        let wal = Wal {
+            cfg: cfg.clone(),
+            seg: open_segment(&cfg.dir, next_seq)?,
+            seg_seq: next_seq,
+            seg_bytes: 12,
+            records_since_snapshot: 0,
+            failed: false,
+        };
+        // The header must be durable before any record claims to be.
+        if cfg.fsync != FsyncPolicy::Off {
+            wal.seg.sync_all().map_err(|e| io_err("fsync segment header", &e))?;
+        }
+        Ok(wal)
+    }
+
+    /// Whether an earlier append failed and journaling is disabled.
+    pub fn failed(&self) -> bool {
+        self.failed
+    }
+
+    /// Appends one record (and fsyncs it per the configured policy) before
+    /// the caller acks the client. Must be called under the store lock so
+    /// journal order equals application order.
+    pub fn append(&mut self, record: &WalRecord, rec: &Recorder) {
+        if self.failed {
+            return;
+        }
+        let payload = record.encode();
+        let kind = payload[0];
+        let mut framed = Vec::with_capacity(8 + payload.len());
+        put_u32(&mut framed, payload.len() as u32);
+        put_u32(&mut framed, wire::crc32(&payload));
+        framed.extend_from_slice(&payload);
+        // One write syscall per record: a SIGKILL after this point leaves
+        // the full record in the page cache, so process-crash durability
+        // never depends on user-space buffering.
+        if self.seg.write_all(&framed).is_err() {
+            self.fail(rec);
+            return;
+        }
+        self.seg_bytes += framed.len() as u64;
+        self.records_since_snapshot += 1;
+        rec.counter_add("serve.wal_records", 1);
+        rec.counter_add("serve.wal_bytes", framed.len() as u64);
+        if kind == KIND_INGEST {
+            crash_point("mid-ingest");
+        }
+        if kind == KIND_SEAL {
+            crash_point("pre-seal-fsync");
+        }
+        let want_sync = match self.cfg.fsync {
+            FsyncPolicy::PerRecord => true,
+            FsyncPolicy::PerSeal => kind == KIND_SEAL || kind == KIND_CLEAN_SHUTDOWN,
+            FsyncPolicy::Off => kind == KIND_CLEAN_SHUTDOWN,
+        };
+        if want_sync {
+            self.sync(rec);
+        }
+        if kind == KIND_SEAL {
+            crash_point("post-seal");
+        }
+        if self.seg_bytes >= self.cfg.segment_bytes {
+            self.rotate(rec);
+        }
+    }
+
+    /// Flushes the segment to stable storage, recording `serve.wal_fsync_ns`.
+    fn sync(&mut self, rec: &Recorder) {
+        let started = Instant::now();
+        if self.seg.sync_all().is_err() {
+            self.fail(rec);
+            return;
+        }
+        rec.histogram_record("serve.wal_fsync_ns", started.elapsed().as_nanos() as u64);
+    }
+
+    fn fail(&mut self, rec: &Recorder) {
+        self.failed = true;
+        rec.counter_add("serve.wal_errors", 1);
+    }
+
+    fn rotate(&mut self, rec: &Recorder) {
+        match open_segment(&self.cfg.dir, self.seg_seq + 1) {
+            Ok(seg) => {
+                self.seg = seg;
+                self.seg_seq += 1;
+                self.seg_bytes = 12;
+                rec.counter_add("serve.wal_segments_rotated", 1);
+            }
+            Err(_) => self.fail(rec),
+        }
+    }
+
+    /// Whether enough records accumulated since the last snapshot that the
+    /// caller (holding the store lock) should [`Wal::snapshot`].
+    pub fn should_snapshot(&self) -> bool {
+        !self.failed && self.records_since_snapshot >= self.cfg.snapshot_every_records
+    }
+
+    /// Snapshots `store` and prunes the segments the snapshot covers:
+    /// rotates to a fresh segment, writes `snapshot-<seq>.bin` atomically
+    /// (temp + rename + fsync), then deletes all older segments and
+    /// snapshots. On any failure the journal is left untouched except for
+    /// the rotation — recovery falls back to the previous snapshot plus a
+    /// longer replay, never to wrong bits.
+    pub fn snapshot(&mut self, store: &SessionStore, rec: &Recorder) {
+        if self.failed {
+            return;
+        }
+        // Everything up to here must be readable before the old segments
+        // become the snapshot's responsibility.
+        self.sync(rec);
+        self.rotate(rec);
+        if self.failed {
+            return;
+        }
+        self.records_since_snapshot = 0;
+        let body = store.snapshot_bytes();
+        let mut out = Vec::with_capacity(20 + body.len());
+        out.extend_from_slice(SNAPSHOT_MAGIC);
+        put_u32(&mut out, WAL_VERSION);
+        put_u32(&mut out, wire::crc32(&body));
+        put_u64(&mut out, body.len() as u64);
+        out.extend_from_slice(&body);
+        let path = snapshot_path(&self.cfg.dir, self.seg_seq);
+        let tmp = path.with_extension("tmp");
+        let written = (|| -> io::Result<()> {
+            let mut f = File::create(&tmp)?;
+            f.write_all(&out)?;
+            f.sync_all()?;
+            fs::rename(&tmp, &path)?;
+            Ok(())
+        })();
+        if written.is_err() {
+            let _ = fs::remove_file(&tmp);
+            rec.counter_add("serve.wal_errors", 1);
+            return;
+        }
+        rec.counter_add("serve.wal_snapshots", 1);
+        // Prune: everything before the fresh segment is now redundant.
+        for kind in [("wal-", ".log"), ("snapshot-", ".bin")] {
+            if let Ok(files) = list_numbered(&self.cfg.dir, kind.0, kind.1) {
+                for (seq, p) in files {
+                    if seq < self.seg_seq {
+                        let _ = fs::remove_file(p);
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn open_segment(dir: &Path, seq: u64) -> Result<File, WalError> {
+    let path = segment_path(dir, seq);
+    let mut f = OpenOptions::new()
+        .create_new(true)
+        .append(true)
+        .open(&path)
+        .map_err(|e| io_err("create segment", &e))?;
+    f.write_all(&segment_header()).map_err(|e| io_err("write segment header", &e))?;
+    Ok(f)
+}
+
+/// What [`SessionStore::recover_from`] found and did.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// Whether any prior state (segments or snapshot) existed at all.
+    pub had_prior_state: bool,
+    /// Whether a snapshot was loaded (vs. replay from an empty store).
+    pub snapshot_loaded: bool,
+    /// Records replayed from the segment tail (markers included).
+    pub replayed_records: u64,
+    /// Segments scanned.
+    pub segments: u64,
+    /// Whether replay stopped at a torn/corrupt record (everything before
+    /// it was applied; everything after is discarded).
+    pub torn_tail: bool,
+    /// Whether the journal's final record was the clean-shutdown marker —
+    /// `false` means the previous process crashed.
+    pub clean_shutdown: bool,
+}
+
+/// Reads one segment, replaying records into `store`. Returns
+/// `(records_replayed, last_record_kind, torn)`; `torn` means the segment
+/// ended in a partial or CRC-failing record and replay of the whole
+/// journal must stop (later bytes have no trustworthy framing).
+fn replay_segment(
+    path: &Path,
+    store: &mut SessionStore,
+    is_last: bool,
+) -> Result<(u64, Option<u8>, bool), WalError> {
+    let mut buf = Vec::new();
+    File::open(path)
+        .and_then(|mut f| f.read_to_end(&mut buf))
+        .map_err(|e| io_err("read segment", &e))?;
+    if buf.len() < 12 {
+        // A crash can leave a header-less file only for the final segment
+        // (created but not yet written through); anywhere else it means
+        // the directory was damaged.
+        if is_last {
+            return Ok((0, None, true));
+        }
+        return Err(WalError::BadSegment {
+            path: path.to_path_buf(),
+            reason: format!("{} bytes is shorter than the header", buf.len()),
+        });
+    }
+    if &buf[..8] != SEGMENT_MAGIC {
+        return Err(WalError::BadSegment {
+            path: path.to_path_buf(),
+            reason: "bad magic".to_string(),
+        });
+    }
+    let version = u32::from_le_bytes(buf[8..12].try_into().unwrap());
+    if version != WAL_VERSION {
+        return Err(WalError::BadSegment {
+            path: path.to_path_buf(),
+            reason: format!("version {version} (this build reads {WAL_VERSION})"),
+        });
+    }
+    let mut pos = 12usize;
+    let mut replayed = 0u64;
+    let mut last_kind = None;
+    while pos < buf.len() {
+        if buf.len() - pos < 8 {
+            return Ok((replayed, last_kind, true)); // torn framing
+        }
+        let len = u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap());
+        let crc = u32::from_le_bytes(buf[pos + 4..pos + 8].try_into().unwrap());
+        if len == 0 || len > MAX_RECORD_BYTES || buf.len() - pos - 8 < len as usize {
+            return Ok((replayed, last_kind, true)); // torn or flipped length
+        }
+        let payload = &buf[pos + 8..pos + 8 + len as usize];
+        if wire::crc32(payload) != crc {
+            return Ok((replayed, last_kind, true)); // torn or flipped body
+        }
+        // The frame is intact: a record that fails to *decode or replay*
+        // past this point is not a torn write, it is an inconsistency —
+        // surfaced, never skipped.
+        let record = WalRecord::decode(payload).map_err(WalError::Replay)?;
+        record.replay(store).map_err(WalError::Replay)?;
+        last_kind = Some(payload[0]);
+        replayed += 1;
+        pos += 8 + len as usize;
+    }
+    Ok((replayed, last_kind, false))
+}
+
+/// Reads a snapshot file, returning the store body on success.
+fn read_snapshot(path: &Path, limits: StoreLimits) -> Result<SessionStore, String> {
+    let mut buf = Vec::new();
+    File::open(path).and_then(|mut f| f.read_to_end(&mut buf)).map_err(|e| format!("read: {e}"))?;
+    if buf.len() < 24 {
+        return Err("shorter than the header".to_string());
+    }
+    if &buf[..8] != SNAPSHOT_MAGIC {
+        return Err("bad magic".to_string());
+    }
+    let version = u32::from_le_bytes(buf[8..12].try_into().unwrap());
+    if version != WAL_VERSION {
+        return Err(format!("version {version}"));
+    }
+    let crc = u32::from_le_bytes(buf[12..16].try_into().unwrap());
+    let len = u64::from_le_bytes(buf[16..24].try_into().unwrap());
+    if len != (buf.len() - 24) as u64 {
+        return Err("length mismatch".to_string());
+    }
+    let body = &buf[24..];
+    if wire::crc32(body) != crc {
+        return Err("crc mismatch".to_string());
+    }
+    SessionStore::from_snapshot_bytes(body, limits)
+}
+
+impl SessionStore {
+    /// Rebuilds a store from a WAL directory: loads the newest valid
+    /// snapshot, then replays the segment tail through the typed state
+    /// machine. An absent or empty directory yields an empty store. A torn
+    /// tail — the partial record a crash leaves — truncates replay at the
+    /// first bad length or CRC; a wrong-magic or wrong-version segment is
+    /// a typed [`WalError`].
+    pub fn recover_from(
+        dir: &Path,
+        limits: StoreLimits,
+    ) -> Result<(SessionStore, RecoveryReport), WalError> {
+        let mut report = RecoveryReport::default();
+        if !dir.exists() {
+            return Ok((SessionStore::with_limits(limits), report));
+        }
+        let segments = list_numbered(dir, "wal-", ".log")?;
+        let snapshots = list_numbered(dir, "snapshot-", ".bin")?;
+        report.had_prior_state = !segments.is_empty() || !snapshots.is_empty();
+
+        // Newest structurally valid snapshot wins; damaged ones fall back
+        // to older snapshots (or empty + full replay) rather than failing
+        // startup — prefix consistency is preserved either way.
+        let mut store = SessionStore::with_limits(limits);
+        let mut from_seq = 0u64;
+        for (seq, path) in snapshots.iter().rev() {
+            match read_snapshot(path, limits) {
+                Ok(s) => {
+                    store = s;
+                    from_seq = *seq;
+                    report.snapshot_loaded = true;
+                    break;
+                }
+                Err(_) => continue,
+            }
+        }
+
+        let tail: Vec<&(u64, PathBuf)> =
+            segments.iter().filter(|(seq, _)| *seq >= from_seq).collect();
+        let mut last_kind = None;
+        for (i, (_, path)) in tail.iter().enumerate() {
+            let is_last = i + 1 == tail.len();
+            let (n, kind, torn) = replay_segment(path, &mut store, is_last)?;
+            report.replayed_records += n;
+            report.segments += 1;
+            if kind.is_some() {
+                last_kind = kind;
+            }
+            if torn {
+                report.torn_tail = true;
+                break;
+            }
+        }
+        report.clean_shutdown = last_kind == Some(KIND_CLEAN_SHUTDOWN);
+        Ok((store, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cso_distributed::quantize::{self, SketchEncoding};
+    use cso_linalg::Vector;
+    use std::sync::atomic::AtomicU32;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static SEQ: AtomicU32 = AtomicU32::new(0);
+        let n = SEQ.fetch_add(1, Ordering::SeqCst);
+        let dir = std::env::temp_dir().join(format!("cso-wal-{tag}-{}-{n}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_records() -> Vec<WalRecord> {
+        let y = Vector::from_vec((0..4).map(|i| i as f64).collect());
+        vec![
+            WalRecord::Open { session: 1, epoch: 0, m: 4, n: 32, seed: 7 },
+            WalRecord::Ingest {
+                session: 1,
+                epoch: 0,
+                node: 3,
+                seed: 7,
+                payload: quantize::encode(&y, SketchEncoding::F64),
+            },
+            WalRecord::Seal {
+                session: 1,
+                epoch: 0,
+                seed: 7,
+                m: 4,
+                n: 32,
+                nodes: 1,
+                duplicates: 2,
+                y_bits: y.as_slice().iter().map(|v| v.to_bits()).collect(),
+            },
+            WalRecord::RecoverDone { session: 1, epoch: 0 },
+            WalRecord::CleanShutdown,
+        ]
+    }
+
+    #[test]
+    fn records_round_trip() {
+        for r in sample_records() {
+            let enc = r.encode();
+            assert_eq!(WalRecord::decode(&enc).expect("decodes"), r);
+            // Truncations decode to typed errors, never panics.
+            for cut in 0..enc.len() {
+                let _ = WalRecord::decode(&enc[..cut]);
+            }
+        }
+        assert!(WalRecord::decode(&[99]).is_err());
+        assert!(WalRecord::decode(&[]).is_err());
+    }
+
+    #[test]
+    fn append_then_recover_round_trips_the_store() {
+        let dir = temp_dir("roundtrip");
+        let rec = Recorder::disabled();
+        let mut wal = Wal::open(&Durability::at(&dir)).expect("open");
+        for r in sample_records() {
+            wal.append(&r, &rec);
+        }
+        assert!(!wal.failed());
+        drop(wal);
+
+        let (store, report) =
+            SessionStore::recover_from(&dir, StoreLimits::default()).expect("recover");
+        assert!(report.had_prior_state);
+        assert_eq!(report.replayed_records, 5);
+        assert!(report.clean_shutdown);
+        assert!(!report.torn_tail);
+        assert_eq!(store.epoch_phase(1, 0), Some(crate::session::EpochPhase::Recovered));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_truncates_at_every_offset() {
+        let dir = temp_dir("torn");
+        let rec = Recorder::disabled();
+        let mut wal = Wal::open(&Durability::at(&dir)).expect("open");
+        for r in sample_records() {
+            wal.append(&r, &rec);
+        }
+        drop(wal);
+        let seg = segment_path(&dir, 0);
+        let full = fs::read(&seg).expect("segment bytes");
+
+        for cut in 0..full.len() {
+            fs::write(&seg, &full[..cut]).expect("truncate");
+            let out = SessionStore::recover_from(&dir, StoreLimits::default());
+            match out {
+                Ok((_, report)) => assert!(
+                    cut == full.len() || report.torn_tail || report.replayed_records < 5,
+                    "cut {cut}: truncation unnoticed"
+                ),
+                Err(WalError::BadSegment { .. }) => {
+                    assert!(cut < 12, "cut {cut}: only header cuts may be BadSegment");
+                }
+                Err(e) => panic!("cut {cut}: unexpected error {e}"),
+            }
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wrong_version_segment_is_a_typed_error() {
+        let dir = temp_dir("version");
+        let rec = Recorder::disabled();
+        let mut wal = Wal::open(&Durability::at(&dir)).expect("open");
+        wal.append(&sample_records()[0], &rec);
+        drop(wal);
+        let seg = segment_path(&dir, 0);
+        let mut bytes = fs::read(&seg).expect("segment");
+        bytes[8] = 0xEE; // version word
+        fs::write(&seg, &bytes).expect("rewrite");
+        assert!(matches!(
+            SessionStore::recover_from(&dir, StoreLimits::default()),
+            Err(WalError::BadSegment { .. })
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_prunes_and_recovery_prefers_it() {
+        let dir = temp_dir("snap");
+        let rec = Recorder::disabled();
+        let mut cfg = Durability::at(&dir);
+        cfg.snapshot_every_records = 2;
+        let mut wal = Wal::open(&cfg).expect("open");
+
+        let mut store = SessionStore::new();
+        let records = sample_records();
+        for r in &records[..3] {
+            r.replay(&mut store).expect("mirror replay");
+            wal.append(r, &rec);
+        }
+        assert!(wal.should_snapshot());
+        wal.snapshot(&store, &rec);
+        assert!(!wal.failed());
+        // The pre-snapshot segment is pruned; the snapshot carries state.
+        assert!(!segment_path(&dir, 0).exists(), "segment 0 pruned");
+        for r in &records[3..] {
+            r.replay(&mut store).expect("mirror replay");
+            wal.append(r, &rec);
+        }
+        drop(wal);
+
+        let (rebuilt, report) =
+            SessionStore::recover_from(&dir, StoreLimits::default()).expect("recover");
+        assert!(report.snapshot_loaded);
+        assert!(report.clean_shutdown);
+        assert_eq!(rebuilt.snapshot_bytes(), store.snapshot_bytes(), "bit-identical");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,299 @@
+//! Kill-9 crash harness (PR 6 tentpole proof).
+//!
+//! The durable server's contract: after **any** crash and restart, the
+//! recovered output on the replayed node subset is bit-identical to a
+//! never-crashed run — no panics, no wrong bits, and the client resumes
+//! idempotent ingest mid-epoch on its own.
+//!
+//! The server under test runs as a *child process* (a re-exec of this
+//! test binary filtered to [`child_server`]) so a crash really is a
+//! process death — page cache survives, user-space buffers do not. Two
+//! kill mechanisms are exercised:
+//!
+//! - **Seeded injection points** (`CSO_SERVE_CRASH_POINT`): the WAL layer
+//!   calls `std::process::abort()` at mid-ingest, pre-seal-fsync,
+//!   post-seal, and mid-recover — deterministic worst-case placements.
+//! - **Raw SIGKILL** (`Child::kill`) at arbitrary parent-chosen times —
+//!   no cooperation from the victim at all.
+//!
+//! In both shapes the parent restarts the server on the same port and
+//! WAL directory, and the in-flight client run — armed with a generous
+//! retry policy — must complete bit-identically to
+//! [`CsProtocol::run_over_wire`] on the full cluster.
+
+use cso_distributed::quantize::SketchEncoding;
+use cso_distributed::{Cluster, CsProtocol, RetryPolicy};
+use cso_serve::{run_cs_over_server, ServeRunConfig};
+use cso_workloads::{split, MajorityConfig, MajorityData, SliceStrategy};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::{Duration, Instant};
+
+const M: usize = 120;
+const SEED: u64 = 7;
+const K: usize = 8;
+
+/// The seeded abort placements the WAL layer honors (see `wal.rs`).
+const CRASH_POINTS: [&str; 4] = ["mid-ingest", "pre-seal-fsync", "post-seal", "mid-recover"];
+
+fn majority_cluster() -> (Cluster, MajorityData) {
+    let data =
+        MajorityData::generate(&MajorityConfig { n: 400, s: 8, ..MajorityConfig::default() }, 42)
+            .unwrap();
+    let slices =
+        split(&data.values, 4, SliceStrategy::Camouflaged { offset: 2000.0, fraction: 0.2 }, 43)
+            .unwrap();
+    (Cluster::new(slices).unwrap(), data)
+}
+
+fn proto() -> CsProtocol {
+    CsProtocol::new(M, SEED)
+}
+
+/// A retry policy sized for a server restart window (seconds), not a
+/// transient hiccup: many attempts, ~50 ms capped backoff.
+fn patient() -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 400,
+        base_backoff_ticks: 5,
+        max_backoff_ticks: 50,
+        ..RetryPolicy::default()
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static SEQ: AtomicU32 = AtomicU32::new(0);
+    let n = SEQ.fetch_add(1, Ordering::SeqCst);
+    let dir = std::env::temp_dir().join(format!("cso-crash-{tag}-{}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Picks a free loopback port by binding ephemeral and letting it go. The
+/// child re-binds it; the tiny race window is absorbed by its bind-retry.
+fn pick_port() -> u16 {
+    TcpListener::bind("127.0.0.1:0").unwrap().local_addr().unwrap().port()
+}
+
+/// Re-execs this test binary filtered down to [`child_server`], which
+/// spawns the durable server on `port` over `dir` and parks forever. When
+/// `crash` names a seeded point, the child aborts on its first hit.
+fn spawn_child(port: u16, dir: &PathBuf, crash: Option<&str>) -> Child {
+    let exe = std::env::current_exe().expect("test binary path");
+    let mut cmd = Command::new(exe);
+    cmd.arg("child_server")
+        .arg("--exact")
+        .arg("--nocapture")
+        .env("CSO_SERVE_CHILD", "1")
+        .env("CSO_SERVE_PORT", port.to_string())
+        .env("CSO_SERVE_WAL_DIR", dir.display().to_string())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null());
+    if let Some(point) = crash {
+        cmd.env("CSO_SERVE_CRASH_POINT", point).env("CSO_SERVE_CRASH_COUNT", "1");
+    }
+    cmd.spawn().expect("spawn child server")
+}
+
+/// Blocks until the child's listener answers connects (then drops the
+/// probe connection — the server treats that as a clean close).
+fn wait_listening(addr: SocketAddr) {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(_) => return,
+            Err(_) if Instant::now() < deadline => std::thread::sleep(Duration::from_millis(10)),
+            Err(e) => panic!("server at {addr} never came up: {e}"),
+        }
+    }
+}
+
+/// Waits for the child to exit (it is expected to die — by seeded abort
+/// or by our SIGKILL) within a generous deadline.
+fn wait_exit(child: &mut Child, what: &str) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        match child.try_wait().expect("try_wait") {
+            Some(status) => {
+                assert!(!status.success(), "{what}: child exited cleanly instead of crashing");
+                return;
+            }
+            None if Instant::now() < deadline => std::thread::sleep(Duration::from_millis(5)),
+            None => {
+                let _ = child.kill();
+                let _ = child.wait();
+                panic!("{what}: child never crashed — injection point not reached?");
+            }
+        }
+    }
+}
+
+fn kill(mut child: Child) {
+    let _ = child.kill();
+    let _ = child.wait();
+}
+
+/// Asserts a completed run carries exactly the reference's bits.
+fn assert_bit_identical(
+    run: &cso_serve::ServeRun,
+    reference: &cso_distributed::ProtocolRun,
+    cluster: &Cluster,
+    what: &str,
+) {
+    assert_eq!(run.nodes, cluster.l() as u64, "{what}: node count");
+    assert_eq!(run.mode.to_bits(), reference.mode.to_bits(), "{what}: mode bits");
+    assert_eq!(run.outliers.len(), reference.estimate.len(), "{what}: outlier count");
+    for (got, want) in run.outliers.iter().zip(&reference.estimate) {
+        assert_eq!(got.0 as usize, want.index, "{what}: outlier index");
+        assert_eq!(got.1.to_bits(), want.value.to_bits(), "{what}: outlier value bits");
+    }
+}
+
+/// CHILD MODE — not a test when run by the parent harness (the env guard
+/// makes it an immediate no-op there). Re-executed with `CSO_SERVE_CHILD=1`
+/// it becomes the server process: bind the fixed port (with retry — the
+/// predecessor's sockets may linger for a moment), journal to the shared
+/// WAL directory, and park until killed.
+#[test]
+fn child_server() {
+    if std::env::var("CSO_SERVE_CHILD").as_deref() != Ok("1") {
+        return;
+    }
+    let port: u16 = std::env::var("CSO_SERVE_PORT").unwrap().parse().unwrap();
+    let dir = PathBuf::from(std::env::var("CSO_SERVE_WAL_DIR").unwrap());
+    let deadline = Instant::now() + Duration::from_secs(15);
+    loop {
+        match cso_serve::spawn(cso_serve::ServerConfig {
+            port,
+            durability: Some(cso_serve::Durability::at(&dir)),
+            ..cso_serve::ServerConfig::default()
+        }) {
+            Ok(_server) => loop {
+                std::thread::sleep(Duration::from_secs(3600));
+            },
+            Err(e) if Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(25));
+                let _ = e;
+            }
+            Err(e) => panic!("child could not bind port {port}: {e}"),
+        }
+    }
+}
+
+/// Tentpole acceptance, seeded half: for every injection point, the
+/// server is aborted at that exact placement mid-run, restarted on the
+/// same journal, and the resumed client run is bit-identical to the
+/// never-crashed reference.
+#[test]
+fn kill9_at_every_seeded_point_recovers_bit_identically() {
+    let (cluster, _) = majority_cluster();
+    let reference = proto().run_over_wire(&cluster, K, SketchEncoding::F64).unwrap();
+
+    for point in CRASH_POINTS {
+        let dir = temp_dir(point);
+        let port = pick_port();
+        let addr = SocketAddr::from(([127, 0, 0, 1], port));
+        let mut doomed = spawn_child(port, &dir, Some(point));
+        wait_listening(addr);
+
+        std::thread::scope(|scope| {
+            let cluster = &cluster;
+            let runner = scope.spawn(move || {
+                let cfg = ServeRunConfig { retry: patient(), ..ServeRunConfig::default() };
+                run_cs_over_server(&proto(), cluster, K, addr, &cfg)
+            });
+
+            // The run drives the server into the armed point; the child
+            // aborts there. Restart it clean on the same port + journal.
+            wait_exit(&mut doomed, point);
+            let fresh = spawn_child(port, &dir, None);
+
+            let run = runner.join().expect("runner thread").unwrap_or_else(|e| {
+                panic!("{point}: resumed run failed: {e}");
+            });
+            assert_bit_identical(&run, &reference, cluster, point);
+            kill(fresh);
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Tentpole acceptance, fan-out half: the mid-ingest kill survives 1, 2
+/// and 8 concurrent ingest connections — every connection thread rides
+/// out the restart through the shared retry policy and the sealed epoch
+/// still aggregates the full cluster.
+#[test]
+fn kill9_mid_ingest_recovers_at_1_2_8_connections() {
+    let (cluster, _) = majority_cluster();
+    let reference = proto().run_over_wire(&cluster, K, SketchEncoding::F64).unwrap();
+
+    for connections in [1usize, 2, 8] {
+        let tag = format!("conns{connections}");
+        let dir = temp_dir(&tag);
+        let port = pick_port();
+        let addr = SocketAddr::from(([127, 0, 0, 1], port));
+        let mut doomed = spawn_child(port, &dir, Some("mid-ingest"));
+        wait_listening(addr);
+
+        std::thread::scope(|scope| {
+            let cluster = &cluster;
+            let runner = scope.spawn(move || {
+                let cfg =
+                    ServeRunConfig { connections, retry: patient(), ..ServeRunConfig::default() };
+                run_cs_over_server(&proto(), cluster, K, addr, &cfg)
+            });
+
+            wait_exit(&mut doomed, &tag);
+            let fresh = spawn_child(port, &dir, None);
+
+            let run = runner.join().expect("runner thread").unwrap_or_else(|e| {
+                panic!("connections={connections}: resumed run failed: {e}");
+            });
+            assert_bit_identical(&run, &reference, cluster, &tag);
+            kill(fresh);
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Raw SIGKILL half: no seeded point, no cooperation — the parent kills
+/// the server at arbitrary wall-clock offsets into the run. Whatever the
+/// journal caught, the resumed run must still complete with the full
+/// cluster's bits (ingest is idempotent, so the client re-ships
+/// everything the crash may have swallowed).
+#[test]
+fn raw_sigkill_at_arbitrary_times_is_survivable() {
+    let (cluster, _) = majority_cluster();
+    let reference = proto().run_over_wire(&cluster, K, SketchEncoding::F64).unwrap();
+
+    for delay_ms in [1u64, 8, 25] {
+        let tag = format!("sigkill{delay_ms}");
+        let dir = temp_dir(&tag);
+        let port = pick_port();
+        let addr = SocketAddr::from(([127, 0, 0, 1], port));
+        let mut victim = spawn_child(port, &dir, None);
+        wait_listening(addr);
+
+        std::thread::scope(|scope| {
+            let cluster = &cluster;
+            let runner = scope.spawn(move || {
+                let cfg = ServeRunConfig { retry: patient(), ..ServeRunConfig::default() };
+                run_cs_over_server(&proto(), cluster, K, addr, &cfg)
+            });
+
+            std::thread::sleep(Duration::from_millis(delay_ms));
+            victim.kill().expect("SIGKILL");
+            victim.wait().expect("reap");
+            let fresh = spawn_child(port, &dir, None);
+
+            let run = runner.join().expect("runner thread").unwrap_or_else(|e| {
+                panic!("{tag}: resumed run failed: {e}");
+            });
+            assert_bit_identical(&run, &reference, cluster, &tag);
+            kill(fresh);
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -7,8 +7,8 @@ use cso_distributed::wire::{self, Message};
 use cso_distributed::{Cluster, CsProtocol, RetryPolicy};
 use cso_exec::ExecConfig;
 use cso_serve::{
-    read_frame, run_cs_over_server, spawn, write_frame, RecoveryPolicy, RejectCode, ServeClient,
-    ServeRunConfig, ServerConfig,
+    read_frame, run_cs_over_server, spawn, write_frame, Durability, RecoveryPolicy, RejectCode,
+    ServeClient, ServeRunConfig, ServerConfig,
 };
 use cso_workloads::{split, MajorityConfig, MajorityData, SliceStrategy};
 use std::io::Write as _;
@@ -297,6 +297,112 @@ fn mismatched_ack_tag_is_an_unexpected_reply() {
         "got {err:?}"
     );
     fake.join().unwrap();
+}
+
+/// Durability across a *clean* restart: three epochs are ingested over 1,
+/// 2 and 8 concurrent connections and the server shuts down before any
+/// seal. A fresh server over the same WAL directory replays the journal
+/// and every epoch seals + recovers the full cluster's bits — identical
+/// to the never-restarted wire reference.
+#[test]
+fn clean_restart_replays_the_journal_bit_identically() {
+    let (cluster, _) = majority_cluster();
+    let reference = proto().run_over_wire(&cluster, K, SketchEncoding::F64).unwrap();
+    let sketches = proto().node_sketches(&cluster).unwrap();
+    let n = cluster.n() as u64;
+    let l = cluster.l() as u64;
+    let dir = std::env::temp_dir().join(format!("cso-serve-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let retry = RetryPolicy::default();
+
+    // First life: ingest only, then drain cleanly mid-protocol.
+    let server =
+        spawn(ServerConfig { durability: Some(Durability::at(&dir)), ..ServerConfig::default() })
+            .unwrap();
+    let addr = server.addr();
+    for (epoch, connections) in [(0u64, 1usize), (1, 2), (2, 8)] {
+        std::thread::scope(|scope| {
+            for c in 0..connections {
+                let sketches = &sketches;
+                let retry = &retry;
+                scope.spawn(move || {
+                    let (mut client, _) =
+                        ServeClient::open(addr, retry, 1, epoch, M as u32, n, SEED).unwrap();
+                    for (node, sketch) in sketches.iter().enumerate().skip(c).step_by(connections) {
+                        client.send_sketch(node as u32, sketch, SketchEncoding::F64).unwrap();
+                    }
+                });
+            }
+        });
+    }
+    server.shutdown();
+
+    // Second life: same directory, fresh everything else.
+    let server =
+        spawn(ServerConfig { durability: Some(Durability::at(&dir)), ..ServerConfig::default() })
+            .unwrap();
+    let metrics = server.recorder().metrics_snapshot();
+    assert_eq!(metrics.counter("serve.restarts"), Some(1));
+    assert!(
+        metrics.counter("serve.replayed_records").unwrap_or(0) >= 3 * (1 + l),
+        "3 opens + {l} ingests each must have been replayed: {metrics:?}"
+    );
+    assert_eq!(metrics.counter("serve.unclean_shutdowns"), None, "the drain was graceful");
+    assert_eq!(metrics.counter("serve.wal_torn_tails"), None);
+
+    for epoch in 0..3u64 {
+        let (mut control, already) =
+            ServeClient::open(server.addr(), &retry, 1, epoch, M as u32, n, SEED).unwrap();
+        assert_eq!(already, l, "epoch {epoch}: replay lost ingested nodes");
+        assert_eq!(control.seal().unwrap(), l, "epoch {epoch}");
+        let (mode, outliers) = control.recover(K as u32).unwrap();
+        assert_eq!(mode.to_bits(), reference.mode.to_bits(), "epoch {epoch}: mode bits");
+        for (got, want) in outliers.iter().zip(&reference.estimate) {
+            assert_eq!(got.0 as usize, want.index, "epoch {epoch}");
+            assert_eq!(got.1.to_bits(), want.value.to_bits(), "epoch {epoch}");
+        }
+    }
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A draining server answers queued-but-unstarted connections with a
+/// typed `ShuttingDown` reject instead of a silent close, so their
+/// clients fail over immediately.
+#[test]
+fn shutdown_rejects_queued_connections_with_a_typed_frame() {
+    let server = spawn(ServerConfig {
+        handlers: 1,
+        queue_depth: 8,
+        read_timeout: Duration::from_millis(100),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = server.addr();
+    let rec = server.recorder().clone();
+
+    // Occupy the only handler, then park two connections in the queue.
+    let (holder, _) =
+        ServeClient::open(addr, &RetryPolicy::no_retry(), 1, 0, 16, 64, SEED).unwrap();
+    let mut queued: Vec<TcpStream> = (0..2).map(|_| TcpStream::connect(addr).unwrap()).collect();
+    std::thread::sleep(Duration::from_millis(50)); // let the acceptor queue them
+
+    // The drain joins the busy handler (it notices at its read deadline)
+    // and then must write the typed reject to everything still queued.
+    server.shutdown();
+    drop(holder);
+    for (i, s) in queued.iter_mut().enumerate() {
+        let (reply, _) = read_frame(s).unwrap();
+        assert_eq!(
+            reply,
+            Message::Reject { code: RejectCode::ShuttingDown.as_u16(), retry_after_ms: 0 },
+            "queued connection {i}"
+        );
+    }
+    assert!(
+        rec.metrics_snapshot().counter("serve.conns_rejected_shutdown").unwrap_or(0) >= 2,
+        "both queued connections must be accounted"
+    );
 }
 
 /// Narrow encodings flow through the server exactly like the in-process
