@@ -13,7 +13,7 @@
 use crate::frame::{read_frame, write_frame, FrameError};
 use crate::session::{EpochPhase, RejectCode};
 use cso_distributed::quantize::{self, SketchEncoding};
-use cso_distributed::wire::{Message, TAG_OPEN_EPOCH, TAG_SEAL_EPOCH, TAG_SKETCH, TAG_STATUS};
+use cso_distributed::wire::{Message, TAG_OPEN_EPOCH, TAG_SEAL_EPOCH, TAG_SKETCH};
 use cso_distributed::{Cluster, CsProtocol, RetryPolicy};
 use cso_linalg::Vector;
 use std::fmt;
@@ -42,6 +42,16 @@ pub enum ClientError {
     /// carries the reply's frame tag, or, for an `Ack` echoing a tag the
     /// request did not send, that mismatched `of` value.
     UnexpectedReply(u8),
+    /// The reply's frame type matched the request, but a field held a
+    /// value this client cannot decode (e.g. an out-of-range epoch-phase
+    /// byte in a `Status` reply) — distinct from [`Self::UnexpectedReply`]
+    /// so diagnostics point at the malformed field, not the frame type.
+    MalformedReply {
+        /// Which reply field was undecodable.
+        field: &'static str,
+        /// The raw value received.
+        value: u64,
+    },
     /// The server stayed busy through every connection attempt.
     BusyExhausted,
     /// Local sketch construction failed before anything hit the wire.
@@ -57,6 +67,9 @@ impl fmt::Display for ClientError {
             ClientError::Rejected(code) => write!(f, "server rejected: {code}"),
             ClientError::RejectedUnknown(v) => write!(f, "server rejected with unknown code {v}"),
             ClientError::UnexpectedReply(tag) => write!(f, "unexpected reply frame (tag {tag})"),
+            ClientError::MalformedReply { field, value } => {
+                write!(f, "malformed reply: undecodable {field} value {value}")
+            }
             ClientError::BusyExhausted => write!(f, "server busy through all retries"),
             ClientError::Local(msg) => write!(f, "local failure: {msg}"),
         }
@@ -251,9 +264,12 @@ impl ServeClient {
     pub fn status(&mut self) -> Result<(EpochPhase, u64), ClientError> {
         let msg = Message::EpochStatus { session: self.session, epoch: self.epoch };
         match self.request_idempotent(&msg)? {
-            Message::Status { phase, nodes, .. } => EpochPhase::from_u8(phase)
-                .map(|p| (p, nodes))
-                .ok_or(ClientError::UnexpectedReply(TAG_STATUS)),
+            Message::Status { phase, nodes, .. } => {
+                EpochPhase::from_u8(phase).map(|p| (p, nodes)).ok_or(ClientError::MalformedReply {
+                    field: "epoch phase",
+                    value: u64::from(phase),
+                })
+            }
             reply => Err(reply_error(reply)),
         }
     }

@@ -22,9 +22,10 @@
 //! - [`wal`] — the write-ahead epoch journal: every store transition is
 //!   CRC-framed and appended before its ack, snapshots bound replay
 //!   length, and [`SessionStore::recover_from`] rebuilds the store after a
-//!   crash (torn tails truncate, wrong-version segments are typed
-//!   errors), so a restarted server recovers bit-identically on the
-//!   replayed node subset.
+//!   crash (torn tails are truncated off the journal in place,
+//!   wrong-version segments and gapped histories are typed errors), so
+//!   a restarted server recovers bit-identically on the replayed node
+//!   subset.
 //!
 //! ```no_run
 //! use cso_distributed::{Cluster, CsProtocol};

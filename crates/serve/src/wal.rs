@@ -17,10 +17,16 @@
 //! - **Recovery** — [`SessionStore::recover_from`] loads the newest valid
 //!   snapshot and replays the segment tail through the same typed state
 //!   machine the live path uses. A torn tail (the partially written record
-//!   a crash leaves behind) is truncated at the first bad length or CRC;
-//!   everything before it is intact by construction. A wrong-magic or
-//!   wrong-version segment is a typed [`WalError`] — never a panic, never
-//!   silently wrong bits.
+//!   a crash leaves behind) is truncated at the first bad length or CRC —
+//!   and the truncation is written back (**self-healing**), so the torn
+//!   bytes never linger to shadow records a later restart appends after
+//!   them. Because healing runs before [`Wal::open`] ever starts a
+//!   follow-on segment, a torn record in a *non-final* segment can only
+//!   mean power-loss reordering or external damage, and is refused as a
+//!   typed [`WalError::TornMiddle`] instead of silently dropping the
+//!   later segments' acked records. A wrong-magic or wrong-version
+//!   segment is a typed [`WalError`] — never a panic, never silently
+//!   wrong bits.
 //!
 //! ## What each fsync policy buys
 //!
@@ -167,6 +173,29 @@ pub enum WalError {
     /// A replayed record was internally inconsistent with the store built
     /// so far (e.g. a seal whose seed disagrees with its open).
     Replay(String),
+    /// A **non-final** segment ends in a torn record. Recovery heals the
+    /// final segment's torn tail in place (truncating it before the
+    /// writer ever starts a follow-on segment), so this state only
+    /// arises from power-loss writeback reordering or external damage —
+    /// and replaying past it would silently drop every acked record in
+    /// the segments that follow, so recovery refuses instead.
+    TornMiddle {
+        /// The segment with the torn record.
+        path: PathBuf,
+        /// Byte offset where the torn record starts.
+        offset: u64,
+    },
+    /// The newest snapshot failed to load and the segments it superseded
+    /// were already pruned: the surviving files cannot rebuild any
+    /// consistent prefix (an older snapshot plus the post-prune segments
+    /// is a *gapped* history), so recovery refuses rather than serve
+    /// silently wrong state.
+    SnapshotGap {
+        /// The unreadable snapshot.
+        path: PathBuf,
+        /// Why it failed to load.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for WalError {
@@ -177,6 +206,18 @@ impl std::fmt::Display for WalError {
                 write!(f, "unreadable wal segment {}: {reason}", path.display())
             }
             WalError::Replay(msg) => write!(f, "wal replay failed: {msg}"),
+            WalError::TornMiddle { path, offset } => write!(
+                f,
+                "torn record at offset {offset} in non-final segment {} — replaying past it \
+                 would drop the acked records in later segments",
+                path.display()
+            ),
+            WalError::SnapshotGap { path, reason } => write!(
+                f,
+                "snapshot {} is unreadable ({reason}) and the segments it covered were pruned — \
+                 no consistent prefix remains",
+                path.display()
+            ),
         }
     }
 }
@@ -480,6 +521,14 @@ fn segment_header() -> [u8; 12] {
     h
 }
 
+/// Fsyncs the WAL directory itself. File data fsyncs do not make the
+/// directory *entry* durable: without this, power loss can lose a
+/// freshly created (and fully fsynced) segment, or un-do a snapshot's
+/// rename after the segments it covers were already unlinked.
+fn sync_dir(dir: &Path) -> io::Result<()> {
+    File::open(dir)?.sync_all()
+}
+
 /// The append side of the journal. Owned by the server behind a mutex;
 /// every method is infallible at the call site — an I/O failure latches
 /// [`Wal::failed`], counts `serve.wal_errors`, and stops journaling for
@@ -519,9 +568,11 @@ impl Wal {
             records_since_snapshot: 0,
             failed: false,
         };
-        // The header must be durable before any record claims to be.
+        // The header — and the directory entry naming it — must be
+        // durable before any record claims to be.
         if cfg.fsync != FsyncPolicy::Off {
             wal.seg.sync_all().map_err(|e| io_err("fsync segment header", &e))?;
+            sync_dir(&cfg.dir).map_err(|e| io_err("fsync wal dir", &e))?;
         }
         Ok(wal)
     }
@@ -595,6 +646,13 @@ impl Wal {
     fn rotate(&mut self, rec: &Recorder) {
         match open_segment(&self.cfg.dir, self.seg_seq + 1) {
             Ok(seg) => {
+                // The first record fsync covers the header (sync_all is
+                // whole-file), but only a directory fsync makes the new
+                // segment's *name* survive power loss.
+                if self.cfg.fsync != FsyncPolicy::Off && sync_dir(&self.cfg.dir).is_err() {
+                    self.fail(rec);
+                    return;
+                }
                 self.seg = seg;
                 self.seg_seq += 1;
                 self.seg_bytes = 12;
@@ -649,6 +707,15 @@ impl Wal {
             rec.counter_add("serve.wal_errors", 1);
             return;
         }
+        // The rename must be durable *before* any covered segment is
+        // unlinked — otherwise power loss can keep the unlinks but drop
+        // the rename, leaving neither snapshot nor journal. If the
+        // directory fsync fails, skip pruning: the old snapshot plus the
+        // unpruned segments still recover.
+        if sync_dir(&self.cfg.dir).is_err() {
+            rec.counter_add("serve.wal_errors", 1);
+            return;
+        }
         rec.counter_add("serve.wal_snapshots", 1);
         // Prune: everything before the fresh segment is now redundant.
         for kind in [("wal-", ".log"), ("snapshot-", ".bin")] {
@@ -660,6 +727,9 @@ impl Wal {
                 }
             }
         }
+        // Unlink durability is tidiness, not correctness (recovery
+        // ignores files below the newest snapshot's seq) — best effort.
+        let _ = sync_dir(&self.cfg.dir);
     }
 }
 
@@ -685,33 +755,51 @@ pub struct RecoveryReport {
     pub replayed_records: u64,
     /// Segments scanned.
     pub segments: u64,
-    /// Whether replay stopped at a torn/corrupt record (everything before
-    /// it was applied; everything after is discarded).
+    /// Whether replay found a torn/corrupt record at the journal's tail
+    /// (everything before it was applied; the torn bytes were truncated
+    /// off the segment on disk so they cannot resurface).
     pub torn_tail: bool,
     /// Whether the journal's final record was the clean-shutdown marker —
     /// `false` means the previous process crashed.
     pub clean_shutdown: bool,
 }
 
+/// How a segment's byte stream ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SegmentEnd {
+    /// Every byte framed and replayed.
+    Clean,
+    /// A partial or CRC-failing record starts at `offset`; the bytes
+    /// before it replayed, the bytes from it on have no trustworthy
+    /// framing. Healed by truncating the file at `offset`.
+    Torn {
+        /// Byte offset of the first untrustworthy record.
+        offset: u64,
+    },
+    /// The file holds only a (possibly empty) prefix of the 12-byte
+    /// header — the stub a crash leaves mid-rotation, before the header
+    /// write completed. Contains zero records by construction. Healed by
+    /// rewriting the full header.
+    Stub,
+}
+
 /// Reads one segment, replaying records into `store`. Returns
-/// `(records_replayed, last_record_kind, torn)`; `torn` means the segment
-/// ended in a partial or CRC-failing record and replay of the whole
-/// journal must stop (later bytes have no trustworthy framing).
+/// `(records_replayed, last_record_kind, end)`.
 fn replay_segment(
     path: &Path,
     store: &mut SessionStore,
-    is_last: bool,
-) -> Result<(u64, Option<u8>, bool), WalError> {
+) -> Result<(u64, Option<u8>, SegmentEnd), WalError> {
     let mut buf = Vec::new();
     File::open(path)
         .and_then(|mut f| f.read_to_end(&mut buf))
         .map_err(|e| io_err("read segment", &e))?;
     if buf.len() < 12 {
-        // A crash can leave a header-less file only for the final segment
-        // (created but not yet written through); anywhere else it means
+        // A short file that is a strict prefix of the canonical header is
+        // the stub a crash leaves mid-rotation: the header never finished,
+        // so no record was ever appended. Anything else that short means
         // the directory was damaged.
-        if is_last {
-            return Ok((0, None, true));
+        if segment_header().starts_with(&buf) {
+            return Ok((0, None, SegmentEnd::Stub));
         }
         return Err(WalError::BadSegment {
             path: path.to_path_buf(),
@@ -735,17 +823,18 @@ fn replay_segment(
     let mut replayed = 0u64;
     let mut last_kind = None;
     while pos < buf.len() {
+        let torn = Ok((replayed, last_kind, SegmentEnd::Torn { offset: pos as u64 }));
         if buf.len() - pos < 8 {
-            return Ok((replayed, last_kind, true)); // torn framing
+            return torn; // torn framing
         }
         let len = u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap());
         let crc = u32::from_le_bytes(buf[pos + 4..pos + 8].try_into().unwrap());
         if len == 0 || len > MAX_RECORD_BYTES || buf.len() - pos - 8 < len as usize {
-            return Ok((replayed, last_kind, true)); // torn or flipped length
+            return torn; // torn or flipped length
         }
         let payload = &buf[pos + 8..pos + 8 + len as usize];
         if wire::crc32(payload) != crc {
-            return Ok((replayed, last_kind, true)); // torn or flipped body
+            return torn; // torn or flipped body
         }
         // The frame is intact: a record that fails to *decode or replay*
         // past this point is not a torn write, it is an inconsistency —
@@ -756,7 +845,23 @@ fn replay_segment(
         replayed += 1;
         pos += 8 + len as usize;
     }
-    Ok((replayed, last_kind, false))
+    Ok((replayed, last_kind, SegmentEnd::Clean))
+}
+
+/// Truncates a torn segment at `keep` bytes and fsyncs it, so the next
+/// recovery (and the writer's next segment) see a clean prefix.
+fn heal_truncate(path: &Path, keep: u64) -> Result<(), WalError> {
+    let f =
+        OpenOptions::new().write(true).open(path).map_err(|e| io_err("open torn segment", &e))?;
+    f.set_len(keep).map_err(|e| io_err("truncate torn tail", &e))?;
+    f.sync_all().map_err(|e| io_err("fsync healed segment", &e))
+}
+
+/// Rewrites a mid-rotation stub as a valid empty segment (full header).
+fn heal_stub(path: &Path) -> Result<(), WalError> {
+    let mut f = File::create(path).map_err(|e| io_err("open stub segment", &e))?;
+    f.write_all(&segment_header()).map_err(|e| io_err("rewrite stub header", &e))?;
+    f.sync_all().map_err(|e| io_err("fsync healed stub", &e))
 }
 
 /// Reads a snapshot file, returning the store body on success.
@@ -790,8 +895,13 @@ impl SessionStore {
     /// snapshot, then replays the segment tail through the typed state
     /// machine. An absent or empty directory yields an empty store. A torn
     /// tail — the partial record a crash leaves — truncates replay at the
-    /// first bad length or CRC; a wrong-magic or wrong-version segment is
-    /// a typed [`WalError`].
+    /// first bad length or CRC **and heals the file in place** (the torn
+    /// bytes are cut off and the truncation fsynced), so the journal a
+    /// later restart sees is always a clean prefix. A torn record in a
+    /// non-final segment, a wrong-magic or wrong-version segment, and an
+    /// unreadable newest snapshot whose covered segments were pruned are
+    /// all typed [`WalError`]s — recovery refuses to replay a gapped
+    /// history.
     pub fn recover_from(
         dir: &Path,
         limits: StoreLimits,
@@ -804,11 +914,14 @@ impl SessionStore {
         let snapshots = list_numbered(dir, "snapshot-", ".bin")?;
         report.had_prior_state = !segments.is_empty() || !snapshots.is_empty();
 
-        // Newest structurally valid snapshot wins; damaged ones fall back
-        // to older snapshots (or empty + full replay) rather than failing
-        // startup — prefix consistency is preserved either way.
+        // Newest structurally valid snapshot wins; a damaged one falls
+        // back to an older snapshot (or empty + full replay) — but only
+        // if the segments the damaged snapshot superseded still exist,
+        // because writing it pruned them. Falling back across pruned
+        // segments would replay a *gapped* history, not a prefix.
         let mut store = SessionStore::with_limits(limits);
         let mut from_seq = 0u64;
+        let mut newest_failed: Option<(u64, &PathBuf, String)> = None;
         for (seq, path) in snapshots.iter().rev() {
             match read_snapshot(path, limits) {
                 Ok(s) => {
@@ -817,7 +930,18 @@ impl SessionStore {
                     report.snapshot_loaded = true;
                     break;
                 }
-                Err(_) => continue,
+                Err(reason) => {
+                    if newest_failed.is_none() {
+                        newest_failed = Some((*seq, path, reason));
+                    }
+                }
+            }
+        }
+        if let Some((failed_seq, failed_path, reason)) = newest_failed {
+            if failed_seq > from_seq
+                && (from_seq..failed_seq).any(|s| !segments.iter().any(|(seq, _)| *seq == s))
+            {
+                return Err(WalError::SnapshotGap { path: failed_path.clone(), reason });
             }
         }
 
@@ -826,15 +950,38 @@ impl SessionStore {
         let mut last_kind = None;
         for (i, (_, path)) in tail.iter().enumerate() {
             let is_last = i + 1 == tail.len();
-            let (n, kind, torn) = replay_segment(path, &mut store, is_last)?;
+            let (n, kind, end) = replay_segment(path, &mut store)?;
             report.replayed_records += n;
             report.segments += 1;
             if kind.is_some() {
                 last_kind = kind;
             }
-            if torn {
-                report.torn_tail = true;
-                break;
+            match end {
+                SegmentEnd::Clean => {}
+                // A mid-rotation stub holds zero records wherever it sits
+                // (its header never completed, so nothing was appended);
+                // heal it into a valid empty segment and keep going.
+                SegmentEnd::Stub => {
+                    heal_stub(path)?;
+                    if is_last {
+                        report.torn_tail = true;
+                    }
+                }
+                // The final segment's torn tail is the partial record a
+                // crash leaves: truncate it away *now*, before `Wal::open`
+                // starts a follow-on segment — otherwise the next restart
+                // would stop here and silently drop that segment's acked
+                // records. In a non-final segment the same pattern cannot
+                // be a crash artifact (recovery healed the tail before the
+                // next segment ever existed), so it is damage: refuse
+                // rather than replay a gapped history.
+                SegmentEnd::Torn { offset } => {
+                    if !is_last {
+                        return Err(WalError::TornMiddle { path: (*path).clone(), offset });
+                    }
+                    heal_truncate(path, offset)?;
+                    report.torn_tail = true;
+                }
             }
         }
         report.clean_shutdown = last_kind == Some(KIND_CLEAN_SHUTDOWN);
@@ -944,6 +1091,141 @@ mod tests {
                 Err(e) => panic!("cut {cut}: unexpected error {e}"),
             }
         }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// The reviewer scenario that motivated self-healing: a crash tears
+    /// segment 0's tail, the restarted server appends acked records to
+    /// segment 1, and a *second* restart must replay both — the torn
+    /// bytes must not linger and shadow segment 1.
+    #[test]
+    fn torn_tail_heals_so_later_segments_survive_the_next_restart() {
+        let dir = temp_dir("heal");
+        let rec = Recorder::disabled();
+        let records = sample_records();
+        let mut wal = Wal::open(&Durability::at(&dir)).expect("open");
+        wal.append(&records[0], &rec);
+        wal.append(&records[1], &rec);
+        drop(wal);
+        let seg0 = segment_path(&dir, 0);
+        let full = fs::read(&seg0).expect("segment");
+        fs::write(&seg0, &full[..full.len() - 3]).expect("tear");
+
+        // Restart 1: the tear is truncated off the file itself.
+        let (_, report) =
+            SessionStore::recover_from(&dir, StoreLimits::default()).expect("recover 1");
+        assert!(report.torn_tail);
+        assert_eq!(report.replayed_records, 1, "only the open survives the tear");
+        assert!(
+            fs::metadata(&seg0).expect("meta").len() < (full.len() - 3) as u64,
+            "torn bytes must be gone from disk"
+        );
+
+        // The restarted server journals the re-sent records in segment 1.
+        let mut wal = Wal::open(&Durability::at(&dir)).expect("reopen");
+        for r in &records[1..] {
+            wal.append(r, &rec);
+        }
+        assert!(!wal.failed());
+        drop(wal);
+
+        // Restart 2: segment 0's healed prefix AND all of segment 1
+        // replay — nothing acked after the first restart is dropped.
+        let (store, report) =
+            SessionStore::recover_from(&dir, StoreLimits::default()).expect("recover 2");
+        assert!(!report.torn_tail);
+        assert!(report.clean_shutdown);
+        assert_eq!(report.replayed_records, 5);
+        assert_eq!(store.epoch_phase(1, 0), Some(crate::session::EpochPhase::Recovered));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// A torn record in a non-final segment cannot be a healed-over crash
+    /// artifact — it means writeback reordering or external damage, and
+    /// replaying past it would drop the later segments' acked records.
+    #[test]
+    fn torn_record_in_a_non_final_segment_is_a_typed_error() {
+        let dir = temp_dir("torn-middle");
+        let rec = Recorder::disabled();
+        let records = sample_records();
+        let mut wal = Wal::open(&Durability::at(&dir)).expect("open");
+        wal.append(&records[0], &rec);
+        wal.append(&records[1], &rec);
+        drop(wal);
+        let mut wal = Wal::open(&Durability::at(&dir)).expect("reopen");
+        wal.append(&records[2], &rec);
+        drop(wal);
+        // Power loss persisted segment 1 but lost segment 0's tail.
+        let seg0 = segment_path(&dir, 0);
+        let full = fs::read(&seg0).expect("segment");
+        fs::write(&seg0, &full[..full.len() - 3]).expect("tear");
+        assert!(matches!(
+            SessionStore::recover_from(&dir, StoreLimits::default()),
+            Err(WalError::TornMiddle { .. })
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// A header-less stub left by a crash mid-rotation must not become a
+    /// permanent startup failure once later segments exist behind it: it
+    /// holds zero records, is skipped, and is healed into a valid empty
+    /// segment.
+    #[test]
+    fn stale_headerless_stub_is_healed_and_skipped() {
+        let dir = temp_dir("stub");
+        let rec = Recorder::disabled();
+        fs::create_dir_all(&dir).expect("mkdir");
+        fs::write(segment_path(&dir, 0), &segment_header()[..5]).expect("stub");
+        let mut wal = Wal::open(&Durability::at(&dir)).expect("open"); // segment 1
+        for r in sample_records() {
+            wal.append(&r, &rec);
+        }
+        drop(wal);
+
+        let (_, report) =
+            SessionStore::recover_from(&dir, StoreLimits::default()).expect("recover");
+        assert_eq!(report.replayed_records, 5, "stub must not shadow segment 1");
+        assert!(report.clean_shutdown);
+        assert_eq!(
+            fs::read(segment_path(&dir, 0)).expect("stub bytes"),
+            segment_header(),
+            "stub healed into a valid empty segment"
+        );
+        let (_, report) =
+            SessionStore::recover_from(&dir, StoreLimits::default()).expect("recover 2");
+        assert_eq!(report.replayed_records, 5);
+        assert!(!report.torn_tail);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// When the newest snapshot rots and the segments it superseded were
+    /// pruned, no consistent prefix remains — recovery must refuse with a
+    /// typed error, not replay a gapped history.
+    #[test]
+    fn unreadable_snapshot_over_pruned_segments_is_a_typed_error() {
+        let dir = temp_dir("snap-gap");
+        let rec = Recorder::disabled();
+        let mut cfg = Durability::at(&dir);
+        cfg.snapshot_every_records = 2;
+        let mut wal = Wal::open(&cfg).expect("open");
+        let mut store = SessionStore::new();
+        for r in &sample_records()[..3] {
+            r.replay(&mut store).expect("mirror replay");
+            wal.append(r, &rec);
+        }
+        wal.snapshot(&store, &rec);
+        assert!(!wal.failed());
+        drop(wal);
+
+        let snap = snapshot_path(&dir, 1);
+        let mut bytes = fs::read(&snap).expect("snapshot");
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF; // bit rot in the body: CRC now fails
+        fs::write(&snap, &bytes).expect("rot");
+        assert!(matches!(
+            SessionStore::recover_from(&dir, StoreLimits::default()),
+            Err(WalError::SnapshotGap { .. })
+        ));
         let _ = fs::remove_dir_all(&dir);
     }
 

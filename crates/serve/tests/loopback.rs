@@ -299,6 +299,34 @@ fn mismatched_ack_tag_is_an_unexpected_reply() {
     fake.join().unwrap();
 }
 
+/// A `Status` reply whose phase byte is out of range is surfaced as
+/// `MalformedReply` naming the bad field — not mislabeled as a
+/// wrong-frame-type `UnexpectedReply` (the frame type was right).
+#[test]
+fn out_of_range_phase_in_status_is_a_malformed_reply() {
+    use cso_serve::ClientError;
+    use std::net::TcpListener;
+
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let fake = std::thread::spawn(move || {
+        let (mut sock, _) = listener.accept().unwrap();
+        let _ = read_frame(&mut sock).unwrap(); // OpenEpoch
+        write_frame(&mut sock, &Message::Ack { of: wire::TAG_OPEN_EPOCH, info: 0 }).unwrap();
+        let _ = read_frame(&mut sock).unwrap(); // EpochStatus
+        write_frame(&mut sock, &Message::Status { epoch: 0, phase: 9, nodes: 0 }).unwrap();
+    });
+
+    let (mut client, _) =
+        ServeClient::open(addr, &RetryPolicy::no_retry(), 1, 0, 16, 64, SEED).unwrap();
+    let err = client.status().expect_err("phase 9 must not decode");
+    assert!(
+        matches!(err, ClientError::MalformedReply { field: "epoch phase", value: 9 }),
+        "got {err:?}"
+    );
+    fake.join().unwrap();
+}
+
 /// Durability across a *clean* restart: three epochs are ingested over 1,
 /// 2 and 8 concurrent connections and the server shuts down before any
 /// seal. A fresh server over the same WAL directory replays the journal
