@@ -55,6 +55,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "scaling",
     "serve_throughput",
     "serve_durable",
+    "serve_telemetry",
 ];
 
 /// Dispatches one experiment by name. Returns false for unknown names.
@@ -83,6 +84,7 @@ pub fn run_experiment(name: &str, opts: &Opts) -> bool {
         "scaling" => scaling::scaling(opts),
         "serve_throughput" => serve_bench::serve_throughput(opts),
         "serve_durable" => serve_bench::serve_durable(opts),
+        "serve_telemetry" => serve_bench::serve_telemetry(opts),
         _ => return false,
     }
     true
@@ -138,6 +140,7 @@ mod tests {
                     | "scaling"
                     | "serve_throughput"
                     | "serve_durable"
+                    | "serve_telemetry"
             );
             assert!(known, "{name} missing from dispatcher");
         }

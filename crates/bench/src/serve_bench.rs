@@ -28,7 +28,9 @@ use crate::common::{Opts, Table};
 use cso_distributed::quantize::SketchEncoding;
 use cso_distributed::{Cluster, CsProtocol, RetryPolicy};
 use cso_obs::json;
-use cso_serve::{spawn, Durability, FsyncPolicy, ServeClient, ServerConfig};
+use cso_serve::{
+    spawn, Durability, FsyncPolicy, MetricsPoller, ServeClient, ServerConfig, TelemetryConfig,
+};
 use cso_workloads::{split, MajorityConfig, MajorityData, SliceStrategy};
 use std::time::Instant;
 
@@ -280,6 +282,229 @@ pub fn serve_durable(opts: &Opts) {
     }
 }
 
+/// One row of the telemetry sweep: a telemetry configuration and what the
+/// ingest path cost under it.
+struct TelemetrySample {
+    config: &'static str,
+    nodes: usize,
+    wall_ns: f64,
+    p50_ns: u64,
+    p99_ns: u64,
+    sketches_per_s: f64,
+}
+
+/// The `serve_telemetry` experiment (PR 7): ingest cost versus telemetry
+/// configuration at a fixed connection fan-out.
+///
+/// Four rows, all identical except for observability:
+///
+/// - **off** — metrics registry disabled, flight recorder off. The
+///   baseline every overhead number is relative to.
+/// - **off-rerun** — the same configuration run again; its "overhead" is
+///   the run-to-run noise floor, the yardstick for "≈ noise".
+/// - **metrics** — the PR 5/6 status quo: counters + histograms on,
+///   flight recorder off, nobody polling.
+/// - **full** — metrics on, flight recorder on, slow-request tracking
+///   armed, and a live [`MetricsPoller`] driving `Introspect` at
+///   millisecond cadence for the whole ingest — a monitored production
+///   server (`cso-top` itself polls three orders of magnitude slower).
+///
+/// The JSON summary headlines the `metrics` row's p50 ingest overhead
+/// (target: < 5%) next to the measured noise floor.
+pub fn serve_telemetry(opts: &Opts) {
+    let (nodes, n, m, k) = if opts.trials <= 4 { (32, 256, 48, 4) } else { (192, 1024, 96, 8) };
+    let connections = 4usize;
+
+    let data =
+        MajorityData::generate(&MajorityConfig { n, s: k, ..MajorityConfig::default() }, 2024)
+            .expect("workload");
+    let slices = split(&data.values, nodes, SliceStrategy::RandomProportions, 2025).expect("split");
+    let cluster = Cluster::new(slices).expect("cluster");
+    let proto = CsProtocol::new(m, 77);
+    let sketches = proto.node_sketches(&cluster).expect("sketches");
+
+    let configs: [&'static str; 4] = ["off", "off-rerun", "metrics", "full"];
+    // Interleaved repetitions decorrelate slow host drift from the
+    // config under test; RTT samples pool across reps so the p50 is
+    // stable enough to price a percent-level overhead.
+    let reps = if opts.trials <= 4 { 1 } else { 3 };
+    let flight_dir =
+        std::env::temp_dir().join(format!("cso-bench-telemetry-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&flight_dir);
+    std::fs::create_dir_all(&flight_dir).expect("flight dir");
+
+    let mut pooled: Vec<(f64, Vec<u64>)> = configs.iter().map(|_| (0.0, Vec::new())).collect();
+    for _rep in 0..reps {
+        for (ci, name) in configs.iter().copied().enumerate() {
+            let telemetry = match name {
+                "off" | "off-rerun" => TelemetryConfig {
+                    metrics: false,
+                    flight_slots: 0,
+                    flight_path: None,
+                    ..TelemetryConfig::default()
+                },
+                "metrics" => TelemetryConfig { flight_slots: 0, ..TelemetryConfig::default() },
+                _ => TelemetryConfig {
+                    flight_path: Some(flight_dir.join("flight.jsonl")),
+                    ..TelemetryConfig::default()
+                },
+            };
+            let server = spawn(ServerConfig {
+                handlers: connections + 2,
+                queue_depth: 32,
+                telemetry,
+                ..ServerConfig::default()
+            })
+            .expect("server");
+
+            // The `full` row runs under live introspection load: a poller
+            // driving Introspect at millisecond cadence — already ~1000×
+            // denser than cso-top's one-second default.
+            let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+            let poller = (name == "full").then(|| {
+                let addr = server.addr();
+                let stop = std::sync::Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut poller =
+                        MetricsPoller::connect(addr, &RetryPolicy::default()).expect("poller");
+                    let mut polls = 0u64;
+                    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        poller.poll().expect("introspect");
+                        polls += 1;
+                        std::thread::sleep(std::time::Duration::from_millis(1));
+                    }
+                    polls
+                })
+            });
+
+            let (wall_ns, rtts) =
+                run_ingest(server.addr(), &proto, n, &sketches, connections, 0, k as u32);
+            stop.store(true, std::sync::atomic::Ordering::Relaxed);
+            let polls = poller.map(|h| h.join().expect("poller thread"));
+
+            let metrics = server.recorder().metrics_snapshot();
+            if name == "off" || name == "off-rerun" {
+                assert!(
+                    metrics.counter("serve.sketches_accepted").is_none(),
+                    "{name}: disabled telemetry must record nothing"
+                );
+            } else {
+                assert_eq!(
+                    metrics.counter("serve.sketches_accepted"),
+                    Some(nodes as u64),
+                    "{name}: every sketch accepted exactly once"
+                );
+            }
+            if let Some(polls) = polls {
+                assert!(polls > 0, "full: the live poller must have completed polls");
+                assert_eq!(
+                    metrics.counter("serve.introspects"),
+                    Some(polls),
+                    "full: every poll answered exactly once"
+                );
+            }
+            server.shutdown();
+
+            pooled[ci].0 += wall_ns;
+            pooled[ci].1.extend(rtts);
+        }
+    }
+    let _ = std::fs::remove_dir_all(&flight_dir);
+
+    let mut samples = Vec::new();
+    for (ci, name) in configs.iter().copied().enumerate() {
+        let (wall_ns, rtts) = &mut pooled[ci];
+        rtts.sort_unstable();
+        samples.push(TelemetrySample {
+            config: name,
+            nodes,
+            wall_ns: *wall_ns / reps as f64,
+            p50_ns: percentile(rtts, 0.50),
+            p99_ns: percentile(rtts, 0.99),
+            sketches_per_s: (nodes * reps) as f64 / (*wall_ns / 1e9),
+        });
+    }
+
+    let baseline_p50 = samples[0].p50_ns.max(1) as f64;
+    let overhead_pct = |s: &TelemetrySample| (s.p50_ns as f64 / baseline_p50 - 1.0) * 100.0;
+
+    let mut table = Table::new(
+        "serve_telemetry",
+        &[
+            "telemetry",
+            "sketches",
+            "wall_ms",
+            "sketches_per_s",
+            "p50_us",
+            "p99_us",
+            "p50_overhead_pct",
+        ],
+    );
+    for s in &samples {
+        table.row(&[
+            &s.config,
+            &s.nodes,
+            &format!("{:.2}", s.wall_ns / 1e6),
+            &format!("{:.0}", s.sketches_per_s),
+            &format!("{:.1}", s.p50_ns as f64 / 1e3),
+            &format!("{:.1}", s.p99_ns as f64 / 1e3),
+            &format!("{:+.1}", overhead_pct(s)),
+        ]);
+    }
+    table.finish(opts);
+
+    if opts.write_csv {
+        write_telemetry_json(&samples, n, m, k, connections);
+    }
+}
+
+/// Writes the machine-readable telemetry sweep to `BENCH_pr7.json` (repo
+/// root), headlined by the metrics-enabled p50 ingest overhead versus the
+/// disabled baseline, next to the measured run-to-run noise floor.
+fn write_telemetry_json(samples: &[TelemetrySample], n: usize, m: usize, k: usize, conns: usize) {
+    let cores = std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
+    let baseline_p50 = samples[0].p50_ns.max(1) as f64;
+    let pct = |name: &str| {
+        samples
+            .iter()
+            .find(|s| s.config == name)
+            .map_or(0.0, |s| (s.p50_ns as f64 / baseline_p50 - 1.0) * 100.0)
+    };
+    let mut out = String::new();
+    out.push_str("{\"bench\":\"serve_telemetry\",\"params\":{");
+    out.push_str(&format!(
+        "\"nodes\":{},\"n\":{n},\"m\":{m},\"k\":{k},\"connections\":{conns},\
+         \"encoding\":\"f64\",\"host_cpus\":{cores}",
+        samples.first().map_or(0, |s| s.nodes)
+    ));
+    out.push_str(&format!(
+        "}},\"noise_floor_p50_pct\":{:.3},\"metrics_p50_overhead_pct\":{:.3},\
+         \"full_p50_overhead_pct\":{:.3},\"sweep\":[",
+        pct("off-rerun"),
+        pct("metrics"),
+        pct("full")
+    ));
+    for (i, s) in samples.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"telemetry\":\"{}\",\"wall_ns\":{},\"sketches_per_s\":{},\
+             \"p50_ingest_ns\":{},\"p99_ingest_ns\":{},\"p50_overhead_pct\":{:.3}}}",
+            s.config,
+            s.wall_ns,
+            s.sketches_per_s,
+            s.p50_ns,
+            s.p99_ns,
+            (s.p50_ns as f64 / baseline_p50 - 1.0) * 100.0
+        ));
+    }
+    out.push_str("]}");
+    json::validate(&out).expect("BENCH_pr7.json must be valid JSON");
+    std::fs::write("BENCH_pr7.json", format!("{out}\n")).expect("write BENCH_pr7.json");
+    println!("wrote BENCH_pr7.json");
+}
+
 /// Writes the machine-readable durability sweep to `BENCH_pr6.json` (repo
 /// root), headlined by the per-seal policy's ingest overhead versus the
 /// no-WAL baseline.
@@ -368,5 +593,10 @@ mod tests {
     #[test]
     fn serve_durable_smoke_runs_without_artifacts() {
         serve_durable(&Opts { trials: 1, write_csv: false });
+    }
+
+    #[test]
+    fn serve_telemetry_smoke_runs_without_artifacts() {
+        serve_telemetry(&Opts { trials: 1, write_csv: false });
     }
 }

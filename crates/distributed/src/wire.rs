@@ -18,7 +18,8 @@
 //! [0]        u8   message tag (1 = sketch, 2 = kv batch, 3 = mode broadcast,
 //!                 4 = open epoch, 5 = seal epoch, 6 = recover epoch,
 //!                 7 = ack, 8 = reject, 9 = report, 10 = epoch status query,
-//!                 11 = status reply)
+//!                 11 = status reply, 12 = introspect query,
+//!                 13 = metrics reply)
 //! [1]        u8   format version (currently 2)
 //! ...             tag-specific body
 //! [len-4..]  u32  CRC-32 (IEEE) over bytes [0, len-4)
@@ -27,10 +28,15 @@
 //! Tags 1–3 are the original simulation messages; tags 4–9 are the serving
 //! layer's control plane (`cso-serve`): session/epoch lifecycle requests
 //! from clients and the server's acknowledgement / rejection / recovery-
-//! report replies. They ride the same version-2 CRC-sealed frames, so the
-//! corruption guarantees below apply to the control plane too.
+//! report replies. Tags 12–13 are the in-band telemetry plane: a stateless
+//! [`Message::Introspect`] poll answered by a [`Message::MetricsReply`]
+//! carrying a full [`MetricsSnapshot`] (the client windows consecutive
+//! replies via `MetricsSnapshot::delta`). They all ride the same version-2
+//! CRC-sealed frames, so the corruption guarantees below apply to the
+//! control and telemetry planes too.
 
 use crate::quantize::{EncodedSketch, SketchEncoding};
+use cso_obs::metrics::{Histogram, MetricsSnapshot};
 use std::fmt;
 
 /// Current format version. Version 2 added the CRC-32 trailer.
@@ -61,6 +67,10 @@ pub const TAG_REPORT: u8 = 9;
 pub const TAG_EPOCH_STATUS: u8 = 10;
 /// Frame tag of [`Message::Status`].
 pub const TAG_STATUS: u8 = 11;
+/// Frame tag of [`Message::Introspect`].
+pub const TAG_INTROSPECT: u8 = 12;
+/// Frame tag of [`Message::MetricsReply`].
+pub const TAG_METRICS_REPLY: u8 = 13;
 
 /// IEEE CRC-32 lookup table (reflected, polynomial `0xEDB88320`).
 const CRC32_TABLE: [u32; 256] = {
@@ -195,6 +205,19 @@ pub enum Message {
         /// Nodes currently contributing to (or frozen into) the epoch.
         nodes: u64,
     },
+    /// Client → server: report your live metrics. Stateless and read-only
+    /// — the server answers from its metrics registry without touching the
+    /// session store, so polling never perturbs ingest or recovery.
+    Introspect,
+    /// Server → client: reply to [`Message::Introspect`] — a full
+    /// cumulative [`MetricsSnapshot`] (versioned, stamped with the
+    /// registry's monotone snapshot sequence). Pollers difference
+    /// consecutive replies with `MetricsSnapshot::delta` to obtain
+    /// windowed rates and latency percentiles.
+    MetricsReply {
+        /// The server's cumulative metrics at reply time.
+        snapshot: MetricsSnapshot,
+    },
 }
 
 impl Message {
@@ -214,6 +237,8 @@ impl Message {
             Message::Report { .. } => TAG_REPORT,
             Message::EpochStatus { .. } => TAG_EPOCH_STATUS,
             Message::Status { .. } => TAG_STATUS,
+            Message::Introspect => TAG_INTROSPECT,
+            Message::MetricsReply { .. } => TAG_METRICS_REPLY,
         }
     }
 }
@@ -234,6 +259,14 @@ pub enum WireError {
     },
     /// Unknown sketch-encoding discriminant.
     BadEncoding(u8),
+    /// A field carried a value outside its domain (e.g. a histogram
+    /// bucket index past the fixed log₂ bucket count).
+    BadField {
+        /// Which field was out of domain.
+        field: &'static str,
+        /// The raw value received.
+        value: u64,
+    },
     /// The CRC-32 trailer disagrees with the body — the frame was corrupted
     /// in flight.
     ChecksumMismatch {
@@ -253,6 +286,9 @@ impl fmt::Display for WireError {
                 write!(f, "wire version mismatch: frame says {got}, decoder speaks {want}")
             }
             WireError::BadEncoding(e) => write!(f, "unknown sketch encoding {e}"),
+            WireError::BadField { field, value } => {
+                write!(f, "field {field} out of domain: {value}")
+            }
             WireError::ChecksumMismatch { stored, computed } => write!(
                 f,
                 "checksum mismatch: frame carries {stored:#010x}, body hashes to {computed:#010x}"
@@ -291,6 +327,13 @@ impl Writer {
     }
     fn u16(&mut self, v: u16) {
         self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    /// A metric name behind a u16 length prefix (names beyond 64 KiB are
+    /// truncated byte-wise — far past anything the taxonomy produces).
+    fn str16(&mut self, s: &str) {
+        let bytes = &s.as_bytes()[..s.len().min(usize::from(u16::MAX))];
+        self.u16(bytes.len() as u16);
+        self.buf.extend_from_slice(bytes);
     }
 }
 
@@ -331,6 +374,13 @@ impl<'a> Reader<'a> {
     }
     fn u16(&mut self) -> Result<u16, WireError> {
         Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+    }
+    /// A u16-length-prefixed metric name. Non-UTF-8 bytes decode lossily
+    /// (the CRC rejects in-flight corruption; this guards resealed or
+    /// hostile frames without a panic).
+    fn str16(&mut self) -> Result<String, WireError> {
+        let len = usize::from(self.u16()?);
+        Ok(String::from_utf8_lossy(self.take(len)?).into_owned())
     }
     fn remaining(&self) -> usize {
         self.buf.len() - self.pos
@@ -449,6 +499,43 @@ pub fn encode(msg: &Message) -> Vec<u8> {
             w.u8(*phase);
             w.u64(*nodes);
         }
+        Message::Introspect => {
+            w.u8(TAG_INTROSPECT);
+            w.u8(WIRE_VERSION);
+        }
+        Message::MetricsReply { snapshot } => {
+            w.u8(TAG_METRICS_REPLY);
+            w.u8(WIRE_VERSION);
+            w.u32(snapshot.version);
+            w.u64(snapshot.seq);
+            w.u32(snapshot.counters.len() as u32);
+            for (name, &v) in &snapshot.counters {
+                w.str16(name);
+                w.u64(v);
+            }
+            w.u32(snapshot.gauges.len() as u32);
+            for (name, &v) in &snapshot.gauges {
+                w.str16(name);
+                w.f64(v);
+            }
+            w.u32(snapshot.histograms.len() as u32);
+            for (name, h) in &snapshot.histograms {
+                w.str16(name);
+                w.u64(h.count);
+                w.u64(h.sum);
+                w.u64(h.min);
+                w.u64(h.max);
+                // Buckets travel sparse: log₂ histograms of latency-shaped
+                // data occupy a handful of the 65 slots.
+                let nonzero: Vec<(usize, u64)> =
+                    h.buckets.iter().copied().enumerate().filter(|&(_, c)| c > 0).collect();
+                w.u8(nonzero.len() as u8);
+                for (idx, c) in nonzero {
+                    w.u8(idx as u8);
+                    w.u64(c);
+                }
+            }
+        }
     }
     let sum = crc32(&w.buf);
     w.u32(sum);
@@ -548,6 +635,42 @@ pub fn decode(buf: &[u8]) -> Result<Message, WireError> {
         }
         TAG_EPOCH_STATUS => Message::EpochStatus { session: r.u64()?, epoch: r.u64()? },
         TAG_STATUS => Message::Status { epoch: r.u64()?, phase: r.u8()?, nodes: r.u64()? },
+        TAG_INTROSPECT => Message::Introspect,
+        TAG_METRICS_REPLY => {
+            let mut snapshot =
+                MetricsSnapshot { version: r.u32()?, seq: r.u64()?, ..MetricsSnapshot::default() };
+            for _ in 0..r.u32()? {
+                let name = r.str16()?;
+                snapshot.counters.insert(name, r.u64()?);
+            }
+            for _ in 0..r.u32()? {
+                let name = r.str16()?;
+                snapshot.gauges.insert(name, r.f64()?);
+            }
+            let buckets = Histogram::default().buckets.len();
+            for _ in 0..r.u32()? {
+                let name = r.str16()?;
+                let mut h = Histogram {
+                    count: r.u64()?,
+                    sum: r.u64()?,
+                    min: r.u64()?,
+                    max: r.u64()?,
+                    ..Histogram::default()
+                };
+                for _ in 0..r.u8()? {
+                    let idx = usize::from(r.u8()?);
+                    if idx >= buckets {
+                        return Err(WireError::BadField {
+                            field: "histogram bucket index",
+                            value: idx as u64,
+                        });
+                    }
+                    h.buckets[idx] = r.u64()?;
+                }
+                snapshot.histograms.insert(name, h);
+            }
+            Message::MetricsReply { snapshot }
+        }
         other => return Err(WireError::UnknownTag(other)),
     };
     if !r.finished() {
@@ -617,10 +740,65 @@ mod tests {
             Message::Report { epoch: 3, mode: 5000.5, outliers: vec![(9, 1.25), (0, -2e9)] },
             Message::EpochStatus { session: 7, epoch: 3 },
             Message::Status { epoch: 3, phase: 1, nodes: 12 },
+            Message::Introspect,
+            Message::MetricsReply { snapshot: sample_snapshot() },
         ];
         for msg in msgs {
             assert_eq!(decode(&encode(&msg)).unwrap(), msg);
         }
+    }
+
+    /// A snapshot exercising every section of the metrics codec, built the
+    /// way real ones are — through a registry.
+    fn sample_snapshot() -> cso_obs::MetricsSnapshot {
+        let reg = cso_obs::MetricsRegistry::new();
+        reg.counter_add("serve.sketches_accepted", 1234);
+        reg.counter_add("serve.frames_handled", 9);
+        reg.gauge_set("serve.queue_depth", 3.5);
+        for v in [0u64, 1, 900, u64::MAX / 2] {
+            reg.histogram_record("serve.ingest_ns", v);
+        }
+        reg.snapshot()
+    }
+
+    #[test]
+    fn metrics_reply_round_trips_empty_and_full() {
+        for snapshot in [cso_obs::MetricsSnapshot::default(), sample_snapshot()] {
+            let msg = Message::MetricsReply { snapshot };
+            assert_eq!(decode(&encode(&msg)).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn metrics_reply_bad_bucket_index_is_typed() {
+        // One histogram, one sparse bucket entry with index 70 (≥ 65).
+        let mut buf = encode(&Message::MetricsReply { snapshot: sample_snapshot() });
+        let body_len = buf.len() - CHECKSUM_BYTES;
+        // Find the first sparse bucket entry: it follows the histogram
+        // header. Easier: rebuild by hand via the public encoding shape.
+        let mut w = Vec::new();
+        w.extend_from_slice(&[TAG_METRICS_REPLY, WIRE_VERSION]);
+        w.extend_from_slice(&1u32.to_le_bytes()); // snapshot version
+        w.extend_from_slice(&1u64.to_le_bytes()); // seq
+        w.extend_from_slice(&0u32.to_le_bytes()); // counters
+        w.extend_from_slice(&0u32.to_le_bytes()); // gauges
+        w.extend_from_slice(&1u32.to_le_bytes()); // histograms
+        w.extend_from_slice(&1u16.to_le_bytes()); // name len
+        w.push(b'h');
+        for v in [1u64, 1, 1, 1] {
+            w.extend_from_slice(&v.to_le_bytes()); // count/sum/min/max
+        }
+        w.push(1); // one sparse bucket
+        w.push(70); // out-of-domain index
+        w.extend_from_slice(&1u64.to_le_bytes());
+        buf.truncate(body_len);
+        buf.clear();
+        buf.extend_from_slice(&w);
+        buf.extend_from_slice(&crc32(&w).to_le_bytes());
+        assert_eq!(
+            decode(&buf),
+            Err(WireError::BadField { field: "histogram bucket index", value: 70 })
+        );
     }
 
     #[test]
@@ -637,6 +815,8 @@ mod tests {
             Message::Report { epoch: 0, mode: 0.0, outliers: vec![] },
             Message::EpochStatus { session: 0, epoch: 0 },
             Message::Status { epoch: 0, phase: 0, nodes: 0 },
+            Message::Introspect,
+            Message::MetricsReply { snapshot: cso_obs::MetricsSnapshot::default() },
         ];
         for (i, msg) in msgs.iter().enumerate() {
             assert_eq!(msg.tag(), i as u8 + 1);

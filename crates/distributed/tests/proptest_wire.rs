@@ -11,9 +11,34 @@
 use cso_distributed::quantize::{self, SketchEncoding};
 use cso_distributed::wire::{self, Message, WireError, CHECKSUM_BYTES};
 use cso_linalg::Vector;
+use cso_obs::MetricsRegistry;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// An arbitrary telemetry snapshot, built by driving a real registry so
+/// every histogram is internally consistent (the decoder's own bounds
+/// checks are exercised separately by the hand-built-frame unit tests).
+fn arb_metrics_reply() -> impl Strategy<Value = Message> {
+    (
+        prop::collection::vec((0u8..4, 0u64..(1u64 << 40)), 0..12),
+        prop::collection::vec((0u8..4, -1e9f64..1e9), 0..12),
+        prop::collection::vec((0u8..4, 0u64..u64::MAX), 0..40),
+    )
+        .prop_map(|(counters, gauges, observations)| {
+            let reg = MetricsRegistry::new();
+            for (n, v) in counters {
+                reg.counter_add(&format!("c.{n}"), v);
+            }
+            for (n, v) in gauges {
+                reg.gauge_set(&format!("g.{n}"), v);
+            }
+            for (n, v) in observations {
+                reg.histogram_record(&format!("h.{n}"), v);
+            }
+            Message::MetricsReply { snapshot: reg.snapshot() }
+        })
+}
 
 /// A strategy over every `Message` variant, exercising all three sketch
 /// encodings and both empty and populated list payloads.
@@ -55,6 +80,8 @@ fn arb_message() -> impl Strategy<Value = Message> {
             prop::collection::vec((0u32..u32::MAX, -1e12f64..1e12), 0..32)
         )
             .prop_map(|(epoch, mode, outliers)| Message::Report { epoch, mode, outliers }),
+        Just(Message::Introspect),
+        arb_metrics_reply(),
     ]
 }
 

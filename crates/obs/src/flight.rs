@@ -1,0 +1,344 @@
+//! Crash flight recorder: a fixed-size, lock-free ring of recent events
+//! per lane, dumped as JSONL for postmortems.
+//!
+//! A long-running server cannot afford to trace every request, but when it
+//! dies — a panic, a latched journal failure, a `kill -9` — the question
+//! is always the same: *what were the last N requests doing?* The flight
+//! recorder answers it with a bounded, allocation-free ring per handler
+//! thread ("lane"): recording one event is a handful of relaxed atomic
+//! stores into a preallocated slot, no locks, no heap, no formatting.
+//! Dumping walks the slots from any thread and serializes the survivors to
+//! JSONL (validated by [`crate::json`]), newest ring generation winning.
+//!
+//! Event kinds are declared up front as a schema (`&'static` names, up to
+//! [`FLIGHT_FIELDS`] numeric fields each), so a recorded event is just a
+//! kind index plus field values — nothing that needs a lock or an
+//! allocation on the hot path. Writers are **single-threaded per lane**
+//! (each handler owns its lane); the dumper may run concurrently with
+//! writers and uses a per-slot sequence check to discard torn slots
+//! instead of blocking them.
+
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Maximum numeric fields one flight event carries.
+pub const FLIGHT_FIELDS: usize = 4;
+
+/// One declared event kind: a name plus the names of its numeric fields
+/// (at most [`FLIGHT_FIELDS`]; extra recorded values are dropped).
+#[derive(Debug, Clone, Copy)]
+pub struct FlightKind {
+    /// Event name as it appears in the dump.
+    pub name: &'static str,
+    /// Field names, in recording order.
+    pub fields: &'static [&'static str],
+}
+
+/// One slot of a lane's ring. `seq == 0` means empty or mid-write; the
+/// single writer invalidates, fills, then publishes the new sequence, so a
+/// concurrent dumper either sees a consistent slot or skips it.
+struct Slot {
+    seq: AtomicU64,
+    kind: AtomicU64,
+    t_us: AtomicU64,
+    fields: [AtomicU64; FLIGHT_FIELDS],
+}
+
+impl Slot {
+    fn empty() -> Self {
+        Slot {
+            seq: AtomicU64::new(0),
+            kind: AtomicU64::new(0),
+            t_us: AtomicU64::new(0),
+            fields: [const { AtomicU64::new(0) }; FLIGHT_FIELDS],
+        }
+    }
+}
+
+/// One writer's ring. All writes to a lane must come from one thread at a
+/// time; distinct lanes are fully independent.
+struct Lane {
+    slots: Box<[Slot]>,
+    next_seq: AtomicU64,
+}
+
+/// A recorded event read back out of the ring.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Lane the event was recorded on.
+    pub lane: usize,
+    /// Per-lane monotone sequence number (1-based).
+    pub seq: u64,
+    /// Microseconds since the recorder was created.
+    pub t_us: u64,
+    /// Event kind name.
+    pub kind: &'static str,
+    /// `(field name, value)` pairs per the kind's schema.
+    pub fields: Vec<(&'static str, u64)>,
+}
+
+/// The flight recorder: `lanes × slots` preallocated event slots plus the
+/// event-kind schema. Create once (before the writer threads start), share
+/// behind an `Arc`, dump from anywhere.
+pub struct FlightRecorder {
+    kinds: Vec<FlightKind>,
+    lanes: Vec<Lane>,
+    start: Instant,
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("kinds", &self.kinds.len())
+            .field("lanes", &self.lanes.len())
+            .field("slots_per_lane", &self.lanes.first().map_or(0, |l| l.slots.len()))
+            .finish()
+    }
+}
+
+impl FlightRecorder {
+    /// A recorder with `lanes` independent rings of `slots` events each.
+    /// `lanes == 0` or `slots == 0` yields a disabled recorder whose
+    /// [`FlightRecorder::record`] is a branch and nothing else.
+    pub fn new(kinds: Vec<FlightKind>, lanes: usize, slots: usize) -> Self {
+        let lanes = if slots == 0 { 0 } else { lanes };
+        FlightRecorder {
+            kinds,
+            lanes: (0..lanes)
+                .map(|_| Lane {
+                    slots: (0..slots).map(|_| Slot::empty()).collect(),
+                    next_seq: AtomicU64::new(0),
+                })
+                .collect(),
+            start: Instant::now(),
+        }
+    }
+
+    /// A recorder that records nothing and dumps an empty document.
+    pub fn disabled() -> Self {
+        FlightRecorder::new(Vec::new(), 0, 0)
+    }
+
+    /// Whether events are actually retained.
+    pub fn is_enabled(&self) -> bool {
+        !self.lanes.is_empty()
+    }
+
+    /// Number of lanes.
+    pub fn lanes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Records one event on `lane` (taken modulo the lane count). `kind`
+    /// indexes the schema passed to [`FlightRecorder::new`]; out-of-range
+    /// kinds and surplus fields are dropped silently — the flight recorder
+    /// never panics on the hot path.
+    pub fn record(&self, lane: usize, kind: usize, fields: &[u64]) {
+        if self.lanes.is_empty() || kind >= self.kinds.len() {
+            return;
+        }
+        let lane_ref = &self.lanes[lane % self.lanes.len()];
+        let seq = lane_ref.next_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let slot = &lane_ref.slots[(seq - 1) as usize % lane_ref.slots.len()];
+        // Invalidate, fill, publish: a concurrent dumper seeing seq == 0 or
+        // a seq that changed across its read discards the slot.
+        slot.seq.store(0, Ordering::Release);
+        slot.kind.store(kind as u64, Ordering::Relaxed);
+        slot.t_us.store(self.start.elapsed().as_micros() as u64, Ordering::Relaxed);
+        for (i, f) in slot.fields.iter().enumerate() {
+            f.store(fields.get(i).copied().unwrap_or(0), Ordering::Relaxed);
+        }
+        slot.seq.store(seq, Ordering::Release);
+    }
+
+    /// Reads every consistent slot, ordered by `(t_us, lane, seq)` — the
+    /// closest reconstruction of global order the per-lane rings allow.
+    pub fn snapshot(&self) -> Vec<FlightEvent> {
+        let mut out = Vec::new();
+        for (li, lane) in self.lanes.iter().enumerate() {
+            for slot in lane.slots.iter() {
+                let before = slot.seq.load(Ordering::Acquire);
+                if before == 0 {
+                    continue;
+                }
+                let kind = slot.kind.load(Ordering::Relaxed) as usize;
+                let t_us = slot.t_us.load(Ordering::Relaxed);
+                let mut vals = [0u64; FLIGHT_FIELDS];
+                for (v, f) in vals.iter_mut().zip(slot.fields.iter()) {
+                    *v = f.load(Ordering::Relaxed);
+                }
+                if slot.seq.load(Ordering::Acquire) != before {
+                    continue; // torn: overwritten while we read
+                }
+                let Some(k) = self.kinds.get(kind) else { continue };
+                out.push(FlightEvent {
+                    lane: li,
+                    seq: before,
+                    t_us,
+                    kind: k.name,
+                    fields: k
+                        .fields
+                        .iter()
+                        .take(FLIGHT_FIELDS)
+                        .enumerate()
+                        .map(|(i, &n)| (n, vals[i]))
+                        .collect(),
+                });
+            }
+        }
+        out.sort_by_key(|e| (e.t_us, e.lane, e.seq));
+        out
+    }
+
+    /// Serializes [`FlightRecorder::snapshot`] as JSONL: one
+    /// `{"type":"flight",...}` object per event.
+    pub fn dump_jsonl(&self) -> String {
+        let mut out = String::new();
+        for ev in self.snapshot() {
+            out.push_str(&format!(
+                "{{\"type\":\"flight\",\"lane\":{},\"seq\":{},\"t_us\":{},\"kind\":",
+                ev.lane, ev.seq, ev.t_us
+            ));
+            crate::json::write_str(&mut out, ev.kind);
+            out.push_str(",\"fields\":{");
+            for (i, (name, value)) in ev.fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                crate::json::write_str(&mut out, name);
+                out.push_str(&format!(":{value}"));
+            }
+            out.push_str("}}\n");
+        }
+        out
+    }
+
+    /// Writes the dump to `path` atomically (temp file + rename), so a
+    /// process dying mid-dump leaves the previous dump intact rather than
+    /// a torn file. Creates parent directories as needed.
+    pub fn dump_to(&self, path: &Path) -> io::Result<()> {
+        let doc = self.dump_jsonl();
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, doc)?;
+        std::fs::rename(&tmp, path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KINDS: &[FlightKind] = &[
+        FlightKind { name: "ingest", fields: &["session", "epoch", "node", "ns"] },
+        FlightKind { name: "seal", fields: &["session", "epoch"] },
+    ];
+
+    fn recorder(lanes: usize, slots: usize) -> FlightRecorder {
+        FlightRecorder::new(KINDS.to_vec(), lanes, slots)
+    }
+
+    #[test]
+    fn records_and_reads_back_in_order() {
+        let fr = recorder(2, 8);
+        fr.record(0, 0, &[1, 2, 3, 400]);
+        fr.record(1, 1, &[1, 2]);
+        let evs = fr.snapshot();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].kind, "ingest");
+        assert_eq!(evs[0].fields, vec![("session", 1), ("epoch", 2), ("node", 3), ("ns", 400)]);
+        assert_eq!(evs[1].kind, "seal");
+        assert_eq!(evs[1].fields, vec![("session", 1), ("epoch", 2)]);
+    }
+
+    #[test]
+    fn ring_keeps_only_the_last_slots() {
+        let fr = recorder(1, 4);
+        for i in 0..10u64 {
+            fr.record(0, 1, &[i, i]);
+        }
+        let evs = fr.snapshot();
+        assert_eq!(evs.len(), 4);
+        // Sequences 7..=10 survive; 1..=6 were overwritten.
+        let seqs: Vec<u64> = evs.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![7, 8, 9, 10]);
+    }
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let fr = FlightRecorder::disabled();
+        fr.record(0, 0, &[1]);
+        assert!(!fr.is_enabled());
+        assert!(fr.snapshot().is_empty());
+        assert!(fr.dump_jsonl().is_empty());
+    }
+
+    #[test]
+    fn unknown_kind_and_surplus_fields_never_panic() {
+        let fr = recorder(1, 2);
+        fr.record(0, 99, &[1]);
+        fr.record(0, 0, &[1, 2, 3, 4, 5, 6, 7]);
+        fr.record(7, 1, &[]); // lane wraps modulo the lane count
+        let evs = fr.snapshot();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[1].fields, vec![("session", 0), ("epoch", 0)]);
+    }
+
+    #[test]
+    fn dump_is_valid_jsonl() {
+        let fr = recorder(2, 4);
+        fr.record(0, 0, &[1, 2, 3, 4]);
+        fr.record(1, 1, &[9, 9]);
+        let doc = fr.dump_jsonl();
+        let lines = crate::json::validate_jsonl(&doc).unwrap();
+        assert_eq!(lines, 2);
+        assert!(doc.contains("\"kind\":\"seal\""));
+    }
+
+    #[test]
+    fn dump_to_is_atomic_and_parseable() {
+        let dir = std::env::temp_dir().join(format!("cso_flight_{}", std::process::id()));
+        let path = dir.join("flight.jsonl");
+        let fr = recorder(1, 4);
+        fr.record(0, 1, &[5, 6]);
+        fr.dump_to(&path).unwrap();
+        let doc = std::fs::read_to_string(&path).unwrap();
+        crate::json::validate_jsonl(&doc).unwrap();
+        assert!(!path.with_extension("tmp").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_writers_and_dumpers_stay_consistent() {
+        let fr = std::sync::Arc::new(recorder(4, 16));
+        std::thread::scope(|s| {
+            for lane in 0..4 {
+                let fr = std::sync::Arc::clone(&fr);
+                s.spawn(move || {
+                    for i in 0..500u64 {
+                        fr.record(lane, (i % 2) as usize, &[lane as u64, i]);
+                    }
+                });
+            }
+            for _ in 0..2 {
+                let fr = std::sync::Arc::clone(&fr);
+                s.spawn(move || {
+                    for _ in 0..50 {
+                        for ev in fr.snapshot() {
+                            // A consistent slot always matches its schema.
+                            assert!(ev.kind == "ingest" || ev.kind == "seal");
+                            assert!(ev.seq >= 1 && ev.seq <= 500);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(fr.snapshot().len(), 4 * 16);
+    }
+}

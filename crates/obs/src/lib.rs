@@ -39,11 +39,13 @@
 
 #![warn(missing_docs)]
 
+pub mod flight;
 pub mod json;
 pub mod metrics;
 pub mod report;
 pub mod trace;
 
-pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot};
+pub use flight::{FlightEvent, FlightKind, FlightRecorder, FLIGHT_FIELDS};
+pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot, SNAPSHOT_VERSION};
 pub use report::{RunReport, REPORT_KEYS};
 pub use trace::{EntryKind, Recorder, SpanGuard, TraceEntry, Value};

@@ -11,11 +11,24 @@
 //! and resolves the quantities this workspace cares about — byte counts,
 //! tick latencies, retry counts — across nine orders of magnitude in 65
 //! fixed slots.
+//!
+//! Snapshots are **delta-capable**: every metric is cumulative, so
+//! [`MetricsSnapshot::delta`] of two snapshots of the same registry yields
+//! the activity of the window between them — including windowed histograms
+//! whose bucket counts support [`Histogram::percentile`]. That is how a
+//! live poller turns two polls of a long-running server into "sketches/s
+//! and ingest p99 over the last second" without the server maintaining any
+//! per-client window state.
 
 use std::collections::BTreeMap;
 use std::sync::Mutex;
 
 const BUCKETS: usize = 65;
+
+/// Schema version carried by every [`MetricsSnapshot`] (and by its wire
+/// encoding in `cso-distributed`): bump when the snapshot layout changes so
+/// remote pollers can detect a peer speaking a different schema.
+pub const SNAPSHOT_VERSION: u32 = 1;
 
 /// A log₂-bucketed histogram over `u64` observations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -63,6 +76,83 @@ impl Histogram {
         }
     }
 
+    /// Lower bound of bucket `b` (0 for the zero bucket).
+    fn bucket_low(b: usize) -> u64 {
+        if b == 0 {
+            0
+        } else {
+            1u64 << (b - 1)
+        }
+    }
+
+    /// Upper bound of bucket `b` (0 for the zero bucket).
+    fn bucket_high(b: usize) -> u64 {
+        if b == 0 {
+            0
+        } else {
+            (1u64 << (b - 1)).wrapping_mul(2).wrapping_sub(1)
+        }
+    }
+
+    /// Nearest-rank percentile estimate from the bucket counts: the upper
+    /// bound of the bucket holding the `p`-quantile observation (so the
+    /// estimate errs high, never low, by at most one octave). `p` is in
+    /// `[0, 1]`; returns 0 when the histogram is empty.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (b, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_high(b).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// The histogram of observations recorded between `earlier` and `self`
+    /// (two snapshots of the same cumulative histogram, `self` taken
+    /// later). Counts, sums, and buckets subtract exactly; `min`/`max` are
+    /// re-derived from the window's occupied bucket bounds (the true
+    /// extremes are not recoverable from cumulative snapshots), so they
+    /// are octave-resolution estimates — chosen over exact values so that
+    /// consecutive window deltas [`Histogram::merge`] back into exactly
+    /// the spanning delta.
+    pub fn delta(&self, earlier: &Histogram) -> Histogram {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .zip(earlier.buckets.iter().chain(std::iter::repeat(&0)))
+            .map(|(&new, &old)| new.saturating_sub(old))
+            .collect();
+        let count = self.count.saturating_sub(earlier.count);
+        let sum = self.sum.saturating_sub(earlier.sum);
+        let lo = buckets.iter().position(|&c| c > 0);
+        let hi = buckets.iter().rposition(|&c| c > 0);
+        Histogram {
+            count,
+            sum,
+            min: lo.map_or(u64::MAX, Self::bucket_low),
+            max: hi.map_or(0, Self::bucket_high),
+            buckets,
+        }
+    }
+
+    /// Folds `other` into `self` (the inverse of [`Histogram::delta`]:
+    /// merging consecutive window deltas reproduces the spanning delta).
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (b, &c) in other.buckets.iter().enumerate() {
+            self.buckets[b] += c;
+        }
+    }
+
     /// Non-empty `(bucket_low, bucket_high, count)` triples, ascending.
     pub fn nonzero_buckets(&self) -> Vec<(u64, u64, u64)> {
         self.buckets
@@ -85,6 +175,9 @@ struct Registry {
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, f64>,
     histograms: BTreeMap<String, Histogram>,
+    /// Snapshots taken so far — stamped into each one so a remote poller
+    /// can order replies and detect a registry restart (seq going down).
+    snapshots: u64,
 }
 
 /// Thread-safe named-metrics store.
@@ -131,10 +224,14 @@ impl MetricsRegistry {
         }
     }
 
-    /// An immutable copy of everything recorded so far.
+    /// An immutable copy of everything recorded so far, stamped with a
+    /// per-registry monotone sequence number.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let r = self.inner.lock().expect("metrics lock");
+        let mut r = self.inner.lock().expect("metrics lock");
+        r.snapshots += 1;
         MetricsSnapshot {
+            version: SNAPSHOT_VERSION,
+            seq: r.snapshots,
             counters: r.counters.clone(),
             gauges: r.gauges.clone(),
             histograms: r.histograms.clone(),
@@ -143,14 +240,31 @@ impl MetricsRegistry {
 }
 
 /// Point-in-time copy of a [`MetricsRegistry`].
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MetricsSnapshot {
+    /// Snapshot schema version ([`SNAPSHOT_VERSION`]).
+    pub version: u32,
+    /// Monotone per-registry snapshot sequence number (0 for a snapshot
+    /// built by hand rather than taken from a registry).
+    pub seq: u64,
     /// Counter values by name.
     pub counters: BTreeMap<String, u64>,
     /// Gauge values by name.
     pub gauges: BTreeMap<String, f64>,
     /// Histograms by name.
     pub histograms: BTreeMap<String, Histogram>,
+}
+
+impl Default for MetricsSnapshot {
+    fn default() -> Self {
+        MetricsSnapshot {
+            version: SNAPSHOT_VERSION,
+            seq: 0,
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            histograms: BTreeMap::new(),
+        }
+    }
 }
 
 impl MetricsSnapshot {
@@ -172,6 +286,49 @@ impl MetricsSnapshot {
     /// True when nothing was recorded.
     pub fn is_empty(&self) -> bool {
         self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// The activity between `earlier` and `self` — two snapshots of the
+    /// same registry, `self` taken later. Counters and histogram windows
+    /// subtract (saturating, so a restarted registry yields zeros rather
+    /// than underflow); gauges keep the later value (they are levels, not
+    /// flows). Metrics absent from `earlier` are treated as zero; metrics
+    /// absent from `self` (a registry restart) are dropped. Deltas
+    /// compose: `b.delta(a)` merged with `c.delta(b)` equals `c.delta(a)`.
+    pub fn delta(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let zero_h = Histogram::default();
+        MetricsSnapshot {
+            version: self.version,
+            seq: self.seq,
+            counters: self
+                .counters
+                .iter()
+                .map(|(k, &v)| (k.clone(), v.saturating_sub(earlier.counter(k).unwrap_or(0))))
+                .collect(),
+            gauges: self.gauges.clone(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(k, h)| (k.clone(), h.delta(earlier.histogram(k).unwrap_or(&zero_h))))
+                .collect(),
+        }
+    }
+
+    /// Folds `other` (a later window) into `self`: counters and histogram
+    /// windows add, gauges take `other`'s value, and the stamp advances to
+    /// `other`'s. The inverse of [`MetricsSnapshot::delta`].
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        self.version = other.version;
+        self.seq = other.seq;
+        for (k, &v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, &v) in &other.gauges {
+            self.gauges.insert(k.clone(), v);
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(h);
+        }
     }
 }
 
@@ -241,5 +398,70 @@ mod tests {
     #[test]
     fn empty_snapshot() {
         assert!(MetricsRegistry::new().snapshot().is_empty());
+    }
+
+    #[test]
+    fn snapshot_seq_is_monotone() {
+        let m = MetricsRegistry::new();
+        let a = m.snapshot();
+        let b = m.snapshot();
+        assert_eq!(a.version, SNAPSHOT_VERSION);
+        assert!(b.seq > a.seq);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let mut h = Histogram::default();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        // p50 lands in the bucket holding the 50th observation ([32,63]);
+        // the estimate is that bucket's upper bound.
+        assert_eq!(h.percentile(0.5), 63);
+        // p100 is clamped to the exact max.
+        assert_eq!(h.percentile(1.0), 100);
+        assert_eq!(Histogram::default().percentile(0.99), 0);
+    }
+
+    #[test]
+    fn snapshot_delta_is_the_window() {
+        let m = MetricsRegistry::new();
+        m.counter_add("c", 5);
+        m.histogram_record("h", 10);
+        m.gauge_set("g", 1.0);
+        let a = m.snapshot();
+        m.counter_add("c", 3);
+        m.counter_add("new", 2);
+        m.histogram_record("h", 1000);
+        m.gauge_set("g", 7.0);
+        let b = m.snapshot();
+        let d = b.delta(&a);
+        assert_eq!(d.counter("c"), Some(3));
+        assert_eq!(d.counter("new"), Some(2));
+        assert_eq!(d.gauge("g"), Some(7.0));
+        let h = d.histogram("h").unwrap();
+        assert_eq!(h.count, 1);
+        assert_eq!(h.sum, 1000);
+        // The lone windowed observation sits in [512,1023].
+        assert_eq!(h.nonzero_buckets(), vec![(512, 1023, 1)]);
+        assert_eq!(h.percentile(0.99), 1023);
+    }
+
+    #[test]
+    fn deltas_compose() {
+        let m = MetricsRegistry::new();
+        let a = m.snapshot();
+        m.counter_add("c", 1);
+        m.histogram_record("h", 3);
+        let b = m.snapshot();
+        m.counter_add("c", 4);
+        m.histogram_record("h", 900);
+        m.histogram_record("h", 0);
+        let c = m.snapshot();
+        let mut composed = b.delta(&a);
+        composed.merge(&c.delta(&b));
+        let spanning = c.delta(&a);
+        assert_eq!(composed.counters, spanning.counters);
+        assert_eq!(composed.histograms, spanning.histograms);
     }
 }

@@ -1,0 +1,135 @@
+//! Snapshot-delta property tests (PR 7 satellite).
+//!
+//! The live-introspection path leans on two contracts:
+//!
+//! - **deltas compose**: for any recording history and any two cut points,
+//!   `b.delta(a)` merged with `c.delta(b)` equals `c.delta(a)` — so a
+//!   poller may window at any cadence and re-aggregate without drift;
+//! - **windowed histograms never underflow under concurrent recording**:
+//!   snapshots are atomic per registry, so a later snapshot dominates an
+//!   earlier one component-wise and every delta is internally consistent
+//!   (bucket sums equal window counts), even while writer threads hammer
+//!   the registry.
+
+use cso_obs::{MetricsRegistry, MetricsSnapshot};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// One recording operation against a small name space, values bounded so
+/// cumulative sums stay far from `u64` saturation.
+#[derive(Debug, Clone)]
+enum Op {
+    Counter(u8, u32),
+    Gauge(u8, i32),
+    Histogram(u8, u64),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..3, 0u32..1000).prop_map(|(n, v)| Op::Counter(n, v)),
+        (0u8..3, -500i32..500).prop_map(|(n, v)| Op::Gauge(n, v)),
+        (0u8..3, 0u64..(1u64 << 32)).prop_map(|(n, v)| Op::Histogram(n, v)),
+    ]
+}
+
+fn apply(reg: &MetricsRegistry, ops: &[Op]) {
+    let name = |tag: &str, n: u8| format!("{tag}.{n}");
+    for op in ops {
+        match op {
+            Op::Counter(n, v) => reg.counter_add(&name("c", *n), u64::from(*v)),
+            Op::Gauge(n, v) => reg.gauge_set(&name("g", *n), f64::from(*v)),
+            Op::Histogram(n, v) => reg.histogram_record(&name("h", *n), *v),
+        }
+    }
+}
+
+/// Equality up to the snapshot stamp (seq differs by construction).
+fn assert_same_data(a: &MetricsSnapshot, b: &MetricsSnapshot) -> Result<(), TestCaseError> {
+    prop_assert_eq!(&a.counters, &b.counters);
+    prop_assert_eq!(&a.gauges, &b.gauges);
+    prop_assert_eq!(&a.histograms, &b.histograms);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// a→b merged with b→c equals a→c, for arbitrary recording histories
+    /// on both sides of both cut points.
+    #[test]
+    fn deltas_compose(
+        ops1 in proptest::collection::vec(arb_op(), 0..25),
+        ops2 in proptest::collection::vec(arb_op(), 0..25),
+        ops3 in proptest::collection::vec(arb_op(), 0..25),
+    ) {
+        let reg = MetricsRegistry::new();
+        apply(&reg, &ops1);
+        let a = reg.snapshot();
+        apply(&reg, &ops2);
+        let b = reg.snapshot();
+        apply(&reg, &ops3);
+        let c = reg.snapshot();
+
+        let mut composed = b.delta(&a);
+        composed.merge(&c.delta(&b));
+        assert_same_data(&composed, &c.delta(&a))?;
+
+        // Degenerate windows behave: an empty window deltas to zeros.
+        let d = c.delta(&c);
+        prop_assert!(d.counters.values().all(|&v| v == 0));
+        prop_assert!(d.histograms.values().all(|h| h.count == 0 && h.sum == 0));
+    }
+
+    /// Under concurrent writers, every pair of successive snapshots is
+    /// dominance-ordered and its delta is internally consistent — no
+    /// underflow, no torn histograms.
+    #[test]
+    fn concurrent_histogram_deltas_never_underflow(seed in 0u64..64) {
+        let reg = Arc::new(MetricsRegistry::new());
+        let snaps = std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let reg = Arc::clone(&reg);
+                s.spawn(move || {
+                    for i in 0..300u64 {
+                        // Spread observations across octaves.
+                        reg.histogram_record("h.hot", (seed + t * 31 + i) % (1 << 20));
+                        reg.counter_add("c.hot", 1);
+                    }
+                });
+            }
+            let mut snaps = Vec::new();
+            for _ in 0..20 {
+                snaps.push(reg.snapshot());
+                std::thread::yield_now();
+            }
+            snaps
+        });
+        for pair in snaps.windows(2) {
+            let (earlier, later) = (&pair[0], &pair[1]);
+            prop_assert!(later.seq > earlier.seq);
+            let d = later.delta(earlier);
+            for (name, h) in &d.histograms {
+                let earlier_h = earlier.histogram(name);
+                // Dominance: the later cumulative histogram contains the
+                // earlier one, bucket by bucket.
+                if let Some(eh) = earlier_h {
+                    let lh = later.histogram(name).unwrap();
+                    prop_assert!(lh.count >= eh.count);
+                    prop_assert!(lh.sum >= eh.sum);
+                    for (l, e) in lh.buckets.iter().zip(eh.buckets.iter()) {
+                        prop_assert!(l >= e);
+                    }
+                }
+                // Window consistency: bucket counts account for every
+                // windowed observation exactly.
+                prop_assert_eq!(h.buckets.iter().sum::<u64>(), h.count);
+            }
+            for (name, &v) in &d.counters {
+                let lv = later.counter(name).unwrap_or(0);
+                let ev = earlier.counter(name).unwrap_or(0);
+                prop_assert!(lv >= ev);
+                prop_assert_eq!(v, lv - ev);
+            }
+        }
+    }
+}

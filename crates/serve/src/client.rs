@@ -10,16 +10,17 @@
 //! [`RetryPolicy`], one virtual tick ≈ one millisecond). All other
 //! rejects are surfaced as typed [`ClientError::Rejected`] values.
 
-use crate::frame::{read_frame, write_frame, FrameError};
+use crate::frame::{read_frame, write_frame, write_frame_ctx, FrameError, TraceContext};
 use crate::session::{EpochPhase, RejectCode};
 use cso_distributed::quantize::{self, SketchEncoding};
 use cso_distributed::wire::{Message, TAG_OPEN_EPOCH, TAG_SEAL_EPOCH, TAG_SKETCH};
 use cso_distributed::{Cluster, CsProtocol, RetryPolicy};
 use cso_linalg::Vector;
+use cso_obs::{MetricsSnapshot, Recorder, Value};
 use std::fmt;
 use std::io;
 use std::net::{SocketAddr, TcpStream};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Typed client-side failures.
 #[derive(Debug)]
@@ -94,6 +95,14 @@ impl From<FrameError> for ClientError {
     }
 }
 
+/// Client-side request telemetry, attached via
+/// [`ServeClient::enable_telemetry`].
+struct ClientTelemetry {
+    rec: Recorder,
+    trace_id: u64,
+    slow_request: Duration,
+}
+
 /// A blocking connection bound to one `(session, epoch)` on the server.
 /// Remembers how it opened, so a lost connection can be re-dialed and
 /// re-attached transparently for idempotent requests.
@@ -109,6 +118,7 @@ pub struct ServeClient {
     bytes_sent: u64,
     bytes_received: u64,
     reconnects: u64,
+    telemetry: Option<ClientTelemetry>,
 }
 
 impl ServeClient {
@@ -159,6 +169,7 @@ impl ServeClient {
                 bytes_sent,
                 bytes_received,
                 reconnects: 0,
+                telemetry: None,
             };
             match client.request(&open) {
                 // The Ack must echo the request's tag: replies are
@@ -212,13 +223,37 @@ impl ServeClient {
         self.bytes_received += fresh.bytes_received;
         self.stream = fresh.stream;
         self.reconnects += 1;
+        if let Some(t) = &self.telemetry {
+            t.rec.counter_add("client.reconnects", 1);
+        }
         Ok(())
+    }
+
+    /// Attaches request telemetry: every request runs under a
+    /// `client.request` span on `rec`, its trace context (`trace_id` plus
+    /// the span's id) travels in the frame header so server-side flight
+    /// events stitch back to it, and `client.requests`,
+    /// `client.request_ns` and `client.slow_requests` (requests at or
+    /// above `slow_request`, which also emit a `client.slow_request`
+    /// event) are recorded.
+    ///
+    /// The recorder's span stack is process-wide: give concurrently used
+    /// clients separate recorders, or spans will interleave.
+    pub fn enable_telemetry(&mut self, rec: &Recorder, trace_id: u64, slow_request: Duration) {
+        self.telemetry = Some(ClientTelemetry { rec: rec.clone(), trace_id, slow_request });
     }
 
     /// Sends one frame and reads one reply. Reset-class failures surface
     /// as [`ClientError::ConnectionLost`].
     pub fn request(&mut self, msg: &Message) -> Result<Message, ClientError> {
-        self.bytes_sent += write_frame(&mut self.stream, msg).map_err(|e| {
+        // Open the request span first so its id can travel with the frame.
+        let span = self.telemetry.as_ref().map(|t| (t.rec.span("client.request"), Instant::now()));
+        let ctx = self
+            .telemetry
+            .as_ref()
+            .zip(span.as_ref())
+            .map(|(t, (guard, _))| TraceContext { trace_id: t.trace_id, span_id: guard.id() });
+        self.bytes_sent += write_frame_ctx(&mut self.stream, msg, ctx.as_ref()).map_err(|e| {
             conn_err(match e.kind() {
                 io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => FrameError::TimedOut,
                 kind => FrameError::Io(kind),
@@ -226,7 +261,33 @@ impl ServeClient {
         })? as u64;
         let (reply, bytes) = read_frame(&mut self.stream).map_err(conn_err)?;
         self.bytes_received += bytes as u64;
+        if let (Some(t), Some((_, started))) = (&self.telemetry, &span) {
+            let elapsed = started.elapsed();
+            t.rec.counter_add("client.requests", 1);
+            t.rec.histogram_record("client.request_ns", elapsed.as_nanos() as u64);
+            if elapsed >= t.slow_request {
+                t.rec.counter_add("client.slow_requests", 1);
+                t.rec.event(
+                    "client.slow_request",
+                    &[
+                        ("tag", Value::U64(u64::from(msg.tag()))),
+                        ("dur_us", Value::U64(elapsed.as_micros() as u64)),
+                        ("trace_id", Value::U64(t.trace_id)),
+                    ],
+                );
+            }
+        }
         Ok(reply)
+    }
+
+    /// Polls the server's live [`MetricsSnapshot`] in-band. Read-only and
+    /// answered server-side without the store lock, so it is safe to call
+    /// mid-sweep; retried across connection loss.
+    pub fn introspect(&mut self) -> Result<MetricsSnapshot, ClientError> {
+        match self.request_idempotent(&Message::Introspect)? {
+            Message::MetricsReply { snapshot } => Ok(snapshot),
+            reply => Err(reply_error(reply)),
+        }
     }
 
     /// As [`ServeClient::request`], but retries [`ClientError::ConnectionLost`]
@@ -357,6 +418,80 @@ impl ServeClient {
 fn backoff_sleep(retry: &RetryPolicy, session: u64, attempt: u32, server_hint_ms: u32) {
     let ticks = retry.backoff_ticks(session as usize, attempt);
     std::thread::sleep(Duration::from_millis(ticks.max(u64::from(server_hint_ms))));
+}
+
+/// A standalone introspection connection: polls [`Message::Introspect`]
+/// without opening (or touching) any epoch — the connection `cso-top` and
+/// monitoring scripts hold. Reconnects transparently across server
+/// restarts and `Busy` admission rejects.
+pub struct MetricsPoller {
+    stream: TcpStream,
+    addr: SocketAddr,
+    retry: RetryPolicy,
+}
+
+impl MetricsPoller {
+    /// Dials the server, waiting out connection-refused races (a server
+    /// mid-restart) with the policy's backoff.
+    pub fn connect(addr: SocketAddr, retry: &RetryPolicy) -> Result<Self, ClientError> {
+        Ok(MetricsPoller { stream: dial(addr, retry)?, addr, retry: *retry })
+    }
+
+    /// One introspection round trip: the server's current cumulative
+    /// [`MetricsSnapshot`]. Callers window with
+    /// [`MetricsSnapshot::delta`] to turn two polls into rates.
+    pub fn poll(&mut self) -> Result<MetricsSnapshot, ClientError> {
+        let retry = self.retry;
+        for attempt in 1..=retry.max_attempts {
+            let round_trip = (|| -> Result<Message, ClientError> {
+                write_frame(&mut self.stream, &Message::Introspect).map_err(|e| {
+                    conn_err(match e.kind() {
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => FrameError::TimedOut,
+                        kind => FrameError::Io(kind),
+                    })
+                })?;
+                read_frame(&mut self.stream).map(|(m, _)| m).map_err(conn_err)
+            })();
+            match round_trip {
+                Ok(Message::MetricsReply { snapshot }) => return Ok(snapshot),
+                Ok(Message::Reject { code, retry_after_ms })
+                    if code == RejectCode::Busy.as_u16()
+                        || code == RejectCode::ShuttingDown.as_u16() =>
+                {
+                    // The reject was written at accept time and the socket
+                    // closed behind it: wait, then re-dial.
+                    backoff_sleep(&retry, 0, attempt, retry_after_ms);
+                    self.stream = dial(self.addr, &retry)?;
+                }
+                Ok(reply) => return Err(reply_error(reply)),
+                Err(ClientError::ConnectionLost) if attempt < retry.max_attempts => {
+                    backoff_sleep(&retry, 0, attempt, 0);
+                    self.stream = dial(self.addr, &retry)?;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(ClientError::BusyExhausted)
+    }
+}
+
+/// Dials `addr`, retrying connection-refused with backoff.
+fn dial(addr: SocketAddr, retry: &RetryPolicy) -> Result<TcpStream, ClientError> {
+    for attempt in 1..=retry.max_attempts {
+        match TcpStream::connect(addr) {
+            Ok(s) => {
+                let _ = s.set_nodelay(true);
+                return Ok(s);
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::ConnectionRefused && attempt < retry.max_attempts =>
+            {
+                backoff_sleep(retry, 0, attempt, 0);
+            }
+            Err(e) => return Err(ClientError::Connect(e.kind())),
+        }
+    }
+    Err(ClientError::BusyExhausted)
 }
 
 /// Maps a reply that is not the one the request expects to the matching

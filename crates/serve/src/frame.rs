@@ -4,9 +4,26 @@
 //! travels behind a 4-byte little-endian length prefix:
 //!
 //! ```text
-//! [0..4]      u32  frame length F (bytes of the wire frame, prefix excluded)
-//! [4..4+F]         the v2 CRC-32-sealed frame (`wire::encode` output)
+//! [0..4]      u32  bit 31: extension flag; bits 0..31: frame length F
+//!                  (bytes after the prefix, prefix excluded)
+//! [4..4+F]         flag clear: the v2 CRC-32-sealed frame (`wire::encode`)
+//!                  flag set:   [ext_len u8] [ext_len bytes of extension
+//!                  entries] [the v2 CRC-32-sealed frame]
 //! ```
+//!
+//! The **extension block** is a sequence of `(id u8, len u8, payload)`
+//! entries riding outside the wire frame's CRC. Unknown ids are skipped
+//! cleanly (forward compatibility); a structurally inconsistent block — an
+//! entry overrunning its declared bounds — is the typed
+//! [`FrameError::BadExtension`]. The one defined entry is
+//! [`EXT_TRACE_CONTEXT`]: a [`TraceContext`] (`trace_id u64, span_id u64,
+//! flags u8`, little-endian) that lets a client stitch its request span to
+//! the server's handler/flight-recorder view of the same request.
+//! Extensions are **opt-in per frame**: a peer that never sends them is
+//! byte-identical to the PR 5/6 format, and a pre-extension peer receiving
+//! a flagged prefix reads a declared length above [`MAX_FRAME_BYTES`] and
+//! drops the connection with a typed `TooLarge` — never a desync or a
+//! panic.
 //!
 //! [`read_frame`] distinguishes every way a socket read can go wrong as a
 //! typed [`FrameError`] — clean close between frames, a connection killed
@@ -28,6 +45,27 @@ pub const MAX_FRAME_BYTES: u32 = 1 << 24;
 /// Bytes of the length prefix preceding every frame.
 pub const LEN_PREFIX_BYTES: usize = 4;
 
+/// Length-prefix bit marking a frame that carries an extension block
+/// between the prefix and the wire frame.
+const FLAG_EXTENDED: u32 = 1 << 31;
+
+/// Extension-entry id of the cross-process trace context.
+pub const EXT_TRACE_CONTEXT: u8 = 1;
+
+/// Payload bytes of a trace-context entry: trace id, span id, flags.
+const TRACE_CONTEXT_BYTES: usize = 8 + 8 + 1;
+
+/// Cross-process trace context: the client-side identifiers a request
+/// carries so server-side events (flight recorder, slow-request records)
+/// can be stitched back to the originating client span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Caller-chosen id shared by every request of one logical run.
+    pub trace_id: u64,
+    /// The client-side span the request executes under.
+    pub span_id: u64,
+}
+
 /// Typed failure modes of reading one frame off a stream.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FrameError {
@@ -43,6 +81,9 @@ pub enum FrameError {
         /// Declared frame length.
         declared: u32,
     },
+    /// The frame's extension block is structurally inconsistent — an
+    /// entry (or the block itself) overruns its declared bounds.
+    BadExtension,
     /// The framed bytes failed the CRC or did not parse as a message.
     Wire(WireError),
     /// Any other socket error.
@@ -58,6 +99,7 @@ impl fmt::Display for FrameError {
             FrameError::TooLarge { declared } => {
                 write!(f, "frame declares {declared} bytes (cap {MAX_FRAME_BYTES})")
             }
+            FrameError::BadExtension => write!(f, "frame extension block overruns its bounds"),
             FrameError::Wire(e) => write!(f, "bad frame: {e}"),
             FrameError::Io(kind) => write!(f, "socket error: {kind:?}"),
         }
@@ -69,7 +111,7 @@ impl FrameError {
     /// clean close, a mid-frame cut, or a reset-class socket error. These
     /// are the errors a client maps to `ConnectionLost` and retries by
     /// reconnecting; everything else (timeouts, CRC failures, oversized
-    /// prefixes) keeps its own identity.
+    /// prefixes, malformed extensions) keeps its own identity.
     pub fn is_connection_lost(&self) -> bool {
         matches!(
             self,
@@ -103,9 +145,45 @@ fn map_body_err(e: io::Error) -> FrameError {
     }
 }
 
-/// Reads exactly one length-prefixed frame and decodes it. Returns the
-/// message and the total bytes consumed (prefix included).
-pub fn read_frame(r: &mut impl Read) -> Result<(Message, usize), FrameError> {
+/// Walks the extension block, returning the trace context (if present)
+/// and the wire-frame remainder. Unknown entry ids are skipped; entries
+/// overrunning the block are [`FrameError::BadExtension`].
+fn parse_extensions(body: &[u8]) -> Result<(Option<TraceContext>, &[u8]), FrameError> {
+    let (&ext_len, rest) = body.split_first().ok_or(FrameError::BadExtension)?;
+    let ext_len = usize::from(ext_len);
+    if ext_len > rest.len() {
+        return Err(FrameError::BadExtension);
+    }
+    let (mut ext, frame) = rest.split_at(ext_len);
+    let mut ctx = None;
+    while !ext.is_empty() {
+        if ext.len() < 2 {
+            return Err(FrameError::BadExtension);
+        }
+        let (id, len) = (ext[0], usize::from(ext[1]));
+        if 2 + len > ext.len() {
+            return Err(FrameError::BadExtension);
+        }
+        let payload = &ext[2..2 + len];
+        // A longer-than-expected trace entry still parses by its known
+        // prefix, so a future revision can append fields compatibly.
+        if id == EXT_TRACE_CONTEXT && len >= TRACE_CONTEXT_BYTES {
+            ctx = Some(TraceContext {
+                trace_id: u64::from_le_bytes(payload[0..8].try_into().expect("8 bytes")),
+                span_id: u64::from_le_bytes(payload[8..16].try_into().expect("8 bytes")),
+            });
+        }
+        ext = &ext[2 + len..];
+    }
+    Ok((ctx, frame))
+}
+
+/// Reads exactly one length-prefixed frame — plain or extended — and
+/// decodes it. Returns the message, the total bytes consumed (prefix
+/// included), and the trace context if the peer attached one.
+pub fn read_frame_ctx(
+    r: &mut impl Read,
+) -> Result<(Message, usize, Option<TraceContext>), FrameError> {
     // First byte by hand so a clean close (EOF at a boundary) is
     // distinguishable from a prefix cut short.
     let mut prefix = [0u8; LEN_PREFIX_BYTES];
@@ -119,25 +197,63 @@ pub fn read_frame(r: &mut impl Read) -> Result<(Message, usize), FrameError> {
         }
     }
     r.read_exact(&mut prefix[1..]).map_err(map_body_err)?;
-    let declared = u32::from_le_bytes(prefix);
+    let raw = u32::from_le_bytes(prefix);
+    let extended = raw & FLAG_EXTENDED != 0;
+    let declared = raw & !FLAG_EXTENDED;
     if declared > MAX_FRAME_BYTES {
         return Err(FrameError::TooLarge { declared });
     }
     let mut body = vec![0u8; declared as usize];
     r.read_exact(&mut body).map_err(map_body_err)?;
-    let msg = wire::decode(&body)?;
-    Ok((msg, LEN_PREFIX_BYTES + declared as usize))
+    let (ctx, frame) = if extended { parse_extensions(&body)? } else { (None, &body[..]) };
+    let msg = wire::decode(frame)?;
+    Ok((msg, LEN_PREFIX_BYTES + declared as usize, ctx))
+}
+
+/// Reads exactly one length-prefixed frame and decodes it, dropping any
+/// trace context. Returns the message and the total bytes consumed
+/// (prefix included).
+pub fn read_frame(r: &mut impl Read) -> Result<(Message, usize), FrameError> {
+    read_frame_ctx(r).map(|(msg, n, _)| (msg, n))
+}
+
+/// Encodes `msg` — with `ctx` attached as a trace-context extension when
+/// given — and writes it behind its length prefix. Returns the total
+/// bytes written (prefix included). Without a context the output is
+/// byte-identical to [`write_frame`].
+pub fn write_frame_ctx(
+    w: &mut impl Write,
+    msg: &Message,
+    ctx: Option<&TraceContext>,
+) -> io::Result<usize> {
+    let body = wire::encode(msg);
+    let Some(ctx) = ctx else {
+        let len = body.len() as u32;
+        w.write_all(&len.to_le_bytes())?;
+        w.write_all(&body)?;
+        w.flush()?;
+        return Ok(LEN_PREFIX_BYTES + body.len());
+    };
+    let entry_len = 2 + TRACE_CONTEXT_BYTES; // id + len + payload
+    let mut ext = Vec::with_capacity(1 + entry_len);
+    ext.push(entry_len as u8 - 2 + 2); // ext block length: one entry
+    ext.push(EXT_TRACE_CONTEXT);
+    ext.push(TRACE_CONTEXT_BYTES as u8);
+    ext.extend_from_slice(&ctx.trace_id.to_le_bytes());
+    ext.extend_from_slice(&ctx.span_id.to_le_bytes());
+    ext.push(0); // flags, reserved
+    let total = (ext.len() + body.len()) as u32;
+    w.write_all(&(FLAG_EXTENDED | total).to_le_bytes())?;
+    w.write_all(&ext)?;
+    w.write_all(&body)?;
+    w.flush()?;
+    Ok(LEN_PREFIX_BYTES + ext.len() + body.len())
 }
 
 /// Encodes `msg` and writes it behind its length prefix. Returns the total
 /// bytes written (prefix included).
 pub fn write_frame(w: &mut impl Write, msg: &Message) -> io::Result<usize> {
-    let body = wire::encode(msg);
-    let len = body.len() as u32;
-    w.write_all(&len.to_le_bytes())?;
-    w.write_all(&body)?;
-    w.flush()?;
-    Ok(LEN_PREFIX_BYTES + body.len())
+    write_frame_ctx(w, msg, None)
 }
 
 #[cfg(test)]
@@ -211,5 +327,110 @@ mod tests {
             read_frame(&mut Cursor::new(&buf)).unwrap_err(),
             FrameError::Wire(WireError::ChecksumMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn trace_context_round_trips() {
+        let ctx = TraceContext { trace_id: 0xDEAD_BEEF, span_id: 42 };
+        let mut buf = Vec::new();
+        let written = write_frame_ctx(&mut buf, &msg(), Some(&ctx)).unwrap();
+        assert_eq!(written, buf.len());
+        let (back, consumed, got) = read_frame_ctx(&mut Cursor::new(&buf)).unwrap();
+        assert_eq!(back, msg());
+        assert_eq!(consumed, written);
+        assert_eq!(got, Some(ctx));
+    }
+
+    #[test]
+    fn unextended_frames_are_byte_identical_to_the_old_format() {
+        let mut plain = Vec::new();
+        let mut via_ctx = Vec::new();
+        write_frame(&mut plain, &msg()).unwrap();
+        write_frame_ctx(&mut via_ctx, &msg(), None).unwrap();
+        assert_eq!(plain, via_ctx);
+        // And the plain reader sees no context on old-format frames.
+        assert_eq!(read_frame_ctx(&mut Cursor::new(&plain)).unwrap().2, None);
+    }
+
+    #[test]
+    fn extended_prefix_reads_as_too_large_to_a_pre_extension_peer() {
+        // The interop story with an old decoder: the flag bit lands in the
+        // declared length, which then exceeds MAX_FRAME_BYTES — the old
+        // peer drops the connection with a typed error, never a desync.
+        let ctx = TraceContext { trace_id: 1, span_id: 2 };
+        let mut buf = Vec::new();
+        write_frame_ctx(&mut buf, &msg(), Some(&ctx)).unwrap();
+        let raw = u32::from_le_bytes(buf[..4].try_into().unwrap());
+        assert!(raw > MAX_FRAME_BYTES);
+    }
+
+    #[test]
+    fn unknown_extension_ids_are_skipped() {
+        let body = wire::encode(&msg());
+        let mut buf = Vec::new();
+        let ext: &[u8] = &[
+            9,
+            2,
+            0xAA,
+            0xBB,
+            EXT_TRACE_CONTEXT,
+            17,
+            7,
+            0,
+            0,
+            0,
+            0,
+            0,
+            0,
+            0,
+            8,
+            0,
+            0,
+            0,
+            0,
+            0,
+            0,
+            0,
+            0,
+        ];
+        let mut payload = vec![ext.len() as u8];
+        payload.extend_from_slice(ext);
+        payload.extend_from_slice(&body);
+        buf.extend_from_slice(&(FLAG_EXTENDED | payload.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&payload);
+        let (back, _, ctx) = read_frame_ctx(&mut Cursor::new(&buf)).unwrap();
+        assert_eq!(back, msg());
+        assert_eq!(ctx, Some(TraceContext { trace_id: 7, span_id: 8 }));
+    }
+
+    #[test]
+    fn short_trace_entries_are_ignored_not_errors() {
+        let body = wire::encode(&msg());
+        let ext: &[u8] = &[EXT_TRACE_CONTEXT, 3, 1, 2, 3];
+        let mut payload = vec![ext.len() as u8];
+        payload.extend_from_slice(ext);
+        payload.extend_from_slice(&body);
+        let mut buf = (FLAG_EXTENDED | payload.len() as u32).to_le_bytes().to_vec();
+        buf.extend_from_slice(&payload);
+        let (back, _, ctx) = read_frame_ctx(&mut Cursor::new(&buf)).unwrap();
+        assert_eq!(back, msg());
+        assert_eq!(ctx, None);
+    }
+
+    #[test]
+    fn overrunning_extension_is_typed() {
+        // Entry declares 200 payload bytes inside a 3-byte block.
+        let body = wire::encode(&msg());
+        let ext: &[u8] = &[EXT_TRACE_CONTEXT, 200, 1];
+        let mut payload = vec![ext.len() as u8];
+        payload.extend_from_slice(ext);
+        payload.extend_from_slice(&body);
+        let mut buf = (FLAG_EXTENDED | payload.len() as u32).to_le_bytes().to_vec();
+        buf.extend_from_slice(&payload);
+        assert_eq!(read_frame_ctx(&mut Cursor::new(&buf)).unwrap_err(), FrameError::BadExtension);
+        // A block length overrunning the whole body is equally typed.
+        let mut buf = (FLAG_EXTENDED | 1).to_le_bytes().to_vec();
+        buf.push(200);
+        assert_eq!(read_frame_ctx(&mut Cursor::new(&buf)).unwrap_err(), FrameError::BadExtension);
     }
 }

@@ -49,11 +49,16 @@ pub mod server;
 pub mod session;
 pub mod wal;
 
-pub use client::{run_cs_over_server, ClientError, ServeClient, ServeRun, ServeRunConfig};
-pub use frame::{read_frame, write_frame, FrameError, MAX_FRAME_BYTES};
-pub use server::{spawn, ServerConfig, ServerHandle};
+pub use client::{
+    run_cs_over_server, ClientError, MetricsPoller, ServeClient, ServeRun, ServeRunConfig,
+};
+pub use frame::{
+    read_frame, read_frame_ctx, write_frame, write_frame_ctx, FrameError, TraceContext,
+    EXT_TRACE_CONTEXT, LEN_PREFIX_BYTES, MAX_FRAME_BYTES,
+};
+pub use server::{spawn, ServerConfig, ServerHandle, TelemetryConfig};
 pub use session::{
     ConnState, Dispatch, Effect, EpochPhase, RecoverJob, RecoveredEpoch, RecoveryPolicy,
-    RejectCode, SessionStore, StoreLimits,
+    RejectCode, SessionStore, StoreLimits, StoreStats,
 };
 pub use wal::{Durability, FsyncPolicy, RecoveryReport, Wal, WalError, WalRecord};

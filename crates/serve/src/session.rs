@@ -242,6 +242,56 @@ impl Default for StoreLimits {
     }
 }
 
+/// Deferred metric recordings from store and WAL operations.
+///
+/// The server holds the store mutex while dispatching and journaling, and
+/// the lock-audit rule (DESIGN.md §7) is that **no code under the store
+/// lock touches a [`Recorder`]** — the recorder's own registry mutex would
+/// nest inside the store lock and every metrics poll would contend with
+/// ingest. The rule is structural, not disciplinary: [`SessionStore::dispatch`]
+/// and the WAL mutators simply cannot reach a recorder — they buffer
+/// `(name, value)` increments and histogram observations here, and the
+/// caller calls [`StoreStats::flush`] after the guard drops.
+#[derive(Debug, Default)]
+pub struct StoreStats {
+    counters: Vec<(&'static str, u64)>,
+    observations: Vec<(&'static str, u64)>,
+}
+
+impl StoreStats {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        StoreStats::default()
+    }
+
+    /// Buffers a counter increment.
+    pub(crate) fn add(&mut self, name: &'static str, v: u64) {
+        self.counters.push((name, v));
+    }
+
+    /// Buffers a histogram observation.
+    pub(crate) fn observe(&mut self, name: &'static str, v: u64) {
+        self.observations.push((name, v));
+    }
+
+    /// The buffered counter increments, for tests and callers that need
+    /// to inspect what a critical section recorded.
+    pub fn pending(&self) -> &[(&'static str, u64)] {
+        &self.counters
+    }
+
+    /// Drains every buffered recording into `rec`. Call this **after**
+    /// releasing the store lock.
+    pub fn flush(&mut self, rec: &Recorder) {
+        for (name, v) in self.counters.drain(..) {
+            rec.counter_add(name, v);
+        }
+        for (name, v) in self.observations.drain(..) {
+            rec.histogram_record(name, v);
+        }
+    }
+}
+
 /// Per-connection protocol state: which epoch the connection's sketches
 /// flow into (bound by its `OpenEpoch`).
 #[derive(Debug, Default, Clone, Copy)]
@@ -451,6 +501,11 @@ impl SessionStore {
         self.sessions.len()
     }
 
+    /// Number of live epochs across every session.
+    pub fn epoch_count(&self) -> usize {
+        self.sessions.values().map(|s| s.epochs.len()).sum()
+    }
+
     /// The phase of `(session, epoch)`, if it exists.
     pub fn epoch_phase(&self, session: u64, epoch: u64) -> Option<EpochPhase> {
         self.sessions.get(&session)?.epochs.get(&epoch).map(|e| e.phase)
@@ -461,21 +516,25 @@ impl SessionStore {
     /// runs without holding the store, then reports back through
     /// [`SessionStore::finish_recover`]. Protocol errors reject the
     /// message but never tear down session state.
+    ///
+    /// Metric recordings are buffered into `stats` — this method is
+    /// designed to run under the server's store lock, so it deliberately
+    /// has no access to a [`Recorder`]; flush the stats after unlocking.
     pub fn dispatch(
         &mut self,
         conn: &mut ConnState,
         msg: &Message,
         policy: &RecoveryPolicy,
-        rec: &Recorder,
+        stats: &mut StoreStats,
     ) -> Dispatch {
         let (reply, effect) = match msg {
             Message::OpenEpoch { session, epoch, m, n, seed } => {
-                self.open(conn, *session, *epoch, *m, *n, *seed, rec)
+                self.open(conn, *session, *epoch, *m, *n, *seed, stats)
             }
             Message::Sketch { node, seed, payload } => {
-                self.ingest(conn, *node, *seed, payload, rec)
+                self.ingest(conn, *node, *seed, payload, stats)
             }
-            Message::SealEpoch { session, epoch } => self.seal(*session, *epoch, rec),
+            Message::SealEpoch { session, epoch } => self.seal(*session, *epoch, stats),
             Message::RecoverEpoch { session, epoch, k } => {
                 match self.begin_recover(*session, *epoch, *k, policy) {
                     Ok(job) => return Dispatch::Recover(job),
@@ -499,17 +558,20 @@ impl SessionStore {
         policy: &RecoveryPolicy,
         rec: &Recorder,
     ) -> (Message, Option<RecoveredEpoch>) {
-        match self.dispatch(conn, msg, policy, rec) {
+        let mut stats = StoreStats::new();
+        let out = match self.dispatch(conn, msg, policy, &mut stats) {
             Dispatch::Reply(reply, _) => (reply, None),
             Dispatch::Recover(job) => {
                 let (session, epoch) = job.target();
                 let (reply, summary) = job.run();
                 if summary.is_some() {
-                    self.finish_recover(session, epoch, rec);
+                    self.finish_recover(session, epoch, &mut stats);
                 }
                 (reply, summary)
             }
-        }
+        };
+        stats.flush(rec);
+        out
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -521,7 +583,7 @@ impl SessionStore {
         m: u32,
         n: u64,
         seed: u64,
-        rec: &Recorder,
+        stats: &mut StoreStats,
     ) -> (Message, Effect) {
         // The epoch's sketches must fit a frame with headroom: M doubles
         // plus headers, capped at half the frame budget.
@@ -554,13 +616,13 @@ impl SessionStore {
         };
         if !self.sessions.contains_key(&session)
             && self.sessions.len() >= self.limits.max_sessions
-            && !self.evict_finished_session(rec)
+            && !self.evict_finished_session(stats)
         {
             return (reject(RejectCode::StoreFull), Effect::None);
         }
         let limit = self.limits.max_epochs_per_session;
         let entry = self.sessions.entry(session).or_default();
-        if entry.epochs.len() >= limit && !evict_recovered_epoch(entry, rec) {
+        if entry.epochs.len() >= limit && !evict_recovered_epoch(entry, stats) {
             return (reject(RejectCode::StoreFull), Effect::None);
         }
         entry.epochs.insert(
@@ -573,7 +635,7 @@ impl SessionStore {
             },
         );
         conn.bound = Some((session, epoch));
-        rec.counter_add("serve.epochs_opened", 1);
+        stats.add("serve.epochs_opened", 1);
         (
             Message::Ack { of: TAG_OPEN_EPOCH, info: 0 },
             Effect::Opened { session, epoch, m, n, seed },
@@ -594,7 +656,7 @@ impl SessionStore {
 
     /// Evicts the lowest-id session whose epochs are all recovered (or
     /// that is empty). Sessions mid-flight are never touched.
-    fn evict_finished_session(&mut self, rec: &Recorder) -> bool {
+    fn evict_finished_session(&mut self, stats: &mut StoreStats) -> bool {
         let id = self
             .sessions
             .iter()
@@ -603,7 +665,7 @@ impl SessionStore {
         match id {
             Some(id) => {
                 self.sessions.remove(&id);
-                rec.counter_add("serve.sessions_evicted", 1);
+                stats.add("serve.sessions_evicted", 1);
                 true
             }
             None => false,
@@ -616,7 +678,7 @@ impl SessionStore {
         node: u32,
         seed: u64,
         payload: &EncodedSketch,
-        rec: &Recorder,
+        stats: &mut StoreStats,
     ) -> (Message, Effect) {
         let Some((session, epoch)) = conn.bound else {
             return (reject(RejectCode::SketchBeforeOpen), Effect::None);
@@ -638,18 +700,18 @@ impl SessionStore {
             // Retransmits are idempotent: the first sketch for a node wins,
             // mirroring the degraded path's (node, seed) dedup.
             ep.duplicates += 1;
-            rec.counter_add("serve.sketches_duplicate", 1);
+            stats.add("serve.sketches_duplicate", 1);
             return (Message::Ack { of: TAG_SKETCH, info: 1 }, Effect::None);
         }
         let sketch = quantize::decode(payload);
         if agg.join(node as usize, sketch).is_err() {
             return (reject(RejectCode::BadSketch), Effect::None);
         }
-        rec.counter_add("serve.sketches_accepted", 1);
+        stats.add("serve.sketches_accepted", 1);
         (Message::Ack { of: TAG_SKETCH, info: 0 }, Effect::Ingested { session, epoch })
     }
 
-    fn seal(&mut self, session: u64, epoch: u64, rec: &Recorder) -> (Message, Effect) {
+    fn seal(&mut self, session: u64, epoch: u64, stats: &mut StoreStats) -> (Message, Effect) {
         let ep = match self.epoch_mut(session, epoch) {
             Ok(e) => e,
             Err(code) => return (reject(code), Effect::None),
@@ -669,7 +731,7 @@ impl SessionStore {
         let duplicates = ep.duplicates;
         ep.state = EpochState::Sealed { spec, y: y.clone(), nodes };
         ep.phase = EpochPhase::Sealed;
-        rec.counter_add("serve.epochs_sealed", 1);
+        stats.add("serve.epochs_sealed", 1);
         (
             Message::Ack { of: TAG_SEAL_EPOCH, info: nodes },
             Effect::Sealed {
@@ -714,10 +776,10 @@ impl SessionStore {
     /// Marks `(session, epoch)` recovered after a [`RecoverJob`] succeeded.
     /// A no-op when the epoch has been evicted in the meantime; repeatable
     /// (recover is repeatable).
-    pub fn finish_recover(&mut self, session: u64, epoch: u64, rec: &Recorder) {
+    pub fn finish_recover(&mut self, session: u64, epoch: u64, stats: &mut StoreStats) {
         if let Ok(ep) = self.epoch_mut(session, epoch) {
             ep.phase = EpochPhase::Recovered;
-            rec.counter_add("serve.epochs_recovered", 1);
+            stats.add("serve.epochs_recovered", 1);
         }
     }
 
@@ -753,8 +815,8 @@ impl SessionStore {
         seed: u64,
     ) -> Result<(), String> {
         let mut conn = ConnState::new();
-        let rec = Recorder::disabled();
-        match self.open(&mut conn, session, epoch, m, n, seed, &rec).0 {
+        let mut stats = StoreStats::new();
+        match self.open(&mut conn, session, epoch, m, n, seed, &mut stats).0 {
             Message::Ack { .. } => Ok(()),
             Message::Reject { code, .. } => {
                 Err(format!("replayed open of ({session}, {epoch}) rejected: code {code}"))
@@ -1001,12 +1063,12 @@ impl SnapReader<'_> {
 
 /// Evicts the lowest-id recovered epoch of `sess` to make room for a new
 /// one. Ingesting and sealed-but-unrecovered epochs are never touched.
-fn evict_recovered_epoch(sess: &mut Session, rec: &Recorder) -> bool {
+fn evict_recovered_epoch(sess: &mut Session, stats: &mut StoreStats) -> bool {
     let id = sess.epochs.iter().find(|(_, e)| e.phase == EpochPhase::Recovered).map(|(id, _)| *id);
     match id {
         Some(id) => {
             sess.epochs.remove(&id);
-            rec.counter_add("serve.epochs_evicted", 1);
+            stats.add("serve.epochs_evicted", 1);
             true
         }
         None => false,
@@ -1308,7 +1370,8 @@ mod tests {
         fx.send(&sketch_msg(0, SEED));
         fx.send(&Message::SealEpoch { session: 1, epoch: 0 });
         let msg = Message::RecoverEpoch { session: 1, epoch: 0, k: 1 };
-        let Dispatch::Recover(job) = fx.store.dispatch(&mut fx.conn, &msg, &fx.policy, &fx.rec)
+        let mut stats = StoreStats::new();
+        let Dispatch::Recover(job) = fx.store.dispatch(&mut fx.conn, &msg, &fx.policy, &mut stats)
         else {
             panic!("expected a recover job");
         };
@@ -1319,8 +1382,11 @@ mod tests {
         let (reply, summary) = job.run();
         assert!(matches!(reply, Message::Report { .. }));
         assert_eq!(summary.expect("summary").nodes, 1);
-        fx.store.finish_recover(1, 0, &fx.rec);
+        fx.store.finish_recover(1, 0, &mut stats);
         assert_eq!(fx.store.epoch_phase(1, 0), Some(EpochPhase::Recovered));
+        // The deferred recordings carry exactly what the critical
+        // sections observed, ready to flush outside any lock.
+        assert!(stats.pending().contains(&("serve.epochs_recovered", 1)));
     }
 
     /// `EpochStatus` tracks the lifecycle without side effects, and its

@@ -51,10 +51,10 @@
 //! otherwise non-durable — replaying a duplicated ingest record is a
 //! silent no-op, which is what makes replay idempotent.
 
+use crate::session::StoreStats;
 use crate::session::{put_u32, put_u64, SessionStore, SnapReader, StoreLimits};
 use cso_distributed::quantize::EncodedSketch;
 use cso_distributed::wire::{self, Message};
-use cso_obs::Recorder;
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
@@ -585,7 +585,7 @@ impl Wal {
     /// Appends one record (and fsyncs it per the configured policy) before
     /// the caller acks the client. Must be called under the store lock so
     /// journal order equals application order.
-    pub fn append(&mut self, record: &WalRecord, rec: &Recorder) {
+    pub fn append(&mut self, record: &WalRecord, stats: &mut StoreStats) {
         if self.failed {
             return;
         }
@@ -599,13 +599,13 @@ impl Wal {
         // the full record in the page cache, so process-crash durability
         // never depends on user-space buffering.
         if self.seg.write_all(&framed).is_err() {
-            self.fail(rec);
+            self.fail(stats);
             return;
         }
         self.seg_bytes += framed.len() as u64;
         self.records_since_snapshot += 1;
-        rec.counter_add("serve.wal_records", 1);
-        rec.counter_add("serve.wal_bytes", framed.len() as u64);
+        stats.add("serve.wal_records", 1);
+        stats.add("serve.wal_bytes", framed.len() as u64);
         if kind == KIND_INGEST {
             crash_point("mid-ingest");
         }
@@ -618,47 +618,47 @@ impl Wal {
             FsyncPolicy::Off => kind == KIND_CLEAN_SHUTDOWN,
         };
         if want_sync {
-            self.sync(rec);
+            self.sync(stats);
         }
         if kind == KIND_SEAL {
             crash_point("post-seal");
         }
         if self.seg_bytes >= self.cfg.segment_bytes {
-            self.rotate(rec);
+            self.rotate(stats);
         }
     }
 
     /// Flushes the segment to stable storage, recording `serve.wal_fsync_ns`.
-    fn sync(&mut self, rec: &Recorder) {
+    fn sync(&mut self, stats: &mut StoreStats) {
         let started = Instant::now();
         if self.seg.sync_all().is_err() {
-            self.fail(rec);
+            self.fail(stats);
             return;
         }
-        rec.histogram_record("serve.wal_fsync_ns", started.elapsed().as_nanos() as u64);
+        stats.observe("serve.wal_fsync_ns", started.elapsed().as_nanos() as u64);
     }
 
-    fn fail(&mut self, rec: &Recorder) {
+    fn fail(&mut self, stats: &mut StoreStats) {
         self.failed = true;
-        rec.counter_add("serve.wal_errors", 1);
+        stats.add("serve.wal_errors", 1);
     }
 
-    fn rotate(&mut self, rec: &Recorder) {
+    fn rotate(&mut self, stats: &mut StoreStats) {
         match open_segment(&self.cfg.dir, self.seg_seq + 1) {
             Ok(seg) => {
                 // The first record fsync covers the header (sync_all is
                 // whole-file), but only a directory fsync makes the new
                 // segment's *name* survive power loss.
                 if self.cfg.fsync != FsyncPolicy::Off && sync_dir(&self.cfg.dir).is_err() {
-                    self.fail(rec);
+                    self.fail(stats);
                     return;
                 }
                 self.seg = seg;
                 self.seg_seq += 1;
                 self.seg_bytes = 12;
-                rec.counter_add("serve.wal_segments_rotated", 1);
+                stats.add("serve.wal_segments_rotated", 1);
             }
-            Err(_) => self.fail(rec),
+            Err(_) => self.fail(stats),
         }
     }
 
@@ -674,14 +674,14 @@ impl Wal {
     /// snapshots. On any failure the journal is left untouched except for
     /// the rotation — recovery falls back to the previous snapshot plus a
     /// longer replay, never to wrong bits.
-    pub fn snapshot(&mut self, store: &SessionStore, rec: &Recorder) {
+    pub fn snapshot(&mut self, store: &SessionStore, stats: &mut StoreStats) {
         if self.failed {
             return;
         }
         // Everything up to here must be readable before the old segments
         // become the snapshot's responsibility.
-        self.sync(rec);
-        self.rotate(rec);
+        self.sync(stats);
+        self.rotate(stats);
         if self.failed {
             return;
         }
@@ -704,7 +704,7 @@ impl Wal {
         })();
         if written.is_err() {
             let _ = fs::remove_file(&tmp);
-            rec.counter_add("serve.wal_errors", 1);
+            stats.add("serve.wal_errors", 1);
             return;
         }
         // The rename must be durable *before* any covered segment is
@@ -713,10 +713,10 @@ impl Wal {
         // directory fsync fails, skip pruning: the old snapshot plus the
         // unpruned segments still recover.
         if sync_dir(&self.cfg.dir).is_err() {
-            rec.counter_add("serve.wal_errors", 1);
+            stats.add("serve.wal_errors", 1);
             return;
         }
-        rec.counter_add("serve.wal_snapshots", 1);
+        stats.add("serve.wal_snapshots", 1);
         // Prune: everything before the fresh segment is now redundant.
         for kind in [("wal-", ".log"), ("snapshot-", ".bin")] {
             if let Ok(files) = list_numbered(&self.cfg.dir, kind.0, kind.1) {
@@ -1047,10 +1047,10 @@ mod tests {
     #[test]
     fn append_then_recover_round_trips_the_store() {
         let dir = temp_dir("roundtrip");
-        let rec = Recorder::disabled();
+        let mut stats = StoreStats::new();
         let mut wal = Wal::open(&Durability::at(&dir)).expect("open");
         for r in sample_records() {
-            wal.append(&r, &rec);
+            wal.append(&r, &mut stats);
         }
         assert!(!wal.failed());
         drop(wal);
@@ -1068,10 +1068,10 @@ mod tests {
     #[test]
     fn torn_tail_truncates_at_every_offset() {
         let dir = temp_dir("torn");
-        let rec = Recorder::disabled();
+        let mut stats = StoreStats::new();
         let mut wal = Wal::open(&Durability::at(&dir)).expect("open");
         for r in sample_records() {
-            wal.append(&r, &rec);
+            wal.append(&r, &mut stats);
         }
         drop(wal);
         let seg = segment_path(&dir, 0);
@@ -1101,11 +1101,11 @@ mod tests {
     #[test]
     fn torn_tail_heals_so_later_segments_survive_the_next_restart() {
         let dir = temp_dir("heal");
-        let rec = Recorder::disabled();
+        let mut stats = StoreStats::new();
         let records = sample_records();
         let mut wal = Wal::open(&Durability::at(&dir)).expect("open");
-        wal.append(&records[0], &rec);
-        wal.append(&records[1], &rec);
+        wal.append(&records[0], &mut stats);
+        wal.append(&records[1], &mut stats);
         drop(wal);
         let seg0 = segment_path(&dir, 0);
         let full = fs::read(&seg0).expect("segment");
@@ -1124,7 +1124,7 @@ mod tests {
         // The restarted server journals the re-sent records in segment 1.
         let mut wal = Wal::open(&Durability::at(&dir)).expect("reopen");
         for r in &records[1..] {
-            wal.append(r, &rec);
+            wal.append(r, &mut stats);
         }
         assert!(!wal.failed());
         drop(wal);
@@ -1146,14 +1146,14 @@ mod tests {
     #[test]
     fn torn_record_in_a_non_final_segment_is_a_typed_error() {
         let dir = temp_dir("torn-middle");
-        let rec = Recorder::disabled();
+        let mut stats = StoreStats::new();
         let records = sample_records();
         let mut wal = Wal::open(&Durability::at(&dir)).expect("open");
-        wal.append(&records[0], &rec);
-        wal.append(&records[1], &rec);
+        wal.append(&records[0], &mut stats);
+        wal.append(&records[1], &mut stats);
         drop(wal);
         let mut wal = Wal::open(&Durability::at(&dir)).expect("reopen");
-        wal.append(&records[2], &rec);
+        wal.append(&records[2], &mut stats);
         drop(wal);
         // Power loss persisted segment 1 but lost segment 0's tail.
         let seg0 = segment_path(&dir, 0);
@@ -1173,12 +1173,12 @@ mod tests {
     #[test]
     fn stale_headerless_stub_is_healed_and_skipped() {
         let dir = temp_dir("stub");
-        let rec = Recorder::disabled();
+        let mut stats = StoreStats::new();
         fs::create_dir_all(&dir).expect("mkdir");
         fs::write(segment_path(&dir, 0), &segment_header()[..5]).expect("stub");
         let mut wal = Wal::open(&Durability::at(&dir)).expect("open"); // segment 1
         for r in sample_records() {
-            wal.append(&r, &rec);
+            wal.append(&r, &mut stats);
         }
         drop(wal);
 
@@ -1204,16 +1204,16 @@ mod tests {
     #[test]
     fn unreadable_snapshot_over_pruned_segments_is_a_typed_error() {
         let dir = temp_dir("snap-gap");
-        let rec = Recorder::disabled();
+        let mut stats = StoreStats::new();
         let mut cfg = Durability::at(&dir);
         cfg.snapshot_every_records = 2;
         let mut wal = Wal::open(&cfg).expect("open");
         let mut store = SessionStore::new();
         for r in &sample_records()[..3] {
             r.replay(&mut store).expect("mirror replay");
-            wal.append(r, &rec);
+            wal.append(r, &mut stats);
         }
-        wal.snapshot(&store, &rec);
+        wal.snapshot(&store, &mut stats);
         assert!(!wal.failed());
         drop(wal);
 
@@ -1232,9 +1232,9 @@ mod tests {
     #[test]
     fn wrong_version_segment_is_a_typed_error() {
         let dir = temp_dir("version");
-        let rec = Recorder::disabled();
+        let mut stats = StoreStats::new();
         let mut wal = Wal::open(&Durability::at(&dir)).expect("open");
-        wal.append(&sample_records()[0], &rec);
+        wal.append(&sample_records()[0], &mut stats);
         drop(wal);
         let seg = segment_path(&dir, 0);
         let mut bytes = fs::read(&seg).expect("segment");
@@ -1250,7 +1250,7 @@ mod tests {
     #[test]
     fn snapshot_prunes_and_recovery_prefers_it() {
         let dir = temp_dir("snap");
-        let rec = Recorder::disabled();
+        let mut stats = StoreStats::new();
         let mut cfg = Durability::at(&dir);
         cfg.snapshot_every_records = 2;
         let mut wal = Wal::open(&cfg).expect("open");
@@ -1259,16 +1259,16 @@ mod tests {
         let records = sample_records();
         for r in &records[..3] {
             r.replay(&mut store).expect("mirror replay");
-            wal.append(r, &rec);
+            wal.append(r, &mut stats);
         }
         assert!(wal.should_snapshot());
-        wal.snapshot(&store, &rec);
+        wal.snapshot(&store, &mut stats);
         assert!(!wal.failed());
         // The pre-snapshot segment is pruned; the snapshot carries state.
         assert!(!segment_path(&dir, 0).exists(), "segment 0 pruned");
         for r in &records[3..] {
             r.replay(&mut store).expect("mirror replay");
-            wal.append(r, &rec);
+            wal.append(r, &mut stats);
         }
         drop(wal);
 

@@ -81,6 +81,18 @@ fn pick_port() -> u16 {
 /// spawns the durable server on `port` over `dir` and parks forever. When
 /// `crash` names a seeded point, the child aborts on its first hit.
 fn spawn_child(port: u16, dir: &PathBuf, crash: Option<&str>) -> Child {
+    spawn_child_with_flight(port, dir, crash, None)
+}
+
+/// [`spawn_child`] with the flight recorder armed: the child dumps its
+/// ring to `flight` on every journaled seal/recover waypoint, so a later
+/// SIGKILL leaves a postmortem on disk.
+fn spawn_child_with_flight(
+    port: u16,
+    dir: &PathBuf,
+    crash: Option<&str>,
+    flight: Option<&PathBuf>,
+) -> Child {
     let exe = std::env::current_exe().expect("test binary path");
     let mut cmd = Command::new(exe);
     cmd.arg("child_server")
@@ -93,6 +105,9 @@ fn spawn_child(port: u16, dir: &PathBuf, crash: Option<&str>) -> Child {
         .stderr(Stdio::null());
     if let Some(point) = crash {
         cmd.env("CSO_SERVE_CRASH_POINT", point).env("CSO_SERVE_CRASH_COUNT", "1");
+    }
+    if let Some(path) = flight {
+        cmd.env("CSO_SERVE_FLIGHT_PATH", path.display().to_string());
     }
     cmd.spawn().expect("spawn child server")
 }
@@ -163,11 +178,16 @@ fn child_server() {
     }
     let port: u16 = std::env::var("CSO_SERVE_PORT").unwrap().parse().unwrap();
     let dir = PathBuf::from(std::env::var("CSO_SERVE_WAL_DIR").unwrap());
+    let mut telemetry = cso_serve::TelemetryConfig::default();
+    if let Ok(path) = std::env::var("CSO_SERVE_FLIGHT_PATH") {
+        telemetry.flight_path = Some(PathBuf::from(path));
+    }
     let deadline = Instant::now() + Duration::from_secs(15);
     loop {
         match cso_serve::spawn(cso_serve::ServerConfig {
             port,
             durability: Some(cso_serve::Durability::at(&dir)),
+            telemetry: telemetry.clone(),
             ..cso_serve::ServerConfig::default()
         }) {
             Ok(_server) => loop {
@@ -256,6 +276,120 @@ fn kill9_mid_ingest_recovers_at_1_2_8_connections() {
         });
         let _ = std::fs::remove_dir_all(&dir);
     }
+}
+
+/// Metrics↔state consistency (PR 7 satellite): after a kill-9 and an
+/// in-parent respawn over the same journal, the startup counters must
+/// mirror the returned [`cso_serve::RecoveryReport`] field-for-field —
+/// and the same numbers must be readable in-band through `Introspect`.
+#[test]
+fn post_restart_counters_equal_recovery_report_exactly() {
+    let (cluster, _) = majority_cluster();
+    let dir = temp_dir("counters");
+    let port = pick_port();
+    let addr = SocketAddr::from(([127, 0, 0, 1], port));
+    let victim = spawn_child(port, &dir, None);
+    wait_listening(addr);
+
+    // A full run populates the journal, then SIGKILL: no clean-shutdown
+    // marker can reach the segment.
+    let cfg = ServeRunConfig { retry: patient(), ..ServeRunConfig::default() };
+    run_cs_over_server(&proto(), &cluster, K, addr, &cfg).expect("pre-crash run");
+    kill(victim);
+
+    let server = cso_serve::spawn(cso_serve::ServerConfig {
+        durability: Some(cso_serve::Durability::at(&dir)),
+        ..cso_serve::ServerConfig::default()
+    })
+    .expect("respawn over the journal");
+    let report = server.recovery_report().expect("durable server reports recovery").clone();
+    assert!(report.had_prior_state, "the pre-crash run must have journaled state");
+    assert!(report.replayed_records > 0);
+    assert!(!report.clean_shutdown, "SIGKILL must read as an unclean shutdown");
+
+    let check = |snap: &cso_obs::MetricsSnapshot, what: &str| {
+        assert_eq!(snap.counter("serve.restarts"), Some(1), "{what}: serve.restarts");
+        assert_eq!(
+            snap.counter("serve.replayed_records"),
+            Some(report.replayed_records),
+            "{what}: serve.replayed_records"
+        );
+        assert_eq!(
+            snap.counter("serve.wal_torn_tails"),
+            report.torn_tail.then_some(1),
+            "{what}: serve.wal_torn_tails"
+        );
+        assert_eq!(
+            snap.counter("serve.unclean_shutdowns"),
+            Some(1),
+            "{what}: serve.unclean_shutdowns"
+        );
+    };
+    check(&server.recorder().metrics_snapshot(), "in-process");
+    let mut poller = cso_serve::MetricsPoller::connect(server.addr(), &RetryPolicy::default())
+        .expect("introspect poller");
+    check(&poller.poll().expect("introspect"), "in-band");
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Pulls `"name":<u64>` out of one flight JSONL line.
+fn flight_field(line: &str, name: &str) -> Option<u64> {
+    let pat = format!("\"{name}\":");
+    let at = line.find(&pat)? + pat.len();
+    let digits: String = line[at..].chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+/// Flight↔WAL consistency (PR 7 acceptance): kill-9 leaves a parseable
+/// `flight.jsonl`, and because every seal/recover waypoint dumps only
+/// *after* its WAL append, each sealed/recovered event in the dump must
+/// be visible at that phase (or later) in the journal's replayed view.
+#[test]
+fn kill9_flight_dump_matches_wal_replay_view() {
+    let (cluster, _) = majority_cluster();
+    let dir = temp_dir("flight");
+    let flight_path = dir.join("flight.jsonl");
+    let port = pick_port();
+    let addr = SocketAddr::from(([127, 0, 0, 1], port));
+    let victim = spawn_child_with_flight(port, &dir, None, Some(&flight_path));
+    wait_listening(addr);
+
+    let cfg = ServeRunConfig { session: 9, retry: patient(), ..ServeRunConfig::default() };
+    run_cs_over_server(&proto(), &cluster, K, addr, &cfg).expect("run");
+    kill(victim);
+
+    let dump = std::fs::read_to_string(&flight_path).expect("flight.jsonl survives kill-9");
+    let (store, report) =
+        cso_serve::SessionStore::recover_from(&dir, cso_serve::StoreLimits::default())
+            .expect("journal replays");
+    assert!(report.had_prior_state && !report.clean_shutdown);
+
+    let mut waypoints = 0usize;
+    for line in dump.lines() {
+        cso_obs::json::validate(line).expect("flight line parses");
+        let floor = if line.contains("\"kind\":\"recovered\"") {
+            cso_serve::EpochPhase::Recovered
+        } else if line.contains("\"kind\":\"sealed\"") {
+            cso_serve::EpochPhase::Sealed
+        } else {
+            continue;
+        };
+        waypoints += 1;
+        let session = flight_field(line, "session").expect("session field");
+        let epoch = flight_field(line, "epoch").expect("epoch field");
+        let phase = store.epoch_phase(session, epoch).unwrap_or_else(|| {
+            panic!("flight saw {session}/{epoch} at {floor:?} but replay has no such epoch")
+        });
+        assert!(phase >= floor, "{session}/{epoch}: flight says {floor:?}, replay says {phase:?}");
+    }
+    assert!(waypoints >= 2, "the run must have dumped seal and recover waypoints");
+    assert_eq!(
+        store.epoch_phase(9, 0),
+        Some(cso_serve::EpochPhase::Recovered),
+        "replay's terminal view matches the completed run"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// Raw SIGKILL half: no seeded point, no cooperation — the parent kills

@@ -17,8 +17,7 @@
 
 use cso_distributed::quantize::{self, SketchEncoding};
 use cso_linalg::Vector;
-use cso_obs::Recorder;
-use cso_serve::{Durability, SessionStore, StoreLimits, WalError, WalRecord};
+use cso_serve::{Durability, SessionStore, StoreLimits, StoreStats, WalError, WalRecord};
 use proptest::prelude::*;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU32, Ordering};
@@ -82,10 +81,10 @@ fn arb_record() -> impl Strategy<Value = WalRecord> {
 /// Writes `records` to a fresh WAL directory and returns it.
 fn journal(records: &[WalRecord], tag: &str) -> PathBuf {
     let dir = temp_dir(tag);
-    let rec = Recorder::disabled();
+    let mut stats = StoreStats::new();
     let mut wal = cso_serve::Wal::open(&Durability::at(&dir)).expect("wal open");
     for r in records {
-        wal.append(r, &rec);
+        wal.append(r, &mut stats);
     }
     assert!(!wal.failed(), "append must not fail on a healthy filesystem");
     dir
