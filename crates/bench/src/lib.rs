@@ -56,6 +56,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "serve_throughput",
     "serve_durable",
     "serve_telemetry",
+    "serve_sharded",
 ];
 
 /// Dispatches one experiment by name. Returns false for unknown names.
@@ -85,6 +86,7 @@ pub fn run_experiment(name: &str, opts: &Opts) -> bool {
         "serve_throughput" => serve_bench::serve_throughput(opts),
         "serve_durable" => serve_bench::serve_durable(opts),
         "serve_telemetry" => serve_bench::serve_telemetry(opts),
+        "serve_sharded" => serve_bench::serve_sharded(opts),
         _ => return false,
     }
     true
@@ -141,6 +143,7 @@ mod tests {
                     | "serve_throughput"
                     | "serve_durable"
                     | "serve_telemetry"
+                    | "serve_sharded"
             );
             assert!(known, "{name} missing from dispatcher");
         }

@@ -546,6 +546,307 @@ fn write_durable_json(samples: &[DurableSample], n: usize, m: usize, k: usize, c
     println!("wrote BENCH_pr6.json");
 }
 
+/// Like [`run_ingest`], but each client models a *remote node*: after
+/// every acked sketch it spends `think` off the wire (the link RTT plus
+/// local sketch work a WAN node would pay between frames). Used by the
+/// sharded sweep so the fan-out axis measures connection multiplexing —
+/// the readiness loop's job — rather than loopback syscall throughput,
+/// which on a single-core host is already saturated by one ping-pong
+/// connection.
+fn run_ingest_remote(
+    addr: std::net::SocketAddr,
+    proto: &CsProtocol,
+    n: usize,
+    sketches: &[cso_linalg::Vector],
+    connections: usize,
+    epoch: u64,
+    k: u32,
+    think: std::time::Duration,
+) -> (f64, Vec<u64>) {
+    let retry = RetryPolicy::default();
+    let m = proto.m as u32;
+    let started = Instant::now();
+    let all_rtts: Vec<Vec<u64>> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(connections);
+        for c in 0..connections {
+            handles.push(scope.spawn(move || {
+                let (mut client, _) =
+                    ServeClient::open(addr, &retry, 1, epoch, m, n as u64, proto.seed)
+                        .expect("open epoch");
+                let mut rtts = Vec::new();
+                for (node, sketch) in sketches.iter().enumerate().skip(c).step_by(connections) {
+                    let t = Instant::now();
+                    client
+                        .send_sketch(node as u32, sketch, SketchEncoding::F64)
+                        .expect("sketch accepted");
+                    rtts.push(t.elapsed().as_nanos() as u64);
+                    std::thread::sleep(think);
+                }
+                rtts
+            }));
+        }
+        handles.into_iter().map(|h| h.join().expect("ingest thread")).collect()
+    });
+    let wall_ns = started.elapsed().as_nanos() as f64;
+
+    let (mut control, _) =
+        ServeClient::open(addr, &retry, 1, epoch, m, n as u64, proto.seed).expect("control");
+    assert_eq!(control.seal().expect("seal"), sketches.len() as u64);
+    control.recover(k).expect("recover");
+
+    (wall_ns, all_rtts.into_iter().flatten().collect())
+}
+
+/// The `serve_sharded` experiment (PR 8): connection-scaling sweep on the
+/// epoll + sharded-store engine, plus an overload soak.
+///
+/// **Sweep** — each connection is a simulated remote node: strict
+/// request/response (one in-flight sketch), with a fixed think interval
+/// between sketches standing in for the WAN RTT + local sketch work a
+/// real node pays off the wire. One such connection leaves the server
+/// almost entirely idle; the fan-out axis measures how well the
+/// readiness loop and the lock-free ingest pads *multiplex* concurrent
+/// connections — the property the epoll rewrite exists for. (A pure
+/// loopback ping-pong sweep without think time is the `serve_throughput`
+/// experiment; on a single-core container it saturates the CPU at one
+/// connection and cannot show connection scaling.) The headline number is
+/// `scaling_x_at_8` = throughput(8 conns) / throughput(1 conn).
+///
+/// **Overload** — the same traffic shoved through a server with a tiny
+/// admission cap (`handlers + queue_depth` ≪ clients). The engine must
+/// shed load with typed `Busy` rejects (counted), keep the accepted
+/// traffic's p99 bounded, and finish the epoch lifecycle normally — the
+/// "stays live under overload" guarantee OPERATIONS.md documents.
+///
+/// With CSV output enabled the sweep mirrors to `results/serve_sharded.csv`
+/// and the machine-readable summary (sweep + overload + scaling headline)
+/// is written to `BENCH_pr8.json`.
+pub fn serve_sharded(opts: &Opts) {
+    let (nodes, n, m, k) = if opts.trials <= 4 { (64, 256, 48, 4) } else { (768, 2048, 96, 8) };
+    let connection_counts = [1usize, 2, 4, 8, 12];
+    // ~300 us of simulated off-wire time per sketch per node: the order
+    // of a same-region network RTT, and >> the server's per-frame cost.
+    let think = std::time::Duration::from_micros(300);
+
+    let data =
+        MajorityData::generate(&MajorityConfig { n, s: k, ..MajorityConfig::default() }, 2024)
+            .expect("workload");
+    let slices = split(&data.values, nodes, SliceStrategy::RandomProportions, 2025).expect("split");
+    let cluster = Cluster::new(slices).expect("cluster");
+    let proto = CsProtocol::new(m, 77);
+    let sketches = proto.node_sketches(&cluster).expect("sketches");
+
+    // Two readiness-loop workers, default shard count: the scaling must
+    // come from batched wakeups and lock-free pads, not from a worker
+    // thread per connection.
+    let server = spawn(ServerConfig {
+        handlers: 2,
+        queue_depth: connection_counts.iter().copied().max().unwrap() + 2,
+        ..ServerConfig::default()
+    })
+    .expect("server");
+
+    let mut samples = Vec::new();
+    for (epoch, &connections) in connection_counts.iter().enumerate() {
+        let (wall_ns, mut rtts) = run_ingest_remote(
+            server.addr(),
+            &proto,
+            n,
+            &sketches,
+            connections,
+            epoch as u64,
+            k as u32,
+            think,
+        );
+        rtts.sort_unstable();
+        samples.push(Sample {
+            connections,
+            nodes,
+            wall_ns,
+            p50_ns: percentile(&rtts, 0.50),
+            p99_ns: percentile(&rtts, 0.99),
+            sketches_per_s: nodes as f64 / (wall_ns / 1e9),
+        });
+    }
+
+    let metrics = server.recorder().metrics_snapshot();
+    let expected = (nodes * connection_counts.len()) as u64;
+    assert_eq!(
+        metrics.counter("serve.sketches_accepted"),
+        Some(expected),
+        "server must have accepted every sketch exactly once"
+    );
+    assert!(
+        metrics.counter("serve.shard_lockfree_ingests").unwrap_or(0) > 0,
+        "the sweep must exercise the lock-free ingest fast path"
+    );
+    assert!(
+        metrics.counter("serve.shard_locked_dispatches").unwrap_or(0) > 0,
+        "opens/seals/recovers go through the shard-locked path"
+    );
+    server.shutdown();
+
+    // Overload soak: 12 strict clients against an admission cap of 3.
+    // Rejected opens retry with backoff; every sketch must still land
+    // exactly once and the lifecycle must complete.
+    let overload_conns = 12usize;
+    let overload_cap = 3u64; // handlers + queue_depth below
+    let over_server = spawn(ServerConfig {
+        handlers: 1,
+        queue_depth: 2,
+        retry_after_ms: 1,
+        ..ServerConfig::default()
+    })
+    .expect("overload server");
+    let patient = cso_distributed::RetryPolicy {
+        max_attempts: 400,
+        base_backoff_ticks: 1,
+        max_backoff_ticks: 4,
+        ..cso_distributed::RetryPolicy::default()
+    };
+    let over_started = Instant::now();
+    let over_rtts: Vec<Vec<u64>> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(overload_conns);
+        for c in 0..overload_conns {
+            let (addr, proto, patient, sketches) =
+                (over_server.addr(), &proto, &patient, &sketches);
+            let n = n;
+            handles.push(scope.spawn(move || {
+                let mut rtts = Vec::new();
+                for (node, sketch) in sketches.iter().enumerate().skip(c).step_by(overload_conns) {
+                    // Open per stripe chunk so admission churns: each
+                    // client repeatedly competes for one of the 3 seats.
+                    let (mut client, _) = ServeClient::open(
+                        addr,
+                        patient,
+                        1,
+                        0,
+                        proto.m as u32,
+                        n as u64,
+                        proto.seed,
+                    )
+                    .expect("open under overload (patient retry)");
+                    let t = Instant::now();
+                    client
+                        .send_sketch(node as u32, sketch, SketchEncoding::F64)
+                        .expect("sketch accepted under overload");
+                    rtts.push(t.elapsed().as_nanos() as u64);
+                }
+                rtts
+            }));
+        }
+        handles.into_iter().map(|h| h.join().expect("overload thread")).collect()
+    });
+    let over_wall_ns = over_started.elapsed().as_nanos() as f64;
+    let mut over_rtts: Vec<u64> = over_rtts.into_iter().flatten().collect();
+    over_rtts.sort_unstable();
+
+    let over_metrics = over_server.recorder().metrics_snapshot();
+    let busy_rejects = over_metrics.counter("serve.conns_rejected_busy").unwrap_or(0);
+    assert!(busy_rejects > 0, "the overload soak must actually trip admission control");
+    assert_eq!(
+        over_metrics.counter("serve.sketches_accepted"),
+        Some(nodes as u64),
+        "overload: every sketch accepted exactly once despite Busy churn"
+    );
+    // Liveness after the storm: the same server completes the lifecycle.
+    let (mut control, _) =
+        ServeClient::open(over_server.addr(), &patient, 1, 0, proto.m as u32, n as u64, proto.seed)
+            .expect("control after overload");
+    assert_eq!(control.seal().expect("seal after overload"), nodes as u64);
+    control.recover(k as u32).expect("recover after overload");
+    drop(control);
+    over_server.shutdown();
+
+    let over = Sample {
+        connections: overload_conns,
+        nodes,
+        wall_ns: over_wall_ns,
+        p50_ns: percentile(&over_rtts, 0.50),
+        p99_ns: percentile(&over_rtts, 0.99),
+        sketches_per_s: nodes as f64 / (over_wall_ns / 1e9),
+    };
+
+    let thpt =
+        |c: usize| samples.iter().find(|s| s.connections == c).map_or(0.0, |s| s.sketches_per_s);
+    let scaling_x_at_8 = if thpt(1) > 0.0 { thpt(8) / thpt(1) } else { 0.0 };
+
+    let mut table = Table::new(
+        "serve_sharded",
+        &["connections", "sketches", "wall_ms", "sketches_per_s", "p50_us", "p99_us", "row"],
+    );
+    for s in &samples {
+        table.row(&[
+            &s.connections,
+            &s.nodes,
+            &format!("{:.2}", s.wall_ns / 1e6),
+            &format!("{:.0}", s.sketches_per_s),
+            &format!("{:.1}", s.p50_ns as f64 / 1e3),
+            &format!("{:.1}", s.p99_ns as f64 / 1e3),
+            &"sweep",
+        ]);
+    }
+    table.row(&[
+        &over.connections,
+        &over.nodes,
+        &format!("{:.2}", over.wall_ns / 1e6),
+        &format!("{:.0}", over.sketches_per_s),
+        &format!("{:.1}", over.p50_ns as f64 / 1e3),
+        &format!("{:.1}", over.p99_ns as f64 / 1e3),
+        &format!("overload(cap={overload_cap},busy={busy_rejects})"),
+    ]);
+    table.finish(opts);
+    println!("serve_sharded: scaling at 8 connections = {scaling_x_at_8:.2}x");
+
+    if opts.write_csv {
+        write_sharded_json(&samples, &over, scaling_x_at_8, busy_rejects, overload_cap, n, m, k);
+    }
+}
+
+/// Writes the machine-readable sharded sweep to `BENCH_pr8.json` (repo
+/// root), headlined by the 8-connection throughput scaling factor and the
+/// overload soak's bounded p99 + Busy-reject count.
+#[allow(clippy::too_many_arguments)]
+fn write_sharded_json(
+    samples: &[Sample],
+    over: &Sample,
+    scaling_x_at_8: f64,
+    busy_rejects: u64,
+    overload_cap: u64,
+    n: usize,
+    m: usize,
+    k: usize,
+) {
+    let cores = std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
+    let mut out = String::new();
+    out.push_str("{\"bench\":\"serve_sharded\",\"params\":{");
+    out.push_str(&format!(
+        "\"nodes\":{},\"n\":{n},\"m\":{m},\"k\":{k},\"encoding\":\"f64\",\
+         \"workers\":2,\"shards\":8,\"node_think_us\":300,\"host_cpus\":{cores}",
+        samples.first().map_or(0, |s| s.nodes)
+    ));
+    out.push_str(&format!("}},\"scaling_x_at_8\":{scaling_x_at_8:.3},\"sweep\":["));
+    for (i, s) in samples.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"connections\":{},\"wall_ns\":{},\"sketches_per_s\":{},\
+             \"p50_ingest_ns\":{},\"p99_ingest_ns\":{}}}",
+            s.connections, s.wall_ns, s.sketches_per_s, s.p50_ns, s.p99_ns
+        ));
+    }
+    out.push_str(&format!(
+        "],\"overload\":{{\"connections\":{},\"admission_cap\":{overload_cap},\
+         \"busy_rejects\":{busy_rejects},\"wall_ns\":{},\"sketches_per_s\":{},\
+         \"p50_ingest_ns\":{},\"p99_ingest_ns\":{}}}}}",
+        over.connections, over.wall_ns, over.sketches_per_s, over.p50_ns, over.p99_ns
+    ));
+    json::validate(&out).expect("BENCH_pr8.json must be valid JSON");
+    std::fs::write("BENCH_pr8.json", format!("{out}\n")).expect("write BENCH_pr8.json");
+    println!("wrote BENCH_pr8.json");
+}
+
 /// Writes the machine-readable sweep to `BENCH_pr5.json` (repo root).
 fn write_bench_json(samples: &[Sample], n: usize, m: usize, k: usize) {
     let cores = std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
@@ -598,5 +899,10 @@ mod tests {
     #[test]
     fn serve_telemetry_smoke_runs_without_artifacts() {
         serve_telemetry(&Opts { trials: 1, write_csv: false });
+    }
+
+    #[test]
+    fn serve_sharded_smoke_runs_without_artifacts() {
+        serve_sharded(&Opts { trials: 1, write_csv: false });
     }
 }

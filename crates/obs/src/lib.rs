@@ -20,6 +20,9 @@
 //! - [`RunReport`] — trace + metrics + EK/EV bundled into one artifact,
 //!   exported as JSONL (for `results/`), a single JSON object (for
 //!   benches), or a human-readable tree.
+//! - [`FlightRecorder`] — a lock-free per-lane ring of recent request
+//!   events (the serve layer's crash "black box"), dumped as JSONL at
+//!   panic, fault-latch and shutdown waypoints.
 //! - [`json`] — the hermetic JSON writer and validator backing the
 //!   exporters and CI's artifact checks.
 //!

@@ -9,6 +9,58 @@
 //! server's hint and its own exponential backoff (reusing
 //! [`RetryPolicy`], one virtual tick ≈ one millisecond). All other
 //! rejects are surfaced as typed [`ClientError::Rejected`] values.
+//!
+//! # Quickstart: one epoch, end to end
+//!
+//! [`ServeClient`] drives the full lifecycle — open → ingest → seal →
+//! recover — against a live server:
+//!
+//! ```
+//! use cso_distributed::quantize::SketchEncoding;
+//! use cso_distributed::{Cluster, CsProtocol, RetryPolicy};
+//! use cso_serve::{spawn, ServeClient, ServerConfig};
+//!
+//! let server = spawn(ServerConfig::default()).unwrap();
+//! let retry = RetryPolicy::default();
+//!
+//! // One node holding a 3-dimensional slice; m = 3 measurements.
+//! let cluster = Cluster::new(vec![vec![5.0, 5.0, 9.0]]).unwrap();
+//! let proto = CsProtocol::new(3, 42);
+//! let sketches = proto.node_sketches(&cluster).unwrap();
+//!
+//! // Open epoch 0 of session 7 (a second open would attach instead).
+//! let (mut client, nodes_already) =
+//!     ServeClient::open(server.addr(), &retry, 7, 0, proto.m as u32, 3, proto.seed).unwrap();
+//! assert_eq!(nodes_already, 0);
+//!
+//! // Ingest node 0's sketch, seal the epoch, recover the top outlier.
+//! client.send_sketch(0, &sketches[0], SketchEncoding::F64).unwrap();
+//! assert_eq!(client.seal().unwrap(), 1);
+//! let (_mode, outliers) = client.recover(1).unwrap();
+//! assert_eq!(outliers.len(), 1);
+//! server.shutdown();
+//! ```
+//!
+//! # Quickstart: polling live metrics
+//!
+//! [`MetricsPoller`] holds a dedicated connection to the introspection
+//! plane (never queued behind ingest dispatch) and returns a
+//! [`MetricsSnapshot`] per poll — the loop `cso-top` runs once a second:
+//!
+//! ```
+//! use cso_distributed::RetryPolicy;
+//! use cso_serve::{spawn, MetricsPoller, ServerConfig};
+//!
+//! let server = spawn(ServerConfig::default()).unwrap();
+//! let mut poller = MetricsPoller::connect(server.addr(), &RetryPolicy::default()).unwrap();
+//! for _ in 0..3 {
+//!     let snapshot = poller.poll().unwrap();
+//!     // Gauges and counters are fresh as of this poll.
+//!     assert_eq!(snapshot.gauge("serve.sessions"), Some(0.0));
+//!     assert!(snapshot.counter("serve.introspects").unwrap_or(0) >= 1);
+//! }
+//! server.shutdown();
+//! ```
 
 use crate::frame::{read_frame, write_frame, write_frame_ctx, FrameError, TraceContext};
 use crate::session::{EpochPhase, RejectCode};

@@ -256,6 +256,122 @@ pub fn write_frame(w: &mut impl Write, msg: &Message) -> io::Result<usize> {
     write_frame_ctx(w, msg, None)
 }
 
+/// Encodes `msg` behind its length prefix into a fresh byte vector — the
+/// buffer-building twin of [`write_frame`], used by the nonblocking server
+/// where replies are queued and flushed as the socket accepts them.
+pub fn encode_frame(msg: &Message) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_frame(&mut buf, msg).expect("writing to a Vec cannot fail");
+    buf
+}
+
+/// One frame successfully reassembled by a [`FrameAssembler`]: the decoded
+/// message, the total bytes it occupied on the wire (prefix included), and
+/// the trace context if the peer attached one.
+pub type AssembledFrame = (Message, usize, Option<TraceContext>);
+
+/// Incremental frame reassembly for nonblocking sockets.
+///
+/// Where [`read_frame_ctx`] *pulls* bytes from a blocking reader, an epoll
+/// loop is handed bytes whenever the kernel has them — possibly one byte
+/// at a time, possibly three frames at once. `FrameAssembler` is the
+/// per-connection state machine between the two worlds: [`push`] feeds it
+/// whatever arrived, [`next_frame`] yields complete frames with exactly
+/// the typed-error contract of the blocking reader:
+///
+/// - an oversized length prefix is [`FrameError::TooLarge`] (the
+///   connection must be dropped — the stream can no longer be trusted);
+/// - a well-framed body failing CRC/parse or carrying a malformed
+///   extension block is [`FrameError::Wire`] / [`FrameError::BadExtension`]
+///   **with the frame consumed**, so the caller can reject in place and
+///   keep the stream synchronized;
+/// - `Closed` / `Truncated` are socket-level facts the assembler cannot
+///   see; [`on_eof`] folds buffered state into the right one when the
+///   caller observes end-of-stream.
+///
+/// The assembler never copies a body twice: bytes accumulate in one
+/// buffer, frames are decoded in place, and consumed prefixes are
+/// compacted away lazily.
+///
+/// [`push`]: FrameAssembler::push
+/// [`next_frame`]: FrameAssembler::next_frame
+/// [`on_eof`]: FrameAssembler::on_eof
+#[derive(Debug, Default)]
+pub struct FrameAssembler {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl FrameAssembler {
+    /// An empty assembler for a fresh connection.
+    pub fn new() -> Self {
+        FrameAssembler::default()
+    }
+
+    /// Feeds bytes read off the socket into the reassembly buffer.
+    pub fn push(&mut self, bytes: &[u8]) {
+        // Compact before growing: once consumed frames exceed the live
+        // remainder, slide the tail down instead of reallocating past it.
+        if self.pos > 4096 && self.pos * 2 > self.buf.len() {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed by a complete frame.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether a frame is partially buffered — a prefix or body cut short
+    /// by whatever the socket has delivered so far.
+    pub fn has_partial(&self) -> bool {
+        self.buffered() > 0
+    }
+
+    /// The typed error end-of-stream maps to: mid-frame bytes pending
+    /// means the peer died mid-frame ([`FrameError::Truncated`]); an empty
+    /// buffer is a clean close at a boundary ([`FrameError::Closed`]).
+    pub fn on_eof(&self) -> FrameError {
+        if self.has_partial() {
+            FrameError::Truncated
+        } else {
+            FrameError::Closed
+        }
+    }
+
+    /// Yields the next complete frame, `Ok(None)` if more bytes are
+    /// needed, or a typed error per the contract above. Call in a loop
+    /// after each [`push`](FrameAssembler::push) until it returns
+    /// `Ok(None)` — one readiness event may deliver many frames.
+    pub fn next_frame(&mut self) -> Result<Option<AssembledFrame>, FrameError> {
+        let avail = &self.buf[self.pos..];
+        if avail.len() < LEN_PREFIX_BYTES {
+            return Ok(None);
+        }
+        let raw = u32::from_le_bytes(avail[..LEN_PREFIX_BYTES].try_into().expect("4 bytes"));
+        let extended = raw & FLAG_EXTENDED != 0;
+        let declared = raw & !FLAG_EXTENDED;
+        if declared > MAX_FRAME_BYTES {
+            return Err(FrameError::TooLarge { declared });
+        }
+        let total = LEN_PREFIX_BYTES + declared as usize;
+        if avail.len() < total {
+            return Ok(None);
+        }
+        let body = &avail[LEN_PREFIX_BYTES..total];
+        // The frame is structurally complete: whatever happens next, it is
+        // consumed, so decode failures leave the stream synchronized.
+        let parsed = (|| {
+            let (ctx, frame) = if extended { parse_extensions(body)? } else { (None, body) };
+            Ok((wire::decode(frame)?, total, ctx))
+        })();
+        self.pos += total;
+        parsed.map(Some)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -432,5 +548,62 @@ mod tests {
         let mut buf = (FLAG_EXTENDED | 1).to_le_bytes().to_vec();
         buf.push(200);
         assert_eq!(read_frame_ctx(&mut Cursor::new(&buf)).unwrap_err(), FrameError::BadExtension);
+    }
+
+    #[test]
+    fn assembler_reassembles_byte_by_byte() {
+        let mut buf = Vec::new();
+        let ctx = TraceContext { trace_id: 5, span_id: 6 };
+        write_frame_ctx(&mut buf, &msg(), Some(&ctx)).unwrap();
+        write_frame(&mut buf, &Message::Ack { of: 4, info: 1 }).unwrap();
+
+        let mut asm = FrameAssembler::new();
+        let mut out = Vec::new();
+        for &b in &buf {
+            asm.push(&[b]);
+            while let Some(f) = asm.next_frame().unwrap() {
+                out.push(f);
+            }
+        }
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].0, msg());
+        assert_eq!(out[0].2, Some(ctx));
+        assert_eq!(out[1].0, Message::Ack { of: 4, info: 1 });
+        assert!(!asm.has_partial());
+        assert_eq!(asm.on_eof(), FrameError::Closed);
+    }
+
+    #[test]
+    fn assembler_consumes_corrupt_frames_and_stays_synchronized() {
+        let mut good = Vec::new();
+        write_frame(&mut good, &msg()).unwrap();
+        let mut bad = good.clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0x10;
+
+        let mut asm = FrameAssembler::new();
+        asm.push(&bad);
+        asm.push(&good);
+        assert!(matches!(asm.next_frame().unwrap_err(), FrameError::Wire(_)));
+        // The corrupt frame was consumed whole; the next one decodes.
+        assert_eq!(asm.next_frame().unwrap().unwrap().0, msg());
+        assert_eq!(asm.next_frame().unwrap(), None);
+    }
+
+    #[test]
+    fn assembler_mid_frame_eof_is_truncated_and_oversize_is_typed() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &msg()).unwrap();
+        let mut asm = FrameAssembler::new();
+        asm.push(&buf[..buf.len() - 1]);
+        assert_eq!(asm.next_frame().unwrap(), None);
+        assert_eq!(asm.on_eof(), FrameError::Truncated);
+
+        let mut asm = FrameAssembler::new();
+        asm.push(&(MAX_FRAME_BYTES + 1).to_le_bytes());
+        assert_eq!(
+            asm.next_frame().unwrap_err(),
+            FrameError::TooLarge { declared: MAX_FRAME_BYTES + 1 }
+        );
     }
 }

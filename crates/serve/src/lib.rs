@@ -12,9 +12,13 @@
 //! - [`frame`] — length-prefixed framing with typed failure modes;
 //! - [`session`] — sessioned epoch lifecycle (open → ingest → seal →
 //!   recover → report) as a pure, testable state machine;
-//! - [`server`] — the acceptor + handler-pool runtime with bounded
-//!   admission, straggler deadlines, `serve.*` metrics and per-epoch
-//!   JSONL reports;
+//! - [`sys`] — zero-dependency epoll/eventfd bindings (four `extern "C"`
+//!   declarations; `std` already links libc, so nothing is added to
+//!   `Cargo.toml`);
+//! - [`server`] — the epoll readiness-loop runtime: worker threads each
+//!   polling many nonblocking connections, a sharded session store with
+//!   a lock-free sketch ingest fast path, bounded admission, straggler
+//!   deadlines, `serve.*` metrics and per-epoch JSONL reports;
 //! - [`client`] — a blocking client plus [`run_cs_over_server`], which
 //!   drives the whole protocol against a live server and (with f64
 //!   payloads) recovers **bit-identically** to the in-process
@@ -47,18 +51,19 @@ pub mod client;
 pub mod frame;
 pub mod server;
 pub mod session;
+pub mod sys;
 pub mod wal;
 
 pub use client::{
     run_cs_over_server, ClientError, MetricsPoller, ServeClient, ServeRun, ServeRunConfig,
 };
 pub use frame::{
-    read_frame, read_frame_ctx, write_frame, write_frame_ctx, FrameError, TraceContext,
-    EXT_TRACE_CONTEXT, LEN_PREFIX_BYTES, MAX_FRAME_BYTES,
+    encode_frame, read_frame, read_frame_ctx, write_frame, write_frame_ctx, AssembledFrame,
+    FrameAssembler, FrameError, TraceContext, EXT_TRACE_CONTEXT, LEN_PREFIX_BYTES, MAX_FRAME_BYTES,
 };
 pub use server::{spawn, ServerConfig, ServerHandle, TelemetryConfig};
 pub use session::{
-    ConnState, Dispatch, Effect, EpochPhase, RecoverJob, RecoveredEpoch, RecoveryPolicy,
-    RejectCode, SessionStore, StoreLimits, StoreStats,
+    ConnState, Dispatch, Effect, EpochPhase, IngestPad, PadIngest, PadPermit, RecoverJob,
+    RecoveredEpoch, RecoveryPolicy, RejectCode, SessionStore, StoreLimits, StoreStats,
 };
 pub use wal::{Durability, FsyncPolicy, RecoveryReport, Wal, WalError, WalRecord};

@@ -29,8 +29,11 @@ use cso_distributed::{CsProtocol, SketchAggregator};
 use cso_exec::ExecConfig;
 use cso_linalg::Vector;
 use cso_obs::Recorder;
+use std::cell::UnsafeCell;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
 
 /// Typed reject codes carried in [`Message::Reject`] frames. Wire values
 /// are stable: new codes may be appended, existing ones never renumbered.
@@ -182,10 +185,15 @@ struct Epoch {
 /// epoch) are dropped and only the canonical `M`-length measurement
 /// recovery needs is retained. A long-running server therefore holds
 /// `O(M)` per finished epoch, not `O(L·M)`.
+///
+/// While ingesting, the server may attach an [`IngestPad`]: a lock-free
+/// overlay that absorbs sketch arrivals without the store lock. Pad
+/// contents are folded into the aggregator (ascending node id, so the
+/// measurement stays canonical) at seal and at snapshot time.
 #[derive(Debug)]
 enum EpochState {
     /// Accepting sketches (phase `Ingest`).
-    Ingest(SketchAggregator),
+    Ingest(SketchAggregator, Option<Arc<IngestPad>>),
     /// Sealed or recovered: just the spec and the canonical measurement.
     Sealed { spec: MeasurementSpec, y: Vector, nodes: u64 },
 }
@@ -193,16 +201,255 @@ enum EpochState {
 impl Epoch {
     fn spec(&self) -> &MeasurementSpec {
         match &self.state {
-            EpochState::Ingest(agg) => agg.spec(),
+            EpochState::Ingest(agg, _) => agg.spec(),
             EpochState::Sealed { spec, .. } => spec,
         }
     }
 
     fn node_count(&self) -> u64 {
         match &self.state {
-            EpochState::Ingest(agg) => agg.node_count() as u64,
+            EpochState::Ingest(agg, pad) => {
+                agg.node_count() as u64 + pad.as_ref().map_or(0, |p| p.pending())
+            }
             EpochState::Sealed { nodes, .. } => *nodes,
         }
+    }
+}
+
+// ---- lock-free ingest pad ---------------------------------------------
+
+const SLOT_EMPTY: u8 = 0;
+const SLOT_BUSY: u8 = 1;
+const SLOT_READY: u8 = 2;
+const SLOT_DRAINED: u8 = 3;
+
+/// One node's slot in an [`IngestPad`]: a four-state cell
+/// (`EMPTY → BUSY → READY → DRAINED`) claimed by compare-and-swap. The
+/// `UnsafeCell` is sound because the state machine gives exclusive access:
+/// only the thread that won the `EMPTY → BUSY` CAS writes the cell, and
+/// only the (store-locked) drainer that wins `READY → DRAINED` reads it.
+struct PadSlot {
+    state: AtomicU8,
+    cell: UnsafeCell<Option<Vector>>,
+}
+
+// Safety: cross-thread access to `cell` is mediated by `state` — see
+// [`PadSlot`]. Writes happen strictly inside BUSY, reads strictly inside
+// the READY→DRAINED transition, and the Release/Acquire pairs on `state`
+// order them.
+unsafe impl Sync for PadSlot {}
+
+/// Lock-free sketch accumulation for one ingesting epoch.
+///
+/// The hot path of the sharded server: a worker that already knows its
+/// connection's bound epoch claims the sketch's node slot with a single
+/// CAS and deposits the decoded vector — no store lock, no map insert, no
+/// resummation. The canonical `y = Σ y_l` (ascending node id — the
+/// bit-identity invariant) is formed later, when the seal-time drain folds READY
+/// slots into the epoch's [`SketchAggregator`] under the shard lock: at
+/// seal, and before every durability snapshot.
+///
+/// Two flags coordinate with the store-locked control plane, both via the
+/// `active` permit counter ([`PadPermit`] is held across the caller's WAL
+/// append, so a quiesced pad implies every accepted sketch is journaled):
+///
+/// - **sealed**: set at seal; the sealer waits for in-flight permits to
+///   drop, then drains. Later claims bounce with [`PadIngest::Unavailable`].
+/// - **paused**: set around snapshots for the same quiescence guarantee,
+///   then cleared — bounced claims retry through the locked slow path,
+///   which blocks on the shard lock until the snapshot completes.
+///
+/// First-wins semantics are identical to the locked path: the slot CAS
+/// arbitrates duplicates exactly like the aggregator's `contains` check.
+#[derive(Debug)]
+pub struct IngestPad {
+    seed: u64,
+    m: usize,
+    sealed: AtomicBool,
+    paused: AtomicBool,
+    active: AtomicU64,
+    accepted: AtomicU64,
+    drained: AtomicU64,
+    duplicates: AtomicU64,
+    slots: Box<[PadSlot]>,
+}
+
+impl fmt::Debug for PadSlot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PadSlot({})", self.state.load(Ordering::Relaxed))
+    }
+}
+
+/// Outcome of one lock-free ingest attempt against an [`IngestPad`].
+#[derive(Debug)]
+pub enum PadIngest<'a> {
+    /// The sketch was deposited. Hold the permit until the WAL append for
+    /// this sketch completes (or immediately drop it when not journaling):
+    /// seal and snapshot quiescence wait on it.
+    Accepted(PadPermit<'a>),
+    /// The node already contributed (here or in the aggregator).
+    Duplicate,
+    /// The sketch's seed disagrees with the epoch's.
+    SeedMismatch,
+    /// The payload does not decode to an `M`-length sketch.
+    BadSketch,
+    /// The pad cannot take this sketch lock-free — sealed, paused for a
+    /// snapshot, or the node id is beyond the pad's slot range. The caller
+    /// falls back to the store-locked path, which resolves it correctly.
+    Unavailable,
+}
+
+/// RAII guard keeping an [`IngestPad`]'s seal/snapshot barrier open; see
+/// [`PadIngest::Accepted`].
+#[derive(Debug)]
+pub struct PadPermit<'a> {
+    pad: &'a IngestPad,
+}
+
+impl Drop for PadPermit<'_> {
+    fn drop(&mut self) {
+        self.pad.active.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+impl IngestPad {
+    /// A pad for an epoch currently backed by `agg`: slots for node ids
+    /// `0..min(n, max_nodes)`, with nodes already in the aggregator
+    /// pre-marked so their retransmits count as duplicates.
+    fn new(agg: &SketchAggregator, seed: u64, max_nodes: usize) -> IngestPad {
+        let spec = agg.spec();
+        let capacity = spec.n.min(max_nodes);
+        let slots: Box<[PadSlot]> = (0..capacity)
+            .map(|_| PadSlot { state: AtomicU8::new(SLOT_EMPTY), cell: UnsafeCell::new(None) })
+            .collect();
+        for node in agg.node_ids() {
+            if let Some(slot) = slots.get(node) {
+                // Pre-marked DRAINED: the sketch lives in the aggregator;
+                // the drain pass skips it, a claim reads it as a duplicate.
+                slot.state.store(SLOT_DRAINED, Ordering::Relaxed);
+            }
+        }
+        IngestPad {
+            seed,
+            m: spec.m,
+            sealed: AtomicBool::new(false),
+            paused: AtomicBool::new(false),
+            active: AtomicU64::new(0),
+            accepted: AtomicU64::new(0),
+            drained: AtomicU64::new(0),
+            duplicates: AtomicU64::new(0),
+            slots,
+        }
+    }
+
+    /// Attempts a lock-free ingest of `node`'s sketch. See [`PadIngest`]
+    /// for the contract of each outcome.
+    pub fn ingest(&self, node: u32, seed: u64, payload: &EncodedSketch) -> PadIngest<'_> {
+        let Some(slot) = self.slots.get(node as usize) else {
+            return PadIngest::Unavailable;
+        };
+        // Raise the permit before checking the barrier flags (Dekker-style
+        // with the sealer/snapshotter, both sides SeqCst): either we see
+        // the flag and bounce, or the barrier's quiescence wait sees us.
+        self.active.fetch_add(1, Ordering::SeqCst);
+        let permit = PadPermit { pad: self };
+        // Barrier check precedes the seed check: a sealed epoch must
+        // answer `EpochSealed` (via the shard-locked path) even to a
+        // wrong-seed sketch, matching the store's reject precedence.
+        if self.sealed.load(Ordering::SeqCst) || self.paused.load(Ordering::SeqCst) {
+            return PadIngest::Unavailable;
+        }
+        if seed != self.seed {
+            return PadIngest::SeedMismatch;
+        }
+        if slot.state.load(Ordering::Acquire) != SLOT_EMPTY {
+            self.duplicates.fetch_add(1, Ordering::Relaxed);
+            return PadIngest::Duplicate;
+        }
+        let sketch = quantize::decode(payload);
+        if sketch.len() != self.m {
+            return PadIngest::BadSketch;
+        }
+        match slot.state.compare_exchange(
+            SLOT_EMPTY,
+            SLOT_BUSY,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => {
+                // Safety: the CAS gave this thread exclusive BUSY access.
+                unsafe { *slot.cell.get() = Some(sketch) };
+                slot.state.store(SLOT_READY, Ordering::Release);
+                self.accepted.fetch_add(1, Ordering::Relaxed);
+                PadIngest::Accepted(permit)
+            }
+            Err(_) => {
+                self.duplicates.fetch_add(1, Ordering::Relaxed);
+                PadIngest::Duplicate
+            }
+        }
+    }
+
+    /// Sketches deposited but not yet folded into the aggregator.
+    pub fn pending(&self) -> u64 {
+        self.accepted.load(Ordering::Relaxed).saturating_sub(self.drained.load(Ordering::Relaxed))
+    }
+
+    /// Raises `flag` and spins until every in-flight permit has dropped —
+    /// after which every accepted sketch is READY *and* its caller's WAL
+    /// append has completed.
+    fn quiesce(&self, flag: &AtomicBool) {
+        flag.store(true, Ordering::SeqCst);
+        while self.active.load(Ordering::SeqCst) != 0 {
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Permanently closes the pad for seal: no further lock-free ingest.
+    fn begin_seal(&self) {
+        self.quiesce(&self.sealed);
+    }
+
+    /// Pauses the pad for a snapshot; [`resume`](IngestPad::resume)
+    /// reopens it.
+    fn pause(&self) {
+        self.quiesce(&self.paused);
+    }
+
+    fn resume(&self) {
+        self.paused.store(false, Ordering::SeqCst);
+    }
+
+    /// Folds every READY slot into `agg` (ascending node id — `BTreeMap`
+    /// order keeps the measurement canonical regardless). Returns how many
+    /// sketches were folded. Callers hold the shard's store lock; claims
+    /// racing this drain keep their slots for the next drain.
+    fn drain_into(&self, agg: &mut SketchAggregator) -> u64 {
+        let mut folded = 0;
+        for (node, slot) in self.slots.iter().enumerate() {
+            let claimed = slot
+                .state
+                .compare_exchange(SLOT_READY, SLOT_DRAINED, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok();
+            if !claimed {
+                continue;
+            }
+            // Safety: the READY→DRAINED CAS gave us exclusive access.
+            let sketch = unsafe { (*slot.cell.get()).take() }.expect("READY slot holds a sketch");
+            if agg.contains(node) {
+                self.duplicates.fetch_add(1, Ordering::Relaxed);
+            } else {
+                agg.join(node, sketch).expect("pad sketch length was validated at claim");
+                folded += 1;
+            }
+            self.drained.fetch_add(1, Ordering::Relaxed);
+        }
+        folded
+    }
+
+    /// Hands the pad's duplicate tally to the epoch's durable counter.
+    fn take_duplicates(&self) -> u64 {
+        self.duplicates.swap(0, Ordering::Relaxed)
     }
 }
 
@@ -229,6 +476,10 @@ pub struct StoreLimits {
     /// Live epochs per session before a new epoch is rejected (recovered
     /// epochs are evicted to make room first).
     pub max_epochs_per_session: usize,
+    /// Slot count of the lock-free [`IngestPad`] per epoch (bounded by the
+    /// epoch's `n`). Nodes with ids past the pad take the store-locked
+    /// slow path — correct, just not lock-free.
+    pub max_nodes_per_epoch: usize,
 }
 
 impl Default for StoreLimits {
@@ -238,6 +489,7 @@ impl Default for StoreLimits {
             max_matrix_bytes: 256 << 20,
             max_sessions: 64,
             max_epochs_per_session: 64,
+            max_nodes_per_epoch: 1 << 16,
         }
     }
 }
@@ -631,7 +883,7 @@ impl SessionStore {
                 seed,
                 phase: EpochPhase::Ingest,
                 duplicates: 0,
-                state: EpochState::Ingest(SketchAggregator::new(spec)),
+                state: EpochState::Ingest(SketchAggregator::new(spec), None),
             },
         );
         conn.bound = Some((session, epoch));
@@ -693,9 +945,35 @@ impl SessionStore {
         if seed != ep.seed {
             return (reject(RejectCode::SeedMismatch), Effect::None);
         }
-        let EpochState::Ingest(agg) = &mut ep.state else {
+        let EpochState::Ingest(agg, pad) = &mut ep.state else {
             return (reject(RejectCode::EpochSealed), Effect::None);
         };
+        // With a pad attached, the locked path defers to it for in-range
+        // nodes so first-wins arbitration has a single owner (the slot
+        // CAS). Out-of-range or paused attempts fall through to the direct
+        // join below — safe, because this caller holds the store lock and
+        // drains only ever run under it.
+        if let Some(p) = pad {
+            match p.ingest(node, seed, payload) {
+                PadIngest::Accepted(permit) => {
+                    // Dispatch callers journal under the same store lock
+                    // that seals/drains take, so the permit's job is done.
+                    drop(permit);
+                    stats.add("serve.sketches_accepted", 1);
+                    return (
+                        Message::Ack { of: TAG_SKETCH, info: 0 },
+                        Effect::Ingested { session, epoch },
+                    );
+                }
+                PadIngest::Duplicate => {
+                    stats.add("serve.sketches_duplicate", 1);
+                    return (Message::Ack { of: TAG_SKETCH, info: 1 }, Effect::None);
+                }
+                PadIngest::SeedMismatch => return (reject(RejectCode::SeedMismatch), Effect::None),
+                PadIngest::BadSketch => return (reject(RejectCode::BadSketch), Effect::None),
+                PadIngest::Unavailable => {}
+            }
+        }
         if agg.contains(node as usize) {
             // Retransmits are idempotent: the first sketch for a node wins,
             // mirroring the degraded path's (node, seed) dedup.
@@ -719,7 +997,20 @@ impl SessionStore {
         if ep.phase != EpochPhase::Ingest {
             return (reject(RejectCode::DuplicateSeal), Effect::None);
         }
-        let EpochState::Ingest(agg) = &ep.state else {
+        // Freeze the lock-free overlay first: close the pad, wait out
+        // in-flight claims, and fold everything it holds into the
+        // aggregator so the compacted measurement is the canonical sum
+        // over *all* accepted nodes.
+        let pad_duplicates = match &mut ep.state {
+            EpochState::Ingest(agg, Some(pad)) => {
+                pad.begin_seal();
+                pad.drain_into(agg);
+                pad.take_duplicates()
+            }
+            _ => 0,
+        };
+        ep.duplicates += pad_duplicates;
+        let EpochState::Ingest(agg, _) = &ep.state else {
             return (reject(RejectCode::DuplicateSeal), Effect::None);
         };
         // Compact at the freeze point: membership can no longer change, so
@@ -792,6 +1083,98 @@ impl SessionStore {
             .ok_or(RejectCode::UnknownEpoch)
     }
 
+    // ---- lock-free ingest pads ----------------------------------------
+
+    /// The lock-free [`IngestPad`] of `(session, epoch)`, created on first
+    /// use. `None` once the epoch is sealed (or never existed) — the
+    /// caller's cue to fall back to [`SessionStore::dispatch`].
+    pub fn pad_for(&mut self, session: u64, epoch: u64) -> Option<Arc<IngestPad>> {
+        let max_nodes = self.limits.max_nodes_per_epoch;
+        let ep = self.sessions.get_mut(&session)?.epochs.get_mut(&epoch)?;
+        if ep.phase != EpochPhase::Ingest {
+            return None;
+        }
+        let seed = ep.seed;
+        match &mut ep.state {
+            EpochState::Ingest(agg, pad) => {
+                if pad.is_none() {
+                    *pad = Some(Arc::new(IngestPad::new(agg, seed, max_nodes)));
+                }
+                pad.clone()
+            }
+            EpochState::Sealed { .. } => None,
+        }
+    }
+
+    /// Pauses every ingest pad, waits out in-flight claims, and folds pad
+    /// contents into the aggregators — after which [`snapshot_bytes`]
+    /// captures every acknowledged sketch. Call under the store's lock;
+    /// pair with [`resume_pads`] once the snapshot is on disk (bounced
+    /// lock-free claims retry through the locked path, which this same
+    /// lock is holding back in the meantime).
+    ///
+    /// [`snapshot_bytes`]: SessionStore::snapshot_bytes
+    /// [`resume_pads`]: SessionStore::resume_pads
+    pub fn pause_and_drain_pads(&mut self) {
+        for sess in self.sessions.values_mut() {
+            for ep in sess.epochs.values_mut() {
+                let dups = match &mut ep.state {
+                    EpochState::Ingest(agg, Some(pad)) => {
+                        pad.pause();
+                        pad.drain_into(agg);
+                        pad.take_duplicates()
+                    }
+                    _ => 0,
+                };
+                ep.duplicates += dups;
+            }
+        }
+    }
+
+    /// Reopens pads paused by [`SessionStore::pause_and_drain_pads`].
+    pub fn resume_pads(&self) {
+        for sess in self.sessions.values() {
+            for ep in sess.epochs.values() {
+                if let EpochState::Ingest(_, Some(pad)) = &ep.state {
+                    pad.resume();
+                }
+            }
+        }
+    }
+
+    // ---- sharding ------------------------------------------------------
+
+    /// Partitions the store into `shards` disjoint stores (shard index =
+    /// `session & (shards − 1)`; `shards` must be a power of two). The
+    /// inverse view for durability is
+    /// [`SessionStore::merged_snapshot_bytes`].
+    pub fn split_by_session(mut self, shards: usize) -> Vec<SessionStore> {
+        assert!(shards.is_power_of_two(), "shard count must be a power of two");
+        let mask = (shards - 1) as u64;
+        let mut out: Vec<SessionStore> =
+            (0..shards).map(|_| SessionStore::with_limits(self.limits)).collect();
+        while let Some((sid, sess)) = self.sessions.pop_first() {
+            out[(sid & mask) as usize].sessions.insert(sid, sess);
+        }
+        out
+    }
+
+    /// Serializes the union of disjoint shard stores as one snapshot,
+    /// ordered by ascending session id across shards — byte-identical to
+    /// [`SessionStore::snapshot_bytes`] on an unsharded store holding the
+    /// same sessions.
+    pub fn merged_snapshot_bytes(shards: &[&SessionStore]) -> Vec<u8> {
+        let mut all: BTreeMap<u64, &Session> = BTreeMap::new();
+        for store in shards {
+            for (sid, sess) in &store.sessions {
+                all.insert(*sid, sess);
+            }
+        }
+        let mut out = Vec::new();
+        serialize_sessions(&mut out, all.len(), all.iter().map(|(sid, s)| (*sid, *s)));
+        out
+    }
+
     // ---- journal replay ------------------------------------------------
     //
     // Replay routes journal records back through the same typed state
@@ -843,7 +1226,7 @@ impl SessionStore {
             return Err(format!("replayed ingest into ({session}, {epoch}): seed mismatch"));
         }
         match &mut ep.state {
-            EpochState::Ingest(agg) => {
+            EpochState::Ingest(agg, _) => {
                 if agg.contains(node as usize) {
                     return Ok(false);
                 }
@@ -887,7 +1270,7 @@ impl SessionStore {
             seed,
             phase: EpochPhase::Ingest,
             duplicates: 0,
-            state: EpochState::Ingest(SketchAggregator::new(spec)),
+            state: EpochState::Ingest(SketchAggregator::new(spec), None),
         });
         if ep.seed != seed {
             return Err(format!("replayed seal of ({session}, {epoch}): seed mismatch"));
@@ -916,48 +1299,15 @@ impl SessionStore {
     /// Serializes the full store deterministically (`BTreeMap` order).
     /// The inverse is [`SessionStore::from_snapshot_bytes`]; the format is
     /// internal to the WAL directory and versioned by the snapshot file
-    /// header, not here.
+    /// header, not here. Ingest pads are *not* serialized — fold them
+    /// first via [`SessionStore::pause_and_drain_pads`].
     pub fn snapshot_bytes(&self) -> Vec<u8> {
         let mut out = Vec::new();
-        put_u32(&mut out, self.sessions.len() as u32);
-        for (sid, sess) in &self.sessions {
-            put_u64(&mut out, *sid);
-            put_u32(&mut out, sess.epochs.len() as u32);
-            for (eid, ep) in &sess.epochs {
-                put_u64(&mut out, *eid);
-                put_u64(&mut out, ep.seed);
-                out.push(ep.phase.as_u8());
-                put_u64(&mut out, ep.duplicates);
-                match &ep.state {
-                    EpochState::Ingest(agg) => {
-                        out.push(0);
-                        let spec = agg.spec();
-                        put_u32(&mut out, spec.m as u32);
-                        put_u64(&mut out, spec.n as u64);
-                        put_u64(&mut out, spec.seed);
-                        let ids = agg.node_ids();
-                        put_u32(&mut out, ids.len() as u32);
-                        for node in ids {
-                            put_u64(&mut out, node as u64);
-                            let sketch = agg.node_sketch(node).expect("listed node");
-                            for v in sketch.as_slice() {
-                                put_u64(&mut out, v.to_bits());
-                            }
-                        }
-                    }
-                    EpochState::Sealed { spec, y, nodes } => {
-                        out.push(1);
-                        put_u32(&mut out, spec.m as u32);
-                        put_u64(&mut out, spec.n as u64);
-                        put_u64(&mut out, spec.seed);
-                        put_u64(&mut out, *nodes);
-                        for v in y.as_slice() {
-                            put_u64(&mut out, v.to_bits());
-                        }
-                    }
-                }
-            }
-        }
+        serialize_sessions(
+            &mut out,
+            self.sessions.len(),
+            self.sessions.iter().map(|(sid, s)| (*sid, s)),
+        );
         out
     }
 
@@ -998,7 +1348,7 @@ impl SessionStore {
                             agg.join(node, Vector::from_vec(vals))
                                 .map_err(|e| format!("snapshot: join: {e}"))?;
                         }
-                        EpochState::Ingest(agg)
+                        EpochState::Ingest(agg, None)
                     }
                     1 => {
                         let nodes = r.u64()?;
@@ -1026,6 +1376,56 @@ pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
 
 pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Shared serialization body for [`SessionStore::snapshot_bytes`] and
+/// [`SessionStore::merged_snapshot_bytes`]: `count` sessions, each
+/// `(sid, session)` in the order the iterator yields them (callers pass
+/// `BTreeMap` iterators, so the output is deterministic).
+fn serialize_sessions<'a>(
+    out: &mut Vec<u8>,
+    count: usize,
+    sessions: impl Iterator<Item = (u64, &'a Session)>,
+) {
+    put_u32(out, count as u32);
+    for (sid, sess) in sessions {
+        put_u64(out, sid);
+        put_u32(out, sess.epochs.len() as u32);
+        for (eid, ep) in &sess.epochs {
+            put_u64(out, *eid);
+            put_u64(out, ep.seed);
+            out.push(ep.phase.as_u8());
+            put_u64(out, ep.duplicates);
+            match &ep.state {
+                EpochState::Ingest(agg, _) => {
+                    out.push(0);
+                    let spec = agg.spec();
+                    put_u32(out, spec.m as u32);
+                    put_u64(out, spec.n as u64);
+                    put_u64(out, spec.seed);
+                    let ids = agg.node_ids();
+                    put_u32(out, ids.len() as u32);
+                    for node in ids {
+                        put_u64(out, node as u64);
+                        let sketch = agg.node_sketch(node).expect("listed node");
+                        for v in sketch.as_slice() {
+                            put_u64(out, v.to_bits());
+                        }
+                    }
+                }
+                EpochState::Sealed { spec, y, nodes } => {
+                    out.push(1);
+                    put_u32(out, spec.m as u32);
+                    put_u64(out, spec.n as u64);
+                    put_u64(out, spec.seed);
+                    put_u64(out, *nodes);
+                    for v in y.as_slice() {
+                        put_u64(out, v.to_bits());
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// Bounds-checked little-endian reader for snapshot and WAL-record

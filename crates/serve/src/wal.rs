@@ -668,13 +668,18 @@ impl Wal {
         !self.failed && self.records_since_snapshot >= self.cfg.snapshot_every_records
     }
 
-    /// Snapshots `store` and prunes the segments the snapshot covers:
-    /// rotates to a fresh segment, writes `snapshot-<seq>.bin` atomically
-    /// (temp + rename + fsync), then deletes all older segments and
-    /// snapshots. On any failure the journal is left untouched except for
-    /// the rotation — recovery falls back to the previous snapshot plus a
-    /// longer replay, never to wrong bits.
-    pub fn snapshot(&mut self, store: &SessionStore, stats: &mut StoreStats) {
+    /// Writes a pre-serialized store image (see
+    /// [`SessionStore::snapshot_bytes`] /
+    /// [`SessionStore::merged_snapshot_bytes`]) and prunes the segments
+    /// the snapshot covers: rotates to a fresh segment, writes
+    /// `snapshot-<seq>.bin` atomically (temp + rename + fsync), then
+    /// deletes all older segments and snapshots. Taking bytes rather than
+    /// a `&SessionStore` lets the sharded server serialize the union of
+    /// all shards while holding their locks, then write it under the
+    /// journal lock alone. On any failure the journal is left untouched
+    /// except for the rotation — recovery falls back to the previous
+    /// snapshot plus a longer replay, never to wrong bits.
+    pub fn snapshot(&mut self, body: &[u8], stats: &mut StoreStats) {
         if self.failed {
             return;
         }
@@ -686,13 +691,12 @@ impl Wal {
             return;
         }
         self.records_since_snapshot = 0;
-        let body = store.snapshot_bytes();
         let mut out = Vec::with_capacity(20 + body.len());
         out.extend_from_slice(SNAPSHOT_MAGIC);
         put_u32(&mut out, WAL_VERSION);
-        put_u32(&mut out, wire::crc32(&body));
+        put_u32(&mut out, wire::crc32(body));
         put_u64(&mut out, body.len() as u64);
-        out.extend_from_slice(&body);
+        out.extend_from_slice(body);
         let path = snapshot_path(&self.cfg.dir, self.seg_seq);
         let tmp = path.with_extension("tmp");
         let written = (|| -> io::Result<()> {
@@ -1213,7 +1217,7 @@ mod tests {
             r.replay(&mut store).expect("mirror replay");
             wal.append(r, &mut stats);
         }
-        wal.snapshot(&store, &mut stats);
+        wal.snapshot(&store.snapshot_bytes(), &mut stats);
         assert!(!wal.failed());
         drop(wal);
 
@@ -1262,7 +1266,7 @@ mod tests {
             wal.append(r, &mut stats);
         }
         assert!(wal.should_snapshot());
-        wal.snapshot(&store, &mut stats);
+        wal.snapshot(&store.snapshot_bytes(), &mut stats);
         assert!(!wal.failed());
         // The pre-snapshot segment is pruned; the snapshot carries state.
         assert!(!segment_path(&dir, 0).exists(), "segment 0 pruned");

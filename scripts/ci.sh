@@ -22,33 +22,38 @@
 #  13. the telemetry smoke: the live-introspection e2e and the frame
 #      extension fuzz must pass, cso-top must render against its own
 #      server, and the overhead sweep must write a valid BENCH_pr7.json
+#  14. the sharded-engine smoke: the connection reassembly fuzz must
+#      pass, the sharded sweep (fast) must run its scaling points plus
+#      the overload soak (Busy rejects under a tiny admission cap, the
+#      server stays live after the storm), and every reject code and
+#      serve.* metric OPERATIONS.md documents must exist in source
 #
 # Any step failing fails the script.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> [1/13] cargo fmt --check"
+echo "==> [1/14] cargo fmt --check"
 cargo fmt --all --check
 
-echo "==> [2/13] release build"
+echo "==> [2/14] release build"
 cargo build --release --workspace
 
-echo "==> [3/13] workspace tests"
+echo "==> [3/14] workspace tests"
 cargo test -q --workspace
 
-echo "==> [4/13] fault-injection sweeps"
+echo "==> [4/14] fault-injection sweeps"
 cargo test -q -p cso-distributed --features fault-injection
 
-echo "==> [5/13] warnings-clean (all targets, fault-injection on)"
+echo "==> [5/14] warnings-clean (all targets, fault-injection on)"
 RUSTFLAGS="-D warnings" cargo check --workspace --all-targets --features fault-injection
 
-echo "==> [6/13] rustdoc warnings-clean"
+echo "==> [6/14] rustdoc warnings-clean"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
-echo "==> [7/13] fault sweep smoke"
+echo "==> [7/14] fault sweep smoke"
 cargo test -q -p cso-bench faults::
 
-echo "==> [8/13] observability smoke (obs_report)"
+echo "==> [8/14] observability smoke (obs_report)"
 # The binary self-validates: strict JSON parse of the emitted report,
 # required REPORT_KEYS present, comm.* metrics equal to the CostMeter
 # totals, per-iteration BOMP events present. Any violation aborts.
@@ -57,20 +62,20 @@ for artifact in results/run_report.jsonl BENCH_pr2.json; do
     test -s "$artifact" || { echo "missing $artifact"; exit 1; }
 done
 
-echo "==> [9/13] scaling smoke (parallel executor sweep)"
+echo "==> [9/14] scaling smoke (parallel executor sweep)"
 # The sweep self-validates its JSON before writing; the sequential
 # reference and every worker count run the same deterministic workload.
 cargo run --release -q -p cso-bench --bin figures -- scaling
 test -s BENCH_pr3.json || { echo "missing BENCH_pr3.json"; exit 1; }
 
-echo "==> [10/13] recovery-kernel smoke (fused OMP sweep)"
+echo "==> [10/14] recovery-kernel smoke (fused OMP sweep)"
 # Fast mode: small dictionaries, same naive-vs-fused measurement as the
 # full sweep, but it leaves the recorded full-sweep artifacts alone —
 # BENCH_pr4.json is regenerated only by a full `figures -- recovery` run.
 cargo run --release -q -p cso-bench --bin figures -- recovery --fast
 test -s BENCH_pr4.json || { echo "missing BENCH_pr4.json"; exit 1; }
 
-echo "==> [11/13] serving smoke (loopback server e2e + throughput sweep)"
+echo "==> [11/14] serving smoke (loopback server e2e + throughput sweep)"
 # The e2e tests assert bit-identity between the loopback server run and
 # the in-process wire path, plus fault injection (killed connections,
 # corrupt frames, stragglers). The sweep self-validates its JSON.
@@ -80,7 +85,7 @@ for artifact in results/serve.csv BENCH_pr5.json; do
     test -s "$artifact" || { echo "missing $artifact"; exit 1; }
 done
 
-echo "==> [12/13] durability smoke (kill-9 crash harness + WAL fuzz + fsync sweep)"
+echo "==> [12/14] durability smoke (kill-9 crash harness + WAL fuzz + fsync sweep)"
 # The crash harness SIGKILLs a child-process server at every seeded
 # injection point (and at arbitrary times) and requires the resumed run
 # to be bit-identical to a never-crashed one; the WAL fuzz truncates and
@@ -92,7 +97,7 @@ for artifact in results/serve_durable.csv BENCH_pr6.json; do
     test -s "$artifact" || { echo "missing $artifact"; exit 1; }
 done
 
-echo "==> [13/13] telemetry smoke (introspection e2e + cso-top + overhead sweep)"
+echo "==> [13/14] telemetry smoke (introspection e2e + cso-top + overhead sweep)"
 # The e2e polls Introspect throughout a live ingest sweep asserting
 # monotone counters, bit-identical recovery under observation, and a
 # parseable flight-recorder dump; the frame fuzz hardens the trace
@@ -104,6 +109,27 @@ cargo run --release -q -p cso-bench --bin cso-top -- --self-test
 cargo run --release -q -p cso-bench --bin figures -- serve_telemetry
 for artifact in results/serve_telemetry.csv BENCH_pr7.json; do
     test -s "$artifact" || { echo "missing $artifact"; exit 1; }
+done
+
+echo "==> [14/14] sharded-engine smoke (reassembly fuzz + sweep + docs-link check)"
+# The reassembly fuzz drives frames through every split point and
+# arbitrary read/write interleavings expecting typed outcomes only; the
+# fast sweep runs the scaling points and the overload soak, which
+# asserts Busy rejects appear under a tiny admission cap and that a
+# control client can still open/seal/recover afterwards.
+cargo test -q -p cso-serve --test proptest_conn
+cargo test -q -p cso-bench serve_sharded_smoke
+# The operator runbook must not drift from the code: every `serve.*`
+# metric name and every reject code it documents has to exist verbatim
+# in crate source.
+grep -oE 'serve\.[a-z_]+' OPERATIONS.md | sort -u | while read -r metric; do
+    grep -rqF "\"$metric\"" crates/ \
+        || { echo "OPERATIONS.md documents unknown metric $metric"; exit 1; }
+done
+grep -oE '^\| [0-9]+ \| `[A-Za-z]+`' OPERATIONS.md | grep -oE '[A-Za-z]+`' \
+    | tr -d '`' | sort -u | while read -r code; do
+    grep -qE "^    $code = [0-9]+,$" crates/serve/src/session.rs \
+        || { echo "OPERATIONS.md documents unknown reject code $code"; exit 1; }
 done
 
 echo "ci: all green"
