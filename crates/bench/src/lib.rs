@@ -25,6 +25,7 @@ pub mod fig56;
 pub mod fig78;
 pub mod fig9;
 pub mod recovery;
+pub mod recovery_ops;
 pub mod scaling;
 pub mod serve_bench;
 
@@ -52,6 +53,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "ablation_quantize",
     "fault_sweep",
     "recovery",
+    "recovery_ops",
     "scaling",
     "serve_throughput",
     "serve_durable",
@@ -82,6 +84,7 @@ pub fn run_experiment(name: &str, opts: &Opts) -> bool {
         "ablation_skew" => ablations::ablation_skew(opts),
         "fault_sweep" => faults::fault_sweep(opts),
         "recovery" => recovery::recovery(opts),
+        "recovery_ops" => recovery_ops::recovery_ops(opts),
         "scaling" => scaling::scaling(opts),
         "serve_throughput" => serve_bench::serve_throughput(opts),
         "serve_durable" => serve_bench::serve_durable(opts),
@@ -139,6 +142,7 @@ mod tests {
                     | "ablation_quantize"
                     | "fault_sweep"
                     | "recovery"
+                    | "recovery_ops"
                     | "scaling"
                     | "serve_throughput"
                     | "serve_durable"

@@ -14,9 +14,12 @@
 //! `b = z̃₀ / √N` and each recovered signal entry is `x̂ᵢ = z̃ᵢ + b`.
 
 use crate::measurement::MeasurementSpec;
-use crate::omp::{omp, omp_traced, OmpConfig, OmpResult, StopReason};
+use crate::omp::{
+    omp, omp_traced, omp_with_op_traced, OmpConfig, OmpDictionary, OmpResult, StopReason,
+};
+use crate::ops::{MeasurementOp, MeasurementOperator};
 use crate::sparse::SparseVector;
-use cso_linalg::{ColMatrix, LinalgError, Vector};
+use cso_linalg::{vector, ColMatrix, LinalgError, Vector};
 use cso_obs::{Recorder, Value};
 
 /// Recovered outlier: a key index and its recovered aggregate value.
@@ -181,6 +184,86 @@ pub fn bomp_with_matrix_traced(
         &[("rows", Value::U64(m as u64)), ("cols", Value::U64(n as u64))],
     );
     let inner: OmpResult = omp_traced(&extended, y, &omp_cfg, rec)?;
+    assemble(n, inner, config.track_mode, rec)
+}
+
+/// The bias-extended dictionary `Φ̃ = [φ0, Φ]` over a measurement operator:
+/// atom 0 is the (precomputed) bias column, atoms `1..=N` are the
+/// operator's columns. Nothing beyond the `M`-length bias is materialized —
+/// the correlation scan is one `apply_transpose_into` plus one dot.
+struct BiasedOpDictionary<'a> {
+    op: &'a MeasurementOperator,
+    bias: Vec<f64>,
+}
+
+impl OmpDictionary for BiasedOpDictionary<'_> {
+    fn rows(&self) -> usize {
+        self.op.m()
+    }
+
+    fn cols(&self) -> usize {
+        self.op.n() + 1
+    }
+
+    fn column_into(&self, j: usize, out: &mut [f64]) {
+        if j == 0 {
+            out.copy_from_slice(&self.bias);
+        } else {
+            MeasurementOp::column_into(self.op, j - 1, out);
+        }
+    }
+
+    fn correlations_into(&self, x: &[f64], out: &mut [f64]) -> Result<(), LinalgError> {
+        let (head, tail) = out.split_at_mut(1);
+        head[0] = vector::dot(&self.bias, x);
+        self.op.apply_transpose_into(x, tail)
+    }
+}
+
+/// Runs BOMP against a measurement operator without materializing the
+/// dictionary — the matrix-free counterpart of [`bomp_with_matrix`]. Per
+/// OMP iteration the correlation refresh costs one operator transpose pass
+/// (`O(N log N)` for SRHT, `O(N·s)` for seeded-sparse) instead of the
+/// dense `O(M·N)` gemv, and peak memory stays `O(M + N)`.
+pub fn bomp_with_op(
+    op: &MeasurementOperator,
+    y: &Vector,
+    config: &BompConfig,
+) -> Result<BompResult, LinalgError> {
+    bomp_with_op_traced(op, y, config, &Recorder::disabled())
+}
+
+/// As [`bomp_with_op`], recording the same `recover.bomp` span and events
+/// as [`bomp_with_matrix_traced`] (plus a `backend` attribute).
+pub fn bomp_with_op_traced(
+    op: &MeasurementOperator,
+    y: &Vector,
+    config: &BompConfig,
+    rec: &Recorder,
+) -> Result<BompResult, LinalgError> {
+    let n = op.n();
+    let m = op.m();
+    if y.len() != m {
+        return Err(LinalgError::DimensionMismatch {
+            op: "bomp",
+            expected: (m, 1),
+            actual: (y.len(), 1),
+        });
+    }
+    let dict = BiasedOpDictionary { op, bias: op.bias_column() };
+    let mut omp_cfg = config.omp;
+    if config.track_mode || rec.is_enabled() {
+        omp_cfg.track_coefficients = true;
+    }
+    let _span = rec.span_with(
+        "recover.bomp",
+        &[
+            ("rows", Value::U64(m as u64)),
+            ("cols", Value::U64(n as u64)),
+            ("backend", Value::from(op.kind().label())),
+        ],
+    );
+    let inner: OmpResult = omp_with_op_traced(&dict, y, &omp_cfg, rec)?;
     assemble(n, inner, config.track_mode, rec)
 }
 
@@ -502,6 +585,50 @@ mod tests {
         let spec = MeasurementSpec::new(10, 20, 1).unwrap();
         let phi0 = spec.materialize();
         assert!(omp_with_known_mode(&phi0, &Vector::zeros(9), 0.0, &BompConfig::default()).is_err());
+    }
+
+    #[test]
+    fn op_path_recovers_mode_and_outliers_on_every_backend() {
+        let (m, n, seed) = (60, 200, 2024);
+        let ops = [
+            MeasurementOperator::dense(m, n, seed).unwrap(),
+            MeasurementOperator::srht(m, n, seed).unwrap(),
+            MeasurementOperator::seeded_sparse(m, n, seed, 12).unwrap(),
+        ];
+        let mut x = vec![5000.0; n];
+        x[10] = 9000.0;
+        x[50] = 100.0;
+        x[120] = 7000.0;
+        for op in &ops {
+            let y = op.apply(&x).unwrap();
+            let r = bomp_with_op(op, &y, &BompConfig::default()).unwrap();
+            assert!(r.bias_selected, "{:?}", op.kind());
+            assert!((r.mode - 5000.0).abs() < 1e-5, "{:?}: mode = {}", op.kind(), r.mode);
+            let mut idx: Vec<usize> = r.top_k(3).iter().map(|o| o.index).collect();
+            idx.sort_unstable();
+            assert_eq!(idx, vec![10, 50, 120], "{:?}", op.kind());
+        }
+    }
+
+    #[test]
+    fn op_path_on_dense_backend_matches_matrix_path() {
+        let (spec, y, _) =
+            biased_instance(60, 200, 5000.0, &[(10, 9000.0), (50, 100.0), (120, 7000.0)], 2024);
+        let via_matrix = bomp(&spec, &y, &BompConfig::default()).unwrap();
+        let op = MeasurementOperator::Dense(spec);
+        let via_op = bomp_with_op(&op, &y, &BompConfig::default()).unwrap();
+        assert_eq!(via_op.bias_selected, via_matrix.bias_selected);
+        assert_eq!(via_op.mode.to_bits(), via_matrix.mode.to_bits());
+        assert_eq!(via_op.iterations, via_matrix.iterations);
+        let a: Vec<usize> = via_op.outliers.iter().map(|o| o.index).collect();
+        let b: Vec<usize> = via_matrix.outliers.iter().map(|o| o.index).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn op_path_checks_dimensions() {
+        let op = MeasurementOperator::srht(10, 20, 1).unwrap();
+        assert!(bomp_with_op(&op, &Vector::zeros(9), &BompConfig::default()).is_err());
     }
 
     #[test]

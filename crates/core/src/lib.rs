@@ -34,6 +34,8 @@
 //! ## Modules
 //!
 //! - [`measurement`] — seeded Gaussian measurement matrices (`Φ0`);
+//! - [`ops`] — the [`MeasurementOp`] trait and matrix-free backends
+//!   (SRHT, seeded sparse) behind the same seeded contract;
 //! - [`omp`](mod@crate::omp) — orthogonal matching pursuit with the paper's QR-based inner
 //!   loop and residual-stall guard;
 //! - [`bomp`](mod@crate::bomp) — Biased OMP (Algorithm 1), recovering an unknown mode;
@@ -54,19 +56,26 @@ pub mod cosamp;
 pub mod measurement;
 pub mod metrics;
 pub mod omp;
+pub mod ops;
 pub mod outlier;
 pub mod sparse;
 pub mod streaming;
 
 pub use bomp::{
-    bomp, bomp_traced, bomp_with_matrix, bomp_with_matrix_traced, omp_with_known_mode, BompConfig,
-    BompResult, RecoveredOutlier,
+    bomp, bomp_traced, bomp_with_matrix, bomp_with_matrix_traced, bomp_with_op,
+    bomp_with_op_traced, omp_with_known_mode, BompConfig, BompResult, RecoveredOutlier,
 };
 pub use bp::{basis_pursuit, BpConfig, BpResult};
 pub use cosamp::{cosamp, CosampConfig, CosampResult};
 pub use measurement::MeasurementSpec;
 pub use metrics::{error_on_key, error_on_value, outlier_errors};
-pub use omp::{omp, omp_traced, IterationRecord, OmpConfig, OmpKernel, OmpResult, StopReason};
+pub use omp::{
+    omp, omp_traced, omp_with_op, omp_with_op_traced, IterationRecord, OmpConfig, OmpDictionary,
+    OmpKernel, OmpResult, StopReason,
+};
+pub use ops::{
+    MeasurementOp, MeasurementOperator, OpDescriptor, OpKind, SeededSparseOp, SketchBackend, SrhtOp,
+};
 pub use outlier::KeyValue;
 pub use sparse::SparseVector;
 pub use streaming::streaming_bomp;

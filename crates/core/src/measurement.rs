@@ -155,15 +155,22 @@ impl MeasurementSpec {
     /// `materialize().matvec_transpose(x)` — the streamed and in-memory
     /// recovery paths must agree exactly.
     pub fn correlations(&self, x: &[f64]) -> Result<Vector, LinalgError> {
+        let mut out = vec![0.0; self.n];
+        self.correlations_into(x, &mut out)?;
+        Ok(Vector::from_vec(out))
+    }
+
+    /// [`MeasurementSpec::correlations`] into a caller-provided buffer of
+    /// length `N` — the allocation-free form the [`crate::ops`] trait uses.
+    pub fn correlations_into(&self, x: &[f64], out: &mut [f64]) -> Result<(), LinalgError> {
         const BLOCK: usize = 64;
-        if x.len() != self.m {
+        if x.len() != self.m || out.len() != self.n {
             return Err(LinalgError::DimensionMismatch {
                 op: "correlations",
-                expected: (self.m, 1),
-                actual: (x.len(), 1),
+                expected: (self.m, self.n),
+                actual: (x.len(), out.len()),
             });
         }
-        let mut out = vec![0.0; self.n];
         let mut cols = vec![0.0; self.m * BLOCK];
         for (b, chunk) in out.chunks_mut(BLOCK).enumerate() {
             let first = b * BLOCK;
@@ -173,7 +180,7 @@ impl MeasurementSpec {
             }
             cso_linalg::gemv::gemv_transpose_into(block, self.m, x, chunk);
         }
-        Ok(Vector::from_vec(out))
+        Ok(())
     }
 
     /// The BOMP bias column `φ0 = (1/√N) · Σⱼ φⱼ` (paper equation (3)).
@@ -229,6 +236,24 @@ mod tests {
         assert_ne!(s.column(0), s.column(1));
         let other = MeasurementSpec::new(16, 40, 999).unwrap();
         assert_ne!(other.column(0), s.column(0));
+    }
+
+    #[test]
+    fn column_fill_column_materialize_agree_bitwise() {
+        // Regression guard: `column` must stay a thin wrapper over
+        // `fill_column` (it used to duplicate the generation loop), and
+        // both must agree bit-for-bit with the materialized matrix.
+        let s = MeasurementSpec::new(32, 129, 2024).unwrap();
+        let full = s.materialize();
+        let mut buf = vec![0.0; 32];
+        for j in 0..129 {
+            let owned = s.column(j);
+            s.fill_column(j, &mut buf);
+            for i in 0..32 {
+                assert_eq!(owned[i].to_bits(), buf[i].to_bits(), "col {j} row {i}");
+                assert_eq!(owned[i].to_bits(), full.col(j)[i].to_bits(), "col {j} row {i}");
+            }
+        }
     }
 
     #[test]

@@ -35,6 +35,7 @@
 //! lowest-index tie-break, so results are bit-identical at any worker
 //! count. See DESIGN.md §9.
 
+use crate::ops::{MeasurementOp, MeasurementOperator};
 use crate::sparse::SparseVector;
 use cso_exec::{ExecConfig, ExecStats};
 use cso_linalg::{gemv, vector, ColMatrix, IncrementalQr, LinalgError, Vector};
@@ -260,6 +261,17 @@ pub fn omp_traced(
         OmpKernel::Fused => run_fused(dictionary, y, config, rec, &exec)?,
         OmpKernel::Reference => run_reference(dictionary, y, config, rec, &exec)?,
     };
+    finish_run(outcome, y, config, rec)
+}
+
+/// Shared epilogue of every kernel: the final least-squares solve through
+/// the run's QR and the `omp.stop` event.
+fn finish_run(
+    outcome: RunOutcome,
+    y: &Vector,
+    config: &OmpConfig,
+    rec: &Recorder,
+) -> Result<OmpResult, LinalgError> {
     let RunOutcome { qr, support, trace, residual_norm, stop } = outcome;
 
     let coefficients = if support.is_empty() {
@@ -279,6 +291,256 @@ pub fn omp_traced(
         );
     }
     Ok(OmpResult { support, coefficients, residual_norm, stop, trace })
+}
+
+/// A dictionary the OMP kernels can scan without materializing it — the
+/// matrix-free counterpart of the `ColMatrix` entry points. Implementations
+/// provide exactly the two products the loop needs (a full transpose scan
+/// and single-column reads); everything else — QR, residual recurrence,
+/// stall guard, tracing — is shared with the dense kernels.
+pub trait OmpDictionary {
+    /// Measurement dimension (length of every atom).
+    fn rows(&self) -> usize;
+    /// Number of atoms.
+    fn cols(&self) -> usize;
+    /// Writes atom `j` into `out` (length [`OmpDictionary::rows`]).
+    fn column_into(&self, j: usize, out: &mut [f64]);
+    /// The correlation scan `out = Dᵀ·x` (`x.len() == rows`,
+    /// `out.len() == cols`).
+    fn correlations_into(&self, x: &[f64], out: &mut [f64]) -> Result<(), LinalgError>;
+}
+
+impl OmpDictionary for MeasurementOperator {
+    fn rows(&self) -> usize {
+        self.m()
+    }
+
+    fn cols(&self) -> usize {
+        self.n()
+    }
+
+    fn column_into(&self, j: usize, out: &mut [f64]) {
+        MeasurementOp::column_into(self, j, out);
+    }
+
+    fn correlations_into(&self, x: &[f64], out: &mut [f64]) -> Result<(), LinalgError> {
+        self.apply_transpose_into(x, out)
+    }
+}
+
+impl OmpDictionary for ColMatrix {
+    fn rows(&self) -> usize {
+        ColMatrix::rows(self)
+    }
+
+    fn cols(&self) -> usize {
+        ColMatrix::cols(self)
+    }
+
+    fn column_into(&self, j: usize, out: &mut [f64]) {
+        out.copy_from_slice(self.col(j));
+    }
+
+    fn correlations_into(&self, x: &[f64], out: &mut [f64]) -> Result<(), LinalgError> {
+        if x.len() != ColMatrix::rows(self) || out.len() != ColMatrix::cols(self) {
+            return Err(LinalgError::DimensionMismatch {
+                op: "correlations_into",
+                expected: (ColMatrix::rows(self), ColMatrix::cols(self)),
+                actual: (x.len(), out.len()),
+            });
+        }
+        gemv::gemv_transpose_into(self.as_col_major(), ColMatrix::rows(self), x, out);
+        Ok(())
+    }
+}
+
+/// Runs OMP against a matrix-free dictionary (see [`OmpDictionary`]).
+///
+/// Same loop structure, stop conditions, and tie-breaks as [`omp`]; the
+/// per-iteration correlation refresh is a single
+/// [`OmpDictionary::correlations_into`] pass (`O(N log N)` for SRHT,
+/// `O(N·s)` for the seeded-sparse backend) fused with the argmax scan,
+/// instead of the dense blocked gemv.
+pub fn omp_with_op<D: OmpDictionary + ?Sized>(
+    dict: &D,
+    y: &Vector,
+    config: &OmpConfig,
+) -> Result<OmpResult, LinalgError> {
+    omp_with_op_traced(dict, y, config, &Recorder::disabled())
+}
+
+/// As [`omp_with_op`], recording the same `recover.omp` span and events as
+/// [`omp_traced`] (plus a `scan = operator` attribute).
+pub fn omp_with_op_traced<D: OmpDictionary + ?Sized>(
+    dict: &D,
+    y: &Vector,
+    config: &OmpConfig,
+    rec: &Recorder,
+) -> Result<OmpResult, LinalgError> {
+    if y.len() != dict.rows() {
+        return Err(LinalgError::DimensionMismatch {
+            op: "omp",
+            expected: (dict.rows(), 1),
+            actual: (y.len(), 1),
+        });
+    }
+    if dict.rows() == 0 || dict.cols() == 0 {
+        return Err(LinalgError::Empty { op: "omp" });
+    }
+    let _span = rec.span_with(
+        "recover.omp",
+        &[
+            ("rows", Value::U64(dict.rows() as u64)),
+            ("cols", Value::U64(dict.cols() as u64)),
+            ("kernel", Value::from(config.kernel.as_str())),
+            ("scan", Value::from("operator")),
+        ],
+    );
+    let outcome = match config.kernel {
+        OmpKernel::Fused => run_fused_op(dict, y, config, rec)?,
+        OmpKernel::Reference => run_reference_op(dict, y, config, rec)?,
+    };
+    finish_run(outcome, y, config, rec)
+}
+
+/// The fused kernel over an [`OmpDictionary`]: identical invariants to
+/// [`run_fused`], with the deferred `−α·Dᵀq` refresh computed by one
+/// operator transpose pass and folded into the argmax scan.
+fn run_fused_op<D: OmpDictionary + ?Sized>(
+    dict: &D,
+    y: &Vector,
+    config: &OmpConfig,
+    rec: &Recorder,
+) -> Result<RunOutcome, LinalgError> {
+    let rows = dict.rows();
+    let d = dict.cols();
+    let y_norm = y.norm2();
+    let abs_tol = config.residual_tolerance * y_norm;
+
+    let mut corr = vec![0.0f64; d];
+    dict.correlations_into(y.as_slice(), &mut corr)?;
+
+    let mut qr = IncrementalQr::new(rows);
+    let mut selected = vec![false; d];
+    let mut support: Vec<usize> = Vec::new();
+    let mut trace: Vec<IterationRecord> = Vec::new();
+    let mut residual = y.clone();
+    let mut norm = y_norm;
+    let mut prev_norm = y_norm;
+    let mut pending: Option<f64> = None;
+    let mut qt_phi = vec![0.0f64; d];
+    let mut col = vec![0.0f64; rows];
+
+    let stop = loop {
+        if support.len() >= config.max_iterations {
+            break StopReason::MaxIterations;
+        }
+        if norm <= abs_tol {
+            break StopReason::ResidualTolerance;
+        }
+        if support.len() == d {
+            break StopReason::DictionaryExhausted;
+        }
+        let best = match pending.take() {
+            Some(alpha) => {
+                let q = qr.q_col(qr.ncols() - 1);
+                dict.correlations_into(q, &mut qt_phi)?;
+                // Shift c by −α·Dᵀq fused with the argmax, lowest index
+                // winning ties — the same serial left-to-right order the
+                // dense kernel's block fold reproduces.
+                let mut best: Option<(usize, f64)> = None;
+                for (j, (c, t)) in corr.iter_mut().zip(&qt_phi).enumerate() {
+                    *c -= alpha * *t;
+                    if selected[j] {
+                        continue;
+                    }
+                    let a = c.abs();
+                    match best {
+                        Some((_, b)) if b >= a => {}
+                        _ => best = Some((j, a)),
+                    }
+                }
+                best
+            }
+            None => argmax_unselected(&corr, &selected),
+        };
+        let (j, _) = best.expect("unselected column exists");
+        dict.column_into(j, &mut col);
+        match qr.push_column(&col) {
+            Ok(()) => {}
+            Err(LinalgError::RankDeficient { .. }) => break StopReason::RankExhausted,
+            Err(e) => return Err(e),
+        }
+        selected[j] = true;
+        support.push(j);
+        let q = qr.q_col(qr.ncols() - 1);
+        let alpha = vector::dot(q, residual.as_slice());
+        vector::axpy(-alpha, q, residual.as_mut_slice());
+        norm = residual.norm2();
+        pending = Some(alpha);
+        if record_iteration(config, rec, &qr, y, j, norm, prev_norm, &mut trace)? {
+            break StopReason::ResidualStall;
+        }
+        prev_norm = norm;
+    };
+
+    Ok(RunOutcome { qr, support, trace, residual_norm: norm, stop })
+}
+
+/// The textbook loop over an [`OmpDictionary`]: full QR re-projection and a
+/// fresh transpose scan per iteration. The oracle [`run_fused_op`] is
+/// tested against.
+fn run_reference_op<D: OmpDictionary + ?Sized>(
+    dict: &D,
+    y: &Vector,
+    config: &OmpConfig,
+    rec: &Recorder,
+) -> Result<RunOutcome, LinalgError> {
+    let rows = dict.rows();
+    let d = dict.cols();
+    let y_norm = y.norm2();
+    let abs_tol = config.residual_tolerance * y_norm;
+
+    let mut qr = IncrementalQr::new(rows);
+    let mut selected = vec![false; d];
+    let mut support: Vec<usize> = Vec::new();
+    let mut trace: Vec<IterationRecord> = Vec::new();
+    let mut residual = y.clone();
+    let mut norm = y_norm;
+    let mut prev_norm = y_norm;
+    let mut corr = vec![0.0f64; d];
+    let mut col = vec![0.0f64; rows];
+
+    let stop = loop {
+        if support.len() >= config.max_iterations {
+            break StopReason::MaxIterations;
+        }
+        if norm <= abs_tol {
+            break StopReason::ResidualTolerance;
+        }
+        if support.len() == d {
+            break StopReason::DictionaryExhausted;
+        }
+        dict.correlations_into(residual.as_slice(), &mut corr)?;
+        let best = argmax_unselected(&corr, &selected);
+        let (j, _) = best.expect("unselected column exists");
+        dict.column_into(j, &mut col);
+        match qr.push_column(&col) {
+            Ok(()) => {}
+            Err(LinalgError::RankDeficient { .. }) => break StopReason::RankExhausted,
+            Err(e) => return Err(e),
+        }
+        selected[j] = true;
+        support.push(j);
+        residual = qr.residual(y.as_slice())?;
+        norm = residual.norm2();
+        if record_iteration(config, rec, &qr, y, j, norm, prev_norm, &mut trace)? {
+            break StopReason::ResidualStall;
+        }
+        prev_norm = norm;
+    };
+
+    Ok(RunOutcome { qr, support, trace, residual_norm: norm, stop })
 }
 
 /// Shared per-iteration bookkeeping: coefficient tracking, trace push, the
@@ -749,5 +1011,66 @@ mod tests {
         assert_eq!(OmpKernel::Fused.as_str(), "fused");
         assert_eq!(OmpKernel::Reference.as_str(), "reference");
         assert_eq!(OmpConfig::default().kernel, OmpKernel::Fused);
+    }
+
+    #[test]
+    fn op_path_on_dense_backend_matches_matrix_path_bitwise() {
+        // The operator scan regenerates columns through the same blocked
+        // gemv kernel the matrix path uses (column-independent), so the
+        // dense backend must agree with the materialized run bit-for-bit.
+        let (phi, y, _) = sparse_instance(40, 120, &[(8, 6.0), (55, -4.0), (99, 2.5)], 29);
+        let op = MeasurementOperator::dense(40, 120, 29).unwrap();
+        let via_matrix = omp(&phi, &y, &OmpConfig::default()).unwrap();
+        let via_op = omp_with_op(&op, &y, &OmpConfig::default()).unwrap();
+        assert_eq!(via_op.support, via_matrix.support);
+        assert_eq!(via_op.stop, via_matrix.stop);
+        assert_eq!(via_op.residual_norm.to_bits(), via_matrix.residual_norm.to_bits());
+        for (a, b) in via_op.coefficients.iter().zip(via_matrix.coefficients.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn op_fused_matches_op_reference_on_every_backend() {
+        let ops = [
+            MeasurementOperator::dense(40, 120, 29).unwrap(),
+            MeasurementOperator::srht(40, 120, 29).unwrap(),
+            MeasurementOperator::seeded_sparse(40, 120, 29, 8).unwrap(),
+        ];
+        for op in &ops {
+            let truth = SparseVector::new(120, vec![(8, 6.0), (55, -4.0), (99, 2.5)]).unwrap();
+            let y = op.apply(truth.to_dense().as_slice()).unwrap();
+            let fused = omp_with_op(op, &y, &OmpConfig::default()).unwrap();
+            let reference = omp_with_op(
+                op,
+                &y,
+                &OmpConfig { kernel: OmpKernel::Reference, ..Default::default() },
+            )
+            .unwrap();
+            assert_eq!(fused.support, reference.support, "{:?}", op.kind());
+            assert_eq!(fused.stop, reference.stop);
+            for (a, b) in fused.coefficients.iter().zip(reference.coefficients.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+            // Each backend recovers the planted support exactly.
+            let mut sup = fused.support.clone();
+            sup.sort_unstable();
+            assert_eq!(sup, vec![8, 55, 99], "{:?}", op.kind());
+        }
+    }
+
+    #[test]
+    fn colmatrix_implements_op_dictionary() {
+        let (phi, y, _) = sparse_instance(30, 90, &[(5, 4.0), (70, -2.0)], 41);
+        let direct = omp(&phi, &y, &OmpConfig::default()).unwrap();
+        let via_dict = omp_with_op(&phi, &y, &OmpConfig::default()).unwrap();
+        assert_eq!(direct.support, via_dict.support);
+        assert_eq!(direct.stop, via_dict.stop);
+    }
+
+    #[test]
+    fn op_path_checks_dimensions() {
+        let op = MeasurementOperator::srht(10, 20, 1).unwrap();
+        assert!(omp_with_op(&op, &Vector::zeros(11), &OmpConfig::default()).is_err());
     }
 }

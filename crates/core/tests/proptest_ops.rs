@@ -1,0 +1,125 @@
+//! Property-based tests of the measurement-operator layer (DESIGN.md §13).
+//!
+//! Three contracts are fuzzed:
+//!
+//! - **FWHT involution** — the unnormalized fast Walsh–Hadamard transform
+//!   satisfies `H·H·x = n·x` exactly in structure (per-element to float
+//!   tolerance) for every power-of-two length;
+//! - **`measure_sparse` ≡ `apply`** — sketching a sparse update stream
+//!   must be *bit-identical* to densifying the stream and applying the
+//!   full operator, for every backend (this is what lets distributed
+//!   nodes sketch per-key while the reference path sketches per-slice);
+//! - **descriptor round-trip** — an operator's on-wire descriptor
+//!   `(kind, param)` plus geometry rebuilds an operator whose measurements
+//!   are bit-identical to the original's.
+
+use cso_core::{MeasurementOp, OpDescriptor, SketchBackend};
+use cso_linalg::fwht::fwht;
+use proptest::prelude::*;
+
+/// Strategy: a sparse update stream over `[0, n)` with possible duplicate
+/// keys (duplicates are the interesting case — the coalescing contract).
+fn updates(n: usize) -> impl Strategy<Value = Vec<(usize, f64)>> {
+    prop::collection::vec((0..n, -1e6f64..1e6), 0..24)
+}
+
+/// The three wire-addressable backends for a geometry where all are valid.
+fn backends() -> impl Strategy<Value = SketchBackend> {
+    prop_oneof![
+        Just(SketchBackend::dense()),
+        Just(SketchBackend::srht()),
+        (1u64..=12).prop_map(SketchBackend::seeded_sparse),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `fwht(fwht(x)) = n·x`: the transform is its own inverse up to the
+    /// length factor, at every power-of-two size the kernel's blocked
+    /// butterflies cover (past the cache-block boundary at 2^12).
+    #[test]
+    fn fwht_is_self_inverse_up_to_n(
+        log2n in 0u32..=14,
+        seed_vals in prop::collection::vec(-1e6f64..1e6, 1..16),
+    ) {
+        let n = 1usize << log2n;
+        let mut data: Vec<f64> = (0..n)
+            .map(|i| seed_vals[i % seed_vals.len()] * ((i % 7) as f64 - 3.0))
+            .collect();
+        let original = data.clone();
+        fwht(&mut data);
+        fwht(&mut data);
+        // Butterfly sums cancel, so the error budget scales with the
+        // transform's dynamic range (n · max|x|), not the per-element
+        // target — an exactly-zero output can still carry rounding dust.
+        let scale = original.iter().fold(1.0f64, |a, v| a.max(v.abs())) * n as f64;
+        for (got, want) in data.iter().zip(&original) {
+            let scaled = want * n as f64;
+            prop_assert!(
+                (got - scaled).abs() <= 1e-12 * scale,
+                "H·H·x diverged: got {got}, want {scaled} (scale {scale})"
+            );
+        }
+    }
+
+    /// Sketching a sparse update stream is bit-identical to densifying it
+    /// first, for every backend. Duplicated keys coalesce deterministically.
+    #[test]
+    fn measure_sparse_matches_apply_bitwise(
+        backend in backends(),
+        ups in updates(48),
+        seed in 0u64..1000,
+    ) {
+        let (m, n) = (12usize, 48usize);
+        let op = backend.build(m, n, seed).expect("valid geometry");
+        let mut dense = vec![0.0f64; n];
+        for &(j, v) in &ups {
+            dense[j] += v;
+        }
+        let direct = op.apply(&dense).expect("apply");
+        let sparse = op.measure_sparse(&ups).expect("measure_sparse");
+        for (a, b) in direct.as_slice().iter().zip(sparse.as_slice()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "sparse path diverged from dense");
+        }
+    }
+
+    /// Wire round-trip: `(kind, param)` plus geometry rebuilds an operator
+    /// whose measurements are bit-identical to the original's — what makes
+    /// WAL replay and client resume reconstruct the exact epoch operator.
+    #[test]
+    fn descriptor_round_trips_through_the_wire(
+        backend in backends(),
+        seed in 0u64..1000,
+        ups in updates(48),
+    ) {
+        let (m, n) = (12usize, 48usize);
+        let desc = backend.descriptor(m, n, seed);
+        let (kind, param) = backend.wire();
+        let rebuilt_backend = SketchBackend::from_wire(kind, param).expect("known kind");
+        prop_assert_eq!(rebuilt_backend, backend);
+        let rebuilt_desc =
+            OpDescriptor::from_wire(kind, param, m, n, seed).expect("known kind");
+        prop_assert_eq!(rebuilt_desc, desc);
+
+        let op = desc.build().expect("builds");
+        let rebuilt = rebuilt_desc.build().expect("rebuilds");
+        let mut dense = vec![0.0f64; n];
+        for &(j, v) in &ups {
+            dense[j] += v;
+        }
+        let a = op.apply(&dense).expect("apply");
+        let b = rebuilt.apply(&dense).expect("apply rebuilt");
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits(), "rebuilt operator diverged");
+        }
+    }
+
+    /// Unknown wire kinds never build an operator — they surface as `None`
+    /// for the serve layer to turn into a typed `BadOperator` reject.
+    #[test]
+    fn unknown_wire_kinds_are_rejected(kind in 3u8..=255, param in 0u64..100) {
+        prop_assert!(SketchBackend::from_wire(kind, param).is_none());
+        prop_assert!(OpDescriptor::from_wire(kind, param, 8, 64, 7).is_none());
+    }
+}

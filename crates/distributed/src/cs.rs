@@ -9,7 +9,11 @@
 use crate::cluster::Cluster;
 use crate::cost::CostMeter;
 use crate::protocol::{OutlierProtocol, ProtocolRun};
-use cso_core::{bomp_with_matrix, bomp_with_matrix_traced, BompConfig, KeyValue, MeasurementSpec};
+use cso_core::{
+    bomp_with_matrix, bomp_with_matrix_traced, bomp_with_op, bomp_with_op_traced, BompConfig,
+    BompResult, KeyValue, MeasurementOp, MeasurementOperator, MeasurementSpec, OpKind,
+    SketchBackend,
+};
 use cso_exec::ExecConfig;
 use cso_linalg::{ColMatrix, LinalgError, Vector};
 use cso_obs::{Recorder, Value};
@@ -35,13 +39,65 @@ pub struct CsProtocol {
     /// on the calling thread, and recovery scans use fixed column blocks
     /// with an ordered reduction (DESIGN.md §9).
     pub exec: ExecConfig,
+    /// Measurement-operator backend. [`SketchBackend::dense`] (the
+    /// default) runs the seed repo's exact materialized path bit-for-bit;
+    /// the matrix-free backends (`srht`, `seeded_sparse`) never form Φ0
+    /// and drop the per-scan cost from `O(M·N)` to `O(Np·log Np)` /
+    /// `O(N·s)` (DESIGN.md §13).
+    pub backend: SketchBackend,
+}
+
+/// How one run measures and recovers: the dense backend keeps the legacy
+/// materialized matrix (bit-identical to the seed repo), everything else
+/// goes through the matrix-free [`MeasurementOperator`].
+pub(crate) enum Engine {
+    Dense(ColMatrix),
+    Op(MeasurementOperator),
+}
+
+impl Engine {
+    pub(crate) fn sketch(&self, slice: &[f64]) -> Result<Vector, LinalgError> {
+        match self {
+            Engine::Dense(phi0) => CsProtocol::sketch_slice(phi0, slice),
+            Engine::Op(op) => op.apply(slice),
+        }
+    }
+
+    pub(crate) fn recover_traced(
+        &self,
+        y: &Vector,
+        recovery: &BompConfig,
+        rec: &Recorder,
+    ) -> Result<BompResult, LinalgError> {
+        match self {
+            Engine::Dense(phi0) => bomp_with_matrix_traced(phi0, y, recovery, rec),
+            Engine::Op(op) => bomp_with_op_traced(op, y, recovery, rec),
+        }
+    }
+
+    pub(crate) fn recover(
+        &self,
+        y: &Vector,
+        recovery: &BompConfig,
+    ) -> Result<BompResult, LinalgError> {
+        match self {
+            Engine::Dense(phi0) => bomp_with_matrix(phi0, y, recovery),
+            Engine::Op(op) => bomp_with_op(op, y, recovery),
+        }
+    }
 }
 
 impl CsProtocol {
     /// Protocol with sketch size `m`, seed, and default recovery settings.
     /// Sketch builds use [`ExecConfig::auto`] (all available cores).
     pub fn new(m: usize, seed: u64) -> Self {
-        CsProtocol { m, seed, recovery: BompConfig::default(), exec: ExecConfig::default() }
+        CsProtocol {
+            m,
+            seed,
+            recovery: BompConfig::default(),
+            exec: ExecConfig::default(),
+            backend: SketchBackend::dense(),
+        }
     }
 
     /// Overrides the recovery configuration.
@@ -57,19 +113,37 @@ impl CsProtocol {
         self
     }
 
+    /// Overrides the measurement-operator backend.
+    pub fn with_backend(mut self, backend: SketchBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The measurement engine for an `n`-key run: dense materializes the
+    /// legacy Φ0 once (all parties regenerate the same matrix from the
+    /// seed — bit-identical to per-node regeneration, see tests); the
+    /// matrix-free backends validate and build the seeded operator.
+    pub(crate) fn engine(&self, n: usize) -> Result<Engine, LinalgError> {
+        match self.backend.kind {
+            OpKind::Dense if self.backend.param == 0 => {
+                Ok(Engine::Dense(MeasurementSpec::new(self.m, n, self.seed)?.materialize()))
+            }
+            _ => Ok(Engine::Op(self.backend.build(self.m, n, self.seed)?)),
+        }
+    }
+
     /// Builds all node sketches (`y_l = Φ0·x_l`) on the configured
     /// executor, returned in node order, recording `exec.*` stats into
     /// `rec` when the build actually ran multi-worker.
     fn build_sketches(
         &self,
-        phi0: &ColMatrix,
+        engine: &Engine,
         cluster: &Cluster,
         rec: &Recorder,
     ) -> Result<Vec<Vector>, LinalgError> {
         let nodes: Vec<usize> = (0..cluster.l()).collect();
-        let (result, stats) = cso_exec::try_par_map(&self.exec, &nodes, |_, &l| {
-            Self::sketch_slice(phi0, cluster.slice(l))
-        });
+        let (result, stats) =
+            cso_exec::try_par_map(&self.exec, &nodes, |_, &l| engine.sketch(cluster.slice(l)));
         stats.record(rec);
         result
     }
@@ -100,9 +174,8 @@ impl CsProtocol {
     /// exposed so real transports (`cso-serve`'s TCP clients) can ship the
     /// same measurements the simulated paths use.
     pub fn node_sketches(&self, cluster: &Cluster) -> Result<Vec<Vector>, LinalgError> {
-        let spec = MeasurementSpec::new(self.m, cluster.n(), self.seed)?;
-        let phi0 = spec.materialize();
-        self.build_sketches(&phi0, cluster, &Recorder::disabled())
+        let engine = self.engine(cluster.n())?;
+        self.build_sketches(&engine, cluster, &Recorder::disabled())
     }
 
     /// Node-side compression: `y_l = Φ0 · x_l`. Exposed so the MapReduce
@@ -126,11 +199,11 @@ impl CsProtocol {
         rec: &Recorder,
     ) -> Result<ProtocolRun, LinalgError> {
         let n = cluster.n();
-        let spec = MeasurementSpec::new(self.m, n, self.seed)?;
-        // All parties regenerate the same matrix from the seed; we
-        // materialize it once here since the simulation shares an address
-        // space (bit-identical to per-node regeneration — see tests).
-        let phi0 = spec.materialize();
+        // All parties regenerate the same operator from the seed; the dense
+        // engine materializes Φ0 once here since the simulation shares an
+        // address space (bit-identical to per-node regeneration — see
+        // tests); the matrix-free engines never form a matrix at all.
+        let engine = self.engine(n)?;
 
         let _proto_span = rec.span_with(
             "protocol.cs",
@@ -139,12 +212,13 @@ impl CsProtocol {
                 ("n", Value::U64(n as u64)),
                 ("m", Value::U64(self.m as u64)),
                 ("k", Value::U64(k as u64)),
+                ("backend", Value::Str(self.backend.label().into())),
             ],
         );
 
         let sketches: Vec<Vector> = {
             let _s = rec.span("sketch.build");
-            self.build_sketches(&phi0, cluster, rec)?
+            self.build_sketches(&engine, cluster, rec)?
         };
 
         let mut meter = CostMeter::new(cluster.l());
@@ -162,7 +236,7 @@ impl CsProtocol {
         let recovery = self.effective_recovery(k);
         let result = {
             let _r = rec.span("recovery");
-            bomp_with_matrix_traced(&phi0, &y, &recovery, rec)?
+            engine.recover_traced(&y, &recovery, rec)?
         };
 
         meter.publish(rec);
@@ -191,13 +265,12 @@ impl CsProtocol {
         use crate::wire;
 
         let n = cluster.n();
-        let spec = MeasurementSpec::new(self.m, n, self.seed)?;
-        let phi0 = spec.materialize();
+        let engine = self.engine(n)?;
 
         // Node-side measurement runs on the executor; framing, decoding and
         // the aggregation sum stay sequential in node order (the byte and
         // float accounting must match the reference exactly).
-        let sketches = self.build_sketches(&phi0, cluster, &Recorder::disabled())?;
+        let sketches = self.build_sketches(&engine, cluster, &Recorder::disabled())?;
         let mut total_bytes = 0u64;
         let mut y = Vector::zeros(self.m);
         for (l, sketch) in sketches.iter().enumerate() {
@@ -233,7 +306,7 @@ impl CsProtocol {
         }
 
         let recovery = self.effective_recovery(k);
-        let result = bomp_with_matrix(&phi0, &y, &recovery)?;
+        let result = engine.recover(&y, &recovery)?;
         let estimate: Vec<KeyValue> =
             result.top_k(k).iter().map(|o| KeyValue { index: o.index, value: o.value }).collect();
         Ok(ProtocolRun {
@@ -290,6 +363,59 @@ mod tests {
         let (ek, ev) = cso_core::outlier_errors(&truth, &run.estimate).unwrap();
         assert_eq!(ek, 0.0, "estimate = {:?}", run.estimate);
         assert!(ev < 1e-6, "ev = {ev}");
+    }
+
+    #[test]
+    fn matrix_free_backends_find_the_outliers() {
+        let (cluster, data) = majority_cluster(42);
+        let truth = data.true_k_outliers(8);
+        for backend in [SketchBackend::srht(), SketchBackend::seeded_sparse(12)] {
+            let proto = CsProtocol::new(120, 7).with_backend(backend);
+            let run = proto.run(&cluster, 8).unwrap();
+            assert!((run.mode - 5000.0).abs() < 1.0, "{}: mode = {}", backend.label(), run.mode);
+            let (ek, ev) = cso_core::outlier_errors(&truth, &run.estimate).unwrap();
+            assert_eq!(ek, 0.0, "{}: estimate = {:?}", backend.label(), run.estimate);
+            assert!(ev < 1e-6, "{}: ev = {ev}", backend.label());
+        }
+    }
+
+    #[test]
+    fn backend_choice_does_not_change_the_cost() {
+        // Every backend ships the same L·M sketch values in one round —
+        // the operator only changes the aggregator-side arithmetic.
+        let (cluster, _) = majority_cluster(1);
+        let mut costs = Vec::new();
+        for backend in
+            [SketchBackend::dense(), SketchBackend::srht(), SketchBackend::seeded_sparse(8)]
+        {
+            let proto = CsProtocol::new(50, 3).with_backend(backend);
+            costs.push(proto.run(&cluster, 5).unwrap().cost);
+        }
+        assert!(costs.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn invalid_backend_parameter_is_rejected_at_run_time() {
+        let (cluster, _) = majority_cluster(1);
+        let proto = CsProtocol::new(50, 3).with_backend(SketchBackend::seeded_sparse(51));
+        assert!(proto.run(&cluster, 5).is_err(), "s > m must fail");
+    }
+
+    #[test]
+    fn wire_execution_matches_abstract_run_on_every_backend() {
+        let (cluster, _) = majority_cluster(77);
+        for backend in
+            [SketchBackend::dense(), SketchBackend::srht(), SketchBackend::seeded_sparse(12)]
+        {
+            let proto = CsProtocol::new(110, 5)
+                .with_recovery(BompConfig::for_k_outliers(8))
+                .with_backend(backend);
+            let abstract_run = proto.run(&cluster, 8).unwrap();
+            let wire_run =
+                proto.run_over_wire(&cluster, 8, crate::quantize::SketchEncoding::F64).unwrap();
+            assert_eq!(abstract_run.estimate, wire_run.estimate, "{}", backend.label());
+            assert!((abstract_run.mode - wire_run.mode).abs() < 1e-12, "{}", backend.label());
+        }
     }
 
     #[test]

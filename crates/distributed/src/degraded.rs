@@ -23,7 +23,7 @@ use crate::protocol::{OutlierProtocol, ProtocolRun};
 use crate::quantize::{self, SketchEncoding};
 use crate::retry::RetryPolicy;
 use crate::wire;
-use cso_core::{bomp_with_matrix_traced, KeyValue, MeasurementSpec};
+use cso_core::KeyValue;
 use cso_linalg::{LinalgError, Vector};
 use cso_obs::{Recorder, Value};
 use std::collections::BTreeSet;
@@ -172,8 +172,7 @@ impl CsProtocol {
         rec: &Recorder,
     ) -> Result<DegradedRun, LinalgError> {
         let n = cluster.n();
-        let spec = MeasurementSpec::new(self.m, n, self.seed)?;
-        let phi0 = spec.materialize();
+        let engine = self.engine(n)?;
 
         let _proto_span = rec.span_with(
             "protocol.cs.degraded",
@@ -207,7 +206,7 @@ impl CsProtocol {
             let _s = rec.span("sketch.build");
             let nodes: Vec<usize> = (0..cluster.l()).collect();
             let (result, stats) = cso_exec::try_par_map(&self.exec, &nodes, |_, &node| {
-                let sketch = Self::sketch_slice(&phi0, cluster.slice(node))?;
+                let sketch = engine.sketch(cluster.slice(node))?;
                 Ok::<_, LinalgError>(wire::encode(&wire::Message::Sketch {
                     node: node as u32,
                     seed: self.seed,
@@ -310,7 +309,7 @@ impl CsProtocol {
         recovery.omp.exec = self.exec;
         let result = {
             let _r = rec.span("recovery");
-            bomp_with_matrix_traced(&phi0, collector.sum(), &recovery, rec)?
+            engine.recover_traced(collector.sum(), &recovery, rec)?
         };
         let estimate: Vec<KeyValue> =
             result.top_k(k).iter().map(|o| KeyValue { index: o.index, value: o.value }).collect();

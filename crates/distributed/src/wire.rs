@@ -137,6 +137,13 @@ pub enum Message {
         n: u64,
         /// Shared seed `Φ0` is derived from.
         seed: u64,
+        /// Measurement-operator backend code (`cso_core::OpKind::code`):
+        /// 0 = dense Gaussian, 1 = SRHT, 2 = seeded sparse. Unknown codes
+        /// are rejected by the server with `RejectCode::BadOperator`.
+        op_kind: u8,
+        /// Backend parameter (`s` for the seeded-sparse backend; must be 0
+        /// otherwise).
+        op_param: u64,
     },
     /// Client → server: no more sketches for this epoch; freeze the
     /// membership for recovery.
@@ -441,7 +448,7 @@ pub fn encode(msg: &Message) -> Vec<u8> {
             w.u8(WIRE_VERSION);
             w.f64(*mode);
         }
-        Message::OpenEpoch { session, epoch, m, n, seed } => {
+        Message::OpenEpoch { session, epoch, m, n, seed, op_kind, op_param } => {
             w.u8(TAG_OPEN_EPOCH);
             w.u8(WIRE_VERSION);
             w.u64(*session);
@@ -449,6 +456,8 @@ pub fn encode(msg: &Message) -> Vec<u8> {
             w.u32(*m);
             w.u64(*n);
             w.u64(*seed);
+            w.u8(*op_kind);
+            w.u64(*op_param);
         }
         Message::SealEpoch { session, epoch } => {
             w.u8(TAG_SEAL_EPOCH);
@@ -614,6 +623,8 @@ pub fn decode(buf: &[u8]) -> Result<Message, WireError> {
             m: r.u32()?,
             n: r.u64()?,
             seed: r.u64()?,
+            op_kind: r.u8()?,
+            op_param: r.u64()?,
         },
         TAG_SEAL_EPOCH => Message::SealEpoch { session: r.u64()?, epoch: r.u64()? },
         TAG_RECOVER_EPOCH => {
@@ -732,7 +743,15 @@ mod tests {
     #[test]
     fn control_plane_round_trips() {
         let msgs = [
-            Message::OpenEpoch { session: 7, epoch: 3, m: 128, n: 1 << 40, seed: u64::MAX },
+            Message::OpenEpoch {
+                session: 7,
+                epoch: 3,
+                m: 128,
+                n: 1 << 40,
+                seed: u64::MAX,
+                op_kind: 2,
+                op_param: 12,
+            },
             Message::SealEpoch { session: 7, epoch: 3 },
             Message::RecoverEpoch { session: 7, epoch: 3, k: 8 },
             Message::Ack { of: 4, info: 12 },
@@ -807,7 +826,15 @@ mod tests {
             sketch_msg(SketchEncoding::F64),
             Message::KvBatch { node: 0, pairs: vec![] },
             Message::ModeBroadcast { mode: 0.0 },
-            Message::OpenEpoch { session: 0, epoch: 0, m: 0, n: 0, seed: 0 },
+            Message::OpenEpoch {
+                session: 0,
+                epoch: 0,
+                m: 0,
+                n: 0,
+                seed: 0,
+                op_kind: 0,
+                op_param: 0,
+            },
             Message::SealEpoch { session: 0, epoch: 0 },
             Message::RecoverEpoch { session: 0, epoch: 0, k: 0 },
             Message::Ack { of: 0, info: 0 },

@@ -57,9 +57,14 @@ fn arb_message() -> impl Strategy<Value = Message> {
         (0u32..1000, prop::collection::vec((0u32..1_000_000, -1e12f64..1e12), 0..40))
             .prop_map(|(node, pairs)| Message::KvBatch { node, pairs }),
         (-1e15f64..1e15).prop_map(|mode| Message::ModeBroadcast { mode }),
-        (0u64..u64::MAX, 0u64..1000, 0u32..100_000, 0u64..u64::MAX, 0u64..u64::MAX).prop_map(
-            |(session, epoch, m, n, seed)| Message::OpenEpoch { session, epoch, m, n, seed }
-        ),
+        (
+            (0u64..u64::MAX, 0u64..1000, 0u32..100_000, 0u64..u64::MAX, 0u64..u64::MAX),
+            0u8..4,
+            0u64..64
+        )
+            .prop_map(|((session, epoch, m, n, seed), op_kind, op_param)| {
+                Message::OpenEpoch { session, epoch, m, n, seed, op_kind, op_param }
+            }),
         (0u64..u64::MAX, 0u64..1000)
             .prop_map(|(session, epoch)| Message::SealEpoch { session, epoch }),
         (0u64..u64::MAX, 0u64..1000)

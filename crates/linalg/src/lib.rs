@@ -13,6 +13,8 @@
 //!   bit-identical to the per-column scalar reference (the recovery hot
 //!   path — see DESIGN.md §9);
 //! - [`Cholesky`] — SPD factorization for the basis-pursuit ADMM extension;
+//! - [`fwht`] — in-place blocked fast Walsh–Hadamard transform backing the
+//!   matrix-free SRHT measurement operator (DESIGN.md §13);
 //! - [`random`] — seeded Gaussian sampling (polar Box–Muller) so all nodes
 //!   regenerate identical measurement matrices from a shared `u64` seed;
 //! - [`stats`] — the summary statistics the evaluation harness reports.
@@ -24,6 +26,7 @@
 
 pub mod cholesky;
 pub mod error;
+pub mod fwht;
 pub mod gemv;
 pub mod matrix;
 pub mod qr;

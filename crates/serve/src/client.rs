@@ -64,6 +64,7 @@
 
 use crate::frame::{read_frame, write_frame, write_frame_ctx, FrameError, TraceContext};
 use crate::session::{EpochPhase, RejectCode};
+use cso_core::SketchBackend;
 use cso_distributed::quantize::{self, SketchEncoding};
 use cso_distributed::wire::{Message, TAG_OPEN_EPOCH, TAG_SEAL_EPOCH, TAG_SKETCH};
 use cso_distributed::{Cluster, CsProtocol, RetryPolicy};
@@ -167,6 +168,7 @@ pub struct ServeClient {
     m: u32,
     n: u64,
     seed: u64,
+    backend: SketchBackend,
     bytes_sent: u64,
     bytes_received: u64,
     reconnects: u64,
@@ -189,7 +191,27 @@ impl ServeClient {
         n: u64,
         seed: u64,
     ) -> Result<(Self, u64), ClientError> {
-        let open = Message::OpenEpoch { session, epoch, m, n, seed };
+        Self::open_with_backend(addr, retry, session, epoch, m, n, seed, SketchBackend::dense())
+    }
+
+    /// As [`ServeClient::open`], but declaring a matrix-free measurement
+    /// operator for the epoch. Every node attaching to the epoch must
+    /// declare the same backend — the server rejects a disagreeing open
+    /// with `SpecMismatch`, because sketches made with different operators
+    /// must never be summed.
+    #[allow(clippy::too_many_arguments)]
+    pub fn open_with_backend(
+        addr: SocketAddr,
+        retry: &RetryPolicy,
+        session: u64,
+        epoch: u64,
+        m: u32,
+        n: u64,
+        seed: u64,
+        backend: SketchBackend,
+    ) -> Result<(Self, u64), ClientError> {
+        let (op_kind, op_param) = backend.wire();
+        let open = Message::OpenEpoch { session, epoch, m, n, seed, op_kind, op_param };
         let mut bytes_sent = 0u64;
         let mut bytes_received = 0u64;
         for attempt in 1..=retry.max_attempts {
@@ -218,6 +240,7 @@ impl ServeClient {
                 m,
                 n,
                 seed,
+                backend,
                 bytes_sent,
                 bytes_received,
                 reconnects: 0,
@@ -262,7 +285,7 @@ impl ServeClient {
     /// Re-dials the server and re-attaches to the bound epoch, folding the
     /// fresh connection's transfer into this client's byte counters.
     fn reconnect(&mut self) -> Result<(), ClientError> {
-        let (fresh, _) = ServeClient::open(
+        let (fresh, _) = ServeClient::open_with_backend(
             self.addr,
             &self.retry,
             self.session,
@@ -270,6 +293,7 @@ impl ServeClient {
             self.m,
             self.n,
             self.seed,
+            self.backend,
         )?;
         self.bytes_sent += fresh.bytes_sent;
         self.bytes_received += fresh.bytes_received;
@@ -634,8 +658,16 @@ pub fn run_cs_over_server(
         for c in 0..connections {
             let sketches = &sketches;
             handles.push(scope.spawn(move || {
-                let (mut client, _) =
-                    ServeClient::open(addr, &cfg.retry, cfg.session, cfg.epoch, m, n, proto.seed)?;
+                let (mut client, _) = ServeClient::open_with_backend(
+                    addr,
+                    &cfg.retry,
+                    cfg.session,
+                    cfg.epoch,
+                    m,
+                    n,
+                    proto.seed,
+                    proto.backend,
+                )?;
                 for (node, sketch) in sketches.iter().enumerate().skip(c).step_by(connections) {
                     client.send_sketch(node as u32, sketch, cfg.encoding)?;
                 }
@@ -649,8 +681,16 @@ pub fn run_cs_over_server(
     }
 
     // Control connection: attach, seal, recover.
-    let (mut control, _) =
-        ServeClient::open(addr, &cfg.retry, cfg.session, cfg.epoch, m, n, proto.seed)?;
+    let (mut control, _) = ServeClient::open_with_backend(
+        addr,
+        &cfg.retry,
+        cfg.session,
+        cfg.epoch,
+        m,
+        n,
+        proto.seed,
+        proto.backend,
+    )?;
     let nodes = control.seal()?;
     let (mode, outliers) = control.recover(k as u32)?;
     transferred.push((control.bytes_sent(), control.bytes_received()));

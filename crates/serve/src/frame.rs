@@ -395,7 +395,15 @@ mod tests {
     fn back_to_back_frames_stay_synchronized() {
         let mut buf = Vec::new();
         let msgs = [
-            Message::OpenEpoch { session: 1, epoch: 0, m: 4, n: 10, seed: 3 },
+            Message::OpenEpoch {
+                session: 1,
+                epoch: 0,
+                m: 4,
+                n: 10,
+                seed: 3,
+                op_kind: 1,
+                op_param: 0,
+            },
             Message::Ack { of: 4, info: 0 },
             Message::Report { epoch: 0, mode: 1.5, outliers: vec![(2, 9.0)] },
         ];

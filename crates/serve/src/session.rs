@@ -22,7 +22,9 @@
 //! bit-identical recovery.
 
 use crate::frame::MAX_FRAME_BYTES;
-use cso_core::{bomp_with_matrix, BompConfig, MeasurementSpec};
+use cso_core::{
+    bomp_with_matrix, bomp_with_op, BompConfig, MeasurementSpec, OpKind, SketchBackend,
+};
 use cso_distributed::quantize::{self, EncodedSketch};
 use cso_distributed::wire::{Message, TAG_OPEN_EPOCH, TAG_SEAL_EPOCH, TAG_SKETCH};
 use cso_distributed::{CsProtocol, SketchAggregator};
@@ -80,6 +82,10 @@ pub enum RejectCode {
     /// answered with this instead of a silent close, so clients fail over
     /// immediately rather than burning their read deadline.
     ShuttingDown = 17,
+    /// The open named an unknown measurement-operator kind, or an operator
+    /// parameter invalid for the epoch's geometry (e.g. a seeded-sparse
+    /// density larger than `M`).
+    BadOperator = 18,
 }
 
 impl RejectCode {
@@ -109,6 +115,7 @@ impl RejectCode {
             15 => Internal,
             16 => StoreFull,
             17 => ShuttingDown,
+            18 => BadOperator,
             _ => return None,
         })
     }
@@ -134,6 +141,7 @@ impl fmt::Display for RejectCode {
             RejectCode::Internal => "internal recovery failure",
             RejectCode::StoreFull => "session/epoch capacity reached",
             RejectCode::ShuttingDown => "server shutting down",
+            RejectCode::BadOperator => "unknown or invalid measurement operator",
         };
         write!(f, "{s}")
     }
@@ -175,6 +183,10 @@ impl EpochPhase {
 #[derive(Debug)]
 struct Epoch {
     seed: u64,
+    /// Which measurement operator the epoch's nodes sketched with.
+    /// Validated at open; recovery rebuilds the operator from it, so a
+    /// replayed epoch recovers with the exact operator its sketches used.
+    backend: SketchBackend,
     phase: EpochPhase,
     duplicates: u64,
     state: EpochState,
@@ -580,8 +592,14 @@ impl RecoveryPolicy {
     /// identical to [`CsProtocol::effective_recovery`], which is what makes
     /// server-side recovery bit-identical to the in-process paths.
     fn effective(&self, m: usize, seed: u64, k: u32) -> BompConfig {
-        CsProtocol { m, seed, recovery: self.recovery, exec: self.exec }
-            .effective_recovery(k as usize)
+        CsProtocol {
+            m,
+            seed,
+            recovery: self.recovery,
+            exec: self.exec,
+            backend: SketchBackend::dense(),
+        }
+        .effective_recovery(k as usize)
     }
 }
 
@@ -628,6 +646,10 @@ pub enum Effect {
         n: u64,
         /// Shared measurement seed.
         seed: u64,
+        /// Measurement-operator kind (0 = dense, 1 = SRHT, 2 = sparse).
+        op_kind: u8,
+        /// Operator parameter (density `s` for seeded-sparse; 0 otherwise).
+        op_param: u64,
     },
     /// A new node's sketch joined the epoch (duplicates are not effects).
     Ingested {
@@ -654,6 +676,10 @@ pub enum Effect {
         nodes: u64,
         /// Duplicate sketches ignored during ingest.
         duplicates: u64,
+        /// Measurement-operator kind (0 = dense, 1 = SRHT, 2 = sparse).
+        op_kind: u8,
+        /// Operator parameter (density `s` for seeded-sparse; 0 otherwise).
+        op_param: u64,
         /// The canonical `M`-length measurement (ascending-node-id sum).
         y: Vector,
     },
@@ -693,6 +719,7 @@ pub struct RecoverJob {
     epoch: u64,
     k: u32,
     spec: MeasurementSpec,
+    backend: SketchBackend,
     y: Vector,
     nodes: u64,
     duplicates: u64,
@@ -706,11 +733,22 @@ impl RecoverJob {
         (self.session, self.epoch)
     }
 
-    /// Runs the recovery. `Φ0` is materialized transiently and dropped
-    /// with the job, so the store never retains the dense matrix.
+    /// Runs the recovery. A dense-backend epoch materializes `Φ0`
+    /// transiently (dropped with the job, so the store never retains the
+    /// dense matrix) and runs the exact seed path; matrix-free backends
+    /// rebuild the operator from the journaled descriptor and recover
+    /// without ever materializing.
     pub fn run(self) -> (Message, Option<RecoveredEpoch>) {
-        let phi0 = self.spec.materialize();
-        let result = match bomp_with_matrix(&phi0, &self.y, &self.config) {
+        let result = if self.backend == SketchBackend::dense() {
+            let phi0 = self.spec.materialize();
+            bomp_with_matrix(&phi0, &self.y, &self.config)
+        } else {
+            match self.backend.build(self.spec.m, self.spec.n, self.spec.seed) {
+                Ok(op) => bomp_with_op(&op, &self.y, &self.config),
+                Err(e) => Err(e),
+            }
+        };
+        let result = match result {
             Ok(r) => r,
             Err(_) => return (reject(RejectCode::Internal), None),
         };
@@ -780,8 +818,8 @@ impl SessionStore {
         stats: &mut StoreStats,
     ) -> Dispatch {
         let (reply, effect) = match msg {
-            Message::OpenEpoch { session, epoch, m, n, seed } => {
-                self.open(conn, *session, *epoch, *m, *n, *seed, stats)
+            Message::OpenEpoch { session, epoch, m, n, seed, op_kind, op_param } => {
+                self.open(conn, *session, *epoch, *m, *n, *seed, *op_kind, *op_param, stats)
             }
             Message::Sketch { node, seed, payload } => {
                 self.ingest(conn, *node, *seed, payload, stats)
@@ -835,6 +873,8 @@ impl SessionStore {
         m: u32,
         n: u64,
         seed: u64,
+        op_kind: u8,
+        op_param: u64,
         stats: &mut StoreStats,
     ) -> (Message, Effect) {
         // The epoch's sketches must fit a frame with headroom: M doubles
@@ -848,14 +888,26 @@ impl SessionStore {
         if n == 0 || u64::from(m) > n || n > self.limits.max_n {
             return (reject(RejectCode::BadSpec), Effect::None);
         }
-        if u128::from(m) * u128::from(n) * 8 > u128::from(self.limits.max_matrix_bytes) {
+        let Some(backend) = SketchBackend::from_wire(op_kind, op_param) else {
+            return (reject(RejectCode::BadOperator), Effect::None);
+        };
+        // Only the dense backend ever materializes the m×n matrix, so the
+        // matrix-bytes cap gates dense epochs alone — matrix-free epochs
+        // peak at O(N) scratch during recovery, already bounded by max_n.
+        if backend.kind == OpKind::Dense
+            && u128::from(m) * u128::from(n) * 8 > u128::from(self.limits.max_matrix_bytes)
+        {
             return (reject(RejectCode::BadSpec), Effect::None);
         }
         if let Some(existing) = self.sessions.get(&session).and_then(|s| s.epochs.get(&epoch)) {
             // Re-opening is how additional connections attach to the same
             // epoch — legal only when they agree on the configuration.
             let spec = existing.spec();
-            if spec.m != m as usize || spec.n != n as usize || existing.seed != seed {
+            if spec.m != m as usize
+                || spec.n != n as usize
+                || existing.seed != seed
+                || existing.backend != backend
+            {
                 return (reject(RejectCode::SpecMismatch), Effect::None);
             }
             let nodes = existing.node_count();
@@ -866,6 +918,12 @@ impl SessionStore {
             Ok(s) => s,
             Err(_) => return (reject(RejectCode::BadSpec), Effect::None),
         };
+        // Geometry is valid; any remaining construction failure is an
+        // operator-parameter problem (dense with a nonzero param, sparse
+        // density out of range, SRHT m over the padded width).
+        if backend.build(m as usize, n as usize, seed).is_err() {
+            return (reject(RejectCode::BadOperator), Effect::None);
+        }
         if !self.sessions.contains_key(&session)
             && self.sessions.len() >= self.limits.max_sessions
             && !self.evict_finished_session(stats)
@@ -881,6 +939,7 @@ impl SessionStore {
             epoch,
             Epoch {
                 seed,
+                backend,
                 phase: EpochPhase::Ingest,
                 duplicates: 0,
                 state: EpochState::Ingest(SketchAggregator::new(spec), None),
@@ -890,7 +949,7 @@ impl SessionStore {
         stats.add("serve.epochs_opened", 1);
         (
             Message::Ack { of: TAG_OPEN_EPOCH, info: 0 },
-            Effect::Opened { session, epoch, m, n, seed },
+            Effect::Opened { session, epoch, m, n, seed, op_kind, op_param },
         )
     }
 
@@ -1020,6 +1079,7 @@ impl SessionStore {
         let y = agg.global_measurement().clone();
         let seed = ep.seed;
         let duplicates = ep.duplicates;
+        let (op_kind, op_param) = ep.backend.wire();
         ep.state = EpochState::Sealed { spec, y: y.clone(), nodes };
         ep.phase = EpochPhase::Sealed;
         stats.add("serve.epochs_sealed", 1);
@@ -1033,6 +1093,8 @@ impl SessionStore {
                 n: spec.n as u64,
                 nodes,
                 duplicates,
+                op_kind,
+                op_param,
                 y,
             },
         )
@@ -1057,6 +1119,7 @@ impl SessionStore {
             epoch,
             k,
             spec: *spec,
+            backend: ep.backend,
             y: y.clone(),
             nodes: *nodes,
             duplicates: ep.duplicates,
@@ -1189,6 +1252,7 @@ impl SessionStore {
     /// Replays an epoch-open record. Attaching to an already-replayed
     /// epoch is the idempotent no-op; a spec disagreement means the
     /// journal is inconsistent.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn replay_open(
         &mut self,
         session: u64,
@@ -1196,10 +1260,12 @@ impl SessionStore {
         m: u32,
         n: u64,
         seed: u64,
+        op_kind: u8,
+        op_param: u64,
     ) -> Result<(), String> {
         let mut conn = ConnState::new();
         let mut stats = StoreStats::new();
-        match self.open(&mut conn, session, epoch, m, n, seed, &mut stats).0 {
+        match self.open(&mut conn, session, epoch, m, n, seed, op_kind, op_param, &mut stats).0 {
             Message::Ack { .. } => Ok(()),
             Message::Reject { code, .. } => {
                 Err(format!("replayed open of ({session}, {epoch}) rejected: code {code}"))
@@ -1255,10 +1321,15 @@ impl SessionStore {
         n: u64,
         nodes: u64,
         duplicates: u64,
+        op_kind: u8,
+        op_param: u64,
         y: Vector,
     ) -> Result<(), String> {
         let spec = MeasurementSpec::new(m as usize, n as usize, seed)
             .map_err(|e| format!("replayed seal of ({session}, {epoch}): bad spec: {e}"))?;
+        let backend = SketchBackend::from_wire(op_kind, op_param).ok_or_else(|| {
+            format!("replayed seal of ({session}, {epoch}): unknown operator kind {op_kind}")
+        })?;
         if y.len() != m as usize {
             return Err(format!(
                 "replayed seal of ({session}, {epoch}): measurement length {} != m {m}",
@@ -1268,12 +1339,16 @@ impl SessionStore {
         let entry = self.sessions.entry(session).or_default();
         let ep = entry.epochs.entry(epoch).or_insert_with(|| Epoch {
             seed,
+            backend,
             phase: EpochPhase::Ingest,
             duplicates: 0,
             state: EpochState::Ingest(SketchAggregator::new(spec), None),
         });
         if ep.seed != seed {
             return Err(format!("replayed seal of ({session}, {epoch}): seed mismatch"));
+        }
+        if ep.backend != backend {
+            return Err(format!("replayed seal of ({session}, {epoch}): operator mismatch"));
         }
         ep.duplicates = duplicates;
         ep.state = EpochState::Sealed { spec, y, nodes };
@@ -1326,6 +1401,10 @@ impl SessionStore {
             for _ in 0..n_epochs {
                 let eid = r.u64()?;
                 let seed = r.u64()?;
+                let op_kind = r.u8()?;
+                let op_param = r.u64()?;
+                let backend = SketchBackend::from_wire(op_kind, op_param)
+                    .ok_or_else(|| format!("snapshot: unknown operator kind {op_kind}"))?;
                 let phase = EpochPhase::from_u8(r.u8()?)
                     .ok_or_else(|| "snapshot: bad epoch phase".to_string())?;
                 let duplicates = r.u64()?;
@@ -1360,7 +1439,7 @@ impl SessionStore {
                     }
                     t => return Err(format!("snapshot: unknown epoch state tag {t}")),
                 };
-                sess.epochs.insert(eid, Epoch { seed, phase, duplicates, state });
+                sess.epochs.insert(eid, Epoch { seed, backend, phase, duplicates, state });
             }
         }
         if r.pos != buf.len() {
@@ -1394,6 +1473,9 @@ fn serialize_sessions<'a>(
         for (eid, ep) in &sess.epochs {
             put_u64(out, *eid);
             put_u64(out, ep.seed);
+            let (op_kind, op_param) = ep.backend.wire();
+            out.push(op_kind);
+            put_u64(out, op_param);
             out.push(ep.phase.as_u8());
             put_u64(out, ep.duplicates);
             match &ep.state {
@@ -1496,7 +1578,7 @@ mod tests {
     }
 
     fn open_msg() -> Message {
-        Message::OpenEpoch { session: 1, epoch: 0, m: M, n: N, seed: SEED }
+        Message::OpenEpoch { session: 1, epoch: 0, m: M, n: N, seed: SEED, op_kind: 0, op_param: 0 }
     }
 
     struct Fixture {
@@ -1598,7 +1680,15 @@ mod tests {
         );
         // The session still accepts a fresh epoch afterwards.
         assert_eq!(
-            fx.send(&Message::OpenEpoch { session: 1, epoch: 1, m: M, n: N, seed: SEED }),
+            fx.send(&Message::OpenEpoch {
+                session: 1,
+                epoch: 1,
+                m: M,
+                n: N,
+                seed: SEED,
+                op_kind: 0,
+                op_param: 0
+            }),
             Message::Ack { of: TAG_OPEN_EPOCH, info: 0 }
         );
     }
@@ -1616,7 +1706,15 @@ mod tests {
             RejectCode::UnknownEpoch
         );
         assert_eq!(
-            code_of(&fx.send(&Message::OpenEpoch { session: 1, epoch: 0, m: M, n: N, seed: 99 })),
+            code_of(&fx.send(&Message::OpenEpoch {
+                session: 1,
+                epoch: 0,
+                m: M,
+                n: N,
+                seed: 99,
+                op_kind: 0,
+                op_param: 0
+            })),
             RejectCode::SpecMismatch
         );
         assert_eq!(code_of(&fx.send(&sketch_msg(0, 99))), RejectCode::SeedMismatch);
@@ -1654,12 +1752,12 @@ mod tests {
 
     #[test]
     fn reject_codes_round_trip_their_wire_values() {
-        for v in 1..=17u16 {
+        for v in 1..=18u16 {
             let code = RejectCode::from_u16(v).expect("all codes defined");
             assert_eq!(code.as_u16(), v);
         }
         assert_eq!(RejectCode::from_u16(0), None);
-        assert_eq!(RejectCode::from_u16(18), None);
+        assert_eq!(RejectCode::from_u16(19), None);
     }
 
     /// The high-severity regression: an `OpenEpoch` with a hostile
@@ -1675,7 +1773,15 @@ mod tests {
             (M, 0),                // zero-dimensional
             (M, u64::from(M) - 1), // more measurements than keys
         ] {
-            let msg = Message::OpenEpoch { session: 1, epoch: 0, m, n, seed: SEED };
+            let msg = Message::OpenEpoch {
+                session: 1,
+                epoch: 0,
+                m,
+                n,
+                seed: SEED,
+                op_kind: 0,
+                op_param: 0,
+            };
             assert_eq!(code_of(&fx.send(&msg)), RejectCode::BadSpec, "m={m} n={n}");
         }
         // A rejected open leaves nothing behind: the session map is empty
@@ -1692,8 +1798,136 @@ mod tests {
             ..StoreLimits::default()
         });
         assert_eq!(fx.send(&open_msg()), Message::Ack { of: TAG_OPEN_EPOCH, info: 0 });
-        let over = Message::OpenEpoch { session: 1, epoch: 1, m: M, n: N + 1, seed: SEED };
+        let over = Message::OpenEpoch {
+            session: 1,
+            epoch: 1,
+            m: M,
+            n: N + 1,
+            seed: SEED,
+            op_kind: 0,
+            op_param: 0,
+        };
         assert_eq!(code_of(&fx.send(&over)), RejectCode::BadSpec);
+    }
+
+    /// Matrix-free epochs never materialize `Φ0`, so the matrix-byte cap
+    /// gates only dense opens — an SRHT epoch with the same geometry is
+    /// admitted where the dense one rejects.
+    #[test]
+    fn matrix_byte_cap_is_dense_only() {
+        let mut fx = Fixture::new();
+        fx.store = SessionStore::with_limits(StoreLimits {
+            max_matrix_bytes: 8, // one f64: no dense epoch fits
+            ..StoreLimits::default()
+        });
+        assert_eq!(code_of(&fx.send(&open_msg())), RejectCode::BadSpec);
+        let srht = Message::OpenEpoch {
+            session: 1,
+            epoch: 0,
+            m: M,
+            n: N,
+            seed: SEED,
+            op_kind: 1,
+            op_param: 0,
+        };
+        assert_eq!(fx.send(&srht), Message::Ack { of: TAG_OPEN_EPOCH, info: 0 });
+    }
+
+    /// Operator validation at open: an unknown kind, an out-of-range
+    /// sparse density, and a dense open with a nonzero parameter are all
+    /// typed `BadOperator` rejects that leave no state behind.
+    #[test]
+    fn invalid_operators_are_typed_rejects() {
+        let mut fx = Fixture::new();
+        for (op_kind, op_param) in [
+            (9, 0),                // unknown kind
+            (2, 0),                // sparse density zero
+            (2, u64::from(M) + 1), // sparse density over M
+            (0, 3),                // dense takes no parameter
+        ] {
+            let msg = Message::OpenEpoch {
+                session: 1,
+                epoch: 0,
+                m: M,
+                n: N,
+                seed: SEED,
+                op_kind,
+                op_param,
+            };
+            assert_eq!(
+                code_of(&fx.send(&msg)),
+                RejectCode::BadOperator,
+                "kind={op_kind} param={op_param}"
+            );
+        }
+        assert_eq!(fx.store.session_count(), 0);
+        assert_eq!(fx.send(&open_msg()), Message::Ack { of: TAG_OPEN_EPOCH, info: 0 });
+    }
+
+    /// Re-opening an epoch under a different operator is a spec mismatch:
+    /// sketches made with different operators must never be summed.
+    #[test]
+    fn reopen_with_a_different_operator_is_a_spec_mismatch() {
+        let mut fx = Fixture::new();
+        fx.send(&open_msg());
+        let srht = Message::OpenEpoch {
+            session: 1,
+            epoch: 0,
+            m: M,
+            n: N,
+            seed: SEED,
+            op_kind: 1,
+            op_param: 0,
+        };
+        assert_eq!(code_of(&fx.send(&srht)), RejectCode::SpecMismatch);
+        let sparse = Message::OpenEpoch {
+            session: 1,
+            epoch: 0,
+            m: M,
+            n: N,
+            seed: SEED,
+            op_kind: 2,
+            op_param: 4,
+        };
+        assert_eq!(code_of(&fx.send(&sparse)), RejectCode::SpecMismatch);
+    }
+
+    /// End-to-end matrix-free lifecycle: nodes sketch through the epoch's
+    /// operator, and server-side recovery (which rebuilds the operator
+    /// from the epoch's descriptor, never materializing `Φ0`) finds the
+    /// planted outlier.
+    #[test]
+    fn matrix_free_epoch_recovers_with_its_operator() {
+        for (op_kind, op_param) in [(1u8, 0u64), (2u8, 6u64)] {
+            let mut fx = Fixture::new();
+            let m = 32u32;
+            let open =
+                Message::OpenEpoch { session: 1, epoch: 0, m, n: N, seed: SEED, op_kind, op_param };
+            assert_eq!(fx.send(&open), Message::Ack { of: TAG_OPEN_EPOCH, info: 0 });
+            let backend = SketchBackend::from_wire(op_kind, op_param).expect("valid backend");
+            let op = backend.build(m as usize, N as usize, SEED).expect("operator builds");
+            for node in 0..2u32 {
+                let mut slice = vec![50.0; N as usize];
+                if node == 0 {
+                    slice[17] += 4000.0; // the planted global outlier
+                }
+                let y = cso_core::MeasurementOp::apply(&op, &slice).expect("sketch");
+                let sketch = Message::Sketch {
+                    node,
+                    seed: SEED,
+                    payload: quantize::encode(&y, SketchEncoding::F64),
+                };
+                assert_eq!(fx.send(&sketch), Message::Ack { of: TAG_SKETCH, info: 0 });
+            }
+            fx.send(&Message::SealEpoch { session: 1, epoch: 0 });
+            let reply = fx.send(&Message::RecoverEpoch { session: 1, epoch: 0, k: 1 });
+            let Message::Report { mode, outliers, .. } = reply else {
+                panic!("kind {op_kind}: expected report, got {reply:?}");
+            };
+            assert!((mode - 100.0).abs() < 1.0, "kind {op_kind}: mode {mode}");
+            assert_eq!(outliers.len(), 1, "kind {op_kind}");
+            assert_eq!(outliers[0].0, 17, "kind {op_kind}: wrong outlier key");
+        }
     }
 
     /// Capacity is bounded and typed: pending work fills the store to its
@@ -1708,10 +1942,26 @@ mod tests {
 
         // Fill session 1 with two in-flight epochs; a third must reject.
         for epoch in 0..2 {
-            let open = Message::OpenEpoch { session: 1, epoch, m: M, n: N, seed: SEED };
+            let open = Message::OpenEpoch {
+                session: 1,
+                epoch,
+                m: M,
+                n: N,
+                seed: SEED,
+                op_kind: 0,
+                op_param: 0,
+            };
             assert!(matches!(fx.send(&open), Message::Ack { .. }));
         }
-        let third = Message::OpenEpoch { session: 1, epoch: 2, m: M, n: N, seed: SEED };
+        let third = Message::OpenEpoch {
+            session: 1,
+            epoch: 2,
+            m: M,
+            n: N,
+            seed: SEED,
+            op_kind: 0,
+            op_param: 0,
+        };
         assert_eq!(code_of(&fx.send(&third)), RejectCode::StoreFull);
 
         // Recover epoch 1 (the one this connection is bound to); its slot
@@ -1727,8 +1977,24 @@ mod tests {
 
         // Session capacity: sessions 1 and 2 exist, session 3 rejects
         // while both are mid-flight…
-        fx.send(&Message::OpenEpoch { session: 2, epoch: 0, m: M, n: N, seed: SEED });
-        let s3 = Message::OpenEpoch { session: 3, epoch: 0, m: M, n: N, seed: SEED };
+        fx.send(&Message::OpenEpoch {
+            session: 2,
+            epoch: 0,
+            m: M,
+            n: N,
+            seed: SEED,
+            op_kind: 0,
+            op_param: 0,
+        });
+        let s3 = Message::OpenEpoch {
+            session: 3,
+            epoch: 0,
+            m: M,
+            n: N,
+            seed: SEED,
+            op_kind: 0,
+            op_param: 0,
+        };
         assert_eq!(code_of(&fx.send(&s3)), RejectCode::StoreFull);
 
         // …then session 2 finishes entirely and is evicted to admit 3.
@@ -1819,7 +2085,15 @@ mod tests {
         let mut fx = Fixture::new();
         // Epoch 0: sealed + recovered. Epoch 1: sealed. Epoch 2: ingesting.
         for epoch in 0..3u64 {
-            let open = Message::OpenEpoch { session: 1, epoch, m: M, n: N, seed: SEED };
+            let open = Message::OpenEpoch {
+                session: 1,
+                epoch,
+                m: M,
+                n: N,
+                seed: SEED,
+                op_kind: 0,
+                op_param: 0,
+            };
             fx.send(&open);
             fx.send(&sketch_msg(epoch as u32, SEED)); // bound to latest open
             fx.send(&sketch_msg(epoch as u32 + 10, SEED));
@@ -1853,11 +2127,11 @@ mod tests {
             quantize::encode(&y, SketchEncoding::F64)
         };
         let mut store = SessionStore::new();
-        store.replay_open(1, 0, M, N, SEED).unwrap();
+        store.replay_open(1, 0, M, N, SEED, 0, 0).unwrap();
         assert!(store.replay_ingest(1, 0, 3, SEED, &payload).unwrap());
         let once = store.snapshot_bytes();
 
-        store.replay_open(1, 0, M, N, SEED).unwrap();
+        store.replay_open(1, 0, M, N, SEED, 0, 0).unwrap();
         assert!(!store.replay_ingest(1, 0, 3, SEED, &payload).unwrap());
         assert_eq!(store.snapshot_bytes(), once, "duplicate replay is a no-op");
 
@@ -1865,16 +2139,16 @@ mod tests {
         // records were torn away still installs the canonical measurement.
         let y = Vector::from_vec((0..M as usize).map(|i| 2.0 * i as f64).collect());
         let mut bare = SessionStore::new();
-        bare.replay_seal(1, 0, SEED, M, N, 1, 0, y.clone()).unwrap();
+        bare.replay_seal(1, 0, SEED, M, N, 1, 0, 0, 0, y.clone()).unwrap();
         assert_eq!(bare.epoch_phase(1, 0), Some(EpochPhase::Sealed));
         bare.replay_recovered(1, 0);
         assert_eq!(bare.epoch_phase(1, 0), Some(EpochPhase::Recovered));
         // Replaying the seal again preserves the recovered phase.
-        bare.replay_seal(1, 0, SEED, M, N, 1, 0, y).unwrap();
+        bare.replay_seal(1, 0, SEED, M, N, 1, 0, 0, 0, y).unwrap();
         assert_eq!(bare.epoch_phase(1, 0), Some(EpochPhase::Recovered));
         // A recover replayed against a still-ingesting epoch is a no-op.
         let mut fresh = SessionStore::new();
-        fresh.replay_open(1, 0, M, N, SEED).unwrap();
+        fresh.replay_open(1, 0, M, N, SEED, 0, 0).unwrap();
         fresh.replay_recovered(1, 0);
         assert_eq!(fresh.epoch_phase(1, 0), Some(EpochPhase::Ingest));
     }

@@ -66,8 +66,11 @@ use std::time::Instant;
 pub const SEGMENT_MAGIC: &[u8; 8] = b"CSOWAL01";
 /// Magic bytes opening every snapshot file.
 pub const SNAPSHOT_MAGIC: &[u8; 8] = b"CSOSNAP1";
-/// Current segment/snapshot format version.
-pub const WAL_VERSION: u32 = 1;
+/// Current segment/snapshot format version. Version 2 added the
+/// measurement-operator descriptor (`op_kind`, `op_param`) to open and
+/// seal records and to each snapshotted epoch — a v1 journal is refused
+/// with a typed error rather than replayed with a guessed operator.
+pub const WAL_VERSION: u32 = 2;
 
 /// Hard cap on one record's encoded length — a flipped length prefix must
 /// never drive an allocation. Generous: the largest legitimate record is a
@@ -249,6 +252,10 @@ pub enum WalRecord {
         n: u64,
         /// Shared measurement seed.
         seed: u64,
+        /// Measurement-operator kind (0 = dense, 1 = SRHT, 2 = sparse).
+        op_kind: u8,
+        /// Operator parameter (density `s` for seeded-sparse; 0 otherwise).
+        op_param: u64,
     },
     /// A node's sketch joined the epoch (kind 2; the payload reuses the v2
     /// wire encoding of the `Sketch` frame).
@@ -282,6 +289,10 @@ pub enum WalRecord {
         nodes: u64,
         /// Duplicate sketches ignored during ingest.
         duplicates: u64,
+        /// Measurement-operator kind (0 = dense, 1 = SRHT, 2 = sparse).
+        op_kind: u8,
+        /// Operator parameter (density `s` for seeded-sparse; 0 otherwise).
+        op_param: u64,
         /// IEEE-754 bit patterns of the canonical `M`-length measurement.
         y_bits: Vec<u64>,
     },
@@ -308,13 +319,17 @@ impl WalRecord {
         use crate::session::Effect;
         match effect {
             Effect::None => None,
-            Effect::Opened { session, epoch, m, n, seed } => Some(WalRecord::Open {
-                session: *session,
-                epoch: *epoch,
-                m: *m,
-                n: *n,
-                seed: *seed,
-            }),
+            Effect::Opened { session, epoch, m, n, seed, op_kind, op_param } => {
+                Some(WalRecord::Open {
+                    session: *session,
+                    epoch: *epoch,
+                    m: *m,
+                    n: *n,
+                    seed: *seed,
+                    op_kind: *op_kind,
+                    op_param: *op_param,
+                })
+            }
             Effect::Ingested { session, epoch } => match msg {
                 Message::Sketch { node, seed, payload } => Some(WalRecord::Ingest {
                     session: *session,
@@ -325,18 +340,29 @@ impl WalRecord {
                 }),
                 _ => None,
             },
-            Effect::Sealed { session, epoch, seed, m, n, nodes, duplicates, y } => {
-                Some(WalRecord::Seal {
-                    session: *session,
-                    epoch: *epoch,
-                    seed: *seed,
-                    m: *m,
-                    n: *n,
-                    nodes: *nodes,
-                    duplicates: *duplicates,
-                    y_bits: y.as_slice().iter().map(|v| v.to_bits()).collect(),
-                })
-            }
+            Effect::Sealed {
+                session,
+                epoch,
+                seed,
+                m,
+                n,
+                nodes,
+                duplicates,
+                op_kind,
+                op_param,
+                y,
+            } => Some(WalRecord::Seal {
+                session: *session,
+                epoch: *epoch,
+                seed: *seed,
+                m: *m,
+                n: *n,
+                nodes: *nodes,
+                duplicates: *duplicates,
+                op_kind: *op_kind,
+                op_param: *op_param,
+                y_bits: y.as_slice().iter().map(|v| v.to_bits()).collect(),
+            }),
             Effect::Recovered { session, epoch } => {
                 Some(WalRecord::RecoverDone { session: *session, epoch: *epoch })
             }
@@ -356,7 +382,7 @@ impl WalRecord {
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::new();
         match self {
-            WalRecord::Open { session, epoch, m, n, seed } => {
+            WalRecord::Open { session, epoch, m, n, seed, op_kind, op_param } => {
                 out.push(KIND_OPEN);
                 let msg = Message::OpenEpoch {
                     session: *session,
@@ -364,6 +390,8 @@ impl WalRecord {
                     m: *m,
                     n: *n,
                     seed: *seed,
+                    op_kind: *op_kind,
+                    op_param: *op_param,
                 };
                 out.extend_from_slice(&wire::encode(&msg));
             }
@@ -374,7 +402,18 @@ impl WalRecord {
                 let msg = Message::Sketch { node: *node, seed: *seed, payload: payload.clone() };
                 out.extend_from_slice(&wire::encode(&msg));
             }
-            WalRecord::Seal { session, epoch, seed, m, n, nodes, duplicates, y_bits } => {
+            WalRecord::Seal {
+                session,
+                epoch,
+                seed,
+                m,
+                n,
+                nodes,
+                duplicates,
+                op_kind,
+                op_param,
+                y_bits,
+            } => {
                 out.push(KIND_SEAL);
                 put_u64(&mut out, *session);
                 put_u64(&mut out, *epoch);
@@ -383,6 +422,8 @@ impl WalRecord {
                 put_u64(&mut out, *n);
                 put_u64(&mut out, *nodes);
                 put_u64(&mut out, *duplicates);
+                out.push(*op_kind);
+                put_u64(&mut out, *op_param);
                 for bits in y_bits {
                     put_u64(&mut out, *bits);
                 }
@@ -402,8 +443,8 @@ impl WalRecord {
         let (&kind, body) = buf.split_first().ok_or("empty record")?;
         match kind {
             KIND_OPEN => match wire::decode(body) {
-                Ok(Message::OpenEpoch { session, epoch, m, n, seed }) => {
-                    Ok(WalRecord::Open { session, epoch, m, n, seed })
+                Ok(Message::OpenEpoch { session, epoch, m, n, seed, op_kind, op_param }) => {
+                    Ok(WalRecord::Open { session, epoch, m, n, seed, op_kind, op_param })
                 }
                 Ok(other) => Err(format!("open record held a {} frame", other.tag())),
                 Err(e) => Err(format!("open record: {e}")),
@@ -429,6 +470,8 @@ impl WalRecord {
                 let n = r.u64()?;
                 let nodes = r.u64()?;
                 let duplicates = r.u64()?;
+                let op_kind = r.u8()?;
+                let op_param = r.u64()?;
                 if r.remaining().len() != m as usize * 8 {
                     return Err(format!(
                         "seal record carries {} measurement bytes for m={m}",
@@ -439,7 +482,18 @@ impl WalRecord {
                 for _ in 0..m {
                     y_bits.push(r.u64()?);
                 }
-                Ok(WalRecord::Seal { session, epoch, seed, m, n, nodes, duplicates, y_bits })
+                Ok(WalRecord::Seal {
+                    session,
+                    epoch,
+                    seed,
+                    m,
+                    n,
+                    nodes,
+                    duplicates,
+                    op_kind,
+                    op_param,
+                    y_bits,
+                })
             }
             KIND_RECOVER_DONE => {
                 let mut r = SnapReader { buf: body, pos: 0 };
@@ -466,17 +520,39 @@ impl WalRecord {
     /// against an in-memory store.
     pub fn replay(&self, store: &mut SessionStore) -> Result<(), String> {
         match self {
-            WalRecord::Open { session, epoch, m, n, seed } => {
-                store.replay_open(*session, *epoch, *m, *n, *seed)
+            WalRecord::Open { session, epoch, m, n, seed, op_kind, op_param } => {
+                store.replay_open(*session, *epoch, *m, *n, *seed, *op_kind, *op_param)
             }
             WalRecord::Ingest { session, epoch, node, seed, payload } => {
                 store.replay_ingest(*session, *epoch, *node, *seed, payload).map(|_| ())
             }
-            WalRecord::Seal { session, epoch, seed, m, n, nodes, duplicates, y_bits } => {
+            WalRecord::Seal {
+                session,
+                epoch,
+                seed,
+                m,
+                n,
+                nodes,
+                duplicates,
+                op_kind,
+                op_param,
+                y_bits,
+            } => {
                 let y = cso_linalg::Vector::from_vec(
                     y_bits.iter().map(|&b| f64::from_bits(b)).collect(),
                 );
-                store.replay_seal(*session, *epoch, *seed, *m, *n, *nodes, *duplicates, y)
+                store.replay_seal(
+                    *session,
+                    *epoch,
+                    *seed,
+                    *m,
+                    *n,
+                    *nodes,
+                    *duplicates,
+                    *op_kind,
+                    *op_param,
+                    y,
+                )
             }
             WalRecord::RecoverDone { session, epoch } => {
                 store.replay_recovered(*session, *epoch);
@@ -1011,7 +1087,7 @@ mod tests {
     fn sample_records() -> Vec<WalRecord> {
         let y = Vector::from_vec((0..4).map(|i| i as f64).collect());
         vec![
-            WalRecord::Open { session: 1, epoch: 0, m: 4, n: 32, seed: 7 },
+            WalRecord::Open { session: 1, epoch: 0, m: 4, n: 32, seed: 7, op_kind: 0, op_param: 0 },
             WalRecord::Ingest {
                 session: 1,
                 epoch: 0,
@@ -1027,6 +1103,8 @@ mod tests {
                 n: 32,
                 nodes: 1,
                 duplicates: 2,
+                op_kind: 0,
+                op_param: 0,
                 y_bits: y.as_slice().iter().map(|v| v.to_bits()).collect(),
             },
             WalRecord::RecoverDone { session: 1, epoch: 0 },

@@ -240,6 +240,50 @@ fn kill9_at_every_seeded_point_recovers_bit_identically() {
     }
 }
 
+/// Matrix-free operators survive kill-9 (PR 9 satellite): for each
+/// wire-addressable backend, the epoch's operator descriptor rides the
+/// journal — a crash at the seal record (descriptor persisted) and one
+/// mid-recover (operator rebuilt during replay) must both resume to a
+/// run bit-identical to that backend's never-crashed reference.
+#[test]
+fn kill9_replay_rebuilds_the_same_operator_per_backend() {
+    let (cluster, _) = majority_cluster();
+    let backends = [cso_core::SketchBackend::srht(), cso_core::SketchBackend::seeded_sparse(12)];
+
+    for backend in backends {
+        let proto = proto().with_backend(backend);
+        let reference = proto.run_over_wire(&cluster, K, SketchEncoding::F64).unwrap();
+
+        for point in ["post-seal", "mid-recover"] {
+            let tag = format!("{}-{point}", backend.label());
+            let dir = temp_dir(&tag);
+            let port = pick_port();
+            let addr = SocketAddr::from(([127, 0, 0, 1], port));
+            let mut doomed = spawn_child(port, &dir, Some(point));
+            wait_listening(addr);
+
+            std::thread::scope(|scope| {
+                let cluster = &cluster;
+                let proto = &proto;
+                let runner = scope.spawn(move || {
+                    let cfg = ServeRunConfig { retry: patient(), ..ServeRunConfig::default() };
+                    run_cs_over_server(proto, cluster, K, addr, &cfg)
+                });
+
+                wait_exit(&mut doomed, &tag);
+                let fresh = spawn_child(port, &dir, None);
+
+                let run = runner.join().expect("runner thread").unwrap_or_else(|e| {
+                    panic!("{tag}: resumed run failed: {e}");
+                });
+                assert_bit_identical(&run, &reference, cluster, &tag);
+                kill(fresh);
+            });
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}
+
 /// Tentpole acceptance, fan-out half: the mid-ingest kill survives 1, 2
 /// and 8 concurrent ingest connections — every connection thread rides
 /// out the restart through the shared retry policy and the sealed epoch

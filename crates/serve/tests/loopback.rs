@@ -91,6 +91,49 @@ fn loopback_run_is_bit_identical_to_run_over_wire() {
     assert!(lines.iter().all(|l| l.contains("serve_epoch")));
 }
 
+/// Matrix-free operators over the wire: for each backend the loopback run
+/// is bit-identical to `run_over_wire` under the same backend, and the
+/// recovered keys match the planted outliers — the server rebuilds the
+/// epoch's operator from the `OpenEpoch` descriptor, never materializing
+/// `Φ0`.
+#[test]
+fn loopback_run_is_bit_identical_for_every_operator_backend() {
+    use cso_core::SketchBackend;
+    let (cluster, data) = majority_cluster();
+    let server = spawn(ServerConfig::default()).unwrap();
+
+    for (epoch, backend) in [(0u64, SketchBackend::srht()), (1, SketchBackend::seeded_sparse(12))] {
+        let proto = proto().with_backend(backend);
+        let reference = proto.run_over_wire(&cluster, K, SketchEncoding::F64).unwrap();
+        let cfg = ServeRunConfig { connections: 2, epoch, ..ServeRunConfig::default() };
+        let run = run_cs_over_server(&proto, &cluster, K, server.addr(), &cfg).unwrap();
+
+        assert_eq!(
+            run.mode.to_bits(),
+            reference.mode.to_bits(),
+            "mode differs under {}",
+            backend.label()
+        );
+        assert_eq!(run.outliers.len(), reference.estimate.len(), "{}", backend.label());
+        for (got, want) in run.outliers.iter().zip(&reference.estimate) {
+            assert_eq!(got.0 as usize, want.index, "{}", backend.label());
+            assert_eq!(got.1.to_bits(), want.value.to_bits(), "{}", backend.label());
+        }
+        // Quality, not just self-consistency: the recovered keys are the
+        // planted outliers.
+        let recovered: std::collections::BTreeSet<usize> =
+            run.outliers.iter().map(|&(i, _)| i as usize).collect();
+        for &planted in &data.outlier_indices {
+            assert!(
+                recovered.contains(&planted),
+                "{} missed planted outlier {planted}",
+                backend.label()
+            );
+        }
+    }
+    server.shutdown();
+}
+
 /// A full admission queue answers `Busy` with a retry hint, and the
 /// client's backoff loop gets in once capacity frees up.
 #[test]
@@ -150,8 +193,19 @@ fn corrupt_frame_is_rejected_without_dropping_the_connection() {
     );
 
     // The very same connection still speaks the protocol.
-    write_frame(&mut stream, &Message::OpenEpoch { session: 1, epoch: 0, m: 16, n: 64, seed: 3 })
-        .unwrap();
+    write_frame(
+        &mut stream,
+        &Message::OpenEpoch {
+            session: 1,
+            epoch: 0,
+            m: 16,
+            n: 64,
+            seed: 3,
+            op_kind: 0,
+            op_param: 0,
+        },
+    )
+    .unwrap();
     let (reply, _) = read_frame(&mut stream).unwrap();
     assert!(matches!(reply, Message::Ack { .. }), "got {reply:?}");
 
@@ -184,7 +238,15 @@ fn epoch_survives_killed_and_straggling_connections() {
     let mut killed = TcpStream::connect(addr).unwrap();
     write_frame(
         &mut killed,
-        &Message::OpenEpoch { session: 1, epoch: 0, m: M as u32, n, seed: SEED },
+        &Message::OpenEpoch {
+            session: 1,
+            epoch: 0,
+            m: M as u32,
+            n,
+            seed: SEED,
+            op_kind: 0,
+            op_param: 0,
+        },
     )
     .unwrap();
     let _ = read_frame(&mut killed).unwrap();
@@ -245,7 +307,15 @@ fn hostile_open_is_rejected_and_the_server_survives() {
     for n in [1u64 << 40, u64::MAX, 0] {
         write_frame(
             &mut hostile,
-            &Message::OpenEpoch { session: 66, epoch: 0, m: 8, n, seed: SEED },
+            &Message::OpenEpoch {
+                session: 66,
+                epoch: 0,
+                m: 8,
+                n,
+                seed: SEED,
+                op_kind: 0,
+                op_param: 0,
+            },
         )
         .unwrap();
         let (reply, _) = read_frame(&mut hostile).unwrap();
@@ -257,8 +327,19 @@ fn hostile_open_is_rejected_and_the_server_survives() {
     }
     // Even a hostile recover path is inert: open a tiny epoch, seal it
     // empty-adjacent, and keep the connection usable.
-    write_frame(&mut hostile, &Message::OpenEpoch { session: 66, epoch: 0, m: 8, n: 64, seed: 1 })
-        .unwrap();
+    write_frame(
+        &mut hostile,
+        &Message::OpenEpoch {
+            session: 66,
+            epoch: 0,
+            m: 8,
+            n: 64,
+            seed: 1,
+            op_kind: 0,
+            op_param: 0,
+        },
+    )
+    .unwrap();
     assert!(matches!(read_frame(&mut hostile).unwrap().0, Message::Ack { .. }));
     drop(hostile);
 

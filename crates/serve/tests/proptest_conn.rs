@@ -20,9 +20,14 @@ use proptest::prelude::*;
 /// proptests; here the per-connection reassembly machine is under test.
 fn arb_message() -> impl Strategy<Value = Message> {
     prop_oneof![
-        (0u64..u64::MAX, 0u64..1000, 0u32..100_000, 0u64..u64::MAX, 0u64..u64::MAX).prop_map(
-            |(session, epoch, m, n, seed)| Message::OpenEpoch { session, epoch, m, n, seed }
-        ),
+        (
+            (0u64..u64::MAX, 0u64..1000, 0u32..100_000, 0u64..u64::MAX, 0u64..u64::MAX),
+            0u8..4,
+            0u64..64
+        )
+            .prop_map(|((session, epoch, m, n, seed), op_kind, op_param)| {
+                Message::OpenEpoch { session, epoch, m, n, seed, op_kind, op_param }
+            }),
         (0u8..255, 0u64..u64::MAX).prop_map(|(of, info)| Message::Ack { of, info }),
         (0u64..u64::MAX, 0u64..1000)
             .prop_map(|(session, epoch)| Message::SealEpoch { session, epoch }),

@@ -48,7 +48,9 @@ fn arb_record() -> impl Strategy<Value = WalRecord> {
             epoch,
             m: M,
             n: N,
-            seed: SEED
+            seed: SEED,
+            op_kind: 0,
+            op_param: 0
         }),
         (ids(), 0u32..6).prop_map(|((session, epoch), node)| {
             let y =
@@ -70,6 +72,8 @@ fn arb_record() -> impl Strategy<Value = WalRecord> {
                 n: N,
                 nodes,
                 duplicates,
+                op_kind: 0,
+                op_param: 0,
                 y_bits: sketch_bits(nodes as u32),
             }
         }),
@@ -106,7 +110,15 @@ fn mirror(records: &[WalRecord]) -> Option<SessionStore> {
 /// A well-ordered script: open, distinct ingests, seal, recover — the
 /// shape a real server journals.
 fn well_ordered(nodes: &[u32]) -> Vec<WalRecord> {
-    let mut records = vec![WalRecord::Open { session: 1, epoch: 0, m: M, n: N, seed: SEED }];
+    let mut records = vec![WalRecord::Open {
+        session: 1,
+        epoch: 0,
+        m: M,
+        n: N,
+        seed: SEED,
+        op_kind: 0,
+        op_param: 0,
+    }];
     for &node in nodes {
         let y = Vector::from_vec(sketch_bits(node).iter().map(|&b| f64::from_bits(b)).collect());
         records.push(WalRecord::Ingest {
@@ -125,6 +137,8 @@ fn well_ordered(nodes: &[u32]) -> Vec<WalRecord> {
         n: N,
         nodes: nodes.len() as u64,
         duplicates: 0,
+        op_kind: 0,
+        op_param: 0,
         y_bits: sketch_bits(0),
     });
     records.push(WalRecord::RecoverDone { session: 1, epoch: 0 });

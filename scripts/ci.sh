@@ -27,33 +27,38 @@
 #      the overload soak (Busy rejects under a tiny admission cap, the
 #      server stays live after the storm), and every reject code and
 #      serve.* metric OPERATIONS.md documents must exist in source
+#  15. the measurement-operator smoke: the operator proptests (FWHT
+#      involution, sparse≡dense sketch bit-identity, descriptor wire
+#      round-trips) must pass, the loopback e2e must be bit-identical
+#      under every wire-addressable backend, and the fast 3-backend
+#      sweep must run without touching the recorded artifacts
 #
 # Any step failing fails the script.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> [1/14] cargo fmt --check"
+echo "==> [1/15] cargo fmt --check"
 cargo fmt --all --check
 
-echo "==> [2/14] release build"
+echo "==> [2/15] release build"
 cargo build --release --workspace
 
-echo "==> [3/14] workspace tests"
+echo "==> [3/15] workspace tests"
 cargo test -q --workspace
 
-echo "==> [4/14] fault-injection sweeps"
+echo "==> [4/15] fault-injection sweeps"
 cargo test -q -p cso-distributed --features fault-injection
 
-echo "==> [5/14] warnings-clean (all targets, fault-injection on)"
+echo "==> [5/15] warnings-clean (all targets, fault-injection on)"
 RUSTFLAGS="-D warnings" cargo check --workspace --all-targets --features fault-injection
 
-echo "==> [6/14] rustdoc warnings-clean"
+echo "==> [6/15] rustdoc warnings-clean"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
-echo "==> [7/14] fault sweep smoke"
+echo "==> [7/15] fault sweep smoke"
 cargo test -q -p cso-bench faults::
 
-echo "==> [8/14] observability smoke (obs_report)"
+echo "==> [8/15] observability smoke (obs_report)"
 # The binary self-validates: strict JSON parse of the emitted report,
 # required REPORT_KEYS present, comm.* metrics equal to the CostMeter
 # totals, per-iteration BOMP events present. Any violation aborts.
@@ -62,20 +67,20 @@ for artifact in results/run_report.jsonl BENCH_pr2.json; do
     test -s "$artifact" || { echo "missing $artifact"; exit 1; }
 done
 
-echo "==> [9/14] scaling smoke (parallel executor sweep)"
+echo "==> [9/15] scaling smoke (parallel executor sweep)"
 # The sweep self-validates its JSON before writing; the sequential
 # reference and every worker count run the same deterministic workload.
 cargo run --release -q -p cso-bench --bin figures -- scaling
 test -s BENCH_pr3.json || { echo "missing BENCH_pr3.json"; exit 1; }
 
-echo "==> [10/14] recovery-kernel smoke (fused OMP sweep)"
+echo "==> [10/15] recovery-kernel smoke (fused OMP sweep)"
 # Fast mode: small dictionaries, same naive-vs-fused measurement as the
 # full sweep, but it leaves the recorded full-sweep artifacts alone —
 # BENCH_pr4.json is regenerated only by a full `figures -- recovery` run.
 cargo run --release -q -p cso-bench --bin figures -- recovery --fast
 test -s BENCH_pr4.json || { echo "missing BENCH_pr4.json"; exit 1; }
 
-echo "==> [11/14] serving smoke (loopback server e2e + throughput sweep)"
+echo "==> [11/15] serving smoke (loopback server e2e + throughput sweep)"
 # The e2e tests assert bit-identity between the loopback server run and
 # the in-process wire path, plus fault injection (killed connections,
 # corrupt frames, stragglers). The sweep self-validates its JSON.
@@ -85,7 +90,7 @@ for artifact in results/serve.csv BENCH_pr5.json; do
     test -s "$artifact" || { echo "missing $artifact"; exit 1; }
 done
 
-echo "==> [12/14] durability smoke (kill-9 crash harness + WAL fuzz + fsync sweep)"
+echo "==> [12/15] durability smoke (kill-9 crash harness + WAL fuzz + fsync sweep)"
 # The crash harness SIGKILLs a child-process server at every seeded
 # injection point (and at arbitrary times) and requires the resumed run
 # to be bit-identical to a never-crashed one; the WAL fuzz truncates and
@@ -97,7 +102,7 @@ for artifact in results/serve_durable.csv BENCH_pr6.json; do
     test -s "$artifact" || { echo "missing $artifact"; exit 1; }
 done
 
-echo "==> [13/14] telemetry smoke (introspection e2e + cso-top + overhead sweep)"
+echo "==> [13/15] telemetry smoke (introspection e2e + cso-top + overhead sweep)"
 # The e2e polls Introspect throughout a live ingest sweep asserting
 # monotone counters, bit-identical recovery under observation, and a
 # parseable flight-recorder dump; the frame fuzz hardens the trace
@@ -111,7 +116,7 @@ for artifact in results/serve_telemetry.csv BENCH_pr7.json; do
     test -s "$artifact" || { echo "missing $artifact"; exit 1; }
 done
 
-echo "==> [14/14] sharded-engine smoke (reassembly fuzz + sweep + docs-link check)"
+echo "==> [14/15] sharded-engine smoke (reassembly fuzz + sweep + docs-link check)"
 # The reassembly fuzz drives frames through every split point and
 # arbitrary read/write interleavings expecting typed outcomes only; the
 # fast sweep runs the scaling points and the overload soak, which
@@ -131,5 +136,16 @@ grep -oE '^\| [0-9]+ \| `[A-Za-z]+`' OPERATIONS.md | grep -oE '[A-Za-z]+`' \
     grep -qE "^    $code = [0-9]+,$" crates/serve/src/session.rs \
         || { echo "OPERATIONS.md documents unknown reject code $code"; exit 1; }
 done
+
+echo "==> [15/15] measurement-operator smoke (proptests + 3-backend sweep)"
+# The operator fuzz pins the FWHT involution, sparse/dense sketch
+# bit-identity and descriptor wire round-trips per backend; the loopback
+# e2e re-runs the protocol bit-identically under every wire-addressable
+# operator; the fast sweep times dense vs SRHT vs seeded-sparse without
+# touching the recorded full-scale artifacts (BENCH_pr9.json is
+# regenerated only by a full `figures -- recovery_ops` run).
+cargo test -q -p cso-core --test proptest_ops
+cargo test -q -p cso-serve --test loopback loopback_run_is_bit_identical_for_every_operator_backend
+cargo run --release -q -p cso-bench --bin figures -- recovery_ops --fast
 
 echo "ci: all green"
