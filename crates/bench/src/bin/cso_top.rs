@@ -16,6 +16,12 @@
 //! off the registry and occupancy atomics — polling never touches the
 //! store lock, so watching a server does not perturb it.
 //!
+//! When the polled process is a **relay** (it publishes `relay.*`
+//! metrics next to the `serve.*` rows), the view grows the relay-role
+//! columns automatically: region id, upstream link state, forwarded
+//! seals, the per-subtree ingest rate the parent sees (leaf
+//! sketches/s folded into forwarded pre-sums), and upstream reconnects.
+//!
 //! `--self-test` is the CI smoke: it spawns its own loopback server with
 //! the flight recorder armed, drives a three-epoch ingest sweep in the
 //! background, renders the live view against it while checking that every
@@ -87,7 +93,7 @@ fn main() {
         let now = Instant::now();
         if let Some((earlier, t0)) = prev.take() {
             if lines % HEADER_EVERY == 0 {
-                println!("{}", header());
+                println!("{}", header(is_relay(&snap)));
             }
             println!("{}", render(&snap, &earlier, now - t0));
             lines += 1;
@@ -100,15 +106,31 @@ fn main() {
     }
 }
 
-fn header() -> String {
-    format!(
+/// A relay publishes its region id as a gauge at spawn; its presence in
+/// a snapshot is what flips the view into relay mode.
+fn is_relay(snap: &MetricsSnapshot) -> bool {
+    snap.gauge("relay.region").is_some()
+}
+
+fn header(relay: bool) -> String {
+    let mut line = format!(
         "{:>10} {:>9} {:>9} {:>10} {:>6} {:>5} {:>6} {:>6}",
         "sk/s", "p50_us", "p99_us", "wal99_us", "rej", "q", "sess", "epochs"
-    )
+    );
+    if relay {
+        line.push_str(&format!(
+            " {:>5} {:>4} {:>6} {:>9} {:>5}",
+            "regn", "link", "fwd", "fwd_nd/s", "recon"
+        ));
+    }
+    line
 }
 
 /// Formats one interval: rates and windowed percentiles from the delta,
-/// occupancy from the newer snapshot's gauges.
+/// occupancy from the newer snapshot's gauges. Relay columns (if the
+/// process is one) come from the same snapshot pair: link state is the
+/// current gauge, forwarded seals are cumulative, and the per-subtree
+/// ingest rate is the interval's forwarded-leaf-sketch delta.
 fn render(snap: &MetricsSnapshot, earlier: &MetricsSnapshot, dt: Duration) -> String {
     let d = snap.delta(earlier);
     let secs = dt.as_secs_f64().max(1e-9);
@@ -120,7 +142,7 @@ fn render(snap: &MetricsSnapshot, earlier: &MetricsSnapshot, dt: Duration) -> St
     let rejects = d.counter("serve.conns_rejected_busy").unwrap_or(0)
         + d.counter("serve.conns_rejected_shutdown").unwrap_or(0);
     let gauge = |name: &str| snap.gauge(name).unwrap_or(0.0) as u64;
-    format!(
+    let mut line = format!(
         "{:>10.0} {:>9} {:>9} {:>10} {:>6} {:>5} {:>6} {:>6}",
         rate,
         us(ingest, 0.50),
@@ -130,7 +152,20 @@ fn render(snap: &MetricsSnapshot, earlier: &MetricsSnapshot, dt: Duration) -> St
         gauge("serve.queue_depth"),
         gauge("serve.sessions"),
         gauge("serve.epochs"),
-    )
+    );
+    if is_relay(snap) {
+        let link =
+            if snap.gauge("relay.upstream_link_up").unwrap_or(0.0) >= 1.0 { "up" } else { "down" };
+        line.push_str(&format!(
+            " {:>5} {:>4} {:>6} {:>9.0} {:>5}",
+            gauge("relay.region"),
+            link,
+            snap.counter("relay.forwards").unwrap_or(0),
+            d.counter("relay.forwarded_nodes").unwrap_or(0) as f64 / secs,
+            snap.counter("relay.upstream_reconnects").unwrap_or(0),
+        ));
+    }
+    line
 }
 
 /// Spawns a telemetry-armed loopback server plus a background ingest
@@ -195,7 +230,7 @@ fn run_self_test(interval: Duration) {
                 assert!(b >= a, "{name} went backwards: {a} -> {b}");
             }
             if rendered % HEADER_EVERY == 0 {
-                println!("{}", header());
+                println!("{}", header(is_relay(&snap)));
             }
             println!("{}", render(&snap, earlier, now - *t0));
             rendered += 1;
@@ -237,4 +272,74 @@ fn run_self_test(interval: Duration) {
         "flight dump must end with the shutdown event"
     );
     let _ = std::fs::remove_dir_all(&dir);
+
+    run_relay_leg(interval);
+}
+
+/// The relay leg of the self-test: the same binary pointed at a relay
+/// must flip into relay mode — detect the role, render the extra
+/// columns, and report link state, forwarded seals and the per-subtree
+/// ingest rate from the `relay.*` metrics.
+fn run_relay_leg(interval: Duration) {
+    use cso_distributed::TopologySpec;
+    use cso_linalg::Vector;
+    use cso_serve::{spawn_relay, RelayConfig};
+
+    let (m, n, fan_in) = (16usize, 64u64, 4u64);
+    let root = spawn(ServerConfig::default()).expect("relay-leg root");
+    let topology = TopologySpec::new(2 * fan_in, fan_in).expect("topology");
+    let relay = spawn_relay(RelayConfig::new(root.addr(), 0, topology)).expect("relay");
+
+    // One region epoch: ingest the region's leaves at their absolute ids
+    // and seal, which arms the forwarder.
+    let retry = RetryPolicy::default();
+    let (mut leaf, _) =
+        ServeClient::open(relay.addr(), &retry, 7, 0, m as u32, n, 99).expect("open via relay");
+    for l in 0..fan_in {
+        let sketch = Vector::from_vec((0..m).map(|i| l as f64 + 0.25 * i as f64).collect());
+        leaf.send_sketch(l as u32, &sketch, SketchEncoding::F64).expect("leaf sketch");
+    }
+    assert_eq!(leaf.seal().expect("seal region"), fan_in);
+    drop(leaf);
+
+    // Poll the relay until the forward lands upstream, rendering the
+    // relay-mode view along the way.
+    let mut poller = MetricsPoller::connect(relay.addr(), &retry).expect("relay poller");
+    let mut prev: Option<(MetricsSnapshot, Instant)> = None;
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let last = loop {
+        let snap = poller.poll().expect("relay introspect");
+        assert!(is_relay(&snap), "a relay must be detected from its relay.* metrics");
+        let now = Instant::now();
+        if let Some((earlier, t0)) = &prev {
+            println!("{}", header(true));
+            let line = render(&snap, earlier, now - *t0);
+            println!("{line}");
+            assert!(line.contains(" up") || line.contains(" down"), "link column missing");
+        }
+        if snap.counter("relay.forwards") == Some(1) {
+            break snap;
+        }
+        prev = Some((snap, now));
+        assert!(Instant::now() < deadline, "relay never forwarded its sealed epoch");
+        std::thread::sleep(interval);
+    };
+
+    // The forwarded seal carried the whole subtree exactly once, over a
+    // live upstream link.
+    assert_eq!(last.counter("relay.forwarded_nodes"), Some(fan_in));
+    assert_eq!(last.gauge("relay.upstream_link_up"), Some(1.0));
+    assert_eq!(last.gauge("relay.region"), Some(0.0));
+    let mut root_poller = MetricsPoller::connect(root.addr(), &retry).expect("root poller");
+    let root_snap = root_poller.poll().expect("root introspect");
+    assert!(!is_relay(&root_snap), "the flat root must not render relay columns");
+    assert_eq!(
+        root_snap.counter("serve.sketches_accepted"),
+        Some(1),
+        "the root must see exactly one super-node ingest for the region"
+    );
+    drop(poller);
+    drop(root_poller);
+    relay.shutdown();
+    root.shutdown();
 }

@@ -26,6 +26,7 @@ pub mod fig78;
 pub mod fig9;
 pub mod recovery;
 pub mod recovery_ops;
+pub mod relay_bench;
 pub mod scaling;
 pub mod serve_bench;
 
@@ -59,6 +60,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "serve_durable",
     "serve_telemetry",
     "serve_sharded",
+    "tree_topology",
 ];
 
 /// Dispatches one experiment by name. Returns false for unknown names.
@@ -90,6 +92,7 @@ pub fn run_experiment(name: &str, opts: &Opts) -> bool {
         "serve_durable" => serve_bench::serve_durable(opts),
         "serve_telemetry" => serve_bench::serve_telemetry(opts),
         "serve_sharded" => serve_bench::serve_sharded(opts),
+        "tree_topology" => relay_bench::tree_topology(opts),
         _ => return false,
     }
     true
@@ -148,6 +151,7 @@ mod tests {
                     | "serve_durable"
                     | "serve_telemetry"
                     | "serve_sharded"
+                    | "tree_topology"
             );
             assert!(known, "{name} missing from dispatcher");
         }

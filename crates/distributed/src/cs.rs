@@ -222,15 +222,19 @@ impl CsProtocol {
         };
 
         let mut meter = CostMeter::new(cluster.l());
-        let mut y = Vector::zeros(self.m);
+        let y;
         {
             let _t = rec.span_with("transport", &[("round", Value::U64(1))]);
             meter.begin_round();
             rec.advance_ticks(1);
-            for (l, yl) in sketches.iter().enumerate() {
+            for l in 0..sketches.len() {
                 meter.record_values(l, self.m as u64);
-                y.add_assign(yl)?;
             }
+            // Canonical dyadic fold over node ids — the one summation
+            // order every aggregation path (in-process, serve, relay
+            // tier) shares, so they all agree bit-for-bit.
+            let members: Vec<(usize, &Vector)> = sketches.iter().enumerate().collect();
+            y = crate::fold::dyadic_fold(self.m, &members);
         }
 
         let recovery = self.effective_recovery(k);
@@ -267,12 +271,13 @@ impl CsProtocol {
         let n = cluster.n();
         let engine = self.engine(n)?;
 
-        // Node-side measurement runs on the executor; framing, decoding and
-        // the aggregation sum stay sequential in node order (the byte and
-        // float accounting must match the reference exactly).
+        // Node-side measurement runs on the executor; framing and decoding
+        // stay sequential in node order, and the aggregation uses the
+        // canonical dyadic fold (the byte and float accounting must match
+        // the reference exactly).
         let sketches = self.build_sketches(&engine, cluster, &Recorder::disabled())?;
         let mut total_bytes = 0u64;
-        let mut y = Vector::zeros(self.m);
+        let mut decoded: Vec<Vector> = Vec::with_capacity(sketches.len());
         for (l, sketch) in sketches.iter().enumerate() {
             // Node side: quantize + frame.
             let msg = wire::Message::Sketch {
@@ -294,7 +299,7 @@ impl CsProtocol {
                             message: "node and aggregator disagree on the seed".into(),
                         });
                     }
-                    y.add_assign(&quantize::decode(&payload))?;
+                    decoded.push(quantize::decode(&payload));
                 }
                 _ => {
                     return Err(LinalgError::InvalidParameter {
@@ -304,6 +309,10 @@ impl CsProtocol {
                 }
             }
         }
+        // The aggregator folds decoded sketches in the canonical dyadic
+        // order over node ids, matching the reference run bit-for-bit.
+        let members: Vec<(usize, &Vector)> = decoded.iter().enumerate().collect();
+        let y = crate::fold::dyadic_fold(self.m, &members);
 
         let recovery = self.effective_recovery(k);
         let result = engine.recover(&y, &recovery)?;

@@ -26,7 +26,7 @@ use crate::wire;
 use cso_core::KeyValue;
 use cso_linalg::{LinalgError, Vector};
 use cso_obs::{Recorder, Value};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Virtual ticks one transmission attempt takes when the channel does not
 /// straggle.
@@ -44,10 +44,17 @@ pub enum Offer {
 
 /// Accumulates node sketches into the aggregate measurement, deduplicating
 /// by `(node, seed)` so duplicated or retransmitted frames never double-
-/// count a node's contribution.
+/// count a node's contribution. The aggregate is maintained as the
+/// canonical [dyadic fold] over node ids, so a degraded (surviving-subset)
+/// measurement is bit-identical to what any other path — flat server,
+/// relay tier, in-process reference — computes over the same survivors.
+///
+/// [dyadic fold]: crate::fold::dyadic_fold
 #[derive(Debug, Clone)]
 pub struct SketchCollector {
+    m: usize,
     sum: Vector,
+    sketches: BTreeMap<u32, Vector>,
     seen: BTreeSet<(u32, u64)>,
     duplicates_ignored: u64,
 }
@@ -55,17 +62,40 @@ pub struct SketchCollector {
 impl SketchCollector {
     /// An empty collector for `m`-length sketches.
     pub fn new(m: usize) -> Self {
-        SketchCollector { sum: Vector::zeros(m), seen: BTreeSet::new(), duplicates_ignored: 0 }
+        SketchCollector {
+            m,
+            sum: Vector::zeros(m),
+            sketches: BTreeMap::new(),
+            seen: BTreeSet::new(),
+            duplicates_ignored: 0,
+        }
     }
 
     /// Folds `sketch` into the sum unless this `(node, seed)` already
     /// contributed. Errors only on a length mismatch.
     pub fn offer(&mut self, node: u32, seed: u64, sketch: &Vector) -> Result<Offer, LinalgError> {
+        if sketch.len() != self.m {
+            return Err(LinalgError::DimensionMismatch {
+                op: "offer",
+                expected: (self.m, 1),
+                actual: (sketch.len(), 1),
+            });
+        }
         if !self.seen.insert((node, seed)) {
             self.duplicates_ignored += 1;
             return Ok(Offer::Duplicate);
         }
-        self.sum.add_assign(sketch)?;
+        match self.sketches.get_mut(&node) {
+            // Same node under a second seed: linearity lets its total
+            // contribution stay one fold member.
+            Some(existing) => existing.add_assign(sketch)?,
+            None => {
+                self.sketches.insert(node, sketch.clone());
+            }
+        }
+        let members: Vec<(usize, &Vector)> =
+            self.sketches.iter().map(|(id, s)| (*id as usize, s)).collect();
+        self.sum = crate::fold::dyadic_fold(self.m, &members);
         Ok(Offer::Accepted)
     }
 
@@ -414,12 +444,28 @@ mod tests {
 
         // Recovery must equal the clean protocol on the surviving subset —
         // degraded mode is exact on the partial aggregate, and no corrupt
-        // frame leaked garbage into the sum.
+        // frame leaked garbage into the sum. The reindexed partial cluster
+        // folds the survivors at ids 0..6 while the degraded path folds
+        // them at their original ids {0,1,3,4,6,7}; those are two
+        // different dyadic parenthesizations, so the comparison here is
+        // index equality plus a last-ulp-scale tolerance. (Bit-identity at
+        // *matching* ids is pinned by the wire-execution and relay tests.)
         let surviving: Vec<Vec<f64>> =
             deg.surviving_nodes.iter().map(|&l| cluster.slice(l).to_vec()).collect();
         let partial = Cluster::new(surviving).unwrap();
         let clean = p.run(&partial, 8).unwrap();
-        assert_eq!(deg.run.estimate, clean.estimate);
+        let indices = |r: &ProtocolRun| r.estimate.iter().map(|kv| kv.index).collect::<Vec<_>>();
+        assert_eq!(indices(&deg.run), indices(&clean));
+        for (d, c) in deg.run.estimate.iter().zip(&clean.estimate) {
+            let tol = 1e-9 * c.value.abs().max(1.0);
+            assert!(
+                (d.value - c.value).abs() <= tol,
+                "index {}: {} vs {}",
+                d.index,
+                d.value,
+                c.value
+            );
+        }
         assert!((deg.run.mode - clean.mode).abs() < 1e-9);
 
         // Every channel-injected corruption was caught by the checksum:

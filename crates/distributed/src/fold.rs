@@ -1,0 +1,190 @@
+//! The canonical dyadic fold: the one summation order every layer of the
+//! system uses to combine per-node sketches into a global measurement.
+//!
+//! # Why a fixed fold shape
+//!
+//! Sketch entries are generic floats (the measurement matrix is Gaussian),
+//! so float addition is **not associative**: `(a + b) + c` and
+//! `a + (b + c)` can differ in the last ulp. A flat reducer that sums
+//! sketches sequentially therefore cannot be reproduced bit-for-bit by a
+//! relay tier that pre-sums each region and forwards one partial — the
+//! tree imposes different parenthesization. The fix is to make the
+//! parenthesization part of the protocol: every fold site combines
+//! sketches with the same *dyadic* (segment-tree) shape over the absolute
+//! node-id space, so any aligned sub-block can be pre-summed anywhere in
+//! the tree and the final bits never change.
+//!
+//! # Definition
+//!
+//! For members with ids drawn from `[0, U)` where `U` is a power of two,
+//! `fold([lo, hi))` is:
+//!
+//! - the member's sketch verbatim, if `[lo, hi)` contains exactly one
+//!   member (no zero vector is ever added in);
+//! - `fold([lo, mid)) + fold([mid, hi))` with `mid = (lo + hi) / 2`,
+//!   where an empty half contributes nothing (the non-empty half passes
+//!   through verbatim rather than being added to zero).
+//!
+//! The universe `U` does not affect the result as long as every id fits:
+//! growing `U` only wraps the occupied prefix in skipped empty halves.
+//! Two consequences make the relay tier work:
+//!
+//! - **Composability**: a region owning the aligned id block
+//!   `[g·f, (g+1)·f)` (`f` a power of two) computes exactly the flat
+//!   fold's subtree value for that block, so the root folding region
+//!   pre-sums over *region* ids reproduces the flat fold over *leaf* ids
+//!   bit-for-bit.
+//! - **Degradation**: losing a whole region is the same multiset change
+//!   as losing its leaf block, so a degraded tree fold and a degraded
+//!   flat fold over the same survivors agree bit-for-bit too.
+
+use cso_linalg::Vector;
+
+/// Sums `sketches` (id-keyed, any order, ids unique) in the canonical
+/// dyadic order over the id space. Returns a zero vector of length `m`
+/// when no sketches are given. All sketches must have length `m`.
+///
+/// This is the *only* summation order that global measurements are
+/// allowed to be built with — `SketchAggregator`, the wire protocols,
+/// the degraded collector and the serve/relay tier all call it, which is
+/// what keeps every execution path bit-identical to every other.
+pub fn dyadic_fold(m: usize, sketches: &[(usize, &Vector)]) -> Vector {
+    let mut members: Vec<(usize, &Vector)> = sketches.to_vec();
+    members.sort_by_key(|(id, _)| *id);
+    members.windows(2).for_each(|w| debug_assert_ne!(w[0].0, w[1].0, "duplicate node id"));
+    match members.len() {
+        0 => Vector::zeros(m),
+        _ => {
+            let hi = members.last().expect("non-empty").0 + 1;
+            fold(&members, 0, hi.next_power_of_two()).expect("members within [lo, hi)")
+        }
+    }
+}
+
+/// Folds the (sorted) members whose ids lie in `[lo, hi)`. `None` for an
+/// empty range — the caller skips it rather than adding zeros.
+fn fold(members: &[(usize, &Vector)], lo: usize, hi: usize) -> Option<Vector> {
+    match members {
+        [] => None,
+        [(_, sketch)] => Some((*sketch).clone()),
+        _ => {
+            let mid = lo + (hi - lo) / 2;
+            let split = members.partition_point(|(id, _)| *id < mid);
+            let left = fold(&members[..split], lo, mid);
+            let right = fold(&members[split..], mid, hi);
+            match (left, right) {
+                (Some(mut l), Some(r)) => {
+                    l.add_assign(&r).expect("sketch lengths verified by caller");
+                    Some(l)
+                }
+                (l, r) => l.or(r),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sk(seed: u64, m: usize) -> Vector {
+        // Deterministic, irregular mantissas so associativity violations
+        // actually show up.
+        Vector::from_vec(
+            (0..m).map(|i| ((seed * 2654435761 + i as u64 * 40503) as f64).sin() * 1e3).collect(),
+        )
+    }
+
+    fn bits(v: &Vector) -> Vec<u64> {
+        v.iter().map(|x| x.to_bits()).collect()
+    }
+
+    #[test]
+    fn empty_fold_is_zero() {
+        assert_eq!(bits(&dyadic_fold(4, &[])), bits(&Vector::zeros(4)));
+    }
+
+    #[test]
+    fn singleton_passes_through_verbatim() {
+        let s = sk(9, 8);
+        assert_eq!(bits(&dyadic_fold(8, &[(5, &s)])), bits(&s));
+    }
+
+    #[test]
+    fn order_of_presentation_is_irrelevant() {
+        let m = 16;
+        let sketches: Vec<Vector> = (0..7).map(|i| sk(i, m)).collect();
+        let fwd: Vec<(usize, &Vector)> = sketches.iter().enumerate().collect();
+        let mut rev = fwd.clone();
+        rev.reverse();
+        assert_eq!(bits(&dyadic_fold(m, &fwd)), bits(&dyadic_fold(m, &rev)));
+    }
+
+    /// The relay-tier contract: pre-summing every aligned `fan_in` block
+    /// and dyadically folding the block sums over *region* ids must equal
+    /// the flat dyadic fold over *leaf* ids, bit for bit.
+    #[test]
+    fn aligned_block_presums_compose_exactly() {
+        let m = 32;
+        for leaves in [8usize, 12, 16] {
+            let sketches: Vec<Vector> = (0..leaves).map(|i| sk(i as u64 + 100, m)).collect();
+            let refs: Vec<(usize, &Vector)> = sketches.iter().enumerate().collect();
+            let flat = dyadic_fold(m, &refs);
+            for fan_in in [2usize, 4, 8] {
+                let regions: Vec<Vector> = (0..leaves.div_ceil(fan_in))
+                    .map(|g| {
+                        let block: Vec<(usize, &Vector)> = refs
+                            .iter()
+                            .filter(|(id, _)| id / fan_in == g)
+                            .map(|&(id, s)| (id, s))
+                            .collect();
+                        dyadic_fold(m, &block)
+                    })
+                    .collect();
+                let region_refs: Vec<(usize, &Vector)> = regions.iter().enumerate().collect();
+                assert_eq!(
+                    bits(&dyadic_fold(m, &region_refs)),
+                    bits(&flat),
+                    "leaves={leaves} fan_in={fan_in}"
+                );
+            }
+        }
+    }
+
+    /// Losing a whole region and losing its leaf block are the same
+    /// multiset change, so both degraded folds agree bit for bit.
+    #[test]
+    fn region_loss_equals_leaf_block_loss() {
+        let m = 16;
+        let (leaves, fan_in, lost_region) = (12usize, 4usize, 1usize);
+        let sketches: Vec<Vector> = (0..leaves).map(|i| sk(i as u64 + 7, m)).collect();
+        let survivors: Vec<(usize, &Vector)> =
+            sketches.iter().enumerate().filter(|(id, _)| id / fan_in != lost_region).collect();
+        let flat_degraded = dyadic_fold(m, &survivors);
+        // Regions 0 and 2 each pre-sum their own aligned block; the root
+        // folds the two pre-sums over the surviving *region* ids.
+        let presum = |g: usize| {
+            let block: Vec<(usize, &Vector)> =
+                survivors.iter().filter(|(id, _)| id / fan_in == g).copied().collect();
+            dyadic_fold(m, &block)
+        };
+        let (r0, r2) = (presum(0), presum(2));
+        let tree_degraded = dyadic_fold(m, &[(0, &r0), (2, &r2)]);
+        assert_eq!(bits(&tree_degraded), bits(&flat_degraded));
+    }
+
+    /// The naive sequential left fold genuinely differs — this pins that
+    /// the dyadic shape is load-bearing, not a stylistic choice.
+    #[test]
+    fn sequential_fold_would_not_compose() {
+        let m = 64;
+        let sketches: Vec<Vector> = (0..8).map(|i| sk(i + 31, m)).collect();
+        let mut seq = Vector::zeros(m);
+        for s in &sketches {
+            seq.add_assign(s).unwrap();
+        }
+        let refs: Vec<(usize, &Vector)> = sketches.iter().enumerate().collect();
+        let dyadic = dyadic_fold(m, &refs);
+        assert_ne!(bits(&seq), bits(&dyadic), "expected at least one ulp of divergence");
+    }
+}

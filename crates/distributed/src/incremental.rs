@@ -15,8 +15,9 @@ use std::collections::BTreeMap;
 /// and node membership changes.
 ///
 /// The global measurement is kept **canonical**: after any membership
-/// change (join or leave) `y` is recomputed as the ascending-node-id sum
-/// of the current per-node sketches. A running float sum would drift under
+/// change (join or leave) `y` is recomputed as the dyadic fold of the
+/// current per-node sketches over the node-id space ([`crate::fold`]). A
+/// running float sum would drift under
 /// churn — `(y + s) − s + s` is not `y + s` bit-for-bit — so a node that
 /// leaves and re-joins across an epoch boundary would otherwise perturb
 /// every later recovery. Canonical resummation makes membership history
@@ -28,7 +29,7 @@ use std::collections::BTreeMap;
 #[derive(Debug, Clone)]
 pub struct SketchAggregator {
     spec: MeasurementSpec,
-    /// Current global measurement: the ascending-id sum of `node_sketches`
+    /// Current global measurement: the dyadic fold of `node_sketches`
     /// plus any streaming deltas applied since the last membership change.
     y: Vector,
     /// Last full sketch received per node id (needed to retire a node),
@@ -105,16 +106,19 @@ impl SketchAggregator {
         Ok(())
     }
 
-    /// Recomputes the canonical measurement: the ascending-node-id sum of
-    /// the current sketches. Called on every membership change so a
-    /// leave/re-join cycle is loss-free — subtracting and re-adding a
-    /// float vector is *not* the identity, resumming the same set is.
+    /// Recomputes the canonical measurement: the [dyadic fold] of the
+    /// current sketches over the node-id space. Called on every membership
+    /// change so a leave/re-join cycle is loss-free — subtracting and
+    /// re-adding a float vector is *not* the identity, refolding the same
+    /// set is. The dyadic shape (rather than a sequential ascending sum)
+    /// is what lets a relay tier pre-sum an aligned block of node ids and
+    /// still reproduce this measurement bit-for-bit at the root.
+    ///
+    /// [dyadic fold]: crate::fold::dyadic_fold
     fn resum(&mut self) {
-        let mut y = Vector::zeros(self.spec.m);
-        for sketch in self.node_sketches.values() {
-            y.add_assign(sketch).expect("sketch lengths verified at join");
-        }
-        self.y = y;
+        let members: Vec<(usize, &Vector)> =
+            self.node_sketches.iter().map(|(id, s)| (*id, s)).collect();
+        self.y = crate::fold::dyadic_fold(self.spec.m, &members);
     }
 
     /// Applies a batch of new records on `node`, given as sparse

@@ -24,6 +24,7 @@ pub mod cs;
 pub mod degraded;
 pub mod dictionary;
 pub mod fault;
+pub mod fold;
 pub mod incremental;
 pub mod kdelta;
 pub mod protocol;
@@ -44,11 +45,12 @@ pub use cs::CsProtocol;
 pub use degraded::{DegradedRun, Offer, SketchCollector};
 pub use dictionary::KeyDictionary;
 pub use fault::{Delivery, FaultPlan, FaultStats, LossyChannel, VirtualClock};
+pub use fold::dyadic_fold;
 pub use incremental::SketchAggregator;
 pub use kdelta::KDeltaProtocol;
 pub use protocol::{OutlierProtocol, ProtocolRun};
 pub use quantize::{decode as decode_sketch, encode as encode_sketch, SketchEncoding};
 pub use retry::RetryPolicy;
 pub use ta::TaProtocol;
-pub use topology::{AggregationTree, TreeNode};
+pub use topology::{AggregationTree, TopologySpec, TreeNode};
 pub use tput::TputProtocol;

@@ -18,6 +18,71 @@ use crate::cost::{CommunicationCost, VALUE_BITS};
 use cso_core::MeasurementSpec;
 use cso_linalg::{LinalgError, Vector};
 
+/// The serve-layer tree shape: `leaves` data centers partitioned into
+/// aligned regions of `fan_in` consecutive node ids, each region owned by
+/// one relay that pre-sums its block and forwards a single super-node
+/// sketch upstream.
+///
+/// `fan_in` must be a power of two so every region is an *aligned dyadic
+/// block* of the node-id space — the precondition for
+/// [`crate::fold::dyadic_fold`]'s composition guarantee (a region pre-sum
+/// equals the flat fold's subtree value bit-for-bit). Region `g` owns
+/// leaf ids `[g·fan_in, min((g+1)·fan_in, leaves))`; the last region may
+/// be a partial block, which still composes because the fold skips empty
+/// id ranges rather than padding them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TopologySpec {
+    /// Total leaf (data-center) count across all regions.
+    pub leaves: u64,
+    /// Leaves per region; a power of two.
+    pub fan_in: u64,
+}
+
+impl TopologySpec {
+    /// Validates and builds a spec. Errors unless `fan_in` is a power of
+    /// two, nonzero, and no larger than `leaves` (a tree with one region
+    /// equal to the whole cluster is legal but pointless; zero leaves are
+    /// not).
+    pub fn new(leaves: u64, fan_in: u64) -> Result<Self, LinalgError> {
+        if leaves == 0 {
+            return Err(LinalgError::InvalidParameter {
+                name: "leaves",
+                message: "topology needs at least one leaf".into(),
+            });
+        }
+        if fan_in == 0 || !fan_in.is_power_of_two() {
+            return Err(LinalgError::InvalidParameter {
+                name: "fan_in",
+                message: "fan-in must be a nonzero power of two (aligned dyadic regions)".into(),
+            });
+        }
+        if fan_in > leaves {
+            return Err(LinalgError::InvalidParameter {
+                name: "fan_in",
+                message: "fan-in exceeds the leaf count".into(),
+            });
+        }
+        Ok(TopologySpec { leaves, fan_in })
+    }
+
+    /// Number of regions (relays) at the leaf tier.
+    pub fn region_count(&self) -> u64 {
+        self.leaves.div_ceil(self.fan_in)
+    }
+
+    /// The region owning leaf id `leaf`, or `None` when out of range.
+    pub fn region_of(&self, leaf: u64) -> Option<u64> {
+        (leaf < self.leaves).then_some(leaf / self.fan_in)
+    }
+
+    /// The half-open leaf-id range `[lo, hi)` of `region`, or `None` when
+    /// the region does not exist.
+    pub fn leaf_range(&self, region: u64) -> Option<(u64, u64)> {
+        (region < self.region_count())
+            .then(|| (region * self.fan_in, ((region + 1) * self.fan_in).min(self.leaves)))
+    }
+}
+
 /// A node in the aggregation topology.
 #[derive(Debug, Clone)]
 pub enum TreeNode {

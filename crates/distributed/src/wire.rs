@@ -71,6 +71,8 @@ pub const TAG_STATUS: u8 = 11;
 pub const TAG_INTROSPECT: u8 = 12;
 /// Frame tag of [`Message::MetricsReply`].
 pub const TAG_METRICS_REPLY: u8 = 13;
+/// Frame tag of [`Message::RelayManifest`].
+pub const TAG_RELAY_MANIFEST: u8 = 14;
 
 /// IEEE CRC-32 lookup table (reflected, polynomial `0xEDB88320`).
 const CRC32_TABLE: [u32; 256] = {
@@ -225,6 +227,27 @@ pub enum Message {
         /// The server's cumulative metrics at reply time.
         snapshot: MetricsSnapshot,
     },
+    /// Relay → upstream server: declare the subtree this connection
+    /// forwards for. Sent after `OpenEpoch`, before the region's single
+    /// pre-summed super-node sketch. The upstream validates the claim
+    /// against the epoch's topology (first manifest wins the `fan_in`;
+    /// every later one must agree) and rejects inconsistencies with the
+    /// typed `TopologyMismatch`/`RegionConflict` codes instead of letting
+    /// a misconfigured relay silently corrupt the fold.
+    RelayManifest {
+        /// Session id.
+        session: u64,
+        /// Epoch number.
+        epoch: u64,
+        /// Region id — also the super-node id the relay ingests under.
+        region: u32,
+        /// First absolute leaf id of the region's aligned block.
+        leaf_lo: u64,
+        /// One past the last absolute leaf id of the block.
+        leaf_hi: u64,
+        /// The topology's leaves-per-region (a power of two).
+        fan_in: u64,
+    },
 }
 
 impl Message {
@@ -246,6 +269,7 @@ impl Message {
             Message::Status { .. } => TAG_STATUS,
             Message::Introspect => TAG_INTROSPECT,
             Message::MetricsReply { .. } => TAG_METRICS_REPLY,
+            Message::RelayManifest { .. } => TAG_RELAY_MANIFEST,
         }
     }
 }
@@ -545,6 +569,16 @@ pub fn encode(msg: &Message) -> Vec<u8> {
                 }
             }
         }
+        Message::RelayManifest { session, epoch, region, leaf_lo, leaf_hi, fan_in } => {
+            w.u8(TAG_RELAY_MANIFEST);
+            w.u8(WIRE_VERSION);
+            w.u64(*session);
+            w.u64(*epoch);
+            w.u32(*region);
+            w.u64(*leaf_lo);
+            w.u64(*leaf_hi);
+            w.u64(*fan_in);
+        }
     }
     let sum = crc32(&w.buf);
     w.u32(sum);
@@ -682,6 +716,14 @@ pub fn decode(buf: &[u8]) -> Result<Message, WireError> {
             }
             Message::MetricsReply { snapshot }
         }
+        TAG_RELAY_MANIFEST => Message::RelayManifest {
+            session: r.u64()?,
+            epoch: r.u64()?,
+            region: r.u32()?,
+            leaf_lo: r.u64()?,
+            leaf_hi: r.u64()?,
+            fan_in: r.u64()?,
+        },
         other => return Err(WireError::UnknownTag(other)),
     };
     if !r.finished() {
@@ -761,6 +803,14 @@ mod tests {
             Message::Status { epoch: 3, phase: 1, nodes: 12 },
             Message::Introspect,
             Message::MetricsReply { snapshot: sample_snapshot() },
+            Message::RelayManifest {
+                session: 7,
+                epoch: 3,
+                region: 2,
+                leaf_lo: 8,
+                leaf_hi: 12,
+                fan_in: 4,
+            },
         ];
         for msg in msgs {
             assert_eq!(decode(&encode(&msg)).unwrap(), msg);
@@ -844,6 +894,14 @@ mod tests {
             Message::Status { epoch: 0, phase: 0, nodes: 0 },
             Message::Introspect,
             Message::MetricsReply { snapshot: cso_obs::MetricsSnapshot::default() },
+            Message::RelayManifest {
+                session: 0,
+                epoch: 0,
+                region: 0,
+                leaf_lo: 0,
+                leaf_hi: 0,
+                fan_in: 0,
+            },
         ];
         for (i, msg) in msgs.iter().enumerate() {
             assert_eq!(msg.tag(), i as u8 + 1);

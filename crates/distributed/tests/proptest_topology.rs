@@ -1,0 +1,140 @@
+//! Topology/fold composition property tests (PR 10 satellite).
+//!
+//! The relay tier's bit-identity rests on two algebraic facts about the
+//! canonical dyadic fold ([`cso_distributed::fold`]) and the aligned
+//! region blocks [`TopologySpec`] hands out:
+//!
+//! 1. **Composition**: folding per-region pre-sums over region-id space
+//!    equals folding all leaves over leaf-id space, bit for bit;
+//! 2. **Degradation**: dropping whole regions before the root fold equals
+//!    dropping those regions' leaves before the flat fold, bit for bit.
+//!
+//! These are proven here for arbitrary leaf counts, power-of-two fan-ins
+//! and random sketch values — not just the fixed shapes the unit tests
+//! pin — plus the [`TopologySpec`] bookkeeping invariants they rely on.
+
+use cso_distributed::{dyadic_fold, TopologySpec};
+use cso_linalg::Vector;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const M: usize = 24;
+
+fn sketches(leaves: u64, seed: u64) -> Vec<Vector> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..leaves)
+        .map(|_| Vector::from_vec((0..M).map(|_| rng.gen_range(-1e6..1e6)).collect()))
+        .collect()
+}
+
+/// Pre-sums one region's leaves at their absolute ids.
+fn region_presum(topo: &TopologySpec, region: u64, leaves: &[Vector]) -> Vector {
+    let (lo, hi) = topo.leaf_range(region).unwrap();
+    let members: Vec<(usize, &Vector)> =
+        (lo..hi).map(|l| (l as usize, &leaves[l as usize])).collect();
+    dyadic_fold(M, &members)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Region pre-sums compose to the flat fold bit-identically for any
+    /// leaf count and any power-of-two fan-in, including partial tail
+    /// regions.
+    #[test]
+    fn presums_compose_bit_identically(
+        leaves in 1u64..48,
+        fan_in_log in 0u32..5,
+        seed in 0u64..u64::MAX,
+    ) {
+        let fan_in = 1u64 << fan_in_log;
+        prop_assume!(fan_in <= leaves);
+        let topo = TopologySpec::new(leaves, fan_in).unwrap();
+        let xs = sketches(leaves, seed);
+
+        let flat_members: Vec<(usize, &Vector)> =
+            xs.iter().enumerate().collect();
+        let flat = dyadic_fold(M, &flat_members);
+
+        let presums: Vec<(u64, Vector)> = (0..topo.region_count())
+            .map(|g| (g, region_presum(&topo, g, &xs)))
+            .collect();
+        let root_members: Vec<(usize, &Vector)> =
+            presums.iter().map(|(g, y)| (*g as usize, y)).collect();
+        let root = dyadic_fold(M, &root_members);
+
+        for (a, b) in flat.as_slice().iter().zip(root.as_slice()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    /// Dropping an arbitrary subset of regions at the root equals
+    /// dropping their leaf blocks from the flat fold, bit for bit —
+    /// subtree-granular degraded recovery is exact.
+    #[test]
+    fn region_drop_equals_leaf_block_drop(
+        leaves in 1u64..48,
+        fan_in_log in 0u32..5,
+        drop_mask in 0u64..u64::MAX,
+        seed in 0u64..u64::MAX,
+    ) {
+        let fan_in = 1u64 << fan_in_log;
+        prop_assume!(fan_in <= leaves);
+        let topo = TopologySpec::new(leaves, fan_in).unwrap();
+        let xs = sketches(leaves, seed);
+        let survives = |g: u64| drop_mask & (1 << (g % 64)) == 0;
+
+        let flat_members: Vec<(usize, &Vector)> = xs
+            .iter()
+            .enumerate()
+            .filter(|(l, _)| survives(topo.region_of(*l as u64).unwrap()))
+            .collect();
+        let flat = dyadic_fold(M, &flat_members);
+
+        let presums: Vec<(u64, Vector)> = (0..topo.region_count())
+            .filter(|&g| survives(g))
+            .map(|g| (g, region_presum(&topo, g, &xs)))
+            .collect();
+        let root_members: Vec<(usize, &Vector)> =
+            presums.iter().map(|(g, y)| (*g as usize, y)).collect();
+        let root = dyadic_fold(M, &root_members);
+
+        for (a, b) in flat.as_slice().iter().zip(root.as_slice()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    /// `TopologySpec` bookkeeping: every leaf belongs to exactly the
+    /// region whose range contains it, ranges tile `[0, leaves)` without
+    /// gaps or overlap, and only the tail region may be short.
+    #[test]
+    fn topology_ranges_tile_the_leaf_space(
+        leaves in 1u64..256,
+        fan_in_log in 0u32..7,
+    ) {
+        let fan_in = 1u64 << fan_in_log;
+        prop_assume!(fan_in <= leaves);
+        let topo = TopologySpec::new(leaves, fan_in).unwrap();
+        let regions = topo.region_count();
+        prop_assert_eq!(regions, leaves.div_ceil(fan_in));
+
+        let mut next = 0u64;
+        for g in 0..regions {
+            let (lo, hi) = topo.leaf_range(g).unwrap();
+            prop_assert_eq!(lo, next, "gap or overlap at region {}", g);
+            prop_assert_eq!(lo, g * fan_in, "misaligned region {}", g);
+            prop_assert!(hi - lo <= fan_in);
+            if g + 1 < regions {
+                prop_assert_eq!(hi - lo, fan_in, "short non-tail region {}", g);
+            }
+            for l in lo..hi {
+                prop_assert_eq!(topo.region_of(l), Some(g));
+            }
+            next = hi;
+        }
+        prop_assert_eq!(next, leaves, "ranges must cover every leaf");
+        prop_assert_eq!(topo.leaf_range(regions), None);
+        prop_assert_eq!(topo.region_of(leaves), None);
+    }
+}

@@ -69,6 +69,13 @@ fn arb_message() -> impl Strategy<Value = Message> {
             .prop_map(|(session, epoch)| Message::SealEpoch { session, epoch }),
         (0u64..u64::MAX, 0u64..1000)
             .prop_map(|(session, epoch)| Message::EpochStatus { session, epoch }),
+        (
+            (0u64..u64::MAX, 0u64..1000),
+            (0u32..4096, 0u64..u64::MAX, 0u64..u64::MAX, 0u64..1u64 << 40)
+        )
+            .prop_map(|((session, epoch), (region, leaf_lo, leaf_hi, fan_in))| {
+                Message::RelayManifest { session, epoch, region, leaf_lo, leaf_hi, fan_in }
+            }),
         (0u64..1000, 0u8..4, 0u64..u64::MAX).prop_map(|(epoch, phase, nodes)| Message::Status {
             epoch,
             phase,

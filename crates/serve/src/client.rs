@@ -132,6 +132,20 @@ impl fmt::Display for ClientError {
 
 /// Collapses reset-class frame errors into [`ClientError::ConnectionLost`];
 /// everything else keeps its identity.
+/// Connect failures a server restart can produce — refused before the
+/// listener rebinds, reset/aborted while the old socket drains, timed out
+/// under SYN backlog pressure. All worth waiting out; anything else
+/// (unroutable address, permission) will not heal with time.
+fn connect_is_transient(kind: io::ErrorKind) -> bool {
+    matches!(
+        kind,
+        io::ErrorKind::ConnectionRefused
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::TimedOut
+    )
+}
+
 fn conn_err(e: FrameError) -> ClientError {
     if e.is_connection_lost() {
         ClientError::ConnectionLost
@@ -217,12 +231,11 @@ impl ServeClient {
         for attempt in 1..=retry.max_attempts {
             let stream = match TcpStream::connect(addr) {
                 Ok(s) => s,
-                // A restarting server refuses connects until its listener
-                // rebinds: wait it out like a Busy reject.
-                Err(e)
-                    if e.kind() == io::ErrorKind::ConnectionRefused
-                        && attempt < retry.max_attempts =>
-                {
+                // A restarting server refuses, resets, or times out
+                // connects until its listener rebinds: all three are the
+                // same transient, waited out like a Busy reject. Anything
+                // else (unroutable address, permission) is permanent.
+                Err(e) if connect_is_transient(e.kind()) && attempt < retry.max_attempts => {
                     backoff_sleep(retry, session, attempt, 0);
                     continue;
                 }
@@ -231,6 +244,13 @@ impl ServeClient {
             // Request/reply framing stalls badly under Nagle + delayed
             // ACK (~40 ms per round trip); flush frames immediately.
             let _ = stream.set_nodelay(true);
+            // A wedged server — accepted the connect but never answers —
+            // must not hang the open probe forever: bound the reply wait
+            // by the policy's timeout (1 tick ≈ 1 ms). The deadline is
+            // cleared once the epoch is bound; steady-state requests keep
+            // their blocking semantics.
+            let _ =
+                stream.set_read_timeout(Some(Duration::from_millis(retry.timeout_ticks.max(1))));
             let mut client = ServeClient {
                 stream,
                 addr,
@@ -249,24 +269,39 @@ impl ServeClient {
             match client.request(&open) {
                 // The Ack must echo the request's tag: replies are
                 // request/reply matched, not taken on faith.
-                Ok(Message::Ack { of: TAG_OPEN_EPOCH, info }) => return Ok((client, info)),
+                Ok(Message::Ack { of: TAG_OPEN_EPOCH, info }) => {
+                    let _ = client.stream.set_read_timeout(None);
+                    return Ok((client, info));
+                }
                 Ok(Message::Reject { code, retry_after_ms })
                     if code == RejectCode::Busy.as_u16() =>
                 {
-                    client.backoff(attempt, retry_after_ms);
+                    // Honor the server's retry_after_ms hint — but never
+                    // sleep after the last attempt: nothing follows it,
+                    // so the wait would only delay the BusyExhausted.
+                    if attempt < retry.max_attempts {
+                        client.backoff(attempt, retry_after_ms);
+                    }
                 }
                 Ok(Message::Reject { code, .. }) if code == RejectCode::ShuttingDown.as_u16() => {
                     // A draining server answers queued connections with
                     // this instead of a silent close: fail over (here,
                     // retry — the restart harness brings it right back).
-                    client.backoff(attempt, 0);
+                    if attempt < retry.max_attempts {
+                        client.backoff(attempt, 0);
+                    }
                 }
                 Ok(reply) => return Err(reply_error(reply)),
                 // A busy server closes right after writing its reject, so
                 // depending on timing the raced request sees a clean close,
                 // a cut-off reply, or a reset/broken pipe: all retryable.
-                Err(ClientError::ConnectionLost) => {
-                    client.backoff(attempt, 0);
+                // A request that *timed out* on a socket mid-restart is
+                // the same transient wearing a different error — a fresh
+                // connect is the only way forward for either.
+                Err(ClientError::ConnectionLost | ClientError::Frame(FrameError::TimedOut)) => {
+                    if attempt < retry.max_attempts {
+                        client.backoff(attempt, 0);
+                    }
                 }
                 Err(e) => return Err(e),
             }

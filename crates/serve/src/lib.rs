@@ -49,6 +49,7 @@
 
 pub mod client;
 pub mod frame;
+pub mod relay;
 pub mod server;
 pub mod session;
 pub mod sys;
@@ -61,9 +62,11 @@ pub use frame::{
     encode_frame, read_frame, read_frame_ctx, write_frame, write_frame_ctx, AssembledFrame,
     FrameAssembler, FrameError, TraceContext, EXT_TRACE_CONTEXT, LEN_PREFIX_BYTES, MAX_FRAME_BYTES,
 };
+pub use relay::{spawn_relay, RelayConfig, RelayHandle};
 pub use server::{spawn, ServerConfig, ServerHandle, TelemetryConfig};
 pub use session::{
-    ConnState, Dispatch, Effect, EpochPhase, IngestPad, PadIngest, PadPermit, RecoverJob,
-    RecoveredEpoch, RecoveryPolicy, RejectCode, SessionStore, StoreLimits, StoreStats,
+    ConnState, Dispatch, Effect, EpochPhase, EpochTopology, IngestPad, PadIngest, PadPermit,
+    PendingForward, RecoverJob, RecoveredEpoch, RecoveryPolicy, RejectCode, SessionStore,
+    StoreLimits, StoreStats,
 };
 pub use wal::{Durability, FsyncPolicy, RecoveryReport, Wal, WalError, WalRecord};

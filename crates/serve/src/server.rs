@@ -78,8 +78,8 @@
 
 use crate::frame::{encode_frame, write_frame, FrameAssembler, FrameError, TraceContext};
 use crate::session::{
-    ConnState, Dispatch, Effect, IngestPad, PadIngest, RecoveredEpoch, RecoveryPolicy, RejectCode,
-    SessionStore, StoreLimits, StoreStats,
+    ConnState, Dispatch, Effect, IngestPad, PadIngest, PendingForward, RecoveredEpoch,
+    RecoveryPolicy, RejectCode, SessionStore, StoreLimits, StoreStats,
 };
 use crate::sys::{Epoll, EpollEvent, EventFd, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
 use crate::wal::{crash_point, Durability, RecoveryReport, Wal, WalRecord};
@@ -351,6 +351,57 @@ impl ServerHandle {
     /// agree with.
     pub fn recovery_report(&self) -> Option<&RecoveryReport> {
         self.shared.recovery.as_ref()
+    }
+
+    /// Sealed epochs whose pre-summed measurement has not yet been acked
+    /// by the upstream tier, across every shard. The relay forwarder
+    /// polls this after each seal and after recovery — WAL replay
+    /// restores both the sealed measurement and the forwarded flag, so a
+    /// restarted relay resumes exactly the pushes that were never acked.
+    /// Deterministic order: ascending `(session, epoch)`.
+    pub fn sealed_unforwarded(&self) -> Vec<PendingForward> {
+        let mut out = Vec::new();
+        for shard in &self.shared.shards {
+            let store = lock_unpoisoned(&shard.store);
+            out.extend(store.sealed_unforwarded());
+        }
+        out.sort_by_key(|p| (p.session, p.epoch));
+        out
+    }
+
+    /// Records that an epoch's pre-sum was acked upstream: marks the
+    /// epoch forwarded and journals a forward-done record so the mark
+    /// survives kill-9. Returns `false` (and journals nothing) when the
+    /// epoch is unknown or already marked — the idempotent no-op a
+    /// duplicated ack resolves to.
+    pub fn complete_forward(&self, session: u64, epoch: u64) -> bool {
+        let sh = &self.shared;
+        let idx = sh.shard_index(session);
+        let shard = &sh.shards[idx];
+        let mut stats = StoreStats::new();
+        let (latched, snapshot_due);
+        {
+            let mut store = lock_unpoisoned(&shard.store);
+            if !store.mark_forwarded(session, epoch) {
+                return false;
+            }
+            // Journal lock nests inside the shard lock (global order), so
+            // the mark and its record are atomic with respect to the
+            // snapshot choreography.
+            let effect = Effect::ForwardDone { session, epoch };
+            let msg = Message::SealEpoch { session, epoch };
+            (latched, snapshot_due) = sh.journal(&effect, &msg, &mut stats);
+        }
+        stats.flush(&sh.rec);
+        if latched {
+            sh.dump_flight();
+        }
+        if snapshot_due {
+            let mut snap_stats = StoreStats::new();
+            sh.snapshot_all(&mut snap_stats);
+            snap_stats.flush(&sh.rec);
+        }
+        true
     }
 
     /// Stops accepting, drains workers, and joins all threads.
@@ -1015,7 +1066,8 @@ fn slow_path(sh: &Shared, lane: usize, conn: &mut Conn, msg: &Message) -> Messag
         Message::OpenEpoch { session, .. }
         | Message::SealEpoch { session, .. }
         | Message::RecoverEpoch { session, .. }
-        | Message::EpochStatus { session, .. } => Some(*session),
+        | Message::EpochStatus { session, .. }
+        | Message::RelayManifest { session, .. } => Some(*session),
         Message::Sketch { .. } => conn.state.bound().map(|(s, _)| s),
         _ => None,
     };

@@ -26,7 +26,9 @@ use cso_core::{
     bomp_with_matrix, bomp_with_op, BompConfig, MeasurementSpec, OpKind, SketchBackend,
 };
 use cso_distributed::quantize::{self, EncodedSketch};
-use cso_distributed::wire::{Message, TAG_OPEN_EPOCH, TAG_SEAL_EPOCH, TAG_SKETCH};
+use cso_distributed::wire::{
+    Message, TAG_OPEN_EPOCH, TAG_RELAY_MANIFEST, TAG_SEAL_EPOCH, TAG_SKETCH,
+};
 use cso_distributed::{CsProtocol, SketchAggregator};
 use cso_exec::ExecConfig;
 use cso_linalg::Vector;
@@ -86,6 +88,14 @@ pub enum RejectCode {
     /// parameter invalid for the epoch's geometry (e.g. a seeded-sparse
     /// density larger than `M`).
     BadOperator = 18,
+    /// A relay manifest disagreed with the epoch's established topology:
+    /// non-power-of-two fan-in, a leaf range that is not the region's
+    /// aligned dyadic block, or a fan-in different from the one an earlier
+    /// manifest established for this epoch.
+    TopologyMismatch = 19,
+    /// Two relays claimed the same region of an epoch with different leaf
+    /// ranges — a deployment error the fold must not paper over.
+    RegionConflict = 20,
 }
 
 impl RejectCode {
@@ -116,6 +126,8 @@ impl RejectCode {
             16 => StoreFull,
             17 => ShuttingDown,
             18 => BadOperator,
+            19 => TopologyMismatch,
+            20 => RegionConflict,
             _ => return None,
         })
     }
@@ -142,6 +154,8 @@ impl fmt::Display for RejectCode {
             RejectCode::StoreFull => "session/epoch capacity reached",
             RejectCode::ShuttingDown => "server shutting down",
             RejectCode::BadOperator => "unknown or invalid measurement operator",
+            RejectCode::TopologyMismatch => "relay manifest disagrees with epoch topology",
+            RejectCode::RegionConflict => "region already claimed with a different leaf range",
         };
         write!(f, "{s}")
     }
@@ -179,6 +193,25 @@ impl EpochPhase {
     }
 }
 
+/// The relay-tier shape of an epoch, established by the first
+/// [`Message::RelayManifest`] and grown by later ones. Each entry maps a
+/// region id (= the super-node id its relay ingests under) to the aligned
+/// leaf block `[lo, hi)` it pre-sums.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EpochTopology {
+    /// Leaves per region (a power of two); every manifest must agree.
+    pub fan_in: u64,
+    /// Declared regions: region id → `(leaf_lo, leaf_hi)`.
+    pub regions: BTreeMap<u32, (u64, u64)>,
+}
+
+impl EpochTopology {
+    /// Total leaves covered by the declared regions.
+    pub fn covered_leaves(&self) -> u64 {
+        self.regions.values().map(|(lo, hi)| hi - lo).sum()
+    }
+}
+
 /// One aggregation window of a session.
 #[derive(Debug)]
 struct Epoch {
@@ -189,6 +222,13 @@ struct Epoch {
     backend: SketchBackend,
     phase: EpochPhase,
     duplicates: u64,
+    /// Subtree manifests, when this epoch is fed by a relay tier.
+    topology: Option<EpochTopology>,
+    /// True once a relay journaled the upstream ack of this epoch's
+    /// forwarded pre-sum — the resume marker that keeps a kill-9'd relay
+    /// from re-pushing (the upstream's dedup would absorb it, but the
+    /// journal makes the no-double-count property local and provable).
+    forwarded: bool,
     state: EpochState,
 }
 
@@ -625,6 +665,29 @@ pub struct RecoveredEpoch {
     pub outliers: u64,
 }
 
+/// One sealed-but-unforwarded epoch in a relay's store: the upstream
+/// push's complete input, cloned out so the forwarder works without any
+/// store lock.
+#[derive(Debug, Clone)]
+pub struct PendingForward {
+    /// Session id.
+    pub session: u64,
+    /// Epoch number.
+    pub epoch: u64,
+    /// Shared measurement seed.
+    pub seed: u64,
+    /// Sketch length `M`.
+    pub m: u32,
+    /// Key-space size `N`.
+    pub n: u64,
+    /// Leaves frozen into the region's pre-sum.
+    pub nodes: u64,
+    /// The epoch's measurement operator.
+    pub backend: SketchBackend,
+    /// The region's canonical pre-summed measurement.
+    pub y: Vector,
+}
+
 /// The durable state transition (if any) a dispatched message applied —
 /// what the write-ahead journal must persist before the reply is
 /// acknowledgeable. Read-only messages, rejected messages, and idempotent
@@ -688,6 +751,32 @@ pub enum Effect {
     /// [`SessionStore::finish_recover`], after the detached
     /// [`RecoverJob`] ran outside the store lock).
     Recovered {
+        /// Session id.
+        session: u64,
+        /// Epoch number.
+        epoch: u64,
+    },
+    /// A relay declared a new subtree of the epoch (an idempotent
+    /// re-declaration is `Effect::None`).
+    Manifested {
+        /// Session id.
+        session: u64,
+        /// Epoch number.
+        epoch: u64,
+        /// Region id (= the relay's super-node id).
+        region: u32,
+        /// First leaf id of the region's block.
+        leaf_lo: u64,
+        /// One past the last leaf id of the block.
+        leaf_hi: u64,
+        /// Leaves per region.
+        fan_in: u64,
+    },
+    /// A relay's forwarded pre-sum for this epoch was acknowledged
+    /// upstream (never produced by [`SessionStore::dispatch`] — the relay
+    /// layer emits it alongside [`SessionStore::mark_forwarded`] after the
+    /// upstream ack, so a restart resumes the push loop past this epoch).
+    ForwardDone {
         /// Session id.
         session: u64,
         /// Epoch number.
@@ -834,6 +923,9 @@ impl SessionStore {
             Message::EpochStatus { session, epoch } => {
                 (self.status(*session, *epoch), Effect::None)
             }
+            Message::RelayManifest { session, epoch, region, leaf_lo, leaf_hi, fan_in } => {
+                self.manifest(*session, *epoch, *region, *leaf_lo, *leaf_hi, *fan_in, stats)
+            }
             _ => (reject(RejectCode::Unexpected), Effect::None),
         };
         Dispatch::Reply(reply, effect)
@@ -942,6 +1034,8 @@ impl SessionStore {
                 backend,
                 phase: EpochPhase::Ingest,
                 duplicates: 0,
+                topology: None,
+                forwarded: false,
                 state: EpochState::Ingest(SketchAggregator::new(spec), None),
             },
         );
@@ -951,6 +1045,109 @@ impl SessionStore {
             Message::Ack { of: TAG_OPEN_EPOCH, info: 0 },
             Effect::Opened { session, epoch, m, n, seed, op_kind, op_param },
         )
+    }
+
+    /// Applies a relay's subtree declaration. The manifest must describe
+    /// the region's aligned dyadic block exactly — `fan_in` a power of
+    /// two, `leaf_lo = region · fan_in`, `lo < hi ≤ lo + fan_in` — and
+    /// agree with whatever earlier manifests established: one `fan_in`
+    /// per epoch, one leaf range per region. Re-declaring an identical
+    /// region is idempotent (relay resume after reconnect).
+    #[allow(clippy::too_many_arguments)]
+    fn manifest(
+        &mut self,
+        session: u64,
+        epoch: u64,
+        region: u32,
+        leaf_lo: u64,
+        leaf_hi: u64,
+        fan_in: u64,
+        stats: &mut StoreStats,
+    ) -> (Message, Effect) {
+        let ep = match self.epoch_mut(session, epoch) {
+            Ok(e) => e,
+            Err(code) => return (reject(code), Effect::None),
+        };
+        if ep.phase != EpochPhase::Ingest {
+            return (reject(RejectCode::EpochSealed), Effect::None);
+        }
+        let aligned = fan_in > 0
+            && fan_in.is_power_of_two()
+            && leaf_lo == u64::from(region) * fan_in
+            && leaf_hi > leaf_lo
+            && leaf_hi <= leaf_lo + fan_in;
+        if !aligned {
+            return (reject(RejectCode::TopologyMismatch), Effect::None);
+        }
+        if let Some(topo) = &ep.topology {
+            if topo.fan_in != fan_in {
+                return (reject(RejectCode::TopologyMismatch), Effect::None);
+            }
+            match topo.regions.get(&region) {
+                Some(&(lo, hi)) if (lo, hi) != (leaf_lo, leaf_hi) => {
+                    return (reject(RejectCode::RegionConflict), Effect::None);
+                }
+                Some(_) => {
+                    // Identical re-declaration: the relay resumed.
+                    let declared = topo.regions.len() as u64;
+                    return (Message::Ack { of: TAG_RELAY_MANIFEST, info: declared }, Effect::None);
+                }
+                None => {}
+            }
+        }
+        let topo =
+            ep.topology.get_or_insert_with(|| EpochTopology { fan_in, ..Default::default() });
+        topo.regions.insert(region, (leaf_lo, leaf_hi));
+        let declared = topo.regions.len() as u64;
+        stats.add("serve.manifests_accepted", 1);
+        (
+            Message::Ack { of: TAG_RELAY_MANIFEST, info: declared },
+            Effect::Manifested { session, epoch, region, leaf_lo, leaf_hi, fan_in },
+        )
+    }
+
+    /// The relay-tier topology declared for `(session, epoch)`, if any.
+    pub fn topology_of(&self, session: u64, epoch: u64) -> Option<&EpochTopology> {
+        self.sessions.get(&session)?.epochs.get(&epoch)?.topology.as_ref()
+    }
+
+    /// Sealed epochs whose pre-sum has not yet been acked upstream — the
+    /// relay forwarder's work queue, in deterministic `(session, epoch)`
+    /// order. Each entry carries everything the upstream push needs.
+    pub fn sealed_unforwarded(&self) -> Vec<PendingForward> {
+        let mut out = Vec::new();
+        for (&session, sess) in &self.sessions {
+            for (&epoch, ep) in &sess.epochs {
+                if ep.forwarded || ep.phase == EpochPhase::Ingest {
+                    continue;
+                }
+                let EpochState::Sealed { spec, y, nodes } = &ep.state else { continue };
+                out.push(PendingForward {
+                    session,
+                    epoch,
+                    seed: ep.seed,
+                    m: spec.m as u32,
+                    n: spec.n as u64,
+                    nodes: *nodes,
+                    backend: ep.backend,
+                    y: y.clone(),
+                });
+            }
+        }
+        out
+    }
+
+    /// Marks `(session, epoch)`'s pre-sum as acked upstream. Returns
+    /// `false` (a no-op) when the epoch is unknown or already marked, so
+    /// replaying a duplicated `ForwardDone` record is idempotent.
+    pub fn mark_forwarded(&mut self, session: u64, epoch: u64) -> bool {
+        match self.epoch_mut(session, epoch) {
+            Ok(ep) if !ep.forwarded => {
+                ep.forwarded = true;
+                true
+            }
+            _ => false,
+        }
     }
 
     /// Answers an [`Message::EpochStatus`] query — read-only, so a client
@@ -1342,6 +1539,8 @@ impl SessionStore {
             backend,
             phase: EpochPhase::Ingest,
             duplicates: 0,
+            topology: None,
+            forwarded: false,
             state: EpochState::Ingest(SketchAggregator::new(spec), None),
         });
         if ep.seed != seed {
@@ -1367,6 +1566,45 @@ impl SessionStore {
                 ep.phase = EpochPhase::Recovered;
             }
         }
+    }
+
+    /// Replays a relay-manifest record through the live validation path.
+    /// Duplicates are idempotent; a conflicting manifest means the journal
+    /// is inconsistent.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn replay_manifest(
+        &mut self,
+        session: u64,
+        epoch: u64,
+        region: u32,
+        leaf_lo: u64,
+        leaf_hi: u64,
+        fan_in: u64,
+    ) -> Result<(), String> {
+        let ep = self
+            .epoch_mut(session, epoch)
+            .map_err(|c| format!("replayed manifest into ({session}, {epoch}): {c}"))?;
+        if ep.phase != EpochPhase::Ingest {
+            // A duplicated manifest record replayed after the
+            // (authoritative, self-contained) seal: the topology the seal
+            // froze is already in place — idempotent no-op.
+            return Ok(());
+        }
+        let mut stats = StoreStats::new();
+        match self.manifest(session, epoch, region, leaf_lo, leaf_hi, fan_in, &mut stats).0 {
+            Message::Ack { .. } => Ok(()),
+            Message::Reject { code, .. } => Err(format!(
+                "replayed manifest of region {region} in ({session}, {epoch}) rejected: code {code}"
+            )),
+            other => Err(format!("replayed manifest got {other:?}")),
+        }
+    }
+
+    /// Replays a forward-done record: marks the epoch's pre-sum as already
+    /// acked upstream so the resumed forwarder skips it. Tolerant of the
+    /// epoch being absent (evicted) or the record being duplicated.
+    pub(crate) fn replay_forward_done(&mut self, session: u64, epoch: u64) {
+        self.mark_forwarded(session, epoch);
     }
 
     // ---- snapshot ------------------------------------------------------
@@ -1408,6 +1646,27 @@ impl SessionStore {
                 let phase = EpochPhase::from_u8(r.u8()?)
                     .ok_or_else(|| "snapshot: bad epoch phase".to_string())?;
                 let duplicates = r.u64()?;
+                let forwarded = match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    b => return Err(format!("snapshot: bad forwarded flag {b}")),
+                };
+                let topology = match r.u8()? {
+                    0 => None,
+                    1 => {
+                        let fan_in = r.u64()?;
+                        let n_regions = r.u32()?;
+                        let mut regions = BTreeMap::new();
+                        for _ in 0..n_regions {
+                            let region = r.u32()?;
+                            let lo = r.u64()?;
+                            let hi = r.u64()?;
+                            regions.insert(region, (lo, hi));
+                        }
+                        Some(EpochTopology { fan_in, regions })
+                    }
+                    b => return Err(format!("snapshot: bad topology flag {b}")),
+                };
                 let tag = r.u8()?;
                 let m = r.u32()? as usize;
                 let n = r.u64()? as usize;
@@ -1439,7 +1698,10 @@ impl SessionStore {
                     }
                     t => return Err(format!("snapshot: unknown epoch state tag {t}")),
                 };
-                sess.epochs.insert(eid, Epoch { seed, backend, phase, duplicates, state });
+                sess.epochs.insert(
+                    eid,
+                    Epoch { seed, backend, phase, duplicates, topology, forwarded, state },
+                );
             }
         }
         if r.pos != buf.len() {
@@ -1478,6 +1740,20 @@ fn serialize_sessions<'a>(
             put_u64(out, op_param);
             out.push(ep.phase.as_u8());
             put_u64(out, ep.duplicates);
+            out.push(u8::from(ep.forwarded));
+            match &ep.topology {
+                None => out.push(0),
+                Some(topo) => {
+                    out.push(1);
+                    put_u64(out, topo.fan_in);
+                    put_u32(out, topo.regions.len() as u32);
+                    for (region, (lo, hi)) in &topo.regions {
+                        put_u32(out, *region);
+                        put_u64(out, *lo);
+                        put_u64(out, *hi);
+                    }
+                }
+            }
             match &ep.state {
                 EpochState::Ingest(agg, _) => {
                     out.push(0);
@@ -1752,12 +2028,12 @@ mod tests {
 
     #[test]
     fn reject_codes_round_trip_their_wire_values() {
-        for v in 1..=18u16 {
+        for v in 1..=20u16 {
             let code = RejectCode::from_u16(v).expect("all codes defined");
             assert_eq!(code.as_u16(), v);
         }
         assert_eq!(RejectCode::from_u16(0), None);
-        assert_eq!(RejectCode::from_u16(19), None);
+        assert_eq!(RejectCode::from_u16(21), None);
     }
 
     /// The high-severity regression: an `OpenEpoch` with a hostile

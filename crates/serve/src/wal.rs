@@ -70,7 +70,10 @@ pub const SNAPSHOT_MAGIC: &[u8; 8] = b"CSOSNAP1";
 /// measurement-operator descriptor (`op_kind`, `op_param`) to open and
 /// seal records and to each snapshotted epoch — a v1 journal is refused
 /// with a typed error rather than replayed with a guessed operator.
-pub const WAL_VERSION: u32 = 2;
+/// Version 3 added the relay tier: manifest (kind 7) and forward-done
+/// (kind 6) records, and per-epoch topology + forwarded state in the
+/// snapshot. Older journals are refused, never half-replayed.
+pub const WAL_VERSION: u32 = 3;
 
 /// Hard cap on one record's encoded length — a flipped length prefix must
 /// never drive an allocation. Generous: the largest legitimate record is a
@@ -307,6 +310,34 @@ pub enum WalRecord {
     /// Graceful-drain marker (kind 5): when this is the journal's final
     /// record, the previous process exited cleanly.
     CleanShutdown,
+    /// A relay's pre-summed seal was acked by its upstream (kind 6).
+    /// Journaled *after* the upstream ack, so a crash between the ack and
+    /// this record re-forwards — which the root's `(node, seed)` dedup
+    /// absorbs — while a crash after it skips the epoch on resume. Either
+    /// way the forwarded measurement is counted exactly once.
+    ForwardDone {
+        /// Session id.
+        session: u64,
+        /// Epoch number.
+        epoch: u64,
+    },
+    /// A downstream relay declared its region of the leaf space (kind 7;
+    /// body is the v2-encoded `RelayManifest` frame). Replay re-validates
+    /// through the same alignment rules as the live path.
+    Manifest {
+        /// Session id.
+        session: u64,
+        /// Epoch number.
+        epoch: u64,
+        /// Region (aggregation-tree child slot) id.
+        region: u32,
+        /// First absolute leaf id the region covers.
+        leaf_lo: u64,
+        /// One past the last absolute leaf id (tail regions may be short).
+        leaf_hi: u64,
+        /// Declared tree fan-in (power of two; uniform across regions).
+        fan_in: u64,
+    },
 }
 
 impl WalRecord {
@@ -366,6 +397,19 @@ impl WalRecord {
             Effect::Recovered { session, epoch } => {
                 Some(WalRecord::RecoverDone { session: *session, epoch: *epoch })
             }
+            Effect::Manifested { session, epoch, region, leaf_lo, leaf_hi, fan_in } => {
+                Some(WalRecord::Manifest {
+                    session: *session,
+                    epoch: *epoch,
+                    region: *region,
+                    leaf_lo: *leaf_lo,
+                    leaf_hi: *leaf_hi,
+                    fan_in: *fan_in,
+                })
+            }
+            Effect::ForwardDone { session, epoch } => {
+                Some(WalRecord::ForwardDone { session: *session, epoch: *epoch })
+            }
         }
     }
 }
@@ -375,6 +419,8 @@ const KIND_INGEST: u8 = 2;
 const KIND_SEAL: u8 = 3;
 const KIND_RECOVER_DONE: u8 = 4;
 const KIND_CLEAN_SHUTDOWN: u8 = 5;
+const KIND_FORWARD_DONE: u8 = 6;
+const KIND_MANIFEST: u8 = 7;
 
 impl WalRecord {
     /// Encodes the record as `[kind][body]` (the framing CRC and length
@@ -434,6 +480,23 @@ impl WalRecord {
                 put_u64(&mut out, *epoch);
             }
             WalRecord::CleanShutdown => out.push(KIND_CLEAN_SHUTDOWN),
+            WalRecord::ForwardDone { session, epoch } => {
+                out.push(KIND_FORWARD_DONE);
+                put_u64(&mut out, *session);
+                put_u64(&mut out, *epoch);
+            }
+            WalRecord::Manifest { session, epoch, region, leaf_lo, leaf_hi, fan_in } => {
+                out.push(KIND_MANIFEST);
+                let msg = Message::RelayManifest {
+                    session: *session,
+                    epoch: *epoch,
+                    region: *region,
+                    leaf_lo: *leaf_lo,
+                    leaf_hi: *leaf_hi,
+                    fan_in: *fan_in,
+                };
+                out.extend_from_slice(&wire::encode(&msg));
+            }
         }
         out
     }
@@ -510,6 +573,22 @@ impl WalRecord {
                 }
                 Ok(WalRecord::CleanShutdown)
             }
+            KIND_FORWARD_DONE => {
+                let mut r = SnapReader { buf: body, pos: 0 };
+                let session = r.u64()?;
+                let epoch = r.u64()?;
+                if !r.remaining().is_empty() {
+                    return Err("forward-done record has trailing bytes".into());
+                }
+                Ok(WalRecord::ForwardDone { session, epoch })
+            }
+            KIND_MANIFEST => match wire::decode(body) {
+                Ok(Message::RelayManifest { session, epoch, region, leaf_lo, leaf_hi, fan_in }) => {
+                    Ok(WalRecord::Manifest { session, epoch, region, leaf_lo, leaf_hi, fan_in })
+                }
+                Ok(other) => Err(format!("manifest record held a {} frame", other.tag())),
+                Err(e) => Err(format!("manifest record: {e}")),
+            },
             k => Err(format!("unknown record kind {k}")),
         }
     }
@@ -559,6 +638,13 @@ impl WalRecord {
                 Ok(())
             }
             WalRecord::CleanShutdown => Ok(()),
+            WalRecord::ForwardDone { session, epoch } => {
+                store.replay_forward_done(*session, *epoch);
+                Ok(())
+            }
+            WalRecord::Manifest { session, epoch, region, leaf_lo, leaf_hi, fan_in } => {
+                store.replay_manifest(*session, *epoch, *region, *leaf_lo, *leaf_hi, *fan_in)
+            }
         }
     }
 }

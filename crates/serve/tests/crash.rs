@@ -202,6 +202,205 @@ fn child_server() {
     }
 }
 
+/// CHILD MODE (relay flavor) — a leaf relay for one region of a two-level
+/// tree: embedded durable server on `port` over `dir`, forwarding sealed
+/// pre-sums upstream to the parent process's root server. Parked until
+/// killed; with a crash point armed, the forwarder aborts mid-push.
+#[test]
+fn child_relay() {
+    if std::env::var("CSO_SERVE_RELAY_CHILD").as_deref() != Ok("1") {
+        return;
+    }
+    let port: u16 = std::env::var("CSO_SERVE_PORT").unwrap().parse().unwrap();
+    let dir = PathBuf::from(std::env::var("CSO_SERVE_WAL_DIR").unwrap());
+    let upstream: SocketAddr = std::env::var("CSO_SERVE_UPSTREAM").unwrap().parse().unwrap();
+    let region: u32 = std::env::var("CSO_SERVE_REGION").unwrap().parse().unwrap();
+    let leaves: u64 = std::env::var("CSO_SERVE_LEAVES").unwrap().parse().unwrap();
+    let fan_in: u64 = std::env::var("CSO_SERVE_FAN_IN").unwrap().parse().unwrap();
+    let topology = cso_distributed::TopologySpec::new(leaves, fan_in).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(15);
+    loop {
+        let config = cso_serve::RelayConfig {
+            server: cso_serve::ServerConfig {
+                port,
+                durability: Some(cso_serve::Durability::at(&dir)),
+                ..cso_serve::ServerConfig::default()
+            },
+            retry: patient(),
+            ..cso_serve::RelayConfig::new(upstream, region, topology)
+        };
+        match cso_serve::spawn_relay(config) {
+            Ok(_relay) => loop {
+                std::thread::sleep(Duration::from_secs(3600));
+            },
+            Err(e) if Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(25));
+                let _ = e;
+            }
+            Err(e) => panic!("child relay could not bind port {port}: {e}"),
+        }
+    }
+}
+
+/// Re-execs this binary as [`child_relay`] for `region`, forwarding to
+/// `upstream`, journaling to `dir`.
+fn spawn_child_relay(
+    port: u16,
+    dir: &PathBuf,
+    upstream: SocketAddr,
+    region: u32,
+    leaves: u64,
+    fan_in: u64,
+    crash: Option<&str>,
+) -> Child {
+    let exe = std::env::current_exe().expect("test binary path");
+    let mut cmd = Command::new(exe);
+    cmd.arg("child_relay")
+        .arg("--exact")
+        .arg("--nocapture")
+        .env("CSO_SERVE_RELAY_CHILD", "1")
+        .env("CSO_SERVE_PORT", port.to_string())
+        .env("CSO_SERVE_WAL_DIR", dir.display().to_string())
+        .env("CSO_SERVE_UPSTREAM", upstream.to_string())
+        .env("CSO_SERVE_REGION", region.to_string())
+        .env("CSO_SERVE_LEAVES", leaves.to_string())
+        .env("CSO_SERVE_FAN_IN", fan_in.to_string())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null());
+    if let Some(point) = crash {
+        cmd.env("CSO_SERVE_CRASH_POINT", point).env("CSO_SERVE_CRASH_COUNT", "1");
+    }
+    cmd.spawn().expect("spawn child relay")
+}
+
+/// Relay-tier crash acceptance (PR 10 satellite): a leaf relay is
+/// SIGKILL'd at each seeded point inside its upstream push — after the
+/// manifest lands ("mid-forward") and after the upstream ack but before
+/// the forward-done journal record ("pre-forward-journal"). Restarted on
+/// the same journal, the relay must resume the push on its own, the
+/// finished tree run must be bit-identical to the flat
+/// `run_over_wire` reference, and the root must count each region's
+/// pre-sum exactly once (the second point *must* surface as an upstream
+/// dedup hit, proving the re-push happened and was absorbed).
+#[test]
+fn relay_kill9_mid_forward_resumes_without_double_count() {
+    const LEAVES: u64 = 8;
+    const FAN_IN: u64 = 4;
+    let topology = cso_distributed::TopologySpec::new(LEAVES, FAN_IN).unwrap();
+    let slices: Vec<Vec<f64>> = (0..LEAVES)
+        .map(|l| {
+            (0..200)
+                .map(|i| {
+                    let base = 30.0 + (i as f64) * 0.013 + (l as f64) * 0.41;
+                    if i % 31 == l {
+                        base + 700.0
+                    } else {
+                        base
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let cluster = Cluster::new(slices).unwrap();
+    let n = cluster.n() as u64;
+    let reference = proto().run_over_wire(&cluster, K, SketchEncoding::F64).unwrap();
+    let sketches = proto().node_sketches(&cluster).unwrap();
+
+    for point in ["mid-forward", "pre-forward-journal"] {
+        let dir = temp_dir(&format!("relay-{point}"));
+        let root = cso_serve::spawn(cso_serve::ServerConfig::default()).expect("root");
+
+        // Region 0 runs in-process (never crashes); region 1 is the
+        // doomed child.
+        let relay0 = cso_serve::spawn_relay(cso_serve::RelayConfig {
+            retry: patient(),
+            ..cso_serve::RelayConfig::new(root.addr(), 0, topology)
+        })
+        .expect("relay 0");
+        let child_port = pick_port();
+        let child_addr = SocketAddr::from(([127, 0, 0, 1], child_port));
+        let mut doomed =
+            spawn_child_relay(child_port, &dir, root.addr(), 1, LEAVES, FAN_IN, Some(point));
+        wait_listening(child_addr);
+
+        let open = |addr: SocketAddr| {
+            cso_serve::ServeClient::open(addr, &patient(), 5, 0, M as u32, n, SEED)
+                .map(|(c, _)| c)
+                .expect("open")
+        };
+        // Region 0's leaves ingest and seal normally.
+        let mut c0 = open(relay0.addr());
+        for leaf in 0..FAN_IN {
+            c0.send_sketch(leaf as u32, &sketches[leaf as usize], SketchEncoding::F64).unwrap();
+        }
+        assert_eq!(c0.seal().unwrap(), FAN_IN);
+
+        // Region 1's leaves ingest into the doomed child; every ack below
+        // is a durability promise the resumed relay must keep.
+        let mut c1 = open(child_addr);
+        for leaf in FAN_IN..LEAVES {
+            c1.send_sketch(leaf as u32, &sketches[leaf as usize], SketchEncoding::F64).unwrap();
+        }
+        assert_eq!(c1.seal().unwrap(), FAN_IN);
+
+        // The seal arms the forwarder, which walks into the crash point.
+        wait_exit(&mut doomed, point);
+        let fresh = spawn_child_relay(child_port, &dir, root.addr(), 1, LEAVES, FAN_IN, None);
+
+        // The resumed forwarder pushes on its own — no client involved.
+        let mut control = open(root.addr());
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let (_, nodes) = control.status().expect("root status");
+            if nodes == 2 {
+                break;
+            }
+            assert!(nodes < 2, "{point}: root double-counted ({nodes} super-nodes)");
+            assert!(Instant::now() < deadline, "{point}: region 1 never resumed its push");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        if point == "pre-forward-journal" {
+            // The crash landed after the upstream ack: the pre-crash push
+            // already satisfied nodes == 2, and the *resumed* relay —
+            // whose journal has no forward-done record — must re-push
+            // into the dedup. Hold the seal until that lands.
+            loop {
+                let snap = root.recorder().metrics_snapshot();
+                if snap.counter("serve.sketches_duplicate") == Some(1) {
+                    break;
+                }
+                assert!(Instant::now() < deadline, "{point}: resumed relay never re-pushed");
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+        assert_eq!(control.seal().unwrap(), 2, "{point}: one pre-sum per region, exactly");
+        let (mode, outliers) = control.recover(K as u32).expect("root recover");
+        assert_eq!(mode.to_bits(), reference.mode.to_bits(), "{point}: mode bits");
+        assert_eq!(outliers.len(), reference.estimate.len(), "{point}: outlier count");
+        for (got, want) in outliers.iter().zip(&reference.estimate) {
+            assert_eq!(got.0 as usize, want.index, "{point}: outlier index");
+            assert_eq!(got.1.to_bits(), want.value.to_bits(), "{point}: outlier value bits");
+        }
+
+        // Root-side dedup ledger: crashing after the upstream ack forces
+        // a duplicate re-push on resume; crashing before it must not.
+        let snap = root.recorder().metrics_snapshot();
+        assert_eq!(snap.counter("serve.sketches_accepted"), Some(2), "{point}: accepted");
+        let dups = snap.counter("serve.sketches_duplicate").unwrap_or(0);
+        match point {
+            "pre-forward-journal" => {
+                assert_eq!(dups, 1, "{point}: the re-push must hit the dedup exactly once")
+            }
+            _ => assert_eq!(dups, 0, "{point}: no re-push should have been needed"),
+        }
+
+        kill(fresh);
+        relay0.shutdown();
+        root.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
 /// Tentpole acceptance, seeded half: for every injection point, the
 /// server is aborted at that exact placement mid-run, restarted on the
 /// same journal, and the resumed client run is bit-identical to the

@@ -530,3 +530,86 @@ fn f32_encoding_matches_run_over_wire() {
     }
     server.shutdown();
 }
+
+/// A wedged server — one that accepts the connect but never answers the
+/// open probe — must not hang the client forever. The policy's
+/// `timeout_ticks` bounds the wait, the stalled attempt is retried on a
+/// fresh connection, and the answered retry succeeds.
+#[test]
+fn open_times_out_on_a_wedged_server_and_retries() {
+    use std::net::TcpListener;
+
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let fake = std::thread::spawn(move || {
+        // First connection: accept, read the probe, say nothing.
+        let (mut wedged, _) = listener.accept().unwrap();
+        let _ = read_frame(&mut wedged).unwrap();
+        // Second connection (the client's retry): answer properly. The
+        // wedged socket stays open throughout — the client must abandon
+        // it on its own, not be rescued by a close.
+        let (mut live, _) = listener.accept().unwrap();
+        let _ = read_frame(&mut live).unwrap();
+        write_frame(&mut live, &Message::Ack { of: wire::TAG_OPEN_EPOCH, info: 5 }).unwrap();
+        drop(wedged);
+    });
+
+    let retry = RetryPolicy {
+        max_attempts: 3,
+        base_backoff_ticks: 1,
+        max_backoff_ticks: 2,
+        timeout_ticks: 80,
+        ..RetryPolicy::default()
+    };
+    let (client, info) = ServeClient::open(addr, &retry, 9, 0, 16, 64, SEED).unwrap();
+    assert_eq!(info, 5, "the answered retry's ack must be the one returned");
+    drop(client);
+    fake.join().unwrap();
+}
+
+/// `Busy { retry_after_ms }` is honored between attempts but never after
+/// the last one: with two attempts and a large server hint the client
+/// sleeps exactly once, so exhaustion surfaces promptly.
+#[test]
+fn open_exhaustion_does_not_sleep_after_the_final_attempt() {
+    use cso_serve::ClientError;
+    use std::net::TcpListener;
+    use std::time::Instant;
+
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    const HINT_MS: u32 = 300;
+    let fake = std::thread::spawn(move || {
+        for _ in 0..2 {
+            let (mut sock, _) = listener.accept().unwrap();
+            let _ = read_frame(&mut sock).unwrap();
+            write_frame(
+                &mut sock,
+                &Message::Reject { code: RejectCode::Busy.as_u16(), retry_after_ms: HINT_MS },
+            )
+            .unwrap();
+        }
+    });
+
+    let retry = RetryPolicy {
+        max_attempts: 2,
+        base_backoff_ticks: 1,
+        max_backoff_ticks: 2,
+        ..RetryPolicy::default()
+    };
+    let started = Instant::now();
+    let err = match ServeClient::open(addr, &retry, 9, 0, 16, 64, SEED) {
+        Ok(_) => panic!("two Busy rejects through two attempts must exhaust"),
+        Err(e) => e,
+    };
+    let elapsed = started.elapsed();
+    assert!(matches!(err, ClientError::BusyExhausted), "got {err:?}");
+    // One inter-attempt sleep of ~HINT_MS, and nothing after the final
+    // reject. Sleeping after both attempts would put this at 2×HINT_MS.
+    assert!(elapsed >= Duration::from_millis(u64::from(HINT_MS) - 20), "slept {elapsed:?}");
+    assert!(
+        elapsed < Duration::from_millis(u64::from(HINT_MS) * 2 - 50),
+        "must not sleep the server hint after the final attempt (took {elapsed:?})"
+    );
+    fake.join().unwrap();
+}

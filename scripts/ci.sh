@@ -32,33 +32,39 @@
 #      round-trips) must pass, the loopback e2e must be bit-identical
 #      under every wire-addressable backend, and the fast 3-backend
 #      sweep must run without touching the recorded artifacts
+#  16. the relay-tier smoke: the two-level loopback e2e (flat-vs-tree
+#      bit-identity, whole-region drop degrading to subtree recovery,
+#      cross-DC byte accounting, typed manifest rejects) and the
+#      relay kill-9 resume must pass, the topology fold proptests must
+#      hold, and the tree_topology sweep must run and write a valid
+#      BENCH_pr10.json
 #
 # Any step failing fails the script.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> [1/15] cargo fmt --check"
+echo "==> [1/16] cargo fmt --check"
 cargo fmt --all --check
 
-echo "==> [2/15] release build"
+echo "==> [2/16] release build"
 cargo build --release --workspace
 
-echo "==> [3/15] workspace tests"
+echo "==> [3/16] workspace tests"
 cargo test -q --workspace
 
-echo "==> [4/15] fault-injection sweeps"
+echo "==> [4/16] fault-injection sweeps"
 cargo test -q -p cso-distributed --features fault-injection
 
-echo "==> [5/15] warnings-clean (all targets, fault-injection on)"
+echo "==> [5/16] warnings-clean (all targets, fault-injection on)"
 RUSTFLAGS="-D warnings" cargo check --workspace --all-targets --features fault-injection
 
-echo "==> [6/15] rustdoc warnings-clean"
+echo "==> [6/16] rustdoc warnings-clean"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
-echo "==> [7/15] fault sweep smoke"
+echo "==> [7/16] fault sweep smoke"
 cargo test -q -p cso-bench faults::
 
-echo "==> [8/15] observability smoke (obs_report)"
+echo "==> [8/16] observability smoke (obs_report)"
 # The binary self-validates: strict JSON parse of the emitted report,
 # required REPORT_KEYS present, comm.* metrics equal to the CostMeter
 # totals, per-iteration BOMP events present. Any violation aborts.
@@ -67,20 +73,20 @@ for artifact in results/run_report.jsonl BENCH_pr2.json; do
     test -s "$artifact" || { echo "missing $artifact"; exit 1; }
 done
 
-echo "==> [9/15] scaling smoke (parallel executor sweep)"
+echo "==> [9/16] scaling smoke (parallel executor sweep)"
 # The sweep self-validates its JSON before writing; the sequential
 # reference and every worker count run the same deterministic workload.
 cargo run --release -q -p cso-bench --bin figures -- scaling
 test -s BENCH_pr3.json || { echo "missing BENCH_pr3.json"; exit 1; }
 
-echo "==> [10/15] recovery-kernel smoke (fused OMP sweep)"
+echo "==> [10/16] recovery-kernel smoke (fused OMP sweep)"
 # Fast mode: small dictionaries, same naive-vs-fused measurement as the
 # full sweep, but it leaves the recorded full-sweep artifacts alone —
 # BENCH_pr4.json is regenerated only by a full `figures -- recovery` run.
 cargo run --release -q -p cso-bench --bin figures -- recovery --fast
 test -s BENCH_pr4.json || { echo "missing BENCH_pr4.json"; exit 1; }
 
-echo "==> [11/15] serving smoke (loopback server e2e + throughput sweep)"
+echo "==> [11/16] serving smoke (loopback server e2e + throughput sweep)"
 # The e2e tests assert bit-identity between the loopback server run and
 # the in-process wire path, plus fault injection (killed connections,
 # corrupt frames, stragglers). The sweep self-validates its JSON.
@@ -90,7 +96,7 @@ for artifact in results/serve.csv BENCH_pr5.json; do
     test -s "$artifact" || { echo "missing $artifact"; exit 1; }
 done
 
-echo "==> [12/15] durability smoke (kill-9 crash harness + WAL fuzz + fsync sweep)"
+echo "==> [12/16] durability smoke (kill-9 crash harness + WAL fuzz + fsync sweep)"
 # The crash harness SIGKILLs a child-process server at every seeded
 # injection point (and at arbitrary times) and requires the resumed run
 # to be bit-identical to a never-crashed one; the WAL fuzz truncates and
@@ -102,7 +108,7 @@ for artifact in results/serve_durable.csv BENCH_pr6.json; do
     test -s "$artifact" || { echo "missing $artifact"; exit 1; }
 done
 
-echo "==> [13/15] telemetry smoke (introspection e2e + cso-top + overhead sweep)"
+echo "==> [13/16] telemetry smoke (introspection e2e + cso-top + overhead sweep)"
 # The e2e polls Introspect throughout a live ingest sweep asserting
 # monotone counters, bit-identical recovery under observation, and a
 # parseable flight-recorder dump; the frame fuzz hardens the trace
@@ -116,7 +122,7 @@ for artifact in results/serve_telemetry.csv BENCH_pr7.json; do
     test -s "$artifact" || { echo "missing $artifact"; exit 1; }
 done
 
-echo "==> [14/15] sharded-engine smoke (reassembly fuzz + sweep + docs-link check)"
+echo "==> [14/16] sharded-engine smoke (reassembly fuzz + sweep + docs-link check)"
 # The reassembly fuzz drives frames through every split point and
 # arbitrary read/write interleavings expecting typed outcomes only; the
 # fast sweep runs the scaling points and the overload soak, which
@@ -125,9 +131,9 @@ echo "==> [14/15] sharded-engine smoke (reassembly fuzz + sweep + docs-link chec
 cargo test -q -p cso-serve --test proptest_conn
 cargo test -q -p cso-bench serve_sharded_smoke
 # The operator runbook must not drift from the code: every `serve.*`
-# metric name and every reject code it documents has to exist verbatim
-# in crate source.
-grep -oE 'serve\.[a-z_]+' OPERATIONS.md | sort -u | while read -r metric; do
+# and `relay.*` metric name and every reject code it documents has to
+# exist verbatim in crate source.
+grep -oE '(serve|relay)\.[a-z_]+' OPERATIONS.md | sort -u | while read -r metric; do
     grep -rqF "\"$metric\"" crates/ \
         || { echo "OPERATIONS.md documents unknown metric $metric"; exit 1; }
 done
@@ -137,7 +143,7 @@ grep -oE '^\| [0-9]+ \| `[A-Za-z]+`' OPERATIONS.md | grep -oE '[A-Za-z]+`' \
         || { echo "OPERATIONS.md documents unknown reject code $code"; exit 1; }
 done
 
-echo "==> [15/15] measurement-operator smoke (proptests + 3-backend sweep)"
+echo "==> [15/16] measurement-operator smoke (proptests + 3-backend sweep)"
 # The operator fuzz pins the FWHT involution, sparse/dense sketch
 # bit-identity and descriptor wire round-trips per backend; the loopback
 # e2e re-runs the protocol bit-identically under every wire-addressable
@@ -147,5 +153,22 @@ echo "==> [15/15] measurement-operator smoke (proptests + 3-backend sweep)"
 cargo test -q -p cso-core --test proptest_ops
 cargo test -q -p cso-serve --test loopback loopback_run_is_bit_identical_for_every_operator_backend
 cargo run --release -q -p cso-bench --bin figures -- recovery_ops --fast
+
+echo "==> [16/16] relay-tier smoke (two-level e2e + kill-9 resume + topology proptests + sweep)"
+# The e2e runs a real two-level tree over loopback sockets: the root's
+# recovery must be bit-identical to the flat topology, a whole-region
+# drop must degrade to the surviving subtrees exactly, and conflicting
+# manifests must draw the typed rejects. The crash test SIGKILLs a leaf
+# relay mid-forward and requires the resumed tree to recover the same
+# bits without double-counting the region. The proptests generalize the
+# fold composition/degradation laws to arbitrary shapes. The sweep
+# reruns flat-vs-tree across fan-ins and regenerates BENCH_pr10.json.
+cargo test -q -p cso-serve --test relay
+cargo test -q -p cso-serve --test crash relay_kill9_mid_forward_resumes_without_double_count
+cargo test -q -p cso-distributed --test proptest_topology
+cargo run --release -q -p cso-bench --bin figures -- tree_topology
+for artifact in results/tree_topology.csv BENCH_pr10.json; do
+    test -s "$artifact" || { echo "missing $artifact"; exit 1; }
+done
 
 echo "ci: all green"
